@@ -1,0 +1,32 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one paper figure at the canonical experiment
+configuration, times it with pytest-benchmark, prints the figure's
+rows/series, and archives them under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a rendered figure and archive it as ``results/<name>.txt``."""
+
+    def _emit(name: str, rendered: str) -> None:
+        banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+        print(banner + rendered)
+        (results_dir / f"{name}.txt").write_text(rendered + "\n")
+
+    return _emit

@@ -1,0 +1,17 @@
+"""Benchmark: ablations and baseline comparisons (paper prose claims)."""
+
+from repro.experiments import run_ablations
+
+
+def test_bench_ablations(benchmark, emit):
+    result = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    emit("ablations", result.render())
+    # Full Ceer beats every ablation and baseline.
+    full = result.mean_error("ceer (full)")
+    assert full < 0.06
+    assert result.mean_error("heavy-ops-only") > full
+    assert result.mean_error("no-communication (Eq. 1)") > 2 * full
+    assert result.mean_error("layer-level (Giannini-style)") > 0.12
+    # Ceer's pick saves substantially over naive strategies (paper: 36-44%).
+    assert result.strategy_cost_ratio["cheapest-instance"] > 1.3
+    assert result.strategy_cost_ratio["latest-gpu (P3)"] > 1.4

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 10 (total-budget-constrained selection)."""
+
+from repro.experiments import run_fig10
+
+
+def test_bench_fig10_total_budget(benchmark, emit):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    emit("fig10_total_budget", result.render())
+    # Paper's feasibility story: every P2 config and the 4-GPU P3 exceed
+    # the budget; the 3-GPU P3 is optimal; Ceer agrees.
+    feasible = set(result.feasible(False))
+    assert not any(gpu == "K80" for gpu, _ in feasible)
+    assert ("V100", 4) not in feasible
+    assert result.best_config(False) == ("V100", 3)
+    assert result.best_config(True) == ("V100", 3)

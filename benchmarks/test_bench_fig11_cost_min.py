@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 11 (budget minimisation, AWS prices)."""
+
+from repro.experiments import run_fig11
+
+
+def test_bench_fig11_cost_min(benchmark, emit):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    emit("fig11_cost_min", result.render())
+    # Paper: 1-GPU G4 is cheapest; G3/4xP3 cost 1.6x/1.8x (ours ~1.9/2.1).
+    assert result.best_config(False) == ("T4", 1)
+    assert result.best_config(True) == ("T4", 1)
+    assert result.cost_ratio("M60", 1) > 1.3
+    assert result.cost_ratio("V100", 4) > 1.5

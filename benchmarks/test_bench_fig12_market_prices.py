@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 12 (budget minimisation, market prices)."""
+
+from repro.experiments import run_fig12
+
+
+def test_bench_fig12_market_prices(benchmark, emit):
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    emit("fig12_market_prices", result.render())
+    # Paper: under market-ratio prices the 1-GPU P2 instance wins, and the
+    # AWS-price winner (1-GPU G4) costs a multiple of the optimum.
+    assert result.best_config(False) == ("K80", 1)
+    assert result.best_config(True) == ("K80", 1)
+    assert result.cost_ratio("T4", 1) > 1.2

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 2 (per-op compute times across GPUs)."""
+
+from repro.experiments import run_fig2
+
+
+def test_bench_fig2_op_times(benchmark, emit):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    emit("fig2_op_times", result.render())
+    assert result.ratio_p2_over_p3 > 4.5
+    assert result.ratio_g4_over_p3 > 2.2
+    assert result.ratio_p2_over_g3 > 1.05

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 3 (per-op compute costs across GPUs)."""
+
+from repro.experiments import run_fig3
+
+
+def test_bench_fig3_op_costs(benchmark, emit):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    emit("fig3_op_costs", result.render())
+    assert set(result.p3_wins) == {
+        "AvgPool", "AvgPoolGrad", "MaxPool", "MaxPoolGrad",
+    }
+    assert result.g4_win_count >= 12

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 4 (ReLU compute time vs input size)."""
+
+from repro.experiments import run_fig4
+
+
+def test_bench_fig4_relu_scaling(benchmark, emit):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    emit("fig4_relu_scaling", result.render())
+    assert all(fit.r2 > 0.9 for fit in result.fits.values())
+
+
+def test_bench_fig4_quadratic_op(benchmark, emit):
+    """The quadratic-fit case the paper calls out: Conv2DBackpropFilter."""
+    result = benchmark.pedantic(
+        run_fig4, args=("Conv2DBackpropFilter",), rounds=1, iterations=1
+    )
+    emit("fig4_conv2dbackpropfilter_scaling", result.render())
+    assert any(fit.degree == 2 for fit in result.fits.values())

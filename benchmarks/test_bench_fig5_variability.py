@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 5 (CDF of normalized compute-time stddev)."""
+
+from repro.analysis.stats import fraction_below
+from repro.experiments import run_fig5
+
+
+def test_bench_fig5_variability(benchmark, emit):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    emit("fig5_variability", result.render())
+    assert fraction_below(result.heavy_all, 0.1) >= 0.95

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 6 (training time vs #GPUs, Inception-v1)."""
+
+from repro.experiments import run_fig6
+
+
+def test_bench_fig6_scaling(benchmark, emit):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    emit("fig6_scaling", result.render())
+    # Paper: ~35.8% / 46.6% / 53.6% average reductions for 2/3/4 GPUs.
+    assert 0.30 <= result.average_reduction(2) <= 0.47
+    assert 0.42 <= result.average_reduction(3) <= 0.60
+    assert 0.48 <= result.average_reduction(4) <= 0.68

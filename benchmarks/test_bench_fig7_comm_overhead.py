@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 7 (comm overhead vs model parameters)."""
+
+from repro.experiments import run_fig7
+
+
+def test_bench_fig7_comm_overhead(benchmark, emit):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    emit("fig7_comm_overhead", result.render())
+    # Paper: linear fits with R^2 0.88-0.98 per (GPU, k).
+    assert all(r2 >= 0.85 for r2 in result.model.r2.values())
+    assert all(fit.coef[0] > 0 for fit in result.model.models.values())

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 8 (observed vs predicted time and cost)."""
+
+from repro.experiments import run_fig8
+
+
+def test_bench_fig8_validation(benchmark, emit):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    emit("fig8_validation", result.render())
+    # Paper: 5.4% average error and perfect GPU-ranking agreement.
+    assert result.average_error < 0.08
+    for model in ("inception_v3", "alexnet", "resnet_101", "vgg_19"):
+        assert result.ranking_correct(model)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Capacity planning: memory checks, time breakdowns, and a saved estimator.
+
+A production-flavoured workflow on top of the reproduction:
+
+1. Fit Ceer once and save it to disk (the offline phase is the expensive
+   part; the fitted model is a few kilobytes of coefficients).
+2. Reload it instantly in a "planning" session.
+3. For a big model (Inception-ResNet-v2), find which GPUs can even hold it
+   at the desired batch size, and the largest feasible batch per GPU.
+4. Break down where the iteration time goes on the chosen instance.
+5. Recommend with the memory check enabled, so OOM configurations are
+   excluded from the sweep.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    IMAGENET_EPOCH,
+    MinimizeCost,
+    Recommender,
+    fit_ceer,
+    load_estimator,
+    save_estimator,
+)
+from repro.analysis import profile_breakdown
+from repro.hardware import GPU_KEYS, estimate_memory, max_batch_size
+from repro.models import build_model
+
+MODEL = "inception_resnet_v2"
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="ceer-"))
+    estimator_path = workdir / "ceer.json"
+
+    print("== 1. Offline phase: fit once, save to disk ==")
+    fitted = fit_ceer(n_iterations=150)
+    save_estimator(fitted.estimator, estimator_path)
+    print(f"  saved {estimator_path} ({estimator_path.stat().st_size} bytes)")
+
+    print("\n== 2. Planning session: reload instantly ==")
+    estimator = load_estimator(estimator_path)
+
+    print(f"\n== 3. Memory feasibility for {MODEL} ==")
+    graph = build_model(MODEL, batch_size=32)
+    estimate = estimate_memory(graph)
+    print(f"  {estimate.render()}")
+    for gpu in GPU_KEYS:
+        feasible = "fits" if estimate.fits(gpu) else "OOM at batch 32"
+        biggest = max_batch_size(
+            lambda bs: build_model(MODEL, batch_size=bs), gpu
+        )
+        print(f"  {gpu:5s}: {feasible:16s} (max feasible batch: {biggest})")
+
+    print("\n== 4. Where does an iteration go on the T4? ==")
+    print(profile_breakdown(MODEL, "T4", n_iterations=150).render(top_n=8))
+
+    print("\n== 5. Recommendation with the memory check on ==")
+    recommendation = Recommender(estimator, check_memory=True).recommend(
+        MODEL, IMAGENET_EPOCH, MinimizeCost()
+    )
+    print(recommendation.summary())
+    excluded = {g for g in GPU_KEYS} - {p.gpu_key for p in recommendation.ranked}
+    print(f"  GPU models excluded for memory: {sorted(excluded) or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Predict training time/cost for a brand-new CNN before renting anything.
+
+The paper's promise (Section IV-D) is that Ceer works for *arbitrary*
+CNNs: given only the model's DAG — op types, tensor shapes, parameter
+count — it estimates training time and cost on every candidate instance.
+This example defines a custom ResNet-style architecture that is not in the
+zoo, builds its training graph with the public GraphBuilder API, and asks
+Ceer where to train it.
+
+Run:  python examples/custom_cnn.py
+"""
+
+from repro import (
+    GraphBuilder,
+    MinimizeCost,
+    MinimizeTime,
+    Recommender,
+    TrainingJob,
+    fit_ceer,
+)
+from repro.workloads import DatasetSpec
+
+
+def build_custom_cnn(batch_size: int = 32):
+    """A compact residual network for 160x160 inputs, 200 classes."""
+    b = GraphBuilder(
+        "my_resnet_lite", batch_size=batch_size, image_hw=(160, 160),
+        num_classes=200,
+    )
+    x = b.input()
+    x = b.conv(x, 32, kernel=5, stride=2, batch_norm=True, scope="stem")
+    x = b.max_pool(x, kernel=3, stride=2, padding="SAME", scope="stem_pool")
+    for stage, channels in enumerate((32, 64, 128)):
+        for unit in range(2):
+            stride = 2 if (unit == 0 and stage > 0) else 1
+            scope = f"s{stage}u{unit}"
+            if stride != 1 or x.shape.channels != channels:
+                shortcut = b.conv(x, channels, 1, stride=stride, batch_norm=True,
+                                  activation=None, scope=f"{scope}/proj")
+            else:
+                shortcut = x
+            y = b.conv(x, channels, 3, stride=stride, batch_norm=True,
+                       scope=f"{scope}/a")
+            y = b.conv(y, channels, 3, batch_norm=True, activation=None,
+                       scope=f"{scope}/b")
+            x = b.add(shortcut, y, activation="relu", scope=f"{scope}/add")
+    x = b.global_avg_pool(x)
+    x = b.dropout(x, 0.3)
+    return b.finalize(b.dense(x, 200, activation=None, scope="head"))
+
+
+def main() -> None:
+    graph = build_custom_cnn()
+    print(graph.summary())
+    print()
+
+    job = TrainingJob(DatasetSpec("my-dataset", num_samples=400_000), batch_size=32)
+    print("Fitting Ceer on the standard training set ...")
+    fitted = fit_ceer(n_iterations=150)
+    recommender = Recommender(fitted.estimator)
+
+    print("\n== Cheapest way to train my_resnet_lite ==")
+    print(recommender.recommend(graph, job, MinimizeCost()).summary())
+
+    print("\n== Fastest way, cost be damned ==")
+    print(recommender.recommend(graph, job, MinimizeTime()).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Instance recommendation under the paper's four evaluation scenarios.
+
+Reproduces Section V's decision problems for a held-out CNN:
+
+* hourly-budget: fastest training throughput under $3/hr rental;
+* total-budget: fastest training that stays within a fixed total spend;
+* cost-minimisation under real AWS On-Demand prices;
+* cost-minimisation under commodity-market price ratios (Fig. 12), which
+  flips the optimal choice to the old-generation P2 instance.
+
+Run:  python examples/instance_recommendation.py [model_name]
+"""
+
+import sys
+
+from repro import (
+    IMAGENET_EPOCH,
+    MARKET_RATIO,
+    HourlyBudget,
+    MinimizeCost,
+    Recommender,
+    TotalBudget,
+    fit_ceer,
+)
+
+
+def main(model: str = "resnet_101") -> None:
+    print(f"Fitting Ceer and sweeping instances for {model!r} ...\n")
+    fitted = fit_ceer(n_iterations=150)
+    recommender = Recommender(fitted.estimator)
+
+    scenarios = [
+        ("Hourly budget of $3/hr (paper Fig. 9, with the paper's slack)",
+         recommender, HourlyBudget(budget_per_hour=3.0, slack_dollars=0.42)),
+        ("Total budget of $13 for the whole job (paper Fig. 10 style)",
+         recommender, TotalBudget(budget_dollars=13.0)),
+        ("Minimise training cost, AWS On-Demand prices (paper Fig. 11)",
+         recommender, MinimizeCost()),
+        ("Minimise training cost, market-ratio prices (paper Fig. 12)",
+         Recommender(fitted.estimator, pricing=MARKET_RATIO), MinimizeCost()),
+    ]
+    for title, rec, objective in scenarios:
+        print(f"== {title} ==")
+        print(rec.recommend(model, IMAGENET_EPOCH, objective).summary())
+        print()
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

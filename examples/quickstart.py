@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: fit Ceer and pick the best GPU instance for a CNN.
+
+This walks the paper's core loop end to end:
+
+1. profile the 8 training-set CNNs on all four simulated AWS GPU models;
+2. fit Ceer's compute-time and communication models;
+3. predict training time and cost for a *held-out* CNN (Inception-v3) on
+   every candidate instance;
+4. recommend the cost-optimal instance and sanity-check the prediction
+   against a simulated "actually rent it and train" measurement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    IMAGENET_EPOCH,
+    MinimizeCost,
+    Recommender,
+    fit_ceer,
+    measure_training,
+)
+
+PROFILE_ITERATIONS = 150  # the paper uses 1,000; fewer keeps the demo quick
+
+
+def main() -> None:
+    print("== 1. Fitting Ceer on the 8 training-set CNNs x 4 GPU models ==")
+    fitted = fit_ceer(n_iterations=PROFILE_ITERATIONS)
+    print(fitted.diagnostics.summary())
+
+    print("\n== 2. Predicting one epoch of ImageNet for Inception-v3 ==")
+    estimator = fitted.estimator
+    for gpu_key in ("V100", "K80", "T4", "M60"):
+        prediction = estimator.predict_training(
+            "inception_v3", gpu_key, num_gpus=1, job=IMAGENET_EPOCH
+        )
+        print(
+            f"  {prediction.instance_name:<16s} ({gpu_key:5s}): "
+            f"{prediction.total_hours:6.2f} h, ${prediction.cost_dollars:7.2f}"
+        )
+
+    print("\n== 3. Recommending the cost-optimal instance ==")
+    recommendation = Recommender(estimator).recommend(
+        "inception_v3", IMAGENET_EPOCH, MinimizeCost()
+    )
+    print(recommendation.summary())
+
+    print("\n== 4. Validating against a simulated training run ==")
+    best = recommendation.best
+    observed = measure_training(
+        "inception_v3", best.gpu_key, best.num_gpus, IMAGENET_EPOCH,
+        n_profile_iterations=PROFILE_ITERATIONS, seed_context="quickstart-eval",
+    )
+    error = abs(best.total_us - observed.total_us) / observed.total_us
+    print(
+        f"  predicted {best.total_hours:.2f} h vs observed "
+        f"{observed.total_hours:.2f} h  ->  error {error:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

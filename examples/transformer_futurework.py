@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Future work, implemented: Ceer on Transformer models.
+
+The paper closes (Section VI) wondering "how Ceer performs on other types
+of DNNs, such as ... Transformer models". This example walks the full
+story:
+
+1. A CNN-trained Ceer in *strict* mode refuses to price a Transformer —
+   its core kernels (BatchMatMul, LayerNorm, Gelu, Gather) were never
+   profiled (``UnseenOperationError``, the paper's stated limitation).
+2. The default (non-strict) fallback gives answers, but wildly wrong ones.
+3. One ``learn_model`` update — profiling a *single* Transformer — makes
+   predictions accurate on *other* Transformer shapes, and the
+   communication model transfers for free (it only reads parameter
+   counts, which is exactly why the paper made it CNN-oblivious).
+4. With the updated estimator, recommend an instance for a BERT-style
+   fine-tuning job.
+
+Run:  python examples/transformer_futurework.py
+"""
+
+from repro import (
+    DatasetSpec,
+    MinimizeCost,
+    Recommender,
+    TrainingJob,
+    fit_ceer,
+    learn_model,
+    measure_training,
+)
+from repro.errors import UnseenOperationError
+from repro.models import build_transformer
+
+SEQ_LEN = 64
+BATCH = 16
+JOB = TrainingJob(DatasetSpec("nlp-corpus", 1_000_000), batch_size=BATCH)
+
+
+def main() -> None:
+    print("== 1. Fit Ceer on the paper's 8 CNNs (strict unseen-op mode) ==")
+    strict = fit_ceer(n_iterations=150, strict_unseen=True)
+    bert = build_transformer("small", batch_size=BATCH, seq_len=SEQ_LEN)
+    print(f"  target model: {bert.name} "
+          f"({bert.num_parameters / 1e6:.1f}M params, {len(bert)} ops)")
+    try:
+        strict.estimator.predict_iteration_us(bert, "V100", 1)
+    except UnseenOperationError as exc:
+        print(f"  strict Ceer refuses, as the paper predicts:\n    {exc}")
+
+    print("\n== 2. Non-strict fallback: an answer, but a bad one ==")
+    fallback = fit_ceer(n_iterations=150, train_profiles=strict.train_profiles)
+    observed = measure_training(bert, "T4", 1, JOB, n_profile_iterations=150,
+                                seed_context="demo-eval")
+    predicted = fallback.estimator.predict_iteration_us(bert, "T4", 1)
+    error = abs(predicted - observed.per_iteration_us) / observed.per_iteration_us
+    print(f"  observed {observed.per_iteration_us / 1e3:.1f} ms/iter vs "
+          f"fallback prediction {predicted / 1e3:.1f} ms/iter "
+          f"-> {error:.0%} error")
+
+    print("\n== 3. learn_model: profile ONE transformer, predict the rest ==")
+    learner = build_transformer("mini", batch_size=BATCH, seq_len=SEQ_LEN)
+    updated = learn_model(fallback, learner, n_iterations=150)
+    predicted = updated.estimator.predict_iteration_us(bert, "T4", 1)
+    error = abs(predicted - observed.per_iteration_us) / observed.per_iteration_us
+    print(f"  learned from {learner.name}; prediction for {bert.name} on T4 "
+          f"now {predicted / 1e3:.1f} ms/iter -> {error:.0%} error")
+
+    print("\n== 4. Recommend an instance for the fine-tuning job ==")
+    recommendation = Recommender(updated.estimator).recommend(
+        bert, JOB, MinimizeCost()
+    )
+    print(recommendation.summary())
+
+
+if __name__ == "__main__":
+    main()

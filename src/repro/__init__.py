@@ -1,0 +1,98 @@
+"""repro — reproduction of "Empirical Analysis and Modeling of Compute Times
+of CNN Operations on AWS Cloud" (Hafeez & Gandhi, IISWC 2020).
+
+The package implements **Ceer**, a model-driven predictor of CNN training
+time and rental cost across cloud GPU instances, together with every
+substrate the paper depends on, rebuilt in Python:
+
+* :mod:`repro.graph` — TensorFlow-style op-graph IR with autodiff expansion;
+* :mod:`repro.models` — the 12 CNNs of the paper's study;
+* :mod:`repro.hardware` — simulated AWS GPUs (V100/K80/T4/M60) with a
+  calibrated ground-truth timing law (the stand-in for physical hardware);
+* :mod:`repro.sim` — training-execution and data-parallelism simulator;
+* :mod:`repro.cloud` — the AWS instance catalog and pricing schemes;
+* :mod:`repro.profiling` — op-level measurement collection;
+* :mod:`repro.core` — Ceer itself: classification, regressions, medians,
+  the communication model, the Eq. (2) estimator, and the recommender;
+* :mod:`repro.experiments` — drivers regenerating every evaluation figure.
+
+Quickstart::
+
+    from repro import fit_ceer, Recommender, MinimizeCost, IMAGENET_EPOCH
+
+    fitted = fit_ceer(n_iterations=200)
+    rec = Recommender(fitted.estimator).recommend(
+        "inception_v3", IMAGENET_EPOCH, MinimizeCost()
+    )
+    print(rec.summary())
+"""
+
+from repro.cloud import (
+    AWS_INSTANCES,
+    MARKET_RATIO,
+    ON_DEMAND,
+    InstanceType,
+    instance_for,
+)
+from repro.core import (
+    CeerEstimator,
+    extend_ceer,
+    learn_model,
+    load_estimator,
+    save_estimator,
+    FittedCeer,
+    HourlyBudget,
+    MinimizeCost,
+    MinimizeTime,
+    Recommendation,
+    Recommender,
+    TotalBudget,
+    TrainingPrediction,
+    fit_ceer,
+)
+from repro.graph import GraphBuilder, OpGraph
+from repro.hardware import GPU_KEYS, GPU_SPECS
+from repro.models import TEST_MODELS, TRAIN_MODELS, build_model, model_names
+from repro.profiling import Profiler, ProfileDataset
+from repro.sim import measure_training
+from repro.workloads import IMAGENET, IMAGENET_EPOCH, DatasetSpec, TrainingJob
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "fit_ceer",
+    "FittedCeer",
+    "CeerEstimator",
+    "TrainingPrediction",
+    "Recommender",
+    "Recommendation",
+    "MinimizeCost",
+    "MinimizeTime",
+    "HourlyBudget",
+    "TotalBudget",
+    "build_model",
+    "model_names",
+    "TRAIN_MODELS",
+    "TEST_MODELS",
+    "GraphBuilder",
+    "OpGraph",
+    "GPU_KEYS",
+    "GPU_SPECS",
+    "AWS_INSTANCES",
+    "InstanceType",
+    "instance_for",
+    "ON_DEMAND",
+    "MARKET_RATIO",
+    "Profiler",
+    "ProfileDataset",
+    "measure_training",
+    "save_estimator",
+    "load_estimator",
+    "extend_ceer",
+    "learn_model",
+    "DatasetSpec",
+    "TrainingJob",
+    "IMAGENET",
+    "IMAGENET_EPOCH",
+    "__version__",
+]

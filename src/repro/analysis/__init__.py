@@ -1,0 +1,45 @@
+"""Analysis helpers: statistics and text-figure rendering."""
+
+from repro.analysis.breakdown import (
+    TimeBreakdown,
+    breakdown_from_profile,
+    profile_breakdown,
+)
+from repro.analysis.reporting import (
+    format_dollars,
+    format_percent,
+    format_table,
+    format_us,
+    series_block,
+)
+from repro.analysis.stats import (
+    argmin_key,
+    empirical_cdf,
+    fraction_below,
+    geometric_mean,
+    pairwise_errors,
+    percentile_of,
+    rank_agreement,
+    ratio_summary,
+    relative_reduction,
+)
+
+__all__ = [
+    "empirical_cdf",
+    "percentile_of",
+    "fraction_below",
+    "geometric_mean",
+    "ratio_summary",
+    "rank_agreement",
+    "relative_reduction",
+    "argmin_key",
+    "pairwise_errors",
+    "format_table",
+    "format_us",
+    "format_dollars",
+    "format_percent",
+    "series_block",
+    "TimeBreakdown",
+    "breakdown_from_profile",
+    "profile_breakdown",
+]

@@ -1,0 +1,68 @@
+"""Plain-text table/series rendering for experiment outputs.
+
+Every experiment driver returns structured results *and* can render them as
+the rows/series the corresponding paper figure reports; the benchmark
+harness prints these renderings. Deliberately dependency-free (no
+matplotlib): the reproduction's "figures" are aligned text tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for r in rendered:
+        lines.append("  ".join(r[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_us(value_us: float) -> str:
+    """Human-scaled time rendering for microsecond quantities."""
+    if value_us < 1e3:
+        return f"{value_us:.1f} us"
+    if value_us < 1e6:
+        return f"{value_us / 1e3:.2f} ms"
+    if value_us < 3.6e9:
+        return f"{value_us / 1e6:.2f} s"
+    return f"{value_us / 3.6e9:.2f} h"
+
+
+def format_dollars(value: float) -> str:
+    return f"${value:,.2f}"
+
+
+def format_percent(value: float) -> str:
+    return f"{value:.1%}"
+
+
+def series_block(name: str, points: Dict[object, float], value_format=format_us) -> str:
+    """Render one figure series as 'name: x=value' lines."""
+    lines = [f"{name}:"]
+    for x, y in points.items():
+        lines.append(f"  {x}: {value_format(y)}")
+    return "\n".join(lines)

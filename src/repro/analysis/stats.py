@@ -1,0 +1,88 @@
+"""Statistical helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (sorted values, cumulative fractions) — e.g. the Fig. 5 CDF."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0:
+        raise ReproError("cannot compute a CDF of zero values")
+    fractions = np.arange(1, v.size + 1) / v.size
+    return v, fractions
+
+
+def percentile_of(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0-100) of a sample."""
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly below ``threshold``."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ReproError("cannot compute a fraction of zero values")
+    return float((v < threshold).mean())
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    v = np.asarray(values, dtype=float)
+    if np.any(v <= 0):
+        raise ReproError("geometric mean requires positive values")
+    return float(np.exp(np.log(v).mean()))
+
+
+def ratio_summary(numerators: Dict[str, float], denominators: Dict[str, float]) -> Dict[str, float]:
+    """Per-key ratios numerator/denominator over the shared key set."""
+    shared = set(numerators) & set(denominators)
+    if not shared:
+        raise ReproError("no shared keys between the two mappings")
+    return {k: numerators[k] / denominators[k] for k in sorted(shared)}
+
+
+def rank_agreement(observed: Sequence[float], predicted: Sequence[float]) -> bool:
+    """True when predicted values rank items identically to observed ones.
+
+    The paper's validation emphasises that "the predicted relative ranking
+    ... is in perfect agreement with the observed ranking" (Fig. 8).
+    """
+    obs = np.asarray(observed, dtype=float)
+    pred = np.asarray(predicted, dtype=float)
+    if obs.shape != pred.shape:
+        raise ReproError("observed and predicted must have the same length")
+    return bool(np.array_equal(np.argsort(obs), np.argsort(pred)))
+
+
+def relative_reduction(baseline: float, improved: float) -> float:
+    """(baseline - improved) / baseline, e.g. Fig. 6's scaling reductions."""
+    if baseline <= 0:
+        raise ReproError("baseline must be positive")
+    return (baseline - improved) / baseline
+
+
+def argmin_key(scores: Dict[str, float]) -> str:
+    """Key with the minimal score (deterministic tie-break by key order)."""
+    if not scores:
+        raise ReproError("argmin over an empty mapping")
+    return min(sorted(scores), key=lambda k: scores[k])
+
+
+def pairwise_errors(
+    observed: Dict[str, float], predicted: Dict[str, float]
+) -> List[Tuple[str, float]]:
+    """|pred-obs|/obs per shared key, sorted by key."""
+    shared = sorted(set(observed) & set(predicted))
+    if not shared:
+        raise ReproError("no shared keys between observed and predicted")
+    out = []
+    for k in shared:
+        if observed[k] <= 0:
+            raise ReproError(f"observed value for {k!r} must be positive")
+        out.append((k, abs(predicted[k] - observed[k]) / observed[k]))
+    return out

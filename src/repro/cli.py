@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``models`` — list the CNN zoo with op/parameter counts.
+* ``fit`` — run the offline phase (profile + fit) and save the estimator.
+* ``predict`` — training time/cost of one CNN on one instance.
+* ``recommend`` — optimal-instance recommendation under an objective.
+* ``tradeoff`` — the full time-cost Pareto frontier across instances.
+* ``figures`` — regenerate paper figures by name (or ``all``).
+
+Example session::
+
+    python -m repro fit --output ceer.json --iterations 300
+    python -m repro recommend --estimator ceer.json --model inception_v3 \
+        --objective min-cost
+    python -m repro figures fig11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.cloud.pricing import MARKET_RATIO, ON_DEMAND
+from repro.core.estimator import CeerEstimator
+from repro.core.fit import fit_ceer
+from repro.core.persistence import load_estimator, save_estimator
+from repro.core.recommend import (
+    HourlyBudget,
+    MinimizeCost,
+    MinimizeTime,
+    Recommender,
+    TotalBudget,
+)
+from repro.errors import ReproError
+from repro.graph.serialization import load_graph
+from repro.models.zoo import build_model, model_names
+from repro.workloads.dataset import DatasetSpec, TrainingJob
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ceer (IISWC 2020 reproduction): CNN training time/cost "
+                    "prediction and instance recommendation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the CNN zoo")
+
+    fit = sub.add_parser("fit", help="profile training CNNs and fit Ceer")
+    fit.add_argument("--output", required=True, help="path for the estimator JSON")
+    fit.add_argument("--iterations", type=int, default=300,
+                     help="profiling iterations per (model, GPU); paper: 1000")
+    fit.add_argument("--placement", default="single-host",
+                     choices=("single-host", "multi-host"),
+                     help="GPU topology the comm model is trained for")
+
+    def add_workload_args(p):
+        p.add_argument("--model", help="zoo model name")
+        p.add_argument("--graph", help="path to a serialized op-graph JSON")
+        p.add_argument("--samples", type=int, default=1_200_000,
+                       help="training samples per epoch (default: ImageNet)")
+        p.add_argument("--batch", type=int, default=32, help="batch per GPU")
+        p.add_argument("--epochs", type=int, default=1)
+        p.add_argument("--market-prices", action="store_true",
+                       help="use commodity market-ratio prices (paper Fig. 12)")
+
+    predict = sub.add_parser("predict", help="predict time/cost on one instance")
+    predict.add_argument("--estimator", required=True)
+    add_workload_args(predict)
+    predict.add_argument("--gpu", required=True,
+                         help="GPU model (V100/K80/T4/M60) or family (P3/P2/G4/G3)")
+    predict.add_argument("--gpus", type=int, default=1, help="GPU count")
+
+    rec = sub.add_parser("recommend", help="recommend the optimal instance")
+    rec.add_argument("--estimator", required=True)
+    add_workload_args(rec)
+    rec.add_argument("--objective", default="min-cost",
+                     choices=("min-cost", "min-time", "hourly-budget",
+                              "total-budget"))
+    rec.add_argument("--budget", type=float,
+                     help="$/hr for hourly-budget, $ total for total-budget")
+    rec.add_argument("--slack", type=float, default=0.0,
+                     help="hourly-budget slack in dollars (paper uses 0.42)")
+
+    tradeoff = sub.add_parser(
+        "tradeoff", help="show the full time-cost Pareto frontier"
+    )
+    tradeoff.add_argument("--estimator", required=True)
+    add_workload_args(tradeoff)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("names", nargs="+",
+                         help="figure names (fig2..fig12, ablations) or 'all'")
+    figures.add_argument("--iterations", type=int, default=300)
+    figures.add_argument("--output",
+                         help="also write the rendered figures to this file")
+    return parser
+
+
+def _resolve_model(args):
+    if args.graph:
+        return load_graph(args.graph)
+    if args.model:
+        build_model(args.model, batch_size=args.batch)  # validate eagerly
+        return args.model
+    raise ReproError("provide either --model <zoo name> or --graph <path>")
+
+
+def _resolve_job(args) -> TrainingJob:
+    dataset = DatasetSpec("cli-dataset", num_samples=args.samples)
+    return TrainingJob(dataset, batch_size=args.batch, epochs=args.epochs)
+
+
+def _resolve_objective(args):
+    if args.objective == "min-cost":
+        return MinimizeCost()
+    if args.objective == "min-time":
+        return MinimizeTime()
+    if args.objective == "hourly-budget":
+        if args.budget is None:
+            raise ReproError("--budget is required for hourly-budget")
+        return HourlyBudget(budget_per_hour=args.budget, slack_dollars=args.slack)
+    if args.budget is None:
+        raise ReproError("--budget is required for total-budget")
+    return TotalBudget(budget_dollars=args.budget)
+
+
+def _cmd_models(args, out) -> int:
+    rows = []
+    for name in sorted(model_names()):
+        graph = build_model(name, batch_size=32)
+        rows.append(
+            [name, len(graph), len(graph.op_type_counts()),
+             f"{graph.num_parameters / 1e6:.1f}M"]
+        )
+    print(
+        format_table(["model", "ops", "unique op types", "parameters"], rows,
+                     title="CNN zoo (paper, Section III)"),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_fit(args, out) -> int:
+    fitted = fit_ceer(n_iterations=args.iterations, placement=args.placement)
+    save_estimator(fitted.estimator, args.output)
+    print(fitted.diagnostics.summary(), file=out)
+    print(f"estimator saved to {args.output}", file=out)
+    return 0
+
+
+def _load(path: str) -> CeerEstimator:
+    return load_estimator(path)
+
+
+def _cmd_predict(args, out) -> int:
+    estimator = _load(args.estimator)
+    model = _resolve_model(args)
+    job = _resolve_job(args)
+    pricing = MARKET_RATIO if args.market_prices else ON_DEMAND
+    prediction = estimator.predict_training(
+        model, args.gpu, args.gpus, job, pricing=pricing
+    )
+    print(
+        f"{prediction.model} on {prediction.instance_name} "
+        f"({prediction.num_gpus}x {prediction.gpu_key}):", file=out,
+    )
+    print(f"  per-iteration: {prediction.per_iteration_us / 1e3:.2f} ms "
+          f"(compute {prediction.compute_us_per_iteration / 1e3:.2f} ms + "
+          f"sync {prediction.comm_overhead_us / 1e3:.2f} ms)", file=out)
+    print(f"  training time: {prediction.total_hours:.2f} h over "
+          f"{prediction.iterations:.0f} iterations", file=out)
+    print(f"  training cost: ${prediction.cost_dollars:.2f} at "
+          f"${prediction.hourly_cost:.3f}/hr", file=out)
+    return 0
+
+
+def _cmd_recommend(args, out) -> int:
+    estimator = _load(args.estimator)
+    model = _resolve_model(args)
+    job = _resolve_job(args)
+    pricing = MARKET_RATIO if args.market_prices else ON_DEMAND
+    recommendation = Recommender(estimator, pricing=pricing).recommend(
+        model, job, _resolve_objective(args)
+    )
+    print(recommendation.summary(), file=out)
+    return 0
+
+
+def _cmd_tradeoff(args, out) -> int:
+    from repro.core.pareto import analyze_tradeoff
+
+    estimator = _load(args.estimator)
+    model = _resolve_model(args)
+    job = _resolve_job(args)
+    pricing = MARKET_RATIO if args.market_prices else ON_DEMAND
+    analysis = analyze_tradeoff(
+        Recommender(estimator, pricing=pricing), model, job
+    )
+    print(analysis.render(), file=out)
+    knee = analysis.knee()
+    print(
+        f"knee of the frontier: {knee.instance_name} "
+        f"({knee.total_hours:.2f} h, ${knee.cost_dollars:.2f})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_figures(args, out) -> int:
+    from repro import experiments
+
+    available = {
+        "fig2": experiments.run_fig2, "fig3": experiments.run_fig3,
+        "fig4": experiments.run_fig4, "fig5": experiments.run_fig5,
+        "fig6": experiments.run_fig6, "fig7": experiments.run_fig7,
+        "fig8": experiments.run_fig8, "fig9": experiments.run_fig9,
+        "fig10": experiments.run_fig10, "fig11": experiments.run_fig11,
+        "fig12": experiments.run_fig12, "ablations": experiments.run_ablations,
+    }
+    names = list(available) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in available]
+    if unknown:
+        raise ReproError(
+            f"unknown figures {unknown}; available: {', '.join(available)}, all"
+        )
+    sections = []
+    for name in names:
+        result = available[name](n_iterations=args.iterations)
+        section = f"{'=' * 72}\n{name}\n{'=' * 72}\n{result.render()}"
+        print(f"\n{section}", file=out)
+        sections.append(section)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text("\n\n".join(sections) + "\n")
+        print(f"\nreport written to {args.output}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "fit": _cmd_fit,
+    "predict": _cmd_predict,
+    "recommend": _cmd_recommend,
+    "tradeoff": _cmd_tradeoff,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

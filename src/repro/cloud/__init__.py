@@ -1,0 +1,31 @@
+"""Cloud catalog: AWS GPU instances and pricing schemes (paper, Sections II & V)."""
+
+from repro.cloud.catalog import (
+    AWS_INSTANCES,
+    InstanceType,
+    candidate_instances,
+    instance_by_name,
+    instance_for,
+)
+from repro.cloud.pricing import (
+    MARKET_HOURLY_PER_GPU,
+    MARKET_RATIO,
+    ON_DEMAND,
+    MarketRatioPricing,
+    OnDemandPricing,
+    PricingScheme,
+)
+
+__all__ = [
+    "InstanceType",
+    "AWS_INSTANCES",
+    "instance_by_name",
+    "instance_for",
+    "candidate_instances",
+    "PricingScheme",
+    "OnDemandPricing",
+    "MarketRatioPricing",
+    "ON_DEMAND",
+    "MARKET_RATIO",
+    "MARKET_HOURLY_PER_GPU",
+]

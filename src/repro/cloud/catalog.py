@@ -1,0 +1,117 @@
+"""AWS GPU instance catalog: the 8 EC2 instances of the paper's evaluation.
+
+Section V of the paper uses four single-GPU instances and four multi-GPU
+instances (>= 4 GPUs each), with On-Demand hourly prices as published in
+2020. It also needs configurations AWS does not sell — e.g. a 3-GPU P2
+instance — and handles them by running k of the GPUs of a larger instance
+and billing k/n of its rental cost. :func:`instance_for` implements exactly
+that proxy rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CatalogError
+from repro.hardware.gpus import GPU_SPECS, gpu_spec
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One rentable cloud configuration.
+
+    Attributes:
+        name: AWS instance type name; proxy configurations get a suffix
+            like ``"p2.8xlarge[3/8]"``.
+        gpu_key: GPU model key (``"V100"``, ``"K80"``, ``"T4"``, ``"M60"``).
+        num_gpus: GPUs actually *used* by the configuration.
+        hourly_cost: rental cost in $/hr (already prorated for proxies).
+        proxy_of: for proxy configurations, the name of the real instance
+            whose hardware hosts them; ``None`` for real instances.
+    """
+
+    name: str
+    gpu_key: str
+    num_gpus: int
+    hourly_cost: float
+    proxy_of: Optional[str] = None
+
+    @property
+    def family(self) -> str:
+        return gpu_spec(self.gpu_key).family
+
+    @property
+    def cost_per_us(self) -> float:
+        """Rental cost per microsecond — the paper's Fig. 3 normalisation
+        (hourly cost divided by the 3.6e9 microseconds in an hour)."""
+        return self.hourly_cost / 3.6e9
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.num_gpus}x {self.gpu_key}, ${self.hourly_cost:.3f}/hr)"
+
+
+#: The 8 instances of Section V, with their On-Demand prices.
+AWS_INSTANCES: Tuple[InstanceType, ...] = (
+    InstanceType("p3.2xlarge", "V100", 1, 3.06),
+    InstanceType("p2.xlarge", "K80", 1, 0.90),
+    InstanceType("g4dn.2xlarge", "T4", 1, 0.752),
+    InstanceType("g3s.xlarge", "M60", 1, 0.75),
+    InstanceType("p3.8xlarge", "V100", 4, 12.24),
+    InstanceType("p2.8xlarge", "K80", 8, 7.20),
+    InstanceType("g4dn.12xlarge", "T4", 4, 3.912),
+    InstanceType("g3.16xlarge", "M60", 4, 4.56),
+)
+
+_BY_NAME: Dict[str, InstanceType] = {inst.name: inst for inst in AWS_INSTANCES}
+
+
+def instance_by_name(name: str) -> InstanceType:
+    """Look up a real AWS instance by its type name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise CatalogError(
+            f"unknown instance type {name!r}; known: {sorted(_BY_NAME)}"
+        )
+
+
+def instance_for(gpu_key: str, num_gpus: int) -> InstanceType:
+    """The cheapest way to rent ``num_gpus`` GPUs of a given model.
+
+    Exact matches are returned as-is. When AWS offers no exact match (e.g.
+    3-GPU anything, or 2-GPU P3), the smallest larger instance is prorated:
+    "we employ the 8-GPU instance but only use 3 of the available GPUs;
+    for cost, we use 3/8th of the rental cost" (paper, Section V).
+    """
+    key = gpu_spec(gpu_key).key  # normalise family names like "P3"
+    if num_gpus < 1:
+        raise CatalogError(f"num_gpus must be >= 1, got {num_gpus}")
+    candidates = [inst for inst in AWS_INSTANCES if inst.gpu_key == key]
+    exact = [inst for inst in candidates if inst.num_gpus == num_gpus]
+    if exact:
+        return min(exact, key=lambda inst: inst.hourly_cost)
+    larger = [inst for inst in candidates if inst.num_gpus > num_gpus]
+    if not larger:
+        biggest = max(inst.num_gpus for inst in candidates)
+        raise CatalogError(
+            f"no {key} instance with >= {num_gpus} GPUs (largest is {biggest})"
+        )
+    host = min(larger, key=lambda inst: inst.num_gpus)
+    prorated = host.hourly_cost * num_gpus / host.num_gpus
+    return InstanceType(
+        name=f"{host.name}[{num_gpus}/{host.num_gpus}]",
+        gpu_key=key,
+        num_gpus=num_gpus,
+        hourly_cost=prorated,
+        proxy_of=host.name,
+    )
+
+
+def candidate_instances(max_gpus: int = 4) -> List[InstanceType]:
+    """All (GPU model, 1..max_gpus) configurations the recommender considers."""
+    out: List[InstanceType] = []
+    for key in GPU_SPECS:
+        for k in range(1, max_gpus + 1):
+            out.append(instance_for(key, k))
+    return out

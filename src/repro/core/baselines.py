@@ -1,0 +1,218 @@
+"""Baseline predictors and naive strategies Ceer is evaluated against.
+
+The paper positions Ceer against (Sections I, V, VII):
+
+* **PALEO-style** prediction [43]: per-iteration time as a linear model of
+  the iteration's total floating-point operation count, per GPU — no
+  input-size features, no communication model.
+* **Layer-level regression** (Giannini et al. [4], Cai et al. [17]):
+  regression over the big layer kernels only (convolutions, matmuls,
+  pooling), "ignoring small operations and CPU operations" and all
+  communication — the paper attributes their up-to-22% errors to this.
+* **Heavy-ops-only Ceer** (Section IV-B ablation): full Ceer minus the
+  light/CPU medians; costs 15-25% accuracy.
+* **No-communication Ceer** (Section IV-A ablation, Eq. (1) vs Eq. (2)):
+  costs 5-20% on 1 GPU (AlexNet ~30%), more on multi-GPU.
+* **Naive strategies** (Sections I, V): always rent the cheapest instance,
+  or always rent the latest-generation (P3) instance — AWS's default
+  listing. Ceer saves up to 36%/44% cost against these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.catalog import InstanceType
+from repro.cloud.pricing import ON_DEMAND, PricingScheme
+from repro.errors import CatalogError, ModelingError
+from repro.graph.flops import graph_flops
+from repro.graph.graph import OpGraph
+from repro.models.zoo import build_model
+from repro.sim.executor import run_iterations
+from repro.workloads.dataset import TrainingJob
+from repro.core.estimator import CeerEstimator, TrainingPrediction
+from repro.core.regression import RegressionModel, fit_regression
+
+#: Layer-kernel op types the layer-level baseline models (everything else,
+#: including all light/CPU ops and communication, is ignored).
+LAYER_LEVEL_OP_TYPES = frozenset(
+    {
+        "Conv2D", "Conv2DBackpropInput", "Conv2DBackpropFilter", "MatMul",
+        "MaxPool", "MaxPoolGrad", "AvgPool", "AvgPoolGrad",
+    }
+)
+
+
+def heavy_only_variant(estimator: CeerEstimator) -> CeerEstimator:
+    """Ceer without light/CPU medians (Section IV-B ablation)."""
+    return CeerEstimator(
+        estimator.compute_models, estimator.comm_model,
+        include_communication=estimator.include_communication, heavy_only=True,
+    )
+
+
+def no_comm_variant(estimator: CeerEstimator) -> CeerEstimator:
+    """Ceer without the communication term — Eq. (1) (Section IV-A ablation)."""
+    return CeerEstimator(
+        estimator.compute_models, estimator.comm_model,
+        include_communication=False, heavy_only=estimator.heavy_only,
+    )
+
+
+@dataclass
+class PaleoStyleEstimator:
+    """Per-GPU linear model: per-iteration time ~ total iteration FLOPs.
+
+    Fit on whole-model observations of the training CNNs; predicts from a
+    new CNN's static FLOP count. Ignores input sizes, op mix, light/CPU
+    ops, and communication — the limitations Section VII calls out.
+    """
+
+    models: Dict[str, RegressionModel]
+
+    @classmethod
+    def fit(
+        cls,
+        train_models: Sequence[str],
+        gpu_keys: Sequence[str],
+        n_iterations: int = 200,
+        batch_size: int = 32,
+    ) -> "PaleoStyleEstimator":
+        fitted: Dict[str, RegressionModel] = {}
+        for gpu_key in gpu_keys:
+            rows, targets = [], []
+            for name in train_models:
+                graph = build_model(name, batch_size=batch_size)
+                profile = run_iterations(graph, gpu_key, n_iterations)
+                rows.append([graph_flops(graph.operations) / 1e9])
+                targets.append(profile.compute_us)
+            fitted[gpu_key] = fit_regression(
+                np.asarray(rows), np.asarray(targets), ("gflops",),
+                allow_quadratic=False,
+            )
+        return cls(models=fitted)
+
+    def predict_iteration_us(self, model: Union[str, OpGraph], gpu_key: str,
+                             num_gpus: int = 1, batch_size: int = 32) -> float:
+        graph = (
+            build_model(model, batch_size=batch_size)
+            if isinstance(model, str) else model
+        )
+        from repro.hardware.gpus import gpu_spec
+
+        key = gpu_spec(gpu_key).key
+        if key not in self.models:
+            raise ModelingError(f"PALEO baseline was not fit for GPU {key!r}")
+        return self.models[key].predict_one([graph_flops(graph.operations) / 1e9])
+
+
+@dataclass
+class LayerLevelEstimator:
+    """Giannini-style layer-level regression baseline.
+
+    Per-(GPU, layer-kernel op type) regressions on input-size features —
+    but *only* for the layer kernels in :data:`LAYER_LEVEL_OP_TYPES`;
+    small GPU ops, CPU ops, and communication are all ignored.
+    """
+
+    models: Dict[Tuple[str, str], RegressionModel]
+
+    @classmethod
+    def fit(cls, train_profiles, classification=None) -> "LayerLevelEstimator":
+        from repro.profiling.features import feature_schema
+
+        fitted: Dict[Tuple[str, str], RegressionModel] = {}
+        gpu_records = train_profiles.gpu_records()
+        for gpu_key in gpu_records.gpu_keys():
+            per_gpu = gpu_records.for_gpu(gpu_key)
+            for op_type in LAYER_LEVEL_OP_TYPES:
+                subset = per_gpu.for_op_type(op_type)
+                if len(subset) < 4:
+                    continue
+                x = np.asarray([r.features for r in subset])
+                y = np.asarray([r.mean_us for r in subset])
+                fitted[(gpu_key, op_type)] = fit_regression(
+                    x, y, feature_schema(op_type), allow_quadratic=False
+                )
+        return cls(models=fitted)
+
+    def predict_iteration_us(self, model: Union[str, OpGraph], gpu_key: str,
+                             num_gpus: int = 1, batch_size: int = 32) -> float:
+        from repro.hardware.gpus import gpu_spec
+        from repro.profiling.features import features_for
+
+        graph = (
+            build_model(model, batch_size=batch_size)
+            if isinstance(model, str) else model
+        )
+        key = gpu_spec(gpu_key).key
+        total = 0.0
+        for op in graph:
+            regression = self.models.get((key, op.op_type))
+            if regression is not None:
+                total += regression.predict_one(features_for(op))
+        if total == 0.0:
+            raise ModelingError(
+                f"layer-level baseline has no fitted kernels for GPU {key!r}"
+            )
+        return total
+
+
+# ---------------------------------------------------------------------------
+# naive instance-selection strategies (paper, Sections I and V)
+# ---------------------------------------------------------------------------
+
+def cheapest_instance_strategy(
+    pricing: PricingScheme = ON_DEMAND,
+    gpu_keys: Sequence[str] = ("V100", "K80", "T4", "M60"),
+    num_gpus: int = 1,
+) -> InstanceType:
+    """"Pick the cheapest instance": lowest hourly cost at a GPU count."""
+    candidates = [pricing.instance(key, num_gpus) for key in gpu_keys]
+    return min(candidates, key=lambda inst: inst.hourly_cost)
+
+
+def latest_gpu_strategy(
+    pricing: PricingScheme = ON_DEMAND,
+    num_gpus: int = 1,
+    budget_per_hour: Optional[float] = None,
+) -> InstanceType:
+    """"Pick the latest GPU" (AWS's default P3 listing; Section V).
+
+    With a budget, returns the largest P3 configuration that fits — the
+    Fig. 9 baseline ("pick the largest P3 instance that fits the budget").
+    """
+    if budget_per_hour is None:
+        return pricing.instance("V100", num_gpus)
+    best: Optional[InstanceType] = None
+    for k in range(1, 9):
+        try:
+            inst = pricing.instance("V100", k)
+        except CatalogError:
+            break
+        if inst.hourly_cost <= budget_per_hour:
+            best = inst  # keep the largest configuration under budget
+    if best is None:
+        raise ModelingError(f"no P3 instance fits ${budget_per_hour:.2f}/hr")
+    return best
+
+
+def strategy_cost_comparison(
+    ceer_prediction: TrainingPrediction,
+    alternative_predictions: Sequence[TrainingPrediction],
+) -> List[Tuple[str, float]]:
+    """Relative extra cost of each alternative over Ceer's pick.
+
+    Returns (instance name, cost ratio) pairs; a ratio of 1.6 means the
+    alternative costs 1.6x Ceer's recommendation (paper: 1.6x for the
+    cheapest-instance strategy, 1.8x for the most powerful, Fig. 11).
+    """
+    base = ceer_prediction.cost_dollars
+    if base <= 0:
+        raise ModelingError("Ceer prediction has non-positive cost")
+    return [
+        (p.instance_name, p.cost_dollars / base) for p in alternative_predictions
+    ]

@@ -1,0 +1,144 @@
+"""The Ceer estimator: training time and cost for any CNN on any instance.
+
+Implements the paper's Eq. (2)::
+
+    T^k_CNN,GPU = ( S_GPU(CNN) + sum_i t_GPU,op_i(input_i) ) * D / (k * B)
+
+and the cost relation ``C = T * c_GPU,k``. The per-op sum comes from
+:class:`~repro.core.op_models.ComputeTimeModels`, the overhead from
+:class:`~repro.core.comm_model.CommunicationModel`, and the instance price
+from a :class:`~repro.cloud.pricing.PricingScheme`.
+
+Constructor flags reproduce the paper's two accuracy ablations: dropping
+the communication term (Eq. (1); Section IV-A shows 5-30% extra error) and
+dropping light/CPU contributions (Section IV-B; 15-25% extra error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.cloud.catalog import InstanceType
+from repro.cloud.pricing import ON_DEMAND, PricingScheme
+from repro.graph.graph import OpGraph
+from repro.models.zoo import build_model
+from repro.workloads.dataset import TrainingJob
+from repro.core.comm_model import CommunicationModel
+from repro.core.op_models import ComputeTimeModels
+
+
+@dataclass(frozen=True)
+class TrainingPrediction:
+    """Ceer's estimate for one (CNN, instance) deployment."""
+
+    model: str
+    gpu_key: str
+    num_gpus: int
+    instance_name: str
+    hourly_cost: float
+    compute_us_per_iteration: float
+    comm_overhead_us: float
+    iterations: float
+
+    @property
+    def per_iteration_us(self) -> float:
+        return self.compute_us_per_iteration + self.comm_overhead_us
+
+    @property
+    def total_us(self) -> float:
+        return self.per_iteration_us * self.iterations
+
+    @property
+    def total_hours(self) -> float:
+        return self.total_us / 3.6e9
+
+    @property
+    def cost_dollars(self) -> float:
+        return self.total_hours * self.hourly_cost
+
+
+class CeerEstimator:
+    """Predicts training time and cost for arbitrary CNNs (paper, Section IV).
+
+    Args:
+        compute_models: fitted per-op compute-time models.
+        comm_model: fitted per-(GPU, k) communication-overhead models.
+        include_communication: set False to reproduce the Eq. (1) ablation.
+        heavy_only: set True to reproduce the heavy-ops-only ablation.
+    """
+
+    def __init__(
+        self,
+        compute_models: ComputeTimeModels,
+        comm_model: CommunicationModel,
+        include_communication: bool = True,
+        heavy_only: bool = False,
+    ) -> None:
+        self.compute_models = compute_models
+        self.comm_model = comm_model
+        self.include_communication = include_communication
+        self.heavy_only = heavy_only
+
+    # ------------------------------------------------------------------
+    def predict_iteration_us(
+        self, model: Union[str, OpGraph], gpu_key: str, num_gpus: int = 1,
+        batch_size: int = 32,
+    ) -> float:
+        """Per-iteration training time estimate (the bracket of Eq. (2))."""
+        from repro.hardware.gpus import gpu_spec
+
+        gpu_key = gpu_spec(gpu_key).key  # accept family aliases like "P3"
+        graph = (
+            build_model(model, batch_size=batch_size)
+            if isinstance(model, str)
+            else model
+        )
+        compute = self.compute_models.predict_graph_us(
+            graph, gpu_key, heavy_only=self.heavy_only
+        )
+        comm = (
+            self.comm_model.predict_us(gpu_key, num_gpus, graph.num_parameters)
+            if self.include_communication
+            else 0.0
+        )
+        return compute + comm
+
+    def predict_training(
+        self,
+        model: Union[str, OpGraph],
+        gpu_key: str,
+        num_gpus: int,
+        job: TrainingJob,
+        pricing: PricingScheme = ON_DEMAND,
+        instance: Optional[InstanceType] = None,
+    ) -> TrainingPrediction:
+        """Full Eq. (2) + cost prediction for a training job on an instance."""
+        from repro.hardware.gpus import gpu_spec
+
+        gpu_key = gpu_spec(gpu_key).key  # accept family aliases like "P3"
+        graph = (
+            build_model(model, batch_size=job.batch_size)
+            if isinstance(model, str)
+            else model
+        )
+        compute = self.compute_models.predict_graph_us(
+            graph, gpu_key, heavy_only=self.heavy_only
+        )
+        comm = (
+            self.comm_model.predict_us(gpu_key, num_gpus, graph.num_parameters)
+            if self.include_communication
+            else 0.0
+        )
+        if instance is None:
+            instance = pricing.instance(gpu_key, num_gpus)
+        return TrainingPrediction(
+            model=graph.name,
+            gpu_key=instance.gpu_key,
+            num_gpus=num_gpus,
+            instance_name=instance.name,
+            hourly_cost=instance.hourly_cost,
+            compute_us_per_iteration=compute,
+            comm_overhead_us=comm,
+            iterations=job.iterations(num_gpus),
+        )

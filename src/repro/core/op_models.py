@@ -1,0 +1,182 @@
+"""Per-operation compute-time models: regressions for heavy ops, medians
+for light and CPU ops (paper, Section IV-B).
+
+``t_GPU,op(input)`` — the function at the heart of the paper's Eq. (1)/(2):
+
+* heavy GPU op: a per-(GPU model, op type) regression on input-size
+  features, linear or quadratic (selected automatically);
+* light GPU op: the global sample median ``t~_l`` over all light-op
+  instances in all training CNNs across all GPU types;
+* CPU op: the global sample median ``t~_c``, likewise.
+
+The median estimators are deliberately GPU-, CNN-, and op-oblivious, "to
+avoid the unfair impact of possible outliers" — reproduced verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelingError, UnseenOperationError
+from repro.graph.ops import Device, Operation
+from repro.profiling.features import feature_schema, features_for
+from repro.profiling.records import ProfileDataset
+from repro.core.classify import CPU, HEAVY, LIGHT, OpClassification
+from repro.core.regression import RegressionModel, fit_proportional, fit_regression
+
+
+@dataclass(frozen=True)
+class HeavyOpModel:
+    """The fitted compute-time regression for one (GPU model, op type)."""
+
+    gpu_key: str
+    op_type: str
+    regression: RegressionModel
+
+    def predict_us(self, features) -> float:
+        return self.regression.predict_one(features)
+
+
+@dataclass
+class ComputeTimeModels:
+    """All fitted ``t_GPU,op`` functions plus the classification they use.
+
+    Attributes:
+        classification: the heavy/light/CPU partition.
+        heavy_models: (gpu_key, op_type) -> :class:`HeavyOpModel`.
+        light_median_us: the paper's ``t~_l``.
+        cpu_median_us: the paper's ``t~_c``.
+        strict_unseen: when True, predicting an unclassified GPU op type
+            raises :class:`UnseenOperationError` (the paper's stated
+            limitation); when False, unseen types fall back to the light
+            median — the paper's policy for unseen *light/CPU* ops.
+    """
+
+    classification: OpClassification
+    heavy_models: Dict[Tuple[str, str], HeavyOpModel]
+    light_median_us: float
+    cpu_median_us: float
+    strict_unseen: bool = False
+    #: Per-(gpu, op type) training R² values (diagnostics; paper: 0.84-0.98).
+    train_r2: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def predict_op_us(self, op: Operation, gpu_key: str) -> float:
+        """Estimate the compute time of one operation on one GPU model."""
+        if op.device is Device.CPU:
+            return self.cpu_median_us
+        if not self.classification.knows(op.op_type):
+            if self.strict_unseen:
+                raise UnseenOperationError(op.op_type, gpu_key)
+            return self.light_median_us
+        kind = self.classification.kind(op.op_type)
+        if kind == CPU:
+            return self.cpu_median_us
+        if kind == LIGHT:
+            return self.light_median_us
+        model = self.heavy_models.get((gpu_key, op.op_type))
+        if model is None:
+            raise UnseenOperationError(op.op_type, gpu_key)
+        return model.predict_us(features_for(op))
+
+    def predict_graph_us(
+        self,
+        graph,
+        gpu_key: str,
+        include_light: bool = True,
+        include_cpu: bool = True,
+        heavy_only: bool = False,
+    ) -> float:
+        """Sum of per-op estimates over a graph — the Σ term of Eq. (1)/(2).
+
+        ``heavy_only`` (or unsetting the include flags) reproduces the
+        paper's Section IV-B ablation: dropping light/CPU contributions
+        raises error to 15-25%.
+        """
+        if heavy_only:
+            include_light = include_cpu = False
+        total = 0.0
+        for op in graph:
+            if op.device is Device.CPU:
+                if include_cpu:
+                    total += self.cpu_median_us
+                continue
+            known = self.classification.knows(op.op_type)
+            kind = self.classification.kind(op.op_type) if known else LIGHT
+            if kind == HEAVY:
+                total += self.predict_op_us(op, gpu_key)
+            elif include_light:
+                total += self.predict_op_us(op, gpu_key)
+        return total
+
+    def heavy_op_types(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.classification.heavy))
+
+
+def fit_compute_models(
+    train_profiles: ProfileDataset,
+    classification: OpClassification,
+    allow_quadratic: bool = True,
+    strict_unseen: bool = False,
+    light_estimator: str = "median",
+) -> ComputeTimeModels:
+    """Fit every ``t_GPU,op`` model from training-set profiles.
+
+    One regression per (GPU model, heavy op type) on that op type's size
+    features; a single global estimate each for light and CPU ops.
+
+    ``light_estimator`` selects how the light/CPU estimates are pooled:
+    ``"median"`` (the paper's choice, robust to outliers) or ``"mean"``
+    (the alternative the paper rejects — exposed for the ablation that
+    justifies the choice).
+    """
+    if not train_profiles:
+        raise ModelingError("cannot fit compute models from an empty profile set")
+    if light_estimator not in ("median", "mean"):
+        raise ModelingError(
+            f"light_estimator must be 'median' or 'mean', got {light_estimator!r}"
+        )
+
+    heavy_models: Dict[Tuple[str, str], HeavyOpModel] = {}
+    train_r2: Dict[Tuple[str, str], float] = {}
+    gpu_records = train_profiles.gpu_records()
+    for gpu_key in gpu_records.gpu_keys():
+        per_gpu = gpu_records.for_gpu(gpu_key)
+        for op_type in classification.heavy:
+            subset = per_gpu.for_op_type(op_type)
+            if not subset:
+                continue  # never seen on this GPU; predict_op raises later
+            x = np.asarray([r.features for r in subset], dtype=float)
+            y = np.asarray([r.mean_us for r in subset], dtype=float)
+            if len(subset) >= x.shape[1] + 2:
+                regression = fit_regression(
+                    x, y, feature_schema(op_type), allow_quadratic=allow_quadratic
+                )
+            else:
+                # Rare op types (e.g. LRN: two instances per network) get a
+                # proportional input-size model instead of a full OLS fit.
+                regression = fit_proportional(x, y, feature_schema(op_type))
+            heavy_models[(gpu_key, op_type)] = HeavyOpModel(gpu_key, op_type, regression)
+            train_r2[(gpu_key, op_type)] = regression.r2
+
+    light_times = [
+        r.median_us for r in gpu_records if r.op_type in classification.light
+    ]
+    cpu_times = [r.median_us for r in train_profiles.cpu_records()]
+    if not light_times:
+        raise ModelingError("no light-op observations in training profiles")
+    if not cpu_times:
+        raise ModelingError("no CPU-op observations in training profiles")
+    pool = np.median if light_estimator == "median" else np.mean
+
+    return ComputeTimeModels(
+        classification=classification,
+        heavy_models=heavy_models,
+        light_median_us=float(pool(light_times)),
+        cpu_median_us=float(pool(cpu_times)),
+        strict_unseen=strict_unseen,
+        train_r2=train_r2,
+    )

@@ -1,0 +1,133 @@
+"""Time-cost Pareto analysis across candidate instances.
+
+Every scenario in the paper's Section V is a point query on the same
+underlying object: the (training time, training cost) frontier across
+instance configurations. This module materialises that frontier —
+configurations not dominated by any other (faster *and* cheaper) — which
+lets a practitioner see the whole tradeoff at once instead of re-running
+the recommender per objective:
+
+* the min-cost recommendation is the frontier's cheapest point;
+* the min-time recommendation is its fastest point;
+* every budget-constrained optimum is the frontier point just inside the
+  budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.analysis.reporting import format_dollars, format_table, format_us
+from repro.errors import RecommendationError
+from repro.graph.graph import OpGraph
+from repro.workloads.dataset import TrainingJob
+from repro.core.estimator import TrainingPrediction
+from repro.core.recommend import Recommender
+
+
+def pareto_frontier(
+    predictions: Sequence[TrainingPrediction],
+) -> List[TrainingPrediction]:
+    """Return the non-dominated predictions, sorted fastest-first.
+
+    A prediction is dominated when another is at least as fast *and* at
+    least as cheap (and strictly better on one axis). Ties on both axes
+    keep the first occurrence.
+    """
+    if not predictions:
+        raise RecommendationError("pareto_frontier needs at least one prediction")
+    by_time = sorted(predictions, key=lambda p: (p.total_us, p.cost_dollars))
+    frontier: List[TrainingPrediction] = []
+    best_cost = float("inf")
+    for prediction in by_time:
+        if prediction.cost_dollars < best_cost:
+            frontier.append(prediction)
+            best_cost = prediction.cost_dollars
+    return frontier
+
+
+@dataclass
+class ParetoAnalysis:
+    """The full sweep plus its frontier for one (model, job) pair."""
+
+    model: str
+    predictions: List[TrainingPrediction]
+    frontier: List[TrainingPrediction]
+
+    @property
+    def fastest(self) -> TrainingPrediction:
+        return self.frontier[0]
+
+    @property
+    def cheapest(self) -> TrainingPrediction:
+        return self.frontier[-1]
+
+    def is_efficient(self, instance_name: str) -> bool:
+        return any(p.instance_name == instance_name for p in self.frontier)
+
+    def knee(self) -> TrainingPrediction:
+        """The frontier point with the best marginal tradeoff.
+
+        Chosen by minimal normalised distance to the (fastest, cheapest)
+        utopia point — a standard knee heuristic.
+        """
+        t_min = self.fastest.total_us
+        t_max = self.cheapest.total_us
+        c_min = self.cheapest.cost_dollars
+        c_max = self.fastest.cost_dollars
+        t_span = (t_max - t_min) or 1.0
+        c_span = (c_max - c_min) or 1.0
+
+        def distance(p: TrainingPrediction) -> float:
+            return (
+                ((p.total_us - t_min) / t_span) ** 2
+                + ((p.cost_dollars - c_min) / c_span) ** 2
+            )
+
+        return min(self.frontier, key=distance)
+
+    def best_under_budget(self, budget_dollars: float) -> TrainingPrediction:
+        """Fastest frontier point within a total budget (Fig. 10's query)."""
+        feasible = [p for p in self.frontier if p.cost_dollars <= budget_dollars]
+        if not feasible:
+            raise RecommendationError(
+                f"no configuration for {self.model!r} fits "
+                f"{format_dollars(budget_dollars)}"
+            )
+        return feasible[0]
+
+    def render(self) -> str:
+        rows = []
+        for p in sorted(self.predictions, key=lambda p: p.total_us):
+            tag = ""
+            if p.instance_name == self.knee().instance_name:
+                tag = "knee"
+            elif self.is_efficient(p.instance_name):
+                tag = "efficient"
+            rows.append(
+                [
+                    p.instance_name, f"{p.num_gpus}x{p.gpu_key}",
+                    format_us(p.total_us), format_dollars(p.cost_dollars), tag,
+                ]
+            )
+        return format_table(
+            ["instance", "config", "time", "cost", ""],
+            rows,
+            title=f"Time-cost tradeoff for {self.model!r} "
+                  f"({len(self.frontier)} efficient of {len(self.predictions)})",
+        )
+
+
+def analyze_tradeoff(
+    recommender: Recommender,
+    model: Union[str, OpGraph],
+    job: TrainingJob,
+) -> ParetoAnalysis:
+    """Sweep all candidate instances and compute the Pareto frontier."""
+    predictions = recommender.sweep(model, job)
+    return ParetoAnalysis(
+        model=getattr(model, "name", str(model)),
+        predictions=predictions,
+        frontier=pareto_frontier(predictions),
+    )

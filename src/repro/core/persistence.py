@@ -1,0 +1,160 @@
+"""Persistence for fitted Ceer estimators.
+
+The paper's offline phase (profiling 8 CNNs on 4 GPU models over 1,000
+iterations) is by far the expensive part of Ceer; the fitted models are a
+handful of regression coefficients and two medians. This module
+serialises a fitted :class:`CeerEstimator` to a compact JSON document so
+the offline phase runs once (e.g. in CI, or by whoever pays for the cloud
+instances) and the online recommendation phase loads it instantly.
+
+The format captures everything prediction needs: the heavy/light/CPU
+classification, each per-(GPU, op type) regression, the light/CPU medians,
+and the per-(GPU, k) communication regressions. Diagnostics (R² tables)
+are preserved where available.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.errors import ModelingError
+from repro.core.classify import OpClassification
+from repro.core.comm_model import CommunicationModel
+from repro.core.estimator import CeerEstimator
+from repro.core.op_models import ComputeTimeModels, HeavyOpModel
+from repro.core.regression import RegressionModel
+
+FORMAT_NAME = "repro-ceer-estimator"
+FORMAT_VERSION = 1
+
+
+def _regression_to_json(model: RegressionModel) -> Dict:
+    return {
+        "degree": model.degree,
+        "intercept": model.intercept,
+        "coef": list(model.coef),
+        "r2": model.r2,
+        "adjusted_r2": model.adjusted_r2,
+        "n_train": model.n_train,
+        "feature_names": list(model.feature_names),
+        "clip_max": model.clip_max,
+    }
+
+
+def _regression_from_json(data: Dict) -> RegressionModel:
+    return RegressionModel(
+        degree=data["degree"],
+        intercept=data["intercept"],
+        coef=tuple(data["coef"]),
+        r2=data["r2"],
+        adjusted_r2=data["adjusted_r2"],
+        n_train=data["n_train"],
+        feature_names=tuple(data.get("feature_names", ())),
+        clip_max=data.get("clip_max"),
+    )
+
+
+def estimator_to_dict(estimator: CeerEstimator) -> Dict:
+    """Serialise a fitted estimator to a JSON-ready dictionary."""
+    models = estimator.compute_models
+    classification = models.classification
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "classification": {
+            "heavy": sorted(classification.heavy),
+            "light": sorted(classification.light),
+            "cpu": sorted(classification.cpu),
+            "threshold_us": classification.threshold_us,
+            "reference_gpu": classification.reference_gpu,
+        },
+        "light_median_us": models.light_median_us,
+        "cpu_median_us": models.cpu_median_us,
+        "strict_unseen": models.strict_unseen,
+        "heavy_models": [
+            {
+                "gpu_key": gpu_key,
+                "op_type": op_type,
+                "regression": _regression_to_json(model.regression),
+            }
+            for (gpu_key, op_type), model in sorted(models.heavy_models.items())
+        ],
+        "comm_models": [
+            {
+                "gpu_key": gpu_key,
+                "num_gpus": num_gpus,
+                "regression": _regression_to_json(regression),
+                "r2": estimator.comm_model.r2.get((gpu_key, num_gpus)),
+            }
+            for (gpu_key, num_gpus), regression in sorted(
+                estimator.comm_model.models.items()
+            )
+        ],
+        "include_communication": estimator.include_communication,
+        "heavy_only": estimator.heavy_only,
+    }
+
+
+def estimator_from_dict(data: Dict) -> CeerEstimator:
+    """Reconstruct a usable estimator from its dictionary representation."""
+    if data.get("format") != FORMAT_NAME:
+        raise ModelingError(
+            f"not a {FORMAT_NAME} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise ModelingError(
+            f"unsupported {FORMAT_NAME} version {data.get('version')!r}"
+        )
+    cls_data = data["classification"]
+    classification = OpClassification(
+        heavy=frozenset(cls_data["heavy"]),
+        light=frozenset(cls_data["light"]),
+        cpu=frozenset(cls_data["cpu"]),
+        threshold_us=cls_data["threshold_us"],
+        reference_gpu=cls_data["reference_gpu"],
+    )
+    heavy_models = {}
+    train_r2 = {}
+    for item in data["heavy_models"]:
+        key = (item["gpu_key"], item["op_type"])
+        regression = _regression_from_json(item["regression"])
+        heavy_models[key] = HeavyOpModel(item["gpu_key"], item["op_type"], regression)
+        train_r2[key] = regression.r2
+    compute_models = ComputeTimeModels(
+        classification=classification,
+        heavy_models=heavy_models,
+        light_median_us=data["light_median_us"],
+        cpu_median_us=data["cpu_median_us"],
+        strict_unseen=data.get("strict_unseen", False),
+        train_r2=train_r2,
+    )
+    comm_models = {}
+    comm_r2 = {}
+    for item in data["comm_models"]:
+        key = (item["gpu_key"], item["num_gpus"])
+        comm_models[key] = _regression_from_json(item["regression"])
+        if item.get("r2") is not None:
+            comm_r2[key] = item["r2"]
+    comm_model = CommunicationModel(models=comm_models, r2=comm_r2)
+    return CeerEstimator(
+        compute_models,
+        comm_model,
+        include_communication=data.get("include_communication", True),
+        heavy_only=data.get("heavy_only", False),
+    )
+
+
+def save_estimator(estimator: CeerEstimator, path: Union[str, Path]) -> None:
+    """Write a fitted estimator to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(estimator_to_dict(estimator)))
+
+
+def load_estimator(path: Union[str, Path]) -> CeerEstimator:
+    """Load a fitted estimator previously written by :func:`save_estimator`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ModelingError(f"{path} is not valid JSON: {exc}") from exc
+    return estimator_from_dict(data)

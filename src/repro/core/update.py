@@ -1,0 +1,97 @@
+"""Incremental Ceer updates: learning newly-encountered operations.
+
+The paper's first stated limitation (Section VI): "Ceer cannot predict
+(without retraining) the training time of a CNN that includes a heavy
+operation that has not been observed during training ... In such cases,
+Ceer will have to be updated with new training data to provide estimates
+for these new heavy operations" (Section IV-D).
+
+This module implements that update path:
+
+* :func:`extend_ceer` merges newly-collected profiles into a fitted Ceer's
+  training data, re-classifies, and refits the per-op compute models —
+  while keeping the (unchanged) communication model. Existing op types
+  benefit from the extra observations; new op types become predictable.
+* :func:`learn_model` is the convenience wrapper: profile a CNN (e.g. one
+  that contains the new operation) on the given GPU models and extend.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.errors import ModelingError
+from repro.graph.graph import OpGraph
+from repro.hardware.gpus import GPU_KEYS
+from repro.profiling.profiler import Profiler
+from repro.profiling.records import ProfileDataset
+from repro.core.classify import classify_operations
+from repro.core.estimator import CeerEstimator
+from repro.core.fit import CeerDiagnostics, FittedCeer
+from repro.core.op_models import fit_compute_models
+
+
+def extend_ceer(fitted: FittedCeer, new_profiles: ProfileDataset) -> FittedCeer:
+    """Return a new fitted Ceer whose compute models also cover
+    ``new_profiles``.
+
+    The union of the old and new profiles is re-classified with the
+    original threshold/reference settings and the per-(GPU, op type)
+    regressions and medians are refit. The communication model is reused
+    unchanged: it depends only on parameter counts, not op types
+    (Section IV-C), so new operations do not invalidate it.
+    """
+    if not new_profiles:
+        raise ModelingError("extend_ceer called with no new profiles")
+    old_models = fitted.estimator.compute_models
+    merged = fitted.train_profiles.merge(new_profiles)
+    classification = classify_operations(
+        merged,
+        threshold_us=old_models.classification.threshold_us,
+        reference_gpu=old_models.classification.reference_gpu,
+    )
+    compute_models = fit_compute_models(
+        merged, classification, strict_unseen=old_models.strict_unseen
+    )
+    estimator = CeerEstimator(
+        compute_models,
+        fitted.estimator.comm_model,
+        include_communication=fitted.estimator.include_communication,
+        heavy_only=fitted.estimator.heavy_only,
+    )
+    old = fitted.diagnostics
+    diagnostics = CeerDiagnostics(
+        train_models=tuple(sorted(set(old.train_models) | set(new_profiles.models()))),
+        gpu_keys=tuple(sorted(set(old.gpu_keys) | set(new_profiles.gpu_keys()))),
+        n_profile_records=len(merged),
+        heavy_op_types=tuple(sorted(classification.heavy)),
+        light_op_types=tuple(sorted(classification.light)),
+        cpu_op_types=tuple(sorted(classification.cpu)),
+        light_median_us=compute_models.light_median_us,
+        cpu_median_us=compute_models.cpu_median_us,
+        heavy_r2=dict(compute_models.train_r2),
+        comm_r2=dict(old.comm_r2),
+    )
+    return FittedCeer(
+        estimator=estimator, train_profiles=merged, diagnostics=diagnostics
+    )
+
+
+def learn_model(
+    fitted: FittedCeer,
+    model: Union[str, OpGraph],
+    gpu_keys: Sequence[str] = GPU_KEYS,
+    n_iterations: int = 300,
+    batch_size: int = 32,
+    seed_context: str = "",
+) -> FittedCeer:
+    """Profile ``model`` on ``gpu_keys`` and fold the data into ``fitted``.
+
+    Use this when a prediction raised
+    :class:`~repro.errors.UnseenOperationError` (or returned a light-median
+    fallback you do not trust): profile any CNN that exercises the new
+    operation, then retry the prediction on the returned estimator.
+    """
+    profiler = Profiler(n_iterations=n_iterations, batch_size=batch_size)
+    new_profiles = profiler.profile_many([model], list(gpu_keys), seed_context)
+    return extend_ceer(fitted, new_profiles)

@@ -1,0 +1,84 @@
+"""Shared experiment infrastructure: canonical setup and cached artifacts.
+
+All figure drivers share one canonical configuration (the paper's: 8
+training CNNs, 4 GPU models, batch 32, ImageNet) and reuse one profiled
+dataset and one fitted Ceer estimator per process. Profiling iteration
+counts are configurable; the default trades the paper's 1,000 iterations
+down to 300, which leaves per-op mean estimates within a fraction of a
+percent (heavy-op noise is sigma <= 0.06) while keeping the full
+figure suite fast.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from repro.core.fit import FittedCeer, fit_ceer
+from repro.hardware.gpus import GPU_KEYS
+from repro.models.zoo import TEST_MODELS, TRAIN_MODELS
+from repro.profiling.profiler import Profiler
+from repro.profiling.records import ProfileDataset
+from repro.sim.trace import TrainingMeasurement
+from repro.sim.trainer import measure_training
+from repro.workloads.dataset import IMAGENET, IMAGENET_6400, TrainingJob
+
+#: Profiling iterations used by the experiment suite (paper: 1,000).
+CANONICAL_ITERATIONS = 300
+
+#: Seed context separating "training-time" measurements from the
+#: independent "evaluation" runs the figures compare against.
+EVAL_SEED = "evaluation"
+
+#: The paper's evaluation workload: one epoch of ImageNet, batch 32/GPU.
+IMAGENET_JOB = TrainingJob(IMAGENET, batch_size=32)
+
+#: The Fig. 6 scaling workload: 6,400 ImageNet samples.
+SCALING_JOB = TrainingJob(IMAGENET_6400, batch_size=32)
+
+#: GPU family labels in presentation order, as the paper writes them.
+FAMILY_LABELS: Tuple[Tuple[str, str], ...] = (
+    ("V100", "P3"), ("K80", "P2"), ("T4", "G4"), ("M60", "G3")
+)
+
+
+@lru_cache(maxsize=4)
+def training_profiles(n_iterations: int = CANONICAL_ITERATIONS) -> ProfileDataset:
+    """Profiles of the 8 training-set CNNs on all four GPU models."""
+    profiler = Profiler(n_iterations=n_iterations)
+    return profiler.profile_many(list(TRAIN_MODELS), list(GPU_KEYS))
+
+
+@lru_cache(maxsize=4)
+def test_profiles(n_iterations: int = CANONICAL_ITERATIONS) -> ProfileDataset:
+    """Profiles of the 4 held-out test CNNs (for validation experiments)."""
+    profiler = Profiler(n_iterations=n_iterations)
+    return profiler.profile_many(list(TEST_MODELS), list(GPU_KEYS), EVAL_SEED)
+
+
+@lru_cache(maxsize=4)
+def fitted_ceer(n_iterations: int = CANONICAL_ITERATIONS) -> FittedCeer:
+    """The canonical fitted Ceer estimator (cached per process)."""
+    return fit_ceer(
+        n_iterations=n_iterations,
+        train_profiles=training_profiles(n_iterations),
+    )
+
+
+@lru_cache(maxsize=1024)
+def observed_training(
+    model: str,
+    gpu_key: str,
+    num_gpus: int,
+    job: TrainingJob = IMAGENET_JOB,
+    n_iterations: int = CANONICAL_ITERATIONS,
+) -> TrainingMeasurement:
+    """Ground-truth ("rent the instance and run it") measurement, cached.
+
+    Uses an evaluation seed context so the observation is statistically
+    independent of the measurements Ceer was trained on.
+    """
+    return measure_training(
+        model, gpu_key, num_gpus, job,
+        n_profile_iterations=n_iterations, seed_context=EVAL_SEED,
+    )

@@ -1,0 +1,135 @@
+"""Figure 10: total-budget-constrained instance selection (ResNet-101).
+
+Paper, Section V ("Total budget constrained scenario"): train ResNet-101
+on one ImageNet epoch without exceeding a fixed total rental budget,
+minimising training time. The paper's $10 budget excludes the 4-GPU P3
+instance and every P2 instance; the optimal feasible choice is the 3-GPU
+P3 proxy, and the cheapest-per-hour feasible instance (1-GPU G3) is ~9.1x
+slower.
+
+Our simulated substrate is uniformly slower in absolute terms than the
+authors' testbed, so the default budget is scaled to $12.95 — which
+reproduces the same feasibility frontier (all P2 and the 4-GPU P3
+infeasible, 3-GPU P3 optimal, 1-GPU G3 feasible-but-slow); see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.reporting import format_dollars, format_table, format_us
+from repro.core.estimator import CeerEstimator, TrainingPrediction
+from repro.experiments.common import (
+    CANONICAL_ITERATIONS,
+    IMAGENET_JOB,
+    fitted_ceer,
+    observed_training,
+)
+from repro.hardware.gpus import GPU_KEYS
+from repro.sim.trace import TrainingMeasurement
+from repro.workloads.dataset import TrainingJob
+
+#: Scaled equivalent of the paper's $10 budget (see module docstring).
+TOTAL_BUDGET = 12.95
+
+
+@dataclass
+class Fig10Result:
+    """Observed/predicted cost and time for every (GPU model, k) config."""
+
+    model: str
+    budget: float
+    observed: Dict[Tuple[str, int], TrainingMeasurement]
+    predicted: Dict[Tuple[str, int], TrainingPrediction]
+
+    def feasible(self, predicted: bool = False) -> Tuple[Tuple[str, int], ...]:
+        source = self.predicted if predicted else self.observed
+        return tuple(
+            sorted(k for k, v in source.items() if v.cost_dollars <= self.budget)
+        )
+
+    def best_config(self, predicted: bool = False) -> Tuple[str, int]:
+        source = self.predicted if predicted else self.observed
+        feasible = self.feasible(predicted)
+        return min(feasible, key=lambda key: source[key].total_us)
+
+    def feasibility_agreement(self) -> float:
+        """Fraction of configurations whose feasibility Ceer gets right."""
+        obs = set(self.feasible(predicted=False))
+        pred = set(self.feasible(predicted=True))
+        agree = sum(
+            1 for key in self.observed if (key in obs) == (key in pred)
+        )
+        return agree / len(self.observed)
+
+    def cheapest_rate_penalty(self) -> float:
+        """Slowdown of the cheapest-hourly-rate feasible instance vs optimal."""
+        feasible = self.feasible(predicted=False)
+        cheapest = min(feasible, key=lambda key: self.observed[key].hourly_cost)
+        best = self.best_config(predicted=False)
+        return self.observed[cheapest].total_us / self.observed[best].total_us
+
+    def average_error(self) -> float:
+        errors = [
+            abs(self.predicted[key].total_us - obs.total_us) / obs.total_us
+            for key, obs in self.observed.items()
+        ]
+        return sum(errors) / len(errors)
+
+    def render(self) -> str:
+        rows = []
+        for (gpu_key, k), obs in sorted(self.observed.items()):
+            pred = self.predicted[(gpu_key, k)]
+            rows.append(
+                [
+                    f"{gpu_key}x{k}",
+                    format_us(obs.total_us), format_us(pred.total_us),
+                    format_dollars(obs.cost_dollars), format_dollars(pred.cost_dollars),
+                    "yes" if obs.cost_dollars <= self.budget else "NO",
+                    "yes" if pred.cost_dollars <= self.budget else "NO",
+                ]
+            )
+        table = format_table(
+            ["config", "obs T", "pred T", "obs C", "pred C",
+             "obs feasible", "pred feasible"],
+            rows,
+            title=f"Fig 10 - {self.model} under a total budget of "
+                  f"{format_dollars(self.budget)}",
+        )
+        best_obs = self.best_config(False)
+        best_pred = self.best_config(True)
+        return "\n".join(
+            [
+                table,
+                "",
+                f"observed optimum: {best_obs[0]}x{best_obs[1]}; "
+                f"Ceer picks: {best_pred[0]}x{best_pred[1]}",
+                f"feasibility agreement: {self.feasibility_agreement():.0%}",
+                f"cheapest-rate feasible instance is "
+                f"{self.cheapest_rate_penalty():.1f}x slower than the optimum",
+                f"average prediction error: {self.average_error():.1%}",
+            ]
+        )
+
+
+def run_fig10(
+    model: str = "resnet_101",
+    budget: float = TOTAL_BUDGET,
+    job: TrainingJob = IMAGENET_JOB,
+    estimator: CeerEstimator = None,
+    gpu_counts: Sequence[int] = (1, 2, 3, 4),
+    n_iterations: int = CANONICAL_ITERATIONS,
+) -> Fig10Result:
+    """Regenerate Figure 10 across all (GPU model, k) configurations."""
+    estimator = estimator if estimator is not None else fitted_ceer(n_iterations).estimator
+    observed: Dict[Tuple[str, int], TrainingMeasurement] = {}
+    predicted: Dict[Tuple[str, int], TrainingPrediction] = {}
+    for gpu_key in GPU_KEYS:
+        for k in gpu_counts:
+            observed[(gpu_key, k)] = observed_training(model, gpu_key, k, job, n_iterations)
+            predicted[(gpu_key, k)] = estimator.predict_training(model, gpu_key, k, job)
+    return Fig10Result(
+        model=model, budget=budget, observed=observed, predicted=predicted
+    )

@@ -1,0 +1,113 @@
+"""Figure 11: budget minimisation — cheapest instance for Inception-v3.
+
+Paper, Section V ("Budget minimization scenario"): minimise the total
+rental cost of training Inception-v3 on one ImageNet epoch, with no
+performance target. The 1-GPU G4 instance is cheapest; the
+cheapest-per-hour instance (1-GPU G3) and the most powerful (4-GPU P3)
+cost 1.6x and 1.8x more respectively; Ceer's cost prediction error is
+~2.1%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.reporting import format_dollars, format_table
+from repro.cloud.pricing import ON_DEMAND, PricingScheme
+from repro.core.estimator import CeerEstimator, TrainingPrediction
+from repro.experiments.common import (
+    CANONICAL_ITERATIONS,
+    IMAGENET_JOB,
+    fitted_ceer,
+)
+from repro.hardware.gpus import GPU_KEYS
+from repro.sim.trace import TrainingMeasurement
+from repro.sim.trainer import measure_training
+from repro.workloads.dataset import TrainingJob
+
+
+@dataclass
+class Fig11Result:
+    """Observed/predicted training cost for every (GPU model, k) config."""
+
+    model: str
+    pricing_name: str
+    observed: Dict[Tuple[str, int], TrainingMeasurement]
+    predicted: Dict[Tuple[str, int], TrainingPrediction]
+
+    def best_config(self, predicted: bool = False) -> Tuple[str, int]:
+        source = self.predicted if predicted else self.observed
+        return min(source, key=lambda key: source[key].cost_dollars)
+
+    def cost_ratio(self, gpu_key: str, num_gpus: int) -> float:
+        """Observed cost of a config relative to the observed optimum."""
+        best = self.best_config(predicted=False)
+        return (
+            self.observed[(gpu_key, num_gpus)].cost_dollars
+            / self.observed[best].cost_dollars
+        )
+
+    def average_error(self) -> float:
+        errors = [
+            abs(self.predicted[key].cost_dollars - obs.cost_dollars) / obs.cost_dollars
+            for key, obs in self.observed.items()
+        ]
+        return sum(errors) / len(errors)
+
+    def render(self) -> str:
+        rows = []
+        for (gpu_key, k), obs in sorted(self.observed.items()):
+            pred = self.predicted[(gpu_key, k)]
+            rows.append(
+                [
+                    f"{gpu_key}x{k}",
+                    format_dollars(obs.cost_dollars),
+                    format_dollars(pred.cost_dollars),
+                    f"{self.cost_ratio(gpu_key, k):.2f}x",
+                ]
+            )
+        table = format_table(
+            ["config", "observed cost", "predicted cost", "vs optimum"],
+            rows,
+            title=f"Fig 11-style cost minimisation - {self.model} "
+                  f"({self.pricing_name} prices)",
+        )
+        best_obs = self.best_config(False)
+        best_pred = self.best_config(True)
+        return "\n".join(
+            [
+                table,
+                "",
+                f"observed cheapest: {best_obs[0]}x{best_obs[1]}; "
+                f"Ceer picks: {best_pred[0]}x{best_pred[1]}",
+                f"average cost prediction error: {self.average_error():.1%}",
+            ]
+        )
+
+
+def run_fig11(
+    model: str = "inception_v3",
+    job: TrainingJob = IMAGENET_JOB,
+    estimator: CeerEstimator = None,
+    pricing: PricingScheme = ON_DEMAND,
+    gpu_counts: Sequence[int] = (1, 2, 3, 4),
+    n_iterations: int = CANONICAL_ITERATIONS,
+) -> Fig11Result:
+    """Regenerate the Figure 11 cost-minimisation sweep."""
+    estimator = estimator if estimator is not None else fitted_ceer(n_iterations).estimator
+    observed: Dict[Tuple[str, int], TrainingMeasurement] = {}
+    predicted: Dict[Tuple[str, int], TrainingPrediction] = {}
+    for gpu_key in GPU_KEYS:
+        for k in gpu_counts:
+            observed[(gpu_key, k)] = measure_training(
+                model, gpu_key, k, job, pricing=pricing,
+                n_profile_iterations=n_iterations, seed_context="evaluation",
+            )
+            predicted[(gpu_key, k)] = estimator.predict_training(
+                model, gpu_key, k, job, pricing=pricing
+            )
+    return Fig11Result(
+        model=model, pricing_name=pricing.name,
+        observed=observed, predicted=predicted,
+    )

@@ -1,0 +1,31 @@
+"""Figure 12: budget minimisation under commodity-market GPU price ratios.
+
+Paper, Section V ("Budget minimization with commodity GPU prices ratio"):
+the Fig. 11 scenario re-run with hypothetical instance prices reflecting
+the GPUs' market-value ratios (P3:G4:G3:P2 hourly = $3.06:$0.95:$0.55:
+$0.15, scaled linearly with GPU count). Under these prices the cheapest
+configuration flips from the 1-GPU G4 to the 1-GPU P2 instance — showing
+how strongly instance pricing shapes the optimal choice — and choosing
+the Fig. 11 winner instead costs a multiple of the optimum.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.pricing import MARKET_RATIO
+from repro.core.estimator import CeerEstimator
+from repro.experiments.common import CANONICAL_ITERATIONS, IMAGENET_JOB
+from repro.experiments.fig11_cost_min import Fig11Result, run_fig11
+from repro.workloads.dataset import TrainingJob
+
+
+def run_fig12(
+    model: str = "inception_v3",
+    job: TrainingJob = IMAGENET_JOB,
+    estimator: CeerEstimator = None,
+    n_iterations: int = CANONICAL_ITERATIONS,
+) -> Fig11Result:
+    """Regenerate Figure 12: the cost sweep under market-ratio prices."""
+    return run_fig11(
+        model=model, job=job, estimator=estimator,
+        pricing=MARKET_RATIO, n_iterations=n_iterations,
+    )

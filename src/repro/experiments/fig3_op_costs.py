@@ -1,0 +1,107 @@
+"""Figure 3: operation-level compute costs across AWS GPU models.
+
+Paper, Section III-B: the Fig. 2 compute times multiplied by the basic
+single-GPU instance's rental cost per microsecond. Headline observations:
+
+* G4 provides the lowest cost for most heavy ops, P3 for the pooling ops;
+* P3's pooling-cost advantage averages ~20% (peak: AvgPool);
+* the compute-time advantage of P3 shrinks dramatically in cost terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.cloud.pricing import ON_DEMAND, PricingScheme
+from repro.experiments.common import CANONICAL_ITERATIONS
+from repro.experiments.fig2_op_times import Fig2Result, run_fig2
+from repro.graph.ops import OpCategory, op_def
+from repro.hardware.gpus import GPU_KEYS
+from repro.profiling.records import ProfileDataset
+
+
+@dataclass
+class Fig3Result:
+    """Per-op rental cost over the op's compute duration (dollars * 1e9)."""
+
+    cost_nano_dollars: Dict[str, Dict[str, float]]  # op_type -> gpu -> cost
+    cheapest_gpu: Dict[str, str]
+    g4_win_count: int
+    p3_win_count: int
+    p3_wins: Tuple[str, ...]
+    pooling_p3_advantage: float  # mean cost reduction of P3 over G4 on pooling
+    other_g4_advantage: float  # mean cost reduction of G4 over P3 elsewhere
+
+    def render(self) -> str:
+        rows: List[List[object]] = []
+        for op_type in sorted(self.cost_nano_dollars):
+            per_gpu = self.cost_nano_dollars[op_type]
+            rows.append(
+                [op_type]
+                + [per_gpu.get(g, float("nan")) for g in GPU_KEYS]
+                + [self.cheapest_gpu[op_type]]
+            )
+        table = format_table(
+            ["heavy op type", "P3", "P2", "G4", "G3", "cheapest"],
+            rows,
+            title="Fig 3 - rental cost over op compute duration (nano-dollars)",
+            float_format="{:.1f}",
+        )
+        return "\n".join(
+            [
+                table,
+                "",
+                f"cheapest-GPU tally: G4 wins {self.g4_win_count}, "
+                f"P3 wins {self.p3_win_count} ({', '.join(self.p3_wins)})",
+                f"P3 cost advantage on pooling ops vs G4: "
+                f"{self.pooling_p3_advantage:.1%}",
+                f"G4 cost advantage on its winning ops vs P3: "
+                f"{self.other_g4_advantage:.1%}",
+            ]
+        )
+
+
+def run_fig3(
+    profiles: ProfileDataset = None,
+    pricing: PricingScheme = ON_DEMAND,
+    n_iterations: int = CANONICAL_ITERATIONS,
+) -> Fig3Result:
+    """Regenerate Figure 3 from the Figure 2 times and instance prices."""
+    fig2: Fig2Result = run_fig2(profiles, n_iterations)
+    cost_per_us = {g: pricing.instance(g, 1).cost_per_us for g in GPU_KEYS}
+
+    cost: Dict[str, Dict[str, float]] = {}
+    cheapest: Dict[str, str] = {}
+    for op_type, per_gpu in fig2.mean_us.items():
+        cost[op_type] = {
+            g: per_gpu[g] * cost_per_us[g] * 1e9 for g in per_gpu
+        }
+        cheapest[op_type] = min(cost[op_type], key=cost[op_type].get)
+
+    pooling_deltas, other_deltas = [], []
+    p3_wins = []
+    g4_count = p3_count = 0
+    for op_type, winner in cheapest.items():
+        c = cost[op_type]
+        if "V100" in c and "T4" in c:
+            if op_def(op_type).category is OpCategory.POOLING:
+                pooling_deltas.append(1 - c["V100"] / c["T4"])
+            else:
+                other_deltas.append(1 - c["T4"] / c["V100"])
+        if winner == "T4":
+            g4_count += 1
+        elif winner == "V100":
+            p3_count += 1
+            p3_wins.append(op_type)
+
+    return Fig3Result(
+        cost_nano_dollars=cost,
+        cheapest_gpu=cheapest,
+        g4_win_count=g4_count,
+        p3_win_count=p3_count,
+        p3_wins=tuple(sorted(p3_wins)),
+        pooling_p3_advantage=sum(pooling_deltas) / len(pooling_deltas),
+        other_g4_advantage=sum(other_deltas) / len(other_deltas),
+    )

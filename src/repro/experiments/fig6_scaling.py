@@ -1,0 +1,81 @@
+"""Figure 6: training time vs number of GPUs under data parallelism.
+
+Paper, Section III-D: training Inception-v1 on 6,400 ImageNet samples with
+1-4 GPUs of each model type. The training time drops sub-linearly — the
+paper reports average reductions of ~35.8%, ~46.6% and ~53.6% for 2, 3 and
+4 GPUs — with diminishing returns caused by the synchronisation phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.reporting import format_table, format_us
+from repro.analysis.stats import relative_reduction
+from repro.experiments.common import (
+    CANONICAL_ITERATIONS,
+    SCALING_JOB,
+    observed_training,
+)
+from repro.hardware.gpus import GPU_KEYS
+from repro.workloads.dataset import TrainingJob
+
+
+@dataclass
+class Fig6Result:
+    """Observed training time per (GPU model, GPU count)."""
+
+    model: str
+    training_time_us: Dict[Tuple[str, int], float]
+    gpu_counts: Tuple[int, ...]
+
+    def reduction(self, gpu_key: str, num_gpus: int) -> float:
+        """Relative training-time reduction vs the 1-GPU configuration."""
+        return relative_reduction(
+            self.training_time_us[(gpu_key, 1)],
+            self.training_time_us[(gpu_key, num_gpus)],
+        )
+
+    def average_reduction(self, num_gpus: int) -> float:
+        reductions = [self.reduction(g, num_gpus) for g in GPU_KEYS]
+        return sum(reductions) / len(reductions)
+
+    def render(self) -> str:
+        rows = []
+        for gpu_key in GPU_KEYS:
+            row: list = [gpu_key]
+            for k in self.gpu_counts:
+                row.append(format_us(self.training_time_us[(gpu_key, k)]))
+            for k in self.gpu_counts[1:]:
+                row.append(f"{self.reduction(gpu_key, k):.1%}")
+            rows.append(row)
+        headers = (
+            ["GPU"]
+            + [f"time k={k}" for k in self.gpu_counts]
+            + [f"cut k={k}" for k in self.gpu_counts[1:]]
+        )
+        table = format_table(
+            headers, rows,
+            title=f"Fig 6 - {self.model} training time vs #GPUs "
+                  f"(6,400 ImageNet samples, batch 32/GPU)",
+        )
+        avgs = ", ".join(
+            f"k={k}: {self.average_reduction(k):.1%}" for k in self.gpu_counts[1:]
+        )
+        return f"{table}\n\naverage reduction across GPU types: {avgs}"
+
+
+def run_fig6(
+    model: str = "inception_v1",
+    job: TrainingJob = SCALING_JOB,
+    gpu_counts: Tuple[int, ...] = (1, 2, 3, 4),
+    n_iterations: int = CANONICAL_ITERATIONS,
+) -> Fig6Result:
+    """Regenerate Figure 6 (default: the paper's Inception-v1 workload)."""
+    times: Dict[Tuple[str, int], float] = {}
+    for gpu_key in GPU_KEYS:
+        for k in gpu_counts:
+            measurement = observed_training(model, gpu_key, k, job, n_iterations)
+            times[(gpu_key, k)] = measurement.total_us
+    return Fig6Result(model=model, training_time_us=times, gpu_counts=gpu_counts)

@@ -1,0 +1,124 @@
+"""Figure 8: validation — observed vs Ceer-predicted training time and cost.
+
+Paper, Section V ("Validation test"): the 4 held-out test CNNs trained on
+one epoch of ImageNet (1.2M samples, batch 32/GPU) on the 4-GPU instance
+of every GPU model. The paper reports 5.4% average training-time
+prediction error, identical cost error (cost = time x price), and perfect
+agreement between predicted and observed GPU rankings per CNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.reporting import format_dollars, format_table, format_us
+from repro.analysis.stats import rank_agreement
+from repro.core.estimator import CeerEstimator, TrainingPrediction
+from repro.experiments.common import (
+    CANONICAL_ITERATIONS,
+    IMAGENET_JOB,
+    fitted_ceer,
+    observed_training,
+)
+from repro.hardware.gpus import GPU_KEYS
+from repro.models.zoo import TEST_MODELS
+from repro.sim.trace import TrainingMeasurement
+from repro.workloads.dataset import TrainingJob
+
+
+@dataclass
+class Fig8Result:
+    """Observed and predicted training time/cost per (test CNN, GPU model)."""
+
+    num_gpus: int
+    observed: Dict[Tuple[str, str], TrainingMeasurement]
+    predicted: Dict[Tuple[str, str], TrainingPrediction]
+
+    def time_error(self, model: str, gpu_key: str) -> float:
+        obs = self.observed[(model, gpu_key)].total_us
+        pred = self.predicted[(model, gpu_key)].total_us
+        return abs(pred - obs) / obs
+
+    @property
+    def average_error(self) -> float:
+        errors = [self.time_error(m, g) for (m, g) in self.observed]
+        return sum(errors) / len(errors)
+
+    def ranking_correct(self, model: str) -> bool:
+        obs = [self.observed[(model, g)].total_us for g in GPU_KEYS]
+        pred = [self.predicted[(model, g)].total_us for g in GPU_KEYS]
+        return rank_agreement(obs, pred)
+
+    def p3_time_reduction(self, versus: str) -> float:
+        """Average observed training-time reduction of P3 vs another GPU."""
+        reductions = [
+            1 - self.observed[(m, "V100")].total_us / self.observed[(m, versus)].total_us
+            for m in TEST_MODELS
+        ]
+        return sum(reductions) / len(reductions)
+
+    def cheapest_gpu(self, model: str) -> str:
+        costs = {g: self.observed[(model, g)].cost_dollars for g in GPU_KEYS}
+        return min(costs, key=costs.get)
+
+    def render(self) -> str:
+        rows = []
+        for (model, gpu_key), obs in sorted(self.observed.items()):
+            pred = self.predicted[(model, gpu_key)]
+            rows.append(
+                [
+                    model, gpu_key,
+                    format_us(obs.total_us), format_us(pred.total_us),
+                    f"{self.time_error(model, gpu_key):.1%}",
+                    format_dollars(obs.cost_dollars),
+                    format_dollars(pred.cost_dollars),
+                ]
+            )
+        table = format_table(
+            ["CNN", "GPU", "observed T", "predicted T", "err",
+             "observed C", "predicted C"],
+            rows,
+            title=f"Fig 8 - validation on {self.num_gpus}-GPU instances "
+                  f"(ImageNet epoch)",
+        )
+        ranking = ", ".join(
+            f"{m}: {'OK' if self.ranking_correct(m) else 'WRONG'}"
+            for m in TEST_MODELS
+        )
+        return "\n".join(
+            [
+                table,
+                "",
+                f"average training-time prediction error: {self.average_error:.1%}",
+                f"GPU ranking agreement per CNN: {ranking}",
+                f"P3 training-time reduction vs P2/G3/G4: "
+                f"{self.p3_time_reduction('K80'):.1%} / "
+                f"{self.p3_time_reduction('M60'):.1%} / "
+                f"{self.p3_time_reduction('T4'):.1%}",
+                "observed-cheapest GPU per CNN: "
+                + ", ".join(f"{m}: {self.cheapest_gpu(m)}" for m in TEST_MODELS),
+            ]
+        )
+
+
+def run_fig8(
+    models: Sequence[str] = TEST_MODELS,
+    num_gpus: int = 4,
+    job: TrainingJob = IMAGENET_JOB,
+    estimator: CeerEstimator = None,
+    n_iterations: int = CANONICAL_ITERATIONS,
+) -> Fig8Result:
+    """Regenerate Figure 8 (observed vs predicted, 4-GPU instances)."""
+    estimator = estimator if estimator is not None else fitted_ceer(n_iterations).estimator
+    observed: Dict[Tuple[str, str], TrainingMeasurement] = {}
+    predicted: Dict[Tuple[str, str], TrainingPrediction] = {}
+    for model in models:
+        for gpu_key in GPU_KEYS:
+            observed[(model, gpu_key)] = observed_training(
+                model, gpu_key, num_gpus, job, n_iterations
+            )
+            predicted[(model, gpu_key)] = estimator.predict_training(
+                model, gpu_key, num_gpus, job
+            )
+    return Fig8Result(num_gpus=num_gpus, observed=observed, predicted=predicted)

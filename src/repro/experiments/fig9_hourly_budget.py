@@ -1,0 +1,155 @@
+"""Figure 9: hourly-budget-constrained instance selection ($3/hr).
+
+Paper, Section V ("Hourly budget constrained scenario"): minimise the
+per-iteration training time (equivalently, maximise training throughput)
+subject to an hourly rental budget of $3/hr. For each GPU model the
+largest instance fitting the budget is considered — with the paper's
+small-slack accommodation (P3's single-GPU instance exceeds the budget by
+6 cents, the 3-GPU G3 proxy by 42 cents; "alternatively, we can consider
+the budget to be $3.42/hr").
+
+The paper finds the optimal choice is CNN-dependent (P3 for the
+pooling-rich Inception-v3/VGG-19, G4 for AlexNet/ResNet-101) and that the
+default strategy of renting the biggest-affordable P3 costs up to 91%
+extra per-iteration time. Our simulated substrate reproduces the
+CNN-dependent split and the Ceer-vs-default gap, with a different
+assignment of CNNs to sides (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.cloud.catalog import InstanceType
+from repro.cloud.pricing import ON_DEMAND, PricingScheme
+from repro.core.estimator import CeerEstimator
+from repro.experiments.common import (
+    CANONICAL_ITERATIONS,
+    IMAGENET_JOB,
+    fitted_ceer,
+    observed_training,
+)
+from repro.hardware.gpus import GPU_KEYS
+from repro.models.zoo import TEST_MODELS
+from repro.workloads.dataset import TrainingJob
+
+#: The paper's budget and slack (Fig. 9 discussion).
+HOURLY_BUDGET = 3.0
+BUDGET_SLACK = 0.42
+
+
+def budget_configs(
+    budget: float = HOURLY_BUDGET,
+    slack: float = BUDGET_SLACK,
+    pricing: PricingScheme = ON_DEMAND,
+    max_gpus: int = 4,
+) -> List[InstanceType]:
+    """Largest affordable configuration per GPU model (paper's candidates).
+
+    With the paper's prices and slack this yields the 3-GPU P2/G3/G4
+    proxies and the 1-GPU P3 instance, exactly as in Section V.
+    """
+    out: List[InstanceType] = []
+    for gpu_key in GPU_KEYS:
+        best = None
+        for k in range(1, max_gpus + 1):
+            instance = pricing.instance(gpu_key, k)
+            if instance.hourly_cost <= budget + slack:
+                best = instance
+        if best is not None:
+            out.append(best)
+    return out
+
+
+@dataclass
+class Fig9Result:
+    """Observed/predicted per-sample training time per (CNN, config)."""
+
+    configs: Tuple[InstanceType, ...]
+    #: (model, instance name) -> (observed us/sample, predicted us/sample)
+    per_sample_us: Dict[Tuple[str, str], Tuple[float, float]]
+    batch_size: int
+
+    def _times(self, model: str, predicted: bool) -> Dict[str, float]:
+        index = 1 if predicted else 0
+        return {
+            inst.name: self.per_sample_us[(model, inst.name)][index]
+            for inst in self.configs
+        }
+
+    def best_config(self, model: str, predicted: bool = False) -> str:
+        times = self._times(model, predicted)
+        return min(times, key=times.get)
+
+    def prediction_error(self, model: str) -> float:
+        errors = []
+        for inst in self.configs:
+            obs, pred = self.per_sample_us[(model, inst.name)]
+            errors.append(abs(pred - obs) / obs)
+        return sum(errors) / len(errors)
+
+    def p3_default_penalty(self, model: str) -> float:
+        """Extra per-sample time of the biggest-affordable-P3 default over
+        the observed-optimal configuration (paper: up to +91%)."""
+        times = self._times(model, predicted=False)
+        p3_names = [i.name for i in self.configs if i.gpu_key == "V100"]
+        if not p3_names:
+            return float("nan")
+        return times[p3_names[0]] / min(times.values()) - 1
+
+    def render(self) -> str:
+        rows = []
+        for model in sorted({m for m, _ in self.per_sample_us}):
+            for inst in self.configs:
+                obs, pred = self.per_sample_us[(model, inst.name)]
+                rows.append(
+                    [
+                        model, inst.name, f"{inst.num_gpus}x{inst.gpu_key}",
+                        f"${inst.hourly_cost:.2f}", obs / 1e3, pred / 1e3,
+                    ]
+                )
+        table = format_table(
+            ["CNN", "instance", "config", "$/hr",
+             "obs ms/sample", "pred ms/sample"],
+            rows,
+            title=f"Fig 9 - per-sample training time under a "
+                  f"${HOURLY_BUDGET:.2f}/hr budget",
+        )
+        models = sorted({m for m, _ in self.per_sample_us})
+        lines = [
+            f"  {m}: observed best = {self.best_config(m)}, "
+            f"Ceer pick = {self.best_config(m, predicted=True)}, "
+            f"error = {self.prediction_error(m):.1%}, "
+            f"P3-default penalty = {self.p3_default_penalty(m):+.0%}"
+            for m in models
+        ]
+        return "\n".join([table, "", *lines])
+
+
+def run_fig9(
+    models: Sequence[str] = TEST_MODELS,
+    job: TrainingJob = IMAGENET_JOB,
+    estimator: CeerEstimator = None,
+    pricing: PricingScheme = ON_DEMAND,
+    n_iterations: int = CANONICAL_ITERATIONS,
+) -> Fig9Result:
+    """Regenerate Figure 9 under the paper's $3/hr (+slack) budget."""
+    estimator = estimator if estimator is not None else fitted_ceer(n_iterations).estimator
+    configs = tuple(budget_configs(pricing=pricing))
+    per_sample: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    for model in models:
+        for inst in configs:
+            obs = observed_training(model, inst.gpu_key, inst.num_gpus, job, n_iterations)
+            pred = estimator.predict_training(
+                model, inst.gpu_key, inst.num_gpus, job, instance=inst
+            )
+            samples = inst.num_gpus * job.batch_size
+            per_sample[(model, inst.name)] = (
+                obs.per_iteration_us / samples,
+                pred.per_iteration_us / samples,
+            )
+    return Fig9Result(
+        configs=configs, per_sample_us=per_sample, batch_size=job.batch_size
+    )

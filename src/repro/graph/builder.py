@@ -1,0 +1,459 @@
+"""Functional graph builder: from layer calls to a TensorFlow-style op DAG.
+
+Usage mirrors a minimal Keras functional API::
+
+    b = GraphBuilder("tiny", batch_size=32, image_hw=(32, 32))
+    x = b.input()
+    x = b.conv(x, filters=16, kernel=3)
+    x = b.max_pool(x, kernel=2, stride=2)
+    x = b.flatten(x)
+    logits = b.dense(x, units=10, activation=None)
+    graph = b.finalize(logits)
+
+``finalize`` appends the loss, the full backward pass (via
+:mod:`repro.graph.autodiff`), and one optimizer-update op per trainable
+variable, then returns a validated :class:`~repro.graph.graph.OpGraph` whose
+``num_parameters`` matches the sum of variable sizes. The resulting op
+multiset is what the paper's Figure 1 depicts for Inception-v3: forward
+convolutions/poolings plus their gradient counterparts plus host-side input
+pipeline ops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError, ShapeError
+from repro.graph.graph import OpGraph
+from repro.graph.layers import (
+    TapeEntry,
+    TensorRef,
+    VariableSpec,
+    activation_op_type,
+)
+from repro.graph.ops import Device, Operation
+from repro.graph.shapes import TensorShape, conv_output_hw
+
+
+def _pair(value) -> Tuple[int, int]:
+    """Normalise an int-or-pair layer argument to an (h, w) tuple."""
+    if isinstance(value, int):
+        return (value, value)
+    h, w = value
+    return (int(h), int(w))
+
+
+class GraphBuilder:
+    """Incrementally constructs an :class:`OpGraph` for one training iteration.
+
+    Args:
+        name: model name, used for the graph and error messages.
+        batch_size: per-device batch size (the paper's default is 32).
+        image_hw: input image spatial size (e.g. ``(224, 224)``).
+        image_channels: input channel count (3 for ImageNet RGB).
+        num_classes: label cardinality (1000 for ImageNet).
+        optimizer: ``"momentum"`` (default, TF-Slim style) or ``"sgd"``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        batch_size: int = 32,
+        image_hw: Tuple[int, int] = (224, 224),
+        image_channels: int = 3,
+        num_classes: int = 1000,
+        optimizer: str = "momentum",
+    ) -> None:
+        if optimizer not in ("momentum", "sgd"):
+            raise GraphError(f"unknown optimizer {optimizer!r}")
+        self.graph = OpGraph(name=name, batch_size=batch_size)
+        self.batch_size = batch_size
+        self.image_hw = _pair(image_hw)
+        self.image_channels = image_channels
+        self.num_classes = num_classes
+        self.optimizer = optimizer
+        self.tape: List[TapeEntry] = []
+        self.variables: List[VariableSpec] = []
+        self._name_counts: Dict[str, int] = {}
+        self._finalized = False
+        self._input_ref: Optional[TensorRef] = None
+        self._labels_ref: Optional[TensorRef] = None
+
+    # ------------------------------------------------------------------
+    # naming / low-level emission
+    # ------------------------------------------------------------------
+    def _unique(self, scope: str) -> str:
+        """Return a unique hierarchical node name for ``scope``."""
+        n = self._name_counts.get(scope, 0)
+        self._name_counts[scope] = n + 1
+        return scope if n == 0 else f"{scope}_{n}"
+
+    def emit(
+        self,
+        op_type: str,
+        scope: str,
+        inputs: Sequence[TensorRef],
+        outputs: Sequence[TensorShape],
+        extra_input_shapes: Sequence[TensorShape] = (),
+        attrs: Optional[Dict[str, object]] = None,
+        device: Optional[Device] = None,
+    ) -> List[TensorRef]:
+        """Emit one operation and return refs to each of its outputs.
+
+        ``extra_input_shapes`` covers tensors that are inputs by *size* but
+        not graph edges we track (weights, constants): they contribute to the
+        op's input-size feature without creating producer dependencies.
+        """
+        if self._finalized:
+            raise GraphError(f"graph {self.graph.name!r} is already finalized")
+        name = self._unique(f"{scope}/{op_type}")
+        from repro.graph.ops import op_def  # local to avoid cycle at import
+
+        resolved_device = device if device is not None else op_def(op_type).device
+        op = Operation(
+            name=name,
+            op_type=op_type,
+            inputs=tuple(r.shape for r in inputs) + tuple(extra_input_shapes),
+            outputs=tuple(outputs),
+            input_ops=tuple(dict.fromkeys(r.op_name for r in inputs)),
+            attrs=attrs or {},
+            device=resolved_device,
+        )
+        self.graph.add(op)
+        return [TensorRef(name, s, i) for i, s in enumerate(outputs)]
+
+    def add_variable(self, name: str, shape: TensorShape) -> VariableSpec:
+        var = VariableSpec(name=name, shape=shape)
+        self.variables.append(var)
+        return var
+
+    # ------------------------------------------------------------------
+    # input pipeline (host-side ops, Section IV-B's "CPU operations")
+    # ------------------------------------------------------------------
+    def input(self, scope: str = "input_pipeline") -> TensorRef:
+        """Create the host-side input pipeline and return the image batch ref.
+
+        Emits ``IteratorGetNext`` -> ``DecodeAndResize`` -> ``Cast`` for the
+        images and ``SparseToDense``/``OneHot`` for the labels — the CPU ops
+        whose high-variance compute times Ceer covers with a sample-median
+        estimate (paper, Section IV-B).
+        """
+        if self._input_ref is not None:
+            raise GraphError("input() may only be called once per builder")
+        h, w = self.image_hw
+        img = TensorShape.of(self.batch_size, h, w, self.image_channels)
+        lbl = TensorShape.of(self.batch_size, dtype="int64")
+        nxt = self.emit("IteratorGetNext", scope, [], [img, lbl])
+        raw_images, raw_labels = nxt[0], nxt[1]
+        decoded = self.emit("DecodeAndResize", scope, [raw_images], [img])[0]
+        images = self.emit("Cast", scope, [decoded], [img])[0]
+        dense = self.emit("SparseToDense", scope, [raw_labels], [lbl])[0]
+        onehot_shape = TensorShape.of(self.batch_size, self.num_classes)
+        self.emit("OneHot", scope, [dense], [onehot_shape])
+        labels = self.emit(
+            "Cast", scope, [dense], [TensorShape.of(self.batch_size, dtype="int32")]
+        )[0]
+        self._input_ref = images
+        self._labels_ref = labels
+        return images
+
+    # ------------------------------------------------------------------
+    # layer primitives
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        x: TensorRef,
+        filters: int,
+        kernel,
+        stride=1,
+        padding: str = "SAME",
+        activation: Optional[str] = "relu",
+        use_bias: bool = True,
+        batch_norm: bool = False,
+        scope: Optional[str] = None,
+    ) -> TensorRef:
+        """A convolution block: Conv2D [+ BiasAdd | FusedBatchNormV3] [+ Relu].
+
+        When ``batch_norm`` is set the bias is dropped (standard practice —
+        BN's beta subsumes it), matching TF-Slim's conv2d+BN arg scoping.
+        """
+        kh, kw = _pair(kernel)
+        sh, sw = _pair(stride)
+        scope = self._unique(scope or "conv")
+        in_c = x.shape.channels
+        out_h, out_w = conv_output_hw(x.shape.height, x.shape.width, kh, kw, sh, sw, padding)
+        filter_shape = TensorShape.of(kh, kw, in_c, filters)
+        out_shape = TensorShape.of(x.shape.batch, out_h, out_w, filters)
+        weights = self.add_variable(f"{scope}/weights", filter_shape)
+        attrs = {"kernel": (kh, kw), "strides": (sh, sw), "padding": padding.upper()}
+        y = self.emit(
+            "Conv2D", scope, [x], [out_shape],
+            extra_input_shapes=[filter_shape], attrs=attrs,
+        )[0]
+        entry = TapeEntry(
+            kind="conv",
+            inputs=(x,),
+            output=y,
+            scope=scope,
+            variables={"weights": weights},
+            intermediates={"conv_out": y, "conv_in": x},
+            attrs=dict(attrs, activation=activation, batch_norm=batch_norm,
+                       use_bias=use_bias and not batch_norm, filters=filters),
+        )
+        if batch_norm:
+            param_shape = TensorShape.of(filters)
+            gamma = self.add_variable(f"{scope}/gamma", param_shape)
+            beta = self.add_variable(f"{scope}/beta", param_shape)
+            y = self.emit(
+                "FusedBatchNormV3", scope, [y], [out_shape],
+                extra_input_shapes=[param_shape] * 4,
+            )[0]
+            entry.variables["gamma"] = gamma
+            entry.variables["beta"] = beta
+            entry.intermediates["bn_out"] = y
+        elif use_bias:
+            bias_shape = TensorShape.of(filters)
+            bias = self.add_variable(f"{scope}/bias", bias_shape)
+            y = self.emit(
+                "BiasAdd", scope, [y], [out_shape], extra_input_shapes=[bias_shape]
+            )[0]
+            entry.variables["bias"] = bias
+            entry.intermediates["bias_out"] = y
+        act_op = activation_op_type(activation)
+        if act_op is not None:
+            y = self.emit(act_op, scope, [y], [out_shape])[0]
+            entry.intermediates["act_out"] = y
+        entry.output = y
+        self.tape.append(entry)
+        return y
+
+    def _pool(
+        self, x: TensorRef, kind: str, kernel, stride, padding: str, scope: Optional[str]
+    ) -> TensorRef:
+        kh, kw = _pair(kernel)
+        sh, sw = _pair(stride)
+        scope = self._unique(scope or f"{kind}_pool")
+        out_h, out_w = conv_output_hw(x.shape.height, x.shape.width, kh, kw, sh, sw, padding)
+        out_shape = TensorShape.of(x.shape.batch, out_h, out_w, x.shape.channels)
+        op_type = "MaxPool" if kind == "max" else "AvgPool"
+        attrs = {"kernel": (kh, kw), "strides": (sh, sw), "padding": padding.upper()}
+        y = self.emit(op_type, scope, [x], [out_shape], attrs=attrs)[0]
+        self.tape.append(
+            TapeEntry(
+                kind="pool", inputs=(x,), output=y, scope=scope,
+                intermediates={"pool_in": x, "pool_out": y},
+                attrs=dict(attrs, pool_kind=kind),
+            )
+        )
+        return y
+
+    def max_pool(self, x, kernel, stride, padding: str = "VALID", scope=None) -> TensorRef:
+        return self._pool(x, "max", kernel, stride, padding, scope)
+
+    def avg_pool(self, x, kernel, stride, padding: str = "VALID", scope=None) -> TensorRef:
+        return self._pool(x, "avg", kernel, stride, padding, scope)
+
+    def lrn(self, x: TensorRef, depth_radius: int = 5, scope=None) -> TensorRef:
+        """Local response normalisation (AlexNet)."""
+        scope = self._unique(scope or "lrn")
+        y = self.emit("LRN", scope, [x], [x.shape], attrs={"depth_radius": depth_radius})[0]
+        self.tape.append(
+            TapeEntry(
+                kind="lrn", inputs=(x,), output=y, scope=scope,
+                intermediates={"lrn_in": x, "lrn_out": y},
+                attrs={"depth_radius": depth_radius},
+            )
+        )
+        return y
+
+    def concat(self, xs: Sequence[TensorRef], scope=None) -> TensorRef:
+        """Channel-axis concatenation (Inception branch merge)."""
+        if len(xs) < 2:
+            raise GraphError("concat needs at least two inputs")
+        first = xs[0].shape
+        for r in xs[1:]:
+            if (r.shape.batch, r.shape.height, r.shape.width) != (
+                first.batch, first.height, first.width,
+            ):
+                raise ShapeError(
+                    f"concat inputs disagree on N/H/W: {first} vs {r.shape}"
+                )
+        scope = self._unique(scope or "concat")
+        out_c = sum(r.shape.channels for r in xs)
+        out_shape = TensorShape.of(first.batch, first.height, first.width, out_c)
+        y = self.emit("ConcatV2", scope, list(xs), [out_shape], attrs={"axis": 3})[0]
+        self.tape.append(
+            TapeEntry(kind="concat", inputs=tuple(xs), output=y, scope=scope,
+                      attrs={"axis": 3})
+        )
+        return y
+
+    def add(self, a: TensorRef, b: TensorRef, activation: Optional[str] = None,
+            scope=None) -> TensorRef:
+        """Elementwise residual addition, optionally followed by an activation."""
+        if a.shape != b.shape:
+            raise ShapeError(f"residual add shape mismatch: {a.shape} vs {b.shape}")
+        scope = self._unique(scope or "residual_add")
+        y = self.emit("AddV2", scope, [a, b], [a.shape])[0]
+        entry = TapeEntry(kind="add", inputs=(a, b), output=y, scope=scope,
+                          attrs={"activation": activation})
+        act_op = activation_op_type(activation)
+        if act_op is not None:
+            y = self.emit(act_op, scope, [y], [a.shape])[0]
+            entry.intermediates["act_out"] = y
+            entry.output = y
+        self.tape.append(entry)
+        return y
+
+    def dropout(self, x: TensorRef, rate: float = 0.5, scope=None) -> TensorRef:
+        """Dropout as an elementwise mask multiply (training mode)."""
+        scope = self._unique(scope or "dropout")
+        y = self.emit("Mul", scope, [x], [x.shape], extra_input_shapes=[x.shape],
+                      attrs={"rate": rate})[0]
+        self.tape.append(
+            TapeEntry(kind="dropout", inputs=(x,), output=y, scope=scope,
+                      attrs={"rate": rate})
+        )
+        return y
+
+    def scale(self, x: TensorRef, factor: float, scope=None) -> TensorRef:
+        """Multiply by a scalar (Inception-ResNet residual scaling).
+
+        Emitted as an elementwise ``Mul``; the backward pass is another Mul,
+        shared with dropout's tape handling.
+        """
+        scope = self._unique(scope or "scale")
+        y = self.emit(
+            "Mul", scope, [x], [x.shape],
+            extra_input_shapes=[TensorShape.scalar()], attrs={"factor": factor},
+        )[0]
+        self.tape.append(
+            TapeEntry(kind="dropout", inputs=(x,), output=y, scope=scope,
+                      attrs={"factor": factor})
+        )
+        return y
+
+    def pad(self, x: TensorRef, pad_h: int, pad_w: int, scope=None) -> TensorRef:
+        """Zero-pad spatial dims by (pad_h, pad_w) on each side."""
+        scope = self._unique(scope or "pad")
+        out_shape = TensorShape.of(
+            x.shape.batch, x.shape.height + 2 * pad_h, x.shape.width + 2 * pad_w,
+            x.shape.channels,
+        )
+        y = self.emit("Pad", scope, [x], [out_shape],
+                      attrs={"paddings": (pad_h, pad_w)})[0]
+        self.tape.append(
+            TapeEntry(kind="pad", inputs=(x,), output=y, scope=scope,
+                      attrs={"paddings": (pad_h, pad_w)})
+        )
+        return y
+
+    def flatten(self, x: TensorRef, scope=None) -> TensorRef:
+        """Collapse an NHWC tensor to (batch, features) via a Reshape."""
+        scope = self._unique(scope or "flatten")
+        out_shape = TensorShape.of(
+            x.shape.batch, x.shape.height * x.shape.width * x.shape.channels
+        )
+        y = self.emit("Reshape", scope, [x], [out_shape])[0]
+        self.tape.append(TapeEntry(kind="reshape", inputs=(x,), output=y, scope=scope))
+        return y
+
+    def global_avg_pool(self, x: TensorRef, scope=None) -> TensorRef:
+        """Spatial mean reduction to (batch, channels) (Inception/ResNet heads)."""
+        scope = self._unique(scope or "global_avg_pool")
+        out_shape = TensorShape.of(x.shape.batch, x.shape.channels)
+        y = self.emit("Mean", scope, [x], [out_shape], attrs={"axes": (1, 2)})[0]
+        self.tape.append(
+            TapeEntry(kind="global_avg_pool", inputs=(x,), output=y, scope=scope)
+        )
+        return y
+
+    def dense(
+        self,
+        x: TensorRef,
+        units: int,
+        activation: Optional[str] = "relu",
+        use_bias: bool = True,
+        scope=None,
+    ) -> TensorRef:
+        """A fully-connected block: MatMul [+ BiasAdd] [+ activation]."""
+        if x.shape.rank != 2:
+            raise ShapeError(f"dense expects rank-2 input, got {x.shape}; flatten first")
+        scope = self._unique(scope or "dense")
+        batch, in_features = x.shape.dims
+        w_shape = TensorShape.of(in_features, units)
+        out_shape = TensorShape.of(batch, units)
+        weights = self.add_variable(f"{scope}/weights", w_shape)
+        y = self.emit("MatMul", scope, [x], [out_shape], extra_input_shapes=[w_shape])[0]
+        entry = TapeEntry(
+            kind="dense", inputs=(x,), output=y, scope=scope,
+            variables={"weights": weights},
+            intermediates={"matmul_out": y, "dense_in": x},
+            attrs={"units": units, "activation": activation, "use_bias": use_bias},
+        )
+        if use_bias:
+            bias_shape = TensorShape.of(units)
+            bias = self.add_variable(f"{scope}/bias", bias_shape)
+            y = self.emit("BiasAdd", scope, [y], [out_shape],
+                          extra_input_shapes=[bias_shape])[0]
+            entry.variables["bias"] = bias
+            entry.intermediates["bias_out"] = y
+        act_op = activation_op_type(activation)
+        if act_op is not None:
+            y = self.emit(act_op, scope, [y], [out_shape])[0]
+            entry.intermediates["act_out"] = y
+        entry.output = y
+        self.tape.append(entry)
+        return y
+
+    # ------------------------------------------------------------------
+    # finalisation: loss + backward + optimizer
+    # ------------------------------------------------------------------
+    def finalize(self, logits: TensorRef) -> OpGraph:
+        """Append loss, backward pass, and optimizer updates; return the graph."""
+        if self._finalized:
+            raise GraphError(f"graph {self.graph.name!r} is already finalized")
+        if self._labels_ref is None:
+            raise GraphError("call input() before finalize() so labels exist")
+        if logits.shape.rank != 2 or logits.shape.dims[1] != self.num_classes:
+            raise ShapeError(
+                f"logits shape {logits.shape} does not match num_classes={self.num_classes}"
+            )
+        batch = logits.shape.dims[0]
+        loss_shape = TensorShape.of(batch)
+        loss_outs = self.emit(
+            "SparseSoftmaxCrossEntropyWithLogits",
+            "loss",
+            [logits, self._labels_ref],
+            [loss_shape, logits.shape],  # (per-sample loss, dlogits)
+        )
+        per_sample_loss, dlogits = loss_outs
+        self.emit("Mean", "loss", [per_sample_loss], [TensorShape.scalar()])
+
+        from repro.graph.autodiff import append_backward  # deferred: avoids cycle
+
+        grads = append_backward(self, logits, dlogits)
+        self._emit_optimizer(grads)
+        self.graph.num_parameters = sum(v.num_parameters for v in self.variables)
+        self.graph.num_variables = len(self.variables)
+        self._finalized = True
+        self.graph.validate()
+        return self.graph
+
+    def _emit_optimizer(self, grads: Dict[str, TensorRef]) -> None:
+        """One parameter-update op per trainable variable."""
+        op_type = "ApplyMomentum" if self.optimizer == "momentum" else "ApplyGradientDescent"
+        missing = [v.name for v in self.variables if v.name not in grads]
+        if missing:
+            raise GraphError(
+                f"backward pass produced no gradient for variables {missing[:5]}"
+            )
+        for var in self.variables:
+            grad_ref = grads[var.name]
+            self.emit(
+                op_type,
+                f"train/{var.name}",
+                [grad_ref],
+                [var.shape],
+                extra_input_shapes=[var.shape, TensorShape.scalar()],
+            )

@@ -1,0 +1,314 @@
+"""Sequence-model building blocks: the Transformer extension.
+
+The paper's Section VI closes with: "It will be interesting to see how
+Ceer performs on other types of DNNs, such as Recurrent Neural Nets (RNNs)
+or Transformer models". This module implements that future-work direction
+on the substrate side: a :class:`SequenceGraphBuilder` that extends the
+CNN builder with token inputs, embeddings, layer normalisation,
+multi-head self-attention (batched matmuls + softmax), and GELU MLPs —
+enough to express BERT-style Transformer encoders whose training graphs
+flow through the same profiler/Ceer pipeline as the CNNs.
+
+The new layer kinds register their backward rules with the autodiff pass
+at import time, so ``finalize()`` produces full training graphs
+(including ``BatchMatMul`` gradients and embedding ``Scatter`` updates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import GraphError, ShapeError
+from repro.graph import autodiff
+from repro.graph.builder import GraphBuilder
+from repro.graph.layers import TapeEntry, TensorRef
+from repro.graph.shapes import TensorShape
+
+
+class SequenceGraphBuilder(GraphBuilder):
+    """A :class:`GraphBuilder` for token-sequence models (Transformers).
+
+    Activations are rank-3 ``(batch, seq_len, d_model)`` tensors; dense
+    projections reshape through rank-2 as real frameworks do. The
+    classifier consumes a mean-pooled sequence representation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        batch_size: int = 32,
+        seq_len: int = 128,
+        vocab_size: int = 30_000,
+        num_classes: int = 2,
+        optimizer: str = "momentum",
+    ) -> None:
+        super().__init__(
+            name, batch_size=batch_size, image_hw=(1, 1), image_channels=1,
+            num_classes=num_classes, optimizer=optimizer,
+        )
+        self.seq_len = seq_len
+        self.vocab_size = vocab_size
+
+    # ------------------------------------------------------------------
+    # inputs
+    # ------------------------------------------------------------------
+    def sequence_input(self, scope: str = "input_pipeline") -> TensorRef:
+        """Host-side pipeline producing a token batch ``(B, L)`` int64."""
+        if self._input_ref is not None:
+            raise GraphError("sequence_input() may only be called once")
+        tokens = TensorShape.of(self.batch_size, self.seq_len, dtype="int64")
+        labels = TensorShape.of(self.batch_size, dtype="int64")
+        nxt = self.emit("IteratorGetNext", scope, [], [tokens, labels])
+        raw_tokens, raw_labels = nxt[0], nxt[1]
+        dense_tokens = self.emit("SparseToDense", scope, [raw_tokens], [tokens])[0]
+        label_ids = self.emit(
+            "Cast", scope, [raw_labels],
+            [TensorShape.of(self.batch_size, dtype="int32")],
+        )[0]
+        self._input_ref = dense_tokens
+        self._labels_ref = label_ids
+        return dense_tokens
+
+    # ------------------------------------------------------------------
+    # sequence layers
+    # ------------------------------------------------------------------
+    def embedding(self, tokens: TensorRef, d_model: int, scope=None) -> TensorRef:
+        """Token-embedding lookup: ``(B, L)`` int64 -> ``(B, L, D)``."""
+        scope = self._unique(scope or "embedding")
+        table_shape = TensorShape.of(self.vocab_size, d_model)
+        table = self.add_variable(f"{scope}/table", table_shape)
+        out_shape = TensorShape.of(tokens.shape.dims[0], tokens.shape.dims[1], d_model)
+        y = self.emit(
+            "Gather", scope, [tokens], [out_shape], extra_input_shapes=[table_shape]
+        )[0]
+        self.tape.append(
+            TapeEntry(
+                kind="embedding", inputs=(tokens,), output=y, scope=scope,
+                variables={"table": table},
+                attrs={"d_model": d_model},
+            )
+        )
+        return y
+
+    def layer_norm(self, x: TensorRef, scope=None) -> TensorRef:
+        """Layer normalisation over the model dimension."""
+        scope = self._unique(scope or "layer_norm")
+        d_model = x.shape.dims[-1]
+        param_shape = TensorShape.of(d_model)
+        gamma = self.add_variable(f"{scope}/gamma", param_shape)
+        beta = self.add_variable(f"{scope}/beta", param_shape)
+        y = self.emit(
+            "LayerNorm", scope, [x], [x.shape], extra_input_shapes=[param_shape] * 2
+        )[0]
+        self.tape.append(
+            TapeEntry(
+                kind="layer_norm", inputs=(x,), output=y, scope=scope,
+                variables={"gamma": gamma, "beta": beta},
+                intermediates={"ln_in": x},
+                attrs={"d_model": d_model},
+            )
+        )
+        return y
+
+    def dense_tokens(
+        self, x: TensorRef, units: int, activation: Optional[str] = None,
+        scope=None,
+    ) -> TensorRef:
+        """Per-token dense projection: reshape -> dense -> reshape back."""
+        scope = self._unique(scope or "proj")
+        batch, seq, d_in = x.shape.dims
+        flat = self.emit(
+            "Reshape", scope, [x], [TensorShape.of(batch * seq, d_in)]
+        )[0]
+        self.tape.append(
+            TapeEntry(kind="reshape", inputs=(x,), output=flat, scope=scope)
+        )
+        projected = self.dense(
+            flat, units, activation=activation, scope=f"{scope}/dense"
+        )
+        back = self.emit(
+            "Reshape", f"{scope}/unflatten", [projected],
+            [TensorShape.of(batch, seq, units)],
+        )[0]
+        self.tape.append(
+            TapeEntry(
+                kind="reshape", inputs=(projected,), output=back,
+                scope=f"{scope}/unflatten",
+            )
+        )
+        return back
+
+    def batch_matmul(
+        self, a: TensorRef, b: TensorRef, out_shape: TensorShape, scope=None
+    ) -> TensorRef:
+        """Batched matmul of two rank-3 tensors (attention primitives)."""
+        if a.shape.rank != 3 or b.shape.rank != 3:
+            raise ShapeError("batch_matmul needs rank-3 inputs")
+        scope = self._unique(scope or "batch_matmul")
+        y = self.emit("BatchMatMul", scope, [a, b], [out_shape])[0]
+        self.tape.append(
+            TapeEntry(kind="batch_matmul", inputs=(a, b), output=y, scope=scope)
+        )
+        return y
+
+    def softmax(self, x: TensorRef, scope=None) -> TensorRef:
+        """Standalone softmax over the last dimension (attention weights)."""
+        scope = self._unique(scope or "softmax")
+        y = self.emit("Softmax", scope, [x], [x.shape])[0]
+        self.tape.append(
+            TapeEntry(
+                kind="softmax_op", inputs=(x,), output=y, scope=scope,
+                intermediates={"softmax_out": y},
+            )
+        )
+        return y
+
+    def sequence_mean(self, x: TensorRef, scope=None) -> TensorRef:
+        """Mean-pool the sequence dimension: ``(B, L, D)`` -> ``(B, D)``."""
+        scope = self._unique(scope or "sequence_mean")
+        batch, _, d_model = x.shape.dims
+        y = self.emit(
+            "Mean", scope, [x], [TensorShape.of(batch, d_model)],
+            attrs={"axes": (1,)},
+        )[0]
+        self.tape.append(
+            TapeEntry(kind="global_avg_pool", inputs=(x,), output=y, scope=scope)
+        )
+        return y
+
+    # ------------------------------------------------------------------
+    # composite transformer blocks
+    # ------------------------------------------------------------------
+    def self_attention(self, x: TensorRef, num_heads: int, scope=None) -> TensorRef:
+        """Multi-head self-attention (pre-projected Q/K/V, scaled dot
+        product, output projection)."""
+        scope = self._unique(scope or "attention")
+        batch, seq, d_model = x.shape.dims
+        if d_model % num_heads:
+            raise ShapeError(
+                f"d_model {d_model} not divisible by {num_heads} heads"
+            )
+        d_head = d_model // num_heads
+        heads = batch * num_heads
+
+        def to_heads(ref: TensorRef, tag: str) -> TensorRef:
+            shaped = self.emit(
+                "Reshape", f"{scope}/{tag}_heads", [ref],
+                [TensorShape.of(heads, seq, d_head)],
+            )[0]
+            self.tape.append(
+                TapeEntry(kind="reshape", inputs=(ref,), output=shaped,
+                          scope=f"{scope}/{tag}_heads")
+            )
+            return shaped
+
+        q = to_heads(self.dense_tokens(x, d_model, scope=f"{scope}/q"), "q")
+        k = to_heads(self.dense_tokens(x, d_model, scope=f"{scope}/k"), "k")
+        v = to_heads(self.dense_tokens(x, d_model, scope=f"{scope}/v"), "v")
+
+        # Scores: Q x K^T -> (heads, L, L); the transpose is a light op.
+        k_t = self.emit(
+            "Transpose", f"{scope}/k_transpose", [k],
+            [TensorShape.of(heads, d_head, seq)],
+        )[0]
+        self.tape.append(
+            TapeEntry(kind="reshape", inputs=(k,), output=k_t,
+                      scope=f"{scope}/k_transpose")
+        )
+        scores = self.batch_matmul(
+            q, k_t, TensorShape.of(heads, seq, seq), scope=f"{scope}/scores"
+        )
+        scaled = self.scale(scores, 1.0 / math.sqrt(d_head), scope=f"{scope}/scale")
+        weights = self.softmax(scaled, scope=f"{scope}/softmax")
+        context = self.batch_matmul(
+            weights, v, TensorShape.of(heads, seq, d_head), scope=f"{scope}/context"
+        )
+        merged = self.emit(
+            "Reshape", f"{scope}/merge_heads", [context],
+            [TensorShape.of(batch, seq, d_model)],
+        )[0]
+        self.tape.append(
+            TapeEntry(kind="reshape", inputs=(context,), output=merged,
+                      scope=f"{scope}/merge_heads")
+        )
+        return self.dense_tokens(merged, d_model, scope=f"{scope}/out")
+
+    def encoder_block(
+        self, x: TensorRef, num_heads: int, ffn_multiplier: int = 4, scope=None
+    ) -> TensorRef:
+        """One pre-norm Transformer encoder block."""
+        scope = self._unique(scope or "encoder")
+        d_model = x.shape.dims[-1]
+        attended = self.self_attention(
+            self.layer_norm(x, scope=f"{scope}/ln1"), num_heads,
+            scope=f"{scope}/attn",
+        )
+        x = self.add(x, attended, scope=f"{scope}/residual1")
+        ffn = self.dense_tokens(
+            self.layer_norm(x, scope=f"{scope}/ln2"),
+            ffn_multiplier * d_model, activation="gelu", scope=f"{scope}/ffn_up",
+        )
+        ffn = self.dense_tokens(ffn, d_model, scope=f"{scope}/ffn_down")
+        return self.add(x, ffn, scope=f"{scope}/residual2")
+
+
+# ---------------------------------------------------------------------------
+# backward rules for the sequence layer kinds
+# ---------------------------------------------------------------------------
+
+def _embedding_backward(builder, entry, dy, scope, state, var_grads, input_key):
+    table = entry.variables["table"]
+    dtable = builder.emit(
+        "Scatter", scope, [dy], [table.shape], extra_input_shapes=[table.shape]
+    )[0]
+    var_grads[table.name] = dtable
+    # Token indices receive no gradient.
+
+
+def _layer_norm_backward(builder, entry, dy, scope, state, var_grads, input_key):
+    ln_in = entry.intermediates["ln_in"]
+    param_shape = TensorShape.of(entry.attrs["d_model"])
+    dx, dgamma, dbeta = builder.emit(
+        "LayerNormGrad", scope, [dy, ln_in],
+        [ln_in.shape, param_shape, param_shape],
+        extra_input_shapes=[param_shape],
+    )
+    var_grads[entry.variables["gamma"].name] = dgamma
+    var_grads[entry.variables["beta"].name] = dbeta
+    autodiff._propagate(builder, state, ln_in, dx, input_key)
+
+
+def _batch_matmul_backward(builder, entry, dy, scope, state, var_grads, input_key):
+    a, b = entry.inputs
+    batch, m, k_dim = a.shape.dims
+    _, _, n = b.shape.dims
+    # dA = dY x B^T : (B,M,N) x (B,N,K) -> (B,M,K)
+    da = builder.emit(
+        "BatchMatMul", scope, [dy], [a.shape],
+        extra_input_shapes=[TensorShape.of(batch, n, k_dim)],
+    )[0]
+    # dB = A^T x dY : (B,K,M) x (B,M,N) -> (B,K,N); emit with dY as the
+    # tracked input and A^T as a size-only operand.
+    db = builder.emit(
+        "BatchMatMul", scope, [dy], [b.shape],
+        extra_input_shapes=[TensorShape.of(batch, k_dim, m)],
+    )[0]
+    autodiff._propagate(builder, state, a, da, input_key)
+    autodiff._propagate(builder, state, b, db, input_key)
+
+
+def _softmax_backward(builder, entry, dy, scope, state, var_grads, input_key):
+    y = entry.intermediates["softmax_out"]
+    dx = builder.emit("SoftmaxGrad", scope, [dy, y], [y.shape])[0]
+    autodiff._propagate(builder, state, entry.inputs[0], dx, input_key)
+
+
+autodiff._BACKWARD_FNS.update(
+    {
+        "embedding": _embedding_backward,
+        "layer_norm": _layer_norm_backward,
+        "batch_matmul": _batch_matmul_backward,
+        "softmax_op": _softmax_backward,
+    }
+)

@@ -1,0 +1,143 @@
+"""Op-graph (de)serialisation: a GraphDef-like JSON format.
+
+The paper's deployment story (Section IV-D) extracts the CNN's DAG from
+the training framework — op types, shapes, parameter count — and feeds it
+to Ceer. This module provides the equivalent portable artifact: a JSON
+document that fully describes a training graph, so a graph captured on one
+machine (e.g. by a framework plugin) can be priced on another without the
+model-building code.
+
+Format (version 1)::
+
+    {
+      "format": "repro-opgraph",
+      "version": 1,
+      "name": "...", "batch_size": 32,
+      "num_parameters": 23834568, "num_variables": 284,
+      "ops": [
+        {"name": "...", "op_type": "...", "device": "GPU",
+         "inputs": [[dims...], ...] | [{"dims": [...], "dtype": "int64"}],
+         "outputs": [...], "input_ops": [...], "attrs": {...}},
+        ...
+      ]
+    }
+
+Float32 shapes are stored as bare dim lists for compactness; other dtypes
+use the explicit object form. Attr values must be JSON-representable
+(ints, floats, strings, bools, lists/tuples thereof); tuples round-trip as
+tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import GraphError
+from repro.graph.graph import OpGraph
+from repro.graph.ops import Device, Operation
+from repro.graph.shapes import DEFAULT_DTYPE, TensorShape
+
+FORMAT_NAME = "repro-opgraph"
+FORMAT_VERSION = 1
+
+
+def _shape_to_json(shape: TensorShape) -> Union[List[int], Dict]:
+    if shape.dtype == DEFAULT_DTYPE:
+        return list(shape.dims)
+    return {"dims": list(shape.dims), "dtype": shape.dtype}
+
+
+def _shape_from_json(data) -> TensorShape:
+    if isinstance(data, dict):
+        return TensorShape(tuple(data["dims"]), data.get("dtype", DEFAULT_DTYPE))
+    return TensorShape(tuple(data))
+
+
+def _attr_to_json(value):
+    if isinstance(value, tuple):
+        return {"__tuple__": [_attr_to_json(v) for v in value]}
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise GraphError(f"attr value {value!r} is not serialisable")
+
+
+def _attr_from_json(value):
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_attr_from_json(v) for v in value["__tuple__"])
+    return value
+
+
+def graph_to_dict(graph: OpGraph) -> Dict:
+    """Convert a graph to its JSON-ready dictionary representation."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "batch_size": graph.batch_size,
+        "num_parameters": graph.num_parameters,
+        "num_variables": graph.num_variables,
+        "ops": [
+            {
+                "name": op.name,
+                "op_type": op.op_type,
+                "device": op.device.value,
+                "inputs": [_shape_to_json(s) for s in op.inputs],
+                "outputs": [_shape_to_json(s) for s in op.outputs],
+                "input_ops": list(op.input_ops),
+                "attrs": {k: _attr_to_json(v) for k, v in op.attrs.items()},
+            }
+            for op in graph.operations
+        ],
+    }
+
+
+def graph_from_dict(data: Dict) -> OpGraph:
+    """Reconstruct and validate a graph from its dictionary representation."""
+    if data.get("format") != FORMAT_NAME:
+        raise GraphError(
+            f"not a {FORMAT_NAME} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported {FORMAT_NAME} version {data.get('version')!r}; "
+            f"this library reads version {FORMAT_VERSION}"
+        )
+    graph = OpGraph(
+        name=data["name"],
+        batch_size=data["batch_size"],
+        num_parameters=data.get("num_parameters", 0),
+        num_variables=data.get("num_variables", 0),
+    )
+    for op_data in data["ops"]:
+        graph.add(
+            Operation(
+                name=op_data["name"],
+                op_type=op_data["op_type"],
+                inputs=tuple(_shape_from_json(s) for s in op_data["inputs"]),
+                outputs=tuple(_shape_from_json(s) for s in op_data["outputs"]),
+                input_ops=tuple(op_data.get("input_ops", ())),
+                attrs={
+                    k: _attr_from_json(v)
+                    for k, v in op_data.get("attrs", {}).items()
+                },
+                device=Device(op_data.get("device", "GPU")),
+            )
+        )
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: OpGraph, path: Union[str, Path]) -> None:
+    """Write a graph as JSON to ``path``."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph)))
+
+
+def load_graph(path: Union[str, Path]) -> OpGraph:
+    """Read a JSON graph document from ``path`` and validate it."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"{path} is not valid JSON: {exc}") from exc
+    return graph_from_dict(data)

@@ -1,0 +1,158 @@
+"""Tensor shapes and data-type sizes for the CNN op-graph IR.
+
+The IR follows TensorFlow's NHWC convention for image tensors:
+``(batch, height, width, channels)``. Shapes are immutable value objects;
+all sizes are computed in elements and bytes (the byte sizes are the "input
+size" features that Ceer's regression models consume, per Section IV-B of
+the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.errors import ShapeError
+
+#: Bytes per element for the dtypes the simulator supports. CNN training in
+#: the paper uses single-precision TensorFlow (r1.14) throughout.
+DTYPE_BYTES = {
+    "float32": 4,
+    "float16": 2,
+    "int32": 4,
+    "int64": 8,
+    "bool": 1,
+}
+
+DEFAULT_DTYPE = "float32"
+
+
+def dtype_size(dtype: str) -> int:
+    """Return the size in bytes of one element of ``dtype``.
+
+    Raises :class:`ShapeError` for unknown dtypes so that typos in model
+    definitions fail fast.
+    """
+    try:
+        return DTYPE_BYTES[dtype]
+    except KeyError:
+        raise ShapeError(f"unknown dtype {dtype!r}; known: {sorted(DTYPE_BYTES)}")
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """An immutable, fully-defined tensor shape with a dtype.
+
+    Unlike TensorFlow we do not allow unknown dimensions: the simulator and
+    Ceer's feature extraction both need concrete sizes. Rank-0 (scalar)
+    shapes are permitted, e.g. for loss values and learning rates.
+    """
+
+    dims: Tuple[int, ...]
+    dtype: str = DEFAULT_DTYPE
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dims, tuple):
+            object.__setattr__(self, "dims", tuple(self.dims))
+        for d in self.dims:
+            if not isinstance(d, int) or d <= 0:
+                raise ShapeError(f"all dimensions must be positive ints, got {self.dims}")
+        dtype_size(self.dtype)  # validate eagerly
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def of(cls, *dims: int, dtype: str = DEFAULT_DTYPE) -> "TensorShape":
+        """Build a shape from positional dimensions: ``TensorShape.of(32, 224, 224, 3)``."""
+        return cls(tuple(dims), dtype)
+
+    @classmethod
+    def scalar(cls, dtype: str = DEFAULT_DTYPE) -> "TensorShape":
+        """A rank-0 shape (single element)."""
+        return cls((), dtype)
+
+    # -- accessors --------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def num_elements(self) -> int:
+        """Total number of elements (1 for scalars)."""
+        return math.prod(self.dims) if self.dims else 1
+
+    @property
+    def num_bytes(self) -> int:
+        """Total size in bytes; this is the unit of Ceer's input-size features."""
+        return self.num_elements * dtype_size(self.dtype)
+
+    # -- NHWC helpers ------------------------------------------------------
+    def _dim(self, index: int, name: str) -> int:
+        if self.rank != 4:
+            raise ShapeError(f"{name} requires a rank-4 NHWC shape, got rank {self.rank}: {self.dims}")
+        return self.dims[index]
+
+    @property
+    def batch(self) -> int:
+        return self._dim(0, "batch")
+
+    @property
+    def height(self) -> int:
+        return self._dim(1, "height")
+
+    @property
+    def width(self) -> int:
+        return self._dim(2, "width")
+
+    @property
+    def channels(self) -> int:
+        return self._dim(3, "channels")
+
+    def with_batch(self, batch: int) -> "TensorShape":
+        """Return this NHWC shape with a different batch dimension."""
+        if self.rank == 0:
+            return self
+        return TensorShape((batch,) + self.dims[1:], self.dtype)
+
+    def __str__(self) -> str:  # compact, TF-like rendering
+        return f"[{', '.join(map(str, self.dims))}]{'' if self.dtype == DEFAULT_DTYPE else ':' + self.dtype}"
+
+
+def conv_output_hw(
+    in_h: int,
+    in_w: int,
+    kernel_h: int,
+    kernel_w: int,
+    stride_h: int,
+    stride_w: int,
+    padding: str,
+) -> Tuple[int, int]:
+    """Spatial output size of a convolution/pooling window, TF semantics.
+
+    ``padding`` is ``"SAME"`` (output = ceil(in/stride)) or ``"VALID"``
+    (output = ceil((in - kernel + 1)/stride)). Raises :class:`ShapeError`
+    when a VALID window does not fit.
+    """
+    if stride_h <= 0 or stride_w <= 0:
+        raise ShapeError(f"strides must be positive, got ({stride_h}, {stride_w})")
+    padding = padding.upper()
+    if padding == "SAME":
+        return (
+            -(-in_h // stride_h),
+            -(-in_w // stride_w),
+        )
+    if padding == "VALID":
+        if in_h < kernel_h or in_w < kernel_w:
+            raise ShapeError(
+                f"VALID window {kernel_h}x{kernel_w} does not fit input {in_h}x{in_w}"
+            )
+        return (
+            -(-(in_h - kernel_h + 1) // stride_h),
+            -(-(in_w - kernel_w + 1) // stride_w),
+        )
+    raise ShapeError(f"padding must be 'SAME' or 'VALID', got {padding!r}")
+
+
+def total_bytes(shapes: Iterable[TensorShape]) -> int:
+    """Sum of byte sizes over an iterable of shapes."""
+    return sum(s.num_bytes for s in shapes)

@@ -1,0 +1,60 @@
+"""Simulated GPU/CPU hardware: specs, calibration, and the timing ground truth.
+
+This package substitutes for the physical AWS GPUs of the paper's study
+(DESIGN.md, Section 2). Ceer (:mod:`repro.core`) never imports it — the
+simulation boundary runs between here and :mod:`repro.profiling`.
+"""
+
+from repro.hardware.calibration import (
+    EFFICIENCY,
+    OP_TYPE_TWEAKS,
+    QUADRATIC_OP_TYPES,
+    efficiency,
+    op_tweak,
+)
+from repro.hardware.gpus import (
+    FAMILY_TO_GPU,
+    GPU_KEYS,
+    GPU_SPECS,
+    HOST_CPU,
+    CpuSpec,
+    GpuSpec,
+    gpu_spec,
+)
+from repro.hardware.kernel_model import (
+    base_time_us,
+    gpu_base_time_us,
+    host_base_time_us,
+    sample_op_times,
+)
+from repro.hardware.memory import (
+    MemoryEstimate,
+    estimate_memory,
+    max_batch_size,
+)
+from repro.hardware.noise import noise_sigma, rng_for, sample_lognormal_times
+
+__all__ = [
+    "GpuSpec",
+    "CpuSpec",
+    "GPU_SPECS",
+    "GPU_KEYS",
+    "FAMILY_TO_GPU",
+    "HOST_CPU",
+    "gpu_spec",
+    "EFFICIENCY",
+    "OP_TYPE_TWEAKS",
+    "QUADRATIC_OP_TYPES",
+    "efficiency",
+    "op_tweak",
+    "base_time_us",
+    "gpu_base_time_us",
+    "host_base_time_us",
+    "sample_op_times",
+    "noise_sigma",
+    "rng_for",
+    "sample_lognormal_times",
+    "MemoryEstimate",
+    "estimate_memory",
+    "max_batch_size",
+]

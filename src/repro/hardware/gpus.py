@@ -1,0 +1,137 @@
+"""Device specifications for the four AWS GPU models (and the host CPU).
+
+These are the GPUs behind AWS's P3, P2, G4, and G3 instance families
+(paper, Section II):
+
+* **V100** — NVIDIA Tesla V100 (P3): 5,120 CUDA cores, 640 tensor cores,
+  16 GB HBM2.
+* **K80**  — NVIDIA K80 (P2): one GK210 die of the dual-die board AWS
+  exposes per "GPU", 2,496 cores, 12 GB GDDR5.
+* **T4**   — NVIDIA T4 Tensor Core (G4): 2,560 cores, 16 GB GDDR6.
+* **M60**  — NVIDIA Tesla M60 (G3): one GM204 die, 2,048 cores, 8 GB GDDR5.
+
+Peak numbers are the published datasheet figures; the *achieved* fractions
+of peak per operation category live in :mod:`repro.hardware.calibration`
+and were calibrated so the simulated measurements reproduce the paper's
+observed relationships (see DESIGN.md, Section 2). The communication
+coefficients parameterise the ground-truth data-parallel synchronisation
+law in :mod:`repro.sim.dataparallel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU model.
+
+    Attributes:
+        key: short identifier used throughout the library (``"V100"``).
+        family: AWS instance family exposing this GPU (``"P3"``).
+        marketing_name: full product name.
+        cuda_cores: parallel processing cores (paper, Section II).
+        tensor_cores: tensor cores (V100 only among these models).
+        memory_gb: GPU memory in GB.
+        peak_gflops: peak single-precision throughput, GFLOP/s.
+        memory_bandwidth_gbps: peak DRAM bandwidth, GB/s.
+        launch_overhead_us: fixed per-kernel launch/dispatch cost.
+        saturation_elements: output-elements of parallel work needed to
+            reach ~50% of the achievable rate. Wide chips (V100) need much
+            more parallelism to saturate than narrow ones (T4) — the reason
+            small-kernel networks like AlexNet close much of the nominal
+            performance gap on real hardware.
+        comm_base_us: fixed per-iteration host<->device synchronisation cost.
+        comm_us_per_mparam: per-iteration communication microseconds per
+            million model parameters at k=1 (scaled up by the k-factor for
+            data-parallel training; see :mod:`repro.sim.dataparallel`).
+    """
+
+    key: str
+    family: str
+    marketing_name: str
+    cuda_cores: int
+    tensor_cores: int
+    memory_gb: int
+    peak_gflops: float
+    memory_bandwidth_gbps: float
+    launch_overhead_us: float
+    saturation_elements: float
+    comm_base_us: float
+    comm_us_per_mparam: float
+
+
+#: The four GPU models of the paper's study, keyed by GPU key.
+GPU_SPECS: Dict[str, GpuSpec] = {
+    spec.key: spec
+    for spec in (
+        GpuSpec(
+            key="V100", family="P3", marketing_name="NVIDIA Tesla V100",
+            cuda_cores=5120, tensor_cores=640, memory_gb=16,
+            peak_gflops=15700.0, memory_bandwidth_gbps=900.0,
+            launch_overhead_us=3.0, saturation_elements=1.4e6,
+            comm_base_us=2600.0, comm_us_per_mparam=200.0,
+        ),
+        GpuSpec(
+            key="K80", family="P2", marketing_name="NVIDIA K80",
+            cuda_cores=2496, tensor_cores=0, memory_gb=12,
+            peak_gflops=2800.0, memory_bandwidth_gbps=240.0,
+            launch_overhead_us=8.0, saturation_elements=1.8e5,
+            comm_base_us=45000.0, comm_us_per_mparam=2400.0,
+        ),
+        GpuSpec(
+            key="T4", family="G4", marketing_name="NVIDIA T4 Tensor Core",
+            cuda_cores=2560, tensor_cores=320, memory_gb=16,
+            peak_gflops=8100.0, memory_bandwidth_gbps=320.0,
+            launch_overhead_us=4.0, saturation_elements=1.2e5,
+            comm_base_us=8500.0, comm_us_per_mparam=450.0,
+        ),
+        GpuSpec(
+            key="M60", family="G3", marketing_name="NVIDIA Tesla M60",
+            cuda_cores=2048, tensor_cores=0, memory_gb=8,
+            peak_gflops=4800.0, memory_bandwidth_gbps=160.0,
+            launch_overhead_us=6.0, saturation_elements=1.5e5,
+            comm_base_us=17000.0, comm_us_per_mparam=900.0,
+        ),
+    )
+}
+
+#: GPU keys in the paper's canonical presentation order.
+GPU_KEYS: Tuple[str, ...] = ("V100", "K80", "T4", "M60")
+
+#: Map from AWS family name (P3/P2/G4/G3) to GPU key.
+FAMILY_TO_GPU: Dict[str, str] = {spec.family: key for key, spec in GPU_SPECS.items()}
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Host CPU description for the CPU-pinned ops of the input pipeline.
+
+    Host op times are dominated by framework bookkeeping and (prefetch-
+    amortised) data preparation; ``effective_bandwidth_gbps`` is therefore
+    an *effective* figure, far above DRAM speed for the tiny metadata most
+    host ops touch and far below it for full-batch decodes.
+    """
+
+    key: str = "HOST_CPU"
+    overhead_us: float = 500.0
+    effective_bandwidth_gbps: float = 12.0
+
+
+HOST_CPU = CpuSpec()
+
+
+def gpu_spec(key: str) -> GpuSpec:
+    """Look up a GPU by key (``"V100"``) or AWS family name (``"P3"``)."""
+    if key in GPU_SPECS:
+        return GPU_SPECS[key]
+    if key in FAMILY_TO_GPU:
+        return GPU_SPECS[FAMILY_TO_GPU[key]]
+    raise HardwareError(
+        f"unknown GPU {key!r}; known keys: {sorted(GPU_SPECS)}, "
+        f"families: {sorted(FAMILY_TO_GPU)}"
+    )

@@ -1,0 +1,132 @@
+"""GPU memory-footprint estimation for training graphs.
+
+The paper's GPU table (Section II) lists device memory — 16 GB (V100, T4),
+12 GB (K80), 8 GB (M60) — but its experiments all fit. This module adds
+the natural production feature: estimate a training graph's working-set
+size and flag configurations that would OOM, so the recommender can skip
+them (``Recommender(..., check_memory=True)``).
+
+The estimate follows the standard training-memory decomposition:
+
+* **parameters** + **gradients** + optimizer slots (momentum: one extra
+  copy) — 3x parameter bytes;
+* **activations**: every forward op output is retained for the backward
+  pass (no rematerialisation in TF 1.x's default execution);
+* **workspace**: scratch memory for the convolution algorithms, modelled
+  as a fraction of the largest single activation, plus a fixed framework
+  reserve (CUDA context, cuDNN handles).
+
+This is intentionally a first-order model — real allocators fragment and
+TF reserves memory pools — so a safety factor is applied before declaring
+something feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.graph.graph import OpGraph
+from repro.graph.layers import TensorRef  # noqa: F401  (documentation link)
+from repro.graph.ops import Device
+from repro.hardware.gpus import GpuSpec, gpu_spec
+
+#: Parameter copies held on device: weights + gradients + momentum slots.
+PARAMETER_COPIES = 3
+
+#: Convolution workspace as a fraction of the largest activation.
+WORKSPACE_FRACTION = 0.25
+
+#: Fixed framework reserve (CUDA context, kernels, cuDNN), bytes.
+FRAMEWORK_RESERVE_BYTES = 600e6
+
+#: Fraction of physical memory usable before we call a config infeasible
+#: (allocator fragmentation, TF memory pools).
+USABLE_FRACTION = 0.92
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Breakdown of a training graph's estimated device working set."""
+
+    model: str
+    batch_size: int
+    parameter_bytes: int
+    activation_bytes: int
+    workspace_bytes: int
+    reserve_bytes: int
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            PARAMETER_COPIES * self.parameter_bytes
+            + self.activation_bytes
+            + self.workspace_bytes
+            + self.reserve_bytes
+        )
+
+    @property
+    def total_gb(self) -> float:
+        return self.total_bytes / 1e9
+
+    def fits(self, gpu: Union[str, GpuSpec]) -> bool:
+        """Whether the working set fits in a GPU's usable memory."""
+        spec = gpu if isinstance(gpu, GpuSpec) else gpu_spec(gpu)
+        return self.total_bytes <= spec.memory_gb * 1e9 * USABLE_FRACTION
+
+    def render(self) -> str:
+        return (
+            f"memory estimate for {self.model!r} (batch {self.batch_size}): "
+            f"{self.total_gb:.2f} GB  "
+            f"(params x{PARAMETER_COPIES} {PARAMETER_COPIES * self.parameter_bytes / 1e9:.2f} GB, "
+            f"activations {self.activation_bytes / 1e9:.2f} GB, "
+            f"workspace {self.workspace_bytes / 1e9:.2f} GB, "
+            f"reserve {self.reserve_bytes / 1e9:.2f} GB)"
+        )
+
+
+def estimate_memory(graph: OpGraph) -> MemoryEstimate:
+    """Estimate the per-GPU training working set of a graph.
+
+    Activations are the outputs of forward GPU ops — identified as GPU ops
+    that are not gradient/optimizer nodes (their names are scoped under
+    ``gradients/`` and ``train/`` by the builder). Backward ops' outputs
+    are transient and reuse freed forward buffers, so they contribute via
+    the workspace term only.
+    """
+    parameter_bytes = graph.num_parameters * 4  # float32 training
+    activation_bytes = 0
+    largest_activation = 0
+    for op in graph:
+        if op.device is not Device.GPU:
+            continue
+        if op.name.startswith(("gradients/", "train/")):
+            continue
+        out_bytes = op.output_bytes
+        activation_bytes += out_bytes
+        largest_activation = max(largest_activation, out_bytes)
+    workspace = int(WORKSPACE_FRACTION * largest_activation)
+    return MemoryEstimate(
+        model=graph.name,
+        batch_size=graph.batch_size,
+        parameter_bytes=parameter_bytes,
+        activation_bytes=activation_bytes,
+        workspace_bytes=workspace,
+        reserve_bytes=int(FRAMEWORK_RESERVE_BYTES),
+    )
+
+
+def max_batch_size(
+    build_fn, gpu: Union[str, GpuSpec], candidates=(8, 16, 32, 64, 128, 256)
+) -> int:
+    """Largest candidate batch size whose working set fits on ``gpu``.
+
+    ``build_fn(batch_size)`` must return a training graph. Returns 0 when
+    even the smallest candidate does not fit.
+    """
+    best = 0
+    for batch in sorted(candidates):
+        graph = build_fn(batch)
+        if estimate_memory(graph).fits(gpu):
+            best = batch
+    return best

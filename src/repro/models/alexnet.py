@@ -1,0 +1,40 @@
+"""AlexNet (Krizhevsky et al., 2012) — one of the paper's four test-set CNNs.
+
+Five convolutional layers (the first two followed by local response
+normalisation and max pooling), then three fully-connected layers with
+dropout. Mostly convolutions and large dense layers; only a few pooling
+operations — which is why, in the paper's hourly-budget scenario (Fig. 9),
+AlexNet favours G4 over the pooling-friendly P3.
+
+Trainable parameters: ~60.9M (the classic figure is 60.97M), dominated by
+the first fully-connected layer.
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, OpGraph
+
+
+def build_alexnet(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    """Build the AlexNet training graph (227x227 input, as in the original)."""
+    b = GraphBuilder(
+        "alexnet", batch_size=batch_size, image_hw=(227, 227), num_classes=num_classes
+    )
+    x = b.input()
+    x = b.conv(x, filters=96, kernel=11, stride=4, padding="VALID", scope="conv1")
+    x = b.lrn(x, scope="lrn1")
+    x = b.max_pool(x, kernel=3, stride=2, scope="pool1")
+    x = b.conv(x, filters=256, kernel=5, padding="SAME", scope="conv2")
+    x = b.lrn(x, scope="lrn2")
+    x = b.max_pool(x, kernel=3, stride=2, scope="pool2")
+    x = b.conv(x, filters=384, kernel=3, scope="conv3")
+    x = b.conv(x, filters=384, kernel=3, scope="conv4")
+    x = b.conv(x, filters=256, kernel=3, scope="conv5")
+    x = b.max_pool(x, kernel=3, stride=2, scope="pool5")
+    x = b.flatten(x)
+    x = b.dense(x, 4096, scope="fc6")
+    x = b.dropout(x, 0.5, scope="dropout6")
+    x = b.dense(x, 4096, scope="fc7")
+    x = b.dropout(x, 0.5, scope="dropout7")
+    logits = b.dense(x, num_classes, activation=None, scope="fc8")
+    return b.finalize(logits)

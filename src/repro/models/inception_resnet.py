@@ -1,0 +1,131 @@
+"""Inception-ResNet-v2 (Szegedy et al., 2016) — training-set CNN.
+
+"Similar to Inception-v3, but augmented with shortcut connections" (paper,
+Section III): Inception-style multi-branch blocks whose concatenated output
+is projected by a linear 1x1 convolution, scaled, and added back to the
+block input. 10x block35 at 35x35, 20x block17 at 17x17, and 10x block8 at
+8x8, following the TF-Slim reference. ~55M parameters — the largest model
+in the paper's training set, anchoring the high-parameter end of the
+communication-overhead regression (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, OpGraph
+from repro.graph.layers import TensorRef
+
+
+def _conv(b: GraphBuilder, x: TensorRef, filters: int, kernel, scope: str,
+          stride=1, padding: str = "SAME", activation: str = "relu") -> TensorRef:
+    return b.conv(x, filters, kernel, stride=stride, padding=padding,
+                  batch_norm=True, activation=activation, scope=scope)
+
+
+def _stem(b: GraphBuilder, x: TensorRef) -> TensorRef:
+    """Inception-v3-style stem plus the mixed_5b module; 35x35x320 output."""
+    x = _conv(b, x, 32, 3, "stem/conv1a", stride=2, padding="VALID")
+    x = _conv(b, x, 32, 3, "stem/conv1b", padding="VALID")
+    x = _conv(b, x, 64, 3, "stem/conv1c")
+    x = b.max_pool(x, kernel=3, stride=2, padding="VALID", scope="stem/pool1")
+    x = _conv(b, x, 80, 1, "stem/conv2a", padding="VALID")
+    x = _conv(b, x, 192, 3, "stem/conv2b", padding="VALID")
+    x = b.max_pool(x, kernel=3, stride=2, padding="VALID", scope="stem/pool2")
+    # mixed_5b
+    b1 = _conv(b, x, 96, 1, "mixed_5b/b1_1x1")
+    b5 = _conv(b, x, 48, 1, "mixed_5b/b5_reduce")
+    b5 = _conv(b, b5, 64, 5, "mixed_5b/b5_5x5")
+    b3 = _conv(b, x, 64, 1, "mixed_5b/b3_reduce")
+    b3 = _conv(b, b3, 96, 3, "mixed_5b/b3_3x3a")
+    b3 = _conv(b, b3, 96, 3, "mixed_5b/b3_3x3b")
+    bp = b.avg_pool(x, kernel=3, stride=1, padding="SAME", scope="mixed_5b/bp_pool")
+    bp = _conv(b, bp, 64, 1, "mixed_5b/bp_proj")
+    return b.concat([b1, b5, b3, bp], scope="mixed_5b/concat")
+
+
+def _block35(b: GraphBuilder, x: TensorRef, scope: str, scale: float = 0.17) -> TensorRef:
+    """Inception-ResNet-A residual block at 35x35 (320 channels)."""
+    b1 = _conv(b, x, 32, 1, f"{scope}/b1_1x1")
+    b2 = _conv(b, x, 32, 1, f"{scope}/b2_reduce")
+    b2 = _conv(b, b2, 32, 3, f"{scope}/b2_3x3")
+    b3 = _conv(b, x, 32, 1, f"{scope}/b3_reduce")
+    b3 = _conv(b, b3, 48, 3, f"{scope}/b3_3x3a")
+    b3 = _conv(b, b3, 64, 3, f"{scope}/b3_3x3b")
+    mixed = b.concat([b1, b2, b3], scope=f"{scope}/concat")
+    up = b.conv(mixed, x.shape.channels, kernel=1, activation=None,
+                use_bias=True, scope=f"{scope}/proj")
+    up = b.scale(up, scale, scope=f"{scope}/scale")
+    return b.add(x, up, activation="relu", scope=f"{scope}/add")
+
+
+def _reduction_a(b: GraphBuilder, x: TensorRef, scope: str = "mixed_6a") -> TensorRef:
+    """35x35x320 -> 17x17x1088."""
+    b1 = _conv(b, x, 384, 3, f"{scope}/b1_3x3", stride=2, padding="VALID")
+    b2 = _conv(b, x, 256, 1, f"{scope}/b2_reduce")
+    b2 = _conv(b, b2, 256, 3, f"{scope}/b2_3x3a")
+    b2 = _conv(b, b2, 384, 3, f"{scope}/b2_3x3b", stride=2, padding="VALID")
+    bp = b.max_pool(x, kernel=3, stride=2, padding="VALID", scope=f"{scope}/bp_pool")
+    return b.concat([b1, b2, bp], scope=f"{scope}/concat")
+
+
+def _block17(b: GraphBuilder, x: TensorRef, scope: str, scale: float = 0.10) -> TensorRef:
+    """Inception-ResNet-B residual block at 17x17 (1088 channels)."""
+    b1 = _conv(b, x, 192, 1, f"{scope}/b1_1x1")
+    b2 = _conv(b, x, 128, 1, f"{scope}/b2_reduce")
+    b2 = _conv(b, b2, 160, (1, 7), f"{scope}/b2_1x7")
+    b2 = _conv(b, b2, 192, (7, 1), f"{scope}/b2_7x1")
+    mixed = b.concat([b1, b2], scope=f"{scope}/concat")
+    up = b.conv(mixed, x.shape.channels, kernel=1, activation=None,
+                use_bias=True, scope=f"{scope}/proj")
+    up = b.scale(up, scale, scope=f"{scope}/scale")
+    return b.add(x, up, activation="relu", scope=f"{scope}/add")
+
+
+def _reduction_b(b: GraphBuilder, x: TensorRef, scope: str = "mixed_7a") -> TensorRef:
+    """17x17x1088 -> 8x8x2080."""
+    b1 = _conv(b, x, 256, 1, f"{scope}/b1_reduce")
+    b1 = _conv(b, b1, 384, 3, f"{scope}/b1_3x3", stride=2, padding="VALID")
+    b2 = _conv(b, x, 256, 1, f"{scope}/b2_reduce")
+    b2 = _conv(b, b2, 288, 3, f"{scope}/b2_3x3", stride=2, padding="VALID")
+    b3 = _conv(b, x, 256, 1, f"{scope}/b3_reduce")
+    b3 = _conv(b, b3, 288, 3, f"{scope}/b3_3x3a")
+    b3 = _conv(b, b3, 320, 3, f"{scope}/b3_3x3b", stride=2, padding="VALID")
+    bp = b.max_pool(x, kernel=3, stride=2, padding="VALID", scope=f"{scope}/bp_pool")
+    return b.concat([b1, b2, b3, bp], scope=f"{scope}/concat")
+
+
+def _block8(b: GraphBuilder, x: TensorRef, scope: str, scale: float = 0.20,
+            activation: str = "relu") -> TensorRef:
+    """Inception-ResNet-C residual block at 8x8 (2080 channels)."""
+    b1 = _conv(b, x, 192, 1, f"{scope}/b1_1x1")
+    b2 = _conv(b, x, 192, 1, f"{scope}/b2_reduce")
+    b2 = _conv(b, b2, 224, (1, 3), f"{scope}/b2_1x3")
+    b2 = _conv(b, b2, 256, (3, 1), f"{scope}/b2_3x1")
+    mixed = b.concat([b1, b2], scope=f"{scope}/concat")
+    up = b.conv(mixed, x.shape.channels, kernel=1, activation=None,
+                use_bias=True, scope=f"{scope}/proj")
+    up = b.scale(up, scale, scope=f"{scope}/scale")
+    return b.add(x, up, activation=activation, scope=f"{scope}/add")
+
+
+def build_inception_resnet_v2(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    """Build the Inception-ResNet-v2 training graph (299x299 input)."""
+    b = GraphBuilder(
+        "inception_resnet_v2", batch_size=batch_size, image_hw=(299, 299),
+        num_classes=num_classes,
+    )
+    x = b.input()
+    x = _stem(b, x)
+    for i in range(10):
+        x = _block35(b, x, f"block35_{i + 1}")
+    x = _reduction_a(b, x)
+    for i in range(20):
+        x = _block17(b, x, f"block17_{i + 1}")
+    x = _reduction_b(b, x)
+    for i in range(9):
+        x = _block8(b, x, f"block8_{i + 1}")
+    x = _block8(b, x, "block8_10", activation=None)
+    x = _conv(b, x, 1536, 1, "conv_final")
+    x = b.global_avg_pool(x)
+    x = b.dropout(x, 0.2, scope="dropout")
+    logits = b.dense(x, num_classes, activation=None, scope="logits")
+    return b.finalize(logits)

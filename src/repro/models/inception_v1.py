@@ -1,0 +1,66 @@
+"""Inception-v1 / GoogLeNet (Szegedy et al., 2014) — training-set CNN.
+
+Nine Inception modules (four parallel branches merged by channel concat)
+between a convolutional stem and a global-average-pool head. Following the
+paper's evaluation we omit the two auxiliary classifier heads (TF-Slim's
+inception_v1 does the same by default). ~7M parameters — the smallest model
+in the study, which makes it the anchor point of the communication-overhead
+regression in Fig. 7 and the subject of the GPU-scaling study in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, OpGraph
+from repro.graph.layers import TensorRef
+
+#: Branch widths of the nine modules: (1x1, 3x3-reduce, 3x3, 5x5-reduce,
+#: 5x5, pool-proj), from Table 1 of the GoogLeNet paper.
+INCEPTION_V1_MODULES = {
+    "mixed_3a": (64, 96, 128, 16, 32, 32),
+    "mixed_3b": (128, 128, 192, 32, 96, 64),
+    "mixed_4a": (192, 96, 208, 16, 48, 64),
+    "mixed_4b": (160, 112, 224, 24, 64, 64),
+    "mixed_4c": (128, 128, 256, 24, 64, 64),
+    "mixed_4d": (112, 144, 288, 32, 64, 64),
+    "mixed_4e": (256, 160, 320, 32, 128, 128),
+    "mixed_5a": (256, 160, 320, 32, 128, 128),
+    "mixed_5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception_module(b: GraphBuilder, x: TensorRef, widths, scope: str) -> TensorRef:
+    """The classic four-branch Inception block, merged with a channel concat."""
+    w1, w3r, w3, w5r, w5, wp = widths
+    branch1 = b.conv(x, w1, kernel=1, scope=f"{scope}/b1_1x1")
+    branch3 = b.conv(x, w3r, kernel=1, scope=f"{scope}/b3_reduce")
+    branch3 = b.conv(branch3, w3, kernel=3, scope=f"{scope}/b3_3x3")
+    branch5 = b.conv(x, w5r, kernel=1, scope=f"{scope}/b5_reduce")
+    branch5 = b.conv(branch5, w5, kernel=5, scope=f"{scope}/b5_5x5")
+    pooled = b.max_pool(x, kernel=3, stride=1, padding="SAME", scope=f"{scope}/bp_pool")
+    branchp = b.conv(pooled, wp, kernel=1, scope=f"{scope}/bp_proj")
+    return b.concat([branch1, branch3, branch5, branchp], scope=f"{scope}/concat")
+
+
+def build_inception_v1(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    """Build the GoogLeNet training graph (224x224 input)."""
+    b = GraphBuilder(
+        "inception_v1", batch_size=batch_size, image_hw=(224, 224),
+        num_classes=num_classes,
+    )
+    x = b.input()
+    x = b.conv(x, 64, kernel=7, stride=2, padding="SAME", scope="conv1")
+    x = b.max_pool(x, kernel=3, stride=2, padding="SAME", scope="pool1")
+    x = b.lrn(x, scope="lrn1")
+    x = b.conv(x, 64, kernel=1, scope="conv2_reduce")
+    x = b.conv(x, 192, kernel=3, scope="conv2")
+    x = b.lrn(x, scope="lrn2")
+    x = b.max_pool(x, kernel=3, stride=2, padding="SAME", scope="pool2")
+    for name, widths in INCEPTION_V1_MODULES.items():
+        x = _inception_module(b, x, widths, scope=name)
+        if name in ("mixed_3b", "mixed_4e"):
+            x = b.max_pool(x, kernel=3, stride=2, padding="SAME",
+                           scope=f"pool_after_{name}")
+    x = b.global_avg_pool(x)
+    x = b.dropout(x, 0.4, scope="dropout")
+    logits = b.dense(x, num_classes, activation=None, scope="logits")
+    return b.finalize(logits)

@@ -1,0 +1,121 @@
+"""Inception-v3 (Szegedy et al., 2015) — one of the paper's test-set CNNs.
+
+The factorised-convolution Inception: a 299x299 stem, three 35x35 modules
+(5x5 branch), a grid reduction, four 17x17 modules (factorised 7x7
+branches), a second reduction, and two 8x8 modules (expanded-filter-bank
+branches), all batch-normalised and merged with channel concats. The DAG in
+the paper's Figure 1 is exactly this network. ~23.9M parameters.
+
+Inception-v3 is pooling-rich (one AvgPool per module), which is why it
+favours the P3 instance in the paper's hourly-budget scenario (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, OpGraph
+from repro.graph.layers import TensorRef
+
+
+def _conv(b: GraphBuilder, x: TensorRef, filters: int, kernel, scope: str,
+          stride=1, padding: str = "SAME") -> TensorRef:
+    """Inception-v3's conv block: batch-normalised, ReLU, no bias."""
+    return b.conv(x, filters, kernel, stride=stride, padding=padding,
+                  batch_norm=True, scope=scope)
+
+
+def _module_a(b: GraphBuilder, x: TensorRef, pool_proj: int, scope: str) -> TensorRef:
+    """35x35 'Inception-A' module (Mixed_5b/5c/5d)."""
+    b1 = _conv(b, x, 64, 1, f"{scope}/b1_1x1")
+    b5 = _conv(b, x, 48, 1, f"{scope}/b5_reduce")
+    b5 = _conv(b, b5, 64, 5, f"{scope}/b5_5x5")
+    b3 = _conv(b, x, 64, 1, f"{scope}/b3_reduce")
+    b3 = _conv(b, b3, 96, 3, f"{scope}/b3_3x3a")
+    b3 = _conv(b, b3, 96, 3, f"{scope}/b3_3x3b")
+    bp = b.avg_pool(x, kernel=3, stride=1, padding="SAME", scope=f"{scope}/bp_pool")
+    bp = _conv(b, bp, pool_proj, 1, f"{scope}/bp_proj")
+    return b.concat([b1, b5, b3, bp], scope=f"{scope}/concat")
+
+
+def _reduction_a(b: GraphBuilder, x: TensorRef, scope: str) -> TensorRef:
+    """35x35 -> 17x17 grid reduction (Mixed_6a)."""
+    b3 = _conv(b, x, 384, 3, f"{scope}/b3_3x3", stride=2, padding="VALID")
+    bd = _conv(b, x, 64, 1, f"{scope}/bd_reduce")
+    bd = _conv(b, bd, 96, 3, f"{scope}/bd_3x3a")
+    bd = _conv(b, bd, 96, 3, f"{scope}/bd_3x3b", stride=2, padding="VALID")
+    bp = b.max_pool(x, kernel=3, stride=2, padding="VALID", scope=f"{scope}/bp_pool")
+    return b.concat([b3, bd, bp], scope=f"{scope}/concat")
+
+
+def _module_b(b: GraphBuilder, x: TensorRef, channels_7x7: int, scope: str) -> TensorRef:
+    """17x17 'Inception-B' module with factorised 7x7 convs (Mixed_6b..6e)."""
+    c = channels_7x7
+    b1 = _conv(b, x, 192, 1, f"{scope}/b1_1x1")
+    b7 = _conv(b, x, c, 1, f"{scope}/b7_reduce")
+    b7 = _conv(b, b7, c, (1, 7), f"{scope}/b7_1x7")
+    b7 = _conv(b, b7, 192, (7, 1), f"{scope}/b7_7x1")
+    bd = _conv(b, x, c, 1, f"{scope}/bd_reduce")
+    bd = _conv(b, bd, c, (7, 1), f"{scope}/bd_7x1a")
+    bd = _conv(b, bd, c, (1, 7), f"{scope}/bd_1x7a")
+    bd = _conv(b, bd, c, (7, 1), f"{scope}/bd_7x1b")
+    bd = _conv(b, bd, 192, (1, 7), f"{scope}/bd_1x7b")
+    bp = b.avg_pool(x, kernel=3, stride=1, padding="SAME", scope=f"{scope}/bp_pool")
+    bp = _conv(b, bp, 192, 1, f"{scope}/bp_proj")
+    return b.concat([b1, b7, bd, bp], scope=f"{scope}/concat")
+
+
+def _reduction_b(b: GraphBuilder, x: TensorRef, scope: str) -> TensorRef:
+    """17x17 -> 8x8 grid reduction (Mixed_7a)."""
+    b3 = _conv(b, x, 192, 1, f"{scope}/b3_reduce")
+    b3 = _conv(b, b3, 320, 3, f"{scope}/b3_3x3", stride=2, padding="VALID")
+    b7 = _conv(b, x, 192, 1, f"{scope}/b7_reduce")
+    b7 = _conv(b, b7, 192, (1, 7), f"{scope}/b7_1x7")
+    b7 = _conv(b, b7, 192, (7, 1), f"{scope}/b7_7x1")
+    b7 = _conv(b, b7, 192, 3, f"{scope}/b7_3x3", stride=2, padding="VALID")
+    bp = b.max_pool(x, kernel=3, stride=2, padding="VALID", scope=f"{scope}/bp_pool")
+    return b.concat([b3, b7, bp], scope=f"{scope}/concat")
+
+
+def _module_c(b: GraphBuilder, x: TensorRef, scope: str) -> TensorRef:
+    """8x8 'Inception-C' module with expanded filter banks (Mixed_7b/7c)."""
+    b1 = _conv(b, x, 320, 1, f"{scope}/b1_1x1")
+    b3 = _conv(b, x, 384, 1, f"{scope}/b3_reduce")
+    b3a = _conv(b, b3, 384, (1, 3), f"{scope}/b3_1x3")
+    b3b = _conv(b, b3, 384, (3, 1), f"{scope}/b3_3x1")
+    bd = _conv(b, x, 448, 1, f"{scope}/bd_reduce")
+    bd = _conv(b, bd, 384, 3, f"{scope}/bd_3x3")
+    bda = _conv(b, bd, 384, (1, 3), f"{scope}/bd_1x3")
+    bdb = _conv(b, bd, 384, (3, 1), f"{scope}/bd_3x1")
+    bp = b.avg_pool(x, kernel=3, stride=1, padding="SAME", scope=f"{scope}/bp_pool")
+    bp = _conv(b, bp, 192, 1, f"{scope}/bp_proj")
+    return b.concat([b1, b3a, b3b, bda, bdb, bp], scope=f"{scope}/concat")
+
+
+def build_inception_v3(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    """Build the Inception-v3 training graph (299x299 input)."""
+    b = GraphBuilder(
+        "inception_v3", batch_size=batch_size, image_hw=(299, 299),
+        num_classes=num_classes,
+    )
+    x = b.input()
+    x = _conv(b, x, 32, 3, "conv1a", stride=2, padding="VALID")
+    x = _conv(b, x, 32, 3, "conv1b", padding="VALID")
+    x = _conv(b, x, 64, 3, "conv1c")
+    x = b.max_pool(x, kernel=3, stride=2, scope="pool1")
+    x = _conv(b, x, 80, 1, "conv2a", padding="VALID")
+    x = _conv(b, x, 192, 3, "conv2b", padding="VALID")
+    x = b.max_pool(x, kernel=3, stride=2, scope="pool2")
+    x = _module_a(b, x, 32, "mixed_5b")
+    x = _module_a(b, x, 64, "mixed_5c")
+    x = _module_a(b, x, 64, "mixed_5d")
+    x = _reduction_a(b, x, "mixed_6a")
+    x = _module_b(b, x, 128, "mixed_6b")
+    x = _module_b(b, x, 160, "mixed_6c")
+    x = _module_b(b, x, 160, "mixed_6d")
+    x = _module_b(b, x, 192, "mixed_6e")
+    x = _reduction_b(b, x, "mixed_7a")
+    x = _module_c(b, x, "mixed_7b")
+    x = _module_c(b, x, "mixed_7c")
+    x = b.global_avg_pool(x)
+    x = b.dropout(x, 0.2, scope="dropout")
+    logits = b.dense(x, num_classes, activation=None, scope="logits")
+    return b.finalize(logits)

@@ -1,0 +1,123 @@
+"""Inception-v4 (Szegedy et al., 2016) — training-set CNN.
+
+A deeper, pure-Inception network (no residual connections) with a
+branching stem: 4x Inception-A at 35x35, 7x Inception-B at 17x17, and
+3x Inception-C at 8x8, separated by dedicated grid-reduction modules.
+~42.7M parameters.
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, OpGraph
+from repro.graph.layers import TensorRef
+
+
+def _conv(b: GraphBuilder, x: TensorRef, filters: int, kernel, scope: str,
+          stride=1, padding: str = "SAME") -> TensorRef:
+    return b.conv(x, filters, kernel, stride=stride, padding=padding,
+                  batch_norm=True, scope=scope)
+
+
+def _stem(b: GraphBuilder, x: TensorRef) -> TensorRef:
+    """The Inception-v4 stem: three successive branch-and-concat stages,
+    taking 299x299x3 to 35x35x384."""
+    x = _conv(b, x, 32, 3, "stem/conv1a", stride=2, padding="VALID")
+    x = _conv(b, x, 32, 3, "stem/conv1b", padding="VALID")
+    x = _conv(b, x, 64, 3, "stem/conv1c")
+    pool_a = b.max_pool(x, kernel=3, stride=2, padding="VALID", scope="stem/pool_a")
+    conv_a = _conv(b, x, 96, 3, "stem/conv_a", stride=2, padding="VALID")
+    x = b.concat([pool_a, conv_a], scope="stem/concat_a")
+    left = _conv(b, x, 64, 1, "stem/left_reduce")
+    left = _conv(b, left, 96, 3, "stem/left_3x3", padding="VALID")
+    right = _conv(b, x, 64, 1, "stem/right_reduce")
+    right = _conv(b, right, 64, (1, 7), "stem/right_1x7")
+    right = _conv(b, right, 64, (7, 1), "stem/right_7x1")
+    right = _conv(b, right, 96, 3, "stem/right_3x3", padding="VALID")
+    x = b.concat([left, right], scope="stem/concat_b")
+    conv_c = _conv(b, x, 192, 3, "stem/conv_c", stride=2, padding="VALID")
+    pool_c = b.max_pool(x, kernel=3, stride=2, padding="VALID", scope="stem/pool_c")
+    return b.concat([conv_c, pool_c], scope="stem/concat_c")
+
+
+def _module_a(b: GraphBuilder, x: TensorRef, scope: str) -> TensorRef:
+    b1 = _conv(b, x, 96, 1, f"{scope}/b1_1x1")
+    b2 = _conv(b, x, 64, 1, f"{scope}/b2_reduce")
+    b2 = _conv(b, b2, 96, 3, f"{scope}/b2_3x3")
+    b3 = _conv(b, x, 64, 1, f"{scope}/b3_reduce")
+    b3 = _conv(b, b3, 96, 3, f"{scope}/b3_3x3a")
+    b3 = _conv(b, b3, 96, 3, f"{scope}/b3_3x3b")
+    bp = b.avg_pool(x, kernel=3, stride=1, padding="SAME", scope=f"{scope}/bp_pool")
+    bp = _conv(b, bp, 96, 1, f"{scope}/bp_proj")
+    return b.concat([b1, b2, b3, bp], scope=f"{scope}/concat")
+
+
+def _reduction_a(b: GraphBuilder, x: TensorRef, scope: str) -> TensorRef:
+    b1 = _conv(b, x, 384, 3, f"{scope}/b1_3x3", stride=2, padding="VALID")
+    b2 = _conv(b, x, 192, 1, f"{scope}/b2_reduce")
+    b2 = _conv(b, b2, 224, 3, f"{scope}/b2_3x3a")
+    b2 = _conv(b, b2, 256, 3, f"{scope}/b2_3x3b", stride=2, padding="VALID")
+    bp = b.max_pool(x, kernel=3, stride=2, padding="VALID", scope=f"{scope}/bp_pool")
+    return b.concat([b1, b2, bp], scope=f"{scope}/concat")
+
+
+def _module_b(b: GraphBuilder, x: TensorRef, scope: str) -> TensorRef:
+    b1 = _conv(b, x, 384, 1, f"{scope}/b1_1x1")
+    b2 = _conv(b, x, 192, 1, f"{scope}/b2_reduce")
+    b2 = _conv(b, b2, 224, (1, 7), f"{scope}/b2_1x7")
+    b2 = _conv(b, b2, 256, (7, 1), f"{scope}/b2_7x1")
+    b3 = _conv(b, x, 192, 1, f"{scope}/b3_reduce")
+    b3 = _conv(b, b3, 192, (7, 1), f"{scope}/b3_7x1a")
+    b3 = _conv(b, b3, 224, (1, 7), f"{scope}/b3_1x7a")
+    b3 = _conv(b, b3, 224, (7, 1), f"{scope}/b3_7x1b")
+    b3 = _conv(b, b3, 256, (1, 7), f"{scope}/b3_1x7b")
+    bp = b.avg_pool(x, kernel=3, stride=1, padding="SAME", scope=f"{scope}/bp_pool")
+    bp = _conv(b, bp, 128, 1, f"{scope}/bp_proj")
+    return b.concat([b1, b2, b3, bp], scope=f"{scope}/concat")
+
+
+def _reduction_b(b: GraphBuilder, x: TensorRef, scope: str) -> TensorRef:
+    b1 = _conv(b, x, 192, 1, f"{scope}/b1_reduce")
+    b1 = _conv(b, b1, 192, 3, f"{scope}/b1_3x3", stride=2, padding="VALID")
+    b2 = _conv(b, x, 256, 1, f"{scope}/b2_reduce")
+    b2 = _conv(b, b2, 256, (1, 7), f"{scope}/b2_1x7")
+    b2 = _conv(b, b2, 320, (7, 1), f"{scope}/b2_7x1")
+    b2 = _conv(b, b2, 320, 3, f"{scope}/b2_3x3", stride=2, padding="VALID")
+    bp = b.max_pool(x, kernel=3, stride=2, padding="VALID", scope=f"{scope}/bp_pool")
+    return b.concat([b1, b2, bp], scope=f"{scope}/concat")
+
+
+def _module_c(b: GraphBuilder, x: TensorRef, scope: str) -> TensorRef:
+    b1 = _conv(b, x, 256, 1, f"{scope}/b1_1x1")
+    b2 = _conv(b, x, 384, 1, f"{scope}/b2_reduce")
+    b2a = _conv(b, b2, 256, (1, 3), f"{scope}/b2_1x3")
+    b2b = _conv(b, b2, 256, (3, 1), f"{scope}/b2_3x1")
+    b3 = _conv(b, x, 384, 1, f"{scope}/b3_reduce")
+    b3 = _conv(b, b3, 448, (1, 3), f"{scope}/b3_1x3")
+    b3 = _conv(b, b3, 512, (3, 1), f"{scope}/b3_3x1")
+    b3a = _conv(b, b3, 256, (1, 3), f"{scope}/b3a_1x3")
+    b3b = _conv(b, b3, 256, (3, 1), f"{scope}/b3b_3x1")
+    bp = b.avg_pool(x, kernel=3, stride=1, padding="SAME", scope=f"{scope}/bp_pool")
+    bp = _conv(b, bp, 256, 1, f"{scope}/bp_proj")
+    return b.concat([b1, b2a, b2b, b3a, b3b, bp], scope=f"{scope}/concat")
+
+
+def build_inception_v4(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    """Build the Inception-v4 training graph (299x299 input)."""
+    b = GraphBuilder(
+        "inception_v4", batch_size=batch_size, image_hw=(299, 299),
+        num_classes=num_classes,
+    )
+    x = b.input()
+    x = _stem(b, x)
+    for i in range(4):
+        x = _module_a(b, x, f"mixed_a{i + 1}")
+    x = _reduction_a(b, x, "reduction_a")
+    for i in range(7):
+        x = _module_b(b, x, f"mixed_b{i + 1}")
+    x = _reduction_b(b, x, "reduction_b")
+    for i in range(3):
+        x = _module_c(b, x, f"mixed_c{i + 1}")
+    x = b.global_avg_pool(x)
+    x = b.dropout(x, 0.2, scope="dropout")
+    logits = b.dense(x, num_classes, activation=None, scope="logits")
+    return b.finalize(logits)

@@ -1,0 +1,59 @@
+"""LSTM sequence classifiers — the RNN half of Section VI's future work.
+
+Statically-unrolled stacked LSTMs over token sequences, BERT-benchmark
+style: embedding -> N LSTM layers -> last-step hidden state -> classifier.
+Like the Transformer presets, these exist to probe Ceer beyond CNNs: the
+op mix is dominated by *small* MatMuls and elementwise gate kernels, and
+the per-step Sigmoid/binary-Mul/Slice ops are new to a CNN-trained Ceer.
+
+Presets:
+
+* ``small``  — 1 layer,  hidden 128, seq 32  (~4M params w/ embedding)
+* ``medium`` — 2 layers, hidden 256, seq 32  (~8.5M params)
+* ``large``  — 2 layers, hidden 512, seq 32  (~19M params)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ModelZooError
+from repro.graph import OpGraph
+from repro.graph.recurrent import RecurrentGraphBuilder
+
+#: preset -> (num_layers, hidden units)
+LSTM_PRESETS: Dict[str, Tuple[int, int]] = {
+    "small": (1, 128),
+    "medium": (2, 256),
+    "large": (2, 512),
+}
+
+
+def build_lstm(
+    preset: str = "medium",
+    batch_size: int = 32,
+    seq_len: int = 32,
+    vocab_size: int = 30_000,
+    num_classes: int = 2,
+    embed_dim: int = 128,
+) -> OpGraph:
+    """Build a stacked-LSTM classifier training graph."""
+    if preset not in LSTM_PRESETS:
+        raise ModelZooError(
+            f"unknown LSTM preset {preset!r}; available: {sorted(LSTM_PRESETS)}"
+        )
+    num_layers, hidden = LSTM_PRESETS[preset]
+    b = RecurrentGraphBuilder(
+        f"lstm_{preset}",
+        batch_size=batch_size,
+        seq_len=seq_len,
+        vocab_size=vocab_size,
+        num_classes=num_classes,
+    )
+    tokens = b.sequence_input()
+    x = b.embedding(tokens, embed_dim)
+    for layer in range(num_layers):
+        x = b.lstm_layer(x, hidden, scope=f"lstm_{layer + 1}")
+    last_hidden = b.time_slice(x, seq_len - 1, scope="last_step")
+    logits = b.dense(last_hidden, num_classes, activation=None, scope="classifier")
+    return b.finalize(logits)

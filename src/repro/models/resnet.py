@@ -1,0 +1,101 @@
+"""ResNet-v2 (He et al., 2016) — 50/101/152/200-layer bottleneck variants.
+
+The paper's training set includes ResNet-v2-50/152/200; ResNet-v2-101 is in
+the test set. We use the standard bottleneck residual unit (1x1 reduce ->
+3x3 -> 1x1 expand, all batch-normalised) with projection shortcuts at stage
+boundaries, a 7x7/2 stem and 3x3/2 max pool, global average pooling, and a
+single dense classifier.
+
+Parameter counts: ~25.6M / 44.7M / 60.4M / 64.9M for 50/101/152/200,
+matching the published models to within the usual BN-accounting noise.
+ResNets contain only one max-pool and one global-average-pool, so — as the
+paper notes in the Fig. 9 discussion — they benefit less from P3's
+pooling-friendly hardware than Inception/VGG do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ModelZooError
+from repro.graph import GraphBuilder, OpGraph
+from repro.graph.layers import TensorRef
+
+#: Bottleneck-unit counts per stage, from the ResNet papers.
+RESNET_STAGES: Dict[int, Tuple[int, int, int, int]] = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+    200: (3, 24, 36, 3),
+}
+
+
+def _bottleneck(
+    b: GraphBuilder,
+    x: TensorRef,
+    base_channels: int,
+    stride: int,
+    scope: str,
+) -> TensorRef:
+    """One bottleneck residual unit: 1x1/s -> 3x3 -> 1x1(x4), plus shortcut.
+
+    A projection (1x1 convolution) shortcut is used whenever the unit
+    changes the spatial size or channel count, identity otherwise.
+    """
+    out_channels = 4 * base_channels
+    needs_projection = stride != 1 or x.shape.channels != out_channels
+    if needs_projection:
+        shortcut = b.conv(
+            x, out_channels, kernel=1, stride=stride, activation=None,
+            batch_norm=True, scope=f"{scope}/shortcut",
+        )
+    else:
+        shortcut = x
+    y = b.conv(x, base_channels, kernel=1, stride=stride, batch_norm=True,
+               scope=f"{scope}/conv1")
+    y = b.conv(y, base_channels, kernel=3, batch_norm=True, scope=f"{scope}/conv2")
+    y = b.conv(y, out_channels, kernel=1, activation=None, batch_norm=True,
+               scope=f"{scope}/conv3")
+    return b.add(shortcut, y, activation="relu", scope=f"{scope}/add")
+
+
+def build_resnet(depth: int, batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    """Build a ResNet-v2 training graph for ``depth`` in {50, 101, 152, 200}."""
+    if depth not in RESNET_STAGES:
+        raise ModelZooError(
+            f"no ResNet-{depth}; available depths: {sorted(RESNET_STAGES)}"
+        )
+    b = GraphBuilder(
+        f"resnet_{depth}", batch_size=batch_size, image_hw=(224, 224),
+        num_classes=num_classes,
+    )
+    x = b.input()
+    x = b.conv(x, 64, kernel=7, stride=2, padding="SAME", batch_norm=True, scope="stem")
+    x = b.max_pool(x, kernel=3, stride=2, padding="SAME", scope="stem_pool")
+    for stage_index, units in enumerate(RESNET_STAGES[depth]):
+        base_channels = 64 * (2 ** stage_index)
+        for unit in range(units):
+            stride = 2 if (unit == 0 and stage_index > 0) else 1
+            x = _bottleneck(
+                b, x, base_channels, stride,
+                scope=f"stage{stage_index + 1}/unit{unit + 1}",
+            )
+    x = b.global_avg_pool(x)
+    logits = b.dense(x, num_classes, activation=None, scope="logits")
+    return b.finalize(logits)
+
+
+def build_resnet50(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    return build_resnet(50, batch_size, num_classes)
+
+
+def build_resnet101(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    return build_resnet(101, batch_size, num_classes)
+
+
+def build_resnet152(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    return build_resnet(152, batch_size, num_classes)
+
+
+def build_resnet200(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    return build_resnet(200, batch_size, num_classes)

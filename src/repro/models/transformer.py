@@ -1,0 +1,73 @@
+"""Transformer encoders — the paper's stated future-work direction.
+
+Section VI: "It will be interesting to see how Ceer performs on other
+types of DNNs, such as ... Transformer models for Natural Language
+Processing." These BERT-style encoder classifiers exercise operation types
+no CNN contains (``BatchMatMul``, ``LayerNorm``, ``Gelu``, ``Gather``), so
+a CNN-trained Ceer cannot price them without an update — making them the
+canonical test case for the unseen-operation retraining flow
+(:func:`repro.core.update.learn_model`); see
+``repro.experiments.extensions.run_transformer_study``.
+
+Presets (named after the BERT family's sizing conventions):
+
+* ``tiny``   — 2 layers, d_model 128,  2 heads  (~4M params)
+* ``mini``   — 4 layers, d_model 256,  4 heads  (~11M params)
+* ``small``  — 4 layers, d_model 512,  8 heads  (~29M params)
+* ``medium`` — 8 layers, d_model 512,  8 heads  (~41M params)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ModelZooError
+from repro.graph import OpGraph
+from repro.graph.sequence import SequenceGraphBuilder
+
+#: preset -> (num_layers, d_model, num_heads)
+TRANSFORMER_PRESETS: Dict[str, Tuple[int, int, int]] = {
+    "tiny": (2, 128, 2),
+    "mini": (4, 256, 4),
+    "small": (4, 512, 8),
+    "medium": (8, 512, 8),
+}
+
+
+def build_transformer(
+    preset: str = "small",
+    batch_size: int = 32,
+    seq_len: int = 128,
+    vocab_size: int = 30_000,
+    num_classes: int = 2,
+) -> OpGraph:
+    """Build a Transformer-encoder classifier training graph.
+
+    Args:
+        preset: one of :data:`TRANSFORMER_PRESETS`.
+        batch_size: sequences per iteration per GPU.
+        seq_len: tokens per sequence.
+        vocab_size: embedding-table rows.
+        num_classes: classification labels (2 = sentiment-style).
+    """
+    if preset not in TRANSFORMER_PRESETS:
+        raise ModelZooError(
+            f"unknown transformer preset {preset!r}; "
+            f"available: {sorted(TRANSFORMER_PRESETS)}"
+        )
+    num_layers, d_model, num_heads = TRANSFORMER_PRESETS[preset]
+    b = SequenceGraphBuilder(
+        f"transformer_{preset}",
+        batch_size=batch_size,
+        seq_len=seq_len,
+        vocab_size=vocab_size,
+        num_classes=num_classes,
+    )
+    tokens = b.sequence_input()
+    x = b.embedding(tokens, d_model)
+    for i in range(num_layers):
+        x = b.encoder_block(x, num_heads, scope=f"encoder_{i + 1}")
+    x = b.layer_norm(x, scope="final_ln")
+    pooled = b.sequence_mean(x)
+    logits = b.dense(pooled, num_classes, activation=None, scope="classifier")
+    return b.finalize(logits)

@@ -1,0 +1,66 @@
+"""VGG (Simonyan & Zisserman, 2014) — variants 11, 16, and 19.
+
+Uniform stacks of 3x3 SAME convolutions separated by 2x2 max pooling, then
+the classic 4096-4096-1000 fully-connected head. VGG-11 and VGG-16 are in
+the paper's training set; VGG-19 is in the test set (Section III).
+
+Parameter counts: VGG-11 ~132.9M, VGG-16 ~138.4M, VGG-19 ~143.7M.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Union
+
+from repro.errors import ModelZooError
+from repro.graph import GraphBuilder, OpGraph
+
+#: Per-variant configuration: each entry is either a channel count (one 3x3
+#: convolution) or the literal "M" (a 2x2/2 max pool). These are columns A,
+#: D, and E of Table 1 in the VGG paper.
+VGG_CONFIGS: Dict[int, Sequence[Union[int, str]]] = {
+    11: (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    16: (64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+         512, 512, 512, "M", 512, 512, 512, "M"),
+    19: (64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+         512, 512, 512, 512, "M", 512, 512, 512, 512, "M"),
+}
+
+
+def build_vgg(depth: int, batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    """Build a VGG training graph for ``depth`` in {11, 16, 19}."""
+    if depth not in VGG_CONFIGS:
+        raise ModelZooError(f"no VGG-{depth}; available depths: {sorted(VGG_CONFIGS)}")
+    b = GraphBuilder(
+        f"vgg_{depth}", batch_size=batch_size, image_hw=(224, 224),
+        num_classes=num_classes,
+    )
+    x = b.input()
+    block, conv_in_block = 1, 0
+    for item in VGG_CONFIGS[depth]:
+        if item == "M":
+            x = b.max_pool(x, kernel=2, stride=2, scope=f"pool{block}")
+            block += 1
+            conv_in_block = 0
+        else:
+            conv_in_block += 1
+            x = b.conv(x, filters=int(item), kernel=3, padding="SAME",
+                       scope=f"conv{block}_{conv_in_block}")
+    x = b.flatten(x)
+    x = b.dense(x, 4096, scope="fc6")
+    x = b.dropout(x, 0.5, scope="dropout6")
+    x = b.dense(x, 4096, scope="fc7")
+    x = b.dropout(x, 0.5, scope="dropout7")
+    logits = b.dense(x, num_classes, activation=None, scope="fc8")
+    return b.finalize(logits)
+
+
+def build_vgg11(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    return build_vgg(11, batch_size, num_classes)
+
+
+def build_vgg16(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    return build_vgg(16, batch_size, num_classes)
+
+
+def build_vgg19(batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    return build_vgg(19, batch_size, num_classes)

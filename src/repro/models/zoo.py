@@ -1,0 +1,76 @@
+"""The CNN model zoo: all 12 architectures from the paper's empirical study.
+
+Section III of the paper trains 12 CNNs on TensorFlow; 8 form the training
+set for Ceer's models and 4 (Inception-v3, AlexNet, ResNet-101, VGG-19) the
+held-out test set. This module provides the canonical registry, the split,
+and a build cache (graph construction for the deepest models takes a
+noticeable fraction of a second, and experiments build each model many
+times).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ModelZooError
+from repro.graph import OpGraph
+from repro.models.alexnet import build_alexnet
+from repro.models.inception_resnet import build_inception_resnet_v2
+from repro.models.inception_v1 import build_inception_v1
+from repro.models.inception_v3 import build_inception_v3
+from repro.models.inception_v4 import build_inception_v4
+from repro.models.resnet import build_resnet
+from repro.models.vgg import build_vgg
+
+#: name -> builder(batch_size, num_classes) for all 12 CNNs of the study.
+MODEL_BUILDERS: Dict[str, Callable[[int, int], OpGraph]] = {
+    "alexnet": build_alexnet,
+    "vgg_11": lambda bs=32, nc=1000: build_vgg(11, bs, nc),
+    "vgg_16": lambda bs=32, nc=1000: build_vgg(16, bs, nc),
+    "vgg_19": lambda bs=32, nc=1000: build_vgg(19, bs, nc),
+    "inception_v1": build_inception_v1,
+    "inception_v3": build_inception_v3,
+    "inception_v4": build_inception_v4,
+    "inception_resnet_v2": build_inception_resnet_v2,
+    "resnet_50": lambda bs=32, nc=1000: build_resnet(50, bs, nc),
+    "resnet_101": lambda bs=32, nc=1000: build_resnet(101, bs, nc),
+    "resnet_152": lambda bs=32, nc=1000: build_resnet(152, bs, nc),
+    "resnet_200": lambda bs=32, nc=1000: build_resnet(200, bs, nc),
+}
+
+#: The paper's held-out test set (Section III): previously-unseen CNNs used
+#: only for validation and the evaluation scenarios of Section V.
+TEST_MODELS: Tuple[str, ...] = ("inception_v3", "alexnet", "resnet_101", "vgg_19")
+
+#: The remaining 8 CNNs, used to fit Ceer's regression and median models.
+TRAIN_MODELS: Tuple[str, ...] = tuple(
+    name for name in MODEL_BUILDERS if name not in TEST_MODELS
+)
+
+
+def model_names() -> Tuple[str, ...]:
+    """All 12 model names, training set first (paper Section III order-ish)."""
+    return TRAIN_MODELS + TEST_MODELS
+
+
+@lru_cache(maxsize=64)
+def build_model(name: str, batch_size: int = 32, num_classes: int = 1000) -> OpGraph:
+    """Build (and cache) the training op-graph for a zoo model.
+
+    Args:
+        name: one of :func:`model_names`.
+        batch_size: per-GPU batch size; the paper's default is 32.
+        num_classes: label cardinality (1000 for ImageNet).
+
+    Returns:
+        A validated :class:`~repro.graph.graph.OpGraph`. Do not mutate the
+        returned graph — it is shared via the cache.
+    """
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise ModelZooError(
+            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_BUILDERS))}"
+        )
+    return builder(batch_size, num_classes)

@@ -1,0 +1,98 @@
+"""Disk caching for profile datasets.
+
+Profiling the full training matrix (8 CNNs x 4 GPU models x 1,000
+iterations) is the expensive step of Ceer's offline phase. This cache
+stores :class:`~repro.profiling.records.ProfileDataset` JSON files keyed by
+a stable hash of the profiling configuration, so repeated experiment runs
+(or CI) skip straight to fitting.
+
+Usage::
+
+    cache = ProfileCache("~/.cache/repro-profiles")
+    profiles = cache.get_or_profile(TRAIN_MODELS, GPU_KEYS, n_iterations=1000)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.profiling.profiler import Profiler
+from repro.profiling.records import ProfileDataset
+
+
+class ProfileCache:
+    """A content-addressed directory of profile datasets."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def cache_key(
+        models: Sequence[str],
+        gpu_keys: Sequence[str],
+        n_iterations: int,
+        batch_size: int,
+        seed_context: str = "",
+    ) -> str:
+        """Stable hash of the profiling configuration."""
+        payload = json.dumps(
+            {
+                "models": sorted(models),
+                "gpus": sorted(gpu_keys),
+                "iterations": n_iterations,
+                "batch": batch_size,
+                "seed": seed_context,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"profiles-{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[ProfileDataset]:
+        """Return the cached dataset for ``key``, or None on miss."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        return ProfileDataset.from_json(path)
+
+    def store(self, key: str, dataset: ProfileDataset) -> Path:
+        path = self._path(key)
+        dataset.to_json(path)
+        return path
+
+    def get_or_profile(
+        self,
+        models: Sequence[str],
+        gpu_keys: Sequence[str],
+        n_iterations: int = 1000,
+        batch_size: int = 32,
+        seed_context: str = "",
+    ) -> ProfileDataset:
+        """Load the dataset for this configuration, profiling on a miss."""
+        key = self.cache_key(models, gpu_keys, n_iterations, batch_size, seed_context)
+        cached = self.load(key)
+        if cached is not None:
+            return cached
+        profiler = Profiler(n_iterations=n_iterations, batch_size=batch_size)
+        dataset = profiler.profile_many(list(models), list(gpu_keys), seed_context)
+        self.store(key, dataset)
+        return dataset
+
+    def entries(self) -> List[Path]:
+        """All cache files, for inspection/cleanup."""
+        return sorted(self.directory.glob("profiles-*.json"))
+
+    def clear(self) -> int:
+        """Delete all cache entries; returns the number removed."""
+        entries = self.entries()
+        for path in entries:
+            path.unlink()
+        return len(entries)

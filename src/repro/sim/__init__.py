@@ -1,0 +1,23 @@
+"""Execution simulator: per-op traces, data-parallel sync, training runs."""
+
+from repro.sim.dataparallel import (
+    comm_overhead_base_us,
+    k_factor,
+    sample_comm_overhead_us,
+    straggler_sigma,
+)
+from repro.sim.executor import run_iterations
+from repro.sim.trace import IterationProfile, OpTiming, TrainingMeasurement
+from repro.sim.trainer import measure_training
+
+__all__ = [
+    "run_iterations",
+    "measure_training",
+    "OpTiming",
+    "IterationProfile",
+    "TrainingMeasurement",
+    "comm_overhead_base_us",
+    "sample_comm_overhead_us",
+    "k_factor",
+    "straggler_sigma",
+]

@@ -1,0 +1,17 @@
+"""Workload descriptors (datasets and training jobs)."""
+
+from repro.workloads.dataset import (
+    IMAGENET,
+    IMAGENET_6400,
+    IMAGENET_EPOCH,
+    DatasetSpec,
+    TrainingJob,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "TrainingJob",
+    "IMAGENET",
+    "IMAGENET_6400",
+    "IMAGENET_EPOCH",
+]

@@ -1,0 +1,66 @@
+"""Workload descriptors: dataset sizes and training-job parameters.
+
+Ceer's training-time equation (paper, Eq. (2)) needs only two facts about
+the workload: the total data size ``D`` (samples per epoch) and the per-GPU
+batch size ``B``. These descriptors carry them, plus the sample geometry
+used when building the model's input pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A labelled-image dataset, described by size and sample geometry."""
+
+    name: str
+    num_samples: int
+    image_hw: Tuple[int, int] = (224, 224)
+    num_classes: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ReproError(f"dataset {self.name!r} must have >= 1 sample")
+
+
+#: ImageNet ILSVRC-2012 (paper, Section V: 1.2M samples, 1000 classes).
+IMAGENET = DatasetSpec("imagenet", num_samples=1_200_000)
+
+#: The Fig. 6 scaling study's input: 6,400 ImageNet samples.
+IMAGENET_6400 = DatasetSpec("imagenet-6400", num_samples=6_400)
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """One model-training workload: dataset + per-GPU batch size + epochs.
+
+    ``iterations(k)`` follows the paper's accounting: with k GPUs under
+    data parallelism, each iteration consumes ``k * batch_size`` samples,
+    so one epoch takes ``D / (k * B)`` iterations (Eq. (2)).
+    """
+
+    dataset: DatasetSpec
+    batch_size: int = 32
+    epochs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ReproError("batch_size must be positive")
+        if self.epochs <= 0:
+            raise ReproError("epochs must be positive")
+
+    def iterations(self, num_gpus: int = 1) -> float:
+        """Training iterations needed for the full job on ``num_gpus`` GPUs."""
+        if num_gpus < 1:
+            raise ReproError(f"num_gpus must be >= 1, got {num_gpus}")
+        per_epoch = self.dataset.num_samples / (num_gpus * self.batch_size)
+        return per_epoch * self.epochs
+
+
+#: The paper's canonical evaluation job: one epoch of ImageNet, batch 32/GPU.
+IMAGENET_EPOCH = TrainingJob(IMAGENET, batch_size=32, epochs=1)

@@ -1,0 +1,62 @@
+"""Tests for per-model time breakdowns."""
+
+import pytest
+
+from repro.analysis.breakdown import breakdown_from_profile, profile_breakdown
+from repro.profiling.profiler import Profiler
+
+
+@pytest.fixture(scope="module")
+def breakdown():
+    return profile_breakdown("inception_v1", "V100", n_iterations=60)
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self, breakdown):
+        total_share = sum(
+            breakdown.share(op_type) for op_type in breakdown.by_op_type
+        )
+        assert total_share == pytest.approx(1.0)
+
+    def test_device_split_consistent(self, breakdown):
+        assert sum(breakdown.by_device.values()) == pytest.approx(
+            breakdown.total_us
+        )
+        assert breakdown.by_device["GPU"] > breakdown.by_device["CPU"]
+
+    def test_conv_ops_dominate_cnn(self, breakdown):
+        top_types = [t for t, _ in breakdown.top(3)]
+        assert "Conv2D" in top_types
+
+    def test_top_is_sorted(self, breakdown):
+        values = [v for _, v in breakdown.top(10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_coverage_metric(self, breakdown):
+        """The heavy-op coverage claim is computable from a breakdown."""
+        all_types = set(breakdown.by_op_type)
+        assert breakdown.coverage(all_types) == pytest.approx(1.0)
+        assert breakdown.coverage({"Conv2D"}) == pytest.approx(
+            breakdown.share("Conv2D")
+        )
+        assert breakdown.coverage(set()) == 0.0
+
+    def test_instance_counts(self, breakdown):
+        assert breakdown.instances["Conv2D"] == 57  # GoogLeNet's conv count
+
+    def test_render(self, breakdown):
+        text = breakdown.render()
+        assert "inception_v1" in text and "device split" in text
+
+
+class TestFromProfile:
+    def test_rejects_mixed_profiles(self, tiny_graph):
+        profiler = Profiler(n_iterations=20)
+        mixed = profiler.profile_many([tiny_graph], ["V100", "K80"])
+        with pytest.raises(ValueError):
+            breakdown_from_profile(mixed)
+
+    def test_accepts_single_profile(self, tiny_graph):
+        profile = Profiler(n_iterations=20).profile(tiny_graph, "T4")
+        b = breakdown_from_profile(profile)
+        assert b.model == "tiny" and b.gpu_key == "T4"

@@ -1,0 +1,49 @@
+"""Tests for text-table rendering."""
+
+from repro.analysis.reporting import (
+    format_dollars,
+    format_percent,
+    format_table,
+    format_us,
+    series_block,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["bbbb", 20.25]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # all data rows aligned to the same width
+        assert len(lines[3]) == len(lines[4])
+
+    def test_float_format_applied(self):
+        text = format_table(["x"], [[1.23456]], float_format="{:.2f}")
+        assert "1.23" in text and "1.2345" not in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestScalarFormats:
+    def test_format_us_scales(self):
+        assert format_us(500.0) == "500.0 us"
+        assert format_us(2_500.0) == "2.50 ms"
+        assert format_us(2_500_000.0) == "2.50 s"
+        assert format_us(7.2e9) == "2.00 h"
+
+    def test_format_dollars(self):
+        assert format_dollars(1234.5) == "$1,234.50"
+
+    def test_format_percent(self):
+        assert format_percent(0.123) == "12.3%"
+
+    def test_series_block(self):
+        text = series_block("series", {1: 100.0, 2: 200.0})
+        assert text.startswith("series:")
+        assert "1: 100.0 us" in text

@@ -1,0 +1,84 @@
+"""Tests for statistical helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    argmin_key,
+    empirical_cdf,
+    fraction_below,
+    geometric_mean,
+    pairwise_errors,
+    percentile_of,
+    rank_agreement,
+    ratio_summary,
+    relative_reduction,
+)
+from repro.errors import ReproError
+
+
+class TestCdf:
+    def test_sorted_and_normalised(self):
+        values, fractions = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(fractions, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            empirical_cdf([])
+
+    def test_fraction_below(self):
+        assert fraction_below([1, 2, 3, 4], 3) == 0.5
+
+    def test_percentile(self):
+        assert percentile_of(range(101), 95) == pytest.approx(95.0)
+
+
+class TestRatios:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+
+    def test_ratio_summary(self):
+        assert ratio_summary({"a": 10.0, "b": 4.0}, {"a": 5.0, "b": 2.0}) == {
+            "a": 2.0, "b": 2.0,
+        }
+
+    def test_ratio_summary_needs_shared_keys(self):
+        with pytest.raises(ReproError):
+            ratio_summary({"a": 1.0}, {"b": 1.0})
+
+    def test_relative_reduction(self):
+        assert relative_reduction(100.0, 60.0) == pytest.approx(0.4)
+
+    def test_relative_reduction_rejects_zero_baseline(self):
+        with pytest.raises(ReproError):
+            relative_reduction(0.0, 1.0)
+
+
+class TestRanking:
+    def test_rank_agreement_true(self):
+        assert rank_agreement([1.0, 3.0, 2.0], [10.0, 30.0, 20.0])
+
+    def test_rank_agreement_false(self):
+        assert not rank_agreement([1.0, 2.0], [2.0, 1.0])
+
+    def test_argmin_key(self):
+        assert argmin_key({"a": 2.0, "b": 1.0}) == "b"
+
+    def test_argmin_deterministic_tie_break(self):
+        assert argmin_key({"z": 1.0, "a": 1.0}) == "a"
+
+    def test_pairwise_errors(self):
+        errors = dict(pairwise_errors({"a": 100.0}, {"a": 90.0}))
+        assert errors["a"] == pytest.approx(0.1)
+
+    @given(st.lists(st.integers(1, 10**9), min_size=2, max_size=20, unique=True))
+    def test_rank_agreement_with_monotone_transform(self, values):
+        transformed = [v * 3 + 1 for v in values]
+        assert rank_agreement(values, transformed)

@@ -1,0 +1,81 @@
+"""Tests for the AWS instance catalog and the k/n proxy rule."""
+
+import pytest
+
+from repro.cloud.catalog import (
+    AWS_INSTANCES,
+    candidate_instances,
+    instance_by_name,
+    instance_for,
+)
+from repro.errors import CatalogError
+
+
+class TestCatalog:
+    def test_paper_prices_exact(self):
+        """Section II/V list these eight instances and hourly prices."""
+        expected = {
+            "p3.2xlarge": ("V100", 1, 3.06),
+            "p2.xlarge": ("K80", 1, 0.90),
+            "g4dn.2xlarge": ("T4", 1, 0.752),
+            "g3s.xlarge": ("M60", 1, 0.75),
+            "p3.8xlarge": ("V100", 4, 12.24),
+            "p2.8xlarge": ("K80", 8, 7.20),
+            "g4dn.12xlarge": ("T4", 4, 3.912),
+            "g3.16xlarge": ("M60", 4, 4.56),
+        }
+        assert len(AWS_INSTANCES) == len(expected)
+        for name, (gpu, k, price) in expected.items():
+            inst = instance_by_name(name)
+            assert (inst.gpu_key, inst.num_gpus, inst.hourly_cost) == (gpu, k, price)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CatalogError):
+            instance_by_name("p4d.24xlarge")
+
+    def test_cost_per_us_normalisation(self):
+        """Fig. 3's normalisation: hourly cost / 3.6e9 microseconds."""
+        inst = instance_by_name("p3.2xlarge")
+        assert inst.cost_per_us == pytest.approx(3.06 / 3.6e9)
+
+
+class TestProxyRule:
+    def test_exact_match_preferred(self):
+        assert instance_for("V100", 1).name == "p3.2xlarge"
+        assert instance_for("T4", 4).name == "g4dn.12xlarge"
+
+    def test_paper_3gpu_p2_proxy(self):
+        """Section V: a 3-GPU P2 uses p2.8xlarge at 3/8 of its price."""
+        inst = instance_for("K80", 3)
+        assert inst.proxy_of == "p2.8xlarge"
+        assert inst.hourly_cost == pytest.approx(7.20 * 3 / 8)
+        assert inst.num_gpus == 3
+        assert "3/8" in inst.name
+
+    def test_3gpu_g3_proxy_price(self):
+        """The Fig. 9 discussion prices the 3-GPU G3 at $3.42/hr."""
+        inst = instance_for("M60", 3)
+        assert inst.hourly_cost == pytest.approx(3.42)
+
+    def test_4gpu_p2_uses_8gpu_host(self):
+        inst = instance_for("K80", 4)
+        assert inst.proxy_of == "p2.8xlarge"
+        assert inst.hourly_cost == pytest.approx(3.60)
+
+    def test_family_name_accepted(self):
+        assert instance_for("P3", 1).gpu_key == "V100"
+
+    def test_too_many_gpus_raises(self):
+        with pytest.raises(CatalogError):
+            instance_for("V100", 5)
+
+    def test_non_positive_gpus_raises(self):
+        with pytest.raises(CatalogError):
+            instance_for("V100", 0)
+
+    def test_candidate_sweep_covers_all(self):
+        candidates = candidate_instances(max_gpus=4)
+        assert len(candidates) == 16
+        assert {(c.gpu_key, c.num_gpus) for c in candidates} == {
+            (g, k) for g in ("V100", "K80", "T4", "M60") for k in (1, 2, 3, 4)
+        }

@@ -1,0 +1,63 @@
+"""Shared pytest fixtures.
+
+Expensive artifacts (profiles of all training CNNs, a fitted Ceer
+estimator) are built once per session at a reduced iteration count —
+heavy-op noise is small enough that 80 iterations give stable statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fit import fit_ceer
+from repro.graph import GraphBuilder
+from repro.hardware.gpus import GPU_KEYS
+from repro.models.zoo import TRAIN_MODELS
+from repro.profiling.profiler import Profiler
+
+#: Iteration count used by session-level fixtures (paper: 1,000).
+TEST_ITERATIONS = 80
+
+
+def build_tiny_graph(batch_size: int = 4, num_classes: int = 10):
+    """A small but representative training graph: conv/BN/pool/residual/
+    dropout/dense, with input pipeline, backward pass, and optimizer."""
+    b = GraphBuilder(
+        "tiny", batch_size=batch_size, image_hw=(32, 32), num_classes=num_classes
+    )
+    x = b.input()
+    x = b.conv(x, filters=16, kernel=3, batch_norm=True, scope="c1")
+    x = b.max_pool(x, kernel=2, stride=2, scope="p1")
+    shortcut = x
+    x = b.conv(x, filters=16, kernel=3, batch_norm=True, activation=None, scope="c2")
+    x = b.add(shortcut, x, activation="relu", scope="res")
+    x = b.avg_pool(x, kernel=2, stride=2, scope="p2")
+    x = b.flatten(x)
+    x = b.dropout(x, 0.5)
+    logits = b.dense(x, num_classes, activation=None, scope="head")
+    return b.finalize(logits)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    return build_tiny_graph()
+
+
+@pytest.fixture(scope="session")
+def train_profiles_small():
+    """Profiles of all 8 training CNNs on all 4 GPUs (reduced iterations)."""
+    profiler = Profiler(n_iterations=TEST_ITERATIONS)
+    return profiler.profile_many(list(TRAIN_MODELS), list(GPU_KEYS))
+
+
+@pytest.fixture(scope="session")
+def fitted_small(train_profiles_small):
+    """A fitted Ceer estimator bundled with diagnostics (session-scoped)."""
+    return fit_ceer(
+        n_iterations=TEST_ITERATIONS, train_profiles=train_profiles_small
+    )
+
+
+@pytest.fixture(scope="session")
+def ceer_small(fitted_small):
+    return fitted_small.estimator

@@ -1,0 +1,108 @@
+"""Tests for heavy/light/CPU op classification."""
+
+import pytest
+
+from repro.errors import ModelingError
+from repro.core.classify import (
+    CPU,
+    HEAVY,
+    LIGHT,
+    OpClassification,
+    classify_operations,
+)
+from repro.profiling.records import ProfileDataset, ProfileRecord
+
+
+def _record(op_type, gpu="K80", mean=100.0, device="GPU", model="m"):
+    return ProfileRecord(
+        model=model, gpu_key=gpu, op_name=f"x/{op_type}", op_type=op_type,
+        device=device, features=(1.0, 1.0), input_bytes=100, n_samples=10,
+        mean_us=mean, std_us=1.0, median_us=mean,
+    )
+
+
+class TestClassification:
+    def test_threshold_partition(self):
+        ds = ProfileDataset([
+            _record("Conv2D", mean=5000.0),
+            _record("Relu", mean=400.0),
+            _record("Reshape", mean=20.0),
+            _record("SparseToDense", mean=900.0, device="CPU"),
+        ])
+        c = classify_operations(ds, threshold_us=350.0)
+        assert c.kind("Conv2D") == HEAVY
+        assert c.kind("Relu") == HEAVY  # 400 >= 350
+        assert c.kind("Reshape") == LIGHT
+        assert c.kind("SparseToDense") == CPU
+
+    def test_cpu_regardless_of_time(self):
+        ds = ProfileDataset([
+            _record("IteratorGetNext", mean=100000.0, device="CPU"),
+            _record("Conv2D", mean=5000.0),
+        ])
+        c = classify_operations(ds)
+        assert c.kind("IteratorGetNext") == CPU
+
+    def test_reference_gpu_means_used(self):
+        """Classification uses the K80 (P2) reference, not other GPUs."""
+        ds = ProfileDataset([
+            _record("Relu", gpu="K80", mean=100.0),
+            _record("Relu", gpu="V100", mean=9000.0),
+            _record("Conv2D", gpu="K80", mean=5000.0),
+        ])
+        c = classify_operations(ds, threshold_us=350.0)
+        assert c.kind("Relu") == LIGHT
+
+    def test_fallback_when_missing_on_reference(self):
+        ds = ProfileDataset([
+            _record("Relu", gpu="V100", mean=9000.0),
+            _record("Conv2D", gpu="K80", mean=5000.0),
+        ])
+        c = classify_operations(ds)
+        assert c.kind("Relu") == HEAVY  # conservative: slowest observed GPU
+
+    def test_unseen_type_raises(self):
+        ds = ProfileDataset([_record("Conv2D", mean=5000.0)])
+        c = classify_operations(ds)
+        with pytest.raises(ModelingError):
+            c.kind("AvgPool")
+        assert not c.knows("AvgPool")
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ModelingError):
+            classify_operations(ProfileDataset([]))
+
+
+class TestOnRealProfiles:
+    def test_paper_heavy_set(self, train_profiles_small):
+        """The ~20 heavy op types include the kernels the paper names."""
+        c = classify_operations(train_profiles_small)
+        assert 18 <= len(c.heavy) <= 23
+        for expected in (
+            "Conv2D", "Conv2DBackpropFilter", "Conv2DBackpropInput",
+            "MaxPool", "MaxPoolGrad", "AvgPool", "AvgPoolGrad",
+            "FusedBatchNormGradV3", "Relu", "ReluGrad", "BiasAdd",
+            "AddV2", "AddN", "MatMul", "ConcatV2",
+        ):
+            assert expected in c.heavy, expected
+
+    def test_cpu_set_is_host_ops(self, train_profiles_small):
+        c = classify_operations(train_profiles_small)
+        assert "SparseToDense" in c.cpu
+        assert "IteratorGetNext" in c.cpu
+        assert not c.cpu & c.heavy
+
+    def test_partitions_disjoint_and_complete(self, train_profiles_small):
+        c = classify_operations(train_profiles_small)
+        assert not c.heavy & c.light
+        assert not c.heavy & c.cpu
+        for op_type in train_profiles_small.op_types():
+            assert c.knows(op_type)
+
+    def test_light_ops_small_time_share(self, train_profiles_small):
+        """Paper: light ops contribute < ~7% of training time."""
+        c = classify_operations(train_profiles_small)
+        gpu = train_profiles_small.gpu_records()
+        light_time = sum(r.mean_us for r in gpu if r.op_type in c.light)
+        total_time = sum(r.mean_us for r in gpu)
+        assert light_time / total_time < 0.07

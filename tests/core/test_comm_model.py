@@ -1,0 +1,92 @@
+"""Tests for the communication-overhead model S_GPU(params; k)."""
+
+import pytest
+
+from repro.errors import ModelingError
+from repro.core.comm_model import (
+    CommObservation,
+    CommunicationModel,
+    collect_comm_observations,
+    fit_comm_model,
+)
+from repro.core.regression import fit_regression
+
+import numpy as np
+
+
+def _observations(gpu="V100", k=2, slope=10.0, intercept=500.0):
+    return [
+        CommObservation(
+            model=f"m{i}", gpu_key=gpu, num_gpus=k,
+            num_parameters=p, overhead_us=intercept + slope * p / 1e6,
+        )
+        for i, p in enumerate([5e6, 20e6, 50e6, 80e6, 120e6])
+    ]
+
+
+class TestFit:
+    def test_recovers_linear_law(self):
+        model = fit_comm_model(_observations())
+        assert model.r2[("V100", 2)] == pytest.approx(1.0)
+        assert model.predict_us("V100", 2, 40_000_000) == pytest.approx(900.0)
+
+    def test_separate_models_per_gpu_and_k(self):
+        obs = _observations("V100", 2) + _observations("K80", 2, slope=100.0)
+        model = fit_comm_model(obs)
+        assert set(model.models) == {("V100", 2), ("K80", 2)}
+        assert model.predict_us("K80", 2, 40e6) > model.predict_us("V100", 2, 40e6)
+
+    def test_too_few_cnns_rejected(self):
+        with pytest.raises(ModelingError):
+            fit_comm_model(_observations()[:2])
+
+    def test_no_observations_rejected(self):
+        with pytest.raises(ModelingError):
+            fit_comm_model([])
+
+    def test_extrapolation_beyond_fitted_k(self):
+        model = fit_comm_model(_observations(k=4))
+        extrapolated = model.predict_us("V100", 8, 40e6)
+        fitted = model.predict_us("V100", 4, 40e6)
+        assert extrapolated > fitted
+
+    def test_unknown_gpu_rejected(self):
+        model = fit_comm_model(_observations())
+        with pytest.raises(ModelingError):
+            model.predict_us("T4", 2, 10e6)
+
+
+class TestCollection:
+    @pytest.fixture(scope="class")
+    def observations(self):
+        return collect_comm_observations(
+            ["inception_v1", "alexnet", "vgg_11"], ["V100", "T4"],
+            gpu_counts=(1, 2, 4), n_iterations=60,
+        )
+
+    def test_covers_all_triples(self, observations):
+        triples = {(o.model, o.gpu_key, o.num_gpus) for o in observations}
+        assert len(triples) == 3 * 2 * 3
+
+    def test_overheads_positive_and_growing_in_k(self, observations):
+        by_key = {
+            (o.model, o.gpu_key, o.num_gpus): o.overhead_us for o in observations
+        }
+        for model in ("inception_v1", "alexnet", "vgg_11"):
+            for gpu in ("V100", "T4"):
+                assert 0 < by_key[(model, gpu, 1)]
+                assert by_key[(model, gpu, 1)] < by_key[(model, gpu, 2)]
+                assert by_key[(model, gpu, 2)] < by_key[(model, gpu, 4)]
+
+    def test_more_parameters_more_overhead(self, observations):
+        by_key = {(o.model, o.gpu_key, o.num_gpus): o for o in observations}
+        small = by_key[("inception_v1", "V100", 2)]
+        big = by_key[("vgg_11", "V100", 2)]
+        assert big.num_parameters > small.num_parameters
+        assert big.overhead_us > small.overhead_us
+
+    def test_fig7_linearity(self, fitted_small):
+        """Fitted comm models reach the paper's R^2 0.88-0.98 band."""
+        r2s = fitted_small.diagnostics.comm_r2
+        assert r2s
+        assert all(r2 > 0.85 for r2 in r2s.values())

@@ -1,0 +1,44 @@
+"""Tests for the end-to-end fit pipeline and its diagnostics."""
+
+import pytest
+
+from repro.core.fit import fit_ceer
+
+
+class TestFitCeer:
+    def test_returns_usable_estimator(self, fitted_small):
+        assert fitted_small.estimator is not None
+        assert fitted_small.train_profiles
+        # The estimator predicts without raising for every GPU.
+        for gpu in ("V100", "K80", "T4", "M60"):
+            assert fitted_small.estimator.predict_iteration_us(
+                "inception_v3", gpu, 1
+            ) > 0
+
+    def test_diagnostics_complete(self, fitted_small):
+        d = fitted_small.diagnostics
+        assert len(d.train_models) == 8
+        assert d.n_profile_records == len(fitted_small.train_profiles)
+        assert d.heavy_op_types and d.light_op_types and d.cpu_op_types
+        assert d.light_median_us > 0 and d.cpu_median_us > 0
+        assert d.heavy_r2 and d.comm_r2
+
+    def test_summary_renders(self, fitted_small):
+        text = fitted_small.diagnostics.summary()
+        assert "heavy" in text and "R^2" in text
+
+    def test_reuses_provided_profiles(self, train_profiles_small):
+        fitted = fit_ceer(train_profiles=train_profiles_small, gpu_counts=(1, 2))
+        assert fitted.train_profiles is train_profiles_small
+        assert set(k for _, k in fitted.diagnostics.comm_r2) == {1, 2}
+
+    def test_small_custom_fit(self):
+        """Fitting on a subset of models/GPUs works end to end."""
+        fitted = fit_ceer(
+            train_models=("inception_v1", "vgg_11", "resnet_50", "inception_v4"),
+            gpu_keys=("V100", "T4"),
+            n_iterations=40,
+            gpu_counts=(1, 2),
+        )
+        prediction = fitted.estimator.predict_iteration_us("alexnet", "T4", 2)
+        assert prediction > 0

@@ -1,0 +1,112 @@
+"""Tests for the fitted per-op compute-time models."""
+
+import pytest
+
+from repro.errors import ModelingError, UnseenOperationError
+from repro.core.classify import classify_operations
+from repro.core.op_models import fit_compute_models
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape
+from repro.models import build_model
+from repro.profiling.records import ProfileDataset
+
+
+@pytest.fixture(scope="module")
+def compute_models(train_profiles_small):
+    classification = classify_operations(train_profiles_small)
+    return fit_compute_models(train_profiles_small, classification)
+
+
+class TestFit:
+    def test_models_for_every_heavy_type_on_every_gpu(self, compute_models):
+        for gpu in ("V100", "K80", "T4", "M60"):
+            for op_type in compute_models.classification.heavy:
+                assert (gpu, op_type) in compute_models.heavy_models, (gpu, op_type)
+
+    def test_paper_r2_band(self, compute_models):
+        """Section IV-B: training R^2 from 0.84 to 0.98 (ours skews a bit
+        higher; assert the same qualitative band)."""
+        r2s = list(compute_models.train_r2.values())
+        assert min(r2s) > 0.80
+        assert sum(r2s) / len(r2s) > 0.95
+
+    def test_medians_positive_and_ordered(self, compute_models):
+        assert 0 < compute_models.light_median_us < 500
+        assert compute_models.cpu_median_us > compute_models.light_median_us
+
+    def test_empty_profiles_rejected(self, train_profiles_small):
+        classification = classify_operations(train_profiles_small)
+        with pytest.raises(ModelingError):
+            fit_compute_models(ProfileDataset([]), classification)
+
+
+class TestPredictOp:
+    def test_heavy_prediction_near_truth(self, compute_models):
+        """Predictions for a held-out model's convolutions track the
+        simulated ground truth within the paper's 2-10% band."""
+        from repro.hardware.kernel_model import base_time_us
+
+        graph = build_model("resnet_101", batch_size=32)
+        convs = graph.ops_of_type("Conv2D")[:20]
+        errors = []
+        for op in convs:
+            predicted = compute_models.predict_op_us(op, "T4")
+            truth = base_time_us(op, "T4")
+            errors.append(abs(predicted - truth) / truth)
+        assert sum(errors) / len(errors) < 0.12
+
+    def test_light_uses_global_median(self, compute_models):
+        op = Operation(
+            name="x/Reshape", op_type="Reshape",
+            inputs=(TensorShape.of(4, 4),), outputs=(TensorShape.of(16),),
+        )
+        assert compute_models.predict_op_us(op, "V100") == compute_models.light_median_us
+        # GPU-oblivious (paper, Section IV-B)
+        assert compute_models.predict_op_us(op, "K80") == compute_models.light_median_us
+
+    def test_cpu_uses_cpu_median(self, compute_models):
+        op = Operation(
+            name="x/SparseToDense", op_type="SparseToDense",
+            inputs=(TensorShape.of(4, dtype="int64"),),
+            outputs=(TensorShape.of(4, dtype="int64"),),
+        )
+        assert compute_models.predict_op_us(op, "V100") == compute_models.cpu_median_us
+
+    def test_unseen_type_falls_back_to_light_median(self, compute_models):
+        op = Operation(
+            name="x/Tanh", op_type="Tanh",
+            inputs=(TensorShape.of(4, 4),), outputs=(TensorShape.of(4, 4),),
+        )
+        assert compute_models.predict_op_us(op, "V100") == compute_models.light_median_us
+
+    def test_strict_mode_raises_on_unseen(self, train_profiles_small):
+        classification = classify_operations(train_profiles_small)
+        models = fit_compute_models(
+            train_profiles_small, classification, strict_unseen=True
+        )
+        op = Operation(
+            name="x/Tanh", op_type="Tanh",
+            inputs=(TensorShape.of(4, 4),), outputs=(TensorShape.of(4, 4),),
+        )
+        with pytest.raises(UnseenOperationError):
+            models.predict_op_us(op, "V100")
+
+
+class TestPredictGraph:
+    def test_sum_over_ops(self, compute_models, tiny_graph):
+        total = compute_models.predict_graph_us(tiny_graph, "V100")
+        manual = sum(
+            compute_models.predict_op_us(op, "V100") for op in tiny_graph
+        )
+        assert total == pytest.approx(manual)
+
+    def test_heavy_only_drops_light_and_cpu(self, compute_models, tiny_graph):
+        full = compute_models.predict_graph_us(tiny_graph, "V100")
+        heavy = compute_models.predict_graph_us(tiny_graph, "V100", heavy_only=True)
+        assert heavy < full
+
+    def test_include_flags(self, compute_models, tiny_graph):
+        no_cpu = compute_models.predict_graph_us(tiny_graph, "V100", include_cpu=False)
+        no_light = compute_models.predict_graph_us(tiny_graph, "V100", include_light=False)
+        full = compute_models.predict_graph_us(tiny_graph, "V100")
+        assert no_cpu < full and no_light <= full

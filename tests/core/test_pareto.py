@@ -1,0 +1,109 @@
+"""Tests for the time-cost Pareto analysis."""
+
+import pytest
+
+from repro.errors import RecommendationError
+from repro.core.estimator import TrainingPrediction
+from repro.core.pareto import analyze_tradeoff, pareto_frontier
+from repro.core.recommend import MinimizeCost, MinimizeTime, Recommender
+from repro.workloads.dataset import IMAGENET_6400, TrainingJob
+
+JOB = TrainingJob(IMAGENET_6400, batch_size=32)
+
+
+def _prediction(name, time_us, cost):
+    """A synthetic prediction with the given total time and cost."""
+    iterations = 100.0
+    per_iter = time_us / iterations
+    hourly = cost / (time_us / 3.6e9)
+    return TrainingPrediction(
+        model="m", gpu_key="V100", num_gpus=1, instance_name=name,
+        hourly_cost=hourly, compute_us_per_iteration=per_iter,
+        comm_overhead_us=0.0, iterations=iterations,
+    )
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        preds = [
+            _prediction("fast-expensive", 100.0, 10.0),
+            _prediction("slow-cheap", 1000.0, 1.0),
+            _prediction("dominated", 1000.0, 12.0),  # slower AND pricier
+        ]
+        frontier = pareto_frontier(preds)
+        names = [p.instance_name for p in frontier]
+        assert names == ["fast-expensive", "slow-cheap"]
+
+    def test_single_point(self):
+        preds = [_prediction("only", 10.0, 1.0)]
+        assert pareto_frontier(preds) == preds
+
+    def test_empty_rejected(self):
+        with pytest.raises(RecommendationError):
+            pareto_frontier([])
+
+    def test_frontier_sorted_fastest_first(self):
+        preds = [
+            _prediction("a", 300.0, 3.0),
+            _prediction("b", 100.0, 9.0),
+            _prediction("c", 200.0, 6.0),
+        ]
+        frontier = pareto_frontier(preds)
+        times = [p.total_us for p in frontier]
+        costs = [p.cost_dollars for p in frontier]
+        assert times == sorted(times)
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self, ceer_small):
+        return analyze_tradeoff(Recommender(ceer_small), "inception_v3", JOB)
+
+    def test_endpoints_match_recommender(self, analysis, ceer_small):
+        recommender = Recommender(ceer_small)
+        fastest = recommender.recommend("inception_v3", JOB, MinimizeTime()).best
+        cheapest = recommender.recommend("inception_v3", JOB, MinimizeCost()).best
+        assert analysis.fastest.instance_name == fastest.instance_name
+        assert analysis.cheapest.instance_name == cheapest.instance_name
+
+    def test_frontier_subset_of_sweep(self, analysis):
+        sweep_names = {p.instance_name for p in analysis.predictions}
+        assert {p.instance_name for p in analysis.frontier} <= sweep_names
+        assert 1 <= len(analysis.frontier) <= len(analysis.predictions)
+
+    def test_no_frontier_point_dominated(self, analysis):
+        for point in analysis.frontier:
+            for other in analysis.predictions:
+                dominated = (
+                    other.total_us <= point.total_us
+                    and other.cost_dollars < point.cost_dollars
+                ) or (
+                    other.total_us < point.total_us
+                    and other.cost_dollars <= point.cost_dollars
+                )
+                assert not dominated, (point.instance_name, other.instance_name)
+
+    def test_knee_on_frontier(self, analysis):
+        assert analysis.is_efficient(analysis.knee().instance_name)
+
+    def test_best_under_budget(self, analysis):
+        cheapest = analysis.cheapest
+        pick = analysis.best_under_budget(cheapest.cost_dollars * 1.5)
+        assert pick.cost_dollars <= cheapest.cost_dollars * 1.5
+        with pytest.raises(RecommendationError):
+            analysis.best_under_budget(cheapest.cost_dollars * 0.5)
+
+    def test_budget_pick_matches_fig10_logic(self, analysis):
+        """The frontier query and the TotalBudget objective agree."""
+        from repro.core.recommend import TotalBudget
+
+        budget = analysis.cheapest.cost_dollars * 2.0
+        via_frontier = analysis.best_under_budget(budget)
+        # No faster feasible point exists anywhere in the full sweep.
+        feasible = [p for p in analysis.predictions if p.cost_dollars <= budget]
+        assert via_frontier.total_us == min(p.total_us for p in feasible)
+
+    def test_render(self, analysis):
+        text = analysis.render()
+        assert "efficient" in text and "knee" in text

@@ -1,0 +1,94 @@
+"""Tests for fitted-estimator persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ModelingError
+from repro.core.persistence import (
+    estimator_from_dict,
+    estimator_to_dict,
+    load_estimator,
+    save_estimator,
+)
+from repro.workloads.dataset import IMAGENET_6400, TrainingJob
+
+JOB = TrainingJob(IMAGENET_6400, batch_size=32)
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, ceer_small, tmp_path):
+        path = tmp_path / "ceer.json"
+        save_estimator(ceer_small, path)
+        loaded = load_estimator(path)
+        for model in ("inception_v3", "alexnet"):
+            for gpu in ("V100", "K80", "T4", "M60"):
+                for k in (1, 3):
+                    original = ceer_small.predict_training(model, gpu, k, JOB)
+                    restored = loaded.predict_training(model, gpu, k, JOB)
+                    assert original.total_us == restored.total_us
+                    assert original.cost_dollars == restored.cost_dollars
+
+    def test_classification_preserved(self, ceer_small, tmp_path):
+        path = tmp_path / "ceer.json"
+        save_estimator(ceer_small, path)
+        loaded = load_estimator(path)
+        original = ceer_small.compute_models.classification
+        restored = loaded.compute_models.classification
+        assert restored.heavy == original.heavy
+        assert restored.light == original.light
+        assert restored.cpu == original.cpu
+        assert restored.threshold_us == original.threshold_us
+
+    def test_medians_and_flags_preserved(self, ceer_small, tmp_path):
+        path = tmp_path / "ceer.json"
+        save_estimator(ceer_small, path)
+        loaded = load_estimator(path)
+        assert loaded.compute_models.light_median_us == (
+            ceer_small.compute_models.light_median_us
+        )
+        assert loaded.compute_models.cpu_median_us == (
+            ceer_small.compute_models.cpu_median_us
+        )
+        assert loaded.include_communication == ceer_small.include_communication
+        assert loaded.heavy_only == ceer_small.heavy_only
+
+    def test_comm_r2_preserved(self, ceer_small, tmp_path):
+        path = tmp_path / "ceer.json"
+        save_estimator(ceer_small, path)
+        loaded = load_estimator(path)
+        assert loaded.comm_model.r2 == ceer_small.comm_model.r2
+
+    def test_document_is_compact_json(self, ceer_small, tmp_path):
+        path = tmp_path / "ceer.json"
+        save_estimator(ceer_small, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-ceer-estimator"
+        # A fitted Ceer is small: coefficients, not profiles.
+        assert path.stat().st_size < 200_000
+
+    def test_variant_flags_round_trip(self, ceer_small, tmp_path):
+        from repro.core.baselines import no_comm_variant
+
+        path = tmp_path / "variant.json"
+        save_estimator(no_comm_variant(ceer_small), path)
+        loaded = load_estimator(path)
+        assert loaded.include_communication is False
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ModelingError):
+            estimator_from_dict({"format": "nope"})
+
+    def test_wrong_version_rejected(self, ceer_small):
+        data = estimator_to_dict(ceer_small)
+        data["version"] = 42
+        with pytest.raises(ModelingError):
+            estimator_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[[[")
+        with pytest.raises(ModelingError):
+            load_estimator(path)

@@ -1,0 +1,143 @@
+"""Tests for OLS regression with linear/quadratic model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelingError
+from repro.core.regression import (
+    PREDICTION_FLOOR_US,
+    RegressionModel,
+    fit_proportional,
+    fit_regression,
+    mean_absolute_percentage_error,
+    r_squared,
+)
+
+
+def _linear_data(n=50, slope=3.0, intercept=7.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(1, 100, size=(n, 1))
+    y = intercept + slope * x[:, 0] + noise * rng.standard_normal(n)
+    return x, y
+
+
+class TestLinearFit:
+    def test_recovers_exact_coefficients(self):
+        x, y = _linear_data()
+        model = fit_regression(x, y)
+        assert model.degree == 1
+        assert model.intercept == pytest.approx(7.0, abs=1e-6)
+        assert model.coef[0] == pytest.approx(3.0, abs=1e-8)
+        assert model.r2 == pytest.approx(1.0)
+
+    def test_multifeature(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(1, 10, size=(80, 3))
+        y = 1.0 + x @ np.array([2.0, -1.0, 0.5])
+        model = fit_regression(x, y)
+        assert np.allclose(model.coef, [2.0, -1.0, 0.5], atol=1e-6)
+
+    def test_prediction_matches_fit(self):
+        x, y = _linear_data()
+        model = fit_regression(x, y)
+        np.testing.assert_allclose(model.predict(x), y, rtol=1e-6)
+
+    def test_predict_one(self):
+        x, y = _linear_data()
+        model = fit_regression(x, y)
+        assert model.predict_one([10.0]) == pytest.approx(37.0, rel=1e-6)
+
+    def test_prediction_floor(self):
+        x, y = _linear_data(slope=-5.0, intercept=0.0)
+        model = fit_regression(np.abs(x), np.maximum(y, 0.1))
+        assert model.predict_one([1000.0]) >= PREDICTION_FLOOR_US
+
+
+class TestModelSelection:
+    def test_quadratic_selected_for_curved_data(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(1, 100, size=(100, 1))
+        y = 5.0 + 2.0 * x[:, 0] + 0.3 * x[:, 0] ** 2
+        model = fit_regression(x, y)
+        assert model.degree == 2
+        assert model.r2 > 0.999
+
+    def test_linear_preferred_on_linear_data_with_noise(self):
+        x, y = _linear_data(n=200, noise=2.0)
+        model = fit_regression(x, y)
+        assert model.degree == 1
+
+    def test_quadratic_disabled(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(1, 100, size=(100, 1))
+        y = x[:, 0] ** 2
+        model = fit_regression(x, y, allow_quadratic=False)
+        assert model.degree == 1
+
+
+class TestValidation:
+    def test_too_few_observations(self):
+        with pytest.raises(ModelingError):
+            fit_regression(np.ones((2, 1)), np.ones(2))
+
+    def test_mismatched_rows(self):
+        with pytest.raises(ModelingError):
+            fit_regression(np.ones((5, 1)), np.ones(4))
+
+    def test_predict_wrong_feature_count(self):
+        x, y = _linear_data()
+        model = fit_regression(x, y)
+        with pytest.raises(ModelingError):
+            model.predict(np.ones((3, 2)))
+
+
+class TestProportionalFallback:
+    def test_through_origin(self):
+        x = np.array([[1.0, 9.0], [2.0, 9.0]])
+        y = np.array([5.0, 10.0])
+        model = fit_proportional(x, y)
+        assert model.intercept == 0.0
+        assert model.coef[0] == pytest.approx(5.0)
+        assert model.coef[1] == 0.0
+        assert model.predict_one([3.0, 9.0]) == pytest.approx(15.0)
+
+    def test_single_point_works(self):
+        model = fit_proportional(np.array([[4.0]]), np.array([8.0]))
+        assert model.predict_one([2.0]) == pytest.approx(4.0)
+
+    def test_zero_feature_rejected(self):
+        with pytest.raises(ModelingError):
+            fit_proportional(np.zeros((2, 1)), np.ones(2))
+
+
+class TestMetrics:
+    def test_mape(self):
+        assert mean_absolute_percentage_error([100, 200], [110, 180]) == pytest.approx(0.1)
+
+    def test_mape_requires_positive_observed(self):
+        with pytest.raises(ModelingError):
+            mean_absolute_percentage_error([0.0], [1.0])
+
+    def test_r_squared_perfect(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_r_squared_mean_predictor_zero(self):
+        assert r_squared([1.0, 3.0], [2.0, 2.0]) == pytest.approx(0.0)
+
+
+@settings(max_examples=25)
+@given(
+    st.floats(0.1, 100.0),
+    st.floats(0.0, 1000.0),
+    st.integers(10, 60),
+)
+def test_property_exact_linear_data_always_recovered(slope, intercept, n):
+    rng = np.random.default_rng(42)
+    x = rng.uniform(1, 50, size=(n, 1))
+    y = intercept + slope * x[:, 0]
+    model = fit_regression(x, y)
+    assert model.r2 > 0.999999
+    prediction = model.predict_one([25.0])
+    assert prediction == pytest.approx(max(intercept + slope * 25.0, 1.0), rel=1e-4)

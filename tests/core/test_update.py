@@ -1,0 +1,94 @@
+"""Tests for incremental Ceer updates (unseen-operation retraining)."""
+
+import pytest
+
+from repro.errors import ModelingError, UnseenOperationError
+from repro.core.fit import fit_ceer
+from repro.core.update import extend_ceer, learn_model
+from repro.graph import GraphBuilder
+from repro.profiling.profiler import Profiler
+from repro.profiling.records import ProfileDataset
+from repro.workloads.dataset import IMAGENET_6400, TrainingJob
+
+JOB = TrainingJob(IMAGENET_6400, batch_size=32)
+
+
+def _lrn_free_training_set():
+    """Models containing no LRN ops (so LRN is genuinely unseen)."""
+    return ("vgg_11", "resnet_50", "inception_v4")
+
+
+def _lrn_model():
+    """A small CNN exercising the LRN operation (as AlexNet does)."""
+    b = GraphBuilder("lrn_net", batch_size=32, image_hw=(64, 64), num_classes=10)
+    x = b.input()
+    x = b.conv(x, 32, 5, stride=2)
+    x = b.lrn(x)
+    x = b.max_pool(x, 3, 2)
+    x = b.conv(x, 64, 3)
+    x = b.lrn(x)
+    x = b.global_avg_pool(x)
+    return b.finalize(b.dense(x, 10, activation=None))
+
+
+@pytest.fixture(scope="module")
+def strict_fitted():
+    return fit_ceer(
+        train_models=_lrn_free_training_set(),
+        n_iterations=60,
+        gpu_counts=(1, 2),
+        strict_unseen=True,
+    )
+
+
+class TestUnseenOperationFlow:
+    def test_unseen_op_raises_in_strict_mode(self, strict_fitted):
+        """The paper's limitation: a never-profiled heavy op fails."""
+        with pytest.raises(UnseenOperationError):
+            strict_fitted.estimator.predict_iteration_us(_lrn_model(), "V100", 1)
+
+    def test_learn_model_resolves_it(self, strict_fitted):
+        updated = learn_model(
+            strict_fitted, _lrn_model(), gpu_keys=("V100", "K80", "T4", "M60"),
+            n_iterations=60,
+        )
+        prediction = updated.estimator.predict_iteration_us(_lrn_model(), "V100", 1)
+        assert prediction > 0
+        assert updated.estimator.compute_models.classification.knows("LRN")
+
+    def test_update_preserves_existing_accuracy(self, strict_fitted):
+        before = strict_fitted.estimator.predict_iteration_us("vgg_19", "T4", 1)
+        updated = learn_model(
+            strict_fitted, _lrn_model(), gpu_keys=("V100", "K80", "T4", "M60"),
+            n_iterations=60,
+        )
+        after = updated.estimator.predict_iteration_us("vgg_19", "T4", 1)
+        assert abs(after - before) / before < 0.05
+
+    def test_comm_model_reused(self, strict_fitted):
+        updated = learn_model(
+            strict_fitted, _lrn_model(), gpu_keys=("V100",), n_iterations=60
+        )
+        assert updated.estimator.comm_model is strict_fitted.estimator.comm_model
+
+
+class TestExtendCeer:
+    def test_diagnostics_merged(self, strict_fitted):
+        profiles = Profiler(n_iterations=60).profile_many(
+            [_lrn_model()], ["V100"]
+        )
+        updated = extend_ceer(strict_fitted, profiles)
+        assert "lrn_net" in updated.diagnostics.train_models
+        assert updated.diagnostics.n_profile_records > (
+            strict_fitted.diagnostics.n_profile_records
+        )
+
+    def test_empty_profiles_rejected(self, strict_fitted):
+        with pytest.raises(ModelingError):
+            extend_ceer(strict_fitted, ProfileDataset([]))
+
+    def test_original_fitted_unchanged(self, strict_fitted):
+        n_before = strict_fitted.diagnostics.n_profile_records
+        profiles = Profiler(n_iterations=60).profile_many([_lrn_model()], ["V100"])
+        extend_ceer(strict_fitted, profiles)
+        assert strict_fitted.diagnostics.n_profile_records == n_before

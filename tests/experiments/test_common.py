@@ -1,0 +1,57 @@
+"""Tests for the shared experiment infrastructure (caching, setup)."""
+
+import pytest
+
+from repro.experiments.common import (
+    FAMILY_LABELS,
+    IMAGENET_JOB,
+    SCALING_JOB,
+    observed_training,
+    training_profiles,
+)
+
+N = 40
+
+
+class TestCaches:
+    def test_training_profiles_cached_per_iteration_count(self):
+        a = training_profiles(N)
+        b = training_profiles(N)
+        assert a is b  # lru_cache identity
+
+    def test_different_iteration_counts_distinct(self):
+        a = training_profiles(N)
+        b = training_profiles(N + 1)
+        assert a is not b
+
+    def test_observed_training_cached(self):
+        a = observed_training("inception_v1", "T4", 1, SCALING_JOB, N)
+        b = observed_training("inception_v1", "T4", 1, SCALING_JOB, N)
+        assert a is b
+
+    def test_observed_uses_evaluation_seed(self):
+        """Evaluation measurements must be statistically independent of the
+        profiles Ceer trains on (different seed context)."""
+        from repro.sim.trainer import measure_training
+
+        cached = observed_training("inception_v1", "T4", 1, SCALING_JOB, N)
+        train_seeded = measure_training(
+            "inception_v1", "T4", 1, SCALING_JOB, n_profile_iterations=N,
+            seed_context="",
+        )
+        assert cached.per_iteration_us != train_seeded.per_iteration_us
+
+
+class TestCanonicalSetup:
+    def test_family_labels_cover_all_gpus(self):
+        assert dict(FAMILY_LABELS) == {
+            "V100": "P3", "K80": "P2", "T4": "G4", "M60": "G3",
+        }
+
+    def test_imagenet_job_matches_paper(self):
+        assert IMAGENET_JOB.dataset.num_samples == 1_200_000
+        assert IMAGENET_JOB.batch_size == 32
+
+    def test_scaling_job_matches_fig6(self):
+        assert SCALING_JOB.dataset.num_samples == 6_400
+        assert SCALING_JOB.batch_size == 32

@@ -1,0 +1,202 @@
+"""Tests for the functional graph builder (forward construction)."""
+
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.graph import GraphBuilder
+from repro.graph.ops import Device
+
+from tests.conftest import build_tiny_graph
+
+
+def _builder(**kwargs):
+    defaults = dict(name="t", batch_size=4, image_hw=(32, 32), num_classes=10)
+    defaults.update(kwargs)
+    return GraphBuilder(**defaults)
+
+
+class TestInputPipeline:
+    def test_input_emits_host_ops(self):
+        b = _builder()
+        x = b.input()
+        cpu_ops = [op for op in b.graph if op.device is Device.CPU]
+        assert {op.op_type for op in cpu_ops} >= {
+            "IteratorGetNext", "DecodeAndResize", "SparseToDense", "Cast",
+        }
+        assert x.shape.dims == (4, 32, 32, 3)
+
+    def test_input_twice_rejected(self):
+        b = _builder()
+        b.input()
+        with pytest.raises(GraphError):
+            b.input()
+
+
+class TestConv:
+    def test_conv_shapes_and_variables(self):
+        b = _builder()
+        x = b.input()
+        y = b.conv(x, filters=8, kernel=3, scope="c")
+        assert y.shape.dims == (4, 32, 32, 8)
+        names = {v.name for v in b.variables}
+        assert "c/weights" in names and "c/bias" in names
+
+    def test_conv_strided_valid(self):
+        b = _builder(image_hw=(227, 227))
+        x = b.input()
+        y = b.conv(x, filters=96, kernel=11, stride=4, padding="VALID")
+        assert y.shape.dims == (4, 55, 55, 96)
+
+    def test_batch_norm_replaces_bias(self):
+        b = _builder()
+        x = b.input()
+        b.conv(x, filters=8, kernel=3, batch_norm=True, scope="c")
+        names = {v.name for v in b.variables}
+        assert {"c/weights", "c/gamma", "c/beta"} <= names
+        assert "c/bias" not in names
+        assert len(b.graph.ops_of_type("FusedBatchNormV3")) == 1
+
+    def test_activation_none_skips_relu(self):
+        b = _builder()
+        x = b.input()
+        b.conv(x, filters=8, kernel=3, activation=None)
+        assert not b.graph.ops_of_type("Relu")
+
+    def test_non_square_kernel(self):
+        b = _builder()
+        x = b.input()
+        y = b.conv(x, filters=8, kernel=(1, 7))
+        assert y.shape.dims == (4, 32, 32, 8)
+        conv = b.graph.ops_of_type("Conv2D")[0]
+        assert conv.attrs["kernel"] == (1, 7)
+
+
+class TestOtherLayers:
+    def test_pool_shapes(self):
+        b = _builder()
+        x = b.input()
+        assert b.max_pool(x, 2, 2).shape.dims == (4, 16, 16, 3)
+
+    def test_concat_channels(self):
+        b = _builder()
+        x = b.input()
+        a = b.conv(x, 4, 1)
+        c = b.conv(x, 6, 1)
+        assert b.concat([a, c]).shape.channels == 10
+
+    def test_concat_mismatched_spatial_rejected(self):
+        b = _builder()
+        x = b.input()
+        a = b.conv(x, 4, 3)
+        c = b.max_pool(x, 2, 2)
+        with pytest.raises(ShapeError):
+            b.concat([a, c])
+
+    def test_concat_needs_two_inputs(self):
+        b = _builder()
+        x = b.input()
+        with pytest.raises(GraphError):
+            b.concat([x])
+
+    def test_add_requires_matching_shapes(self):
+        b = _builder()
+        x = b.input()
+        a = b.conv(x, 4, 3)
+        c = b.conv(x, 8, 3)
+        with pytest.raises(ShapeError):
+            b.add(a, c)
+
+    def test_flatten_then_dense(self):
+        b = _builder()
+        x = b.input()
+        x = b.flatten(x)
+        assert x.shape.dims == (4, 32 * 32 * 3)
+        y = b.dense(x, 10, activation=None)
+        assert y.shape.dims == (4, 10)
+
+    def test_dense_requires_rank_2(self):
+        b = _builder()
+        x = b.input()
+        with pytest.raises(ShapeError):
+            b.dense(x, 10)
+
+    def test_global_avg_pool(self):
+        b = _builder()
+        x = b.input()
+        assert b.global_avg_pool(x).shape.dims == (4, 3)
+
+    def test_pad(self):
+        b = _builder()
+        x = b.input()
+        assert b.pad(x, 1, 2).shape.dims == (4, 34, 36, 3)
+
+    def test_scale_preserves_shape(self):
+        b = _builder()
+        x = b.input()
+        assert b.scale(x, 0.17).shape == x.shape
+
+    def test_unknown_activation_rejected(self):
+        b = _builder()
+        x = b.input()
+        with pytest.raises(ValueError):
+            b.conv(x, 4, 3, activation="swish")
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(GraphError):
+            _builder(optimizer="adam")
+
+
+class TestFinalize:
+    def test_finalize_validates_logits_shape(self):
+        b = _builder()
+        x = b.input()
+        x = b.flatten(x)
+        wrong = b.dense(x, 7, activation=None)
+        with pytest.raises(ShapeError):
+            b.finalize(wrong)
+
+    def test_finalize_requires_input(self):
+        b = _builder()
+        with pytest.raises(GraphError):
+            b.finalize(None)
+
+    def test_finalize_twice_rejected(self):
+        b = _builder()
+        x = b.input()
+        logits = b.dense(b.flatten(x), 10, activation=None)
+        b.finalize(logits)
+        with pytest.raises(GraphError):
+            b.finalize(logits)
+
+    def test_emit_after_finalize_rejected(self):
+        b = _builder()
+        x = b.input()
+        b.finalize(b.dense(b.flatten(x), 10, activation=None))
+        with pytest.raises(GraphError):
+            b.conv(x, 4, 3)
+
+    def test_parameter_count_matches_manual(self):
+        g = build_tiny_graph()
+        # c1: 3*3*3*16 w + 16 gamma + 16 beta; c2: 3*3*16*16 + 16 + 16;
+        # head: (16*16*16 -> wait, flatten of 8x8x16) ...
+        expected_c1 = 3 * 3 * 3 * 16 + 32
+        expected_c2 = 3 * 3 * 16 * 16 + 32
+        head_in = 8 * 8 * 16
+        expected_head = head_in * 10 + 10
+        assert g.num_parameters == expected_c1 + expected_c2 + expected_head
+
+    def test_num_variables_counted(self):
+        g = build_tiny_graph()
+        assert g.num_variables == 3 + 3 + 2  # two BN convs + dense(w, b)
+
+    def test_one_optimizer_op_per_variable(self):
+        g = build_tiny_graph()
+        assert len(g.ops_of_type("ApplyMomentum")) == g.num_variables
+
+    def test_unique_scope_suffixing(self):
+        b = _builder()
+        x = b.input()
+        b.conv(x, 4, 3)  # default scope "conv"
+        b.conv(x, 4, 3)  # must not collide
+        convs = b.graph.ops_of_type("Conv2D")
+        assert len({op.name for op in convs}) == 2

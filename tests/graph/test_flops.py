@@ -1,0 +1,111 @@
+"""Tests for per-op FLOP counts and memory-traffic estimates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError, UnknownOpError
+from repro.graph.flops import flop_count, graph_flops, memory_bytes
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape
+
+
+def _conv(op_type="Conv2D", batch=2, hw=8, kh=3, kw=3, ic=4, oc=16):
+    x = TensorShape.of(batch, hw, hw, ic)
+    f = TensorShape.of(kh, kw, ic, oc)
+    y = TensorShape.of(batch, hw, hw, oc)
+    if op_type == "Conv2D":
+        inputs, outputs = (x, f), (y,)
+    elif op_type == "Conv2DBackpropInput":
+        inputs, outputs = (y, f), (x,)
+    else:  # Conv2DBackpropFilter
+        inputs, outputs = (x, y, f), (f,)
+    return Operation(
+        name=f"t/{op_type}", op_type=op_type, inputs=inputs, outputs=outputs,
+        attrs={"kernel": (kh, kw), "strides": (1, 1), "padding": "SAME"},
+    )
+
+
+class TestConvFlops:
+    def test_forward_conv_exact(self):
+        op = _conv()
+        # 2 * |y| * KH*KW*IC = 2 * (2*8*8*16) * 3*3*4
+        assert flop_count(op) == 2 * (2 * 8 * 8 * 16) * 3 * 3 * 4
+
+    def test_backprop_input_matches_forward_volume(self):
+        assert flop_count(_conv("Conv2DBackpropInput")) == flop_count(_conv())
+
+    def test_backprop_filter_matches_forward_volume(self):
+        assert flop_count(_conv("Conv2DBackpropFilter")) == flop_count(_conv())
+
+    def test_missing_kernel_attr_raises(self):
+        op = Operation(
+            name="bad", op_type="Conv2D",
+            inputs=(TensorShape.of(1, 4, 4, 1), TensorShape.of(3, 3, 1, 1)),
+            outputs=(TensorShape.of(1, 4, 4, 1),),
+        )
+        with pytest.raises(ShapeError):
+            flop_count(op)
+
+    @given(st.integers(1, 8), st.integers(1, 16), st.integers(1, 16))
+    def test_forward_flops_scale_linearly_with_channels(self, batch, ic, oc):
+        base = flop_count(_conv(batch=batch, ic=ic, oc=oc))
+        double_oc = flop_count(_conv(batch=batch, ic=ic, oc=2 * oc))
+        assert double_oc == 2 * base
+
+
+class TestMatMulFlops:
+    def _matmul(self, a, b, out):
+        return Operation(
+            name="t/MatMul", op_type="MatMul",
+            inputs=(TensorShape.of(*a), TensorShape.of(*b)),
+            outputs=(TensorShape.of(*out),),
+        )
+
+    def test_forward(self):
+        op = self._matmul((32, 128), (128, 10), (32, 10))
+        assert flop_count(op) == 2 * 32 * 128 * 10
+
+    def test_weight_gradient_layout(self):
+        # dW: (B,K)^T x (B,N) -> (K,N); shared dim is B.
+        op = self._matmul((32, 128), (32, 10), (128, 10))
+        assert flop_count(op) == 2 * 32 * 128 * 10
+
+    def test_input_gradient_layout(self):
+        # dx: (B,N) x (K,N)^T -> (B,K); shared dim is N.
+        op = self._matmul((32, 10), (128, 10), (32, 128))
+        assert flop_count(op) == 2 * 32 * 128 * 10
+
+    def test_inconsistent_shapes_raise(self):
+        with pytest.raises(ShapeError):
+            flop_count(self._matmul((3, 5), (7, 11), (2, 2)))
+
+
+class TestOtherOps:
+    def test_pooling_flops_positive(self):
+        op = Operation(
+            name="t/MaxPool", op_type="MaxPool",
+            inputs=(TensorShape.of(2, 8, 8, 4),),
+            outputs=(TensorShape.of(2, 4, 4, 4),),
+            attrs={"kernel": (2, 2)},
+        )
+        assert flop_count(op) == 2 * 4 * 4 * 4 * 4  # out_elems * kh * kw
+
+    def test_data_movement_is_zero_flops(self):
+        op = Operation(
+            name="t/Reshape", op_type="Reshape",
+            inputs=(TensorShape.of(2, 8),), outputs=(TensorShape.of(16),),
+        )
+        assert flop_count(op) == 0
+
+    def test_memory_bytes_is_io_sum(self):
+        op = Operation(
+            name="t/Relu", op_type="Relu",
+            inputs=(TensorShape.of(10,),), outputs=(TensorShape.of(10,),),
+        )
+        assert memory_bytes(op) == 80
+
+    def test_graph_flops_sums(self, tiny_graph):
+        total = graph_flops(tiny_graph.operations)
+        assert total == sum(flop_count(op) for op in tiny_graph)
+        assert total > 0

@@ -1,0 +1,149 @@
+"""Tests for the recurrent (LSTM) graph builder and its autodiff."""
+
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.graph.recurrent import RecurrentGraphBuilder
+from repro.models.lstm import LSTM_PRESETS, build_lstm
+
+
+def _builder():
+    return RecurrentGraphBuilder(
+        "rnn", batch_size=4, seq_len=8, vocab_size=50, num_classes=3
+    )
+
+
+class TestPrimitives:
+    def test_multiply_binary(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 16)
+        y = b.multiply(x, x)
+        assert y.shape == x.shape
+
+    def test_multiply_shape_mismatch(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 16)
+        h = b.zero_state(8)
+        with pytest.raises(ShapeError):
+            b.multiply(x, h)
+
+    def test_slice_features(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 16)
+        y = b.slice_features(x, 4, 8)
+        assert y.shape.dims == (4, 8, 8)
+
+    def test_slice_out_of_range(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 16)
+        with pytest.raises(ShapeError):
+            b.slice_features(x, 10, 10)
+
+    def test_time_slice(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 16)
+        y = b.time_slice(x, 3)
+        assert y.shape.dims == (4, 16)
+
+    def test_time_slice_bounds(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 16)
+        with pytest.raises(ShapeError):
+            b.time_slice(x, 8)
+
+    def test_concat_features_rank2(self):
+        b = _builder()
+        b.sequence_input()
+        a = b.zero_state(8)
+        c = b.zero_state(8)
+        y = b.concat_features([a, c])
+        assert y.shape.dims == (4, 16)
+
+    def test_concat_features_mismatch(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 16)
+        h = b.zero_state(8)
+        with pytest.raises(ShapeError):
+            b.concat_features([x, h])
+
+    def test_stack_time(self):
+        b = _builder()
+        b.sequence_input()
+        steps = [b.zero_state(8) for _ in range(5)]
+        y = b.stack_time(steps)
+        assert y.shape.dims == (4, 5, 8)
+
+    def test_standalone_activation(self):
+        b = _builder()
+        b.sequence_input()
+        h = b.zero_state(8)
+        y = b.activation(h, "sigmoid")
+        assert y.shape == h.shape
+        assert len(b.graph.ops_of_type("Sigmoid")) == 1
+
+    def test_activation_none_rejected(self):
+        b = _builder()
+        b.sequence_input()
+        h = b.zero_state(8)
+        with pytest.raises(GraphError):
+            b.activation(h, None)
+
+
+class TestLstm:
+    def test_cell_shapes(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 16)
+        x_t = b.time_slice(x, 0)
+        h, c = b.lstm_cell(x_t, b.zero_state(8), b.zero_state(8), 8, "cell")
+        assert h.shape.dims == (4, 8)
+        assert c.shape.dims == (4, 8)
+
+    def test_layer_output_shape(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 16)
+        y = b.lstm_layer(x, 8)
+        assert y.shape.dims == (4, 8, 8)
+
+    def test_weight_sharing_dedup(self):
+        """Unrolled steps share one gate kernel: parameters must not scale
+        with sequence length."""
+        short = build_lstm("small", batch_size=4, seq_len=4, vocab_size=50)
+        long = build_lstm("small", batch_size=4, seq_len=16, vocab_size=50)
+        assert short.num_parameters == long.num_parameters
+        assert short.num_variables == long.num_variables
+
+    def test_ops_scale_with_sequence(self):
+        short = build_lstm("small", batch_size=4, seq_len=4, vocab_size=50)
+        long = build_lstm("small", batch_size=4, seq_len=16, vocab_size=50)
+        assert len(long) > 2 * len(short)
+
+    def test_full_model_backward_structure(self):
+        g = build_lstm("small", batch_size=4, seq_len=4, vocab_size=50)
+        counts = g.op_type_counts()
+        assert counts["Sigmoid"] == 3 * 4  # 3 gates x 4 steps
+        assert counts["SigmoidGrad"] == counts["Sigmoid"]
+        assert counts["Tanh"] == 2 * 4  # candidate + state activation
+        assert counts["Pad"] >= 4  # slice gradients
+        g.validate()
+
+    def test_every_variable_updated(self):
+        g = build_lstm("medium", batch_size=4, seq_len=4, vocab_size=50)
+        assert len(g.ops_of_type("ApplyMomentum")) == g.num_variables
+
+    def test_presets(self):
+        for preset in LSTM_PRESETS:
+            g = build_lstm(preset, batch_size=4, seq_len=4, vocab_size=50)
+            g.validate()
+
+    def test_unknown_preset(self):
+        from repro.errors import ModelZooError
+
+        with pytest.raises(ModelZooError):
+            build_lstm("xl")
+
+    def test_simulates(self):
+        from repro.sim import run_iterations
+
+        g = build_lstm("small", batch_size=4, seq_len=4, vocab_size=50)
+        profile = run_iterations(g, "T4", 10)
+        assert profile.compute_us > 0

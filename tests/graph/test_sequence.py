@@ -1,0 +1,154 @@
+"""Tests for the sequence (Transformer) graph builder and its autodiff."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.graph.sequence import SequenceGraphBuilder
+from repro.graph.shapes import TensorShape
+
+
+def _builder(**kwargs):
+    defaults = dict(name="seq", batch_size=4, seq_len=16, vocab_size=100,
+                    num_classes=3)
+    defaults.update(kwargs)
+    return SequenceGraphBuilder(**defaults)
+
+
+def _tiny_transformer(layers=1, d_model=32, heads=2):
+    b = _builder()
+    tokens = b.sequence_input()
+    x = b.embedding(tokens, d_model)
+    for i in range(layers):
+        x = b.encoder_block(x, heads, scope=f"enc{i}")
+    pooled = b.sequence_mean(b.layer_norm(x))
+    return b.finalize(b.dense(pooled, 3, activation=None))
+
+
+class TestLayers:
+    def test_sequence_input_shapes(self):
+        b = _builder()
+        tokens = b.sequence_input()
+        assert tokens.shape.dims == (4, 16)
+        assert tokens.shape.dtype == "int64"
+
+    def test_embedding(self):
+        b = _builder()
+        tokens = b.sequence_input()
+        x = b.embedding(tokens, 32)
+        assert x.shape.dims == (4, 16, 32)
+        assert any(v.name.endswith("/table") for v in b.variables)
+        table = next(v for v in b.variables if v.name.endswith("/table"))
+        assert table.shape.dims == (100, 32)
+
+    def test_layer_norm_preserves_shape_adds_params(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 32)
+        y = b.layer_norm(x)
+        assert y.shape == x.shape
+        names = {v.name for v in b.variables}
+        assert any(n.endswith("/gamma") for n in names)
+
+    def test_dense_tokens(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 32)
+        y = b.dense_tokens(x, 64, activation="gelu")
+        assert y.shape.dims == (4, 16, 64)
+        assert len(b.graph.ops_of_type("Gelu")) == 1
+
+    def test_batch_matmul_requires_rank_3(self):
+        b = _builder()
+        tokens = b.sequence_input()
+        with pytest.raises(ShapeError):
+            b.batch_matmul(tokens, tokens, TensorShape.of(4, 16, 16))
+
+    def test_attention_shapes(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 32)
+        y = b.self_attention(x, num_heads=2)
+        assert y.shape.dims == (4, 16, 32)
+        # scores + context batched matmuls
+        assert len(b.graph.ops_of_type("BatchMatMul")) == 2
+        assert len(b.graph.ops_of_type("Softmax")) == 1
+
+    def test_attention_head_divisibility(self):
+        b = _builder()
+        x = b.embedding(b.sequence_input(), 30)
+        with pytest.raises(ShapeError):
+            b.self_attention(x, num_heads=4)
+
+
+class TestTrainingGraph:
+    def test_builds_and_validates(self):
+        g = _tiny_transformer()
+        g.validate()
+        assert g.num_parameters > 0
+        assert g.num_variables > 10
+
+    def test_backward_ops_present(self):
+        g = _tiny_transformer()
+        counts = g.op_type_counts()
+        # forward 2 batched matmuls -> 4 gradient batched matmuls
+        assert counts["BatchMatMul"] == 2 + 4
+        assert counts["SoftmaxGrad"] == counts["Softmax"]  # attention softmax
+        assert counts["LayerNormGrad"] == counts["LayerNorm"]
+        assert counts["GeluGrad"] == counts["Gelu"]
+        assert counts["Scatter"] == 1  # embedding-table gradient
+
+    def test_every_variable_updated(self):
+        g = _tiny_transformer()
+        assert len(g.ops_of_type("ApplyMomentum")) == g.num_variables
+
+    def test_parameter_count_matches_formula(self):
+        d, layers, vocab, ffn = 32, 1, 100, 4
+        g = _tiny_transformer(layers=layers, d_model=d)
+        expected = vocab * d  # embedding
+        per_block = (
+            4 * (d * d + d)          # q/k/v/out projections (+bias)
+            + 2 * (2 * d)            # two layer norms
+            + (d * ffn * d + ffn * d)  # ffn up
+            + (ffn * d * d + d)      # ffn down
+        )
+        final_ln = 2 * d
+        head = d * 3 + 3
+        assert g.num_parameters == expected + layers * per_block + final_ln + head
+
+    def test_simulates_on_all_gpus(self):
+        from repro.sim import run_iterations
+
+        g = _tiny_transformer()
+        for gpu in ("V100", "K80", "T4", "M60"):
+            profile = run_iterations(g, gpu, 20)
+            assert profile.compute_us > 0
+
+    def test_serialization_round_trip(self, tmp_path):
+        from repro.graph.serialization import load_graph, save_graph
+
+        g = _tiny_transformer()
+        save_graph(g, tmp_path / "t.json")
+        restored = load_graph(tmp_path / "t.json")
+        assert restored.op_type_counts() == g.op_type_counts()
+
+
+class TestTransformerPresets:
+    def test_all_presets_build(self):
+        from repro.models.transformer import TRANSFORMER_PRESETS, build_transformer
+
+        for preset in TRANSFORMER_PRESETS:
+            g = build_transformer(preset, batch_size=4, seq_len=32)
+            g.validate()
+
+    def test_unknown_preset_rejected(self):
+        from repro.errors import ModelZooError
+        from repro.models.transformer import build_transformer
+
+        with pytest.raises(ModelZooError):
+            build_transformer("xxl")
+
+    def test_preset_sizes_ordered(self):
+        from repro.models.transformer import build_transformer
+
+        params = [
+            build_transformer(p, batch_size=4, seq_len=32).num_parameters
+            for p in ("tiny", "mini", "small", "medium")
+        ]
+        assert params == sorted(params)

@@ -1,0 +1,94 @@
+"""Tests for op-graph JSON (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.models import build_model
+
+
+class TestRoundTrip:
+    def test_tiny_graph_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "tiny.json"
+        save_graph(tiny_graph, path)
+        restored = load_graph(path)
+        assert restored.name == tiny_graph.name
+        assert restored.batch_size == tiny_graph.batch_size
+        assert restored.num_parameters == tiny_graph.num_parameters
+        assert restored.num_variables == tiny_graph.num_variables
+        assert len(restored) == len(tiny_graph)
+        for original, loaded in zip(tiny_graph.operations, restored.operations):
+            assert original == loaded
+
+    def test_zoo_model_round_trip(self, tmp_path):
+        graph = build_model("inception_v1", batch_size=8)
+        path = tmp_path / "incv1.json"
+        save_graph(graph, path)
+        restored = load_graph(path)
+        assert restored.op_type_counts() == graph.op_type_counts()
+        restored.validate()
+
+    def test_attrs_tuples_preserved(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.json"
+        save_graph(tiny_graph, path)
+        restored = load_graph(path)
+        conv = restored.ops_of_type("Conv2D")[0]
+        assert conv.attrs["kernel"] == (3, 3)
+        assert isinstance(conv.attrs["kernel"], tuple)
+
+    def test_dtypes_preserved(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.json"
+        save_graph(tiny_graph, path)
+        restored = load_graph(path)
+        iterator = restored.ops_of_type("IteratorGetNext")[0]
+        assert iterator.outputs[1].dtype == "int64"
+
+    def test_predictions_identical_after_round_trip(self, tiny_graph, tmp_path,
+                                                    ceer_small):
+        path = tmp_path / "g.json"
+        save_graph(tiny_graph, path)
+        restored = load_graph(path)
+        from repro.workloads.dataset import IMAGENET_6400, TrainingJob
+
+        job = TrainingJob(IMAGENET_6400, batch_size=tiny_graph.batch_size)
+        a = ceer_small.predict_training(tiny_graph, "T4", 2, job)
+        b = ceer_small.predict_training(restored, "T4", 2, job)
+        assert a.total_us == b.total_us
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, tiny_graph):
+        data = graph_to_dict(tiny_graph)
+        data["version"] = 99
+        with pytest.raises(GraphError):
+            graph_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_unserialisable_attr_rejected(self, tiny_graph):
+        from repro.graph.serialization import _attr_to_json
+
+        with pytest.raises(GraphError):
+            _attr_to_json(object())
+
+    def test_document_is_plain_json(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.json"
+        save_graph(tiny_graph, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-opgraph"
+        assert isinstance(data["ops"], list)

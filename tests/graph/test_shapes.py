@@ -1,0 +1,137 @@
+"""Unit and property tests for tensor shapes and size arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.graph.shapes import (
+    DTYPE_BYTES,
+    TensorShape,
+    conv_output_hw,
+    dtype_size,
+    total_bytes,
+)
+
+
+class TestTensorShape:
+    def test_basic_construction(self):
+        s = TensorShape.of(32, 224, 224, 3)
+        assert s.dims == (32, 224, 224, 3)
+        assert s.dtype == "float32"
+
+    def test_num_elements_and_bytes(self):
+        s = TensorShape.of(2, 3, 4)
+        assert s.num_elements == 24
+        assert s.num_bytes == 96  # float32
+
+    def test_scalar(self):
+        s = TensorShape.scalar()
+        assert s.rank == 0
+        assert s.num_elements == 1
+        assert s.num_bytes == 4
+
+    def test_int64_bytes(self):
+        s = TensorShape.of(10, dtype="int64")
+        assert s.num_bytes == 80
+
+    def test_nhwc_accessors(self):
+        s = TensorShape.of(8, 28, 30, 64)
+        assert (s.batch, s.height, s.width, s.channels) == (8, 28, 30, 64)
+
+    def test_nhwc_accessor_requires_rank_4(self):
+        with pytest.raises(ShapeError):
+            TensorShape.of(8, 28).channels
+
+    def test_with_batch(self):
+        s = TensorShape.of(8, 28, 28, 64)
+        assert s.with_batch(16).dims == (16, 28, 28, 64)
+
+    def test_with_batch_scalar_noop(self):
+        s = TensorShape.scalar()
+        assert s.with_batch(7) is s
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ShapeError):
+            TensorShape.of(0, 3)
+        with pytest.raises(ShapeError):
+            TensorShape.of(-1)
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ShapeError):
+            TensorShape.of(3, dtype="float128")
+
+    def test_immutability(self):
+        s = TensorShape.of(1, 2)
+        with pytest.raises(Exception):
+            s.dims = (3,)
+
+    def test_str_rendering(self):
+        assert str(TensorShape.of(1, 2)) == "[1, 2]"
+        assert "int64" in str(TensorShape.of(1, dtype="int64"))
+
+    @given(st.lists(st.integers(1, 100), min_size=0, max_size=5))
+    def test_num_elements_is_product(self, dims):
+        s = TensorShape(tuple(dims))
+        assert s.num_elements == math.prod(dims) if dims else s.num_elements == 1
+
+    @given(
+        st.lists(st.integers(1, 50), min_size=1, max_size=4),
+        st.sampled_from(sorted(DTYPE_BYTES)),
+    )
+    def test_bytes_scale_with_dtype(self, dims, dtype):
+        s = TensorShape(tuple(dims), dtype)
+        assert s.num_bytes == s.num_elements * dtype_size(dtype)
+
+
+class TestConvOutputHw:
+    def test_same_padding_stride_1(self):
+        assert conv_output_hw(224, 224, 3, 3, 1, 1, "SAME") == (224, 224)
+
+    def test_same_padding_stride_2(self):
+        assert conv_output_hw(224, 224, 3, 3, 2, 2, "SAME") == (112, 112)
+        assert conv_output_hw(7, 7, 3, 3, 2, 2, "SAME") == (4, 4)
+
+    def test_valid_padding(self):
+        assert conv_output_hw(224, 224, 3, 3, 1, 1, "VALID") == (222, 222)
+        assert conv_output_hw(227, 227, 11, 11, 4, 4, "VALID") == (55, 55)
+
+    def test_valid_window_must_fit(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw(2, 2, 3, 3, 1, 1, "VALID")
+
+    def test_rejects_bad_padding(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw(8, 8, 3, 3, 1, 1, "REFLECT")
+
+    def test_rejects_bad_strides(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw(8, 8, 3, 3, 0, 1, "SAME")
+
+    def test_padding_case_insensitive(self):
+        assert conv_output_hw(8, 8, 2, 2, 2, 2, "same") == (4, 4)
+
+    @given(
+        st.integers(1, 64), st.integers(1, 64),
+        st.integers(1, 7), st.integers(1, 7),
+        st.integers(1, 4), st.integers(1, 4),
+    )
+    def test_same_output_matches_ceil_division(self, h, w, kh, kw, sh, sw):
+        oh, ow = conv_output_hw(h, w, kh, kw, sh, sw, "SAME")
+        assert oh == -(-h // sh)
+        assert ow == -(-w // sw)
+
+    @given(
+        st.integers(8, 64), st.integers(1, 7), st.integers(1, 4),
+    )
+    def test_valid_never_larger_than_same(self, size, k, stride):
+        same = conv_output_hw(size, size, k, k, stride, stride, "SAME")
+        valid = conv_output_hw(size, size, k, k, stride, stride, "VALID")
+        assert valid[0] <= same[0] and valid[1] <= same[1]
+
+
+def test_total_bytes_sums():
+    shapes = [TensorShape.of(2, 2), TensorShape.of(3)]
+    assert total_bytes(shapes) == 16 + 12

@@ -1,0 +1,52 @@
+"""Tests for the GPU spec database."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.gpus import (
+    FAMILY_TO_GPU,
+    GPU_KEYS,
+    GPU_SPECS,
+    HOST_CPU,
+    gpu_spec,
+)
+
+
+class TestSpecs:
+    def test_four_gpu_models(self):
+        assert set(GPU_SPECS) == {"V100", "K80", "T4", "M60"}
+        assert set(GPU_KEYS) == set(GPU_SPECS)
+
+    def test_paper_hardware_facts(self):
+        """Section II's hardware description is reproduced verbatim."""
+        v100 = GPU_SPECS["V100"]
+        assert v100.cuda_cores == 5120 and v100.tensor_cores == 640
+        assert v100.memory_gb == 16 and v100.family == "P3"
+        k80 = GPU_SPECS["K80"]
+        assert k80.cuda_cores == 2496 and k80.memory_gb == 12
+        t4 = GPU_SPECS["T4"]
+        assert t4.cuda_cores == 2560 and t4.memory_gb == 16
+        m60 = GPU_SPECS["M60"]
+        assert m60.cuda_cores == 2048 and m60.memory_gb == 8
+
+    def test_family_mapping_bijective(self):
+        assert FAMILY_TO_GPU == {"P3": "V100", "P2": "K80", "G4": "T4", "G3": "M60"}
+
+    def test_lookup_by_key_and_family(self):
+        assert gpu_spec("V100") is gpu_spec("P3")
+        assert gpu_spec("G4").key == "T4"
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(HardwareError):
+            gpu_spec("A100")
+
+    def test_v100_dominates_raw_specs(self):
+        v100 = GPU_SPECS["V100"]
+        for key, spec in GPU_SPECS.items():
+            if key != "V100":
+                assert v100.peak_gflops > spec.peak_gflops
+                assert v100.memory_bandwidth_gbps > spec.memory_bandwidth_gbps
+
+    def test_host_cpu_defaults(self):
+        assert HOST_CPU.overhead_us > 0
+        assert HOST_CPU.effective_bandwidth_gbps > 0

@@ -1,0 +1,183 @@
+"""Tests for the ground-truth kernel-time law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape
+from repro.hardware.calibration import efficiency, op_tweak
+from repro.hardware.gpus import GPU_SPECS
+from repro.hardware.kernel_model import (
+    base_time_us,
+    gpu_base_time_us,
+    host_base_time_us,
+    instance_factor,
+    sample_op_times,
+    utilization,
+)
+from repro.graph.ops import OpCategory
+
+
+def _relu(elements=1_000_000, name="x/Relu"):
+    shape = TensorShape.of(elements)
+    return Operation(name=name, op_type="Relu", inputs=(shape,), outputs=(shape,))
+
+
+def _conv(hw=32, ic=16, oc=32, name="x/Conv2D"):
+    x = TensorShape.of(4, hw, hw, ic)
+    f = TensorShape.of(3, 3, ic, oc)
+    y = TensorShape.of(4, hw, hw, oc)
+    return Operation(
+        name=name, op_type="Conv2D", inputs=(x, f), outputs=(y,),
+        attrs={"kernel": (3, 3)},
+    )
+
+
+def _host_op(name="in/SparseToDense"):
+    s = TensorShape.of(32, dtype="int64")
+    return Operation(name=name, op_type="SparseToDense", inputs=(s,), outputs=(s,))
+
+
+class TestBaseTime:
+    def test_positive_and_above_launch_overhead(self):
+        for key, spec in GPU_SPECS.items():
+            t = gpu_base_time_us(_relu(), spec)
+            assert t > spec.launch_overhead_us
+
+    def test_monotone_in_input_size(self):
+        spec = GPU_SPECS["V100"]
+        small = gpu_base_time_us(_relu(10_000), spec)
+        large = gpu_base_time_us(_relu(10_000_000), spec)
+        assert large > small
+
+    def test_v100_fastest_on_large_work(self):
+        op = _conv(hw=64, ic=64, oc=64)
+        times = {k: gpu_base_time_us(op, s) for k, s in GPU_SPECS.items()}
+        assert min(times, key=times.get) == "V100"
+        assert max(times, key=times.get) == "K80"
+
+    def test_dispatch_host_vs_gpu(self):
+        assert base_time_us(_host_op(), "V100") == base_time_us(_host_op(), "K80")
+        assert base_time_us(_relu(), "V100") != base_time_us(_relu(), "K80")
+
+    def test_host_time_has_overhead_floor(self):
+        from repro.hardware.gpus import HOST_CPU
+
+        assert host_base_time_us(_host_op()) >= HOST_CPU.overhead_us
+
+    def test_quadratic_ops_superlinear(self):
+        """Conv2DBackpropFilter time grows faster than linearly in input
+        size (the paper's quadratic-fit finding, Section IV-B)."""
+        def bpf(hw):
+            x = TensorShape.of(32, hw, hw, 64)
+            dy = TensorShape.of(32, hw, hw, 64)
+            f = TensorShape.of(3, 3, 64, 64)
+            return Operation(
+                name=f"l{hw}/bpf", op_type="Conv2DBackpropFilter",
+                inputs=(x, dy, f), outputs=(f,), attrs={"kernel": (3, 3)},
+            )
+        spec = GPU_SPECS["K80"]
+        t1 = gpu_base_time_us(bpf(28), spec)
+        t4x = gpu_base_time_us(bpf(56), spec)  # 4x the input size
+        assert t4x > 4.05 * t1
+
+    def test_family_alias_accepted(self):
+        assert base_time_us(_relu(), "P3") == base_time_us(_relu(), "V100")
+
+
+class TestUtilization:
+    def test_in_unit_interval(self):
+        for spec in GPU_SPECS.values():
+            u = utilization(_relu(100), spec)
+            assert 0 < u < 1
+
+    def test_saturates_for_large_work(self):
+        assert utilization(_relu(500_000_000), GPU_SPECS["V100"]) > 0.99
+
+    def test_wide_chip_needs_more_parallelism(self):
+        op = _relu(500_000)
+        assert utilization(op, GPU_SPECS["V100"]) < utilization(op, GPU_SPECS["T4"])
+
+    def test_reduction_ops_use_input_parallelism(self):
+        """Ops with tiny outputs but big inputs (BiasAddGrad) must not be
+        treated as latency-bound."""
+        big_in = TensorShape.of(32, 56, 56, 64)
+        tiny_out = TensorShape.of(64)
+        op = Operation(
+            name="g/BiasAddGrad", op_type="BiasAddGrad",
+            inputs=(big_in,), outputs=(tiny_out,),
+        )
+        assert utilization(op, GPU_SPECS["V100"]) > 0.8
+
+
+class TestInstanceFactor:
+    def test_stable_per_instance(self):
+        op = _relu()
+        assert instance_factor(op, "V100") == instance_factor(op, "V100")
+
+    def test_bounded(self):
+        for i in range(50):
+            f = instance_factor(_relu(name=f"op{i}/Relu"), "T4")
+            assert 0.9 <= f <= 1.1
+
+    def test_varies_across_instances(self):
+        values = {instance_factor(_relu(name=f"op{i}/Relu"), "T4") for i in range(20)}
+        assert len(values) > 10
+
+
+class TestSampling:
+    def test_deterministic_given_context(self):
+        a = sample_op_times(_relu(), "V100", 100, "ctx")
+        b = sample_op_times(_relu(), "V100", 100, "ctx")
+        np.testing.assert_array_equal(a, b)
+
+    def test_context_changes_samples(self):
+        a = sample_op_times(_relu(), "V100", 100, "a")
+        b = sample_op_times(_relu(), "V100", 100, "b")
+        assert not np.array_equal(a, b)
+
+    def test_samples_positive(self):
+        assert (sample_op_times(_relu(), "K80", 1000) > 0).all()
+
+    def test_heavy_op_low_relative_spread(self):
+        samples = sample_op_times(_conv(hw=64, ic=64, oc=64), "K80", 2000)
+        assert samples.std() / samples.mean() < 0.1
+
+    def test_host_op_high_relative_spread(self):
+        samples = sample_op_times(_host_op(), "K80", 2000)
+        assert samples.std() / samples.mean() > 0.3
+
+
+class TestCalibrationTables:
+    def test_every_gpu_category_pair_present(self):
+        for key in GPU_SPECS:
+            for category in OpCategory:
+                if category is OpCategory.HOST:
+                    continue
+                c, m = efficiency(key, category)
+                assert 0 < c < 1 and 0 < m < 1
+
+    def test_host_category_rejected(self):
+        with pytest.raises(HardwareError):
+            efficiency("V100", OpCategory.HOST)
+
+    def test_op_tweak_default_is_identity(self):
+        assert op_tweak("Conv2D", "M60") == 1.0
+
+    def test_op_tweak_wildcard(self):
+        assert op_tweak("SparseSoftmaxCrossEntropyWithLogits", "M60") == 1.5
+
+    def test_op_tweak_specific_overrides_wildcard(self):
+        assert op_tweak("LRN", "V100") != op_tweak("LRN", "K80")
+
+
+@settings(max_examples=25)
+@given(st.integers(1_000, 50_000_000))
+def test_base_time_monotone_in_size_property(elements):
+    spec = GPU_SPECS["T4"]
+    t = gpu_base_time_us(_relu(elements), spec)
+    t2 = gpu_base_time_us(_relu(elements * 2), spec)
+    assert t2 > t

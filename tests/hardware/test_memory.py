@@ -1,0 +1,113 @@
+"""Tests for the GPU memory-footprint model."""
+
+import pytest
+
+from repro.hardware.gpus import GPU_SPECS
+from repro.hardware.memory import (
+    PARAMETER_COPIES,
+    MemoryEstimate,
+    estimate_memory,
+    max_batch_size,
+)
+from repro.models import build_model
+
+
+class TestEstimate:
+    def test_components_positive(self, tiny_graph):
+        estimate = estimate_memory(tiny_graph)
+        assert estimate.parameter_bytes == tiny_graph.num_parameters * 4
+        assert estimate.activation_bytes > 0
+        assert estimate.workspace_bytes > 0
+        assert estimate.total_bytes > estimate.reserve_bytes
+
+    def test_total_decomposition(self, tiny_graph):
+        e = estimate_memory(tiny_graph)
+        assert e.total_bytes == (
+            PARAMETER_COPIES * e.parameter_bytes
+            + e.activation_bytes + e.workspace_bytes + e.reserve_bytes
+        )
+
+    def test_backward_ops_excluded_from_activations(self):
+        """Gradient outputs are transient and must not count as retained
+        activations; the estimate comes from forward ops only."""
+        graph = build_model("inception_v1", batch_size=8)
+        e = estimate_memory(graph)
+        forward_only = sum(
+            op.output_bytes for op in graph
+            if op.device.value == "GPU"
+            and not op.name.startswith(("gradients/", "train/"))
+        )
+        assert e.activation_bytes == forward_only
+
+    def test_scales_with_batch(self):
+        small = estimate_memory(build_model("resnet_50", batch_size=8))
+        large = estimate_memory(build_model("resnet_50", batch_size=32))
+        assert large.activation_bytes > 3 * small.activation_bytes
+        assert large.parameter_bytes == small.parameter_bytes
+
+    def test_realistic_magnitudes(self):
+        """Well-known footprints: VGG-19 at batch 32 is several GB;
+        AlexNet is small."""
+        vgg = estimate_memory(build_model("vgg_19", batch_size=32))
+        alex = estimate_memory(build_model("alexnet", batch_size=32))
+        assert 5.0 < vgg.total_gb < 14.0
+        assert alex.total_gb < 3.0
+
+    def test_render(self, tiny_graph):
+        text = estimate_memory(tiny_graph).render()
+        assert "GB" in text and "activations" in text
+
+
+class TestFits:
+    def test_small_model_fits_everywhere(self):
+        e = estimate_memory(build_model("inception_v1", batch_size=32))
+        for gpu in GPU_SPECS:
+            assert e.fits(gpu)
+
+    def test_big_model_exceeds_smallest_gpu(self):
+        e = estimate_memory(build_model("inception_resnet_v2", batch_size=32))
+        assert e.fits("V100") and e.fits("T4")  # 16 GB
+        assert not e.fits("M60")  # 8 GB
+
+    def test_accepts_spec_object(self, tiny_graph):
+        e = estimate_memory(tiny_graph)
+        assert e.fits(GPU_SPECS["V100"])
+
+
+class TestMaxBatchSize:
+    def test_monotone_with_memory(self):
+        build = lambda bs: build_model("vgg_19", batch_size=bs)
+        assert max_batch_size(build, "M60") <= max_batch_size(build, "V100")
+
+    def test_zero_when_nothing_fits(self):
+        tiny_gpu = MemoryEstimate(
+            model="x", batch_size=8, parameter_bytes=10**10,
+            activation_bytes=0, workspace_bytes=0, reserve_bytes=0,
+        )
+        assert not tiny_gpu.fits("M60")
+        build = lambda bs: build_model("inception_resnet_v2", batch_size=bs)
+        assert max_batch_size(build, "M60", candidates=(64, 128)) == 0
+
+
+class TestRecommenderIntegration:
+    def test_memory_check_excludes_oom_gpus(self, ceer_small):
+        from repro.core.recommend import Recommender
+        from repro.workloads.dataset import IMAGENET_6400, TrainingJob
+
+        job = TrainingJob(IMAGENET_6400, batch_size=32)
+        unchecked = Recommender(ceer_small).sweep("inception_resnet_v2", job)
+        checked = Recommender(ceer_small, check_memory=True).sweep(
+            "inception_resnet_v2", job
+        )
+        assert {p.gpu_key for p in unchecked} == {"V100", "K80", "T4", "M60"}
+        assert {p.gpu_key for p in checked} == {"V100", "T4"}
+
+    def test_memory_check_noop_for_small_model(self, ceer_small):
+        from repro.core.recommend import Recommender
+        from repro.workloads.dataset import IMAGENET_6400, TrainingJob
+
+        job = TrainingJob(IMAGENET_6400, batch_size=32)
+        checked = Recommender(ceer_small, check_memory=True).sweep(
+            "inception_v1", job
+        )
+        assert len(checked) == 16

@@ -1,0 +1,74 @@
+"""Tests for the seeded noise models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.ops import OP_REGISTRY
+from repro.hardware.noise import (
+    all_known_sigmas,
+    mean_and_percentiles,
+    noise_sigma,
+    rng_for,
+    sample_lognormal_times,
+)
+
+
+class TestSigmas:
+    def test_heavy_kernels_low_sigma(self):
+        for op_type in ("Conv2D", "MaxPoolGrad", "FusedBatchNormGradV3"):
+            assert noise_sigma(op_type) < 0.1
+
+    def test_light_and_host_high_sigma(self):
+        assert noise_sigma("Reshape") > 0.2
+        assert noise_sigma("SparseToDense") >= 0.4
+
+    def test_every_registered_op_has_a_sigma(self):
+        sigmas = all_known_sigmas()
+        assert set(sigmas) == set(OP_REGISTRY)
+        assert all(0 < s < 1 for s in sigmas.values())
+
+
+class TestRng:
+    def test_same_keys_same_stream(self):
+        a = rng_for("a", 1).random(5)
+        b = rng_for("a", 1).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_different_stream(self):
+        assert not np.array_equal(rng_for("a").random(5), rng_for("b").random(5))
+
+    def test_key_order_matters(self):
+        assert not np.array_equal(
+            rng_for("a", "b").random(3), rng_for("b", "a").random(3)
+        )
+
+
+class TestSampling:
+    def test_median_tracks_base(self):
+        samples = sample_lognormal_times(1000.0, 0.05, 20_000, rng_for("t"))
+        assert abs(np.median(samples) - 1000.0) / 1000.0 < 0.02
+
+    def test_requires_positive_n(self):
+        with pytest.raises(ValueError):
+            sample_lognormal_times(10.0, 0.1, 0, rng_for("t"))
+
+    def test_jitter_floor_keeps_zero_base_positive(self):
+        samples = sample_lognormal_times(0.0, 0.1, 100, rng_for("t"))
+        assert (samples >= 0).all() and samples.max() <= 0.2
+
+    def test_analytic_moments_match_empirical(self):
+        base, sigma = 500.0, 0.2
+        mean, std = mean_and_percentiles(base, sigma)
+        samples = sample_lognormal_times(base, sigma, 200_000, rng_for("m"))
+        assert abs(samples.mean() - mean) / mean < 0.01
+        assert abs(samples.std() - std) / std < 0.05
+
+    @settings(max_examples=20)
+    @given(st.floats(1.0, 1e6), st.floats(0.01, 0.5))
+    def test_normalized_std_close_to_sigma(self, base, sigma):
+        samples = sample_lognormal_times(base, sigma, 5000, rng_for(base, sigma))
+        observed = samples.std() / samples.mean()
+        # For small sigma, lognormal nstd ~= sigma (plus the tiny jitter).
+        assert observed < sigma + 0.25

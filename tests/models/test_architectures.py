@@ -1,0 +1,123 @@
+"""Structural checks on individual architectures (paper, Section III).
+
+These lock in the architecture facts the paper's analysis leans on — e.g.
+that AlexNet/ResNet have few pooling ops while Inception/VGG have many
+(the Fig. 9 discussion), and the layer counts that define each variant.
+"""
+
+import pytest
+
+from repro.models import build_model
+from repro.models.resnet import RESNET_STAGES
+from repro.models.vgg import VGG_CONFIGS
+
+
+def _counts(name):
+    return build_model(name, batch_size=8).op_type_counts()
+
+
+class TestAlexNet:
+    def test_five_convs_three_dense(self):
+        c = _counts("alexnet")
+        assert c["Conv2D"] == 5
+        assert c["MatMul"] >= 3  # 3 forward + gradient matmuls
+
+    def test_lrn_layers(self):
+        c = _counts("alexnet")
+        assert c["LRN"] == 2 and c["LRNGrad"] == 2
+
+    def test_few_pooling_ops(self):
+        c = _counts("alexnet")
+        assert c["MaxPool"] == 3
+        assert "AvgPool" not in c
+
+    def test_input_geometry(self):
+        g = build_model("alexnet", batch_size=8)
+        conv1 = g.ops_of_type("Conv2D")[0]
+        assert conv1.inputs[0].dims == (8, 227, 227, 3)
+        assert conv1.outputs[0].dims == (8, 55, 55, 96)
+
+
+class TestVgg:
+    @pytest.mark.parametrize("depth", [11, 16, 19])
+    def test_conv_count_matches_depth(self, depth):
+        convs = sum(1 for item in VGG_CONFIGS[depth] if item != "M")
+        c = _counts(f"vgg_{depth}")
+        assert c["Conv2D"] == convs
+        assert convs + 3 == depth  # depth counts conv + fc layers
+
+    def test_five_pool_blocks(self):
+        assert _counts("vgg_19")["MaxPool"] == 5
+
+    def test_no_batch_norm(self):
+        assert "FusedBatchNormV3" not in _counts("vgg_19")
+
+
+class TestResNet:
+    @pytest.mark.parametrize("depth", [50, 101, 152, 200])
+    def test_conv_count(self, depth):
+        units = sum(RESNET_STAGES[depth])
+        projections = 4  # one per stage
+        expected = 1 + 3 * units + projections  # stem + bottlenecks
+        assert _counts(f"resnet_{depth}")["Conv2D"] == expected
+
+    def test_residual_adds(self):
+        units = sum(RESNET_STAGES[101])
+        assert _counts("resnet_101")["AddV2"] == units
+
+    def test_single_max_pool(self):
+        c = _counts("resnet_101")
+        assert c["MaxPool"] == 1  # stem only — pooling-light (Fig. 9)
+
+    def test_batch_normalised(self):
+        c = _counts("resnet_50")
+        assert c["FusedBatchNormV3"] == c["Conv2D"]
+
+
+class TestInception:
+    def test_v1_nine_modules(self):
+        c = _counts("inception_v1")
+        # 9 modules x 1 concat each
+        assert c["ConcatV2"] == 9
+        assert c["LRN"] == 2
+
+    def test_v1_pooling_rich(self):
+        c = _counts("inception_v1")
+        # 9 in-module pools + stem/inter-stage pools
+        assert c["MaxPool"] >= 12
+
+    def test_v3_module_structure(self):
+        c = _counts("inception_v3")
+        # 3xA + 4xB + 2xC modules have AvgPool branches
+        assert c["AvgPool"] == 9
+        assert c["ConcatV2"] == 11  # 9 modules + 2 reductions
+
+    def test_v3_no_bias_with_bn(self):
+        c = _counts("inception_v3")
+        assert c["FusedBatchNormV3"] == c["Conv2D"]
+        # only the final dense layer carries a bias
+        assert c.get("BiasAdd", 0) == 1
+
+    def test_v4_module_counts(self):
+        c = _counts("inception_v4")
+        # 4xA + 7xB + 3xC avg-pool branches
+        assert c["AvgPool"] == 14
+
+    def test_inception_resnet_blocks(self):
+        c = _counts("inception_resnet_v2")
+        # 10 + 20 + 10 residual blocks, each ending in AddV2
+        assert c["AddV2"] == 40
+        # residual scaling Mul per block (plus dropout & their gradients)
+        assert c["Mul"] >= 40
+
+    def test_inception_input_is_299(self):
+        g = build_model("inception_v3", batch_size=8)
+        first_conv = g.ops_of_type("Conv2D")[0]
+        assert first_conv.inputs[0].dims == (8, 299, 299, 3)
+        assert first_conv.outputs[0].dims == (8, 149, 149, 32)
+
+    def test_v3_final_grid_is_8x8x2048(self):
+        g = build_model("inception_v3", batch_size=8)
+        mean_ops = [op for op in g.ops_of_type("Mean") if op.inputs[0].rank == 4]
+        gap = mean_ops[0]
+        assert gap.inputs[0].dims == (8, 8, 8, 2048)

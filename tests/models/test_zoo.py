@@ -1,0 +1,91 @@
+"""Tests for the model zoo registry and the train/test split."""
+
+import pytest
+
+from repro.errors import ModelZooError
+from repro.models import (
+    MODEL_BUILDERS,
+    TEST_MODELS,
+    TRAIN_MODELS,
+    build_model,
+    model_names,
+)
+
+#: Published parameter counts (millions) with a tolerance: our graphs should
+#: land close to the canonical figures for each architecture.
+EXPECTED_MPARAMS = {
+    "alexnet": (58, 66),
+    "vgg_11": (129, 137),
+    "vgg_16": (134, 142),
+    "vgg_19": (139, 148),
+    "inception_v1": (5.5, 8.5),
+    "inception_v3": (21, 27),
+    "inception_v4": (39, 47),
+    "inception_resnet_v2": (50, 60),
+    "resnet_50": (23, 28),
+    "resnet_101": (41, 48),
+    "resnet_152": (56, 64),
+    "resnet_200": (60, 70),
+}
+
+
+class TestRegistry:
+    def test_twelve_models(self):
+        assert len(MODEL_BUILDERS) == 12
+        assert set(model_names()) == set(MODEL_BUILDERS)
+
+    def test_paper_train_test_split(self):
+        assert set(TEST_MODELS) == {
+            "inception_v3", "alexnet", "resnet_101", "vgg_19",
+        }
+        assert len(TRAIN_MODELS) == 8
+        assert not set(TRAIN_MODELS) & set(TEST_MODELS)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ModelZooError):
+            build_model("lenet")
+
+    def test_build_is_cached(self):
+        a = build_model("inception_v1")
+        b = build_model("inception_v1")
+        assert a is b
+
+    def test_distinct_batch_sizes_not_conflated(self):
+        a = build_model("inception_v1", batch_size=8)
+        b = build_model("inception_v1", batch_size=16)
+        assert a is not b
+        assert a.batch_size == 8 and b.batch_size == 16
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+class TestEveryModel:
+    def test_builds_and_validates(self, name):
+        graph = build_model(name, batch_size=8)
+        graph.validate()
+        assert len(graph) > 50
+
+    def test_parameter_count_in_published_range(self, name):
+        graph = build_model(name, batch_size=8)
+        low, high = EXPECTED_MPARAMS[name]
+        assert low <= graph.num_parameters / 1e6 <= high, (
+            f"{name}: {graph.num_parameters / 1e6:.2f}M params outside "
+            f"[{low}, {high}]M"
+        )
+
+    def test_batch_size_propagates(self, name):
+        graph = build_model(name, batch_size=8)
+        assert graph.batch_size == 8
+
+    def test_has_training_structure(self, name):
+        graph = build_model(name, batch_size=8)
+        counts = graph.op_type_counts()
+        assert counts.get("Conv2D", 0) + counts.get("MatMul", 0) > 0
+        assert counts.get("Conv2DBackpropFilter", 0) > 0
+        assert counts.get("ApplyMomentum", 0) == graph.num_variables
+        assert counts.get("SparseSoftmaxCrossEntropyWithLogits") == 1
+        assert counts.get("IteratorGetNext") == 1
+
+    def test_num_parameters_scale_invariant_in_batch(self, name):
+        small = build_model(name, batch_size=8)
+        large = build_model(name, batch_size=32)
+        assert small.num_parameters == large.num_parameters

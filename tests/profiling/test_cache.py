@@ -1,0 +1,53 @@
+"""Tests for the disk profile cache."""
+
+import pytest
+
+from repro.profiling.cache import ProfileCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ProfileCache(tmp_path / "cache")
+
+
+class TestCacheKey:
+    def test_stable_and_order_insensitive(self):
+        a = ProfileCache.cache_key(["m1", "m2"], ["V100", "T4"], 100, 32)
+        b = ProfileCache.cache_key(["m2", "m1"], ["T4", "V100"], 100, 32)
+        assert a == b
+
+    def test_sensitive_to_configuration(self):
+        base = ProfileCache.cache_key(["m1"], ["V100"], 100, 32)
+        assert base != ProfileCache.cache_key(["m1"], ["V100"], 200, 32)
+        assert base != ProfileCache.cache_key(["m1"], ["V100"], 100, 16)
+        assert base != ProfileCache.cache_key(["m1"], ["V100"], 100, 32, "other")
+
+
+class TestGetOrProfile:
+    def test_miss_then_hit(self, cache, tiny_graph):
+        key = ProfileCache.cache_key(["inception_v1"], ["V100"], 30, 32)
+        assert cache.load(key) is None
+        first = cache.get_or_profile(["inception_v1"], ["V100"], 30, 32)
+        assert cache.load(key) is not None
+        second = cache.get_or_profile(["inception_v1"], ["V100"], 30, 32)
+        assert second.records == first.records
+
+    def test_entries_and_clear(self, cache):
+        cache.get_or_profile(["inception_v1"], ["V100"], 20, 32)
+        cache.get_or_profile(["inception_v1"], ["T4"], 20, 32)
+        assert len(cache.entries()) == 2
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_cached_dataset_usable_for_fitting(self, cache):
+        from repro.core.classify import classify_operations
+
+        dataset = cache.get_or_profile(
+            ["inception_v1", "vgg_11", "resnet_50"], ["K80"], 30, 32
+        )
+        reloaded = cache.get_or_profile(
+            ["inception_v1", "vgg_11", "resnet_50"], ["K80"], 30, 32
+        )
+        classification = classify_operations(reloaded)
+        assert classification.heavy
+        assert dataset.op_types() == reloaded.op_types()

@@ -1,0 +1,93 @@
+"""Tests for per-op size-feature extraction."""
+
+import pytest
+
+from repro.errors import UnknownOpError
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape
+from repro.profiling.features import (
+    COMPUTE_SCHEMA,
+    SIZE_SCHEMA,
+    describe_features,
+    feature_matrix,
+    feature_schema,
+    features_for,
+    is_host_op,
+)
+
+
+def _conv_op():
+    x = TensorShape.of(2, 8, 8, 4)
+    f = TensorShape.of(3, 3, 4, 16)
+    y = TensorShape.of(2, 8, 8, 16)
+    return Operation(name="c/Conv2D", op_type="Conv2D", inputs=(x, f),
+                     outputs=(y,), attrs={"kernel": (3, 3)})
+
+
+def _relu_op():
+    s = TensorShape.of(2, 8, 8, 4)
+    return Operation(name="r/Relu", op_type="Relu", inputs=(s,), outputs=(s,))
+
+
+class TestSchema:
+    def test_conv_ops_get_compute_schema(self):
+        for op_type in ("Conv2D", "Conv2DBackpropFilter", "MatMul"):
+            assert feature_schema(op_type) == COMPUTE_SCHEMA
+
+    def test_other_ops_get_size_schema(self):
+        for op_type in ("Relu", "MaxPool", "FusedBatchNormV3", "AddV2"):
+            assert feature_schema(op_type) == SIZE_SCHEMA
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(UnknownOpError):
+            feature_schema("Conv3D")
+
+
+class TestFeatures:
+    def test_vector_length_matches_schema(self):
+        assert len(features_for(_conv_op())) == len(COMPUTE_SCHEMA)
+        assert len(features_for(_relu_op())) == len(SIZE_SCHEMA)
+
+    def test_size_features_are_scaled_bytes(self):
+        op = _relu_op()
+        f = features_for(op)
+        assert f[0] == pytest.approx(op.input_bytes / 1e6)
+        assert f[1] == pytest.approx(op.output_bytes / 1e6)
+
+    def test_mac_feature_matches_flops(self):
+        from repro.graph.flops import flop_count
+
+        op = _conv_op()
+        f = features_for(op)
+        assert f[2] == pytest.approx(flop_count(op) / 2 / 1e8)
+
+    def test_mac_density_feature(self):
+        op = _conv_op()
+        f = features_for(op)
+        macs = (2 * 8 * 8 * 16) * 3 * 3 * 4
+        elements = max(op.inputs[0].num_elements + op.inputs[1].num_elements,
+                       op.outputs[0].num_elements)
+        assert f[3] == pytest.approx(macs / elements / 1e3)
+
+    def test_describe_features_named(self):
+        d = describe_features(_conv_op())
+        assert set(d) == set(COMPUTE_SCHEMA)
+
+    def test_feature_matrix_stacks(self):
+        m = feature_matrix([features_for(_relu_op()), features_for(_relu_op())])
+        assert m.shape == (2, 2)
+
+    def test_is_host_op(self):
+        assert is_host_op("SparseToDense")
+        assert not is_host_op("Conv2D")
+
+    def test_features_all_finite_on_real_model(self):
+        import numpy as np
+
+        from repro.models import build_model
+
+        g = build_model("inception_v1", batch_size=8)
+        for op in g:
+            f = features_for(op)
+            assert np.isfinite(f).all()
+            assert all(v >= 0 for v in f)

@@ -1,0 +1,49 @@
+"""Tests for the profiler (measurement collection)."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.profiling.features import features_for
+from repro.profiling.profiler import Profiler
+
+
+class TestProfiler:
+    def test_one_record_per_op(self, tiny_graph):
+        ds = Profiler(n_iterations=30).profile(tiny_graph, "V100")
+        assert len(ds) == len(tiny_graph)
+
+    def test_records_carry_features(self, tiny_graph):
+        ds = Profiler(n_iterations=30).profile(tiny_graph, "V100")
+        by_name = {op.name: op for op in tiny_graph}
+        for record in ds:
+            assert record.features == features_for(by_name[record.op_name])
+
+    def test_rejects_single_iteration(self):
+        with pytest.raises(ProfilingError):
+            Profiler(n_iterations=1)
+
+    def test_profile_many_merges(self, tiny_graph):
+        ds = Profiler(n_iterations=20).profile_many(
+            [tiny_graph], ["V100", "K80"]
+        )
+        assert len(ds) == 2 * len(tiny_graph)
+        assert ds.gpu_keys() == ("K80", "V100")
+
+    def test_profile_many_empty_rejected(self):
+        with pytest.raises(ProfilingError):
+            Profiler(n_iterations=20).profile_many([], [])
+
+    def test_zoo_model_by_name(self):
+        ds = Profiler(n_iterations=20, batch_size=8).profile("alexnet", "T4")
+        assert ds.models() == ("alexnet",)
+        assert len(ds.for_op_type("Conv2D")) == 5
+
+    def test_cpu_ops_present(self, tiny_graph):
+        ds = Profiler(n_iterations=20).profile(tiny_graph, "V100")
+        assert len(ds.cpu_records()) > 0
+
+    def test_session_dataset_consistency(self, train_profiles_small):
+        """The shared session fixture covers 8 models x 4 GPUs."""
+        assert len(train_profiles_small.models()) == 8
+        assert len(train_profiles_small.gpu_keys()) == 4
+        assert len(train_profiles_small) > 10_000

@@ -1,0 +1,89 @@
+"""Tests for the data-parallel communication/synchronisation ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.sim.dataparallel import (
+    comm_overhead_base_us,
+    h_factor,
+    k_factor,
+    sample_comm_overhead_us,
+    straggler_sigma,
+)
+
+
+class TestFactors:
+    def test_identity_at_one_gpu(self):
+        assert h_factor(1) == 1.0 and k_factor(1) == 1.0
+
+    def test_monotone_in_gpu_count(self):
+        for k in range(1, 8):
+            assert h_factor(k + 1) > h_factor(k)
+            assert k_factor(k + 1) > k_factor(k)
+
+    def test_extrapolation_beyond_four(self):
+        assert h_factor(6) == h_factor(4) + 2 * 4.0
+        assert k_factor(6) == k_factor(4) + 2 * 1.0
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(HardwareError):
+            h_factor(0)
+        with pytest.raises(HardwareError):
+            k_factor(0)
+
+    def test_straggler_sigma_grows(self):
+        assert straggler_sigma(4) > straggler_sigma(1)
+
+
+class TestOverhead:
+    def test_linear_in_parameters_for_fixed_k(self):
+        """The Fig. 7 property: S is exactly affine in P per (GPU, k)."""
+        s1 = comm_overhead_base_us("V100", 2, 10_000_000)
+        s2 = comm_overhead_base_us("V100", 2, 20_000_000)
+        s3 = comm_overhead_base_us("V100", 2, 30_000_000)
+        assert (s3 - s2) == pytest.approx(s2 - s1)
+
+    def test_grows_with_gpu_count(self):
+        overheads = [comm_overhead_base_us("T4", k, 25_000_000) for k in (1, 2, 3, 4)]
+        assert overheads == sorted(overheads)
+
+    def test_variable_count_adds_cost(self):
+        plain = comm_overhead_base_us("T4", 2, 25_000_000, num_variables=0)
+        tensor_heavy = comm_overhead_base_us("T4", 2, 25_000_000, num_variables=500)
+        assert tensor_heavy > plain
+
+    def test_positive_at_one_gpu(self):
+        """Even single-GPU training pays CPU<->GPU communication
+        (Section IV-A)."""
+        assert comm_overhead_base_us("V100", 1, 1_000_000) > 0
+
+    def test_slower_devices_pay_more(self):
+        fast = comm_overhead_base_us("V100", 2, 50_000_000)
+        slow = comm_overhead_base_us("K80", 2, 50_000_000)
+        assert slow > fast
+
+
+class TestSampling:
+    def test_deterministic(self):
+        a = sample_comm_overhead_us("V100", 2, 10_000_000, 100)
+        b = sample_comm_overhead_us("V100", 2, 10_000_000, 100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean_near_base(self):
+        base = comm_overhead_base_us("V100", 2, 10_000_000)
+        samples = sample_comm_overhead_us("V100", 2, 10_000_000, 50_000)
+        assert abs(samples.mean() - base) / base < 0.02
+
+    def test_more_gpus_more_variance(self):
+        s1 = sample_comm_overhead_us("V100", 1, 10_000_000, 5000)
+        s4 = sample_comm_overhead_us("V100", 4, 10_000_000, 5000)
+        assert s4.std() / s4.mean() > s1.std() / s1.mean()
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 8), st.integers(1_000_000, 200_000_000))
+    def test_samples_always_positive(self, k, params):
+        samples = sample_comm_overhead_us("M60", k, params, 50)
+        assert (samples > 0).all()

@@ -1,0 +1,80 @@
+"""Tests for the single-device execution simulator."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.graph.ops import Device
+from repro.sim.executor import run_iterations
+from repro.sim.trace import OpTiming
+
+
+class TestRunIterations:
+    def test_one_timing_per_op(self, tiny_graph):
+        profile = run_iterations(tiny_graph, "V100", 50)
+        assert len(profile.timings) == len(tiny_graph)
+        names = {t.op_name for t in profile.timings}
+        assert names == {op.name for op in tiny_graph}
+
+    def test_metadata_propagated(self, tiny_graph):
+        profile = run_iterations(tiny_graph, "V100", 50)
+        assert profile.model == "tiny"
+        assert profile.gpu_key == "V100"
+        assert profile.num_parameters == tiny_graph.num_parameters
+        assert profile.n_iterations == 50
+
+    def test_family_name_normalised(self, tiny_graph):
+        profile = run_iterations(tiny_graph, "P2", 10)
+        assert profile.gpu_key == "K80"
+
+    def test_deterministic(self, tiny_graph):
+        a = run_iterations(tiny_graph, "T4", 30)
+        b = run_iterations(tiny_graph, "T4", 30)
+        assert [t.mean_us for t in a.timings] == [t.mean_us for t in b.timings]
+
+    def test_seed_context_gives_independent_run(self, tiny_graph):
+        a = run_iterations(tiny_graph, "T4", 30, "run-a")
+        b = run_iterations(tiny_graph, "T4", 30, "run-b")
+        assert [t.mean_us for t in a.timings] != [t.mean_us for t in b.timings]
+
+    def test_requires_two_iterations(self, tiny_graph):
+        with pytest.raises(ProfilingError):
+            run_iterations(tiny_graph, "V100", 1)
+
+    def test_compute_us_decomposes_by_device(self, tiny_graph):
+        profile = run_iterations(tiny_graph, "V100", 30)
+        assert profile.compute_us == pytest.approx(
+            profile.gpu_compute_us + profile.cpu_compute_us
+        )
+        assert profile.gpu_compute_us > 0 and profile.cpu_compute_us > 0
+
+    def test_gpu_ranking_on_whole_model(self):
+        """On a real (large-kernel) model the ranking is the paper's:
+        P3 < G4 < G3 < P2. (Tiny toy graphs are launch-bound and need not
+        rank this way — that is the utilization effect behind Fig. 9.)"""
+        from repro.models import build_model
+
+        graph = build_model("vgg_11", batch_size=8)
+        totals = {
+            g: run_iterations(graph, g, 30).gpu_compute_us
+            for g in ("V100", "K80", "T4", "M60")
+        }
+        assert totals["V100"] < totals["T4"] < totals["M60"] < totals["K80"]
+
+
+class TestOpTiming:
+    def test_from_samples_statistics(self, tiny_graph):
+        import numpy as np
+
+        op = tiny_graph.operations[10]
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        t = OpTiming.from_samples(op, "V100", samples)
+        assert t.mean_us == pytest.approx(2.5)
+        assert t.median_us == pytest.approx(2.5)
+        assert t.min_us == 1.0 and t.max_us == 4.0
+        assert t.n_samples == 4
+        assert t.normalized_std == pytest.approx(t.std_us / 2.5)
+
+    def test_device_recorded(self, tiny_graph):
+        profile = run_iterations(tiny_graph, "V100", 10)
+        devices = {t.device for t in profile.timings}
+        assert devices == {Device.GPU.value, Device.CPU.value}

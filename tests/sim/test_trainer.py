@@ -1,0 +1,65 @@
+"""Tests for end-to-end simulated training measurements."""
+
+import pytest
+
+from repro.cloud.pricing import MARKET_RATIO
+from repro.sim.trainer import measure_training
+from repro.workloads.dataset import IMAGENET_6400, TrainingJob
+
+JOB = TrainingJob(IMAGENET_6400, batch_size=4)
+
+
+class TestMeasureTraining:
+    def test_accepts_graph_object(self, tiny_graph):
+        m = measure_training(tiny_graph, "V100", 1, JOB, n_profile_iterations=20)
+        assert m.model == "tiny"
+        assert m.iterations == 6400 / 4
+
+    def test_time_decomposition(self, tiny_graph):
+        m = measure_training(tiny_graph, "V100", 2, JOB, n_profile_iterations=20)
+        assert m.per_iteration_us == pytest.approx(
+            m.compute_us_per_iteration + m.comm_overhead_us
+        )
+        assert m.total_us == pytest.approx(m.per_iteration_us * m.iterations)
+
+    def test_cost_accounting(self, tiny_graph):
+        m = measure_training(tiny_graph, "V100", 1, JOB, n_profile_iterations=20)
+        assert m.hourly_cost == 3.06
+        assert m.cost_dollars == pytest.approx(m.total_hours * 3.06)
+
+    def test_multi_gpu_fewer_iterations_more_comm(self, tiny_graph):
+        m1 = measure_training(tiny_graph, "T4", 1, JOB, n_profile_iterations=20)
+        m4 = measure_training(tiny_graph, "T4", 4, JOB, n_profile_iterations=20)
+        assert m4.iterations == m1.iterations / 4
+        assert m4.comm_overhead_us > m1.comm_overhead_us
+
+    def test_multi_gpu_net_win_for_real_model(self):
+        """For a real CNN, 4 GPUs still beat 1 despite sync overhead
+        (Fig. 6); a toy graph's compute is too small to amortise the sync."""
+        job = TrainingJob(IMAGENET_6400, batch_size=32)
+        m1 = measure_training("inception_v1", "T4", 1, job, n_profile_iterations=20)
+        m4 = measure_training("inception_v1", "T4", 4, job, n_profile_iterations=20)
+        assert m4.total_us < m1.total_us
+
+    def test_pricing_scheme_respected(self, tiny_graph):
+        aws = measure_training(tiny_graph, "K80", 1, JOB, n_profile_iterations=20)
+        market = measure_training(
+            tiny_graph, "K80", 1, JOB, pricing=MARKET_RATIO, n_profile_iterations=20
+        )
+        assert market.total_us == pytest.approx(aws.total_us)
+        assert market.cost_dollars < aws.cost_dollars
+
+    def test_zoo_model_by_name(self):
+        m = measure_training(
+            "inception_v1", "V100", 1,
+            TrainingJob(IMAGENET_6400, batch_size=32), n_profile_iterations=20,
+        )
+        assert m.model == "inception_v1"
+        assert m.iterations == 200
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        a = measure_training(tiny_graph, "M60", 2, JOB, n_profile_iterations=20,
+                             seed_context="s")
+        b = measure_training(tiny_graph, "M60", 2, JOB, n_profile_iterations=20,
+                             seed_context="s")
+        assert a.total_us == b.total_us

@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.core.persistence import save_estimator
+from repro.graph.serialization import save_graph
+
+
+@pytest.fixture(scope="module")
+def estimator_path(ceer_small, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "ceer.json"
+    save_estimator(ceer_small, path)
+    return str(path)
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestModels:
+    def test_lists_all_twelve(self):
+        code, text = _run(["models"])
+        assert code == 0
+        for name in ("alexnet", "vgg_19", "inception_v3", "resnet_200"):
+            assert name in text
+
+
+class TestPredict:
+    def test_zoo_model(self, estimator_path):
+        code, text = _run(
+            ["predict", "--estimator", estimator_path, "--model", "inception_v3",
+             "--gpu", "T4", "--gpus", "2"]
+        )
+        assert code == 0
+        assert "training cost" in text and "training time" in text
+        assert "2x T4" in text
+
+    def test_family_alias(self, estimator_path):
+        code, text = _run(
+            ["predict", "--estimator", estimator_path, "--model", "alexnet",
+             "--gpu", "P3"]
+        )
+        assert code == 0
+        assert "V100" in text
+
+    def test_serialized_graph_input(self, estimator_path, tiny_graph, tmp_path):
+        graph_path = tmp_path / "g.json"
+        save_graph(tiny_graph, graph_path)
+        code, text = _run(
+            ["predict", "--estimator", estimator_path, "--graph", str(graph_path),
+             "--gpu", "V100", "--batch", "4", "--samples", "6400"]
+        )
+        assert code == 0
+        assert "tiny" in text
+
+    def test_missing_model_errors(self, estimator_path):
+        code, _ = _run(["predict", "--estimator", estimator_path, "--gpu", "T4"])
+        assert code == 2
+
+
+class TestRecommend:
+    def test_min_cost(self, estimator_path):
+        code, text = _run(
+            ["recommend", "--estimator", estimator_path, "--model",
+             "inception_v3", "--objective", "min-cost"]
+        )
+        assert code == 0
+        assert "Recommended instance" in text
+        assert "g4dn" in text  # Fig 11's winner
+
+    def test_market_prices_flip(self, estimator_path):
+        code, text = _run(
+            ["recommend", "--estimator", estimator_path, "--model",
+             "inception_v3", "--objective", "min-cost", "--market-prices"]
+        )
+        assert code == 0
+        assert "K80" in text  # Fig 12's winner
+
+    def test_hourly_budget_requires_budget(self, estimator_path):
+        code, _ = _run(
+            ["recommend", "--estimator", estimator_path, "--model", "alexnet",
+             "--objective", "hourly-budget"]
+        )
+        assert code == 2
+
+    def test_hourly_budget(self, estimator_path):
+        code, text = _run(
+            ["recommend", "--estimator", estimator_path, "--model", "alexnet",
+             "--objective", "hourly-budget", "--budget", "3.0",
+             "--slack", "0.42"]
+        )
+        assert code == 0
+        assert "Recommended instance" in text
+
+
+class TestFigures:
+    def test_unknown_figure_errors(self):
+        code, _ = _run(["figures", "fig99"])
+        assert code == 2
+
+    def test_single_figure_runs(self):
+        code, text = _run(["figures", "fig5", "--iterations", "60"])
+        assert code == 0
+        assert "normalized std" in text
+
+
+class TestTradeoff:
+    def test_frontier_rendered(self, estimator_path):
+        code, text = _run(
+            ["tradeoff", "--estimator", estimator_path, "--model",
+             "inception_v3"]
+        )
+        assert code == 0
+        assert "efficient" in text and "knee of the frontier" in text
+
+    def test_market_prices_supported(self, estimator_path):
+        code, text = _run(
+            ["tradeoff", "--estimator", estimator_path, "--model",
+             "inception_v3", "--market-prices"]
+        )
+        assert code == 0
+        assert "market:" in text
+
+
+class TestFiguresOutput:
+    def test_report_file_written(self, tmp_path):
+        report = tmp_path / "report.txt"
+        code, text = _run(
+            ["figures", "fig4", "--iterations", "60", "--output", str(report)]
+        )
+        assert code == 0
+        assert report.exists()
+        assert "Relu" in report.read_text()

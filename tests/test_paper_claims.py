@@ -1,0 +1,217 @@
+"""Quantitative reproduction checks against the paper's reported results.
+
+Each test asserts the *shape* of a paper claim (who wins, in which
+direction, roughly by how much) on the simulated substrate, with bands
+wide enough to absorb the documented calibration deviations
+(see EXPERIMENTS.md for the full paper-vs-measured table).
+"""
+
+import pytest
+
+from repro.analysis.stats import fraction_below, percentile_of
+from repro.experiments import (
+    run_ablations,
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+)
+
+N = 80
+
+
+@pytest.fixture(scope="module")
+def fig2(train_profiles_small):
+    return run_fig2(train_profiles_small)
+
+
+class TestSectionIII:
+    def test_about_twenty_heavy_op_types(self, fig2):
+        """Section III-A: ~20 heavy op types dominate training time."""
+        assert 18 <= len(fig2.mean_us) <= 23
+
+    def test_p3_much_faster_than_p2(self, fig2):
+        """Paper: ~10x; our substrate compresses this to ~5-8x."""
+        assert 4.5 <= fig2.ratio_p2_over_p3 <= 11.0
+
+    def test_p3_faster_than_g4(self, fig2):
+        """Paper: ~4x; ours ~2.5-3.5x."""
+        assert 2.2 <= fig2.ratio_g4_over_p3 <= 4.5
+
+    def test_p2_slower_than_g3_on_average(self, fig2):
+        """Paper: P2 ~50% slower than G3 on average."""
+        assert fig2.ratio_p2_over_g3 > 1.05
+
+    def test_g3_slower_than_p2_for_some_ops(self, fig2):
+        """Paper: 'for some operations, G3 has higher compute times than
+        P2' (memory-bound kernels)."""
+        assert any(
+            per_gpu["M60"] > per_gpu["K80"] for per_gpu in fig2.mean_us.values()
+        )
+
+    def test_heavy_ops_dominate_training_time(self, fig2):
+        """Paper: heavy ops cover 47-94% of per-iteration time per CNN.
+        (Ours sit at the top of that band.)"""
+        for model, share in fig2.heavy_time_share_per_model.items():
+            assert share > 0.47, model
+
+    def test_light_ops_under_seven_percent(self, fig2):
+        assert fig2.light_time_share_overall < 0.07
+
+    def test_fig3_g4_wins_most_p3_wins_pooling(self, train_profiles_small):
+        result = run_fig3(train_profiles_small)
+        assert result.g4_win_count >= 3 * result.p3_win_count
+        assert result.p3_win_count == 4
+        assert set(result.p3_wins) == {
+            "AvgPool", "AvgPoolGrad", "MaxPool", "MaxPoolGrad",
+        }
+
+    def test_fig3_pooling_advantage_about_twenty_percent(self, train_profiles_small):
+        """Paper: P3 ~20% cheaper on pooling ops, peak 31% (AvgPool)."""
+        result = run_fig3(train_profiles_small)
+        assert 0.10 <= result.pooling_p3_advantage <= 0.35
+
+    def test_fig5_variability(self, train_profiles_small):
+        """Paper: 95% of heavy-op normalized stddevs below 0.1."""
+        result = run_fig5(train_profiles_small)
+        assert fraction_below(result.heavy_all, 0.1) >= 0.95
+        # light/CPU ops are much more variable than heavy ops
+        assert percentile_of(result.light_values, 50) > 2 * percentile_of(
+            result.heavy_all, 50
+        )
+        assert percentile_of(result.cpu_values, 50) > 0.3
+
+
+class TestFig6Scaling:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_fig6(n_iterations=N)
+
+    def test_average_reductions_match_paper_bands(self, fig6):
+        """Paper: ~35.8% / ~46.6% / ~53.6% for 2/3/4 GPUs."""
+        assert 0.30 <= fig6.average_reduction(2) <= 0.47
+        assert 0.42 <= fig6.average_reduction(3) <= 0.60
+        assert 0.48 <= fig6.average_reduction(4) <= 0.68
+
+    def test_sublinear_everywhere(self, fig6):
+        for g in ("V100", "K80", "T4", "M60"):
+            assert fig6.reduction(g, 2) < 0.5
+            assert fig6.reduction(g, 4) < 0.75
+
+
+class TestFig7CommModel:
+    def test_r2_in_paper_band(self):
+        """Paper: regression R^2 0.88-0.98 per (GPU, k)."""
+        result = run_fig7(gpu_counts=(1, 2, 4), n_iterations=N)
+        for key, r2 in result.model.r2.items():
+            assert r2 >= 0.85, key
+
+
+class TestSectionV:
+    @pytest.fixture(scope="module")
+    def fig8(self, ceer_small):
+        return run_fig8(estimator=ceer_small, n_iterations=N)
+
+    def test_validation_error_within_paper_band(self, fig8):
+        """Paper: 5.4% average error; ours must be at least that good-ish."""
+        assert fig8.average_error < 0.08
+
+    def test_perfect_gpu_ranking(self, fig8):
+        for model in ("inception_v3", "alexnet", "resnet_101", "vgg_19"):
+            assert fig8.ranking_correct(model)
+
+    def test_p3_reduction_magnitudes(self, fig8):
+        """Paper: P3 cuts training time by 72%/63%/48% vs P2/G3/G4 on
+        4-GPU instances (ours run somewhat larger for P2/G3)."""
+        assert 0.60 <= fig8.p3_time_reduction("K80") <= 0.95
+        assert 0.50 <= fig8.p3_time_reduction("M60") <= 0.90
+        assert 0.35 <= fig8.p3_time_reduction("T4") <= 0.70
+
+    def test_fig9_split_and_agreement(self, ceer_small):
+        result = run_fig9(estimator=ceer_small, n_iterations=N)
+        models = ("inception_v3", "alexnet", "resnet_101", "vgg_19")
+        # Ceer's pick always matches the observed optimum...
+        for m in models:
+            assert result.best_config(m) == result.best_config(m, True)
+        # ...the winner is CNN-dependent, split between G4 and P3 configs...
+        winner_gpus = {result.best_config(m).split(".")[0] for m in models}
+        assert len(winner_gpus) == 2
+        # ...and a P3-default strategy pays a penalty on G4-winning CNNs.
+        penalties = [result.p3_default_penalty(m) for m in models]
+        assert max(penalties) > 0.08
+
+    def test_fig10_feasibility_story(self, ceer_small):
+        result = run_fig10(estimator=ceer_small, n_iterations=N)
+        # All P2 configurations and the 4-GPU P3 exceed the budget.
+        feasible = set(result.feasible(False))
+        assert not any(g == "K80" for g, _ in feasible)
+        assert ("V100", 4) not in feasible
+        # The 3-GPU P3 is the observed and predicted optimum.
+        assert result.best_config(False) == ("V100", 3)
+        assert result.best_config(True) == ("V100", 3)
+        # Cheapest-rate feasible choice (1-GPU G3) is ~an order of
+        # magnitude slower (paper: 9.1x).
+        assert 6.0 <= result.cheapest_rate_penalty() <= 16.0
+
+    def test_fig11_g4_cheapest_with_margins(self, ceer_small):
+        result = run_fig11(estimator=ceer_small, n_iterations=N)
+        assert result.best_config(False) == ("T4", 1)
+        # Paper: cheapest instance (1-GPU G3) costs 1.6x, most powerful
+        # (4-GPU P3) 1.8x; ours land near 1.9x / 2.1x.
+        assert 1.3 <= result.cost_ratio("M60", 1) <= 2.5
+        assert 1.5 <= result.cost_ratio("V100", 4) <= 3.0
+        assert result.average_error() < 0.06
+
+    def test_fig12_market_prices_flip_winner(self, ceer_small):
+        result = run_fig12(estimator=ceer_small, n_iterations=N)
+        assert result.best_config(False) == ("K80", 1)
+        # The Fig. 11 winner (1-GPU G4) now costs a multiple of optimal.
+        assert result.cost_ratio("T4", 1) > 1.2
+
+
+class TestAblationClaims:
+    @pytest.fixture(scope="class")
+    def ablations(self):
+        return run_ablations(gpu_counts=(1, 4), n_iterations=N)
+
+    def test_full_ceer_error_band(self, ablations):
+        """Paper: ~4.2% average test error; ours <= 6%."""
+        assert ablations.mean_error("ceer (full)") < 0.06
+
+    def test_no_comm_single_gpu_error_band(self, ablations):
+        """Paper: ignoring communication costs 5-20% on one GPU
+        (AlexNet ~30%)."""
+        err = ablations.mean_error("no-communication (Eq. 1)", num_gpus=1)
+        assert 0.05 <= err <= 0.30
+
+    def test_no_comm_multi_gpu_much_worse(self, ablations):
+        assert ablations.mean_error(
+            "no-communication (Eq. 1)", num_gpus=4
+        ) > ablations.mean_error("no-communication (Eq. 1)", num_gpus=1)
+
+    def test_layer_level_error_matches_giannini(self, ablations):
+        """Paper (Section VII): layer-level modeling errs up to ~22% on a
+        single GPU."""
+        assert ablations.mean_error("layer-level (Giannini-style)", num_gpus=1) > 0.12
+
+    def test_heavy_op_regressions_in_band(self, ablations):
+        low, high = ablations.heavy_r2_range
+        assert low > 0.80 and high <= 1.0
+
+    def test_heavy_op_test_mape_band(self, ablations):
+        """Paper: 2-10% held-out MAPE per heavy op type; we allow a longer
+        tail for the rare quadratic ops."""
+        values = sorted(ablations.heavy_test_mape.values())
+        median = values[len(values) // 2]
+        assert median < 0.10
+
+    def test_cost_savings_vs_strategies(self, ablations):
+        """Paper: Ceer saves up to 36%/44% vs cheapest/latest strategies."""
+        assert ablations.strategy_cost_ratio["cheapest-instance"] > 1.3
+        assert ablations.strategy_cost_ratio["latest-gpu (P3)"] > 1.4

@@ -1,0 +1,104 @@
+"""Property-based tests over randomly generated CNN architectures.
+
+Hypothesis generates random-but-valid CNNs through the public builder API;
+every generated model must satisfy the library's global invariants: the
+graph validates, shapes agree, parameters are counted consistently,
+simulation and feature extraction succeed, and Ceer's estimator produces
+finite, monotone predictions.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphBuilder, graph_flops
+from repro.profiling.features import features_for
+from repro.sim.executor import run_iterations
+
+# A random architecture spec: a list of layer directives.
+_layer = st.sampled_from(["conv", "conv_bn", "pool", "avg_pool", "dropout"])
+_architectures = st.lists(_layer, min_size=1, max_size=6)
+
+
+def _build_random(layers, image=32, classes=7, batch=2):
+    b = GraphBuilder("random", batch_size=batch, image_hw=(image, image),
+                    num_classes=classes)
+    x = b.input()
+    channels = 8
+    for directive in layers:
+        if directive == "conv":
+            x = b.conv(x, channels, 3)
+            channels = min(channels * 2, 64)
+        elif directive == "conv_bn":
+            x = b.conv(x, channels, 3, batch_norm=True)
+        elif directive in ("pool", "avg_pool"):
+            if x.shape.height < 2:
+                continue  # window no longer fits; skip the directive
+            pool = b.max_pool if directive == "pool" else b.avg_pool
+            x = pool(x, 2, 2)
+        elif directive == "dropout":
+            x = b.dropout(x, 0.5)
+    x = b.global_avg_pool(x)
+    logits = b.dense(x, classes, activation=None)
+    return b.finalize(logits)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_architectures)
+def test_random_models_validate_and_account_parameters(layers):
+    graph = _build_random(layers)
+    graph.validate()
+    # Parameter count equals the sum over optimizer updates' outputs.
+    updated = sum(
+        op.outputs[0].num_elements for op in graph.ops_of_type("ApplyMomentum")
+    )
+    assert updated == graph.num_parameters
+    assert graph.num_variables == len(graph.ops_of_type("ApplyMomentum"))
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_architectures)
+def test_random_models_simulate_with_finite_times(layers):
+    graph = _build_random(layers)
+    profile = run_iterations(graph, "T4", 5)
+    assert math.isfinite(profile.compute_us) and profile.compute_us > 0
+    assert all(t.mean_us > 0 for t in profile.timings)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_architectures)
+def test_random_models_have_finite_nonneg_features_and_flops(layers):
+    graph = _build_random(layers)
+    assert graph_flops(graph.operations) > 0
+    for op in graph:
+        values = features_for(op)
+        assert np.isfinite(values).all()
+        assert all(v >= 0 for v in values)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_architectures, st.sampled_from(["V100", "K80", "T4", "M60"]))
+def test_ceer_predictions_finite_and_monotone_in_gpus(ceer_small, layers, gpu):
+    from repro.workloads.dataset import IMAGENET_6400, TrainingJob
+
+    graph = _build_random(layers)
+    job = TrainingJob(IMAGENET_6400, batch_size=graph.batch_size)
+    predictions = [
+        ceer_small.predict_training(graph, gpu, k, job) for k in (1, 2, 4)
+    ]
+    for p in predictions:
+        assert math.isfinite(p.total_us) and p.total_us > 0
+        assert math.isfinite(p.cost_dollars) and p.cost_dollars > 0
+    # More GPUs -> fewer iterations, monotone in k for a fixed job.
+    iterations = [p.iterations for p in predictions]
+    assert iterations == sorted(iterations, reverse=True)
+    # Communication overhead grows with k.
+    comms = [p.comm_overhead_us for p in predictions]
+    assert comms == sorted(comms)

@@ -1,0 +1,53 @@
+"""Tests for workload descriptors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.workloads.dataset import (
+    IMAGENET,
+    IMAGENET_6400,
+    IMAGENET_EPOCH,
+    DatasetSpec,
+    TrainingJob,
+)
+
+
+class TestDatasetSpec:
+    def test_imagenet_constants(self):
+        assert IMAGENET.num_samples == 1_200_000
+        assert IMAGENET.num_classes == 1000
+        assert IMAGENET_6400.num_samples == 6_400
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ReproError):
+            DatasetSpec("empty", 0)
+
+
+class TestTrainingJob:
+    def test_paper_iteration_accounting(self):
+        """Eq. (2): D / (k * B) iterations."""
+        assert IMAGENET_EPOCH.iterations(1) == 1_200_000 / 32
+        assert IMAGENET_EPOCH.iterations(4) == 1_200_000 / 128
+
+    def test_epochs_multiply(self):
+        job = TrainingJob(IMAGENET_6400, batch_size=32, epochs=3)
+        assert job.iterations(1) == 600
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ReproError):
+            TrainingJob(IMAGENET, batch_size=0)
+
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ReproError):
+            TrainingJob(IMAGENET, epochs=0)
+
+    def test_rejects_bad_gpu_count(self):
+        with pytest.raises(ReproError):
+            IMAGENET_EPOCH.iterations(0)
+
+    @given(st.integers(1, 16), st.integers(1, 512))
+    def test_iterations_inverse_in_k(self, k, batch):
+        job = TrainingJob(IMAGENET, batch_size=batch)
+        assert job.iterations(k) == pytest.approx(job.iterations(1) / k)
