@@ -1,0 +1,77 @@
+"""Benchmark: compiled prediction engine vs the scalar per-op reference.
+
+Times the full 16-candidate recommender sweep on an Inception-class model
+both ways and asserts the engine's contract: >= 10x faster than the seed
+per-op loop with totals matching within 1e-6 relative tolerance. Runs at
+the canonical experiment configuration like every other benchmark; the
+assertions make sweep-latency regressions fail CI here rather than
+slowing the tier-1 test suite.
+"""
+
+import time
+
+from repro.core.estimator import CeerEstimator
+from repro.core.recommend import Recommender
+from repro.experiments.common import IMAGENET_JOB, fitted_ceer
+from repro.hardware.gpus import GPU_KEYS
+from repro.models.zoo import build_model, model_names
+
+MODEL = "inception_v3"
+
+
+def test_bench_predict_engine(benchmark, emit):
+    fitted = fitted_ceer()
+    compute_models = fitted.estimator.compute_models
+    comm_model = fitted.estimator.comm_model
+
+    scalar_rec = Recommender(
+        CeerEstimator(compute_models, comm_model, use_engine=False)
+    )
+    engine_est = CeerEstimator(compute_models, comm_model)
+    engine_rec = Recommender(engine_est)
+
+    t0 = time.perf_counter()
+    scalar_sweep = scalar_rec.sweep(MODEL, IMAGENET_JOB)
+    scalar_s = time.perf_counter() - t0
+
+    def cold_sweep():
+        engine_est.engine.clear()
+        return engine_rec.sweep(MODEL, IMAGENET_JOB)
+
+    engine_sweep = benchmark.pedantic(cold_sweep, rounds=5, iterations=1)
+    cold_s = benchmark.stats.stats.min
+
+    # Cold sweep (build + compile + evaluate all 16 candidates) must beat
+    # the seed per-op loop by >= 10x; warm repeats are far faster still.
+    speedup = scalar_s / cold_s
+    assert speedup >= 10.0, f"sweep speedup {speedup:.1f}x below 10x target"
+
+    # Bit-identical results (<= 1e-6 relative) across all 16 candidates.
+    worst = 0.0
+    for s, e in zip(scalar_sweep, engine_sweep):
+        assert (s.gpu_key, s.num_gpus) == (e.gpu_key, e.num_gpus)
+        worst = max(worst, abs(e.total_us - s.total_us) / s.total_us)
+    assert worst <= 1e-6
+
+    # ... and across the whole zoo x GPU matrix on raw compute totals.
+    for name in model_names():
+        graph = build_model(name, batch_size=IMAGENET_JOB.batch_size)
+        for gpu_key in GPU_KEYS:
+            scalar = compute_models.predict_graph_us(graph, gpu_key)
+            vector = engine_est.engine.predict_graph_us(graph, gpu_key)
+            worst = max(worst, abs(vector - scalar) / scalar)
+    assert worst <= 1e-6
+
+    emit(
+        "predict_engine",
+        "\n".join(
+            [
+                f"recommender sweep on {MODEL} "
+                f"({len(scalar_sweep)} candidates):",
+                f"  scalar per-op loop: {scalar_s * 1e3:8.2f} ms",
+                f"  engine (cold):      {cold_s * 1e3:8.3f} ms  "
+                f"({speedup:.0f}x)",
+                f"  max rel diff vs scalar (sweep + zoo x GPU): {worst:.2e}",
+            ]
+        ),
+    )

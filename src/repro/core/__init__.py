@@ -14,6 +14,12 @@ from repro.core.comm_model import (
     collect_comm_observations,
     fit_comm_model,
 )
+from repro.core.engine import (
+    CompiledGraph,
+    PredictionEngine,
+    compile_graph,
+    evaluate_compiled_us,
+)
 from repro.core.estimator import CeerEstimator, TrainingPrediction
 from repro.core.fit import CeerDiagnostics, FittedCeer, fit_ceer
 from repro.core.op_models import (
@@ -60,6 +66,10 @@ __all__ = [
     "CeerDiagnostics",
     "CeerEstimator",
     "TrainingPrediction",
+    "PredictionEngine",
+    "CompiledGraph",
+    "compile_graph",
+    "evaluate_compiled_us",
     "ComputeTimeModels",
     "HeavyOpModel",
     "fit_compute_models",

@@ -1,0 +1,304 @@
+"""Compiled, vectorized prediction engine: walk a graph once, predict many.
+
+The scalar reference path (:meth:`ComputeTimeModels.predict_graph_us`)
+re-walks the op graph and re-extracts features for every single estimate.
+That is fine for one prediction, but the recommender sweeps 16 (GPU model,
+GPU count) candidates per query and the experiment drivers evaluate whole
+model zoos — all against the *same* graph with the *same* static size
+features. Eq. (2)'s per-op sum
+
+    sum_i t_GPU,op_i(input_i)
+
+factorises by op type: every heavy op type contributes
+``sum(clip(X @ w + b))`` for a feature matrix ``X`` that depends only on
+the graph, while light/CPU/unseen ops contribute ``count * median``. So a
+graph can be *compiled* once into per-type feature matrices plus a handful
+of counts, after which each (GPU model, flag) evaluation is a few dozen
+matrix ops — the same amortisation Habitat and PROFET use to make
+runtime prediction cheap enough to sit in a serving loop.
+
+Three cache layers make the sweep path hot:
+
+* built graphs, keyed by ``(model_name, batch_size)`` (LRU);
+* compiled feature matrices, keyed by graph identity (LRU, holds a strong
+  reference to the graph so the identity key cannot dangle);
+* evaluated totals, keyed by ``(gpu_key, include_light, include_cpu)``
+  within each compiled entry — a 16-candidate sweep performs only 4
+  distinct compute evaluations (one per GPU model).
+
+The engine is semantics-identical to the scalar path (see
+``tests/core/test_engine.py`` for the zoo-wide equivalence property):
+same prediction floor and extrapolation clip per op, same unseen-op policy
+(``strict_unseen`` raises, otherwise the light-median fallback), same
+``heavy_only``/``include_*`` ablation flags.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import UnseenOperationError
+from repro.graph.graph import OpGraph
+from repro.graph.ops import Device
+from repro.profiling.features import features_for
+from repro.core.classify import CPU, HEAVY, LIGHT
+from repro.core.op_models import ComputeTimeModels
+
+#: Default LRU capacities. Graph entries are whole op graphs (the zoo has
+#: 12 models; 32 leaves room for several batch sizes per model); compiled
+#: entries are a few hundred KB of float64 each.
+GRAPH_CACHE_SIZE = 32
+COMPILED_CACHE_SIZE = 32
+
+
+@dataclass(frozen=True)
+class CompiledGraph:
+    """A graph reduced to the arrays Eq. (2) needs — no ops, no shapes.
+
+    Attributes:
+        graph_name / batch_size: identity of the source graph.
+        num_ops: total operation count of the source graph.
+        num_parameters: trainable parameters (input to the comm model).
+        heavy_features: op type -> (n_instances, n_features) matrix, rows
+            in graph order, features exactly as :func:`features_for`.
+        n_light: known light GPU op instances.
+        n_cpu: host-device ops plus GPU ops whose type classifies as CPU
+            (both priced at the CPU median by the scalar path).
+        n_unseen: GPU ops whose type never appeared in training profiles.
+        unseen_types: those types, first-encounter order (for error
+            messages under ``strict_unseen``).
+    """
+
+    graph_name: str
+    batch_size: int
+    num_ops: int
+    num_parameters: int
+    heavy_features: Dict[str, np.ndarray]
+    n_light: int
+    n_cpu: int
+    n_unseen: int
+    unseen_types: Tuple[str, ...]
+
+    @property
+    def n_heavy(self) -> int:
+        return sum(x.shape[0] for x in self.heavy_features.values())
+
+
+def compile_graph(graph: OpGraph, models: ComputeTimeModels) -> CompiledGraph:
+    """Walk ``graph`` once and extract everything prediction needs.
+
+    The result is classification-specific (it bakes in ``models``'
+    heavy/light/CPU partition) but GPU-oblivious: the same compiled graph
+    serves every GPU model and every include-flag combination.
+    """
+    classification = models.classification
+    rows: Dict[str, list] = {}
+    n_light = n_cpu = n_unseen = 0
+    unseen: "OrderedDict[str, None]" = OrderedDict()
+    for op in graph:
+        if op.device is Device.CPU:
+            n_cpu += 1
+            continue
+        if not classification.knows(op.op_type):
+            n_unseen += 1
+            unseen.setdefault(op.op_type)
+            continue
+        kind = classification.kind(op.op_type)
+        if kind == HEAVY:
+            rows.setdefault(op.op_type, []).append(features_for(op))
+        elif kind == CPU:
+            n_cpu += 1
+        else:
+            n_light += 1
+    return CompiledGraph(
+        graph_name=graph.name,
+        batch_size=graph.batch_size,
+        num_ops=len(graph),
+        num_parameters=graph.num_parameters,
+        heavy_features={
+            op_type: np.asarray(feats, dtype=float)
+            for op_type, feats in rows.items()
+        },
+        n_light=n_light,
+        n_cpu=n_cpu,
+        n_unseen=n_unseen,
+        unseen_types=tuple(unseen),
+    )
+
+
+def evaluate_compiled_us(
+    compiled: CompiledGraph,
+    models: ComputeTimeModels,
+    gpu_key: str,
+    include_light: bool = True,
+    include_cpu: bool = True,
+    heavy_only: bool = False,
+) -> float:
+    """Evaluate Eq. (2)'s compute sum from a compiled graph.
+
+    Mirrors the scalar path exactly: per-op floor/clip inside
+    :meth:`RegressionModel.predict_batch`, unseen GPU ops raise under
+    ``strict_unseen`` (regardless of include flags) and otherwise fall
+    back to the light median, CPU-classified ops always cost the CPU
+    median.
+    """
+    if heavy_only:
+        include_light = include_cpu = False
+    if compiled.n_unseen and models.strict_unseen:
+        raise UnseenOperationError(compiled.unseen_types[0], gpu_key)
+    total = 0.0
+    for op_type, x in compiled.heavy_features.items():
+        model = models.heavy_models.get((gpu_key, op_type))
+        if model is None:
+            raise UnseenOperationError(op_type, gpu_key)
+        total += float(model.regression.predict_batch(x).sum())
+    if include_light:
+        total += (compiled.n_light + compiled.n_unseen) * models.light_median_us
+    if include_cpu:
+        total += compiled.n_cpu * models.cpu_median_us
+    return total
+
+
+class _LRU(OrderedDict):
+    """A minimal LRU mapping: get refreshes recency, put evicts oldest."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        self.capacity = capacity
+
+    def lookup(self, key):
+        if key not in self:
+            return None
+        self.move_to_end(key)
+        return self[key]
+
+    def insert(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.capacity:
+            self.popitem(last=False)
+
+
+class _CompiledEntry:
+    """A compiled graph plus its per-(GPU, flags) evaluated totals.
+
+    Holding the source graph keeps its ``id()`` alive, so the identity key
+    of the compiled cache can never alias a new graph; storing the totals
+    inside the entry means evicting a graph also evicts its totals.
+    """
+
+    __slots__ = ("graph", "compiled", "totals")
+
+    def __init__(self, graph: OpGraph, compiled: CompiledGraph) -> None:
+        self.graph = graph
+        self.compiled = compiled
+        self.totals: Dict[Tuple[str, bool, bool], float] = {}
+
+
+class PredictionEngine:
+    """Compile-once / evaluate-many facade over :class:`ComputeTimeModels`.
+
+    One engine wraps one fitted model set (its classification is baked
+    into compiled graphs). :class:`~repro.core.estimator.CeerEstimator`
+    constructs one automatically; the recommender and experiment drivers
+    share it through the estimator, so a full sweep compiles each graph
+    once and reuses evaluated totals across candidates.
+    """
+
+    def __init__(
+        self,
+        compute_models: ComputeTimeModels,
+        graph_cache_size: int = GRAPH_CACHE_SIZE,
+        compiled_cache_size: int = COMPILED_CACHE_SIZE,
+    ) -> None:
+        self.compute_models = compute_models
+        self._graphs: _LRU = _LRU(graph_cache_size)
+        self._compiled: _LRU = _LRU(compiled_cache_size)
+        self.stats: Dict[str, int] = {
+            "graph_hits": 0, "graph_misses": 0,
+            "compile_hits": 0, "compile_misses": 0,
+            "eval_hits": 0, "eval_misses": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def resolve_graph(
+        self, model: Union[str, OpGraph], batch_size: int = 32
+    ) -> OpGraph:
+        """Return the op graph for a zoo name (memoized) or pass one through."""
+        if isinstance(model, OpGraph):
+            return model
+        key = (model, batch_size)
+        graph = self._graphs.lookup(key)
+        if graph is not None:
+            self.stats["graph_hits"] += 1
+            return graph
+        from repro.models.zoo import build_model
+
+        self.stats["graph_misses"] += 1
+        graph = build_model(model, batch_size=batch_size)
+        self._graphs.insert(key, graph)
+        return graph
+
+    def compile(self, model: Union[str, OpGraph], batch_size: int = 32) -> CompiledGraph:
+        """Compile a graph (memoized on graph identity)."""
+        return self._entry(self.resolve_graph(model, batch_size)).compiled
+
+    def _entry(self, graph: OpGraph) -> _CompiledEntry:
+        entry = self._compiled.lookup(id(graph))
+        if entry is not None:
+            self.stats["compile_hits"] += 1
+            return entry
+        self.stats["compile_misses"] += 1
+        entry = _CompiledEntry(graph, compile_graph(graph, self.compute_models))
+        self._compiled.insert(id(graph), entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    def predict_graph_us(
+        self,
+        model: Union[str, OpGraph],
+        gpu_key: str,
+        batch_size: int = 32,
+        include_light: bool = True,
+        include_cpu: bool = True,
+        heavy_only: bool = False,
+    ) -> float:
+        """Vectorized equivalent of ``ComputeTimeModels.predict_graph_us``."""
+        if heavy_only:
+            include_light = include_cpu = False
+        entry = self._entry(self.resolve_graph(model, batch_size))
+        key = (gpu_key, include_light, include_cpu)
+        cached = entry.totals.get(key)
+        if cached is not None:
+            self.stats["eval_hits"] += 1
+            return cached
+        self.stats["eval_misses"] += 1
+        total = evaluate_compiled_us(
+            entry.compiled, self.compute_models, gpu_key,
+            include_light=include_light, include_cpu=include_cpu,
+        )
+        entry.totals[key] = total
+        return total
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all cached graphs, compilations, and totals."""
+        self._graphs.clear()
+        self._compiled.clear()
+        for k in self.stats:
+            self.stats[k] = 0
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters plus current cache sizes (diagnostics/bench)."""
+        return {
+            **self.stats,
+            "graphs_cached": len(self._graphs),
+            "compiled_cached": len(self._compiled),
+            "totals_cached": sum(
+                len(e.totals) for e in self._compiled.values()
+            ),
+        }

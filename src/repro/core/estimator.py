@@ -22,9 +22,9 @@ from typing import Optional, Union
 from repro.cloud.catalog import InstanceType
 from repro.cloud.pricing import ON_DEMAND, PricingScheme
 from repro.graph.graph import OpGraph
-from repro.models.zoo import build_model
 from repro.workloads.dataset import TrainingJob
 from repro.core.comm_model import CommunicationModel
+from repro.core.engine import PredictionEngine
 from repro.core.op_models import ComputeTimeModels
 
 
@@ -66,6 +66,10 @@ class CeerEstimator:
         comm_model: fitted per-(GPU, k) communication-overhead models.
         include_communication: set False to reproduce the Eq. (1) ablation.
         heavy_only: set True to reproduce the heavy-ops-only ablation.
+        use_engine: route the compute sum through the vectorized
+            :class:`~repro.core.engine.PredictionEngine` (compile-once /
+            evaluate-many with caching). Set False to force the scalar
+            per-op reference path — the benchmark harness times both.
     """
 
     def __init__(
@@ -74,13 +78,36 @@ class CeerEstimator:
         comm_model: CommunicationModel,
         include_communication: bool = True,
         heavy_only: bool = False,
+        use_engine: bool = True,
     ) -> None:
         self.compute_models = compute_models
         self.comm_model = comm_model
         self.include_communication = include_communication
         self.heavy_only = heavy_only
+        self.use_engine = use_engine
+        self.engine = PredictionEngine(compute_models)
 
     # ------------------------------------------------------------------
+    def resolve_graph(
+        self, model: Union[str, OpGraph], batch_size: int = 32
+    ) -> OpGraph:
+        """Resolve a zoo name to its (engine-cached) op graph.
+
+        Callers that evaluate the same model many times (the recommender
+        sweep, the figure drivers) resolve once and pass the graph back
+        in, so the engine compiles a single graph for the whole run.
+        """
+        return self.engine.resolve_graph(model, batch_size)
+
+    def _compute_us(self, graph: OpGraph, gpu_key: str) -> float:
+        if self.use_engine:
+            return self.engine.predict_graph_us(
+                graph, gpu_key, heavy_only=self.heavy_only
+            )
+        return self.compute_models.predict_graph_us(
+            graph, gpu_key, heavy_only=self.heavy_only
+        )
+
     def predict_iteration_us(
         self, model: Union[str, OpGraph], gpu_key: str, num_gpus: int = 1,
         batch_size: int = 32,
@@ -89,14 +116,8 @@ class CeerEstimator:
         from repro.hardware.gpus import gpu_spec
 
         gpu_key = gpu_spec(gpu_key).key  # accept family aliases like "P3"
-        graph = (
-            build_model(model, batch_size=batch_size)
-            if isinstance(model, str)
-            else model
-        )
-        compute = self.compute_models.predict_graph_us(
-            graph, gpu_key, heavy_only=self.heavy_only
-        )
+        graph = self.resolve_graph(model, batch_size)
+        compute = self._compute_us(graph, gpu_key)
         comm = (
             self.comm_model.predict_us(gpu_key, num_gpus, graph.num_parameters)
             if self.include_communication
@@ -117,14 +138,8 @@ class CeerEstimator:
         from repro.hardware.gpus import gpu_spec
 
         gpu_key = gpu_spec(gpu_key).key  # accept family aliases like "P3"
-        graph = (
-            build_model(model, batch_size=job.batch_size)
-            if isinstance(model, str)
-            else model
-        )
-        compute = self.compute_models.predict_graph_us(
-            graph, gpu_key, heavy_only=self.heavy_only
-        )
+        graph = self.resolve_graph(model, job.batch_size)
+        compute = self._compute_us(graph, gpu_key)
         comm = (
             self.comm_model.predict_us(gpu_key, num_gpus, graph.num_parameters)
             if self.include_communication

@@ -95,6 +95,15 @@ class ComputeTimeModels:
         ``heavy_only`` (or unsetting the include flags) reproduces the
         paper's Section IV-B ablation: dropping light/CPU contributions
         raises error to 15-25%.
+
+        This is the scalar *reference* implementation; the vectorized
+        :class:`~repro.core.engine.PredictionEngine` must match it within
+        float tolerance. Each op is classified exactly once, and the
+        unseen-GPU-op policy is flag-independent: under ``strict_unseen``
+        an unclassified GPU op type always raises
+        :class:`UnseenOperationError` (even when ``heavy_only`` would
+        discard its contribution), otherwise it costs the light median
+        and is gated by ``include_light`` like any other light op.
         """
         if heavy_only:
             include_light = include_cpu = False
@@ -104,12 +113,23 @@ class ComputeTimeModels:
                 if include_cpu:
                     total += self.cpu_median_us
                 continue
-            known = self.classification.knows(op.op_type)
-            kind = self.classification.kind(op.op_type) if known else LIGHT
+            if not self.classification.knows(op.op_type):
+                if self.strict_unseen:
+                    raise UnseenOperationError(op.op_type, gpu_key)
+                if include_light:
+                    total += self.light_median_us
+                continue
+            kind = self.classification.kind(op.op_type)
             if kind == HEAVY:
-                total += self.predict_op_us(op, gpu_key)
+                model = self.heavy_models.get((gpu_key, op.op_type))
+                if model is None:
+                    raise UnseenOperationError(op.op_type, gpu_key)
+                total += model.predict_us(features_for(op))
+            elif kind == CPU:
+                if include_cpu:
+                    total += self.cpu_median_us
             elif include_light:
-                total += self.predict_op_us(op, gpu_key)
+                total += self.light_median_us
         return total
 
     def heavy_op_types(self) -> Tuple[str, ...]:

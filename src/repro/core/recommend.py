@@ -161,19 +161,11 @@ class Recommender:
         self.gpu_counts = tuple(gpu_counts)
         self.check_memory = check_memory
 
-    def _memory_feasible_gpus(
-        self, model: Union[str, OpGraph], job: TrainingJob
-    ) -> Tuple[str, ...]:
+    def _memory_feasible_gpus(self, graph: OpGraph) -> Tuple[str, ...]:
         if not self.check_memory:
             return self.gpu_keys
         from repro.hardware.memory import estimate_memory
-        from repro.models.zoo import build_model
 
-        graph = (
-            build_model(model, batch_size=job.batch_size)
-            if isinstance(model, str)
-            else model
-        )
         estimate = estimate_memory(graph)
         return tuple(g for g in self.gpu_keys if estimate.fits(g))
 
@@ -182,20 +174,27 @@ class Recommender:
     ) -> List[TrainingPrediction]:
         """Predict T and C for every candidate (GPU model, k) configuration.
 
+        The graph is resolved *once* and every candidate prediction goes
+        through the estimator's :class:`~repro.core.engine.PredictionEngine`,
+        so the 16-candidate sweep compiles one graph and performs one
+        vectorized compute evaluation per distinct GPU model (the per-k
+        variation is entirely in the communication term).
+
         With ``check_memory`` enabled, GPU models that cannot hold the
         model's working set are dropped from the sweep entirely (under
         data parallelism every replica needs the full working set, so GPU
         count does not help).
         """
-        gpu_keys = self._memory_feasible_gpus(model, job)
+        graph = self.estimator.resolve_graph(model, job.batch_size)
+        gpu_keys = self._memory_feasible_gpus(graph)
         if not gpu_keys:
             raise RecommendationError(
-                f"model {getattr(model, 'name', model)!r} does not fit in any "
+                f"model {graph.name!r} does not fit in any "
                 f"candidate GPU's memory at batch {job.batch_size}"
             )
         return [
             self.estimator.predict_training(
-                model, gpu_key, k, job, pricing=self.pricing
+                graph, gpu_key, k, job, pricing=self.pricing
             )
             for gpu_key in gpu_keys
             for k in self.gpu_counts

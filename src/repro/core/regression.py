@@ -77,6 +77,20 @@ class RegressionModel:
     def predict_one(self, features: Sequence[float]) -> float:
         return float(self.predict(np.asarray(features, dtype=float)[None, :])[0])
 
+    def predict_batch(self, x) -> np.ndarray:
+        """Vectorized prediction over an (n, features) matrix.
+
+        One ``X @ w`` plus the same clip/floor as :meth:`predict_one`:
+        ``predict_batch(X)[i] == predict_one(X[i])`` for every row (the
+        engine's equivalence tests assert this across the model zoo).
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ModelingError(
+                f"predict_batch expects an (n, features) matrix, got ndim={x.ndim}"
+            )
+        return self.predict(x)
+
 
 def _fit_ols(
     x: np.ndarray, y: np.ndarray, degree: int, feature_names: Tuple[str, ...]

@@ -126,10 +126,12 @@ def run_fig10(
     estimator = estimator if estimator is not None else fitted_ceer(n_iterations).estimator
     observed: Dict[Tuple[str, int], TrainingMeasurement] = {}
     predicted: Dict[Tuple[str, int], TrainingPrediction] = {}
+    # One engine compilation serves the whole 16-configuration sweep.
+    graph = estimator.resolve_graph(model, job.batch_size)
     for gpu_key in GPU_KEYS:
         for k in gpu_counts:
             observed[(gpu_key, k)] = observed_training(model, gpu_key, k, job, n_iterations)
-            predicted[(gpu_key, k)] = estimator.predict_training(model, gpu_key, k, job)
+            predicted[(gpu_key, k)] = estimator.predict_training(graph, gpu_key, k, job)
     return Fig10Result(
         model=model, budget=budget, observed=observed, predicted=predicted
     )

@@ -24,7 +24,12 @@ def run_fig12(
     estimator: CeerEstimator = None,
     n_iterations: int = CANONICAL_ITERATIONS,
 ) -> Fig11Result:
-    """Regenerate Figure 12: the cost sweep under market-ratio prices."""
+    """Regenerate Figure 12: the cost sweep under market-ratio prices.
+
+    Delegates to :func:`run_fig11`, so it inherits the compile-once
+    prediction-engine path: re-pricing the sweep reuses the compiled
+    graph and per-GPU compute totals already cached by the estimator.
+    """
     return run_fig11(
         model=model, job=job, estimator=estimator,
         pricing=MARKET_RATIO, n_iterations=n_iterations,

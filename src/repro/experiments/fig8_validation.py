@@ -114,11 +114,14 @@ def run_fig8(
     observed: Dict[Tuple[str, str], TrainingMeasurement] = {}
     predicted: Dict[Tuple[str, str], TrainingPrediction] = {}
     for model in models:
+        # Resolve once per CNN: the prediction engine compiles the graph a
+        # single time and reuses it across all four GPU models.
+        graph = estimator.resolve_graph(model, job.batch_size)
         for gpu_key in GPU_KEYS:
             observed[(model, gpu_key)] = observed_training(
                 model, gpu_key, num_gpus, job, n_iterations
             )
             predicted[(model, gpu_key)] = estimator.predict_training(
-                model, gpu_key, num_gpus, job
+                graph, gpu_key, num_gpus, job
             )
     return Fig8Result(num_gpus=num_gpus, observed=observed, predicted=predicted)

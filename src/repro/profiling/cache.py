@@ -19,8 +19,14 @@ import json
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
+from repro.errors import ProfilingError
 from repro.profiling.profiler import Profiler
 from repro.profiling.records import ProfileDataset
+
+#: On-disk layout version, folded into every cache key. Bump whenever the
+#: serialized :class:`ProfileRecord` schema changes: old files then simply
+#: stop being addressed (self-invalidation) instead of failing to parse.
+CACHE_FORMAT_VERSION = 1
 
 
 class ProfileCache:
@@ -42,6 +48,7 @@ class ProfileCache:
         """Stable hash of the profiling configuration."""
         payload = json.dumps(
             {
+                "format": CACHE_FORMAT_VERSION,
                 "models": sorted(models),
                 "gpus": sorted(gpu_keys),
                 "iterations": n_iterations,
@@ -57,11 +64,21 @@ class ProfileCache:
 
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[ProfileDataset]:
-        """Return the cached dataset for ``key``, or None on miss."""
+        """Return the cached dataset for ``key``, or None on miss.
+
+        A corrupt, truncated, or schema-incompatible cache file is treated
+        as a miss (not an error): :meth:`get_or_profile` then re-profiles
+        and overwrites the bad file, so a killed run or stale layout can
+        never wedge the pipeline.
+        """
         path = self._path(key)
         if not path.exists():
             return None
-        return ProfileDataset.from_json(path)
+        try:
+            return ProfileDataset.from_json(path)
+        except (json.JSONDecodeError, ProfilingError, KeyError, TypeError,
+                ValueError, OSError):
+            return None
 
     def store(self, key: str, dataset: ProfileDataset) -> Path:
         path = self._path(key)

@@ -1,0 +1,226 @@
+"""Tests for the compiled, vectorized prediction engine.
+
+The load-bearing property: for every zoo model on every GPU key and every
+ablation-flag combination, :class:`PredictionEngine` totals must match the
+scalar per-op reference loop within 1e-6 relative tolerance.
+"""
+
+import pytest
+
+from repro.core.classify import classify_operations
+from repro.core.engine import (
+    PredictionEngine,
+    compile_graph,
+    evaluate_compiled_us,
+)
+from repro.core.op_models import fit_compute_models
+from repro.errors import UnseenOperationError
+from repro.graph.graph import OpGraph
+from repro.graph.ops import Operation
+from repro.graph.shapes import TensorShape
+from repro.hardware.gpus import GPU_KEYS
+from repro.models.zoo import build_model, model_names
+
+#: The acceptance bar: vectorized == scalar within 1e-6 relative.
+REL_TOL = 1e-6
+
+#: Flag combinations the equivalence property sweeps.
+FLAG_CONFIGS = (
+    {},
+    {"heavy_only": True},
+    {"include_light": False},
+    {"include_cpu": False},
+)
+
+
+@pytest.fixture(scope="module")
+def compute_models(train_profiles_small):
+    classification = classify_operations(train_profiles_small)
+    return fit_compute_models(train_profiles_small, classification)
+
+
+@pytest.fixture(scope="module")
+def strict_models(train_profiles_small):
+    classification = classify_operations(train_profiles_small)
+    return fit_compute_models(
+        train_profiles_small, classification, strict_unseen=True
+    )
+
+
+@pytest.fixture(scope="module")
+def engine(compute_models):
+    return PredictionEngine(compute_models)
+
+
+def graph_with_unseen_op(batch_size=4):
+    """A one-op graph whose GPU op type never appears in training profiles."""
+    graph = OpGraph(name="unseen", batch_size=batch_size)
+    graph.add(
+        Operation(
+            name="x/Tanh", op_type="Tanh",
+            inputs=(TensorShape.of(4, 4),), outputs=(TensorShape.of(4, 4),),
+        )
+    )
+    return graph
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("model_name", model_names())
+    def test_full_zoo_all_gpus_all_flags(self, model_name, compute_models, engine):
+        """The zoo x GPU x flags equivalence property (acceptance criterion)."""
+        graph = build_model(model_name, batch_size=32)
+        for gpu_key in GPU_KEYS:
+            for flags in FLAG_CONFIGS:
+                scalar = compute_models.predict_graph_us(graph, gpu_key, **flags)
+                vectorized = engine.predict_graph_us(graph, gpu_key, **flags)
+                assert vectorized == pytest.approx(scalar, rel=REL_TOL), (
+                    model_name, gpu_key, flags,
+                )
+
+    def test_matches_per_op_scalar_sum(self, compute_models, engine, tiny_graph):
+        manual = sum(
+            compute_models.predict_op_us(op, "T4") for op in tiny_graph
+        )
+        assert engine.predict_graph_us(tiny_graph, "T4") == pytest.approx(
+            manual, rel=REL_TOL
+        )
+
+    def test_unseen_op_fallback_matches_scalar(self, compute_models, engine):
+        """Non-strict: unseen GPU ops cost the light median in both paths."""
+        graph = graph_with_unseen_op()
+        scalar = compute_models.predict_graph_us(graph, "V100")
+        assert engine.predict_graph_us(graph, "V100") == pytest.approx(scalar)
+        assert scalar == pytest.approx(compute_models.light_median_us)
+        # ... and are dropped (not raised on) under heavy_only.
+        assert engine.predict_graph_us(
+            graph, "V100", heavy_only=True
+        ) == pytest.approx(
+            compute_models.predict_graph_us(graph, "V100", heavy_only=True)
+        )
+
+    def test_strict_unseen_raises_in_both_paths(self, strict_models):
+        """Strict mode raises identically — including under heavy_only,
+        where the seed scalar path used to skip the op silently."""
+        graph = graph_with_unseen_op()
+        strict_engine = PredictionEngine(strict_models)
+        for flags in ({}, {"heavy_only": True}, {"include_light": False}):
+            with pytest.raises(UnseenOperationError):
+                strict_models.predict_graph_us(graph, "V100", **flags)
+            with pytest.raises(UnseenOperationError):
+                strict_engine.predict_graph_us(graph, "V100", **flags)
+
+
+class TestCompiledGraph:
+    def test_partition_covers_every_op(self, compute_models):
+        graph = build_model("inception_v1", batch_size=32)
+        compiled = compile_graph(graph, compute_models)
+        assert (
+            compiled.n_heavy + compiled.n_light + compiled.n_cpu
+            + compiled.n_unseen
+        ) == len(graph)
+        assert compiled.num_ops == len(graph)
+        assert compiled.num_parameters == graph.num_parameters
+        assert compiled.n_unseen == 0
+
+    def test_feature_matrices_match_schema(self, compute_models):
+        from repro.profiling.features import feature_schema
+
+        graph = build_model("alexnet", batch_size=32)
+        compiled = compile_graph(graph, compute_models)
+        for op_type, x in compiled.heavy_features.items():
+            assert x.ndim == 2
+            assert x.shape[0] == len(
+                [op for op in graph.ops_of_type(op_type)]
+            )
+            assert x.shape[1] == len(feature_schema(op_type))
+
+    def test_unseen_types_recorded(self, compute_models):
+        compiled = compile_graph(graph_with_unseen_op(), compute_models)
+        assert compiled.n_unseen == 1
+        assert compiled.unseen_types == ("Tanh",)
+        assert evaluate_compiled_us(
+            compiled, compute_models, "V100"
+        ) == pytest.approx(compute_models.light_median_us)
+
+
+class TestEngineCaching:
+    def test_graph_memoized_by_name_and_batch(self, compute_models):
+        engine = PredictionEngine(compute_models)
+        g1 = engine.resolve_graph("alexnet", 32)
+        g2 = engine.resolve_graph("alexnet", 32)
+        assert g1 is g2
+        assert engine.stats["graph_hits"] == 1
+        assert engine.resolve_graph("alexnet", 16) is not g1
+
+    def test_compilation_happens_once_per_graph(self, compute_models):
+        engine = PredictionEngine(compute_models)
+        graph = build_model("inception_v1", batch_size=32)
+        for gpu_key in GPU_KEYS:
+            engine.predict_graph_us(graph, gpu_key)
+        assert engine.stats["compile_misses"] == 1
+        assert engine.stats["compile_hits"] == len(GPU_KEYS) - 1
+
+    def test_totals_cached_per_gpu_and_flags(self, compute_models):
+        engine = PredictionEngine(compute_models)
+        graph = build_model("alexnet", batch_size=32)
+        first = engine.predict_graph_us(graph, "T4")
+        again = engine.predict_graph_us(graph, "T4")
+        assert first == again
+        assert engine.stats["eval_hits"] == 1
+        # heavy_only is a distinct cache line, not a stale hit.
+        heavy = engine.predict_graph_us(graph, "T4", heavy_only=True)
+        assert heavy < first
+        assert engine.stats["eval_misses"] == 2
+
+    def test_lru_eviction_bounds_memory(self, compute_models):
+        engine = PredictionEngine(
+            compute_models, graph_cache_size=2, compiled_cache_size=2
+        )
+        for name in ("alexnet", "vgg_11", "inception_v1"):
+            engine.predict_graph_us(name, "V100")
+        info = engine.cache_info()
+        assert info["graphs_cached"] == 2
+        assert info["compiled_cached"] == 2
+
+    def test_clear_resets(self, compute_models):
+        engine = PredictionEngine(compute_models)
+        engine.predict_graph_us("alexnet", "V100")
+        engine.clear()
+        info = engine.cache_info()
+        assert info["graphs_cached"] == 0
+        assert info["compiled_cached"] == 0
+        assert info["eval_misses"] == 0
+
+
+class TestEstimatorIntegration:
+    def test_estimator_engine_matches_scalar_reference(self, fitted_small):
+        from repro.core.estimator import CeerEstimator
+
+        est = fitted_small.estimator
+        scalar_est = CeerEstimator(
+            est.compute_models, est.comm_model, use_engine=False
+        )
+        for gpu_key in GPU_KEYS:
+            assert est.predict_iteration_us(
+                "inception_v3", gpu_key, 2
+            ) == pytest.approx(
+                scalar_est.predict_iteration_us("inception_v3", gpu_key, 2),
+                rel=REL_TOL,
+            )
+
+    def test_sweep_reuses_one_compilation(self, fitted_small):
+        from repro.core.recommend import Recommender
+        from repro.workloads.dataset import IMAGENET_6400, TrainingJob
+
+        est = fitted_small.estimator
+        est.engine.clear()
+        recommender = Recommender(est)
+        predictions = recommender.sweep(
+            "inception_v3", TrainingJob(IMAGENET_6400, batch_size=32)
+        )
+        assert len(predictions) == 16
+        info = est.engine.cache_info()
+        assert info["compile_misses"] == 1
+        # 16 candidates, but only one compute evaluation per GPU model.
+        assert info["eval_misses"] == len(GPU_KEYS)
+        assert info["eval_hits"] == 16 - len(GPU_KEYS)

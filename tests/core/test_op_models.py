@@ -110,3 +110,38 @@ class TestPredictGraph:
         no_light = compute_models.predict_graph_us(tiny_graph, "V100", include_light=False)
         full = compute_models.predict_graph_us(tiny_graph, "V100")
         assert no_cpu < full and no_light <= full
+
+    def _unseen_graph(self):
+        from repro.graph.graph import OpGraph
+
+        graph = OpGraph(name="unseen", batch_size=4)
+        graph.add(
+            Operation(
+                name="x/Tanh", op_type="Tanh",
+                inputs=(TensorShape.of(4, 4),), outputs=(TensorShape.of(4, 4),),
+            )
+        )
+        return graph
+
+    def test_unseen_op_costs_light_median_when_lenient(self, compute_models):
+        graph = self._unseen_graph()
+        total = compute_models.predict_graph_us(graph, "V100")
+        assert total == pytest.approx(compute_models.light_median_us)
+        # ... and contributes nothing once light ops are excluded.
+        assert compute_models.predict_graph_us(graph, "V100", heavy_only=True) == 0.0
+
+    def test_strict_unseen_raises_even_under_heavy_only(self, train_profiles_small):
+        """The unseen-op policy is flag-independent: strict mode must not
+        silently skip an unseen GPU op just because heavy_only discards
+        its light-median contribution (seed behaviour, now fixed)."""
+        classification = classify_operations(train_profiles_small)
+        strict = fit_compute_models(
+            train_profiles_small, classification, strict_unseen=True
+        )
+        graph = self._unseen_graph()
+        with pytest.raises(UnseenOperationError):
+            strict.predict_graph_us(graph, "V100")
+        with pytest.raises(UnseenOperationError):
+            strict.predict_graph_us(graph, "V100", heavy_only=True)
+        with pytest.raises(UnseenOperationError):
+            strict.predict_graph_us(graph, "V100", include_light=False)

@@ -55,6 +55,38 @@ class TestLinearFit:
         assert model.predict_one([1000.0]) >= PREDICTION_FLOOR_US
 
 
+class TestPredictBatch:
+    def test_rowwise_equals_predict_one(self):
+        """The vectorized path must be semantically identical per row —
+        including the floor and the extrapolation clip."""
+        x, y = _linear_data(n=80, noise=1.0)
+        model = fit_regression(x, y)
+        # Queries spanning in-range, floored, and clipped regimes.
+        queries = np.array([[0.001], [1.0], [50.0], [1e5], [1e7]])
+        batch = model.predict_batch(queries)
+        assert batch.shape == (len(queries),)
+        for row, got in zip(queries, batch):
+            assert got == pytest.approx(model.predict_one(row), rel=1e-12)
+        assert batch.min() >= PREDICTION_FLOOR_US
+        assert batch.max() <= model.clip_max
+
+    def test_quadratic_batch(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(1, 100, size=(100, 2))
+        y = 1.0 + x[:, 0] + 0.2 * x[:, 1] ** 2
+        model = fit_regression(x, y)
+        assert model.degree == 2
+        queries = rng.uniform(1, 100, size=(17, 2))
+        for row, got in zip(queries, model.predict_batch(queries)):
+            assert got == pytest.approx(model.predict_one(row), rel=1e-12)
+
+    def test_rejects_non_matrix_input(self):
+        x, y = _linear_data()
+        model = fit_regression(x, y)
+        with pytest.raises(ModelingError):
+            model.predict_batch(np.array([1.0, 2.0]))
+
+
 class TestModelSelection:
     def test_quadratic_selected_for_curved_data(self):
         rng = np.random.default_rng(2)

@@ -1,8 +1,10 @@
 """Tests for the disk profile cache."""
 
+import json
+
 import pytest
 
-from repro.profiling.cache import ProfileCache
+from repro.profiling.cache import CACHE_FORMAT_VERSION, ProfileCache
 
 
 @pytest.fixture
@@ -22,6 +24,15 @@ class TestCacheKey:
         assert base != ProfileCache.cache_key(["m1"], ["V100"], 100, 16)
         assert base != ProfileCache.cache_key(["m1"], ["V100"], 100, 32, "other")
 
+    def test_format_version_folded_into_key(self, monkeypatch):
+        """Bumping the on-disk layout version must re-address every entry,
+        so stale layouts self-invalidate instead of failing to parse."""
+        base = ProfileCache.cache_key(["m1"], ["V100"], 100, 32)
+        monkeypatch.setattr(
+            "repro.profiling.cache.CACHE_FORMAT_VERSION", CACHE_FORMAT_VERSION + 1
+        )
+        assert ProfileCache.cache_key(["m1"], ["V100"], 100, 32) != base
+
 
 class TestGetOrProfile:
     def test_miss_then_hit(self, cache, tiny_graph):
@@ -38,6 +49,29 @@ class TestGetOrProfile:
         assert len(cache.entries()) == 2
         assert cache.clear() == 2
         assert cache.entries() == []
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            "",  # truncated to nothing
+            '[{"model": "inception_v1"',  # truncated mid-object
+            "not json at all",
+            '{"records": []}',  # wrong top-level shape
+            '[{"unexpected": "fields"}]',  # schema mismatch
+        ],
+    )
+    def test_corrupt_cache_treated_as_miss(self, cache, corruption):
+        """A corrupt or truncated cache file must re-profile and overwrite,
+        never crash ``get_or_profile``."""
+        key = ProfileCache.cache_key(["inception_v1"], ["V100"], 20, 32)
+        cache._path(key).write_text(corruption)
+        assert cache.load(key) is None
+        dataset = cache.get_or_profile(["inception_v1"], ["V100"], 20, 32)
+        assert len(dataset) > 0
+        # The bad file was overwritten with a loadable one.
+        reloaded = cache.load(key)
+        assert reloaded is not None
+        assert reloaded.records == dataset.records
 
     def test_cached_dataset_usable_for_fitting(self, cache):
         from repro.core.classify import classify_operations

@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Microbenchmark for the vectorized prediction engine.
+
+Times the scalar per-op reference path against the compiled engine on
+three axes and emits a JSON report so the perf trajectory is tracked in
+version control from PR 1 onward:
+
+* single-graph prediction latency (one CNN, one GPU) and ops/sec;
+* full recommender-sweep latency (16 (GPU model, k) candidates), both
+  cold (first query: build + compile + evaluate) and warm (served from
+  the engine's caches);
+* zoo-wide scalar/vectorized equivalence (max relative difference).
+
+Headless usage::
+
+    PYTHONPATH=src python tools/bench_engine.py --json BENCH_predict_engine.json
+
+The default fit uses reduced profiling iterations — prediction latency is
+independent of how many iterations trained the regressions, and this
+keeps the tool runnable in CI in well under a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.engine import PredictionEngine, compile_graph
+from repro.core.estimator import CeerEstimator
+from repro.core.fit import fit_ceer
+from repro.core.recommend import Recommender
+from repro.hardware.gpus import GPU_KEYS
+from repro.models.zoo import build_model, model_names
+from repro.workloads.dataset import IMAGENET, TrainingJob
+
+
+def best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_single_graph(compute_models, graph, gpu_key: str, repeats: int) -> dict:
+    scalar_s = best_of(
+        lambda: compute_models.predict_graph_us(graph, gpu_key), repeats
+    )
+    compile_s = best_of(lambda: compile_graph(graph, compute_models), repeats)
+    engine = PredictionEngine(compute_models)
+
+    def cold():
+        engine.clear()
+        engine.predict_graph_us(graph, gpu_key)
+
+    cold_s = best_of(cold, repeats)
+    engine.predict_graph_us(graph, gpu_key)  # ensure compiled
+
+    def warm_eval():
+        entry = engine._entry(graph)
+        entry.totals.clear()
+        engine.predict_graph_us(graph, gpu_key)
+
+    warm_s = best_of(warm_eval, repeats)
+    return {
+        "gpu_key": gpu_key,
+        "num_ops": len(graph),
+        "scalar_us": scalar_s * 1e6,
+        "compile_us": compile_s * 1e6,
+        "engine_cold_us": cold_s * 1e6,
+        "engine_warm_us": warm_s * 1e6,
+        "speedup_warm": scalar_s / warm_s,
+        "ops_per_sec_scalar": len(graph) / scalar_s,
+        "ops_per_sec_engine": len(graph) / warm_s,
+    }
+
+
+def bench_sweep(fitted, model: str, job: TrainingJob, repeats: int) -> dict:
+    compute_models = fitted.estimator.compute_models
+    comm_model = fitted.estimator.comm_model
+    scalar_rec = Recommender(
+        CeerEstimator(compute_models, comm_model, use_engine=False)
+    )
+    engine_est = CeerEstimator(compute_models, comm_model)
+    engine_rec = Recommender(engine_est)
+
+    scalar_s = best_of(lambda: scalar_rec.sweep(model, job), repeats)
+
+    def cold():
+        engine_est.engine.clear()
+        engine_rec.sweep(model, job)
+
+    cold_s = best_of(cold, repeats)
+    warm_s = best_of(lambda: engine_rec.sweep(model, job), repeats)
+    n_candidates = len(engine_rec.sweep(model, job))
+    return {
+        "model": model,
+        "candidates": n_candidates,
+        "scalar_ms": scalar_s * 1e3,
+        "engine_cold_ms": cold_s * 1e3,
+        "engine_warm_ms": warm_s * 1e3,
+        "speedup_cold": scalar_s / cold_s,
+        "speedup_warm": scalar_s / warm_s,
+        "cache_info": engine_est.engine.cache_info(),
+    }
+
+
+def check_equivalence(compute_models, batch_size: int) -> dict:
+    """Max |engine - scalar| / scalar over the zoo x GPU x flags matrix."""
+    engine = PredictionEngine(compute_models)
+    flag_configs = ({}, {"heavy_only": True}, {"include_light": False})
+    worst = 0.0
+    n_checked = 0
+    for name in model_names():
+        graph = build_model(name, batch_size=batch_size)
+        for gpu_key in GPU_KEYS:
+            for flags in flag_configs:
+                scalar = compute_models.predict_graph_us(graph, gpu_key, **flags)
+                vector = engine.predict_graph_us(graph, gpu_key, **flags)
+                if scalar > 0:
+                    worst = max(worst, abs(vector - scalar) / scalar)
+                n_checked += 1
+    return {
+        "max_rel_diff": worst,
+        "checked": n_checked,
+        "models": len(model_names()),
+        "gpu_keys": len(GPU_KEYS),
+        "within_1e-6": worst <= 1e-6,
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    t0 = time.perf_counter()
+    fitted = fit_ceer(n_iterations=args.iterations)
+    fit_s = time.perf_counter() - t0
+    compute_models = fitted.estimator.compute_models
+    job = TrainingJob(IMAGENET, batch_size=args.batch_size)
+    graph = build_model(args.model, batch_size=args.batch_size)
+
+    report = {
+        "benchmark": "predict_engine",
+        "config": {
+            "model": args.model,
+            "batch_size": args.batch_size,
+            "fit_iterations": args.iterations,
+            "repeats": args.repeats,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "fit_seconds": fit_s,
+        "single_graph": bench_single_graph(
+            compute_models, graph, "V100", args.repeats
+        ),
+        "sweep": bench_sweep(fitted, args.model, job, args.repeats),
+        "equivalence": check_equivalence(compute_models, args.batch_size),
+    }
+    return report
+
+
+def render(report: dict) -> str:
+    s = report["single_graph"]
+    w = report["sweep"]
+    e = report["equivalence"]
+    return "\n".join(
+        [
+            f"predict-engine benchmark ({report['config']['model']}, "
+            f"{s['num_ops']} ops, batch {report['config']['batch_size']})",
+            f"  single graph:  scalar {s['scalar_us']:9.1f} us | "
+            f"engine warm {s['engine_warm_us']:7.1f} us | "
+            f"compile {s['compile_us']:7.1f} us | "
+            f"{s['speedup_warm']:.0f}x",
+            f"  ops/sec:       scalar {s['ops_per_sec_scalar']:9.0f} | "
+            f"engine {s['ops_per_sec_engine']:12.0f}",
+            f"  16-cand sweep: scalar {w['scalar_ms']:9.2f} ms | "
+            f"cold {w['engine_cold_ms']:7.3f} ms ({w['speedup_cold']:.0f}x) | "
+            f"warm {w['engine_warm_ms']:7.3f} ms ({w['speedup_warm']:.0f}x)",
+            f"  equivalence:   max rel diff {e['max_rel_diff']:.2e} over "
+            f"{e['checked']} zoo x GPU x flag checks "
+            f"({'OK' if e['within_1e-6'] else 'FAIL'} at 1e-6)",
+        ]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the JSON report to this path")
+    parser.add_argument("--model", default="inception_v3",
+                        help="zoo model for the latency/sweep benchmarks")
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--iterations", type=int, default=60,
+                        help="profiling iterations for the fit (latency is "
+                             "independent of this; low keeps CI fast)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repeats (best-of)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    report = run(args)
+    print(render(report))
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if not report["equivalence"]["within_1e-6"]:
+        return 1
+    if report["sweep"]["speedup_cold"] < 10.0:
+        print("WARNING: cold sweep speedup below the 10x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
