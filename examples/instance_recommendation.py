@@ -32,7 +32,7 @@ def main(model: str = "resnet_101") -> None:
 
     scenarios = [
         ("Hourly budget of $3/hr (paper Fig. 9, with the paper's slack)",
-         recommender, HourlyBudget(budget_per_hour=3.0, slack_dollars=0.42)),
+         recommender, HourlyBudget(budget_usd_per_hr=3.0, slack_usd_per_hr=0.42)),
         ("Total budget of $13 for the whole job (paper Fig. 10 style)",
          recommender, TotalBudget(budget_dollars=13.0)),
         ("Minimise training cost, AWS On-Demand prices (paper Fig. 11)",

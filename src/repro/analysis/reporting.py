@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.units import US_PER_HR, US_PER_MS, US_PER_S, us_to_hr, us_to_ms, us_to_s
+
 
 def format_table(
     headers: Sequence[str],
@@ -43,13 +45,13 @@ def format_table(
 
 def format_us(value_us: float) -> str:
     """Human-scaled time rendering for microsecond quantities."""
-    if value_us < 1e3:
+    if value_us < US_PER_MS:
         return f"{value_us:.1f} us"
-    if value_us < 1e6:
-        return f"{value_us / 1e3:.2f} ms"
-    if value_us < 3.6e9:
-        return f"{value_us / 1e6:.2f} s"
-    return f"{value_us / 3.6e9:.2f} h"
+    if value_us < US_PER_S:
+        return f"{value_us / US_PER_MS:.2f} ms"
+    if value_us < US_PER_HR:
+        return f"{us_to_s(value_us):.2f} s"
+    return f"{us_to_hr(value_us):.2f} h"
 
 
 def format_dollars(value: float) -> str:

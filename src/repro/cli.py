@@ -39,6 +39,7 @@ from repro.errors import ReproError
 from repro.graph.serialization import load_graph
 from repro.models.zoo import build_model, model_names
 from repro.workloads.dataset import DatasetSpec, TrainingJob
+from repro.units import us_to_ms
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -124,7 +125,7 @@ def _resolve_objective(args):
     if args.objective == "hourly-budget":
         if args.budget is None:
             raise ReproError("--budget is required for hourly-budget")
-        return HourlyBudget(budget_per_hour=args.budget, slack_dollars=args.slack)
+        return HourlyBudget(budget_usd_per_hr=args.budget, slack_usd_per_hr=args.slack)
     if args.budget is None:
         raise ReproError("--budget is required for total-budget")
     return TotalBudget(budget_dollars=args.budget)
@@ -170,13 +171,13 @@ def _cmd_predict(args, out) -> int:
         f"{prediction.model} on {prediction.instance_name} "
         f"({prediction.num_gpus}x {prediction.gpu_key}):", file=out,
     )
-    print(f"  per-iteration: {prediction.per_iteration_us / 1e3:.2f} ms "
-          f"(compute {prediction.compute_us_per_iteration / 1e3:.2f} ms + "
-          f"sync {prediction.comm_overhead_us / 1e3:.2f} ms)", file=out)
+    print(f"  per-iteration: {us_to_ms(prediction.per_iteration_us):.2f} ms "
+          f"(compute {us_to_ms(prediction.compute_us_per_iteration):.2f} ms + "
+          f"sync {us_to_ms(prediction.comm_overhead_us):.2f} ms)", file=out)
     print(f"  training time: {prediction.total_hours:.2f} h over "
           f"{prediction.iterations:.0f} iterations", file=out)
     print(f"  training cost: ${prediction.cost_dollars:.2f} at "
-          f"${prediction.hourly_cost:.3f}/hr", file=out)
+          f"${prediction.usd_per_hr:.3f}/hr", file=out)
     return 0
 
 

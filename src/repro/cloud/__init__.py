@@ -8,7 +8,7 @@ from repro.cloud.catalog import (
     instance_for,
 )
 from repro.cloud.pricing import (
-    MARKET_HOURLY_PER_GPU,
+    MARKET_USD_PER_HR_BY_GPU,
     MARKET_RATIO,
     ON_DEMAND,
     MarketRatioPricing,
@@ -27,5 +27,5 @@ __all__ = [
     "MarketRatioPricing",
     "ON_DEMAND",
     "MARKET_RATIO",
-    "MARKET_HOURLY_PER_GPU",
+    "MARKET_USD_PER_HR_BY_GPU",
 ]

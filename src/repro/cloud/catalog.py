@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CatalogError
 from repro.hardware.gpus import GPU_SPECS, gpu_spec
+from repro.units import usd_per_hr_to_usd_per_us
 
 
 @dataclass(frozen=True)
@@ -26,7 +27,7 @@ class InstanceType:
             like ``"p2.8xlarge[3/8]"``.
         gpu_key: GPU model key (``"V100"``, ``"K80"``, ``"T4"``, ``"M60"``).
         num_gpus: GPUs actually *used* by the configuration.
-        hourly_cost: rental cost in $/hr (already prorated for proxies).
+        usd_per_hr: rental cost in $/hr (already prorated for proxies).
         proxy_of: for proxy configurations, the name of the real instance
             whose hardware hosts them; ``None`` for real instances.
     """
@@ -34,7 +35,7 @@ class InstanceType:
     name: str
     gpu_key: str
     num_gpus: int
-    hourly_cost: float
+    usd_per_hr: float
     proxy_of: Optional[str] = None
 
     @property
@@ -45,10 +46,10 @@ class InstanceType:
     def cost_per_us(self) -> float:
         """Rental cost per microsecond — the paper's Fig. 3 normalisation
         (hourly cost divided by the 3.6e9 microseconds in an hour)."""
-        return self.hourly_cost / 3.6e9
+        return usd_per_hr_to_usd_per_us(self.usd_per_hr)
 
     def __str__(self) -> str:
-        return f"{self.name} ({self.num_gpus}x {self.gpu_key}, ${self.hourly_cost:.3f}/hr)"
+        return f"{self.name} ({self.num_gpus}x {self.gpu_key}, ${self.usd_per_hr:.3f}/hr)"
 
 
 #: The 8 instances of Section V, with their On-Demand prices.
@@ -90,7 +91,7 @@ def instance_for(gpu_key: str, num_gpus: int) -> InstanceType:
     candidates = [inst for inst in AWS_INSTANCES if inst.gpu_key == key]
     exact = [inst for inst in candidates if inst.num_gpus == num_gpus]
     if exact:
-        return min(exact, key=lambda inst: inst.hourly_cost)
+        return min(exact, key=lambda inst: inst.usd_per_hr)
     larger = [inst for inst in candidates if inst.num_gpus > num_gpus]
     if not larger:
         biggest = max(inst.num_gpus for inst in candidates)
@@ -98,12 +99,12 @@ def instance_for(gpu_key: str, num_gpus: int) -> InstanceType:
             f"no {key} instance with >= {num_gpus} GPUs (largest is {biggest})"
         )
     host = min(larger, key=lambda inst: inst.num_gpus)
-    prorated = host.hourly_cost * num_gpus / host.num_gpus
+    prorated = host.usd_per_hr * num_gpus / host.num_gpus
     return InstanceType(
         name=f"{host.name}[{num_gpus}/{host.num_gpus}]",
         gpu_key=key,
         num_gpus=num_gpus,
-        hourly_cost=prorated,
+        usd_per_hr=prorated,
         proxy_of=host.name,
     )
 

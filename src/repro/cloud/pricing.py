@@ -41,7 +41,7 @@ class OnDemandPricing(PricingScheme):
 
 #: Hypothetical per-GPU hourly prices reflecting commodity market ratios
 #: (paper, Section V, "Budget minimization with commodity GPU prices ratio").
-MARKET_HOURLY_PER_GPU: Dict[str, float] = {
+MARKET_USD_PER_HR_BY_GPU: Dict[str, float] = {
     "V100": 3.06,
     "T4": 0.95,
     "M60": 0.55,
@@ -54,13 +54,13 @@ class MarketRatioPricing(PricingScheme):
     """Market-ratio prices: per-GPU rates scaled linearly with GPU count."""
 
     name: str = "market-ratio"
-    hourly_per_gpu: Dict[str, float] = field(
-        default_factory=lambda: dict(MARKET_HOURLY_PER_GPU)
+    usd_per_hr_by_gpu: Dict[str, float] = field(
+        default_factory=lambda: dict(MARKET_USD_PER_HR_BY_GPU)
     )
 
     def instance(self, gpu_key: str, num_gpus: int) -> InstanceType:
         key = gpu_spec(gpu_key).key
-        if key not in self.hourly_per_gpu:
+        if key not in self.usd_per_hr_by_gpu:
             raise CatalogError(f"no market price for GPU {key!r}")
         if num_gpus < 1:
             raise CatalogError(f"num_gpus must be >= 1, got {num_gpus}")
@@ -69,7 +69,7 @@ class MarketRatioPricing(PricingScheme):
             name=f"market:{base.name}",
             gpu_key=key,
             num_gpus=num_gpus,
-            hourly_cost=self.hourly_per_gpu[key] * num_gpus,
+            usd_per_hr=self.usd_per_hr_by_gpu[key] * num_gpus,
             proxy_of=base.proxy_of or base.name,
         )
 

@@ -21,7 +21,7 @@ The paper positions Ceer against (Sections I, V, VII):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +35,10 @@ from repro.sim.executor import run_iterations
 from repro.workloads.dataset import TrainingJob
 from repro.core.estimator import CeerEstimator, TrainingPrediction
 from repro.core.regression import RegressionModel, fit_regression
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.classify import OpClassification
+    from repro.profiling.records import ProfileDataset
 
 #: Layer-kernel op types the layer-level baseline models (everything else,
 #: including all light/CPU ops and communication, is ignored).
@@ -121,7 +125,11 @@ class LayerLevelEstimator:
     models: Dict[Tuple[str, str], RegressionModel]
 
     @classmethod
-    def fit(cls, train_profiles, classification=None) -> "LayerLevelEstimator":
+    def fit(
+        cls,
+        train_profiles: "ProfileDataset",
+        classification: Optional["OpClassification"] = None,
+    ) -> "LayerLevelEstimator":
         from repro.profiling.features import feature_schema
 
         fitted: Dict[Tuple[str, str], RegressionModel] = {}
@@ -172,20 +180,20 @@ def cheapest_instance_strategy(
 ) -> InstanceType:
     """"Pick the cheapest instance": lowest hourly cost at a GPU count."""
     candidates = [pricing.instance(key, num_gpus) for key in gpu_keys]
-    return min(candidates, key=lambda inst: inst.hourly_cost)
+    return min(candidates, key=lambda inst: inst.usd_per_hr)
 
 
 def latest_gpu_strategy(
     pricing: PricingScheme = ON_DEMAND,
     num_gpus: int = 1,
-    budget_per_hour: Optional[float] = None,
+    budget_usd_per_hr: Optional[float] = None,
 ) -> InstanceType:
     """"Pick the latest GPU" (AWS's default P3 listing; Section V).
 
     With a budget, returns the largest P3 configuration that fits — the
     Fig. 9 baseline ("pick the largest P3 instance that fits the budget").
     """
-    if budget_per_hour is None:
+    if budget_usd_per_hr is None:
         return pricing.instance("V100", num_gpus)
     best: Optional[InstanceType] = None
     for k in range(1, 9):
@@ -193,10 +201,10 @@ def latest_gpu_strategy(
             inst = pricing.instance("V100", k)
         except CatalogError:
             break
-        if inst.hourly_cost <= budget_per_hour:
+        if inst.usd_per_hr <= budget_usd_per_hr:
             best = inst  # keep the largest configuration under budget
     if best is None:
-        raise ModelingError(f"no P3 instance fits ${budget_per_hour:.2f}/hr")
+        raise ModelingError(f"no P3 instance fits ${budget_usd_per_hr:.2f}/hr")
     return best
 
 

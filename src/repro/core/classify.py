@@ -85,7 +85,7 @@ def classify_operations(
     cpu_types = frozenset(r.op_type for r in profiles.cpu_records())
     gpu_profiles = profiles.gpu_records()
     reference = gpu_profiles.for_gpu(reference_gpu)
-    ref_means = reference.mean_time_by_op_type()
+    ref_means = reference.mean_us_by_op_type()
 
     heavy, light = set(), set()
     reference_means: Dict[str, float] = {}
@@ -93,7 +93,7 @@ def classify_operations(
         mean = ref_means.get(op_type)
         if mean is None:
             by_gpu = [
-                subset.for_gpu(g).mean_time_by_op_type()[op_type]
+                subset.for_gpu(g).mean_us_by_op_type()[op_type]
                 for g in subset.gpu_keys()
             ]
             mean = max(by_gpu)

@@ -74,7 +74,7 @@ def collect_comm_observations(
             per_iter_1 = compute_1.compute_us + comm_1
             for k in gpu_counts:
                 if k == 1:
-                    overhead = comm_1
+                    overhead_us = comm_1
                 else:
                     comm_k = float(
                         sample_comm_overhead_us(
@@ -84,14 +84,14 @@ def collect_comm_observations(
                         ).mean()
                     )
                     per_iter_k = compute_1.compute_us + comm_k
-                    overhead = (per_iter_k - per_iter_1) + comm_1
+                    overhead_us = (per_iter_k - per_iter_1) + comm_1
                 observations.append(
                     CommObservation(
                         model=graph.name,
                         gpu_key=compute_1.gpu_key,
                         num_gpus=k,
                         num_parameters=graph.num_parameters,
-                        overhead_us=overhead,
+                        overhead_us=overhead_us,
                     )
                 )
     return observations

@@ -170,13 +170,13 @@ class _LRU(OrderedDict):
         super().__init__()
         self.capacity = capacity
 
-    def lookup(self, key):
+    def lookup(self, key: object) -> Optional[object]:
         if key not in self:
             return None
         self.move_to_end(key)
         return self[key]
 
-    def insert(self, key, value) -> None:
+    def insert(self, key: object, value: object) -> None:
         self[key] = value
         self.move_to_end(key)
         while len(self) > self.capacity:

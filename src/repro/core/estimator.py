@@ -22,6 +22,7 @@ from typing import Optional, Union
 from repro.cloud.catalog import InstanceType
 from repro.cloud.pricing import ON_DEMAND, PricingScheme
 from repro.graph.graph import OpGraph
+from repro.units import us_to_hr, usd_per_hr_to_usd
 from repro.workloads.dataset import TrainingJob
 from repro.core.comm_model import CommunicationModel
 from repro.core.engine import PredictionEngine
@@ -36,7 +37,7 @@ class TrainingPrediction:
     gpu_key: str
     num_gpus: int
     instance_name: str
-    hourly_cost: float
+    usd_per_hr: float
     compute_us_per_iteration: float
     comm_overhead_us: float
     iterations: float
@@ -51,11 +52,11 @@ class TrainingPrediction:
 
     @property
     def total_hours(self) -> float:
-        return self.total_us / 3.6e9
+        return us_to_hr(self.total_us)
 
     @property
     def cost_dollars(self) -> float:
-        return self.total_hours * self.hourly_cost
+        return usd_per_hr_to_usd(self.usd_per_hr, self.total_hours)
 
 
 class CeerEstimator:
@@ -152,7 +153,7 @@ class CeerEstimator:
             gpu_key=instance.gpu_key,
             num_gpus=num_gpus,
             instance_name=instance.name,
-            hourly_cost=instance.hourly_cost,
+            usd_per_hr=instance.usd_per_hr,
             compute_us_per_iteration=compute,
             comm_overhead_us=comm,
             iterations=job.iterations(num_gpus),

@@ -16,11 +16,12 @@ avoid the unfair impact of possible outliers" — reproduced verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ModelingError, UnseenOperationError
+from repro.graph.graph import OpGraph
 from repro.graph.ops import Device, Operation
 from repro.profiling.features import feature_schema, features_for
 from repro.profiling.records import ProfileDataset
@@ -36,7 +37,7 @@ class HeavyOpModel:
     op_type: str
     regression: RegressionModel
 
-    def predict_us(self, features) -> float:
+    def predict_us(self, features: Sequence[float]) -> float:
         return self.regression.predict_one(features)
 
 
@@ -84,7 +85,7 @@ class ComputeTimeModels:
 
     def predict_graph_us(
         self,
-        graph,
+        graph: "OpGraph",
         gpu_key: str,
         include_light: bool = True,
         include_cpu: bool = True,
@@ -182,21 +183,21 @@ def fit_compute_models(
             heavy_models[(gpu_key, op_type)] = HeavyOpModel(gpu_key, op_type, regression)
             train_r2[(gpu_key, op_type)] = regression.r2
 
-    light_times = [
+    light_times_us = [
         r.median_us for r in gpu_records if r.op_type in classification.light
     ]
-    cpu_times = [r.median_us for r in train_profiles.cpu_records()]
-    if not light_times:
+    cpu_times_us = [r.median_us for r in train_profiles.cpu_records()]
+    if not light_times_us:
         raise ModelingError("no light-op observations in training profiles")
-    if not cpu_times:
+    if not cpu_times_us:
         raise ModelingError("no CPU-op observations in training profiles")
     pool = np.median if light_estimator == "median" else np.mean
 
     return ComputeTimeModels(
         classification=classification,
         heavy_models=heavy_models,
-        light_median_us=float(pool(light_times)),
-        cpu_median_us=float(pool(cpu_times)),
+        light_median_us=float(pool(light_times_us)),
+        cpu_median_us=float(pool(cpu_times_us)),
         strict_unseen=strict_unseen,
         train_r2=train_r2,
     )

@@ -37,13 +37,13 @@ def pareto_frontier(
     """
     if not predictions:
         raise RecommendationError("pareto_frontier needs at least one prediction")
-    by_time = sorted(predictions, key=lambda p: (p.total_us, p.cost_dollars))
+    by_total_us = sorted(predictions, key=lambda p: (p.total_us, p.cost_dollars))
     frontier: List[TrainingPrediction] = []
-    best_cost = float("inf")
-    for prediction in by_time:
-        if prediction.cost_dollars < best_cost:
+    best_usd = float("inf")
+    for prediction in by_total_us:
+        if prediction.cost_dollars < best_usd:
             frontier.append(prediction)
-            best_cost = prediction.cost_dollars
+            best_usd = prediction.cost_dollars
     return frontier
 
 
@@ -80,14 +80,13 @@ class ParetoAnalysis:
         c_span = (c_max - c_min) or 1.0
 
         def distance(p: TrainingPrediction) -> float:
-            return (
-                ((p.total_us - t_min) / t_span) ** 2
-                + ((p.cost_dollars - c_min) / c_span) ** 2
-            )
+            time_axis_norm = (p.total_us - t_min) / t_span
+            cost_axis_norm = (p.cost_dollars - c_min) / c_span
+            return time_axis_norm**2 + cost_axis_norm**2
 
         return min(self.frontier, key=distance)
 
-    def best_under_budget(self, budget_dollars: float) -> TrainingPrediction:
+    def best_under_budget(self, budget_dollars: float) -> TrainingPrediction:  # staticcheck: ignore[unit-suffix] (returns a prediction, not a quantity)
         """Fastest frontier point within a total budget (Fig. 10's query)."""
         feasible = [p for p in self.frontier if p.cost_dollars <= budget_dollars]
         if not feasible:

@@ -67,18 +67,18 @@ class MinimizeTime(Objective):
 class HourlyBudget(Objective):
     """Minimise per-iteration time subject to an hourly rental budget.
 
-    ``slack_dollars`` reproduces the paper's Fig. 9 accommodation: the $3/hr
+    ``slack_usd_per_hr`` reproduces the paper's Fig. 9 accommodation: the $3/hr
     budget is allowed to be "slightly exceeded for P3, by 6 cents", and by
     42 cents for the 3-GPU G3 instance ("alternatively, we can consider the
     budget to be $3.42/hr").
     """
 
-    budget_per_hour: float = 3.0
-    slack_dollars: float = 0.0
+    budget_usd_per_hr: float = 3.0
+    slack_usd_per_hr: float = 0.0
     name: str = "hourly-budget"
 
     def feasible(self, prediction: TrainingPrediction) -> bool:
-        return prediction.hourly_cost <= self.budget_per_hour + self.slack_dollars
+        return prediction.usd_per_hr <= self.budget_usd_per_hr + self.slack_usd_per_hr
 
     def score(self, prediction: TrainingPrediction) -> float:
         return prediction.per_iteration_us
@@ -107,10 +107,11 @@ class WeightedTimeCost(Objective):
     name: str = "weighted"
 
     def score(self, prediction: TrainingPrediction) -> float:
-        return (
-            self.time_weight * prediction.total_hours
-            + self.cost_weight * prediction.cost_dollars
-        )
+        # The weights carry the bridging units (score/hr and score/USD), so
+        # the summed terms are dimensionless scores by construction.
+        time_term = self.time_weight * prediction.total_hours
+        cost_term = self.cost_weight * prediction.cost_dollars
+        return time_term + cost_term
 
 
 @dataclass
@@ -127,7 +128,7 @@ class Recommendation:
         lines = [
             f"Recommended instance for {b.model!r} under objective "
             f"{self.objective!r}: {b.instance_name} "
-            f"({b.num_gpus}x {b.gpu_key}, ${b.hourly_cost:.3f}/hr)",
+            f"({b.num_gpus}x {b.gpu_key}, ${b.usd_per_hr:.3f}/hr)",
             f"  predicted training time: {b.total_hours:.2f} h, "
             f"cost: ${b.cost_dollars:.2f}",
         ]

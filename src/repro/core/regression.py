@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.errors import ModelingError
 
@@ -66,7 +67,7 @@ class RegressionModel:
             )
         return _expand_quadratic(x) if self.degree == 2 else x
 
-    def predict(self, x) -> np.ndarray:
+    def predict(self, x: ArrayLike) -> np.ndarray:
         """Predict times for a feature matrix (or single feature vector)."""
         phi = self._design(x)
         pred = self.intercept + phi @ np.asarray(self.coef)
@@ -77,7 +78,7 @@ class RegressionModel:
     def predict_one(self, features: Sequence[float]) -> float:
         return float(self.predict(np.asarray(features, dtype=float)[None, :])[0])
 
-    def predict_batch(self, x) -> np.ndarray:
+    def predict_batch(self, x: ArrayLike) -> np.ndarray:
         """Vectorized prediction over an (n, features) matrix.
 
         One ``X @ w`` plus the same clip/floor as :meth:`predict_one`:
@@ -120,8 +121,8 @@ def _fit_ols(
 
 
 def fit_regression(
-    x,
-    y,
+    x: ArrayLike,
+    y: ArrayLike,
     feature_names: Tuple[str, ...] = (),
     allow_quadratic: bool = True,
 ) -> RegressionModel:
@@ -154,7 +155,7 @@ def fit_regression(
     return linear
 
 
-def fit_proportional(x, y, feature_names: Tuple[str, ...] = ()) -> RegressionModel:
+def fit_proportional(x: ArrayLike, y: ArrayLike, feature_names: Tuple[str, ...] = ()) -> RegressionModel:
     """Fit a through-origin model on the *first* feature only.
 
     A last-resort fallback for heavy op types with too few instances for a
@@ -183,7 +184,7 @@ def fit_proportional(x, y, feature_names: Tuple[str, ...] = ()) -> RegressionMod
     )
 
 
-def mean_absolute_percentage_error(observed, predicted) -> float:
+def mean_absolute_percentage_error(observed: ArrayLike, predicted: ArrayLike) -> float:
     """MAPE in [0, inf): mean of |pred - obs| / obs."""
     observed = np.asarray(observed, dtype=float)
     predicted = np.asarray(predicted, dtype=float)
@@ -194,7 +195,7 @@ def mean_absolute_percentage_error(observed, predicted) -> float:
     return float(np.mean(np.abs(predicted - observed) / observed))
 
 
-def r_squared(observed, predicted) -> float:
+def r_squared(observed: ArrayLike, predicted: ArrayLike) -> float:
     """Out-of-sample R² of predictions against observations."""
     observed = np.asarray(observed, dtype=float)
     predicted = np.asarray(predicted, dtype=float)

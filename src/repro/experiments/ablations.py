@@ -128,7 +128,7 @@ def _heavy_test_mape(fitted, n_iterations: int) -> Dict[str, float]:
     return mape
 
 
-def _strategy_costs(estimator: CeerEstimator, n_iterations: int) -> Dict[str, float]:
+def _strategy_cost_ratios(estimator: CeerEstimator, n_iterations: int) -> Dict[str, float]:
     """Observed cost of naive strategies relative to Ceer's pick, averaged
     over the test CNNs (cost-minimisation objective, 1-4 GPU candidates)."""
     ratios: Dict[str, List[float]] = {"cheapest-instance": [], "latest-gpu (P3)": []}
@@ -138,16 +138,16 @@ def _strategy_costs(estimator: CeerEstimator, n_iterations: int) -> Dict[str, fl
             for g in GPU_KEYS for k in (1, 2, 3, 4)
         }
         ceer_pick = min(predictions, key=lambda key: predictions[key].cost_dollars)
-        observed_cost = {
+        observed_usd = {
             key: observed_training(model, key[0], key[1], IMAGENET_JOB,
                                    n_iterations).cost_dollars
             for key in predictions
         }
-        base = observed_cost[ceer_pick]
+        base = observed_usd[ceer_pick]
         # "Cheapest" = lowest hourly rate (the paper's G3 single-GPU);
         # "latest" = the most powerful P3 instance (4 GPUs).
-        ratios["cheapest-instance"].append(observed_cost[("M60", 1)] / base)
-        ratios["latest-gpu (P3)"].append(observed_cost[("V100", 4)] / base)
+        ratios["cheapest-instance"].append(observed_usd[("M60", 1)] / base)
+        ratios["latest-gpu (P3)"].append(observed_usd[("V100", 4)] / base)
     return {k: sum(v) / len(v) for k, v in ratios.items()}
 
 
@@ -179,5 +179,5 @@ def run_ablations(
         errors=errors,
         heavy_r2_range=(r2_values[0], r2_values[-1]),
         heavy_test_mape=_heavy_test_mape(fitted, n_iterations),
-        strategy_cost_ratio=_strategy_costs(estimator, n_iterations),
+        strategy_cost_ratio=_strategy_cost_ratios(estimator, n_iterations),
     )

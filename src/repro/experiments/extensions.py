@@ -421,7 +421,7 @@ class RnnStudyResult:
     errors: Dict[str, float]
     #: observed V100/T4 per-iteration ratio — LSTMs are launch-bound small
     #: kernels, so the big GPU's advantage can invert.
-    v100_over_t4_time: float
+    v100_over_t4_time_ratio: float
 
     def render(self) -> str:
         lines = [
@@ -429,8 +429,8 @@ class RnnStudyResult:
             f"  learned from: lstm_{self.learned_from}; evaluated on: "
             + ", ".join(f"lstm_{p}" for p in self.evaluated_on),
             f"  observed V100/T4 per-iteration time ratio: "
-            f"{self.v100_over_t4_time:.2f}x "
-            f"({'V100 slower - launch-bound!' if self.v100_over_t4_time > 1 else 'V100 faster'})",
+            f"{self.v100_over_t4_time_ratio:.2f}x "
+            f"({'V100 slower - launch-bound!' if self.v100_over_t4_time_ratio > 1 else 'V100 faster'})",
         ]
         for tag, err in self.errors.items():
             lines.append(f"  {tag}: {err:.1%} mean per-iteration error")
@@ -487,5 +487,5 @@ def run_rnn_study(
             "CNN-trained Ceer (fallback)": _errors(cnn_fitted.estimator),
             "after learn_model on one LSTM": _errors(updated.estimator),
         },
-        v100_over_t4_time=observed[(anchor, "V100")] / observed[(anchor, "T4")],
+        v100_over_t4_time_ratio=observed[(anchor, "V100")] / observed[(anchor, "T4")],
     )

@@ -32,7 +32,7 @@ from repro.sim.trace import TrainingMeasurement
 from repro.workloads.dataset import TrainingJob
 
 #: Scaled equivalent of the paper's $10 budget (see module docstring).
-TOTAL_BUDGET = 12.95
+TOTAL_BUDGET_USD = 12.95
 
 
 @dataclass
@@ -40,14 +40,14 @@ class Fig10Result:
     """Observed/predicted cost and time for every (GPU model, k) config."""
 
     model: str
-    budget: float
+    budget_usd: float
     observed: Dict[Tuple[str, int], TrainingMeasurement]
     predicted: Dict[Tuple[str, int], TrainingPrediction]
 
     def feasible(self, predicted: bool = False) -> Tuple[Tuple[str, int], ...]:
         source = self.predicted if predicted else self.observed
         return tuple(
-            sorted(k for k, v in source.items() if v.cost_dollars <= self.budget)
+            sorted(k for k, v in source.items() if v.cost_dollars <= self.budget_usd)
         )
 
     def best_config(self, predicted: bool = False) -> Tuple[str, int]:
@@ -67,7 +67,7 @@ class Fig10Result:
     def cheapest_rate_penalty(self) -> float:
         """Slowdown of the cheapest-hourly-rate feasible instance vs optimal."""
         feasible = self.feasible(predicted=False)
-        cheapest = min(feasible, key=lambda key: self.observed[key].hourly_cost)
+        cheapest = min(feasible, key=lambda key: self.observed[key].usd_per_hr)
         best = self.best_config(predicted=False)
         return self.observed[cheapest].total_us / self.observed[best].total_us
 
@@ -87,8 +87,8 @@ class Fig10Result:
                     f"{gpu_key}x{k}",
                     format_us(obs.total_us), format_us(pred.total_us),
                     format_dollars(obs.cost_dollars), format_dollars(pred.cost_dollars),
-                    "yes" if obs.cost_dollars <= self.budget else "NO",
-                    "yes" if pred.cost_dollars <= self.budget else "NO",
+                    "yes" if obs.cost_dollars <= self.budget_usd else "NO",
+                    "yes" if pred.cost_dollars <= self.budget_usd else "NO",
                 ]
             )
         table = format_table(
@@ -96,7 +96,7 @@ class Fig10Result:
              "obs feasible", "pred feasible"],
             rows,
             title=f"Fig 10 - {self.model} under a total budget of "
-                  f"{format_dollars(self.budget)}",
+                  f"{format_dollars(self.budget_usd)}",
         )
         best_obs = self.best_config(False)
         best_pred = self.best_config(True)
@@ -116,7 +116,7 @@ class Fig10Result:
 
 def run_fig10(
     model: str = "resnet_101",
-    budget: float = TOTAL_BUDGET,
+    budget_usd: float = TOTAL_BUDGET_USD,
     job: TrainingJob = IMAGENET_JOB,
     estimator: CeerEstimator = None,
     gpu_counts: Sequence[int] = (1, 2, 3, 4),
@@ -133,5 +133,5 @@ def run_fig10(
             observed[(gpu_key, k)] = observed_training(model, gpu_key, k, job, n_iterations)
             predicted[(gpu_key, k)] = estimator.predict_training(graph, gpu_key, k, job)
     return Fig10Result(
-        model=model, budget=budget, observed=observed, predicted=predicted
+        model=model, budget_usd=budget_usd, observed=observed, predicted=predicted
     )

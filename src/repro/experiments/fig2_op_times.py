@@ -79,7 +79,7 @@ def run_fig2(
 
     mean_us: Dict[str, Dict[str, float]] = {}
     for gpu_key in GPU_KEYS:
-        for op_type, mean in gpu_records.for_gpu(gpu_key).mean_time_by_op_type().items():
+        for op_type, mean in gpu_records.for_gpu(gpu_key).mean_us_by_op_type().items():
             if op_type in classification.heavy:
                 mean_us.setdefault(op_type, {})[gpu_key] = mean
 

@@ -72,19 +72,19 @@ def run_fig3(
     fig2: Fig2Result = run_fig2(profiles, n_iterations)
     cost_per_us = {g: pricing.instance(g, 1).cost_per_us for g in GPU_KEYS}
 
-    cost: Dict[str, Dict[str, float]] = {}
+    cost_nano_usd: Dict[str, Dict[str, float]] = {}
     cheapest: Dict[str, str] = {}
     for op_type, per_gpu in fig2.mean_us.items():
-        cost[op_type] = {
+        cost_nano_usd[op_type] = {
             g: per_gpu[g] * cost_per_us[g] * 1e9 for g in per_gpu
         }
-        cheapest[op_type] = min(cost[op_type], key=cost[op_type].get)
+        cheapest[op_type] = min(cost_nano_usd[op_type], key=cost_nano_usd[op_type].get)
 
     pooling_deltas, other_deltas = [], []
     p3_wins = []
     g4_count = p3_count = 0
     for op_type, winner in cheapest.items():
-        c = cost[op_type]
+        c = cost_nano_usd[op_type]
         if "V100" in c and "T4" in c:
             if op_def(op_type).category is OpCategory.POOLING:
                 pooling_deltas.append(1 - c["V100"] / c["T4"])
@@ -97,7 +97,7 @@ def run_fig3(
             p3_wins.append(op_type)
 
     return Fig3Result(
-        cost_nano_dollars=cost,
+        cost_nano_dollars=cost_nano_usd,
         cheapest_gpu=cheapest,
         g4_win_count=g4_count,
         p3_win_count=p3_count,

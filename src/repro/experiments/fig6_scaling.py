@@ -73,9 +73,9 @@ def run_fig6(
     n_iterations: int = CANONICAL_ITERATIONS,
 ) -> Fig6Result:
     """Regenerate Figure 6 (default: the paper's Inception-v1 workload)."""
-    times: Dict[Tuple[str, int], float] = {}
+    times_us: Dict[Tuple[str, int], float] = {}
     for gpu_key in GPU_KEYS:
         for k in gpu_counts:
             measurement = observed_training(model, gpu_key, k, job, n_iterations)
-            times[(gpu_key, k)] = measurement.total_us
-    return Fig6Result(model=model, training_time_us=times, gpu_counts=gpu_counts)
+            times_us[(gpu_key, k)] = measurement.total_us
+    return Fig6Result(model=model, training_time_us=times_us, gpu_counts=gpu_counts)

@@ -20,6 +20,7 @@ from repro.core.comm_model import (
 )
 from repro.hardware.gpus import GPU_KEYS
 from repro.models.zoo import TRAIN_MODELS
+from repro.units import us_to_ms
 
 
 @dataclass
@@ -61,7 +62,7 @@ class Fig7Result:
         )
         k2 = [
             f"  {gpu_key}: " + "  ".join(
-                f"({mp:5.0f}Mp, {us / 1e3:7.1f}ms)" for mp, us in self.points(gpu_key, 2)[::3]
+                f"({mp:5.0f}Mp, {us_to_ms(us):7.1f}ms)" for mp, us in self.points(gpu_key, 2)[::3]
             )
             for gpu_key in GPU_KEYS
         ]

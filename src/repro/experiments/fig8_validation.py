@@ -59,8 +59,8 @@ class Fig8Result:
         return sum(reductions) / len(reductions)
 
     def cheapest_gpu(self, model: str) -> str:
-        costs = {g: self.observed[(model, g)].cost_dollars for g in GPU_KEYS}
-        return min(costs, key=costs.get)
+        costs_usd = {g: self.observed[(model, g)].cost_dollars for g in GPU_KEYS}
+        return min(costs_usd, key=costs_usd.get)
 
     def render(self) -> str:
         rows = []

@@ -33,16 +33,17 @@ from repro.experiments.common import (
 )
 from repro.hardware.gpus import GPU_KEYS
 from repro.models.zoo import TEST_MODELS
+from repro.units import us_to_ms
 from repro.workloads.dataset import TrainingJob
 
 #: The paper's budget and slack (Fig. 9 discussion).
-HOURLY_BUDGET = 3.0
-BUDGET_SLACK = 0.42
+HOURLY_BUDGET_USD_PER_HR = 3.0
+BUDGET_SLACK_USD_PER_HR = 0.42
 
 
-def budget_configs(
-    budget: float = HOURLY_BUDGET,
-    slack: float = BUDGET_SLACK,
+def affordable_configs(
+    budget_usd_per_hr: float = HOURLY_BUDGET_USD_PER_HR,
+    slack_usd_per_hr: float = BUDGET_SLACK_USD_PER_HR,
     pricing: PricingScheme = ON_DEMAND,
     max_gpus: int = 4,
 ) -> List[InstanceType]:
@@ -56,7 +57,7 @@ def budget_configs(
         best = None
         for k in range(1, max_gpus + 1):
             instance = pricing.instance(gpu_key, k)
-            if instance.hourly_cost <= budget + slack:
+            if instance.usd_per_hr <= budget_usd_per_hr + slack_usd_per_hr:
                 best = instance
         if best is not None:
             out.append(best)
@@ -72,7 +73,7 @@ class Fig9Result:
     per_sample_us: Dict[Tuple[str, str], Tuple[float, float]]
     batch_size: int
 
-    def _times(self, model: str, predicted: bool) -> Dict[str, float]:
+    def _times_us(self, model: str, predicted: bool) -> Dict[str, float]:
         index = 1 if predicted else 0
         return {
             inst.name: self.per_sample_us[(model, inst.name)][index]
@@ -80,8 +81,8 @@ class Fig9Result:
         }
 
     def best_config(self, model: str, predicted: bool = False) -> str:
-        times = self._times(model, predicted)
-        return min(times, key=times.get)
+        times_us = self._times_us(model, predicted)
+        return min(times_us, key=times_us.get)
 
     def prediction_error(self, model: str) -> float:
         errors = []
@@ -93,11 +94,11 @@ class Fig9Result:
     def p3_default_penalty(self, model: str) -> float:
         """Extra per-sample time of the biggest-affordable-P3 default over
         the observed-optimal configuration (paper: up to +91%)."""
-        times = self._times(model, predicted=False)
+        times_us = self._times_us(model, predicted=False)
         p3_names = [i.name for i in self.configs if i.gpu_key == "V100"]
         if not p3_names:
             return float("nan")
-        return times[p3_names[0]] / min(times.values()) - 1
+        return times_us[p3_names[0]] / min(times_us.values()) - 1
 
     def render(self) -> str:
         rows = []
@@ -107,7 +108,7 @@ class Fig9Result:
                 rows.append(
                     [
                         model, inst.name, f"{inst.num_gpus}x{inst.gpu_key}",
-                        f"${inst.hourly_cost:.2f}", obs / 1e3, pred / 1e3,
+                        f"${inst.usd_per_hr:.2f}", us_to_ms(obs), us_to_ms(pred),
                     ]
                 )
         table = format_table(
@@ -115,7 +116,7 @@ class Fig9Result:
              "obs ms/sample", "pred ms/sample"],
             rows,
             title=f"Fig 9 - per-sample training time under a "
-                  f"${HOURLY_BUDGET:.2f}/hr budget",
+                  f"${HOURLY_BUDGET_USD_PER_HR:.2f}/hr budget",
         )
         models = sorted({m for m, _ in self.per_sample_us})
         lines = [
@@ -137,7 +138,7 @@ def run_fig9(
 ) -> Fig9Result:
     """Regenerate Figure 9 under the paper's $3/hr (+slack) budget."""
     estimator = estimator if estimator is not None else fitted_ceer(n_iterations).estimator
-    configs = tuple(budget_configs(pricing=pricing))
+    configs = tuple(affordable_configs(pricing=pricing))
     per_sample: Dict[Tuple[str, str], Tuple[float, float]] = {}
     for model in models:
         # One engine compilation per CNN, shared by every budget config.

@@ -14,7 +14,7 @@ The entry point is :func:`append_backward`, called by
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import GraphError
 from repro.graph.layers import TapeEntry, TensorRef, activation_grad_op_type
@@ -102,7 +102,7 @@ def _propagate(
     state: _GradState,
     forward_ref: TensorRef,
     grad_ref: TensorRef,
-    input_key,
+    input_key: Optional[Tuple[str, int]],
 ) -> None:
     """Route a gradient to a forward tensor unless it is the network input."""
     if forward_ref.key == input_key:
@@ -110,7 +110,15 @@ def _propagate(
     state.accumulate(forward_ref, grad_ref)
 
 
-def _conv_backward(builder, entry, dy, scope, state, var_grads, input_key) -> None:
+def _conv_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: _GradState,
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     dy = _activation_backward(builder, entry, dy, scope)
     filters = entry.attrs["filters"]
     param_shape = TensorShape.of(filters)
@@ -144,7 +152,15 @@ def _conv_backward(builder, entry, dy, scope, state, var_grads, input_key) -> No
         state.accumulate(conv_in, dx)
 
 
-def _pool_backward(builder, entry, dy, scope, state, var_grads, input_key) -> None:
+def _pool_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: _GradState,
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     pool_in = entry.intermediates["pool_in"]
     pool_out = entry.intermediates["pool_out"]
     attrs = {k: entry.attrs[k] for k in ("kernel", "strides", "padding")}
@@ -159,7 +175,15 @@ def _pool_backward(builder, entry, dy, scope, state, var_grads, input_key) -> No
     _propagate(builder, state, pool_in, dx, input_key)
 
 
-def _lrn_backward(builder, entry, dy, scope, state, var_grads, input_key) -> None:
+def _lrn_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: _GradState,
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     lrn_in = entry.intermediates["lrn_in"]
     lrn_out = entry.intermediates["lrn_out"]
     dx = builder.emit(
@@ -169,7 +193,15 @@ def _lrn_backward(builder, entry, dy, scope, state, var_grads, input_key) -> Non
     _propagate(builder, state, lrn_in, dx, input_key)
 
 
-def _dense_backward(builder, entry, dy, scope, state, var_grads, input_key) -> None:
+def _dense_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: _GradState,
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     dy = _activation_backward(builder, entry, dy, scope)
     if entry.attrs.get("use_bias"):
         units = entry.attrs["units"]
@@ -189,7 +221,15 @@ def _dense_backward(builder, entry, dy, scope, state, var_grads, input_key) -> N
         state.accumulate(dense_in, dx)
 
 
-def _concat_backward(builder, entry, dy, scope, state, var_grads, input_key) -> None:
+def _concat_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: _GradState,
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     out_shapes = [r.shape for r in entry.inputs]
     slices = builder.emit("ConcatGrad", scope, [dy], out_shapes,
                           attrs={"axis": entry.attrs["axis"]})
@@ -197,38 +237,86 @@ def _concat_backward(builder, entry, dy, scope, state, var_grads, input_key) -> 
         _propagate(builder, state, forward_ref, grad_ref, input_key)
 
 
-def _add_backward(builder, entry, dy, scope, state, var_grads, input_key) -> None:
+def _add_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: _GradState,
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     dy = _activation_backward(builder, entry, dy, scope)
     for forward_ref in entry.inputs:
         _propagate(builder, state, forward_ref, dy, input_key)
 
 
-def _dropout_backward(builder, entry, dy, scope, state, var_grads, input_key) -> None:
+def _dropout_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: _GradState,
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     x = entry.inputs[0]
     dx = builder.emit("Mul", scope, [dy], [x.shape], extra_input_shapes=[x.shape])[0]
     _propagate(builder, state, x, dx, input_key)
 
 
-def _reshape_backward(builder, entry, dy, scope, state, var_grads, input_key) -> None:
+def _reshape_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: _GradState,
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     x = entry.inputs[0]
     dx = builder.emit("Reshape", scope, [dy], [x.shape])[0]
     _propagate(builder, state, x, dx, input_key)
 
 
-def _gap_backward(builder, entry, dy, scope, state, var_grads, input_key) -> None:
+def _gap_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: _GradState,
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     # Gradient of a spatial mean: broadcast-and-scale, lowered to a Mul.
     x = entry.inputs[0]
     dx = builder.emit("Mul", scope, [dy], [x.shape])[0]
     _propagate(builder, state, x, dx, input_key)
 
 
-def _pad_backward(builder, entry, dy, scope, state, var_grads, input_key) -> None:
+def _pad_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: _GradState,
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     x = entry.inputs[0]
     dx = builder.emit("Slice", scope, [dy], [x.shape])[0]
     _propagate(builder, state, x, dx, input_key)
 
 
-_BACKWARD_FNS = {
+#: Per-kind backward emitter signature; extension builders (sequence,
+#: recurrent) register additional kinds at import time.
+BackwardFn = Callable[
+    ["GraphBuilder", TapeEntry, TensorRef, str, _GradState,
+     Dict[str, TensorRef], Optional[Tuple[str, int]]],
+    None,
+]
+
+_BACKWARD_FNS: Dict[str, BackwardFn] = {
     "conv": _conv_backward,
     "pool": _pool_backward,
     "lrn": _lrn_backward,

@@ -21,7 +21,7 @@ pipeline ops.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import GraphError, ShapeError
 from repro.graph.graph import OpGraph
@@ -34,8 +34,11 @@ from repro.graph.layers import (
 from repro.graph.ops import Device, Operation
 from repro.graph.shapes import TensorShape, conv_output_hw
 
+#: Layer arguments accepting an int or an (h, w) pair.
+IntOrPair = Union[int, Tuple[int, int]]
 
-def _pair(value) -> Tuple[int, int]:
+
+def _pair(value: "IntOrPair") -> Tuple[int, int]:
     """Normalise an int-or-pair layer argument to an (h, w) tuple."""
     if isinstance(value, int):
         return (value, value)
@@ -164,8 +167,8 @@ class GraphBuilder:
         self,
         x: TensorRef,
         filters: int,
-        kernel,
-        stride=1,
+        kernel: IntOrPair,
+        stride: IntOrPair = 1,
         padding: str = "SAME",
         activation: Optional[str] = "relu",
         use_bias: bool = True,
@@ -228,7 +231,8 @@ class GraphBuilder:
         return y
 
     def _pool(
-        self, x: TensorRef, kind: str, kernel, stride, padding: str, scope: Optional[str]
+        self, x: TensorRef, kind: str, kernel: IntOrPair, stride: IntOrPair,
+        padding: str, scope: Optional[str]
     ) -> TensorRef:
         kh, kw = _pair(kernel)
         sh, sw = _pair(stride)
@@ -247,13 +251,15 @@ class GraphBuilder:
         )
         return y
 
-    def max_pool(self, x, kernel, stride, padding: str = "VALID", scope=None) -> TensorRef:
+    def max_pool(self, x: TensorRef, kernel: IntOrPair, stride: IntOrPair,
+             padding: str = "VALID", scope: Optional[str] = None) -> TensorRef:
         return self._pool(x, "max", kernel, stride, padding, scope)
 
-    def avg_pool(self, x, kernel, stride, padding: str = "VALID", scope=None) -> TensorRef:
+    def avg_pool(self, x: TensorRef, kernel: IntOrPair, stride: IntOrPair,
+             padding: str = "VALID", scope: Optional[str] = None) -> TensorRef:
         return self._pool(x, "avg", kernel, stride, padding, scope)
 
-    def lrn(self, x: TensorRef, depth_radius: int = 5, scope=None) -> TensorRef:
+    def lrn(self, x: TensorRef, depth_radius: int = 5, scope: Optional[str] = None) -> TensorRef:
         """Local response normalisation (AlexNet)."""
         scope = self._unique(scope or "lrn")
         y = self.emit("LRN", scope, [x], [x.shape], attrs={"depth_radius": depth_radius})[0]
@@ -266,7 +272,7 @@ class GraphBuilder:
         )
         return y
 
-    def concat(self, xs: Sequence[TensorRef], scope=None) -> TensorRef:
+    def concat(self, xs: Sequence[TensorRef], scope: Optional[str] = None) -> TensorRef:
         """Channel-axis concatenation (Inception branch merge)."""
         if len(xs) < 2:
             raise GraphError("concat needs at least two inputs")
@@ -289,7 +295,7 @@ class GraphBuilder:
         return y
 
     def add(self, a: TensorRef, b: TensorRef, activation: Optional[str] = None,
-            scope=None) -> TensorRef:
+            scope: Optional[str] = None) -> TensorRef:
         """Elementwise residual addition, optionally followed by an activation."""
         if a.shape != b.shape:
             raise ShapeError(f"residual add shape mismatch: {a.shape} vs {b.shape}")
@@ -305,7 +311,7 @@ class GraphBuilder:
         self.tape.append(entry)
         return y
 
-    def dropout(self, x: TensorRef, rate: float = 0.5, scope=None) -> TensorRef:
+    def dropout(self, x: TensorRef, rate: float = 0.5, scope: Optional[str] = None) -> TensorRef:
         """Dropout as an elementwise mask multiply (training mode)."""
         scope = self._unique(scope or "dropout")
         y = self.emit("Mul", scope, [x], [x.shape], extra_input_shapes=[x.shape],
@@ -316,7 +322,7 @@ class GraphBuilder:
         )
         return y
 
-    def scale(self, x: TensorRef, factor: float, scope=None) -> TensorRef:
+    def scale(self, x: TensorRef, factor: float, scope: Optional[str] = None) -> TensorRef:
         """Multiply by a scalar (Inception-ResNet residual scaling).
 
         Emitted as an elementwise ``Mul``; the backward pass is another Mul,
@@ -333,7 +339,7 @@ class GraphBuilder:
         )
         return y
 
-    def pad(self, x: TensorRef, pad_h: int, pad_w: int, scope=None) -> TensorRef:
+    def pad(self, x: TensorRef, pad_h: int, pad_w: int, scope: Optional[str] = None) -> TensorRef:
         """Zero-pad spatial dims by (pad_h, pad_w) on each side."""
         scope = self._unique(scope or "pad")
         out_shape = TensorShape.of(
@@ -348,7 +354,7 @@ class GraphBuilder:
         )
         return y
 
-    def flatten(self, x: TensorRef, scope=None) -> TensorRef:
+    def flatten(self, x: TensorRef, scope: Optional[str] = None) -> TensorRef:
         """Collapse an NHWC tensor to (batch, features) via a Reshape."""
         scope = self._unique(scope or "flatten")
         out_shape = TensorShape.of(
@@ -358,7 +364,7 @@ class GraphBuilder:
         self.tape.append(TapeEntry(kind="reshape", inputs=(x,), output=y, scope=scope))
         return y
 
-    def global_avg_pool(self, x: TensorRef, scope=None) -> TensorRef:
+    def global_avg_pool(self, x: TensorRef, scope: Optional[str] = None) -> TensorRef:
         """Spatial mean reduction to (batch, channels) (Inception/ResNet heads)."""
         scope = self._unique(scope or "global_avg_pool")
         out_shape = TensorShape.of(x.shape.batch, x.shape.channels)
@@ -374,7 +380,7 @@ class GraphBuilder:
         units: int,
         activation: Optional[str] = "relu",
         use_bias: bool = True,
-        scope=None,
+        scope: Optional[str] = None,
     ) -> TensorRef:
         """A fully-connected block: MatMul [+ BiasAdd] [+ activation]."""
         if x.shape.rank != 2:

@@ -22,7 +22,7 @@ these ops, do not re-read intermediates).
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterable
 
 from repro.errors import ShapeError, UnknownOpError
 from repro.graph.ops import Operation
@@ -221,6 +221,6 @@ def memory_bytes(op: Operation) -> int:
     return op.input_bytes + op.output_bytes
 
 
-def graph_flops(ops) -> int:
+def graph_flops(ops: Iterable[Operation]) -> int:
     """Total FLOPs across an iterable of operations (PALEO baseline feature)."""
     return sum(flop_count(op) for op in ops)

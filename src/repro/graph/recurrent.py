@@ -16,10 +16,11 @@ no convolutions — which is exactly what makes RNNs interesting for Ceer
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import GraphError, ShapeError
 from repro.graph import autodiff
+from repro.graph.builder import GraphBuilder
 from repro.graph.layers import (
     TapeEntry,
     TensorRef,
@@ -36,7 +37,7 @@ class RecurrentGraphBuilder(SequenceGraphBuilder):
     # ------------------------------------------------------------------
     # primitives
     # ------------------------------------------------------------------
-    def activation(self, x: TensorRef, name: str, scope=None) -> TensorRef:
+    def activation(self, x: TensorRef, name: str, scope: Optional[str] = None) -> TensorRef:
         """A standalone activation with its own gradient op."""
         op_type = activation_op_type(name)
         if op_type is None:
@@ -51,7 +52,7 @@ class RecurrentGraphBuilder(SequenceGraphBuilder):
         )
         return y
 
-    def multiply(self, a: TensorRef, b: TensorRef, scope=None) -> TensorRef:
+    def multiply(self, a: TensorRef, b: TensorRef, scope: Optional[str] = None) -> TensorRef:
         """Binary elementwise multiply with gradients to both operands."""
         if a.shape != b.shape:
             raise ShapeError(f"multiply shape mismatch: {a.shape} vs {b.shape}")
@@ -63,7 +64,7 @@ class RecurrentGraphBuilder(SequenceGraphBuilder):
         return y
 
     def slice_features(
-        self, x: TensorRef, begin: int, size: int, scope=None
+        self, x: TensorRef, begin: int, size: int, scope: Optional[str] = None
     ) -> TensorRef:
         """Slice ``size`` features from the last axis starting at ``begin``."""
         last = x.shape.dims[-1]
@@ -80,10 +81,10 @@ class RecurrentGraphBuilder(SequenceGraphBuilder):
         )
         return y
 
-    def time_slice(self, x: TensorRef, t: int, scope=None) -> TensorRef:
+    def timestep_slice(self, x: TensorRef, t: int, scope: Optional[str] = None) -> TensorRef:
         """Extract timestep ``t``: ``(B, L, D)`` -> ``(B, D)``."""
         if x.shape.rank != 3:
-            raise ShapeError("time_slice needs a rank-3 (B, L, D) input")
+            raise ShapeError("timestep_slice needs a rank-3 (B, L, D) input")
         batch, seq, d_model = x.shape.dims
         if not 0 <= t < seq:
             raise ShapeError(f"timestep {t} out of range for sequence {seq}")
@@ -95,7 +96,7 @@ class RecurrentGraphBuilder(SequenceGraphBuilder):
         )
         return y
 
-    def concat_features(self, xs: Sequence[TensorRef], scope=None) -> TensorRef:
+    def concat_features(self, xs: Sequence[TensorRef], scope: Optional[str] = None) -> TensorRef:
         """Concatenate along the last axis (any rank >= 2)."""
         if len(xs) < 2:
             raise GraphError("concat_features needs at least two inputs")
@@ -117,12 +118,12 @@ class RecurrentGraphBuilder(SequenceGraphBuilder):
         )
         return y
 
-    def stack_time(self, steps: Sequence[TensorRef], scope=None) -> TensorRef:
+    def stack_timesteps(self, steps: Sequence[TensorRef], scope: Optional[str] = None) -> TensorRef:
         """Stack per-timestep ``(B, H)`` outputs into ``(B, L, H)``."""
         if len(steps) < 1:
-            raise GraphError("stack_time needs at least one step output")
+            raise GraphError("stack_timesteps needs at least one step output")
         batch, hidden = steps[0].shape.dims
-        scope = self._unique(scope or "stack_time")
+        scope = self._unique(scope or "stack_timesteps")
         out_shape = TensorShape.of(batch, len(steps), hidden)
         y = self.emit("ConcatV2", scope, list(steps), [out_shape],
                       attrs={"axis": 1})[0]
@@ -132,7 +133,7 @@ class RecurrentGraphBuilder(SequenceGraphBuilder):
         )
         return y
 
-    def zero_state(self, hidden: int, scope=None) -> TensorRef:
+    def zero_state(self, hidden: int, scope: Optional[str] = None) -> TensorRef:
         """An all-zeros initial hidden/cell state tensor."""
         scope = self._unique(scope or "zero_state")
         shape = TensorShape.of(self.batch_size, hidden)
@@ -184,7 +185,7 @@ class RecurrentGraphBuilder(SequenceGraphBuilder):
         )
         return h_t, c_t
 
-    def lstm_layer(self, x: TensorRef, hidden: int, scope=None) -> TensorRef:
+    def lstm_layer(self, x: TensorRef, hidden: int, scope: Optional[str] = None) -> TensorRef:
         """An unrolled LSTM over a ``(B, L, D)`` sequence -> ``(B, L, H)``.
 
         Weights are created once by the first timestep's dense projection
@@ -205,14 +206,14 @@ class RecurrentGraphBuilder(SequenceGraphBuilder):
         n_vars_before = len(self.variables)
         outputs: List[TensorRef] = []
         for t in range(seq_len):
-            x_t = self.time_slice(x, t, scope=f"{scope}/x_t{t}")
+            x_t = self.timestep_slice(x, t, scope=f"{scope}/x_t{t}")
             h, c = self.lstm_cell(x_t, h, c, hidden, scope=f"{scope}/step{t}")
             outputs.append(h)
         # Deduplicate the replicated per-step gate weights: TF shares one
         # (D+H, 4H) kernel across the unroll. Keep the first step's
         # variables; mark the rest as shared replicas (zero extra params).
         self._deduplicate_unrolled_weights(n_vars_before, params_before, seq_len)
-        return self.stack_time(outputs, scope=f"{scope}/stack")
+        return self.stack_timesteps(outputs, scope=f"{scope}/stack")
 
     def _deduplicate_unrolled_weights(
         self, n_vars_before: int, params_before: int, seq_len: int
@@ -232,7 +233,15 @@ class RecurrentGraphBuilder(SequenceGraphBuilder):
         del self.variables[n_vars_before + per_step:]
 
 
-def _activation_op_backward(builder, entry, dy, scope, state, var_grads, input_key):
+def _activation_op_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: "autodiff._GradState",
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     name = entry.attrs["activation"]
     act_out = entry.intermediates["act_out"]
     grad_op = activation_grad_op_type(name)
@@ -240,7 +249,15 @@ def _activation_op_backward(builder, entry, dy, scope, state, var_grads, input_k
     autodiff._propagate(builder, state, entry.inputs[0], dx, input_key)
 
 
-def _binary_mul_backward(builder, entry, dy, scope, state, var_grads, input_key):
+def _binary_mul_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: "autodiff._GradState",
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     a, b = entry.inputs
     da = builder.emit("Mul", scope, [dy, b], [a.shape])[0]
     db = builder.emit("Mul", scope, [dy, a], [b.shape])[0]
@@ -248,7 +265,15 @@ def _binary_mul_backward(builder, entry, dy, scope, state, var_grads, input_key)
     autodiff._propagate(builder, state, b, db, input_key)
 
 
-def _slice_backward(builder, entry, dy, scope, state, var_grads, input_key):
+def _slice_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: "autodiff._GradState",
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     x = entry.inputs[0]
     dx = builder.emit("Pad", scope, [dy], [x.shape])[0]
     autodiff._propagate(builder, state, x, dx, input_key)

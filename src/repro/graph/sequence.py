@@ -17,7 +17,7 @@ at import time, so ``finalize()`` produces full training graphs
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import GraphError, ShapeError
 from repro.graph import autodiff
@@ -73,7 +73,7 @@ class SequenceGraphBuilder(GraphBuilder):
     # ------------------------------------------------------------------
     # sequence layers
     # ------------------------------------------------------------------
-    def embedding(self, tokens: TensorRef, d_model: int, scope=None) -> TensorRef:
+    def embedding(self, tokens: TensorRef, d_model: int, scope: Optional[str] = None) -> TensorRef:
         """Token-embedding lookup: ``(B, L)`` int64 -> ``(B, L, D)``."""
         scope = self._unique(scope or "embedding")
         table_shape = TensorShape.of(self.vocab_size, d_model)
@@ -91,7 +91,7 @@ class SequenceGraphBuilder(GraphBuilder):
         )
         return y
 
-    def layer_norm(self, x: TensorRef, scope=None) -> TensorRef:
+    def layer_norm(self, x: TensorRef, scope: Optional[str] = None) -> TensorRef:
         """Layer normalisation over the model dimension."""
         scope = self._unique(scope or "layer_norm")
         d_model = x.shape.dims[-1]
@@ -113,7 +113,7 @@ class SequenceGraphBuilder(GraphBuilder):
 
     def dense_tokens(
         self, x: TensorRef, units: int, activation: Optional[str] = None,
-        scope=None,
+        scope: Optional[str] = None,
     ) -> TensorRef:
         """Per-token dense projection: reshape -> dense -> reshape back."""
         scope = self._unique(scope or "proj")
@@ -140,7 +140,7 @@ class SequenceGraphBuilder(GraphBuilder):
         return back
 
     def batch_matmul(
-        self, a: TensorRef, b: TensorRef, out_shape: TensorShape, scope=None
+        self, a: TensorRef, b: TensorRef, out_shape: TensorShape, scope: Optional[str] = None
     ) -> TensorRef:
         """Batched matmul of two rank-3 tensors (attention primitives)."""
         if a.shape.rank != 3 or b.shape.rank != 3:
@@ -152,7 +152,7 @@ class SequenceGraphBuilder(GraphBuilder):
         )
         return y
 
-    def softmax(self, x: TensorRef, scope=None) -> TensorRef:
+    def softmax(self, x: TensorRef, scope: Optional[str] = None) -> TensorRef:
         """Standalone softmax over the last dimension (attention weights)."""
         scope = self._unique(scope or "softmax")
         y = self.emit("Softmax", scope, [x], [x.shape])[0]
@@ -164,7 +164,7 @@ class SequenceGraphBuilder(GraphBuilder):
         )
         return y
 
-    def sequence_mean(self, x: TensorRef, scope=None) -> TensorRef:
+    def sequence_mean(self, x: TensorRef, scope: Optional[str] = None) -> TensorRef:
         """Mean-pool the sequence dimension: ``(B, L, D)`` -> ``(B, D)``."""
         scope = self._unique(scope or "sequence_mean")
         batch, _, d_model = x.shape.dims
@@ -180,7 +180,7 @@ class SequenceGraphBuilder(GraphBuilder):
     # ------------------------------------------------------------------
     # composite transformer blocks
     # ------------------------------------------------------------------
-    def self_attention(self, x: TensorRef, num_heads: int, scope=None) -> TensorRef:
+    def self_attention(self, x: TensorRef, num_heads: int, scope: Optional[str] = None) -> TensorRef:
         """Multi-head self-attention (pre-projected Q/K/V, scaled dot
         product, output projection)."""
         scope = self._unique(scope or "attention")
@@ -235,7 +235,7 @@ class SequenceGraphBuilder(GraphBuilder):
         return self.dense_tokens(merged, d_model, scope=f"{scope}/out")
 
     def encoder_block(
-        self, x: TensorRef, num_heads: int, ffn_multiplier: int = 4, scope=None
+        self, x: TensorRef, num_heads: int, ffn_multiplier: int = 4, scope: Optional[str] = None
     ) -> TensorRef:
         """One pre-norm Transformer encoder block."""
         scope = self._unique(scope or "encoder")
@@ -257,7 +257,15 @@ class SequenceGraphBuilder(GraphBuilder):
 # backward rules for the sequence layer kinds
 # ---------------------------------------------------------------------------
 
-def _embedding_backward(builder, entry, dy, scope, state, var_grads, input_key):
+def _embedding_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: "autodiff._GradState",
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     table = entry.variables["table"]
     dtable = builder.emit(
         "Scatter", scope, [dy], [table.shape], extra_input_shapes=[table.shape]
@@ -266,7 +274,15 @@ def _embedding_backward(builder, entry, dy, scope, state, var_grads, input_key):
     # Token indices receive no gradient.
 
 
-def _layer_norm_backward(builder, entry, dy, scope, state, var_grads, input_key):
+def _layer_norm_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: "autodiff._GradState",
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     ln_in = entry.intermediates["ln_in"]
     param_shape = TensorShape.of(entry.attrs["d_model"])
     dx, dgamma, dbeta = builder.emit(
@@ -279,7 +295,15 @@ def _layer_norm_backward(builder, entry, dy, scope, state, var_grads, input_key)
     autodiff._propagate(builder, state, ln_in, dx, input_key)
 
 
-def _batch_matmul_backward(builder, entry, dy, scope, state, var_grads, input_key):
+def _batch_matmul_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: "autodiff._GradState",
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     a, b = entry.inputs
     batch, m, k_dim = a.shape.dims
     _, _, n = b.shape.dims
@@ -298,7 +322,15 @@ def _batch_matmul_backward(builder, entry, dy, scope, state, var_grads, input_ke
     autodiff._propagate(builder, state, b, db, input_key)
 
 
-def _softmax_backward(builder, entry, dy, scope, state, var_grads, input_key):
+def _softmax_backward(
+    builder: "GraphBuilder",
+    entry: TapeEntry,
+    dy: TensorRef,
+    scope: str,
+    state: "autodiff._GradState",
+    var_grads: Dict[str, TensorRef],
+    input_key: Optional[Tuple[str, int]],
+) -> None:
     y = entry.intermediates["softmax_out"]
     dx = builder.emit("SoftmaxGrad", scope, [dy, y], [y.shape])[0]
     autodiff._propagate(builder, state, entry.inputs[0], dx, input_key)

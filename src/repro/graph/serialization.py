@@ -49,13 +49,13 @@ def _shape_to_json(shape: TensorShape) -> Union[List[int], Dict]:
     return {"dims": list(shape.dims), "dtype": shape.dtype}
 
 
-def _shape_from_json(data) -> TensorShape:
+def _shape_from_json(data: Union[List[int], Dict]) -> TensorShape:
     if isinstance(data, dict):
         return TensorShape(tuple(data["dims"]), data.get("dtype", DEFAULT_DTYPE))
     return TensorShape(tuple(data))
 
 
-def _attr_to_json(value):
+def _attr_to_json(value: object) -> object:
     if isinstance(value, tuple):
         return {"__tuple__": [_attr_to_json(v) for v in value]}
     if isinstance(value, (int, float, str, bool)) or value is None:
@@ -63,7 +63,7 @@ def _attr_to_json(value):
     raise GraphError(f"attr value {value!r} is not serialisable")
 
 
-def _attr_from_json(value):
+def _attr_from_json(value: object) -> object:
     if isinstance(value, dict) and "__tuple__" in value:
         return tuple(_attr_from_json(v) for v in value["__tuple__"])
     return value

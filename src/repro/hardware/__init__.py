@@ -25,14 +25,14 @@ from repro.hardware.kernel_model import (
     base_time_us,
     gpu_base_time_us,
     host_base_time_us,
-    sample_op_times,
+    sample_op_times_us,
 )
 from repro.hardware.memory import (
     MemoryEstimate,
     estimate_memory,
     max_batch_size,
 )
-from repro.hardware.noise import noise_sigma, rng_for, sample_lognormal_times
+from repro.hardware.noise import noise_sigma, rng_for, sample_lognormal_times_us
 
 __all__ = [
     "GpuSpec",
@@ -50,10 +50,10 @@ __all__ = [
     "base_time_us",
     "gpu_base_time_us",
     "host_base_time_us",
-    "sample_op_times",
+    "sample_op_times_us",
     "noise_sigma",
     "rng_for",
-    "sample_lognormal_times",
+    "sample_lognormal_times_us",
     "MemoryEstimate",
     "estimate_memory",
     "max_batch_size",

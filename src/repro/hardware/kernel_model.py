@@ -2,7 +2,7 @@
 
 This module is the reproduction's stand-in for physical hardware: given an
 operation (with resolved shapes) and a device, it produces the
-*deterministic base* compute time; :func:`sample_op_times` then adds the
+*deterministic base* compute time; :func:`sample_op_times_us` then adds the
 measurement noise from :mod:`repro.hardware.noise`.
 
 The law is a classic roofline with per-(GPU, category) achieved
@@ -33,7 +33,7 @@ from repro.hardware.calibration import (
     op_tweak,
 )
 from repro.hardware.gpus import HOST_CPU, CpuSpec, GpuSpec, gpu_spec
-from repro.hardware.noise import noise_sigma, rng_for, sample_lognormal_times
+from repro.hardware.noise import noise_sigma, rng_for, sample_lognormal_times_us
 
 
 def host_base_time_us(op: Operation, cpu: CpuSpec = HOST_CPU) -> float:
@@ -113,7 +113,7 @@ def base_time_us(op: Operation, device_key: str) -> float:
     return gpu_base_time_us(op, gpu_spec(device_key))
 
 
-def sample_op_times(
+def sample_op_times_us(
     op: Operation,
     device_key: str,
     n_samples: int,
@@ -129,4 +129,4 @@ def sample_op_times(
     base = base_time_us(op, device_key)
     sigma = noise_sigma(op.op_type)
     rng = rng_for(device_key, op.name, op.op_type, seed_context)
-    return sample_lognormal_times(base, sigma, n_samples, rng)
+    return sample_lognormal_times_us(base, sigma, n_samples, rng)

@@ -70,7 +70,7 @@ def rng_for(*keys: Union[str, int]) -> np.random.Generator:
     return np.random.default_rng(int.from_bytes(digest[:8], "little"))
 
 
-def sample_lognormal_times(
+def sample_lognormal_times_us(
     base_us: float, sigma: float, n: int, rng: np.random.Generator
 ) -> np.ndarray:
     """Draw ``n`` compute-time samples around ``base_us``.

@@ -54,6 +54,6 @@ def build_lstm(
     x = b.embedding(tokens, embed_dim)
     for layer in range(num_layers):
         x = b.lstm_layer(x, hidden, scope=f"lstm_{layer + 1}")
-    last_hidden = b.time_slice(x, seq_len - 1, scope="last_step")
+    last_hidden = b.timestep_slice(x, seq_len - 1, scope="last_step")
     logits = b.dense(last_hidden, num_classes, activation=None, scope="classifier")
     return b.finalize(logits)

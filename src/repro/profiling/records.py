@@ -118,7 +118,7 @@ class ProfileDataset:
         return ProfileDataset(merged)
 
     # -- aggregate views ---------------------------------------------------------
-    def mean_time_by_op_type(self) -> Dict[str, float]:
+    def mean_us_by_op_type(self) -> Dict[str, float]:
         """Mean of per-instance mean times, per op type (paper Fig. 2 rows)."""
         sums: Dict[str, Tuple[float, int]] = {}
         for r in self._records:
@@ -126,7 +126,7 @@ class ProfileDataset:
             sums[r.op_type] = (total + r.mean_us, count + 1)
         return {k: total / count for k, (total, count) in sums.items()}
 
-    def total_time_by_op_type(self) -> Dict[str, float]:
+    def total_us_by_op_type(self) -> Dict[str, float]:
         """Summed per-iteration time contribution of each op type."""
         sums: Dict[str, float] = {}
         for r in self._records:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.errors import ProfilingError
 from repro.graph.graph import OpGraph
-from repro.hardware.kernel_model import sample_op_times
+from repro.hardware.kernel_model import sample_op_times_us
 from repro.sim.trace import IterationProfile, OpTiming
 
 
@@ -46,7 +46,7 @@ def run_iterations(
     key = gpu_spec(gpu_key).key  # normalise "P3" -> "V100" for stable seeds
     timings = []
     for op in graph.operations:
-        samples = sample_op_times(op, key, n_iterations, seed_context)
+        samples = sample_op_times_us(op, key, n_iterations, seed_context)
         timings.append(OpTiming.from_samples(op, key, samples))
     return IterationProfile(
         model=graph.name,

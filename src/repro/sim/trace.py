@@ -14,6 +14,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.graph.ops import Device, Operation
+from repro.units import us_to_hr, usd_per_hr_to_usd
 
 
 @dataclass(frozen=True)
@@ -102,7 +103,7 @@ class TrainingMeasurement:
     gpu_key: str
     num_gpus: int
     instance_name: str
-    hourly_cost: float
+    usd_per_hr: float
     batch_size: int
     compute_us_per_iteration: float
     comm_overhead_us: float
@@ -119,9 +120,9 @@ class TrainingMeasurement:
 
     @property
     def total_hours(self) -> float:
-        return self.total_us / 3.6e9
+        return us_to_hr(self.total_us)
 
     @property
     def cost_dollars(self) -> float:
         """Rental cost of the run (paper: C = T x instance hourly cost)."""
-        return self.total_hours * self.hourly_cost
+        return usd_per_hr_to_usd(self.usd_per_hr, self.total_hours)

@@ -70,7 +70,7 @@ def measure_training(
         gpu_key=profile.gpu_key,
         num_gpus=num_gpus,
         instance_name=instance.name,
-        hourly_cost=instance.hourly_cost,
+        usd_per_hr=instance.usd_per_hr,
         batch_size=job.batch_size,
         compute_us_per_iteration=profile.compute_us,
         comm_overhead_us=float(comm.mean()),

@@ -1,0 +1,39 @@
+"""repro.staticcheck: custom static analysis for the Ceer reproduction.
+
+Unit-safety lints (suffix discipline, mixed-unit arithmetic, bare
+conversion literals), an engine-routing lint, a determinism lint, and a
+semantic graph-contract checker — all driven by ``tools/check.py`` and
+enforced in CI. See DESIGN.md's "Static analysis" section for the rule
+catalogue and the baseline workflow.
+"""
+
+from repro.staticcheck.baseline import Baseline, load_baseline, write_baseline
+from repro.staticcheck.findings import Finding, parse_pragmas
+from repro.staticcheck.graph_contract import (
+    check_contracts,
+    check_fitted_models,
+    check_registry,
+    check_zoo,
+)
+from repro.staticcheck.runner import (
+    ALL_RULES,
+    CheckReport,
+    check_source,
+    run_checks,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "CheckReport",
+    "Finding",
+    "check_contracts",
+    "check_fitted_models",
+    "check_registry",
+    "check_source",
+    "check_zoo",
+    "load_baseline",
+    "parse_pragmas",
+    "run_checks",
+    "write_baseline",
+]

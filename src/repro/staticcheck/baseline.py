@@ -1,0 +1,87 @@
+"""Baseline files: grandfathered findings that don't fail the build.
+
+A baseline is a JSON file of finding fingerprints (rule + file + symbol,
+deliberately line-number-free). Findings whose fingerprint appears in the
+baseline are reported as suppressed instead of failing the run, which lets
+a new rule land with the tree's pre-existing debt frozen: new code is held
+to the rule immediately, old findings surface one file at a time.
+
+Workflow::
+
+    python tools/check.py src/repro --write-baseline   # freeze current debt
+    python tools/check.py src/repro                    # fails only on NEW findings
+
+Stale fingerprints (entries matching nothing) are reported so the baseline
+shrinks monotonically as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.staticcheck.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """A baseline file is unreadable or structurally invalid."""
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An immutable set of grandfathered finding fingerprints."""
+
+    fingerprints: FrozenSet[str] = frozenset()
+    path: str = ""
+
+    def split(self, findings: Sequence[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, grandfathered)."""
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            (old if finding.fingerprint in self.fingerprints else new).append(finding)
+        return new, old
+
+    def stale_entries(self, findings: Sequence[Finding]) -> List[str]:
+        """Baseline fingerprints that no current finding matches."""
+        live = {f.fingerprint for f in findings}
+        return sorted(self.fingerprints - live)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline(path=str(path))
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("fingerprints"), list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'fingerprints' list"
+        )
+    fingerprints = data["fingerprints"]
+    if not all(isinstance(fp, str) for fp in fingerprints):
+        raise BaselineError(f"baseline {path} fingerprints must all be strings")
+    return Baseline(fingerprints=frozenset(fingerprints), path=str(path))
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> Baseline:
+    """Freeze the given findings as the new baseline at ``path``."""
+    fingerprints = sorted({f.fingerprint for f in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered repro.staticcheck findings. Entries are "
+            "rule::path::symbol fingerprints; remove entries as debt is "
+            "paid down. Regenerate with: python tools/check.py --write-baseline"
+        ),
+        "fingerprints": fingerprints,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return Baseline(fingerprints=frozenset(fingerprints), path=str(path))

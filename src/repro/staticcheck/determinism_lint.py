@@ -1,0 +1,136 @@
+"""Determinism lint: no wall clocks or unseeded randomness in model paths.
+
+The reproduction's ground truth is a *simulated* hardware substrate: every
+profile, fit, and prediction must be a pure function of (model zoo, GPU
+spec, seed). A stray ``time.time()`` or ``random.random()`` in a
+model-building or regression-fit path makes runs unreproducible in ways no
+test reliably catches (the paper's Fig. 5 variability is *modeled* noise,
+driven by :func:`repro.hardware.noise.rng_for`, not ambient entropy).
+
+Flagged:
+
+* ``time.time`` / ``perf_counter`` / ``monotonic`` / ``process_time`` /
+  ``time_ns`` — wall clocks;
+* ``datetime.now`` / ``utcnow`` / ``today`` — wall clocks in date form;
+* any use of the stdlib ``random`` module (tracked through imports);
+* numpy's global-state RNG (``np.random.seed`` / ``rand`` / ``randint`` /
+  ...). The explicit generator API (``np.random.default_rng``,
+  ``np.random.Generator``, ``np.random.SeedSequence``) is allowed — it is
+  exactly the seed plumbing this rule exists to force.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.staticcheck.findings import Finding
+
+RULE_DETERMINISM = "determinism"
+
+_CLOCK_ATTRS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time",
+})
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+#: numpy.random attributes that are allowed (explicit-seed generator API).
+_NP_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+    "Philox",
+})
+
+
+class DeterminismLint(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        #: local aliases of the stdlib ``random`` module
+        self._random_aliases: Set[str] = set()
+        #: names imported *from* stdlib random (``from random import seed``)
+        self._random_names: Set[str] = set()
+
+    def _flag(self, node: ast.AST, what: str, hint: str) -> None:
+        self.findings.append(Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=RULE_DETERMINISM,
+            message=f"{what} breaks reproducibility; {hint}",
+            symbol=what,
+        ))
+
+    # -- import tracking ----------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._random_aliases.add(alias.asname or "random")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                self._random_names.add(alias.asname or alias.name)
+            self._flag(
+                node, "from random import ...",
+                "use numpy's np.random.default_rng(seed) / "
+                "repro.hardware.noise.rng_for instead",
+            )
+        self.generic_visit(node)
+
+    # -- usage ---------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        base = node.value
+        # time.<clock> -------------------------------------------------
+        if isinstance(base, ast.Name) and base.id == "time" and node.attr in _CLOCK_ATTRS:
+            self._flag(
+                node, f"time.{node.attr}",
+                "pass timestamps/durations in explicitly",
+            )
+        # datetime.now / date.today -----------------------------------
+        if (
+            isinstance(base, ast.Name)
+            and base.id in ("datetime", "date")
+            and node.attr in _DATETIME_ATTRS
+        ):
+            self._flag(
+                node, f"{base.id}.{node.attr}",
+                "pass timestamps in explicitly",
+            )
+        # stdlib random.<anything> ------------------------------------
+        if isinstance(base, ast.Name) and base.id in self._random_aliases:
+            self._flag(
+                node, f"{base.id}.{node.attr}",
+                "use np.random.default_rng(seed) / "
+                "repro.hardware.noise.rng_for for seeded randomness",
+            )
+        # np.random.<global-state fn> ---------------------------------
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in ("np", "numpy")
+            and node.attr not in _NP_RANDOM_ALLOWED
+        ):
+            self._flag(
+                node, f"{base.value.id}.random.{node.attr}",
+                "the global numpy RNG is unseeded shared state; use "
+                "np.random.default_rng(seed) / repro.hardware.noise.rng_for",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._random_names:
+            self._flag(
+                node, f"{func.id}()",
+                "use np.random.default_rng(seed) / "
+                "repro.hardware.noise.rng_for for seeded randomness",
+            )
+        self.generic_visit(node)
+
+
+def check_determinism(tree: ast.AST, path: str) -> List[Finding]:
+    """Flag wall-clock and unseeded-randomness usage in one module."""
+    lint = DeterminismLint(path)
+    lint.visit(tree)
+    return lint.findings

@@ -1,0 +1,104 @@
+"""Finding records, suppression pragmas, and stable fingerprints.
+
+A :class:`Finding` is one diagnostic from one checker pass. Findings are
+value objects: hashable, ordered by location, and serialisable to the JSON
+shape ``tools/check.py --json`` documents.
+
+Two suppression mechanisms exist, in precedence order:
+
+* an inline pragma comment on the offending line —
+  ``# staticcheck: ignore`` silences every rule on that line and
+  ``# staticcheck: ignore[unit-suffix,unit-mix]`` silences the named rules;
+* a baseline file of fingerprints for grandfathered findings (see
+  :mod:`repro.staticcheck.baseline`).
+
+Fingerprints deliberately exclude line numbers so unrelated edits above a
+grandfathered finding do not resurrect it; they combine rule, file, and the
+offending symbol (or the message when no symbol applies).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+#: Severity levels, mildest first.
+SEVERITIES = ("note", "warning", "error")
+
+_PRAGMA_RE = re.compile(
+    r"#\s*staticcheck:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\- ]*)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, which rule, and what is wrong."""
+
+    path: str  #: repo-relative posix path
+    line: int  #: 1-based
+    col: int  #: 0-based, as reported by ``ast``
+    rule: str
+    message: str
+    symbol: str = ""  #: offending identifier, when one exists
+    severity: str = "error"
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.rule}::{self.path}::{self.symbol or self.message}"
+
+    def render(self) -> str:
+        """One-line human rendering, clickable in most terminals."""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule}: {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "symbol": self.symbol,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass(frozen=True)
+class PragmaIndex:
+    """Per-line suppression pragmas parsed from one source file.
+
+    ``lines`` maps line number -> frozenset of suppressed rule names; the
+    empty frozenset means "suppress everything on this line".
+    """
+
+    lines: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        rules = self.lines.get(line)
+        if rules is None:
+            return False
+        return not rules or rule in rules
+
+
+def parse_pragmas(source: str) -> PragmaIndex:
+    """Collect ``# staticcheck: ignore[...]`` pragmas per source line."""
+    lines: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        raw: Optional[str] = match.group("rules")
+        if raw is None:
+            lines[lineno] = frozenset()
+        else:
+            lines[lineno] = frozenset(
+                rule.strip() for rule in raw.split(",") if rule.strip()
+            )
+    return PragmaIndex(lines=lines)
+
+
+def apply_pragmas(findings: List[Finding], pragmas: PragmaIndex) -> List[Finding]:
+    """Drop findings whose line carries a matching suppression pragma."""
+    return [f for f in findings if not pragmas.suppresses(f.line, f.rule)]

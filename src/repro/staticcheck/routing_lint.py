@@ -1,0 +1,71 @@
+"""Engine-routing lint: predictions must flow through PredictionEngine.
+
+PR 1 introduced the compile-once/evaluate-many
+:class:`~repro.core.engine.PredictionEngine`; the scalar
+``ComputeTimeModels.predict_graph_us`` walk remains as the semantics
+reference. Calling the scalar path from sweep-shaped code silently forfeits
+the 30-600x amortisation *and* bypasses the engine's caches, so this rule
+flags any ``.predict_graph_us`` use outside the modules that legitimately
+own it: the engine itself (delegation target), the estimator (the
+``use_engine=False`` reference path), and tests/benchmarks (which assert
+scalar/vectorized equivalence).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.staticcheck.findings import Finding
+
+RULE_ROUTING = "engine-routing"
+
+#: The scalar-path entry points the rule polices.
+RESTRICTED_ATTRS = frozenset({"predict_graph_us"})
+
+#: Module path suffixes allowed to touch the scalar path directly.
+ROUTING_ALLOWED_SUFFIXES = (
+    "repro/core/engine.py",
+    "repro/core/estimator.py",
+    "repro/core/op_models.py",  # definition site
+)
+
+#: Path fragments marking test/benchmark code (always allowed).
+ROUTING_ALLOWED_FRAGMENTS = ("tests/", "benchmarks/", "conftest")
+
+
+def _is_allowed(path: str) -> bool:
+    if any(path.endswith(suffix) for suffix in ROUTING_ALLOWED_SUFFIXES):
+        return True
+    return any(fragment in path for fragment in ROUTING_ALLOWED_FRAGMENTS)
+
+
+class RoutingLint(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in RESTRICTED_ATTRS:
+            self.findings.append(Finding(
+                path=self.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=RULE_ROUTING,
+                message=(
+                    f"direct {node.attr!r} use outside engine/estimator/tests; "
+                    f"route predictions through PredictionEngine (or "
+                    f"CeerEstimator) so graphs compile once and caches apply"
+                ),
+                symbol=node.attr,
+            ))
+        self.generic_visit(node)
+
+
+def check_engine_routing(tree: ast.AST, path: str) -> List[Finding]:
+    """Flag scalar prediction-path usage outside its allowlisted homes."""
+    if _is_allowed(path):
+        return []
+    lint = RoutingLint(path)
+    lint.visit(tree)
+    return lint.findings

@@ -1,0 +1,165 @@
+"""Checker orchestration: walk a tree, run every pass, aggregate findings.
+
+The runner is what both ``tools/check.py`` and the test suite drive. It
+knows three things the individual passes do not:
+
+* how to turn paths into (source, AST) pairs and repo-relative names;
+* which passes run per file vs once per run (the semantic contract sweep);
+* how suppression layers stack (inline pragmas, then the baseline).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.determinism_lint import RULE_DETERMINISM, check_determinism
+from repro.staticcheck.findings import Finding, apply_pragmas, parse_pragmas
+from repro.staticcheck.graph_contract import (
+    RULE_MODELS, RULE_REGISTRY, RULE_ZOO, check_contracts,
+)
+from repro.staticcheck.routing_lint import RULE_ROUTING, check_engine_routing
+from repro.staticcheck.unit_lint import (
+    RULE_LITERAL, RULE_MIX, RULE_SUFFIX, check_unit_safety,
+)
+
+RULE_PARSE = "parse-error"
+
+#: Every rule the subsystem can emit, with a one-line description.
+ALL_RULES = {
+    RULE_SUFFIX: "time/cost identifiers must carry a unit suffix",
+    RULE_MIX: "+/-/comparison must not mix different unit suffixes",
+    RULE_LITERAL: "conversion literals must go through repro.units",
+    RULE_ROUTING: "predictions route through PredictionEngine outside core",
+    RULE_DETERMINISM: "no wall clocks / unseeded randomness",
+    RULE_REGISTRY: "op registry and feature schemas stay in lockstep",
+    RULE_ZOO: "zoo graphs validate; features match schemas",
+    RULE_MODELS: "fitted models match classification and schemas",
+    RULE_PARSE: "files must parse",
+}
+
+#: The per-file AST passes, in report order.
+AST_PASSES: Tuple[Callable[[ast.AST, str], List[Finding]], ...] = (
+    check_unit_safety,
+    check_engine_routing,
+    check_determinism,
+)
+
+
+@dataclass
+class CheckReport:
+    """Aggregated result of one checker run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    grandfathered: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    files_checked: int = 0
+    pragma_suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings)
+
+
+def check_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the AST passes over one source string (the test-fixture entry).
+
+    ``path`` is the repo-relative name used in findings and allowlists;
+    ``rules`` optionally restricts which rules may be reported.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            path=path, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            rule=RULE_PARSE, message=f"syntax error: {exc.msg}",
+        )]
+    findings: List[Finding] = []
+    for check in AST_PASSES:
+        findings.extend(check(tree, path))
+    findings = apply_pragmas(findings, parse_pragmas(source))
+    if rules is not None:
+        allowed = set(rules)
+        findings = [f for f in findings if f.rule in allowed]
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+        elif path.suffix == ".py":
+            out.append(path)
+    seen = set()
+    unique: List[Path] = []
+    for p in out:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique
+
+
+def relative_path(path: Path, root: Path) -> str:
+    """Repo-relative posix path (falls back to the absolute path)."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_checks(
+    paths: Sequence[Path],
+    root: Path,
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Sequence[str]] = None,
+    contracts: bool = True,
+) -> CheckReport:
+    """Run every enabled pass over ``paths`` and aggregate a report."""
+    report = CheckReport()
+    raw: List[Finding] = []
+    for path in iter_python_files(paths):
+        rel = relative_path(path, root)
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            raw.append(Finding(
+                path=rel, line=1, col=0, rule=RULE_PARSE,
+                message=f"cannot read file: {exc}",
+            ))
+            continue
+        report.files_checked += 1
+        before = check_source(source, rel, rules=None)
+        # check_source already applied pragmas; count what they removed for
+        # the report by re-deriving the unsuppressed total.
+        try:
+            tree = ast.parse(source, filename=rel)
+            unsuppressed = sum(len(check(tree, rel)) for check in AST_PASSES)
+            report.pragma_suppressed += unsuppressed - len(before)
+        except SyntaxError:
+            pass
+        raw.extend(before)
+    if contracts:
+        raw.extend(check_contracts())
+    if rules is not None:
+        allowed = set(rules)
+        raw = [f for f in raw if f.rule in allowed]
+    if baseline is not None:
+        new, old = baseline.split(raw)
+        report.findings = sorted(new)
+        report.grandfathered = sorted(old)
+        report.stale_baseline = baseline.stale_entries(raw)
+    else:
+        report.findings = sorted(raw)
+    return report

@@ -1,0 +1,290 @@
+"""Unit-safety lints: suffix discipline, mixed-unit arithmetic, bare literals.
+
+Three rules, all driven by the same tokenisation of ``snake_case``
+identifiers:
+
+* ``unit-suffix`` — an identifier *bound* somewhere (function name,
+  parameter, assignment target, annotated attribute) that names a time or
+  cost quantity (contains a trigger token like ``time``, ``cost``,
+  ``price``, ``overhead``, ...) must also contain a unit token (``us``,
+  ``ms``, ``s``, ``hr``, ``hours``, ``usd``, ``dollars``, ...).
+  Dimensionless derivatives (``_ratio``, ``_share``, ``_weight``,
+  ``_speedup``, ...) are exempt: a "cost ratio" has no unit to name.
+* ``unit-mix`` — ``+``/``-``/comparison between two operands whose unit
+  signatures disagree (``total_us + overhead_ms``). Multiplication and
+  division are exempt: that is how conversions and rate*duration products
+  are legitimately written.
+* ``unit-literal`` — a known conversion literal (``1e3``, ``1e6``,
+  ``3600``, ``3.6e9``, ...) multiplied into, divided into, or compared
+  against a unit-carrying expression. Conversions must go through
+  :mod:`repro.units`, whose helpers name both endpoints; the module itself
+  is exempt.
+
+The lint is a heuristic, not a type system: it reads names, not values.
+That is exactly why the naming convention matters — once every quantity
+names its unit, the AST carries enough information to catch the mixes that
+corrupt Eq. (2) silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.findings import Finding
+
+RULE_SUFFIX = "unit-suffix"
+RULE_MIX = "unit-mix"
+RULE_LITERAL = "unit-literal"
+
+#: Identifier tokens that mark a quantity as time- or cost-bearing.
+TRIGGER_TOKENS = frozenset({
+    "time", "times", "cost", "costs", "price", "prices",
+    "latency", "latencies", "duration", "durations", "overhead",
+    "overheads", "budget", "budgets", "elapsed", "runtime", "walltime",
+    "hourly",
+})
+
+#: Canonical time-unit token per accepted spelling.
+TIME_UNIT_TOKENS = {
+    "us": "us", "usec": "us", "micros": "us",
+    "ms": "ms", "msec": "ms", "millis": "ms",
+    "s": "s", "sec": "s", "secs": "s", "second": "s", "seconds": "s",
+    "hr": "hr", "hrs": "hr", "hour": "hr", "hours": "hr",
+}
+
+#: Canonical cost-unit token per accepted spelling.
+COST_UNIT_TOKENS = {
+    "usd": "usd", "dollar": "usd", "dollars": "usd", "cents": "usd",
+}
+
+#: Tokens marking a quantity as dimensionless (ratios, weights, shares...),
+#: or as a non-quantity artefact named after one (models, schemes, keys).
+DIMENSIONLESS_TOKENS = frozenset({
+    "ratio", "ratios", "share", "shares", "frac", "fraction", "fractions",
+    "pct", "percent", "weight", "weights", "factor", "factors", "scale",
+    "reduction", "speedup", "speedups", "norm", "normalized", "rel",
+    "relative", "error", "errors", "mape", "r2", "rank", "index",
+    "model", "models", "scheme", "schemes", "fn", "format", "name",
+    "names", "key", "keys", "kind", "label", "labels", "id",
+    "unit", "units", "token", "tokens", "comparison", "table", "report",
+    "summary", "term", "terms",
+})
+
+#: Conversion literals that must not appear next to unit-suffixed operands.
+CONVERSION_LITERALS = (1e3, 1e6, 3600.0, 3.6e9, 60.0, 24.0, 1e-3, 1e-6)
+
+#: Module path suffixes exempt from ``unit-literal`` (the conversion home).
+LITERAL_EXEMPT_SUFFIXES = ("repro/units.py",)
+
+
+def tokens_of(name: str) -> Tuple[str, ...]:
+    """Split a (possibly dunder/ALL_CAPS) identifier into lowercase tokens."""
+    return tuple(t for t in name.lower().split("_") if t)
+
+
+def unit_signature(name: str) -> Optional[str]:
+    """The canonical unit a name carries, or None.
+
+    Time-only names map to ``"us" | "ms" | "s" | "hr"``; cost-only names to
+    ``"usd"``; names carrying both (rates like ``usd_per_hr`` or
+    ``cost_per_us``) to ``"usd_per_<time>"``.
+    """
+    toks = tokens_of(name)
+    time_unit = next((TIME_UNIT_TOKENS[t] for t in toks if t in TIME_UNIT_TOKENS), None)
+    cost_unit = next((COST_UNIT_TOKENS[t] for t in toks if t in COST_UNIT_TOKENS), None)
+    if cost_unit and time_unit:
+        return f"{cost_unit}_per_{time_unit}"
+    return cost_unit or time_unit
+
+
+def needs_unit_suffix(name: str) -> bool:
+    """True when a bound identifier names a quantity but no unit."""
+    toks = set(tokens_of(name))
+    if not toks & TRIGGER_TOKENS:
+        return False
+    if toks & DIMENSIONLESS_TOKENS:
+        return False
+    return unit_signature(name) is None
+
+
+def _is_conversion_literal(node: ast.AST) -> bool:
+    if not (isinstance(node, ast.Constant) and isinstance(node.value, (int, float))):
+        return False
+    if isinstance(node.value, bool):
+        return False
+    return any(float(node.value) == lit for lit in CONVERSION_LITERALS)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The identifier a Name/Attribute (or call thereof) ultimately names."""
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _expr_signature(node: ast.AST) -> Optional[str]:
+    """Unit signature of an expression, from its terminal identifier.
+
+    For compound expressions (``a_us + b_us``), the signature is taken from
+    any unit-carrying Name/Attribute in the subtree if they all agree, and
+    None otherwise (disagreement is ``unit-mix``'s job, reported once at
+    the innermost node).
+    """
+    direct = _terminal_name(node)
+    if direct is not None:
+        return unit_signature(direct)
+    sigs: Set[str] = set()
+    for sub in ast.walk(node if isinstance(node, ast.AST) else ast.Expr(node)):
+        name = None
+        if isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Name):
+            name = sub.id
+        if name is not None:
+            sig = unit_signature(name)
+            if sig is not None:
+                sigs.add(sig)
+    if len(sigs) == 1:
+        return sigs.pop()
+    return None
+
+
+class UnitLint(ast.NodeVisitor):
+    """One-file AST pass implementing the three unit rules."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        self._literal_exempt = any(
+            path.endswith(suffix) for suffix in LITERAL_EXEMPT_SUFFIXES
+        )
+
+    # -- helpers -------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str, symbol: str = "") -> None:
+        self.findings.append(Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+            symbol=symbol,
+        ))
+
+    def _check_bound_name(self, name: str, node: ast.AST) -> None:
+        if needs_unit_suffix(name):
+            self._flag(
+                node, RULE_SUFFIX,
+                f"{name!r} names a time/cost quantity but carries no unit "
+                f"suffix (_us, _ms, _s, _hr, _usd, _usd_per_hr)",
+                symbol=name,
+            )
+
+    def _check_targets(self, targets: Iterable[ast.expr]) -> None:
+        for target in targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    self._check_bound_name(sub.id, sub)
+                elif isinstance(sub, ast.Attribute):
+                    self._check_bound_name(sub.attr, sub)
+
+    # -- unit-suffix bindings ------------------------------------------
+    def _visit_function(self, node: ast.AST, args: ast.arguments, name: str) -> None:
+        self._check_bound_name(name, node)
+        all_args: Sequence[ast.arg] = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        for arg in all_args:
+            if arg.arg in ("self", "cls"):
+                continue
+            self._check_bound_name(arg.arg, arg)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.args, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.args, node.name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_targets(node.targets)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_targets([node.target])
+        self.generic_visit(node)
+
+    # -- unit-mix and unit-literal -------------------------------------
+    def _check_pair(self, node: ast.AST, left: ast.expr, right: ast.expr,
+                    multiplicative: bool) -> None:
+        if not multiplicative:
+            left_sig = _expr_signature(left)
+            right_sig = _expr_signature(right)
+            if left_sig and right_sig and left_sig != right_sig:
+                self._flag(
+                    node, RULE_MIX,
+                    f"arithmetic mixes units {left_sig!r} and {right_sig!r}; "
+                    f"convert via repro.units first",
+                    symbol=f"{left_sig}|{right_sig}",
+                )
+        if self._literal_exempt:
+            return
+        for literal, other in ((left, right), (right, left)):
+            if _is_conversion_literal(literal) and _expr_signature(other) is not None:
+                value = literal.value  # type: ignore[attr-defined]
+                self._flag(
+                    node, RULE_LITERAL,
+                    f"bare conversion literal {value!r} applied to a "
+                    f"unit-carrying quantity; use a repro.units helper/constant",
+                    symbol=str(value),
+                )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_pair(node, node.left, node.right, multiplicative=False)
+        elif isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)):
+            self._check_pair(node, node.left, node.right, multiplicative=True)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for left, right in zip(operands, operands[1:]):
+            left_sig = _expr_signature(left)
+            right_sig = _expr_signature(right)
+            if left_sig and right_sig and left_sig != right_sig:
+                self._flag(
+                    node, RULE_MIX,
+                    f"comparison mixes units {left_sig!r} and {right_sig!r}; "
+                    f"convert via repro.units first",
+                    symbol=f"{left_sig}|{right_sig}",
+                )
+            if not self._literal_exempt:
+                for literal, other in ((left, right), (right, left)):
+                    if _is_conversion_literal(literal) and _expr_signature(other):
+                        value = literal.value  # type: ignore[attr-defined]
+                        self._flag(
+                            node, RULE_LITERAL,
+                            f"bare conversion literal {value!r} compared against "
+                            f"a unit-carrying quantity; use a repro.units constant",
+                            symbol=str(value),
+                        )
+        self.generic_visit(node)
+
+
+def check_unit_safety(tree: ast.AST, path: str) -> List[Finding]:
+    """Run the three unit rules over one parsed module."""
+    lint = UnitLint(path)
+    lint.visit(tree)
+    return lint.findings

@@ -1,0 +1,81 @@
+"""Canonical time/cost units and the only sanctioned conversions between them.
+
+Ceer's estimator pipeline (Eq. (2)) chains quantities measured in
+microseconds (per-op compute times), hours (training durations), USD/hr
+(instance rental rates), and USD (training budgets). A silent unit slip in
+any link corrupts every downstream prediction, so the repo enforces two
+conventions, checked statically by :mod:`repro.staticcheck`:
+
+* every identifier carrying a time or cost quantity names its unit with a
+  suffix (``_us``, ``_ms``, ``_s``, ``_hr``, ``_usd``, ``_usd_per_hr``);
+* bare conversion literals (``1e6``, ``3600``, ``3.6e9``, ...) never appear
+  next to unit-suffixed quantities outside this module — conversions go
+  through the helpers below, whose names state both endpoints.
+
+The constants are exact (an hour is exactly 3.6e9 microseconds); helpers
+are trivial on purpose. What they buy is *greppability* and a single
+choke-point the unit-literal lint can whitelist.
+"""
+
+from __future__ import annotations
+
+#: Microseconds per millisecond.
+US_PER_MS: float = 1e3
+#: Microseconds per second.
+US_PER_S: float = 1e6
+#: Milliseconds per second.
+MS_PER_S: float = 1e3
+#: Seconds per hour.
+S_PER_HR: float = 3600.0
+#: Microseconds per hour (1e6 * 3600).
+US_PER_HR: float = 3.6e9
+
+
+def us_to_ms(t_us: float) -> float:
+    """Microseconds -> milliseconds."""
+    return t_us / US_PER_MS
+
+
+def ms_to_us(t_ms: float) -> float:
+    """Milliseconds -> microseconds."""
+    return t_ms * US_PER_MS
+
+
+def us_to_s(t_us: float) -> float:
+    """Microseconds -> seconds."""
+    return t_us / US_PER_S
+
+
+def s_to_us(t_s: float) -> float:
+    """Seconds -> microseconds."""
+    return t_s * US_PER_S
+
+
+def s_to_hr(t_s: float) -> float:
+    """Seconds -> hours."""
+    return t_s / S_PER_HR
+
+
+def hr_to_s(t_hr: float) -> float:
+    """Hours -> seconds."""
+    return t_hr * S_PER_HR
+
+
+def us_to_hr(t_us: float) -> float:
+    """Microseconds -> hours (the Eq. (2) denominator conversion)."""
+    return t_us / US_PER_HR
+
+
+def hr_to_us(t_hr: float) -> float:
+    """Hours -> microseconds."""
+    return t_hr * US_PER_HR
+
+
+def usd_per_hr_to_usd(rate_usd_per_hr: float, duration_hr: float) -> float:
+    """Rental rate x duration -> total cost (the paper's C = T * c_GPU,k)."""
+    return rate_usd_per_hr * duration_hr
+
+
+def usd_per_hr_to_usd_per_us(rate_usd_per_hr: float) -> float:
+    """Rental rate per hour -> rate per microsecond (Fig. 3 normalisation)."""
+    return rate_usd_per_hr / US_PER_HR

@@ -27,7 +27,7 @@ class TestCatalog:
         assert len(AWS_INSTANCES) == len(expected)
         for name, (gpu, k, price) in expected.items():
             inst = instance_by_name(name)
-            assert (inst.gpu_key, inst.num_gpus, inst.hourly_cost) == (gpu, k, price)
+            assert (inst.gpu_key, inst.num_gpus, inst.usd_per_hr) == (gpu, k, price)
 
     def test_unknown_name_raises(self):
         with pytest.raises(CatalogError):
@@ -48,19 +48,19 @@ class TestProxyRule:
         """Section V: a 3-GPU P2 uses p2.8xlarge at 3/8 of its price."""
         inst = instance_for("K80", 3)
         assert inst.proxy_of == "p2.8xlarge"
-        assert inst.hourly_cost == pytest.approx(7.20 * 3 / 8)
+        assert inst.usd_per_hr == pytest.approx(7.20 * 3 / 8)
         assert inst.num_gpus == 3
         assert "3/8" in inst.name
 
     def test_3gpu_g3_proxy_price(self):
         """The Fig. 9 discussion prices the 3-GPU G3 at $3.42/hr."""
         inst = instance_for("M60", 3)
-        assert inst.hourly_cost == pytest.approx(3.42)
+        assert inst.usd_per_hr == pytest.approx(3.42)
 
     def test_4gpu_p2_uses_8gpu_host(self):
         inst = instance_for("K80", 4)
         assert inst.proxy_of == "p2.8xlarge"
-        assert inst.hourly_cost == pytest.approx(3.60)
+        assert inst.usd_per_hr == pytest.approx(3.60)
 
     def test_family_name_accepted(self):
         assert instance_for("P3", 1).gpu_key == "V100"

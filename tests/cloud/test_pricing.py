@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cloud.pricing import (
-    MARKET_HOURLY_PER_GPU,
+    MARKET_USD_PER_HR_BY_GPU,
     MARKET_RATIO,
     ON_DEMAND,
     MarketRatioPricing,
@@ -14,23 +14,23 @@ from repro.errors import CatalogError
 class TestOnDemand:
     def test_delegates_to_catalog(self):
         inst = ON_DEMAND.instance("V100", 1)
-        assert inst.name == "p3.2xlarge" and inst.hourly_cost == 3.06
+        assert inst.name == "p3.2xlarge" and inst.usd_per_hr == 3.06
 
     def test_proxy_passthrough(self):
-        assert ON_DEMAND.instance("K80", 3).hourly_cost == pytest.approx(2.70)
+        assert ON_DEMAND.instance("K80", 3).usd_per_hr == pytest.approx(2.70)
 
 
 class TestMarketRatio:
     def test_paper_market_prices(self):
         """Section V: $3.06 / $0.95 / $0.55 / $0.15 per GPU-hour."""
-        assert MARKET_HOURLY_PER_GPU == {
+        assert MARKET_USD_PER_HR_BY_GPU == {
             "V100": 3.06, "T4": 0.95, "M60": 0.55, "K80": 0.15,
         }
 
     def test_linear_scaling_with_gpu_count(self):
         for k in (1, 2, 3, 4):
             inst = MARKET_RATIO.instance("K80", k)
-            assert inst.hourly_cost == pytest.approx(0.15 * k)
+            assert inst.usd_per_hr == pytest.approx(0.15 * k)
             assert inst.num_gpus == k
 
     def test_market_instance_names_tagged(self):
@@ -39,8 +39,8 @@ class TestMarketRatio:
     def test_p2_much_cheaper_than_aws(self):
         """The scenario's point: AWS overprices old GPUs relative to the
         market (P2 at $0.90 vs $0.15)."""
-        aws = ON_DEMAND.instance("K80", 1).hourly_cost
-        market = MARKET_RATIO.instance("K80", 1).hourly_cost
+        aws = ON_DEMAND.instance("K80", 1).usd_per_hr
+        market = MARKET_RATIO.instance("K80", 1).usd_per_hr
         assert market < aws / 5
 
     def test_family_alias(self):
@@ -51,7 +51,7 @@ class TestMarketRatio:
             MARKET_RATIO.instance("T4", 0)
 
     def test_custom_prices(self):
-        custom = MarketRatioPricing(hourly_per_gpu={"V100": 1.0})
-        assert custom.instance("V100", 3).hourly_cost == 3.0
+        custom = MarketRatioPricing(usd_per_hr_by_gpu={"V100": 1.0})
+        assert custom.instance("V100", 3).usd_per_hr == 3.0
         with pytest.raises(CatalogError):
             custom.instance("T4", 1)

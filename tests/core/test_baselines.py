@@ -88,14 +88,14 @@ class TestStrategies:
         assert latest_gpu_strategy().gpu_key == "V100"
 
     def test_latest_gpu_with_budget_picks_largest_affordable(self):
-        inst = latest_gpu_strategy(budget_per_hour=13.0)
+        inst = latest_gpu_strategy(budget_usd_per_hr=13.0)
         assert inst.num_gpus == 4  # p3.8xlarge at $12.24
-        inst_small = latest_gpu_strategy(budget_per_hour=3.10)
+        inst_small = latest_gpu_strategy(budget_usd_per_hr=3.10)
         assert inst_small.num_gpus == 1
 
     def test_latest_gpu_budget_unsatisfiable(self):
         with pytest.raises(ModelingError):
-            latest_gpu_strategy(budget_per_hour=1.0)
+            latest_gpu_strategy(budget_usd_per_hr=1.0)
 
     def test_strategy_cost_comparison(self, ceer_small):
         base = ceer_small.predict_training("inception_v1", "T4", 1, JOB)

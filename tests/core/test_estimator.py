@@ -17,7 +17,7 @@ class TestPrediction:
         )
         assert p.iterations == JOB.iterations(2)
         assert p.total_us == pytest.approx(p.per_iteration_us * p.iterations)
-        assert p.cost_dollars == pytest.approx(p.total_hours * p.hourly_cost)
+        assert p.cost_dollars == pytest.approx(p.total_hours * p.usd_per_hr)
 
     def test_accuracy_on_held_out_model(self, ceer_small):
         """The headline claim: <~10% per-iteration error on unseen CNNs
@@ -44,7 +44,7 @@ class TestPrediction:
         p = ceer_small.predict_training(
             "alexnet", "K80", 1, JOB, instance=market
         )
-        assert p.hourly_cost == pytest.approx(0.15)
+        assert p.usd_per_hr == pytest.approx(0.15)
 
     def test_pricing_scheme_argument(self, ceer_small):
         aws = ceer_small.predict_training("alexnet", "K80", 1, JOB)

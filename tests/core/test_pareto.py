@@ -18,7 +18,7 @@ def _prediction(name, time_us, cost):
     hourly = cost / (time_us / 3.6e9)
     return TrainingPrediction(
         model="m", gpu_key="V100", num_gpus=1, instance_name=name,
-        hourly_cost=hourly, compute_us_per_iteration=per_iter,
+        usd_per_hr=hourly, compute_us_per_iteration=per_iter,
         comm_overhead_us=0.0, iterations=iterations,
     )
 

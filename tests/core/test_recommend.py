@@ -47,10 +47,10 @@ class TestObjectives:
 
     def test_hourly_budget_feasibility(self, recommender):
         rec = recommender.recommend(
-            "inception_v1", JOB, HourlyBudget(budget_per_hour=3.0, slack_dollars=0.42)
+            "inception_v1", JOB, HourlyBudget(budget_usd_per_hr=3.0, slack_usd_per_hr=0.42)
         )
-        assert rec.best.hourly_cost <= 3.42
-        assert all(p.hourly_cost > 3.42 for p in rec.infeasible)
+        assert rec.best.usd_per_hr <= 3.42
+        assert all(p.usd_per_hr > 3.42 for p in rec.infeasible)
 
     def test_hourly_budget_unsatisfiable(self, recommender):
         with pytest.raises(RecommendationError):

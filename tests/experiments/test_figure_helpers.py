@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.cloud.catalog import instance_for
-from repro.experiments.fig9_hourly_budget import budget_configs
+from repro.experiments.fig9_hourly_budget import affordable_configs
 
 
 class TestBudgetConfigs:
@@ -13,8 +13,8 @@ class TestBudgetConfigs:
         """$3/hr with the paper's 42-cent slack selects exactly the
         configurations Section V enumerates."""
         configs = {
-            (i.gpu_key, i.num_gpus, round(i.hourly_cost, 3))
-            for i in budget_configs()
+            (i.gpu_key, i.num_gpus, round(i.usd_per_hr, 3))
+            for i in affordable_configs()
         }
         assert configs == {
             ("V100", 1, 3.06),
@@ -26,19 +26,19 @@ class TestBudgetConfigs:
     def test_no_slack_drops_p3_and_g3(self):
         """Without the slack, neither the $3.06 P3 nor the $3.42 3-GPU G3
         fits — the accommodation the paper spells out."""
-        keys = {i.gpu_key for i in budget_configs(slack=0.0)}
+        keys = {i.gpu_key for i in affordable_configs(slack_usd_per_hr=0.0)}
         assert "V100" not in keys
-        configs = {(i.gpu_key, i.num_gpus) for i in budget_configs(slack=0.0)}
+        configs = {(i.gpu_key, i.num_gpus) for i in affordable_configs(slack_usd_per_hr=0.0)}
         assert ("M60", 2) in configs  # largest affordable G3 shrinks to 2
 
     def test_bigger_budget_bigger_instances(self):
-        big = {(i.gpu_key, i.num_gpus) for i in budget_configs(budget=13.0)}
+        big = {(i.gpu_key, i.num_gpus) for i in affordable_configs(budget_usd_per_hr=13.0)}
         assert ("V100", 4) in big
 
     @given(st.floats(1.0, 20.0))
     def test_every_selected_config_fits(self, budget):
-        for instance in budget_configs(budget=budget, slack=0.0):
-            assert instance.hourly_cost <= budget
+        for instance in affordable_configs(budget_usd_per_hr=budget, slack_usd_per_hr=0.0):
+            assert instance.usd_per_hr <= budget
 
 
 class TestProxyPricingProperties:
@@ -46,8 +46,8 @@ class TestProxyPricingProperties:
     def test_proxy_per_gpu_rate_matches_host(self, gpu, k):
         """Prorated proxies charge exactly the host's per-GPU rate: a
         2-GPU and a 3-GPU slice of the same host cost the same per GPU."""
-        base = instance_for(gpu, 2).hourly_cost / 2
-        rate = instance_for(gpu, k).hourly_cost / k
+        base = instance_for(gpu, 2).usd_per_hr / 2
+        rate = instance_for(gpu, k).usd_per_hr / k
         assert rate == pytest.approx(base)
 
     @given(st.sampled_from(["V100", "K80", "T4", "M60"]), st.integers(1, 4))

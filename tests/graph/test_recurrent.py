@@ -42,14 +42,14 @@ class TestPrimitives:
     def test_time_slice(self):
         b = _builder()
         x = b.embedding(b.sequence_input(), 16)
-        y = b.time_slice(x, 3)
+        y = b.timestep_slice(x, 3)
         assert y.shape.dims == (4, 16)
 
     def test_time_slice_bounds(self):
         b = _builder()
         x = b.embedding(b.sequence_input(), 16)
         with pytest.raises(ShapeError):
-            b.time_slice(x, 8)
+            b.timestep_slice(x, 8)
 
     def test_concat_features_rank2(self):
         b = _builder()
@@ -70,7 +70,7 @@ class TestPrimitives:
         b = _builder()
         b.sequence_input()
         steps = [b.zero_state(8) for _ in range(5)]
-        y = b.stack_time(steps)
+        y = b.stack_timesteps(steps)
         assert y.shape.dims == (4, 5, 8)
 
     def test_standalone_activation(self):
@@ -93,7 +93,7 @@ class TestLstm:
     def test_cell_shapes(self):
         b = _builder()
         x = b.embedding(b.sequence_input(), 16)
-        x_t = b.time_slice(x, 0)
+        x_t = b.timestep_slice(x, 0)
         h, c = b.lstm_cell(x_t, b.zero_state(8), b.zero_state(8), 8, "cell")
         assert h.shape.dims == (4, 8)
         assert c.shape.dims == (4, 8)

@@ -15,7 +15,7 @@ from repro.hardware.kernel_model import (
     gpu_base_time_us,
     host_base_time_us,
     instance_factor,
-    sample_op_times,
+    sample_op_times_us,
     utilization,
 )
 from repro.graph.ops import OpCategory
@@ -130,24 +130,24 @@ class TestInstanceFactor:
 
 class TestSampling:
     def test_deterministic_given_context(self):
-        a = sample_op_times(_relu(), "V100", 100, "ctx")
-        b = sample_op_times(_relu(), "V100", 100, "ctx")
+        a = sample_op_times_us(_relu(), "V100", 100, "ctx")
+        b = sample_op_times_us(_relu(), "V100", 100, "ctx")
         np.testing.assert_array_equal(a, b)
 
     def test_context_changes_samples(self):
-        a = sample_op_times(_relu(), "V100", 100, "a")
-        b = sample_op_times(_relu(), "V100", 100, "b")
+        a = sample_op_times_us(_relu(), "V100", 100, "a")
+        b = sample_op_times_us(_relu(), "V100", 100, "b")
         assert not np.array_equal(a, b)
 
     def test_samples_positive(self):
-        assert (sample_op_times(_relu(), "K80", 1000) > 0).all()
+        assert (sample_op_times_us(_relu(), "K80", 1000) > 0).all()
 
     def test_heavy_op_low_relative_spread(self):
-        samples = sample_op_times(_conv(hw=64, ic=64, oc=64), "K80", 2000)
+        samples = sample_op_times_us(_conv(hw=64, ic=64, oc=64), "K80", 2000)
         assert samples.std() / samples.mean() < 0.1
 
     def test_host_op_high_relative_spread(self):
-        samples = sample_op_times(_host_op(), "K80", 2000)
+        samples = sample_op_times_us(_host_op(), "K80", 2000)
         assert samples.std() / samples.mean() > 0.3
 
 

@@ -11,7 +11,7 @@ from repro.hardware.noise import (
     mean_and_percentiles,
     noise_sigma,
     rng_for,
-    sample_lognormal_times,
+    sample_lognormal_times_us,
 )
 
 
@@ -47,28 +47,28 @@ class TestRng:
 
 class TestSampling:
     def test_median_tracks_base(self):
-        samples = sample_lognormal_times(1000.0, 0.05, 20_000, rng_for("t"))
+        samples = sample_lognormal_times_us(1000.0, 0.05, 20_000, rng_for("t"))
         assert abs(np.median(samples) - 1000.0) / 1000.0 < 0.02
 
     def test_requires_positive_n(self):
         with pytest.raises(ValueError):
-            sample_lognormal_times(10.0, 0.1, 0, rng_for("t"))
+            sample_lognormal_times_us(10.0, 0.1, 0, rng_for("t"))
 
     def test_jitter_floor_keeps_zero_base_positive(self):
-        samples = sample_lognormal_times(0.0, 0.1, 100, rng_for("t"))
+        samples = sample_lognormal_times_us(0.0, 0.1, 100, rng_for("t"))
         assert (samples >= 0).all() and samples.max() <= 0.2
 
     def test_analytic_moments_match_empirical(self):
         base, sigma = 500.0, 0.2
         mean, std = mean_and_percentiles(base, sigma)
-        samples = sample_lognormal_times(base, sigma, 200_000, rng_for("m"))
+        samples = sample_lognormal_times_us(base, sigma, 200_000, rng_for("m"))
         assert abs(samples.mean() - mean) / mean < 0.01
         assert abs(samples.std() - std) / std < 0.05
 
     @settings(max_examples=20)
     @given(st.floats(1.0, 1e6), st.floats(0.01, 0.5))
     def test_normalized_std_close_to_sigma(self, base, sigma):
-        samples = sample_lognormal_times(base, sigma, 5000, rng_for(base, sigma))
+        samples = sample_lognormal_times_us(base, sigma, 5000, rng_for(base, sigma))
         observed = samples.std() / samples.mean()
         # For small sigma, lognormal nstd ~= sigma (plus the tiny jitter).
         assert observed < sigma + 0.25

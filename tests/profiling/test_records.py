@@ -60,11 +60,11 @@ class TestQueries:
         assert len(ProfileDataset.concat([dataset, dataset, dataset])) == 12
 
     def test_mean_time_by_op_type(self, dataset):
-        means = dataset.mean_time_by_op_type()
+        means = dataset.mean_us_by_op_type()
         assert means["Relu"] == pytest.approx(30.0)  # (10 + 50) / 2
 
     def test_total_time_by_op_type(self, dataset):
-        totals = dataset.total_time_by_op_type()
+        totals = dataset.total_us_by_op_type()
         assert totals["Relu"] == pytest.approx(60.0)
 
     def test_normalized_std(self):

@@ -10,7 +10,7 @@ class TestTrainingMeasurement:
     def _measurement(self, **overrides):
         defaults = dict(
             model="m", gpu_key="V100", num_gpus=2, instance_name="i",
-            hourly_cost=3.6, batch_size=32,
+            usd_per_hr=3.6, batch_size=32,
             compute_us_per_iteration=900.0, comm_overhead_us=100.0,
             iterations=3_600_000.0,
         )

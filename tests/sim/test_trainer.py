@@ -24,7 +24,7 @@ class TestMeasureTraining:
 
     def test_cost_accounting(self, tiny_graph):
         m = measure_training(tiny_graph, "V100", 1, JOB, n_profile_iterations=20)
-        assert m.hourly_cost == 3.06
+        assert m.usd_per_hr == 3.06
         assert m.cost_dollars == pytest.approx(m.total_hours * 3.06)
 
     def test_multi_gpu_fewer_iterations_more_comm(self, tiny_graph):

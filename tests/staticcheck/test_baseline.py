@@ -1,0 +1,62 @@
+"""Baseline files: load/write round-trip, grandfathering, staleness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.staticcheck import Finding, load_baseline, write_baseline
+from repro.staticcheck.baseline import BaselineError
+
+
+def finding(rule="unit-suffix", path="src/repro/x.py", symbol="train_time",
+            line=3):
+    return Finding(path=path, line=line, col=0, rule=rule,
+                   message=f"{symbol} lacks a unit suffix", symbol=symbol)
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = load_baseline(tmp_path / "absent.json")
+    assert baseline.fingerprints == frozenset()
+    new, old = baseline.split([finding()])
+    assert len(new) == 1 and old == []
+
+
+def test_write_then_load_round_trips(tmp_path):
+    path = tmp_path / "baseline.json"
+    f = finding()
+    write_baseline(path, [f])
+    baseline = load_baseline(path)
+    assert f.fingerprint in baseline.fingerprints
+    new, old = baseline.split([f])
+    assert new == [] and old == [f]
+
+
+def test_fingerprint_ignores_line_numbers(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [finding(line=3)])
+    baseline = load_baseline(path)
+    moved = finding(line=300)  # same defect, edited file above it
+    new, old = baseline.split([moved])
+    assert new == [] and old == [moved]
+
+
+def test_stale_entries_are_reported(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [finding(symbol="paid_down")])
+    baseline = load_baseline(path)
+    assert baseline.stale_entries([]) == [finding(symbol="paid_down").fingerprint]
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("not json")
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+    path.write_text(json.dumps({"fingerprints": "oops"}))
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+    path.write_text(json.dumps({"fingerprints": [1, 2]}))
+    with pytest.raises(BaselineError):
+        load_baseline(path)

@@ -1,0 +1,152 @@
+"""tools/check.py: exit codes, text/JSON output, baseline workflow."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DIRTY = (
+    "import random\n"
+    "train_time = random.random()\n"
+    "ms = total_us / 1e3\n"
+)
+CLEAN = (
+    "from repro.units import us_to_ms\n"
+    "total_us = 5.0\n"
+    "total_ms = us_to_ms(total_us)\n"
+)
+
+
+@pytest.fixture(scope="module")
+def check():
+    spec = importlib.util.spec_from_file_location(
+        "repro_check_cli", REPO_ROOT / "tools" / "check.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run(check, capsys, *argv):
+    code = check.main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_clean_file_exits_zero(check, capsys, tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    code, out, _ = run(check, capsys, str(target), "--no-contract")
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_dirty_file_exits_one_and_reports_each_rule(check, capsys, tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    code, out, _ = run(check, capsys, str(target), "--no-contract")
+    assert code == 1
+    for rule in ("unit-suffix", "unit-literal", "determinism"):
+        assert rule in out, rule
+
+
+def test_json_output_matches_documented_schema(check, capsys, tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    code, out, _ = run(check, capsys, str(target), "--no-contract", "--json")
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["version"] == 1
+    assert payload["tool"] == "repro.staticcheck"
+    assert payload["ok"] is False
+    assert payload["exit_code"] == 1
+    assert payload["files_checked"] == 1
+    assert set(payload["suppressed"]) == {"pragma", "baseline"}
+    assert isinstance(payload["stale_baseline"], list)
+    assert payload["findings"], "dirty fixture must yield findings"
+    for f in payload["findings"]:
+        assert set(f) == {"path", "line", "col", "rule", "message", "symbol",
+                          "severity", "fingerprint"}
+
+
+def test_rules_flag_restricts_reporting(check, capsys, tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    code, out, _ = run(check, capsys, str(target), "--no-contract",
+                       "--json", "--rules", "determinism")
+    payload = json.loads(out)
+    assert code == 1
+    assert {f["rule"] for f in payload["findings"]} == {"determinism"}
+
+
+def test_unknown_rule_is_usage_error(check, capsys, tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    code, _, err = run(check, capsys, str(target), "--rules", "no-such-rule")
+    assert code == 2
+    assert "unknown rules" in err
+
+
+def test_missing_path_is_usage_error(check, capsys):
+    code, _, err = run(check, capsys, "no/such/path.py")
+    assert code == 2
+    assert "no such path" in err
+
+
+def test_list_rules_catalogue(check, capsys):
+    code, out, _ = run(check, capsys, "--list-rules")
+    assert code == 0
+    for rule in ("unit-suffix", "unit-mix", "unit-literal", "engine-routing",
+                 "determinism", "registry-contract", "zoo-contract"):
+        assert rule in out, rule
+
+
+def test_write_baseline_then_clean_run(check, capsys, tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    baseline = tmp_path / "baseline.json"
+
+    code, out, _ = run(check, capsys, str(target), "--no-contract",
+                       "--baseline", str(baseline), "--write-baseline")
+    assert code == 0
+    assert baseline.exists()
+
+    # grandfathered findings no longer fail the run
+    code, out, _ = run(check, capsys, str(target), "--no-contract",
+                       "--baseline", str(baseline))
+    assert code == 0
+    assert "grandfathered" in out
+
+    # ...but a NEW finding still does
+    target.write_text(DIRTY + "stamp = datetime.now()\n")
+    code, out, _ = run(check, capsys, str(target), "--no-contract",
+                       "--baseline", str(baseline))
+    assert code == 1
+    assert "datetime.now" in out
+
+
+def test_fixed_findings_surface_as_stale_baseline(check, capsys, tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    baseline = tmp_path / "baseline.json"
+    run(check, capsys, str(target), "--no-contract",
+        "--baseline", str(baseline), "--write-baseline")
+
+    target.write_text(CLEAN)  # debt paid down
+    code, _, err = run(check, capsys, str(target), "--no-contract",
+                       "--baseline", str(baseline))
+    assert code == 0
+    assert "stale baseline" in err
+
+
+def test_repo_baseline_file_is_valid_and_loadable(check):
+    baseline_path = REPO_ROOT / "tools" / "check_baseline.json"
+    assert baseline_path.exists()
+    payload = json.loads(baseline_path.read_text())
+    assert payload["version"] == 1
+    assert isinstance(payload["fingerprints"], list)

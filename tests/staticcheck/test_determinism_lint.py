@@ -1,0 +1,57 @@
+"""Determinism lint: wall clocks and unseeded randomness are flagged."""
+
+from __future__ import annotations
+
+from repro.staticcheck import check_source
+from repro.staticcheck.determinism_lint import RULE_DETERMINISM
+
+PATH = "src/repro/fixture.py"
+
+
+def rules_of(source: str):
+    return [f.rule for f in check_source(source, PATH)]
+
+
+def test_wall_clocks_are_flagged():
+    for call in ("time.time()", "time.perf_counter()", "time.monotonic()",
+                 "time.process_time()", "time.time_ns()"):
+        assert rules_of(f"import time\nt = {call}\n") == [RULE_DETERMINISM], call
+
+
+def test_datetime_now_is_flagged():
+    assert rules_of("stamp = datetime.now()\n") == [RULE_DETERMINISM]
+    assert rules_of("stamp = date.today()\n") == [RULE_DETERMINISM]
+
+
+def test_stdlib_random_module_is_flagged():
+    assert rules_of("import random\nx = random.random()\n") == [RULE_DETERMINISM]
+    assert rules_of("import random as rnd\nx = rnd.gauss(0, 1)\n") == [RULE_DETERMINISM]
+
+
+def test_from_random_import_is_flagged_at_import_and_call():
+    src = "from random import seed\nseed(0)\n"
+    assert rules_of(src) == [RULE_DETERMINISM, RULE_DETERMINISM]
+
+
+def test_numpy_global_rng_is_flagged():
+    assert rules_of("x = np.random.rand(3)\n") == [RULE_DETERMINISM]
+    assert rules_of("np.random.seed(0)\n") == [RULE_DETERMINISM]
+
+
+def test_seeded_generator_api_is_allowed():
+    src = (
+        "rng = np.random.default_rng(1234)\n"
+        "gen = np.random.Generator(np.random.PCG64(7))\n"
+        "x = rng.normal(size=3)\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_unrelated_time_attributes_are_allowed():
+    # an object that happens to be named `time` with a non-clock attribute
+    assert rules_of("x = time.struct_time\n") == []
+
+
+def test_pragma_suppresses():
+    src = "t = time.time()  # staticcheck: ignore[determinism]\n"
+    assert rules_of(src) == []

@@ -1,0 +1,58 @@
+"""Semantic contract checks: the live registry/zoo/models must be clean,
+and deliberately broken contracts must be detected."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.graph.ops import OP_REGISTRY
+from repro.models.zoo import model_names
+from repro.staticcheck import (
+    check_contracts,
+    check_fitted_models,
+    check_registry,
+    check_zoo,
+)
+from repro.staticcheck.graph_contract import RULE_REGISTRY, RULE_ZOO
+
+
+class TestCleanTree:
+    def test_registry_contract_holds(self):
+        assert check_registry() == []
+
+    def test_every_zoo_model_passes(self):
+        findings = check_zoo()
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_full_sweep_is_clean(self):
+        assert check_contracts() == []
+
+    def test_zoo_sweep_covers_all_models(self):
+        # the sweep must not silently skip zoo entries
+        assert len(model_names()) >= 12
+
+
+class TestBrokenContractsAreDetected:
+    def test_inconsistent_placement_is_flagged(self, monkeypatch):
+        from repro.graph.ops import Device
+
+        # a compute-category op claiming to execute on the CPU violates the
+        # HOST-category <-> CPU-device invariant
+        donor = OP_REGISTRY["Conv2D"]
+        rogue = dataclasses.replace(donor, name="RogueOp", device=Device.CPU)
+        monkeypatch.setitem(OP_REGISTRY, "RogueOp", rogue)
+        findings = check_registry()
+        assert any(
+            f.rule == RULE_REGISTRY and f.symbol == "RogueOp" for f in findings
+        )
+
+    def test_unknown_zoo_model_is_flagged(self):
+        findings = check_zoo(models=["no_such_model"])
+        assert [f.rule for f in findings] == [RULE_ZOO]
+        assert "no_such_model" in findings[0].message
+
+
+class TestFittedModels:
+    def test_fitted_models_contract_holds(self, ceer_small):
+        findings = check_fitted_models(ceer_small.compute_models)
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,37 @@
+"""Engine-routing lint: scalar predict_graph_us stays inside the core."""
+
+from __future__ import annotations
+
+from repro.staticcheck import check_source
+from repro.staticcheck.routing_lint import RULE_ROUTING
+
+CALL = "t = models.predict_graph_us(graph, 'V100')\n"
+
+
+def rules_of(source: str, path: str):
+    return [f.rule for f in check_source(source, path)]
+
+
+def test_call_outside_core_is_flagged():
+    assert rules_of(CALL, "src/repro/experiments/fig9.py") == [RULE_ROUTING]
+
+
+def test_bare_reference_is_flagged_too():
+    src = "fn = models.predict_graph_us\n"
+    assert rules_of(src, "src/repro/analysis/reporting.py") == [RULE_ROUTING]
+
+
+def test_engine_and_estimator_are_allowed():
+    assert rules_of(CALL, "src/repro/core/engine.py") == []
+    assert rules_of(CALL, "src/repro/core/estimator.py") == []
+    assert rules_of(CALL, "src/repro/core/op_models.py") == []
+
+
+def test_tests_and_benchmarks_are_allowed():
+    assert rules_of(CALL, "tests/core/test_engine.py") == []
+    assert rules_of(CALL, "benchmarks/bench_predict.py") == []
+
+
+def test_pragma_suppresses():
+    src = "t = m.predict_graph_us(g, k)  # staticcheck: ignore[engine-routing]\n"
+    assert rules_of(src, "src/repro/experiments/fig9.py") == []

@@ -1,0 +1,36 @@
+"""The repository passes its own static analysis (modulo the baseline).
+
+This is the dogfood gate: the tree that ships the checker must be clean
+under it. If this test fails, either fix the finding or — for pre-existing
+debt a new rule uncovers — regenerate tools/check_baseline.json.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.staticcheck import load_baseline, run_checks
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "tools" / "check_baseline.json"
+
+
+def test_src_repro_is_clean_under_own_checker():
+    baseline = load_baseline(BASELINE)
+    report = run_checks([SRC], REPO_ROOT, baseline=baseline)
+    assert report.ok, "\n".join(f.render() for f in report.sorted_findings())
+    assert report.files_checked > 80
+
+
+def test_baseline_has_no_stale_entries():
+    baseline = load_baseline(BASELINE)
+    report = run_checks([SRC], REPO_ROOT, baseline=baseline)
+    assert report.stale_baseline == []
+
+
+def test_staticcheck_package_is_itself_clean():
+    report = run_checks(
+        [SRC / "staticcheck", SRC / "units.py"], REPO_ROOT, contracts=False
+    )
+    assert report.ok, "\n".join(f.render() for f in report.sorted_findings())

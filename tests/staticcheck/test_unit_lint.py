@@ -1,0 +1,134 @@
+"""Unit-safety lint: fixtures that must trip (and must not trip) each rule."""
+
+from __future__ import annotations
+
+from repro.staticcheck import check_source
+from repro.staticcheck.unit_lint import (
+    RULE_LITERAL,
+    RULE_MIX,
+    RULE_SUFFIX,
+    needs_unit_suffix,
+    unit_signature,
+)
+
+
+def rules_of(source: str, path: str = "src/repro/fixture.py"):
+    return [f.rule for f in check_source(source, path)]
+
+
+class TestUnitSignature:
+    def test_time_units_canonicalise(self):
+        assert unit_signature("total_us") == "us"
+        assert unit_signature("per_iteration_ms") == "ms"
+        assert unit_signature("elapsed_seconds") == "s"
+        assert unit_signature("total_hours") == "hr"
+
+    def test_cost_units(self):
+        assert unit_signature("cost_dollars") == "usd"
+        assert unit_signature("observed_usd") == "usd"
+
+    def test_rates_combine_cost_and_time(self):
+        assert unit_signature("usd_per_hr") == "usd_per_hr"
+        assert unit_signature("dollars_per_hour") == "usd_per_hr"
+        # "cost" is a trigger token, not a unit: only the time unit survives
+        assert unit_signature("cost_per_us") == "us"
+
+    def test_unitless_names_have_no_signature(self):
+        assert unit_signature("batch_size") is None
+        assert unit_signature("momentum") is None
+
+    def test_substrings_are_not_tokens(self):
+        # "sentiment" contains "time", "bus" contains "us": whole-token only.
+        assert unit_signature("bus_width") is None
+        assert not needs_unit_suffix("sentiment_score")
+
+
+class TestNeedsUnitSuffix:
+    def test_bare_quantity_names_need_suffixes(self):
+        for name in ("train_time", "total_cost", "comm_overhead",
+                     "hourly_price", "step_latency"):
+            assert needs_unit_suffix(name), name
+
+    def test_suffixed_names_pass(self):
+        for name in ("train_time_us", "total_cost_usd", "comm_overhead_ms",
+                     "usd_per_hr", "total_hours"):
+            assert not needs_unit_suffix(name), name
+
+    def test_dimensionless_derivatives_are_exempt(self):
+        for name in ("cost_ratio", "time_weight", "speedup", "cost_model",
+                     "time_fraction", "pricing_scheme"):
+            assert not needs_unit_suffix(name), name
+
+
+class TestSuffixRule:
+    def test_assignment_target(self):
+        assert rules_of("train_time = compute()\n") == [RULE_SUFFIX]
+
+    def test_function_name_and_parameter(self):
+        src = "def total_cost(overhead):\n    return overhead\n"
+        assert rules_of(src) == [RULE_SUFFIX, RULE_SUFFIX]
+
+    def test_attribute_and_annotated_targets(self):
+        assert rules_of("self.latency = 3\n") == [RULE_SUFFIX]
+        assert rules_of("duration: float = 0.0\n") == [RULE_SUFFIX]
+
+    def test_for_target(self):
+        assert rules_of("for elapsed in samples:\n    pass\n") == [RULE_SUFFIX]
+
+    def test_clean_code_passes(self):
+        src = (
+            "def predict_us(batch_size: int) -> float:\n"
+            "    total_us = batch_size * 2.0\n"
+            "    return total_us\n"
+        )
+        assert rules_of(src) == []
+
+
+class TestMixRule:
+    def test_addition_of_different_units(self):
+        assert RULE_MIX in rules_of("x = total_us + overhead_ms\n")
+
+    def test_comparison_of_different_units(self):
+        assert RULE_MIX in rules_of("flag = total_us > budget_hours\n")
+
+    def test_cost_vs_time_mix(self):
+        assert RULE_MIX in rules_of("y = cost_usd - elapsed_s\n")
+
+    def test_same_unit_arithmetic_passes(self):
+        assert rules_of("x_us = a_us + b_us\n") == []
+
+    def test_multiplication_is_exempt(self):
+        # rate * duration is how conversions are legitimately written
+        assert rules_of("cost_usd = usd_per_hr * total_hours\n") == []
+
+
+class TestLiteralRule:
+    def test_division_by_conversion_literal(self):
+        assert RULE_LITERAL in rules_of("ms = total_us / 1e3\n")
+
+    def test_multiplication_by_conversion_literal(self):
+        assert RULE_LITERAL in rules_of("x_us = elapsed_s * 1e6\n")
+
+    def test_comparison_against_conversion_literal(self):
+        assert RULE_LITERAL in rules_of("big = total_us > 3.6e9\n")
+
+    def test_plain_numbers_next_to_unitless_names_pass(self):
+        assert rules_of("n = batch_size * 1e6\n") == []
+
+    def test_units_module_is_exempt(self):
+        src = "def us_to_s(value_us):\n    return value_us / 1e6\n"
+        assert rules_of(src, path="src/repro/units.py") == []
+
+
+class TestPragmas:
+    def test_bare_pragma_suppresses_all_rules_on_line(self):
+        src = "train_time = f()  # staticcheck: ignore\n"
+        assert rules_of(src) == []
+
+    def test_named_pragma_suppresses_only_named_rule(self):
+        src = "train_time = total_us + b_ms  # staticcheck: ignore[unit-suffix]\n"
+        assert rules_of(src) == [RULE_MIX]
+
+    def test_pragma_on_other_line_does_not_leak(self):
+        src = "# staticcheck: ignore\ntrain_time = f()\n"
+        assert rules_of(src) == [RULE_SUFFIX]

@@ -61,9 +61,9 @@ class TestEndToEnd:
 
     def test_budget_objective_respected_end_to_end(self, ceer_small):
         rec = Recommender(ceer_small).recommend(
-            "alexnet", JOB, HourlyBudget(budget_per_hour=1.0)
+            "alexnet", JOB, HourlyBudget(budget_usd_per_hr=1.0)
         )
-        assert rec.best.hourly_cost <= 1.0
+        assert rec.best.usd_per_hr <= 1.0
 
     def test_prediction_stability_across_processes(self, ceer_small):
         """Determinism: repeated predictions are bit-identical."""
@@ -74,7 +74,7 @@ class TestEndToEnd:
     def test_cost_equals_time_times_rate_everywhere(self, ceer_small):
         """C = T x c for every candidate (the paper's cost relation)."""
         for p in Recommender(ceer_small).sweep("resnet_101", JOB):
-            assert p.cost_dollars == pytest.approx(p.total_hours * p.hourly_cost)
+            assert p.cost_dollars == pytest.approx(p.total_hours * p.usd_per_hr)
 
     def test_training_time_monotone_in_dataset_size(self, ceer_small):
         small = ceer_small.predict_training(

@@ -31,7 +31,7 @@ classification = classify_operations(profiles)
 heavy = classification.heavy
 print(f"heavy op types ({len(heavy)}):", ", ".join(sorted(heavy)))
 
-means = {g: profiles.for_gpu(g).gpu_records().mean_time_by_op_type() for g in ("V100", "K80", "T4", "M60")}
+means = {g: profiles.for_gpu(g).gpu_records().mean_us_by_op_type() for g in ("V100", "K80", "T4", "M60")}
 ratios = defaultdict(list)
 for op in sorted(heavy):
     if all(op in means[g] for g in means):
@@ -41,7 +41,7 @@ for op in sorted(heavy):
 for k, v in ratios.items():
     print(f"Fig2 {k}: mean {sum(v)/len(v):.2f} (range {min(v):.2f}-{max(v):.2f})")
 
-prices = {g: ON_DEMAND.instance(g, 1).hourly_cost for g in ("V100", "K80", "T4", "M60")}
+prices = {g: ON_DEMAND.instance(g, 1).usd_per_hr for g in ("V100", "K80", "T4", "M60")}
 g4_wins, p3_wins = [], []
 for op in sorted(heavy):
     if not all(op in means[g] for g in means):
