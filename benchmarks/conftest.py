@@ -7,9 +7,12 @@ rows/series, and archives them under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
+
+from repro.artifacts.workspace import Workspace, set_active_workspace
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -18,6 +21,23 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def benchmark_workspace(tmp_path_factory, results_dir):
+    """A fresh artifact workspace per benchmark session.
+
+    A temp directory keeps timings honest (every session profiles from
+    cold, rather than inheriting a warm developer workspace); the per-kind
+    hit/miss counters are archived next to the figure outputs.
+    """
+    workspace = Workspace(tmp_path_factory.mktemp("workspace"))
+    previous = set_active_workspace(workspace)
+    yield workspace
+    set_active_workspace(previous)
+    (results_dir / "workspace-counters.json").write_text(
+        json.dumps(workspace.counters_to_json(), indent=2) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,53 @@
+"""Config fingerprints: the content-addressing scheme of the artifact store.
+
+Every artifact key is a short SHA-256 digest over a canonical JSON document
+that folds in three layers of identity:
+
+* the artifact **kind** and its on-disk **schema version** — bumping the
+  schema re-addresses every artifact of that kind, so old layouts simply
+  stop being found (self-invalidation) instead of failing to parse;
+* the **calibration version** of the simulated hardware substrate
+  (:data:`repro.hardware.calibration.CALIBRATION_VERSION`) — retuned
+  efficiency tables change every measurement, so they must change every key;
+* the caller-supplied **configuration spec** (models, GPUs, iterations,
+  batch size, seed context, placement, ...), serialised with sorted keys so
+  logically equal configurations always address the same artifact.
+
+Keys are deliberately *not* derived from artifact contents: the store
+answers "has this configuration been computed?", and the configuration is
+what must be hashed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+from repro.errors import ArtifactError
+from repro.hardware.calibration import CALIBRATION_VERSION
+
+#: Hex digest length of a store key; 80 bits is far beyond collision risk
+#: for any realistic artifact population while keeping filenames readable.
+KEY_HEX_CHARS = 20
+
+
+def canonical_json(spec: Mapping[str, object]) -> str:
+    """Serialise ``spec`` deterministically (sorted keys, no whitespace)."""
+    try:
+        return json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ArtifactError(
+            f"artifact fingerprint spec is not JSON-serialisable: {exc}"
+        ) from exc
+
+
+def fingerprint(kind_name: str, schema_version: int, spec: Mapping[str, object]) -> str:
+    """The store key for one (kind, schema, calibration, spec) identity."""
+    document = canonical_json({
+        "kind": kind_name,
+        "schema": schema_version,
+        "calibration": CALIBRATION_VERSION,
+        "spec": dict(spec),
+    })
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()[:KEY_HEX_CHARS]

@@ -1,0 +1,368 @@
+"""Two-tier, content-addressed, concurrency-safe artifact store.
+
+Layout: ``<directory>/<kind>/<key>.json``, one envelope per artifact::
+
+    {"format": "repro-artifact", "kind": "profile", "schema_version": 1,
+     "key": "<20 hex chars>", "spec": {...}, "payload": ...}
+
+Tiers:
+
+* a bounded in-memory LRU of *decoded* objects — repeated lookups within a
+  process return the identical object (the old ``lru_cache`` semantics);
+* the on-disk JSON tier — lookups across processes, CI shards, and
+  machines, written atomically (temp file + ``os.replace``) so a killed
+  run can never leave a torn artifact.
+
+Concurrency: every miss is computed under a per-key lock file
+(``<key>.lock``, created with ``O_CREAT|O_EXCL``), and the disk tier is
+re-checked after acquisition — two racing writers produce exactly one
+compute. Stale locks (a crashed holder) are broken after a timeout.
+
+Failure policy: reads are corruption-tolerant. A truncated, unparseable,
+schema-mismatched, or undecodable artifact is a *miss* — the store
+recomputes and overwrites, it never crashes the pipeline.
+
+Observability: per-kind counters (memory/disk hits, misses, bytes moved,
+compute and lock-wait seconds) are exported via :meth:`ArtifactStore.counters_to_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable, Dict, Iterator, List, Mapping, Optional, Tuple, TypeVar, Union, cast,
+)
+
+from repro.artifacts.fingerprint import fingerprint
+from repro.artifacts.kinds import ArtifactKind
+from repro.errors import ArtifactError, ReproError
+
+T = TypeVar("T")
+
+ENVELOPE_FORMAT = "repro-artifact"
+
+
+@dataclass
+class KindCounters:
+    """Hit/miss/bytes/latency accounting for one artifact kind."""
+
+    hits_memory: int = 0
+    hits_disk: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    compute_s: float = 0.0
+    lock_wait_s: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return self.hits_memory + self.hits_disk
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def to_json(self) -> Dict[str, Union[int, float]]:
+        return {
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "hits": self.hits,
+            "misses": self.misses,
+            "requests": self.requests,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "compute_s": self.compute_s,
+            "lock_wait_s": self.lock_wait_s,
+        }
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One on-disk artifact as seen by ``repro cache list``/``info``."""
+
+    kind: str
+    key: str
+    path: Path
+    size_bytes: int
+    mtime: float
+    schema_version: Optional[int]
+    spec: Optional[Dict[str, object]]
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp + ``os.replace``.
+
+    Readers either see the previous complete file or the new complete file,
+    never a partial write — including across a crash mid-write.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ArtifactStore:
+    """A typed artifact directory with an in-memory LRU in front of it."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        memory_entries: int = 256,
+        lock_timeout_s: float = 600.0,
+        lock_poll_s: float = 0.02,
+        lock_stale_s: float = 300.0,
+    ) -> None:
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.memory_entries = memory_entries
+        self.lock_timeout_s = lock_timeout_s
+        self.lock_poll_s = lock_poll_s
+        self.lock_stale_s = lock_stale_s
+        self._memory: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+        self.counters: Dict[str, KindCounters] = {}
+
+    # -- addressing ----------------------------------------------------
+    def key_for(self, kind: ArtifactKind, spec: Mapping[str, object]) -> str:
+        """The content address of ``spec`` under ``kind``."""
+        return fingerprint(kind.name, kind.schema_version, spec)
+
+    def path_for(self, kind: ArtifactKind, key: str) -> Path:
+        return self.directory / kind.name / f"{key}.json"
+
+    def _lock_path(self, kind: ArtifactKind, key: str) -> Path:
+        return self.directory / kind.name / f"{key}.lock"
+
+    def _count(self, kind: ArtifactKind) -> KindCounters:
+        return self.counters.setdefault(kind.name, KindCounters())
+
+    # -- memory tier ---------------------------------------------------
+    def _memory_get(self, kind: ArtifactKind, key: str) -> Optional[object]:
+        entry = self._memory.get((kind.name, key))
+        if entry is not None:
+            self._memory.move_to_end((kind.name, key))
+        return entry
+
+    def _memory_put(self, kind: ArtifactKind, key: str, value: object) -> None:
+        self._memory[(kind.name, key)] = value
+        self._memory.move_to_end((kind.name, key))
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- reads ---------------------------------------------------------
+    def load(
+        self, kind: ArtifactKind, key: str, decode: Callable[[object], T]
+    ) -> Optional[T]:
+        """Return the artifact at ``key`` or None; never raises on corruption."""
+        cached = self._memory_get(kind, key)
+        if cached is not None:
+            self._count(kind).hits_memory += 1
+            return cast(T, cached)
+        return self._load_disk(kind, key, decode)
+
+    def _load_disk(
+        self, kind: ArtifactKind, key: str, decode: Callable[[object], T]
+    ) -> Optional[T]:
+        path = self.path_for(kind, key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            envelope = json.loads(raw)
+            if not isinstance(envelope, dict):
+                return None
+            if envelope.get("format") != ENVELOPE_FORMAT:
+                return None
+            if envelope.get("kind") != kind.name:
+                return None
+            if envelope.get("schema_version") != kind.schema_version:
+                return None
+            value = decode(envelope["payload"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                AttributeError, ReproError):
+            return None  # corrupt/stale artifact == miss; caller recomputes
+        counters = self._count(kind)
+        counters.hits_disk += 1
+        counters.bytes_read += len(raw)
+        self._memory_put(kind, key, value)
+        return value
+
+    # -- writes --------------------------------------------------------
+    def save(
+        self,
+        kind: ArtifactKind,
+        key: str,
+        value: T,
+        encode: Callable[[T], object],
+        spec: Optional[Mapping[str, object]] = None,
+    ) -> Path:
+        """Atomically persist ``value`` and promote it to the memory tier."""
+        envelope = {
+            "format": ENVELOPE_FORMAT,
+            "kind": kind.name,
+            "schema_version": kind.schema_version,
+            "key": key,
+            "spec": dict(spec) if spec is not None else None,
+            "payload": encode(value),
+        }
+        try:
+            data = json.dumps(envelope).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise ArtifactError(
+                f"artifact {kind.name}/{key} payload is not JSON-serialisable: {exc}"
+            ) from exc
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(path, data)
+        self._count(kind).bytes_written += len(data)
+        self._memory_put(kind, key, value)
+        return path
+
+    # -- the main entry point ------------------------------------------
+    def get_or_create(
+        self,
+        kind: ArtifactKind,
+        spec: Mapping[str, object],
+        compute: Callable[[], T],
+        encode: Callable[[T], object],
+        decode: Callable[[object], T],
+    ) -> T:
+        """Return the artifact for ``spec``, computing and storing on a miss.
+
+        Misses run under a per-key lock with a post-acquisition re-check,
+        so concurrent callers (processes included) compute exactly once.
+        """
+        key = self.key_for(kind, spec)
+        cached = self.load(kind, key, decode)
+        if cached is not None:
+            return cached
+        with self._locked(kind, key):
+            raced = self._load_disk(kind, key, decode)
+            if raced is not None:
+                return raced
+            started_s = time.perf_counter()  # staticcheck: ignore[determinism] — cache latency counter, not a model path
+            value = compute()
+            counters = self._count(kind)
+            counters.compute_s += time.perf_counter() - started_s  # staticcheck: ignore[determinism] — cache latency counter
+            counters.misses += 1
+            self.save(kind, key, value, encode, spec)
+            return value
+
+    # -- locking -------------------------------------------------------
+    @contextmanager
+    def _locked(self, kind: ArtifactKind, key: str) -> Iterator[None]:
+        lock_path = self._lock_path(kind, key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        self._count(kind).lock_wait_s += self._acquire_lock(lock_path)
+        try:
+            yield
+        finally:
+            try:
+                lock_path.unlink()
+            except OSError:
+                pass
+
+    def _acquire_lock(self, lock_path: Path) -> float:
+        """Block until the lock file is ours; returns seconds waited."""
+        started_s = time.monotonic()  # staticcheck: ignore[determinism] — lock timeout bookkeeping
+        while True:
+            try:
+                fd = os.open(str(lock_path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                waited_s = time.monotonic() - started_s  # staticcheck: ignore[determinism] — lock timeout bookkeeping
+                if waited_s >= self.lock_timeout_s:
+                    raise ArtifactError(
+                        f"timed out after {waited_s:.0f}s waiting for artifact "
+                        f"lock {lock_path}; a holder may be wedged"
+                    )
+                self._break_stale_lock(lock_path)
+                time.sleep(self.lock_poll_s)
+                continue
+            os.write(fd, f"{os.getpid()}\n".encode("utf-8"))
+            os.close(fd)
+            return time.monotonic() - started_s  # staticcheck: ignore[determinism] — lock timeout bookkeeping
+
+    def _break_stale_lock(self, lock_path: Path) -> None:
+        """Remove a lock whose holder evidently died (mtime too old)."""
+        try:
+            age_s = time.time() - lock_path.stat().st_mtime  # staticcheck: ignore[determinism] — stale-lock detection
+        except OSError:
+            return  # released between our open() and stat()
+        if age_s > self.lock_stale_s:
+            try:
+                lock_path.unlink()
+            except OSError:
+                pass
+
+    # -- inspection / maintenance --------------------------------------
+    def entries(self, kind: Optional[str] = None) -> List[ArtifactInfo]:
+        """Every on-disk artifact (optionally of one kind), sorted by path."""
+        infos: List[ArtifactInfo] = []
+        if not self.directory.exists():
+            return infos
+        for kind_dir in sorted(p for p in self.directory.iterdir() if p.is_dir()):
+            if kind is not None and kind_dir.name != kind:
+                continue
+            for path in sorted(kind_dir.glob("*.json")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                schema_version: Optional[int] = None
+                spec: Optional[Dict[str, object]] = None
+                try:
+                    envelope = json.loads(path.read_text())
+                    if isinstance(envelope, dict):
+                        schema_version = envelope.get("schema_version")
+                        raw_spec = envelope.get("spec")
+                        spec = raw_spec if isinstance(raw_spec, dict) else None
+                except (json.JSONDecodeError, OSError):
+                    pass  # corrupt entries still list (size/age aid cleanup)
+                infos.append(ArtifactInfo(
+                    kind=kind_dir.name,
+                    key=path.stem,
+                    path=path,
+                    size_bytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                    schema_version=schema_version,
+                    spec=spec,
+                ))
+        return infos
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete artifacts (all kinds, or one); returns the number removed."""
+        removed = 0
+        for info in self.entries(kind):
+            try:
+                info.path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if kind is None:
+            self._memory.clear()
+        else:
+            for memory_key in [k for k in self._memory if k[0] == kind]:
+                del self._memory[memory_key]
+        return removed
+
+    def counters_to_json(self) -> Dict[str, Dict[str, Union[int, float]]]:
+        """Per-kind counter snapshot, ready for ``json.dumps``."""
+        return {name: c.to_json() for name, c in sorted(self.counters.items())}

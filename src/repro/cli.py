@@ -8,6 +8,11 @@ Commands mirror the paper's workflow:
 * ``recommend`` — optimal-instance recommendation under an objective.
 * ``tradeoff`` — the full time-cost Pareto frontier across instances.
 * ``figures`` — regenerate paper figures by name (or ``all``).
+* ``cache`` — inspect or clear the artifact workspace backing fit/figures.
+
+``fit`` and ``figures`` share one artifact workspace (``--workspace``, or
+``$REPRO_WORKSPACE``, or ``~/.cache/repro/workspace``), so running them as
+separate processes profiles the CNN matrix exactly once.
 
 Example session::
 
@@ -15,6 +20,7 @@ Example session::
     python -m repro recommend --estimator ceer.json --model inception_v3 \
         --objective min-cost
     python -m repro figures fig11
+    python -m repro cache list
 """
 
 from __future__ import annotations
@@ -24,9 +30,14 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.artifacts import kinds
+from repro.artifacts.workspace import (
+    Workspace,
+    active_workspace,
+    set_active_workspace,
+)
 from repro.cloud.pricing import MARKET_RATIO, ON_DEMAND
 from repro.core.estimator import CeerEstimator
-from repro.core.fit import fit_ceer
 from repro.core.persistence import load_estimator, save_estimator
 from repro.core.recommend import (
     HourlyBudget,
@@ -52,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("models", help="list the CNN zoo")
 
+    def add_workspace_arg(p):
+        p.add_argument("--workspace",
+                       help="artifact workspace directory (default: "
+                            "$REPRO_WORKSPACE or ~/.cache/repro/workspace)")
+
     fit = sub.add_parser("fit", help="profile training CNNs and fit Ceer")
     fit.add_argument("--output", required=True, help="path for the estimator JSON")
     fit.add_argument("--iterations", type=int, default=300,
@@ -59,6 +75,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--placement", default="single-host",
                      choices=("single-host", "multi-host"),
                      help="GPU topology the comm model is trained for")
+    fit.add_argument("--no-warm-test-profiles", action="store_true",
+                     help="skip pre-profiling the held-out test CNNs "
+                          "(figures needing them will profile later)")
+    add_workspace_arg(fit)
 
     def add_workload_args(p):
         p.add_argument("--model", help="zoo model name")
@@ -100,7 +120,34 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--iterations", type=int, default=300)
     figures.add_argument("--output",
                          help="also write the rendered figures to this file")
+    figures.add_argument("--counters-out",
+                         help="write per-kind workspace hit/miss counters "
+                              "JSON to this file")
+    add_workspace_arg(figures)
+
+    cache = sub.add_parser("cache", help="inspect the artifact workspace")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_list = cache_sub.add_parser("list", help="list stored artifacts")
+    cache_list.add_argument("--kind", choices=sorted(kinds.KINDS))
+    add_workspace_arg(cache_list)
+    cache_info = cache_sub.add_parser("info", help="show one artifact's detail")
+    cache_info.add_argument("key", help="artifact key (see 'cache list')")
+    add_workspace_arg(cache_info)
+    cache_clear = cache_sub.add_parser("clear", help="delete stored artifacts")
+    cache_clear.add_argument("--kind", choices=sorted(kinds.KINDS))
+    add_workspace_arg(cache_clear)
+    cache_key = cache_sub.add_parser(
+        "key", help="print the canonical profile fingerprint (for CI cache keys)"
+    )
+    cache_key.add_argument("--iterations", type=int, default=300)
+    add_workspace_arg(cache_key)
     return parser
+
+
+def _resolve_workspace(args) -> Workspace:
+    if getattr(args, "workspace", None):
+        return Workspace(args.workspace)
+    return active_workspace()
 
 
 def _resolve_model(args):
@@ -148,10 +195,16 @@ def _cmd_models(args, out) -> int:
 
 
 def _cmd_fit(args, out) -> int:
-    fitted = fit_ceer(n_iterations=args.iterations, placement=args.placement)
+    workspace = _resolve_workspace(args)
+    fitted = workspace.fitted_ceer(args.iterations, placement=args.placement)
+    if not args.no_warm_test_profiles:
+        # Pre-profile the held-out CNNs so a later ``repro figures`` process
+        # (validation/ablation figures) starts from a fully warm workspace.
+        workspace.test_profiles(args.iterations)
     save_estimator(fitted.estimator, args.output)
     print(fitted.diagnostics.summary(), file=out)
     print(f"estimator saved to {args.output}", file=out)
+    print(f"workspace: {workspace.directory}", file=out)
     return 0
 
 
@@ -230,17 +283,101 @@ def _cmd_figures(args, out) -> int:
         raise ReproError(
             f"unknown figures {unknown}; available: {', '.join(available)}, all"
         )
-    sections = []
-    for name in names:
-        result = available[name](n_iterations=args.iterations)
-        section = f"{'=' * 72}\n{name}\n{'=' * 72}\n{result.render()}"
-        print(f"\n{section}", file=out)
-        sections.append(section)
+    workspace = _resolve_workspace(args)
+    # Install the chosen workspace process-wide so every driver (and the
+    # helpers in experiments.common) resolves artifacts from it.
+    previous = set_active_workspace(workspace)
+    try:
+        sections = []
+        for name in names:
+            rendered = workspace.figure(
+                name, args.iterations,
+                lambda runner=available[name]:
+                    runner(n_iterations=args.iterations).render(),
+            )
+            section = f"{'=' * 72}\n{name}\n{'=' * 72}\n{rendered}"
+            print(f"\n{section}", file=out)
+            sections.append(section)
+    finally:
+        set_active_workspace(previous)
     if args.output:
         from pathlib import Path
 
         Path(args.output).write_text("\n\n".join(sections) + "\n")
         print(f"\nreport written to {args.output}", file=out)
+    if args.counters_out:
+        import json
+        from pathlib import Path
+
+        Path(args.counters_out).write_text(
+            json.dumps(workspace.counters_to_json(), indent=2) + "\n"
+        )
+        print(f"workspace counters written to {args.counters_out}", file=out)
+    return 0
+
+
+def _cmd_cache(args, out) -> int:
+    import time
+
+    workspace = _resolve_workspace(args)
+    store = workspace.store
+    if args.cache_command == "list":
+        infos = store.entries(getattr(args, "kind", None))
+        if not infos:
+            print(f"workspace {workspace.directory} is empty", file=out)
+            return 0
+        now_s = time.time()  # staticcheck: ignore[determinism] — CLI age display, not a model path
+        rows = [
+            [
+                info.kind, info.key, info.size_bytes,
+                f"{max(now_s - info.mtime, 0.0):.0f}s",
+                info.schema_version if info.schema_version is not None else "?",
+            ]
+            for info in infos
+        ]
+        print(
+            format_table(
+                ["kind", "key", "bytes", "age", "schema"], rows,
+                title=f"artifact workspace {workspace.directory}",
+            ),
+            file=out,
+        )
+        return 0
+    if args.cache_command == "info":
+        import json
+
+        matches = [i for i in store.entries() if i.key == args.key]
+        if not matches:
+            raise ReproError(f"no artifact with key {args.key!r} in "
+                             f"{workspace.directory}")
+        for info in matches:
+            print(f"kind:     {info.kind}", file=out)
+            print(f"key:      {info.key}", file=out)
+            print(f"path:     {info.path}", file=out)
+            print(f"size:     {info.size_bytes} bytes", file=out)
+            print(f"schema:   {info.schema_version}", file=out)
+            print(f"spec:     {json.dumps(info.spec, sort_keys=True)}", file=out)
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear(getattr(args, "kind", None))
+        print(f"removed {removed} artifact(s) from {workspace.directory}",
+              file=out)
+        return 0
+    # "key": the canonical training-profile fingerprint. Folds in the models,
+    # GPUs, iteration count, schema version, and calibration version — i.e.
+    # everything that invalidates profiles — so CI can key its workspace
+    # cache on it.
+    from repro.hardware.gpus import GPU_KEYS
+    from repro.models.zoo import TRAIN_MODELS
+
+    spec = {
+        "models": sorted(TRAIN_MODELS),
+        "gpus": sorted(GPU_KEYS),
+        "iterations": args.iterations,
+        "batch": 32,
+        "seed": "",
+    }
+    print(store.key_for(kinds.PROFILE, spec), file=out)
     return 0
 
 
@@ -251,6 +388,7 @@ _COMMANDS = {
     "recommend": _cmd_recommend,
     "tradeoff": _cmd_tradeoff,
     "figures": _cmd_figures,
+    "cache": _cmd_cache,
 }
 
 

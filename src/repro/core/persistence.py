@@ -147,8 +147,18 @@ def estimator_from_dict(data: Dict) -> CeerEstimator:
 
 
 def save_estimator(estimator: CeerEstimator, path: Union[str, Path]) -> None:
-    """Write a fitted estimator to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(estimator_to_dict(estimator)))
+    """Write a fitted estimator to ``path`` as JSON, atomically.
+
+    The document is staged in a same-directory temp file and moved into
+    place with ``os.replace``, so a concurrent :func:`load_estimator` (or a
+    crash mid-write) sees either the old complete file or the new one,
+    never a torn document.
+    """
+    from repro.artifacts.store import atomic_write_bytes
+
+    target = Path(path)
+    data = json.dumps(estimator_to_dict(estimator)).encode("utf-8")
+    atomic_write_bytes(target, data)
 
 
 def load_estimator(path: Union[str, Path]) -> CeerEstimator:

@@ -43,6 +43,15 @@ class ModelingError(ReproError):
     """Fitting or applying a Ceer model failed (e.g. unseen heavy op)."""
 
 
+class ArtifactError(ReproError):
+    """The artifact workspace was misconfigured or a store invariant broke.
+
+    Corrupt or stale artifact *files* never raise this (they are treated as
+    cache misses); it covers real misuse: unserialisable fingerprint specs,
+    unknown artifact kinds, or a lock that could not be acquired.
+    """
+
+
 class UnseenOperationError(ModelingError):
     """A heavy operation type was not observed during Ceer training.
 

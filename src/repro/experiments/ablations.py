@@ -18,11 +18,12 @@ Four studies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.artifacts.workspace import Workspace
 from repro.core.baselines import (
     LayerLevelEstimator,
     PaleoStyleEstimator,
@@ -97,23 +98,27 @@ def _per_iteration_errors(
     models: Sequence[str],
     gpu_counts: Sequence[int],
     n_iterations: int,
+    workspace: Optional[Workspace] = None,
 ) -> Dict[Tuple[str, str, int], float]:
     errors: Dict[Tuple[str, str, int], float] = {}
     for model in models:
         for gpu_key in GPU_KEYS:
             for k in gpu_counts:
                 obs = observed_training(
-                    model, gpu_key, k, IMAGENET_JOB, n_iterations
+                    model, gpu_key, k, IMAGENET_JOB, n_iterations,
+                    workspace=workspace,
                 ).per_iteration_us
                 pred = estimator.predict_iteration_us(model, gpu_key, k)
                 errors[(model, gpu_key, k)] = abs(pred - obs) / obs
     return errors
 
 
-def _heavy_test_mape(fitted, n_iterations: int) -> Dict[str, float]:
+def _heavy_test_mape(
+    fitted, n_iterations: int, workspace: Optional[Workspace] = None
+) -> Dict[str, float]:
     """Held-out MAPE per heavy op type, pooled over GPUs (paper: 2-10%)."""
     models = fitted.estimator.compute_models
-    held_out = test_profiles(n_iterations).gpu_records()
+    held_out = test_profiles(n_iterations, workspace=workspace).gpu_records()
     mape: Dict[str, float] = {}
     for op_type in models.classification.heavy:
         observed, predicted = [], []
@@ -128,7 +133,11 @@ def _heavy_test_mape(fitted, n_iterations: int) -> Dict[str, float]:
     return mape
 
 
-def _strategy_cost_ratios(estimator: CeerEstimator, n_iterations: int) -> Dict[str, float]:
+def _strategy_cost_ratios(
+    estimator: CeerEstimator,
+    n_iterations: int,
+    workspace: Optional[Workspace] = None,
+) -> Dict[str, float]:
     """Observed cost of naive strategies relative to Ceer's pick, averaged
     over the test CNNs (cost-minimisation objective, 1-4 GPU candidates)."""
     ratios: Dict[str, List[float]] = {"cheapest-instance": [], "latest-gpu (P3)": []}
@@ -140,7 +149,7 @@ def _strategy_cost_ratios(estimator: CeerEstimator, n_iterations: int) -> Dict[s
         ceer_pick = min(predictions, key=lambda key: predictions[key].cost_dollars)
         observed_usd = {
             key: observed_training(model, key[0], key[1], IMAGENET_JOB,
-                                   n_iterations).cost_dollars
+                                   n_iterations, workspace=workspace).cost_dollars
             for key in predictions
         }
         base = observed_usd[ceer_pick]
@@ -154,14 +163,17 @@ def _strategy_cost_ratios(estimator: CeerEstimator, n_iterations: int) -> Dict[s
 def run_ablations(
     gpu_counts: Sequence[int] = (1, 4),
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> AblationResult:
     """Run all ablation/baseline studies on the held-out test CNNs."""
-    fitted = fitted_ceer(n_iterations)
+    fitted = fitted_ceer(n_iterations, workspace=workspace)
     estimator = fitted.estimator
     paleo = PaleoStyleEstimator.fit(
         list(TRAIN_MODELS), list(GPU_KEYS), n_iterations=min(n_iterations, 200)
     )
-    layer_level = LayerLevelEstimator.fit(training_profiles(n_iterations))
+    layer_level = LayerLevelEstimator.fit(
+        training_profiles(n_iterations, workspace=workspace)
+    )
 
     variants = {
         "ceer (full)": estimator,
@@ -171,13 +183,17 @@ def run_ablations(
         "paleo-style (FLOPs)": paleo,
     }
     errors = {
-        name: _per_iteration_errors(est, TEST_MODELS, gpu_counts, n_iterations)
+        name: _per_iteration_errors(
+            est, TEST_MODELS, gpu_counts, n_iterations, workspace=workspace
+        )
         for name, est in variants.items()
     }
     r2_values = sorted(fitted.diagnostics.heavy_r2.values())
     return AblationResult(
         errors=errors,
         heavy_r2_range=(r2_values[0], r2_values[-1]),
-        heavy_test_mape=_heavy_test_mape(fitted, n_iterations),
-        strategy_cost_ratio=_strategy_cost_ratios(estimator, n_iterations),
+        heavy_test_mape=_heavy_test_mape(fitted, n_iterations, workspace=workspace),
+        strategy_cost_ratio=_strategy_cost_ratios(
+            estimator, n_iterations, workspace=workspace
+        ),
     )

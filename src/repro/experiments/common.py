@@ -1,34 +1,39 @@
 """Shared experiment infrastructure: canonical setup and cached artifacts.
 
 All figure drivers share one canonical configuration (the paper's: 8
-training CNNs, 4 GPU models, batch 32, ImageNet) and reuse one profiled
-dataset and one fitted Ceer estimator per process. Profiling iteration
-counts are configurable; the default trades the paper's 1,000 iterations
-down to 300, which leaves per-op mean estimates within a fraction of a
-percent (heavy-op noise is sigma <= 0.06) while keeping the full
-figure suite fast.
+training CNNs, 4 GPU models, batch 32, ImageNet) and resolve every
+expensive artifact — profile datasets, the fitted Ceer estimator,
+ground-truth training measurements — through the active
+:class:`~repro.artifacts.workspace.Workspace`. Within a process that gives
+the same identity semantics the old ``@lru_cache`` globals did (the store's
+memory tier returns the identical object); across processes the same
+workspace directory means ``repro fit`` followed by ``repro figures``
+profiles exactly once.
+
+The module-level helpers below are thin delegating wrappers kept for
+callers that do not thread a workspace explicitly.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Tuple
+from typing import Optional, Tuple
 
-from repro.core.fit import FittedCeer, fit_ceer
-from repro.hardware.gpus import GPU_KEYS
-from repro.models.zoo import TEST_MODELS, TRAIN_MODELS
-from repro.profiling.profiler import Profiler
+from repro.artifacts.workspace import (
+    CANONICAL_ITERATIONS,
+    EVAL_SEED,
+    Workspace,
+    active_workspace,
+)
+from repro.core.fit import FittedCeer
 from repro.profiling.records import ProfileDataset
 from repro.sim.trace import TrainingMeasurement
-from repro.sim.trainer import measure_training
 from repro.workloads.dataset import IMAGENET, IMAGENET_6400, TrainingJob
 
-#: Profiling iterations used by the experiment suite (paper: 1,000).
-CANONICAL_ITERATIONS = 300
-
-#: Seed context separating "training-time" measurements from the
-#: independent "evaluation" runs the figures compare against.
-EVAL_SEED = "evaluation"
+__all__ = [
+    "CANONICAL_ITERATIONS", "EVAL_SEED", "IMAGENET_JOB", "SCALING_JOB",
+    "FAMILY_LABELS", "training_profiles", "test_profiles", "fitted_ceer",
+    "observed_training",
+]
 
 #: The paper's evaluation workload: one epoch of ImageNet, batch 32/GPU.
 IMAGENET_JOB = TrainingJob(IMAGENET, batch_size=32)
@@ -42,43 +47,43 @@ FAMILY_LABELS: Tuple[Tuple[str, str], ...] = (
 )
 
 
-@lru_cache(maxsize=4)
-def training_profiles(n_iterations: int = CANONICAL_ITERATIONS) -> ProfileDataset:
+def training_profiles(
+    n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
+) -> ProfileDataset:
     """Profiles of the 8 training-set CNNs on all four GPU models."""
-    profiler = Profiler(n_iterations=n_iterations)
-    return profiler.profile_many(list(TRAIN_MODELS), list(GPU_KEYS))
+    return (workspace or active_workspace()).training_profiles(n_iterations)
 
 
-@lru_cache(maxsize=4)
-def test_profiles(n_iterations: int = CANONICAL_ITERATIONS) -> ProfileDataset:
+def test_profiles(
+    n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
+) -> ProfileDataset:
     """Profiles of the 4 held-out test CNNs (for validation experiments)."""
-    profiler = Profiler(n_iterations=n_iterations)
-    return profiler.profile_many(list(TEST_MODELS), list(GPU_KEYS), EVAL_SEED)
+    return (workspace or active_workspace()).test_profiles(n_iterations)
 
 
-@lru_cache(maxsize=4)
-def fitted_ceer(n_iterations: int = CANONICAL_ITERATIONS) -> FittedCeer:
-    """The canonical fitted Ceer estimator (cached per process)."""
-    return fit_ceer(
-        n_iterations=n_iterations,
-        train_profiles=training_profiles(n_iterations),
-    )
+def fitted_ceer(
+    n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
+) -> FittedCeer:
+    """The canonical fitted Ceer estimator (cached in the workspace)."""
+    return (workspace or active_workspace()).fitted_ceer(n_iterations)
 
 
-@lru_cache(maxsize=1024)
 def observed_training(
     model: str,
     gpu_key: str,
     num_gpus: int,
     job: TrainingJob = IMAGENET_JOB,
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> TrainingMeasurement:
     """Ground-truth ("rent the instance and run it") measurement, cached.
 
     Uses an evaluation seed context so the observation is statistically
     independent of the measurements Ceer was trained on.
     """
-    return measure_training(
-        model, gpu_key, num_gpus, job,
-        n_profile_iterations=n_iterations, seed_context=EVAL_SEED,
+    return (workspace or active_workspace()).observed_training(
+        model, gpu_key, num_gpus, job, n_iterations
     )

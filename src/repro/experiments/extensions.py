@@ -25,9 +25,10 @@ discusses in prose:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
+from repro.artifacts.workspace import Workspace
 from repro.core.classify import classify_operations
 from repro.core.estimator import CeerEstimator
 from repro.core.fit import fit_ceer
@@ -87,6 +88,7 @@ class MultiHostResult:
 def run_multihost_study(
     model: str = "inception_v1",
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> MultiHostResult:
     """Compare placements and show that Ceer must be placement-retrained."""
     observed: Dict[Tuple[str, str, int], float] = {}
@@ -100,7 +102,7 @@ def run_multihost_study(
                 )
                 observed[(placement, gpu_key, k)] = measurement.total_us
 
-    profiles = training_profiles(n_iterations)
+    profiles = training_profiles(n_iterations, workspace=workspace)
     single = fit_ceer(n_iterations=n_iterations, train_profiles=profiles,
                       placement="single-host")
     multi = fit_ceer(n_iterations=n_iterations, train_profiles=profiles,
@@ -219,6 +221,7 @@ def run_transformer_study(
     n_iterations: int = 150,
     seq_len: int = 64,
     batch_size: int = 16,
+    workspace: Optional[Workspace] = None,
 ) -> TransformerStudyResult:
     """Evaluate Ceer on Transformer encoders before/after an update.
 
@@ -233,7 +236,7 @@ def run_transformer_study(
     from repro.workloads.dataset import DatasetSpec, TrainingJob
 
     job = TrainingJob(DatasetSpec("nlp-corpus", 1_000_000), batch_size=batch_size)
-    profiles = training_profiles(n_iterations)
+    profiles = training_profiles(n_iterations, workspace=workspace)
     cnn_fitted = fit_ceer(n_iterations=n_iterations, train_profiles=profiles)
 
     # 1. Strict mode: prediction must fail (the paper's stated limitation).
@@ -312,9 +315,10 @@ class EstimatorChoiceResult:
 
 def run_estimator_choice_study(
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> EstimatorChoiceResult:
     """Compare the paper's median pooling against the mean alternative."""
-    profiles = training_profiles(n_iterations)
+    profiles = training_profiles(n_iterations, workspace=workspace)
     classification = classify_operations(profiles)
     base = fit_ceer(n_iterations=n_iterations, train_profiles=profiles)
 
@@ -375,6 +379,7 @@ def run_batch_size_study(
     fitted_batch: int = 32,
     n_iterations: int = 150,
     models: Sequence[str] = ("inception_v3", "resnet_101"),
+    workspace: Optional[Workspace] = None,
 ) -> BatchSizeStudyResult:
     """Fit Ceer at one batch size, evaluate at others.
 
@@ -388,7 +393,7 @@ def run_batch_size_study(
 
     fitted = fit_ceer(
         n_iterations=n_iterations,
-        train_profiles=training_profiles(n_iterations),
+        train_profiles=training_profiles(n_iterations, workspace=workspace),
         batch_size=fitted_batch,
     )
     errors: Dict[int, float] = {}
@@ -443,6 +448,7 @@ def run_rnn_study(
     n_iterations: int = 150,
     seq_len: int = 32,
     batch_size: int = 16,
+    workspace: Optional[Workspace] = None,
 ) -> RnnStudyResult:
     """Evaluate Ceer on stacked LSTMs before/after an unseen-op update."""
     from repro.models.lstm import build_lstm
@@ -451,7 +457,7 @@ def run_rnn_study(
     from repro.workloads.dataset import DatasetSpec, TrainingJob
 
     job = TrainingJob(DatasetSpec("nlp-corpus", 1_000_000), batch_size=batch_size)
-    profiles = training_profiles(n_iterations)
+    profiles = training_profiles(n_iterations, workspace=workspace)
     cnn_fitted = fit_ceer(n_iterations=n_iterations, train_profiles=profiles)
 
     learn_graph = build_lstm(learn_preset, batch_size=batch_size, seq_len=seq_len)

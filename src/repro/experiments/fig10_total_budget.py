@@ -17,9 +17,10 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_dollars, format_table, format_us
+from repro.artifacts.workspace import Workspace
 from repro.core.estimator import CeerEstimator, TrainingPrediction
 from repro.experiments.common import (
     CANONICAL_ITERATIONS,
@@ -121,16 +122,20 @@ def run_fig10(
     estimator: CeerEstimator = None,
     gpu_counts: Sequence[int] = (1, 2, 3, 4),
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> Fig10Result:
     """Regenerate Figure 10 across all (GPU model, k) configurations."""
-    estimator = estimator if estimator is not None else fitted_ceer(n_iterations).estimator
+    if estimator is None:
+        estimator = fitted_ceer(n_iterations, workspace=workspace).estimator
     observed: Dict[Tuple[str, int], TrainingMeasurement] = {}
     predicted: Dict[Tuple[str, int], TrainingPrediction] = {}
     # One engine compilation serves the whole 16-configuration sweep.
     graph = estimator.resolve_graph(model, job.batch_size)
     for gpu_key in GPU_KEYS:
         for k in gpu_counts:
-            observed[(gpu_key, k)] = observed_training(model, gpu_key, k, job, n_iterations)
+            observed[(gpu_key, k)] = observed_training(
+                model, gpu_key, k, job, n_iterations, workspace=workspace
+            )
             predicted[(gpu_key, k)] = estimator.predict_training(graph, gpu_key, k, job)
     return Fig10Result(
         model=model, budget_usd=budget_usd, observed=observed, predicted=predicted

@@ -11,9 +11,10 @@ cost 1.6x and 1.8x more respectively; Ceer's cost prediction error is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_dollars, format_table
+from repro.artifacts.workspace import Workspace, active_workspace
 from repro.cloud.pricing import ON_DEMAND, PricingScheme
 from repro.core.estimator import CeerEstimator, TrainingPrediction
 from repro.experiments.common import (
@@ -23,7 +24,6 @@ from repro.experiments.common import (
 )
 from repro.hardware.gpus import GPU_KEYS
 from repro.sim.trace import TrainingMeasurement
-from repro.sim.trainer import measure_training
 from repro.workloads.dataset import TrainingJob
 
 
@@ -93,18 +93,20 @@ def run_fig11(
     pricing: PricingScheme = ON_DEMAND,
     gpu_counts: Sequence[int] = (1, 2, 3, 4),
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> Fig11Result:
     """Regenerate the Figure 11 cost-minimisation sweep."""
-    estimator = estimator if estimator is not None else fitted_ceer(n_iterations).estimator
+    ws = workspace or active_workspace()
+    if estimator is None:
+        estimator = fitted_ceer(n_iterations, workspace=ws).estimator
     observed: Dict[Tuple[str, int], TrainingMeasurement] = {}
     predicted: Dict[Tuple[str, int], TrainingPrediction] = {}
     # One engine compilation serves the whole 16-configuration sweep.
     graph = estimator.resolve_graph(model, job.batch_size)
     for gpu_key in GPU_KEYS:
         for k in gpu_counts:
-            observed[(gpu_key, k)] = measure_training(
-                model, gpu_key, k, job, pricing=pricing,
-                n_profile_iterations=n_iterations, seed_context="evaluation",
+            observed[(gpu_key, k)] = ws.observed_training(
+                model, gpu_key, k, job, n_iterations, pricing=pricing
             )
             predicted[(gpu_key, k)] = estimator.predict_training(
                 graph, gpu_key, k, job, pricing=pricing

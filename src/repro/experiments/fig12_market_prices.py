@@ -11,6 +11,9 @@ the Fig. 11 winner instead costs a multiple of the optimum.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.artifacts.workspace import Workspace
 from repro.cloud.pricing import MARKET_RATIO
 from repro.core.estimator import CeerEstimator
 from repro.experiments.common import CANONICAL_ITERATIONS, IMAGENET_JOB
@@ -23,6 +26,7 @@ def run_fig12(
     job: TrainingJob = IMAGENET_JOB,
     estimator: CeerEstimator = None,
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> Fig11Result:
     """Regenerate Figure 12: the cost sweep under market-ratio prices.
 
@@ -33,4 +37,5 @@ def run_fig12(
     return run_fig11(
         model=model, job=job, estimator=estimator,
         pricing=MARKET_RATIO, n_iterations=n_iterations,
+        workspace=workspace,
     )

@@ -16,11 +16,12 @@ Headline observations reproduced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.reporting import format_table
+from repro.artifacts.workspace import Workspace, active_workspace
 from repro.core.classify import OpClassification, classify_operations
-from repro.experiments.common import CANONICAL_ITERATIONS, training_profiles
+from repro.experiments.common import CANONICAL_ITERATIONS
 from repro.hardware.gpus import GPU_KEYS
 from repro.profiling.records import ProfileDataset
 
@@ -71,9 +72,11 @@ class Fig2Result:
 def run_fig2(
     profiles: ProfileDataset = None,
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> Fig2Result:
-    """Regenerate Figure 2 from (cached) training-set profiles."""
-    profiles = profiles if profiles is not None else training_profiles(n_iterations)
+    """Regenerate Figure 2 from (workspace-cached) training-set profiles."""
+    if profiles is None:
+        profiles = (workspace or active_workspace()).training_profiles(n_iterations)
     classification = classify_operations(profiles)
     gpu_records = profiles.gpu_records()
 

@@ -11,9 +11,10 @@ single-GPU instance's rental cost per microsecond. Headline observations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import format_table
+from repro.artifacts.workspace import Workspace
 from repro.cloud.pricing import ON_DEMAND, PricingScheme
 from repro.experiments.common import CANONICAL_ITERATIONS
 from repro.experiments.fig2_op_times import Fig2Result, run_fig2
@@ -67,9 +68,10 @@ def run_fig3(
     profiles: ProfileDataset = None,
     pricing: PricingScheme = ON_DEMAND,
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> Fig3Result:
     """Regenerate Figure 3 from the Figure 2 times and instance prices."""
-    fig2: Fig2Result = run_fig2(profiles, n_iterations)
+    fig2: Fig2Result = run_fig2(profiles, n_iterations, workspace=workspace)
     cost_per_us = {g: pricing.instance(g, 1).cost_per_us for g in GPU_KEYS}
 
     cost_nano_usd: Dict[str, Dict[str, float]] = {}

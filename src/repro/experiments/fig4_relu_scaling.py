@@ -11,11 +11,12 @@ reports fit quality. The same analysis can be pointed at any heavy op type
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import format_table
+from repro.artifacts.workspace import Workspace, active_workspace
 from repro.core.regression import RegressionModel, fit_regression
-from repro.experiments.common import CANONICAL_ITERATIONS, training_profiles
+from repro.experiments.common import CANONICAL_ITERATIONS
 from repro.hardware.gpus import GPU_KEYS
 from repro.profiling.features import feature_schema
 from repro.profiling.records import ProfileDataset
@@ -71,9 +72,11 @@ def run_fig4(
     op_type: str = "Relu",
     profiles: ProfileDataset = None,
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> Fig4Result:
     """Regenerate Figure 4 for ``op_type`` (default: the paper's ReLU)."""
-    profiles = profiles if profiles is not None else training_profiles(n_iterations)
+    if profiles is None:
+        profiles = (workspace or active_workspace()).training_profiles(n_iterations)
     subset = profiles.gpu_records().for_op_type(op_type)
     points: Dict[str, List[Tuple[float, float]]] = {}
     fits: Dict[str, RegressionModel] = {}

@@ -10,12 +10,13 @@ Ceer models them with medians instead of regressions (Section IV-B).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import fraction_below, percentile_of
+from repro.artifacts.workspace import Workspace, active_workspace
 from repro.core.classify import classify_operations
-from repro.experiments.common import CANONICAL_ITERATIONS, training_profiles
+from repro.experiments.common import CANONICAL_ITERATIONS
 from repro.profiling.records import ProfileDataset
 
 
@@ -63,9 +64,11 @@ class Fig5Result:
 def run_fig5(
     profiles: ProfileDataset = None,
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> Fig5Result:
-    """Regenerate Figure 5 from (cached) training-set profiles."""
-    profiles = profiles if profiles is not None else training_profiles(n_iterations)
+    """Regenerate Figure 5 from (workspace-cached) training-set profiles."""
+    if profiles is None:
+        profiles = (workspace or active_workspace()).training_profiles(n_iterations)
     classification = classify_operations(profiles)
     heavy_by_gpu: Dict[str, List[float]] = {}
     light_values: List[float] = []

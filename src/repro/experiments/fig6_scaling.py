@@ -9,10 +9,11 @@ paper reports average reductions of ~35.8%, ~46.6% and ~53.6% for 2, 3 and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.reporting import format_table, format_us
 from repro.analysis.stats import relative_reduction
+from repro.artifacts.workspace import Workspace
 from repro.experiments.common import (
     CANONICAL_ITERATIONS,
     SCALING_JOB,
@@ -71,11 +72,14 @@ def run_fig6(
     job: TrainingJob = SCALING_JOB,
     gpu_counts: Tuple[int, ...] = (1, 2, 3, 4),
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> Fig6Result:
     """Regenerate Figure 6 (default: the paper's Inception-v1 workload)."""
     times_us: Dict[Tuple[str, int], float] = {}
     for gpu_key in GPU_KEYS:
         for k in gpu_counts:
-            measurement = observed_training(model, gpu_key, k, job, n_iterations)
+            measurement = observed_training(
+                model, gpu_key, k, job, n_iterations, workspace=workspace
+            )
             times_us[(gpu_key, k)] = measurement.total_us
     return Fig6Result(model=model, training_time_us=times_us, gpu_counts=gpu_counts)

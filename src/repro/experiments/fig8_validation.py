@@ -10,10 +10,11 @@ agreement between predicted and observed GPU rankings per CNN.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_dollars, format_table, format_us
 from repro.analysis.stats import rank_agreement
+from repro.artifacts.workspace import Workspace
 from repro.core.estimator import CeerEstimator, TrainingPrediction
 from repro.experiments.common import (
     CANONICAL_ITERATIONS,
@@ -108,9 +109,11 @@ def run_fig8(
     job: TrainingJob = IMAGENET_JOB,
     estimator: CeerEstimator = None,
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> Fig8Result:
     """Regenerate Figure 8 (observed vs predicted, 4-GPU instances)."""
-    estimator = estimator if estimator is not None else fitted_ceer(n_iterations).estimator
+    if estimator is None:
+        estimator = fitted_ceer(n_iterations, workspace=workspace).estimator
     observed: Dict[Tuple[str, str], TrainingMeasurement] = {}
     predicted: Dict[Tuple[str, str], TrainingPrediction] = {}
     for model in models:
@@ -119,7 +122,7 @@ def run_fig8(
         graph = estimator.resolve_graph(model, job.batch_size)
         for gpu_key in GPU_KEYS:
             observed[(model, gpu_key)] = observed_training(
-                model, gpu_key, num_gpus, job, n_iterations
+                model, gpu_key, num_gpus, job, n_iterations, workspace=workspace
             )
             predicted[(model, gpu_key)] = estimator.predict_training(
                 graph, gpu_key, num_gpus, job

@@ -19,9 +19,10 @@ assignment of CNNs to sides (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
+from repro.artifacts.workspace import Workspace
 from repro.cloud.catalog import InstanceType
 from repro.cloud.pricing import ON_DEMAND, PricingScheme
 from repro.core.estimator import CeerEstimator
@@ -135,16 +136,21 @@ def run_fig9(
     estimator: CeerEstimator = None,
     pricing: PricingScheme = ON_DEMAND,
     n_iterations: int = CANONICAL_ITERATIONS,
+    workspace: Optional[Workspace] = None,
 ) -> Fig9Result:
     """Regenerate Figure 9 under the paper's $3/hr (+slack) budget."""
-    estimator = estimator if estimator is not None else fitted_ceer(n_iterations).estimator
+    if estimator is None:
+        estimator = fitted_ceer(n_iterations, workspace=workspace).estimator
     configs = tuple(affordable_configs(pricing=pricing))
     per_sample: Dict[Tuple[str, str], Tuple[float, float]] = {}
     for model in models:
         # One engine compilation per CNN, shared by every budget config.
         graph = estimator.resolve_graph(model, job.batch_size)
         for inst in configs:
-            obs = observed_training(model, inst.gpu_key, inst.num_gpus, job, n_iterations)
+            obs = observed_training(
+                model, inst.gpu_key, inst.num_gpus, job, n_iterations,
+                workspace=workspace,
+            )
             pred = estimator.predict_training(
                 graph, inst.gpu_key, inst.num_gpus, job, instance=inst
             )

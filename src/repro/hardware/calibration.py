@@ -32,6 +32,13 @@ from typing import Dict, Tuple
 from repro.errors import HardwareError
 from repro.graph.ops import OpCategory
 
+#: Version of the calibration tables below. Folded into every artifact
+#: fingerprint (see :mod:`repro.artifacts.fingerprint`): retuning these
+#: constants changes every simulated measurement, so bumping this number
+#: self-invalidates all cached profiles/fits/measurements instead of letting
+#: stale artifacts mis-resolve against the new substrate.
+CALIBRATION_VERSION = 1
+
 #: (gpu key, category) -> (fraction of peak GFLOP/s, fraction of peak GB/s)
 EFFICIENCY: Dict[Tuple[str, OpCategory], Tuple[float, float]] = {
     # --- V100 / P3: excellent everywhere, exceptional at memory-bound work

@@ -1,10 +1,13 @@
-"""Disk caching for profile datasets.
+"""Disk caching for profile datasets (legacy adapter).
 
 Profiling the full training matrix (8 CNNs x 4 GPU models x 1,000
-iterations) is the expensive step of Ceer's offline phase. This cache
-stores :class:`~repro.profiling.records.ProfileDataset` JSON files keyed by
-a stable hash of the profiling configuration, so repeated experiment runs
-(or CI) skip straight to fitting.
+iterations) is the expensive step of Ceer's offline phase. This module
+predates the typed artifact workspace; :class:`ProfileCache` is now a thin
+backwards-compatible adapter over
+:class:`~repro.artifacts.store.ArtifactStore`, keeping its historical
+``cache_key`` addressing while inheriting the store's atomic writes,
+corruption-tolerant reads, and per-key locking. New code should use
+:class:`~repro.artifacts.workspace.Workspace` directly.
 
 Usage::
 
@@ -19,7 +22,8 @@ import json
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
-from repro.errors import ProfilingError
+from repro.artifacts import kinds
+from repro.artifacts.store import ArtifactStore
 from repro.profiling.profiler import Profiler
 from repro.profiling.records import ProfileDataset
 
@@ -30,11 +34,19 @@ CACHE_FORMAT_VERSION = 1
 
 
 class ProfileCache:
-    """A content-addressed directory of profile datasets."""
+    """A content-addressed directory of profile datasets.
+
+    Storage is delegated to an :class:`ArtifactStore` holding ``profile``
+    kind artifacts, so a ProfileCache directory is also a valid (partial)
+    workspace directory and vice versa.
+    """
 
     def __init__(self, directory: Union[str, Path]) -> None:
-        self.directory = Path(directory).expanduser()
-        self.directory.mkdir(parents=True, exist_ok=True)
+        self._store = ArtifactStore(directory)
+        self.directory = self._store.directory
+        # Legacy callers poke files into the cache directly (tests inject
+        # corruption; tooling lists it) — make the kind directory eagerly.
+        (self.directory / kinds.PROFILE.name).mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -60,7 +72,7 @@ class ProfileCache:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def _path(self, key: str) -> Path:
-        return self.directory / f"profiles-{key}.json"
+        return self._store.path_for(kinds.PROFILE, key)
 
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[ProfileDataset]:
@@ -71,19 +83,12 @@ class ProfileCache:
         and overwrites the bad file, so a killed run or stale layout can
         never wedge the pipeline.
         """
-        path = self._path(key)
-        if not path.exists():
-            return None
-        try:
-            return ProfileDataset.from_json(path)
-        except (json.JSONDecodeError, ProfilingError, KeyError, TypeError,
-                ValueError, OSError):
-            return None
+        return self._store.load(kinds.PROFILE, key, kinds.decode_profiles)
 
     def store(self, key: str, dataset: ProfileDataset) -> Path:
-        path = self._path(key)
-        dataset.to_json(path)
-        return path
+        return self._store.save(
+            kinds.PROFILE, key, dataset, kinds.encode_profiles
+        )
 
     def get_or_profile(
         self,
@@ -105,11 +110,10 @@ class ProfileCache:
 
     def entries(self) -> List[Path]:
         """All cache files, for inspection/cleanup."""
-        return sorted(self.directory.glob("profiles-*.json"))
+        return sorted(
+            info.path for info in self._store.entries(kinds.PROFILE.name)
+        )
 
     def clear(self) -> int:
         """Delete all cache entries; returns the number removed."""
-        entries = self.entries()
-        for path in entries:
-            path.unlink()
-        return len(entries)
+        return self._store.clear(kinds.PROFILE.name)

@@ -1,0 +1,113 @@
+"""Artifact-routing lint: expensive artifacts are cached by the workspace.
+
+The artifact workspace (:mod:`repro.artifacts`) replaced the old
+``@lru_cache`` module globals: keys fold in schema and calibration
+versions, entries persist across processes, and concurrent runs lock per
+key. A stray ``@lru_cache`` on a function returning one of the expensive
+artifact types reintroduces a second, unversioned cache layer — hits
+never invalidate on config changes and never reach the workspace's
+counters. This rule flags ``functools.lru_cache``/``functools.cache``
+decorators on functions annotated as returning an artifact type anywhere
+outside ``repro/artifacts/`` itself (tests and benchmarks are exempt).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.staticcheck.findings import Finding
+
+RULE_ARTIFACT = "artifact-routing"
+
+#: Return-type names owned by the artifact workspace.
+ARTIFACT_TYPES = frozenset({
+    "ProfileDataset", "FittedCeer", "TrainingMeasurement",
+})
+
+#: Decorator names that create in-process memo caches.
+CACHE_DECORATORS = frozenset({"lru_cache", "cache"})
+
+#: Module path suffix fragments allowed to memoise artifacts locally.
+ARTIFACT_ALLOWED_FRAGMENTS = (
+    "repro/artifacts/", "tests/", "benchmarks/", "conftest",
+)
+
+
+def _is_allowed(path: str) -> bool:
+    return any(fragment in path for fragment in ARTIFACT_ALLOWED_FRAGMENTS)
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """The trailing identifier of a decorator: ``functools.lru_cache()``,
+    ``lru_cache(maxsize=1)``, and bare ``cache`` all resolve here."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _annotation_names(node: ast.expr) -> List[str]:
+    """Every identifier inside a return annotation (handles ``Optional[X]``,
+    string annotations, and dotted names)."""
+    names: List[str] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.append(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.append(child.attr)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            # String annotation: cheap token scan is enough for a lint.
+            names.extend(
+                part for part in ARTIFACT_TYPES if part in child.value
+            )
+    return names
+
+
+class ArtifactLint(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def _check_function(self, node) -> None:
+        if node.returns is None:
+            return
+        returned = set(_annotation_names(node.returns)) & ARTIFACT_TYPES
+        if not returned:
+            return
+        for decorator in node.decorator_list:
+            if _decorator_name(decorator) in CACHE_DECORATORS:
+                artifact = sorted(returned)[0]
+                self.findings.append(Finding(
+                    path=self.path,
+                    line=decorator.lineno,
+                    col=decorator.col_offset,
+                    rule=RULE_ARTIFACT,
+                    message=(
+                        f"@{_decorator_name(decorator)} on {node.name!r} "
+                        f"returning {artifact}: route expensive artifacts "
+                        f"through repro.artifacts.Workspace so keys fold in "
+                        f"schema/calibration versions and persist on disk"
+                    ),
+                    symbol=node.name,
+                ))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+
+def check_artifact_routing(tree: ast.AST, path: str) -> List[Finding]:
+    """Flag in-process memo caches on workspace-owned artifact types."""
+    if _is_allowed(path):
+        return []
+    lint = ArtifactLint(path)
+    lint.visit(tree)
+    return lint.findings

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.staticcheck.artifact_lint import RULE_ARTIFACT, check_artifact_routing
 from repro.staticcheck.baseline import Baseline
 from repro.staticcheck.determinism_lint import RULE_DETERMINISM, check_determinism
 from repro.staticcheck.findings import Finding, apply_pragmas, parse_pragmas
@@ -34,6 +35,7 @@ ALL_RULES = {
     RULE_MIX: "+/-/comparison must not mix different unit suffixes",
     RULE_LITERAL: "conversion literals must go through repro.units",
     RULE_ROUTING: "predictions route through PredictionEngine outside core",
+    RULE_ARTIFACT: "expensive artifacts cache via the workspace, not lru_cache",
     RULE_DETERMINISM: "no wall clocks / unseeded randomness",
     RULE_REGISTRY: "op registry and feature schemas stay in lockstep",
     RULE_ZOO: "zoo graphs validate; features match schemas",
@@ -45,6 +47,7 @@ ALL_RULES = {
 AST_PASSES: Tuple[Callable[[ast.AST, str], List[Finding]], ...] = (
     check_unit_safety,
     check_engine_routing,
+    check_artifact_routing,
     check_determinism,
 )
 

@@ -1,0 +1,185 @@
+"""Unit tests for the content-addressed artifact store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.artifacts import kinds
+from repro.artifacts.fingerprint import canonical_json, fingerprint
+from repro.artifacts.store import ENVELOPE_FORMAT, ArtifactStore
+from repro.errors import ArtifactError
+
+RAW = kinds.FIGURE  # simplest codec: payloads are {"figure", "rendered"} dicts
+
+
+def encode(text: str) -> object:
+    return kinds.encode_figure("t", text)
+
+
+def store_at(tmp_path, **kwargs) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store", **kwargs)
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        a = fingerprint("profile", 1, {"models": ["m1"], "iterations": 10})
+        b = fingerprint("profile", 1, {"iterations": 10, "models": ["m1"]})
+        assert a == b
+        assert len(a) == 20
+
+    def test_sensitive_to_every_component(self):
+        base = fingerprint("profile", 1, {"iterations": 10})
+        assert base != fingerprint("profile", 2, {"iterations": 10})
+        assert base != fingerprint("fitted", 1, {"iterations": 10})
+        assert base != fingerprint("profile", 1, {"iterations": 20})
+
+    def test_calibration_version_folds_in(self, monkeypatch):
+        import sys
+
+        # ``repro.artifacts.fingerprint`` the *attribute* is the function
+        # (re-exported by the package); fetch the module via sys.modules.
+        fingerprint_module = sys.modules["repro.artifacts.fingerprint"]
+        base = fingerprint("profile", 1, {"iterations": 10})
+        monkeypatch.setattr(fingerprint_module, "CALIBRATION_VERSION", 999)
+        assert fingerprint("profile", 1, {"iterations": 10}) != base
+
+    def test_unserialisable_spec_raises_artifact_error(self):
+        with pytest.raises(ArtifactError):
+            canonical_json({"bad": object()})
+
+
+class TestGetOrCreate:
+    def test_miss_compute_then_memory_hit(self, tmp_path):
+        store = store_at(tmp_path)
+        calls = []
+
+        def compute() -> str:
+            calls.append(1)
+            return "rendered-text"
+
+        spec = {"figure": "t", "iterations": 5}
+        first = store.get_or_create(RAW, spec, compute, encode, kinds.decode_figure)
+        second = store.get_or_create(RAW, spec, compute, encode, kinds.decode_figure)
+        assert first == "rendered-text"
+        assert second is first  # memory tier preserves identity
+        assert len(calls) == 1
+        counters = store.counters[RAW.name]
+        assert counters.misses == 1
+        assert counters.hits_memory == 1
+        assert counters.bytes_written > 0
+
+    def test_disk_hit_across_store_instances(self, tmp_path):
+        spec = {"figure": "t", "iterations": 5}
+        store_at(tmp_path).get_or_create(
+            RAW, spec, lambda: "abc", encode, kinds.decode_figure
+        )
+        fresh = store_at(tmp_path)
+        value = fresh.get_or_create(
+            RAW, spec, lambda: pytest.fail("must not recompute"),
+            encode, kinds.decode_figure,
+        )
+        assert value == "abc"
+        counters = fresh.counters[RAW.name]
+        assert counters.misses == 0
+        assert counters.hits_disk == 1
+        assert counters.bytes_read > 0
+
+    def test_memory_tier_is_bounded(self, tmp_path):
+        store = store_at(tmp_path, memory_entries=2)
+        for i in range(4):
+            store.get_or_create(
+                RAW, {"figure": "t", "iterations": i},
+                lambda i=i: f"v{i}", encode, kinds.decode_figure,
+            )
+        assert len(store._memory) == 2
+
+
+class TestCorruption:
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            "",  # truncated to nothing
+            '{"format": "repro-artifact"',  # truncated mid-envelope
+            "not json at all",
+            '["wrong", "shape"]',
+            '{"format": "other-format", "payload": {}}',
+            json.dumps({  # right envelope, wrong schema version
+                "format": ENVELOPE_FORMAT, "kind": "figure",
+                "schema_version": 999, "key": "x",
+                "payload": {"figure": "t", "rendered": "stale"},
+            }),
+            json.dumps({  # right envelope, undecodable payload
+                "format": ENVELOPE_FORMAT, "kind": "figure",
+                "schema_version": kinds.FIGURE.schema_version, "key": "x",
+                "payload": {"figure": "t"},
+            }),
+        ],
+    )
+    def test_bad_file_is_a_miss_and_overwritten(self, tmp_path, corruption):
+        store = store_at(tmp_path)
+        spec = {"figure": "t", "iterations": 5}
+        key = store.key_for(RAW, spec)
+        path = store.path_for(RAW, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(corruption)
+        assert store.load(RAW, key, kinds.decode_figure) is None
+        value = store.get_or_create(
+            RAW, spec, lambda: "fresh", encode, kinds.decode_figure
+        )
+        assert value == "fresh"
+        # Overwritten with a loadable envelope.
+        assert store_at(tmp_path).load(RAW, key, kinds.decode_figure) == "fresh"
+
+    def test_wrong_kind_directory_is_a_miss(self, tmp_path):
+        store = store_at(tmp_path)
+        spec = {"figure": "t", "iterations": 5}
+        key = store.key_for(RAW, spec)
+        store.save(RAW, key, "abc", encode, spec)
+        envelope = json.loads(store.path_for(RAW, key).read_text())
+        # A profile-kind lookup must not accept a figure envelope.
+        wrong = store.path_for(kinds.PROFILE, key)
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        wrong.write_text(json.dumps(envelope))
+        assert store.load(kinds.PROFILE, key, kinds.decode_profiles) is None
+
+
+class TestMaintenance:
+    def test_entries_and_clear(self, tmp_path):
+        store = store_at(tmp_path)
+        for i in range(3):
+            spec = {"figure": "t", "iterations": i}
+            store.save(RAW, store.key_for(RAW, spec), f"v{i}", encode, spec)
+        infos = store.entries()
+        assert len(infos) == 3
+        assert all(info.kind == "figure" for info in infos)
+        assert all(info.spec["figure"] == "t" for info in infos)
+        assert store.entries("profile") == []
+        assert store.clear("figure") == 3
+        assert store.entries() == []
+
+    def test_clear_evicts_memory_tier(self, tmp_path):
+        store = store_at(tmp_path)
+        spec = {"figure": "t", "iterations": 1}
+        store.get_or_create(RAW, spec, lambda: "v", encode, kinds.decode_figure)
+        store.clear()
+        recomputed = store.get_or_create(
+            RAW, spec, lambda: "v2", encode, kinds.decode_figure
+        )
+        assert recomputed == "v2"
+
+    def test_counters_to_json_shape(self, tmp_path):
+        store = store_at(tmp_path)
+        spec = {"figure": "t", "iterations": 1}
+        store.get_or_create(RAW, spec, lambda: "v", encode, kinds.decode_figure)
+        snapshot = store.counters_to_json()
+        assert snapshot["figure"]["misses"] == 1
+        assert snapshot["figure"]["requests"] == 1
+        assert {"hits_memory", "hits_disk", "bytes_read", "bytes_written",
+                "compute_s", "lock_wait_s"} <= set(snapshot["figure"])
+
+    def test_unserialisable_value_raises(self, tmp_path):
+        store = store_at(tmp_path)
+        with pytest.raises(ArtifactError):
+            store.save(RAW, "deadbeef", object(), lambda value: value)

@@ -1,0 +1,148 @@
+"""Workspace facade tests: typed accessors, identity, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts.workspace import (
+    WORKSPACE_ENV,
+    Workspace,
+    active_workspace,
+    default_workspace_dir,
+    set_active_workspace,
+)
+
+ITERATIONS = 30
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    return Workspace(tmp_path / "ws")
+
+
+class TestProfiles:
+    def test_identity_within_process(self, workspace):
+        a = workspace.profiles(["inception_v1"], ["V100"], ITERATIONS)
+        b = workspace.profiles(["inception_v1"], ["V100"], ITERATIONS)
+        assert a is b
+
+    def test_disk_round_trip_is_exact(self, workspace):
+        first = workspace.profiles(["inception_v1"], ["V100"], ITERATIONS)
+        reloaded = Workspace(workspace.directory).profiles(
+            ["inception_v1"], ["V100"], ITERATIONS
+        )
+        assert reloaded is not first
+        assert reloaded.records == first.records
+
+    def test_config_order_does_not_matter(self, workspace):
+        a = workspace.profiles(["vgg_11", "inception_v1"], ["V100", "T4"], ITERATIONS)
+        b = workspace.profiles(["inception_v1", "vgg_11"], ["T4", "V100"], ITERATIONS)
+        assert b is a
+
+
+class TestFitted:
+    def test_fitted_round_trip_predicts_identically(self, workspace, monkeypatch):
+        monkeypatch.setattr(
+            "repro.artifacts.workspace.TRAIN_MODELS",
+            ("inception_v1", "vgg_11", "resnet_50"),
+        )
+        fitted = workspace.fitted_ceer(ITERATIONS)
+        reloaded = Workspace(workspace.directory).fitted_ceer(ITERATIONS)
+        assert reloaded is not fitted
+        # Profiles are re-bound from their own artifact, not duplicated.
+        assert reloaded.train_profiles.records == fitted.train_profiles.records
+        from repro.experiments.common import IMAGENET_JOB
+
+        a = fitted.estimator.predict_training("resnet_50", "V100", 2, IMAGENET_JOB)
+        b = reloaded.estimator.predict_training("resnet_50", "V100", 2, IMAGENET_JOB)
+        assert a.total_us == b.total_us
+        assert a.cost_dollars == b.cost_dollars
+        assert reloaded.diagnostics.heavy_r2 == fitted.diagnostics.heavy_r2
+        assert reloaded.diagnostics.comm_r2 == fitted.diagnostics.comm_r2
+
+
+class TestObservedTraining:
+    def test_cached_measurement_is_equal(self, workspace):
+        from repro.experiments.common import SCALING_JOB
+
+        first = workspace.observed_training(
+            "inception_v1", "V100", 2, SCALING_JOB, ITERATIONS
+        )
+        reloaded = Workspace(workspace.directory).observed_training(
+            "inception_v1", "V100", 2, SCALING_JOB, ITERATIONS
+        )
+        assert reloaded == first
+        counters = workspace.store.counters["measurement"]
+        assert counters.misses == 1
+
+    def test_pricing_is_part_of_the_key(self, workspace):
+        from repro.cloud.pricing import MARKET_RATIO
+        from repro.experiments.common import SCALING_JOB
+
+        on_demand = workspace.observed_training(
+            "inception_v1", "V100", 1, SCALING_JOB, ITERATIONS
+        )
+        market = workspace.observed_training(
+            "inception_v1", "V100", 1, SCALING_JOB, ITERATIONS,
+            pricing=MARKET_RATIO,
+        )
+        assert market.instance_name != on_demand.instance_name
+        assert workspace.store.counters["measurement"].misses == 2
+
+
+class TestFigures:
+    def test_render_called_once(self, workspace):
+        calls = []
+
+        def render() -> str:
+            calls.append(1)
+            return "figure text"
+
+        first = workspace.figure("fig2", ITERATIONS, render)
+        second = workspace.figure("fig2", ITERATIONS, render)
+        assert first == second == "figure text"
+        assert len(calls) == 1
+        # A different iteration count is a different artifact.
+        workspace.figure("fig2", ITERATIONS + 1, render)
+        assert len(calls) == 2
+
+
+class TestActiveWorkspace:
+    def test_env_var_controls_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(WORKSPACE_ENV, str(tmp_path / "env-ws"))
+        assert default_workspace_dir() == tmp_path / "env-ws"
+
+    def test_set_active_workspace_installs_and_restores(self, tmp_path):
+        replacement = Workspace(tmp_path / "other")
+        previous = set_active_workspace(replacement)
+        try:
+            assert active_workspace() is replacement
+        finally:
+            set_active_workspace(previous)
+        assert active_workspace() is not replacement
+
+    def test_experiment_helpers_route_through_workspace(self, tmp_path):
+        from repro.experiments.common import SCALING_JOB, observed_training
+
+        replacement = Workspace(tmp_path / "helpers-ws")
+        previous = set_active_workspace(replacement)
+        try:
+            measurement = observed_training(
+                "inception_v1", "T4", 1, SCALING_JOB, ITERATIONS
+            )
+            counters = replacement.store.counters["measurement"]
+            assert counters.misses == 1
+            again = observed_training(
+                "inception_v1", "T4", 1, SCALING_JOB, ITERATIONS
+            )
+            assert again is measurement
+            # An explicit workspace argument overrides the active one.
+            other = Workspace(tmp_path / "explicit-ws")
+            elsewhere = observed_training(
+                "inception_v1", "T4", 1, SCALING_JOB, ITERATIONS,
+                workspace=other,
+            )
+            assert elsewhere is not measurement
+            assert other.store.counters["measurement"].misses == 1
+        finally:
+            set_active_workspace(previous)

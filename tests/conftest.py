@@ -7,8 +7,11 @@ heavy-op noise is small enough that 80 iterations give stable statistics.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.artifacts.workspace import WORKSPACE_ENV, set_active_workspace
 from repro.core.fit import fit_ceer
 from repro.graph import GraphBuilder
 from repro.hardware.gpus import GPU_KEYS
@@ -17,6 +20,25 @@ from repro.profiling.profiler import Profiler
 
 #: Iteration count used by session-level fixtures (paper: 1,000).
 TEST_ITERATIONS = 80
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_workspace(tmp_path_factory):
+    """Point the artifact workspace at a per-session temp directory.
+
+    Keeps the suite hermetic: tests never read or pollute the developer's
+    ``~/.cache/repro/workspace``, and repeated runs start cold.
+    """
+    directory = tmp_path_factory.mktemp("workspace")
+    previous_env = os.environ.get(WORKSPACE_ENV)
+    os.environ[WORKSPACE_ENV] = str(directory)
+    previous_active = set_active_workspace(None)
+    yield directory
+    set_active_workspace(previous_active)
+    if previous_env is None:
+        os.environ.pop(WORKSPACE_ENV, None)
+    else:
+        os.environ[WORKSPACE_ENV] = previous_env
 
 
 def build_tiny_graph(batch_size: int = 4, num_classes: int = 10):

@@ -92,3 +92,32 @@ class TestValidation:
         path.write_text("[[[")
         with pytest.raises(ModelingError):
             load_estimator(path)
+
+
+class TestAtomicWrites:
+    def test_overwrite_leaves_no_temp_files(self, ceer_small, tmp_path):
+        path = tmp_path / "ceer.json"
+        save_estimator(ceer_small, path)
+        save_estimator(ceer_small, path)  # overwrite in place
+        assert load_estimator(path) is not None
+        assert [p.name for p in tmp_path.iterdir()] == ["ceer.json"]
+
+    def test_failed_write_preserves_previous_file(self, ceer_small, tmp_path,
+                                                  monkeypatch):
+        path = tmp_path / "ceer.json"
+        save_estimator(ceer_small, path)
+        before = path.read_text()
+
+        import repro.artifacts.store as store_module
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store_module.os, "replace", boom)
+        with pytest.raises(OSError):
+            save_estimator(ceer_small, path)
+        # The old file is intact and still parses; no torn partial write.
+        assert path.read_text() == before
+        json.loads(path.read_text())
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []

@@ -1,0 +1,95 @@
+"""Artifact-routing lint: no lru_cache on workspace-owned artifact types."""
+
+from __future__ import annotations
+
+from repro.staticcheck import check_source
+from repro.staticcheck.artifact_lint import RULE_ARTIFACT
+
+
+def rules_of(source: str, path: str):
+    return [f.rule for f in check_source(source, path)]
+
+
+LRU_PROFILE = (
+    "from functools import lru_cache\n"
+    "from repro.profiling.records import ProfileDataset\n"
+    "@lru_cache(maxsize=None)\n"
+    "def training_profiles(n: int) -> ProfileDataset:\n"
+    "    ...\n"
+)
+
+
+def test_lru_cache_on_profile_dataset_is_flagged():
+    assert rules_of(LRU_PROFILE, "src/repro/experiments/common.py") == [
+        RULE_ARTIFACT
+    ]
+
+
+def test_functools_qualified_cache_is_flagged():
+    src = (
+        "import functools\n"
+        "from repro.core.fit import FittedCeer\n"
+        "@functools.cache\n"
+        "def fitted(n: int) -> FittedCeer:\n"
+        "    ...\n"
+    )
+    assert rules_of(src, "src/repro/experiments/common.py") == [RULE_ARTIFACT]
+
+
+def test_optional_and_string_annotations_are_flagged():
+    optional = (
+        "from functools import lru_cache\n"
+        "from typing import Optional\n"
+        "from repro.sim.trace import TrainingMeasurement\n"
+        "@lru_cache\n"
+        "def observed(k: int) -> Optional[TrainingMeasurement]:\n"
+        "    ...\n"
+    )
+    stringly = (
+        "from functools import lru_cache\n"
+        "@lru_cache\n"
+        "def observed(k: int) -> 'TrainingMeasurement':\n"
+        "    ...\n"
+    )
+    assert rules_of(optional, "src/repro/sim/helpers.py") == [RULE_ARTIFACT]
+    assert rules_of(stringly, "src/repro/sim/helpers.py") == [RULE_ARTIFACT]
+
+
+def test_non_artifact_return_types_are_fine():
+    src = (
+        "from functools import lru_cache\n"
+        "@lru_cache(maxsize=32)\n"
+        "def feature_schema(op_type: str) -> tuple:\n"
+        "    ...\n"
+    )
+    assert rules_of(src, "src/repro/profiling/features.py") == []
+
+
+def test_unannotated_functions_are_not_guessed_at():
+    src = (
+        "from functools import lru_cache\n"
+        "@lru_cache\n"
+        "def training_profiles(n):\n"
+        "    ...\n"
+    )
+    assert rules_of(src, "src/repro/experiments/common.py") == []
+
+
+def test_artifacts_package_tests_and_benchmarks_are_exempt():
+    for path in (
+        "src/repro/artifacts/workspace.py",
+        "tests/experiments/test_common.py",
+        "benchmarks/conftest.py",
+    ):
+        assert rules_of(LRU_PROFILE, path) == []
+
+
+def test_pragma_suppresses():
+    src = (
+        "from functools import lru_cache\n"
+        "from repro.profiling.records import ProfileDataset\n"
+        "@lru_cache  # staticcheck: ignore[artifact-routing]\n"
+        "def training_profiles(n: int) -> ProfileDataset:\n"
+        "    ...\n"
+    )
+    assert rules_of(src, "src/repro/experiments/common.py") == []

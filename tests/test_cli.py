@@ -136,3 +136,96 @@ class TestFiguresOutput:
         assert code == 0
         assert report.exists()
         assert "Relu" in report.read_text()
+
+
+class TestWorkspaceFlag:
+    def test_fit_uses_named_workspace(self, tmp_path):
+        ws = tmp_path / "ws"
+        out = tmp_path / "ceer.json"
+        code, text = _run(
+            ["fit", "--iterations", "30", "--output", str(out),
+             "--workspace", str(ws), "--no-warm-test-profiles"]
+        )
+        assert code == 0
+        assert str(ws) in text
+        assert out.exists()
+        assert (ws / "profile").exists()
+        assert (ws / "fitted").exists()
+
+    def test_figures_counters_out(self, tmp_path):
+        counters_path = tmp_path / "counters.json"
+        code, text = _run(
+            ["figures", "fig5", "--iterations", "30",
+             "--workspace", str(tmp_path / "ws"),
+             "--counters-out", str(counters_path)]
+        )
+        assert code == 0
+        import json
+
+        counters = json.loads(counters_path.read_text())
+        assert counters["profile"]["misses"] >= 1
+        assert counters["figure"]["misses"] == 1
+
+    def test_repeat_figures_invocation_hits_cache(self, tmp_path):
+        ws = tmp_path / "ws"
+        argv = ["figures", "fig5", "--iterations", "30", "--workspace", str(ws)]
+        code, first = _run(argv)
+        assert code == 0
+        counters_path = tmp_path / "counters.json"
+        code, second = _run(argv + ["--counters-out", str(counters_path)])
+        assert code == 0
+        import json
+
+        counters = json.loads(counters_path.read_text())
+        # The second run reuses the rendered figure outright, so profiles
+        # are never even requested — no profile counter appears at all.
+        assert counters.get("profile", {}).get("misses", 0) == 0
+        assert counters["figure"]["misses"] == 0
+        assert counters["figure"]["hits_disk"] == 1
+
+
+class TestCacheCommand:
+    def test_empty_list(self, tmp_path):
+        code, text = _run(["cache", "list", "--workspace", str(tmp_path / "ws")])
+        assert code == 0
+        assert "empty" in text
+
+    def test_list_info_clear_round_trip(self, tmp_path):
+        ws = str(tmp_path / "ws")
+        code, _ = _run(["figures", "fig5", "--iterations", "30",
+                        "--workspace", ws])
+        assert code == 0
+        code, listing = _run(["cache", "list", "--workspace", ws])
+        assert code == 0
+        assert "figure" in listing and "profile" in listing
+
+        from repro.artifacts.workspace import Workspace
+
+        [info] = Workspace(ws).store.entries("figure")
+        code, detail = _run(["cache", "info", info.key, "--workspace", ws])
+        assert code == 0
+        assert info.key in detail
+        assert "fig5" in detail
+
+        code, text = _run(["cache", "clear", "--kind", "figure",
+                           "--workspace", ws])
+        assert code == 0
+        assert "removed 1" in text
+        code, listing = _run(["cache", "list", "--workspace", ws])
+        assert "figure " not in listing
+
+    def test_info_unknown_key_errors(self, tmp_path):
+        code, _ = _run(["cache", "info", "deadbeef",
+                        "--workspace", str(tmp_path / "ws")])
+        assert code == 2
+
+    def test_key_is_stable_and_iteration_sensitive(self, tmp_path):
+        ws = str(tmp_path / "ws")
+        code, a = _run(["cache", "key", "--workspace", ws])
+        assert code == 0
+        code, b = _run(["cache", "key", "--workspace", ws])
+        assert a == b
+        assert len(a.strip()) == 20
+        code, c = _run(["cache", "key", "--iterations", "60",
+                        "--workspace", ws])
+        assert c != a

@@ -16,17 +16,28 @@ Targets (paper):
 """
 from collections import defaultdict
 
+from repro.artifacts.workspace import active_workspace
 from repro.core.classify import classify_operations
 from repro.models import TEST_MODELS, TRAIN_MODELS, build_model
-from repro.profiling import Profiler
-from repro.sim import measure_training, comm_overhead_base_us, run_iterations
+from repro.sim import comm_overhead_base_us, run_iterations
 from repro.workloads import IMAGENET_EPOCH, IMAGENET_6400, TrainingJob
 from repro.cloud import ON_DEMAND, MARKET_RATIO
 from repro.graph.ops import OpCategory, op_def
 
 N = 60
-profiler = Profiler(n_iterations=N)
-profiles = profiler.profile_many(list(TRAIN_MODELS), ["V100", "K80", "T4", "M60"])
+ws = active_workspace()
+profiles = ws.profiles(list(TRAIN_MODELS), ["V100", "K80", "T4", "M60"], N)
+
+
+def measure(model, gpu_key, num_gpus, job, pricing=ON_DEMAND):
+    """Workspace-cached ground truth at the calibration seed (training seed
+    context, matching what the fit sees), so re-running the harness while
+    tuning constants only recomputes what a calibration bump invalidates."""
+    return ws.observed_training(
+        model, gpu_key, num_gpus, job, N, seed_context="", pricing=pricing
+    )
+
+
 classification = classify_operations(profiles)
 heavy = classification.heavy
 print(f"heavy op types ({len(heavy)}):", ", ".join(sorted(heavy)))
@@ -63,8 +74,8 @@ job6 = TrainingJob(IMAGENET_6400, batch_size=32)
 for k in (2, 3, 4):
     reds = []
     for g in ("V100", "K80", "T4", "M60"):
-        t1 = measure_training("inception_v1", g, 1, job6, n_profile_iterations=N).total_us
-        tk = measure_training("inception_v1", g, k, job6, n_profile_iterations=N).total_us
+        t1 = measure("inception_v1", g, 1, job6).total_us
+        tk = measure("inception_v1", g, k, job6).total_us
         reds.append(1 - tk / t1)
     print(f"  k={k}: avg reduction {sum(reds)/len(reds):.1%} ({['%.0f%%' % (100*r) for r in reds]})")
 
@@ -76,7 +87,7 @@ for g in ("V100", "K80", "T4", "M60"):
 
 print("Fig8 (k=4, ImageNet epoch):")
 for name in TEST_MODELS:
-    res = {g: measure_training(name, g, 4, IMAGENET_EPOCH, n_profile_iterations=N) for g in ("V100", "K80", "T4", "M60")}
+    res = {g: measure(name, g, 4, IMAGENET_EPOCH) for g in ("V100", "K80", "T4", "M60")}
     t = {g: r.total_us for g, r in res.items()}
     c = {g: r.cost_dollars for g, r in res.items()}
     print(f"  {name:14s} P3 cuts vs P2/G3/G4: "
@@ -89,7 +100,7 @@ cfgs = [("K80", 3), ("M60", 3), ("T4", 3), ("V100", 1)]
 for name in TEST_MODELS:
     per = {}
     for g, k in cfgs:
-        m = measure_training(name, g, k, IMAGENET_EPOCH, n_profile_iterations=N)
+        m = measure(name, g, k, IMAGENET_EPOCH)
         per[f"{g}x{k}"] = m.per_iteration_us / (k * 32) / 1e3
     best = min(per, key=per.get)
     print(f"  {name:14s} best={best:8s} " + " ".join(f"{c}={v:.2f}" for c, v in per.items()))
@@ -98,7 +109,7 @@ print("Fig10 (resnet_101, all configs): cost & time")
 feas = []
 for g in ("V100", "K80", "T4", "M60"):
     for k in (1, 2, 3, 4):
-        m = measure_training("resnet_101", g, k, IMAGENET_EPOCH, n_profile_iterations=N)
+        m = measure("resnet_101", g, k, IMAGENET_EPOCH)
         feas.append((m.cost_dollars, m.total_hours, f"{g}x{k}"))
 for cost, hours, cfg in sorted(feas):
     print(f"  {cfg:8s} ${cost:6.2f}  {hours:6.2f} h")
@@ -107,7 +118,7 @@ for pricing, tag in ((ON_DEMAND, "Fig11 aws"), (MARKET_RATIO, "Fig12 market")):
     costs = {}
     for g in ("V100", "K80", "T4", "M60"):
         for k in (1, 2, 3, 4):
-            m = measure_training("inception_v3", g, k, IMAGENET_EPOCH, pricing=pricing, n_profile_iterations=N)
+            m = measure("inception_v3", g, k, IMAGENET_EPOCH, pricing=pricing)
             costs[f"{g}x{k}"] = m.cost_dollars
     best = min(costs, key=costs.get)
     print(f"{tag}: cheapest={best} " + " ".join(f"{c}=${v:.1f}" for c, v in sorted(costs.items())))
