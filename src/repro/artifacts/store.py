@@ -23,7 +23,13 @@ schema-mismatched, or undecodable artifact is a *miss* — the store
 recomputes and overwrites, it never crashes the pipeline.
 
 Observability: per-kind counters (memory/disk hits, misses, bytes moved,
-compute and lock-wait seconds) are exported via :meth:`ArtifactStore.counters_to_json`.
+compute and lock-wait seconds) live on a per-store
+:class:`~repro.obs.metrics.MetricsRegistry` (``store.metrics``) — the
+repo's single metrics surface — and are exported via
+:meth:`ArtifactStore.counters_to_json` (legacy shape) or
+:func:`repro.obs.export.metrics_to_json`. The slow paths (disk reads,
+lock waits, artifact computes, writes) emit :func:`repro.obs.spans.span`
+regions when tracing is enabled.
 """
 
 from __future__ import annotations
@@ -43,23 +49,66 @@ from typing import (
 from repro.artifacts.fingerprint import fingerprint
 from repro.artifacts.kinds import ArtifactKind
 from repro.errors import ArtifactError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import span
 
 T = TypeVar("T")
 
 ENVELOPE_FORMAT = "repro-artifact"
 
 
-@dataclass
 class KindCounters:
-    """Hit/miss/bytes/latency accounting for one artifact kind."""
+    """Hit/miss/bytes/latency accounting for one artifact kind.
 
-    hits_memory: int = 0
-    hits_disk: int = 0
-    misses: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-    compute_s: float = 0.0
-    lock_wait_s: float = 0.0
+    A thin view over registry-backed :class:`~repro.obs.metrics.Counter`
+    instruments: the counts live on the store's ``MetricsRegistry`` (one
+    metrics surface for export), while this class keeps the attribute
+    interface (``counters.misses`` etc.) the rest of the repo reads.
+    """
+
+    _FIELDS = (
+        "hits_memory", "hits_disk", "misses",
+        "bytes_read", "bytes_written", "compute_s", "lock_wait_s",
+    )
+
+    def __init__(self, registry: MetricsRegistry, kind: str) -> None:
+        self.kind = kind
+        self._counters = {
+            field: registry.counter(f"store.{field}", kind=kind)
+            for field in self._FIELDS
+        }
+
+    def add(self, field: str, amount: Union[int, float]) -> None:
+        """Increment one field's backing counter."""
+        self._counters[field].inc(amount)
+
+    @property
+    def hits_memory(self) -> int:
+        return int(self._counters["hits_memory"].value)
+
+    @property
+    def hits_disk(self) -> int:
+        return int(self._counters["hits_disk"].value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._counters["misses"].value)
+
+    @property
+    def bytes_read(self) -> int:
+        return int(self._counters["bytes_read"].value)
+
+    @property
+    def bytes_written(self) -> int:
+        return int(self._counters["bytes_written"].value)
+
+    @property
+    def compute_s(self) -> float:
+        return float(self._counters["compute_s"].value)
+
+    @property
+    def lock_wait_s(self) -> float:
+        return float(self._counters["lock_wait_s"].value)
 
     @property
     def hits(self) -> int:
@@ -129,14 +178,18 @@ class ArtifactStore:
         lock_timeout_s: float = 600.0,
         lock_poll_s: float = 0.02,
         lock_stale_s: float = 300.0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
+        # The directory is created lazily on first write: read-only
+        # operations (``repro cache list/info`` on a workspace that does
+        # not exist yet) must neither fail nor leave directories behind.
         self.directory = Path(directory).expanduser()
-        self.directory.mkdir(parents=True, exist_ok=True)
         self.memory_entries = memory_entries
         self.lock_timeout_s = lock_timeout_s
         self.lock_poll_s = lock_poll_s
         self.lock_stale_s = lock_stale_s
         self._memory: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.counters: Dict[str, KindCounters] = {}
 
     # -- addressing ----------------------------------------------------
@@ -151,7 +204,11 @@ class ArtifactStore:
         return self.directory / kind.name / f"{key}.lock"
 
     def _count(self, kind: ArtifactKind) -> KindCounters:
-        return self.counters.setdefault(kind.name, KindCounters())
+        counters = self.counters.get(kind.name)
+        if counters is None:
+            counters = KindCounters(self.metrics, kind.name)
+            self.counters[kind.name] = counters
+        return counters
 
     # -- memory tier ---------------------------------------------------
     def _memory_get(self, kind: ArtifactKind, key: str) -> Optional[object]:
@@ -173,7 +230,7 @@ class ArtifactStore:
         """Return the artifact at ``key`` or None; never raises on corruption."""
         cached = self._memory_get(kind, key)
         if cached is not None:
-            self._count(kind).hits_memory += 1
+            self._count(kind).add("hits_memory", 1)
             return cast(T, cached)
         return self._load_disk(kind, key, decode)
 
@@ -181,27 +238,36 @@ class ArtifactStore:
         self, kind: ArtifactKind, key: str, decode: Callable[[object], T]
     ) -> Optional[T]:
         path = self.path_for(kind, key)
-        try:
-            raw = path.read_bytes()
-        except OSError:
-            return None
-        try:
-            envelope = json.loads(raw)
-            if not isinstance(envelope, dict):
+        with span("store.disk_read", kind=kind.name, key=key) as read_span:
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                read_span.set_attribute("outcome", "absent")
                 return None
-            if envelope.get("format") != ENVELOPE_FORMAT:
-                return None
-            if envelope.get("kind") != kind.name:
-                return None
-            if envelope.get("schema_version") != kind.schema_version:
-                return None
-            value = decode(envelope["payload"])
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError,
-                AttributeError, ReproError):
-            return None  # corrupt/stale artifact == miss; caller recomputes
+            try:
+                envelope = json.loads(raw)
+                if not isinstance(envelope, dict):
+                    read_span.set_attribute("outcome", "corrupt")
+                    return None
+                if envelope.get("format") != ENVELOPE_FORMAT:
+                    read_span.set_attribute("outcome", "corrupt")
+                    return None
+                if envelope.get("kind") != kind.name:
+                    read_span.set_attribute("outcome", "corrupt")
+                    return None
+                if envelope.get("schema_version") != kind.schema_version:
+                    read_span.set_attribute("outcome", "stale-schema")
+                    return None
+                value = decode(envelope["payload"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                    AttributeError, ReproError):
+                read_span.set_attribute("outcome", "corrupt")
+                return None  # corrupt/stale artifact == miss; caller recomputes
+            read_span.set_attribute("outcome", "hit")
+            read_span.set_attribute("bytes", len(raw))
         counters = self._count(kind)
-        counters.hits_disk += 1
-        counters.bytes_read += len(raw)
+        counters.add("hits_disk", 1)
+        counters.add("bytes_read", len(raw))
         self._memory_put(kind, key, value)
         return value
 
@@ -230,9 +296,10 @@ class ArtifactStore:
                 f"artifact {kind.name}/{key} payload is not JSON-serialisable: {exc}"
             ) from exc
         path = self.path_for(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_bytes(path, data)
-        self._count(kind).bytes_written += len(data)
+        with span("store.write", kind=kind.name, key=key, bytes=len(data)):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(path, data)
+        self._count(kind).add("bytes_written", len(data))
         self._memory_put(kind, key, value)
         return path
 
@@ -259,10 +326,11 @@ class ArtifactStore:
             if raced is not None:
                 return raced
             started_s = time.perf_counter()  # staticcheck: ignore[determinism] — cache latency counter, not a model path
-            value = compute()
+            with span("store.compute", kind=kind.name, key=key):
+                value = compute()
             counters = self._count(kind)
-            counters.compute_s += time.perf_counter() - started_s  # staticcheck: ignore[determinism] — cache latency counter
-            counters.misses += 1
+            counters.add("compute_s", time.perf_counter() - started_s)  # staticcheck: ignore[determinism] — cache latency counter
+            counters.add("misses", 1)
             self.save(kind, key, value, encode, spec)
             return value
 
@@ -271,7 +339,9 @@ class ArtifactStore:
     def _locked(self, kind: ArtifactKind, key: str) -> Iterator[None]:
         lock_path = self._lock_path(kind, key)
         lock_path.parent.mkdir(parents=True, exist_ok=True)
-        self._count(kind).lock_wait_s += self._acquire_lock(lock_path)
+        with span("store.lock_wait", kind=kind.name, key=key):
+            waited_s = self._acquire_lock(lock_path)
+        self._count(kind).add("lock_wait_s", waited_s)
         try:
             yield
         finally:

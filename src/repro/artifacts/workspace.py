@@ -30,6 +30,7 @@ from repro.cloud.pricing import ON_DEMAND, PricingScheme
 from repro.core.fit import FittedCeer, fit_ceer
 from repro.hardware.gpus import GPU_KEYS
 from repro.models.zoo import TEST_MODELS, TRAIN_MODELS
+from repro.obs.metrics import MetricsRegistry
 from repro.profiling.profiler import Profiler
 from repro.profiling.records import ProfileDataset
 from repro.sim.trace import TrainingMeasurement
@@ -74,6 +75,11 @@ class Workspace:
 
     def __repr__(self) -> str:
         return f"Workspace({str(self.directory)!r})"
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        """The store's metrics registry (hit/miss/bytes/latency counters)."""
+        return self.store.metrics
 
     # -- profile datasets ----------------------------------------------
     def profiles(

@@ -14,18 +14,26 @@ Commands mirror the paper's workflow:
 ``$REPRO_WORKSPACE``, or ``~/.cache/repro/workspace``), so running them as
 separate processes profiles the CNN matrix exactly once.
 
+Observability: every command accepts ``--trace-out trace.json`` (Chrome
+trace-event JSON of the run's spans — open in Perfetto or
+``chrome://tracing``) and ``--metrics-out metrics.json`` (counters /
+gauges / histograms, including the workspace store's hit/miss counters).
+``$REPRO_TRACE`` / ``$REPRO_METRICS`` set the same paths environment-wide.
+Tracing is off (and costs nothing) unless one of these asks for it.
+
 Example session::
 
     python -m repro fit --output ceer.json --iterations 300
     python -m repro recommend --estimator ceer.json --model inception_v3 \
         --objective min-cost
-    python -m repro figures fig11
+    python -m repro figures fig11 --trace-out fig11-trace.json
     python -m repro cache list
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -49,8 +57,31 @@ from repro.core.recommend import (
 from repro.errors import ReproError
 from repro.graph.serialization import load_graph
 from repro.models.zoo import build_model, model_names
+from repro.obs.export import write_metrics, write_trace
+from repro.obs.metrics import default_registry
+from repro.obs.spans import disable_tracing, enable_tracing, span
 from repro.workloads.dataset import DatasetSpec, TrainingJob
 from repro.units import us_to_ms
+
+#: Environment variables mirroring ``--trace-out`` / ``--metrics-out``.
+TRACE_ENV = "REPRO_TRACE"
+METRICS_ENV = "REPRO_METRICS"
+
+
+def _add_obs_args(p, suppress: bool) -> None:
+    # The observability flags are valid both before and after the
+    # subcommand (``repro --trace-out t.json figures ...`` and
+    # ``repro figures ... --trace-out t.json``). argparse applies subparser
+    # defaults *after* the main parser has filled the namespace, so the
+    # subcommand copies use SUPPRESS to avoid clobbering a pre-subcommand
+    # value with None.
+    default = argparse.SUPPRESS if suppress else None
+    p.add_argument("--trace-out", default=default, metavar="PATH",
+                   help="write a Chrome trace-event JSON of this run "
+                        "(open in Perfetto); also $REPRO_TRACE")
+    p.add_argument("--metrics-out", default=default, metavar="PATH",
+                   help="write counters/gauges/histograms JSON for this "
+                        "run; also $REPRO_METRICS")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,14 +90,17 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Ceer (IISWC 2020 reproduction): CNN training time/cost "
                     "prediction and instance recommendation.",
     )
+    _add_obs_args(parser, suppress=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("models", help="list the CNN zoo")
+    models = sub.add_parser("models", help="list the CNN zoo")
+    _add_obs_args(models, suppress=True)
 
     def add_workspace_arg(p):
         p.add_argument("--workspace",
                        help="artifact workspace directory (default: "
                             "$REPRO_WORKSPACE or ~/.cache/repro/workspace)")
+        _add_obs_args(p, suppress=True)
 
     fit = sub.add_parser("fit", help="profile training CNNs and fit Ceer")
     fit.add_argument("--output", required=True, help="path for the estimator JSON")
@@ -89,6 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--epochs", type=int, default=1)
         p.add_argument("--market-prices", action="store_true",
                        help="use commodity market-ratio prices (paper Fig. 12)")
+        _add_obs_args(p, suppress=True)
 
     predict = sub.add_parser("predict", help="predict time/cost on one instance")
     predict.add_argument("--estimator", required=True)
@@ -130,8 +165,12 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_list = cache_sub.add_parser("list", help="list stored artifacts")
     cache_list.add_argument("--kind", choices=sorted(kinds.KINDS))
     add_workspace_arg(cache_list)
-    cache_info = cache_sub.add_parser("info", help="show one artifact's detail")
-    cache_info.add_argument("key", help="artifact key (see 'cache list')")
+    cache_info = cache_sub.add_parser(
+        "info", help="summarize the workspace, or show one artifact's detail"
+    )
+    cache_info.add_argument("key", nargs="?",
+                            help="artifact key (see 'cache list'); omit for "
+                                 "a per-kind workspace summary")
     add_workspace_arg(cache_info)
     cache_clear = cache_sub.add_parser("clear", help="delete stored artifacts")
     cache_clear.add_argument("--kind", choices=sorted(kinds.KINDS))
@@ -144,10 +183,19 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: The workspace the current command resolved, if any — lets ``main()``
+#: fold the store's hit/miss counters into ``--metrics-out`` after dispatch.
+_last_workspace: Optional[Workspace] = None
+
+
 def _resolve_workspace(args) -> Workspace:
+    global _last_workspace
     if getattr(args, "workspace", None):
-        return Workspace(args.workspace)
-    return active_workspace()
+        workspace = Workspace(args.workspace)
+    else:
+        workspace = active_workspace()
+    _last_workspace = workspace
+    return workspace
 
 
 def _resolve_model(args):
@@ -346,7 +394,31 @@ def _cmd_cache(args, out) -> int:
     if args.cache_command == "info":
         import json
 
-        matches = [i for i in store.entries() if i.key == args.key]
+        infos = store.entries()
+        if args.key is None:
+            # Per-kind summary. A workspace directory that does not exist
+            # yet is simply an empty workspace, not an error: entries()
+            # returns nothing and this prints zeros and exits 0.
+            per_kind = {}
+            for info in infos:
+                count, size_bytes = per_kind.get(info.kind, (0, 0))
+                per_kind[info.kind] = (count + 1, size_bytes + info.size_bytes)
+            rows = [
+                [kind, count, size_bytes]
+                for kind, (count, size_bytes) in sorted(per_kind.items())
+            ]
+            total_bytes = sum(size for _, _, size in rows)
+            print(
+                format_table(
+                    ["kind", "artifacts", "bytes"], rows,
+                    title=f"artifact workspace {workspace.directory}",
+                ),
+                file=out,
+            )
+            print(f"total: {len(infos)} artifact(s), {total_bytes} bytes",
+                  file=out)
+            return 0
+        matches = [i for i in infos if i.key == args.key]
         if not matches:
             raise ReproError(f"no artifact with key {args.key!r} in "
                              f"{workspace.directory}")
@@ -394,13 +466,32 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
+    global _last_workspace
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
+    trace_out = args.trace_out or os.environ.get(TRACE_ENV)
+    metrics_out = args.metrics_out or os.environ.get(METRICS_ENV)
+    _last_workspace = None
+    tracer = enable_tracing() if trace_out else None
     try:
-        return _COMMANDS[args.command](args, out)
+        with span(f"cli.{args.command}"):
+            code = _COMMANDS[args.command](args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        code = 2
+    finally:
+        if tracer is not None:
+            disable_tracing()
+    if tracer is not None and trace_out:
+        write_trace(trace_out, tracer)
+        print(f"trace written to {trace_out}", file=out)
+    if metrics_out:
+        registries = [default_registry()]
+        if _last_workspace is not None:
+            registries.append(_last_workspace.metrics)
+        write_metrics(metrics_out, *registries)
+        print(f"metrics written to {metrics_out}", file=out)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

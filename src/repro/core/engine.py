@@ -44,6 +44,7 @@ import numpy as np
 from repro.errors import UnseenOperationError
 from repro.graph.graph import OpGraph
 from repro.graph.ops import Device
+from repro.obs.spans import span
 from repro.profiling.features import features_for
 from repro.core.classify import CPU, HEAVY, LIGHT
 from repro.core.op_models import ComputeTimeModels
@@ -239,7 +240,8 @@ class PredictionEngine:
         from repro.models.zoo import build_model
 
         self.stats["graph_misses"] += 1
-        graph = build_model(model, batch_size=batch_size)
+        with span("engine.build_graph", model=model, batch_size=batch_size):
+            graph = build_model(model, batch_size=batch_size)
         self._graphs.insert(key, graph)
         return graph
 
@@ -253,7 +255,8 @@ class PredictionEngine:
             self.stats["compile_hits"] += 1
             return entry
         self.stats["compile_misses"] += 1
-        entry = _CompiledEntry(graph, compile_graph(graph, self.compute_models))
+        with span("engine.compile", graph=graph.name, ops=len(graph)):
+            entry = _CompiledEntry(graph, compile_graph(graph, self.compute_models))
         self._compiled.insert(id(graph), entry)
         return entry
 
@@ -277,10 +280,14 @@ class PredictionEngine:
             self.stats["eval_hits"] += 1
             return cached
         self.stats["eval_misses"] += 1
-        total = evaluate_compiled_us(
-            entry.compiled, self.compute_models, gpu_key,
+        with span(
+            "engine.evaluate", graph=entry.compiled.graph_name, gpu=gpu_key,
             include_light=include_light, include_cpu=include_cpu,
-        )
+        ):
+            total = evaluate_compiled_us(
+                entry.compiled, self.compute_models, gpu_key,
+                include_light=include_light, include_cpu=include_cpu,
+            )
         entry.totals[key] = total
         return total
 

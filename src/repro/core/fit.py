@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.hardware.gpus import GPU_KEYS
 from repro.models.zoo import TRAIN_MODELS
+from repro.obs.spans import span
 from repro.profiling.profiler import Profiler
 from repro.profiling.records import ProfileDataset
 from repro.core.classify import (
@@ -112,18 +113,24 @@ def fit_ceer(
         train_profiles = profiler.profile_many(
             list(train_models), list(gpu_keys), seed_context
         )
-    classification = classify_operations(
-        train_profiles, threshold_us=threshold_us, reference_gpu=reference_gpu
-    )
-    compute_models = fit_compute_models(
-        train_profiles, classification, strict_unseen=strict_unseen
-    )
-    observations = collect_comm_observations(
-        list(train_models), list(gpu_keys), gpu_counts,
-        n_iterations=min(n_iterations, 300), batch_size=batch_size,
-        seed_context=seed_context, placement=placement,
-    )
-    comm_model = fit_comm_model(observations)
+    with span(
+        "fit.ceer", models=len(train_models), gpus=len(gpu_keys),
+        iterations=n_iterations, placement=placement,
+    ):
+        classification = classify_operations(
+            train_profiles, threshold_us=threshold_us, reference_gpu=reference_gpu
+        )
+        with span("fit.compute_models"):
+            compute_models = fit_compute_models(
+                train_profiles, classification, strict_unseen=strict_unseen
+            )
+        with span("fit.comm_model"):
+            observations = collect_comm_observations(
+                list(train_models), list(gpu_keys), gpu_counts,
+                n_iterations=min(n_iterations, 300), batch_size=batch_size,
+                seed_context=seed_context, placement=placement,
+            )
+            comm_model = fit_comm_model(observations)
     estimator = CeerEstimator(compute_models, comm_model)
     diagnostics = CeerDiagnostics(
         train_models=tuple(train_models),

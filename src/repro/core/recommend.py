@@ -23,6 +23,7 @@ from repro.cloud.pricing import ON_DEMAND, PricingScheme
 from repro.errors import RecommendationError
 from repro.graph.graph import OpGraph
 from repro.hardware.gpus import GPU_KEYS
+from repro.obs.spans import span, tracing_enabled
 from repro.workloads.dataset import TrainingJob
 from repro.core.estimator import CeerEstimator, TrainingPrediction
 
@@ -193,13 +194,27 @@ class Recommender:
                 f"model {graph.name!r} does not fit in any "
                 f"candidate GPU's memory at batch {job.batch_size}"
             )
-        return [
-            self.estimator.predict_training(
-                graph, gpu_key, k, job, pricing=self.pricing
-            )
-            for gpu_key in gpu_keys
-            for k in self.gpu_counts
-        ]
+        engine = getattr(self.estimator, "engine", None) if tracing_enabled() else None
+        stats_before = dict(engine.stats) if engine is not None else {}
+        with span(
+            "recommend.sweep", model=graph.name,
+            candidates=len(gpu_keys) * len(self.gpu_counts),
+        ) as sweep_span:
+            predictions = [
+                self.estimator.predict_training(
+                    graph, gpu_key, k, job, pricing=self.pricing
+                )
+                for gpu_key in gpu_keys
+                for k in self.gpu_counts
+            ]
+            if engine is not None:
+                # Per-sweep engine accounting: how much of the candidate
+                # matrix was served from caches vs compiled/evaluated.
+                for stat_name, count in engine.stats.items():
+                    delta = count - stats_before.get(stat_name, 0)
+                    if delta:
+                        sweep_span.set_attribute(stat_name, delta)
+        return predictions
 
     def recommend(
         self,

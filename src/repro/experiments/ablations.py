@@ -42,6 +42,7 @@ from repro.experiments.common import (
 )
 from repro.hardware.gpus import GPU_KEYS
 from repro.models.zoo import TEST_MODELS, TRAIN_MODELS
+from repro.obs.spans import traced
 
 
 @dataclass
@@ -160,6 +161,7 @@ def _strategy_cost_ratios(
     return {k: sum(v) / len(v) for k, v in ratios.items()}
 
 
+@traced("experiments.ablations")
 def run_ablations(
     gpu_counts: Sequence[int] = (1, 4),
     n_iterations: int = CANONICAL_ITERATIONS,

@@ -41,6 +41,7 @@ from repro.experiments.common import (
 )
 from repro.hardware.gpus import GPU_KEYS
 from repro.models.zoo import TEST_MODELS
+from repro.obs.spans import traced
 from repro.sim.trainer import measure_training
 
 
@@ -85,6 +86,7 @@ class MultiHostResult:
         return "\n".join(lines)
 
 
+@traced("experiments.ext.multihost")
 def run_multihost_study(
     model: str = "inception_v1",
     n_iterations: int = CANONICAL_ITERATIONS,
@@ -162,6 +164,7 @@ _SENSITIVITY_ORDER: Tuple[str, ...] = (
 )
 
 
+@traced("experiments.ext.sensitivity")
 def run_sensitivity_study(
     sizes: Sequence[int] = (3, 5, 8),
     n_iterations: int = 150,
@@ -215,6 +218,7 @@ class TransformerStudyResult:
         return "\n".join(lines)
 
 
+@traced("experiments.ext.transformer")
 def run_transformer_study(
     learn_preset: str = "small",
     eval_presets: Sequence[str] = ("tiny", "mini", "medium"),
@@ -313,6 +317,7 @@ class EstimatorChoiceResult:
         )
 
 
+@traced("experiments.ext.estimator_choice")
 def run_estimator_choice_study(
     n_iterations: int = CANONICAL_ITERATIONS,
     workspace: Optional[Workspace] = None,
@@ -374,6 +379,7 @@ class BatchSizeStudyResult:
         )
 
 
+@traced("experiments.ext.batch_size")
 def run_batch_size_study(
     batch_sizes: Sequence[int] = (16, 32, 64),
     fitted_batch: int = 32,
@@ -442,6 +448,7 @@ class RnnStudyResult:
         return "\n".join(lines)
 
 
+@traced("experiments.ext.rnn")
 def run_rnn_study(
     learn_preset: str = "small",
     eval_presets: Sequence[str] = ("medium", "large"),

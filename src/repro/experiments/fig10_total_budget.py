@@ -29,6 +29,7 @@ from repro.experiments.common import (
     observed_training,
 )
 from repro.hardware.gpus import GPU_KEYS
+from repro.obs.spans import traced
 from repro.sim.trace import TrainingMeasurement
 from repro.workloads.dataset import TrainingJob
 
@@ -115,6 +116,7 @@ class Fig10Result:
         )
 
 
+@traced("experiments.fig10")
 def run_fig10(
     model: str = "resnet_101",
     budget_usd: float = TOTAL_BUDGET_USD,

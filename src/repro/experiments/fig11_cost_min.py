@@ -23,6 +23,7 @@ from repro.experiments.common import (
     fitted_ceer,
 )
 from repro.hardware.gpus import GPU_KEYS
+from repro.obs.spans import traced
 from repro.sim.trace import TrainingMeasurement
 from repro.workloads.dataset import TrainingJob
 
@@ -86,6 +87,7 @@ class Fig11Result:
         )
 
 
+@traced("experiments.fig11")
 def run_fig11(
     model: str = "inception_v3",
     job: TrainingJob = IMAGENET_JOB,

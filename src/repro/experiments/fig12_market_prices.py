@@ -18,9 +18,11 @@ from repro.cloud.pricing import MARKET_RATIO
 from repro.core.estimator import CeerEstimator
 from repro.experiments.common import CANONICAL_ITERATIONS, IMAGENET_JOB
 from repro.experiments.fig11_cost_min import Fig11Result, run_fig11
+from repro.obs.spans import traced
 from repro.workloads.dataset import TrainingJob
 
 
+@traced("experiments.fig12")
 def run_fig12(
     model: str = "inception_v3",
     job: TrainingJob = IMAGENET_JOB,

@@ -23,6 +23,7 @@ from repro.artifacts.workspace import Workspace, active_workspace
 from repro.core.classify import OpClassification, classify_operations
 from repro.experiments.common import CANONICAL_ITERATIONS
 from repro.hardware.gpus import GPU_KEYS
+from repro.obs.spans import traced
 from repro.profiling.records import ProfileDataset
 
 
@@ -69,6 +70,7 @@ class Fig2Result:
         )
 
 
+@traced("experiments.fig2")
 def run_fig2(
     profiles: ProfileDataset = None,
     n_iterations: int = CANONICAL_ITERATIONS,

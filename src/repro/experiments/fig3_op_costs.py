@@ -20,6 +20,7 @@ from repro.experiments.common import CANONICAL_ITERATIONS
 from repro.experiments.fig2_op_times import Fig2Result, run_fig2
 from repro.graph.ops import OpCategory, op_def
 from repro.hardware.gpus import GPU_KEYS
+from repro.obs.spans import traced
 from repro.profiling.records import ProfileDataset
 
 
@@ -64,6 +65,7 @@ class Fig3Result:
         )
 
 
+@traced("experiments.fig3")
 def run_fig3(
     profiles: ProfileDataset = None,
     pricing: PricingScheme = ON_DEMAND,

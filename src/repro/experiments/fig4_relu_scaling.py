@@ -18,6 +18,7 @@ from repro.artifacts.workspace import Workspace, active_workspace
 from repro.core.regression import RegressionModel, fit_regression
 from repro.experiments.common import CANONICAL_ITERATIONS
 from repro.hardware.gpus import GPU_KEYS
+from repro.obs.spans import traced
 from repro.profiling.features import feature_schema
 from repro.profiling.records import ProfileDataset
 
@@ -68,6 +69,7 @@ class Fig4Result:
         return "\n".join([table, "sample points (min/median/max input size):", *samples])
 
 
+@traced("experiments.fig4")
 def run_fig4(
     op_type: str = "Relu",
     profiles: ProfileDataset = None,

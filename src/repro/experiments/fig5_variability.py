@@ -17,6 +17,7 @@ from repro.analysis.stats import fraction_below, percentile_of
 from repro.artifacts.workspace import Workspace, active_workspace
 from repro.core.classify import classify_operations
 from repro.experiments.common import CANONICAL_ITERATIONS
+from repro.obs.spans import traced
 from repro.profiling.records import ProfileDataset
 
 
@@ -61,6 +62,7 @@ class Fig5Result:
         return "\n".join([table, *extra])
 
 
+@traced("experiments.fig5")
 def run_fig5(
     profiles: ProfileDataset = None,
     n_iterations: int = CANONICAL_ITERATIONS,

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     observed_training,
 )
 from repro.hardware.gpus import GPU_KEYS
+from repro.obs.spans import traced
 from repro.workloads.dataset import TrainingJob
 
 
@@ -67,6 +68,7 @@ class Fig6Result:
         return f"{table}\n\naverage reduction across GPU types: {avgs}"
 
 
+@traced("experiments.fig6")
 def run_fig6(
     model: str = "inception_v1",
     job: TrainingJob = SCALING_JOB,

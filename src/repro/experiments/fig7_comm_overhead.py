@@ -20,6 +20,7 @@ from repro.core.comm_model import (
 )
 from repro.hardware.gpus import GPU_KEYS
 from repro.models.zoo import TRAIN_MODELS
+from repro.obs.spans import traced
 from repro.units import us_to_ms
 
 
@@ -69,6 +70,7 @@ class Fig7Result:
         return "\n".join([table, "k=2 scatter (every 3rd point):", *k2])
 
 
+@traced("experiments.fig7")
 def run_fig7(
     models: Sequence[str] = TRAIN_MODELS,
     gpu_counts: Tuple[int, ...] = (1, 2, 3, 4),

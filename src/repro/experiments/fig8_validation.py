@@ -24,6 +24,7 @@ from repro.experiments.common import (
 )
 from repro.hardware.gpus import GPU_KEYS
 from repro.models.zoo import TEST_MODELS
+from repro.obs.spans import traced
 from repro.sim.trace import TrainingMeasurement
 from repro.workloads.dataset import TrainingJob
 
@@ -103,6 +104,7 @@ class Fig8Result:
         )
 
 
+@traced("experiments.fig8")
 def run_fig8(
     models: Sequence[str] = TEST_MODELS,
     num_gpus: int = 4,

@@ -34,6 +34,7 @@ from repro.experiments.common import (
 )
 from repro.hardware.gpus import GPU_KEYS
 from repro.models.zoo import TEST_MODELS
+from repro.obs.spans import traced
 from repro.units import us_to_ms
 from repro.workloads.dataset import TrainingJob
 
@@ -130,6 +131,7 @@ class Fig9Result:
         return "\n".join([table, "", *lines])
 
 
+@traced("experiments.fig9")
 def run_fig9(
     models: Sequence[str] = TEST_MODELS,
     job: TrainingJob = IMAGENET_JOB,

@@ -1,0 +1,69 @@
+"""repro.obs: zero-dependency tracing + metrics for the prediction pipeline.
+
+The paper's method stands on trustworthy timing (Section III profiles ops
+at microsecond granularity; Eq. (2) sums thousands of per-op estimates),
+so the pipeline that *produces* those numbers must itself be observable.
+This package gives the reproduction the same runtime-level instrumentation
+Habitat and PROFET lean on:
+
+* :mod:`repro.obs.spans` — nested ``span("engine.compile", graph=...)``
+  context managers with monotonic wall time, attributes, and thread-safe
+  span trees. Disabled by default; the off-path is a single ``None`` check
+  returning a shared no-op, cheap enough to leave compiled into hot paths.
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms.
+  The artifact store's per-kind hit/miss/bytes/latency counters live on
+  it, so the repo has exactly one metrics surface.
+* :mod:`repro.obs.export` — serializes finished traces to Chrome
+  trace-event JSON (loadable in Perfetto / ``chrome://tracing``) and
+  registry snapshots to a stable metrics JSON schema.
+
+Switches: ``repro <cmd> --trace-out trace.json --metrics-out m.json`` or
+``$REPRO_TRACE`` / ``$REPRO_METRICS`` (paths). Nothing is recorded unless
+one of them enables a tracer.
+"""
+
+from repro.obs.export import (
+    METRICS_FORMAT,
+    METRICS_SCHEMA_VERSION,
+    metrics_to_json,
+    trace_to_chrome_json,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.spans import (
+    Span,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS_FORMAT",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "default_registry",
+    "disable_tracing",
+    "enable_tracing",
+    "metrics_to_json",
+    "span",
+    "trace_to_chrome_json",
+    "tracing_enabled",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,128 @@
+"""Serialize traces and metrics: Chrome trace-event JSON + metrics JSON.
+
+Trace export targets the Chrome trace-event format's complete ("X")
+events, the lowest common denominator that Perfetto and
+``chrome://tracing`` both load directly::
+
+    {"displayTimeUnit": "ms",
+     "traceEvents": [
+        {"name": "engine.compile", "ph": "X", "ts": 12.5, "dur": 2637.0,
+         "pid": 4242, "tid": 1, "cat": "engine", "args": {...}}, ...]}
+
+``ts``/``dur`` are microseconds (the format's native unit — also the
+paper's), relative to the tracer's epoch. Span nesting is preserved both
+implicitly (time containment per ``tid``) and explicitly via each event's
+``args["depth"]``.
+
+Metrics export is a stable, versioned schema::
+
+    {"format": "repro-metrics", "schema_version": 1,
+     "metrics": [{"name": ..., "type": "counter", "labels": {...},
+                  "value": ...}, ...]}
+
+sorted by (name, labels) so diffs between runs are meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "METRICS_FORMAT",
+    "METRICS_SCHEMA_VERSION",
+    "TRACE_FORMAT_NOTE",
+    "metrics_to_json",
+    "trace_to_chrome_json",
+    "write_metrics",
+    "write_trace",
+]
+
+METRICS_FORMAT = "repro-metrics"
+METRICS_SCHEMA_VERSION = 1
+TRACE_FORMAT_NOTE = "chrome-trace-event"
+
+JsonDict = Dict[str, object]
+
+
+def _span_event(
+    finished: Span, pid: int, tid_alias: Dict[int, int], depth: int
+) -> JsonDict:
+    tid = tid_alias.setdefault(finished.thread_id, len(tid_alias) + 1)
+    args: JsonDict = {"depth": depth}
+    args.update(finished.attributes)
+    return {
+        "name": finished.name,
+        "cat": finished.name.split(".", 1)[0],
+        "ph": "X",
+        "ts": finished.start_us,
+        "dur": finished.duration_us,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def trace_to_chrome_json(tracer: Tracer) -> JsonDict:
+    """Render every finished span tree as Chrome trace-event JSON."""
+    pid = os.getpid()
+    tid_alias: Dict[int, int] = {int(threading.main_thread().ident or 0): 0}
+    events: List[JsonDict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+
+    def emit(node: Span, depth: int) -> None:
+        events.append(_span_event(node, pid, tid_alias, depth))
+        for child in node.children:
+            emit(child, depth + 1)
+
+    for root in tracer.roots():
+        emit(root, 0)
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"format": TRACE_FORMAT_NOTE, "producer": "repro.obs"},
+        "traceEvents": events,
+    }
+
+
+def metrics_to_json(*registries: MetricsRegistry) -> JsonDict:
+    """Snapshot one or more registries into the stable metrics schema.
+
+    Passing several registries (the process default plus the active
+    store's) merges their records into one sorted ``metrics`` list.
+    """
+    records: List[Dict[str, object]] = []
+    for registry in registries:
+        records.extend(registry.snapshot())
+    records.sort(key=lambda r: (str(r["name"]), sorted(dict(r["labels"]).items())))  # type: ignore[arg-type]
+    return {
+        "format": METRICS_FORMAT,
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "metrics": records,
+    }
+
+
+def write_trace(path: Union[str, Path], tracer: Tracer) -> Path:
+    """Write the Chrome trace-event JSON for ``tracer`` to ``path``."""
+    target = Path(path)
+    target.write_text(json.dumps(trace_to_chrome_json(tracer), indent=1) + "\n")
+    return target
+
+
+def write_metrics(path: Union[str, Path], *registries: MetricsRegistry) -> Path:
+    """Write the merged metrics JSON for ``registries`` to ``path``."""
+    target = Path(path)
+    target.write_text(json.dumps(metrics_to_json(*registries), indent=1) + "\n")
+    return target

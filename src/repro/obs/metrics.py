@@ -1,0 +1,243 @@
+"""Process metrics: counters, gauges, and histograms in one registry.
+
+A :class:`MetricsRegistry` hands out named, optionally labelled metric
+instruments and snapshots them for export. ``counter("store.misses",
+kind="profile")`` is get-or-create on ``(name, labels)``, so every call
+site that names the same series shares the same instrument — the registry
+is the single source of truth for "how many" and "how long" questions
+about the pipeline.
+
+Two scopes exist:
+
+* the **process default registry** (:func:`default_registry`) — general
+  pipeline metrics (profiling runs, figure renders, CLI command timing);
+* **per-component registries** — the artifact store owns one per store
+  instance (``ArtifactStore.metrics``) so that independent stores (tests,
+  benchmarks, racing workspaces) never share counters. The CLI merges the
+  active store's registry into its ``--metrics-out`` export.
+
+Instruments are thread-safe: updates take the instrument's lock (metric
+updates sit on cold paths — disk reads, profiling sweeps — never inside
+the engine's warm evaluate loop).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple, Type, TypeVar, Union
+
+Number = Union[int, float]
+LabelItems = Tuple[Tuple[str, str], ...]
+MetricKey = Tuple[str, LabelItems]
+InstrumentT = TypeVar("InstrumentT", bound="_Instrument")
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+]
+
+
+def _label_items(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared identity/snapshot plumbing for all instrument types."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels: Dict[str, str] = dict(labels)
+        self._lock = threading.Lock()
+
+    def _values(self) -> Dict[str, Number]:
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, object]:
+        """One stable-schema export record for this instrument."""
+        with self._lock:
+            values = self._values()
+        record: Dict[str, object] = {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+        }
+        record.update(values)
+        return record
+
+    def __repr__(self) -> str:
+        labels = "".join(f" {k}={v}" for k, v in sorted(self.labels.items()))
+        return f"{type(self).__name__}({self.name}{labels})"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (events, bytes, seconds of work)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self._value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def _values(self) -> Dict[str, Number]:
+        return {"value": self._value}
+
+
+class Gauge(_Instrument):
+    """A point-in-time level (cache entries, active workers)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self._value: Number = 0
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: Number) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def _values(self) -> Dict[str, Number]:
+        return {"value": self._value}
+
+
+class Histogram(_Instrument):
+    """A distribution summary: count / sum / min / max / mean.
+
+    Deliberately bucket-free: the traces carry per-event timing already;
+    the histogram answers "how many and how much in aggregate" without a
+    bucket-boundary schema to keep stable.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self.count = 0
+        self.sum: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += v
+            self.min = v if self.min is None else min(self.min, v)
+            self.max = v if self.max is None else max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _values(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.sum / self.count if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for instruments, keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[MetricKey, _Instrument] = {}
+
+    def _get_or_create(
+        self, cls: Type[InstrumentT], name: str, labels: Dict[str, str]
+    ) -> InstrumentT:
+        key: MetricKey = (name, _label_items(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            created = cls(name, _label_items(labels))
+            self._instruments[key] = created
+            return created
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get_or_create(Histogram, name, labels)
+
+    # -- inspection -----------------------------------------------------
+    def instruments(self) -> List[_Instrument]:
+        """Every registered instrument, sorted by (name, labels)."""
+        with self._lock:
+            items = sorted(self._instruments.items(), key=lambda kv: kv[0])
+        return [instrument for _, instrument in items]
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Stable-order export records for every instrument."""
+        return [instrument.snapshot() for instrument in self.instruments()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(self.instruments())
+
+
+#: The process default registry (lazily created, replaceable for tests).
+_default: Optional[MetricsRegistry] = None
+_default_lock = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry for general pipeline metrics."""
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                _default = MetricsRegistry()
+    return _default
+
+
+def set_default_registry(
+    registry: Optional[MetricsRegistry],
+) -> Optional[MetricsRegistry]:
+    """Install a replacement default registry; returns the previous one.
+
+    Pass None to reset to lazy creation (test isolation).
+    """
+    global _default
+    with _default_lock:
+        previous = _default
+        _default = registry
+        return previous

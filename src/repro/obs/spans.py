@@ -1,0 +1,277 @@
+"""Nested tracing spans with monotonic wall time and thread-safe trees.
+
+A :class:`Tracer` collects :class:`Span` trees: each thread keeps its own
+stack of open spans (``threading.local``), so spans nest naturally within
+a thread and interleave safely across threads; finished roots are appended
+to a shared list under a lock.
+
+The module-level :func:`span` helper is the instrumentation surface the
+rest of the codebase uses::
+
+    with span("engine.compile", graph=name, ops=n):
+        ...
+
+Tracing is **disabled by default**: when no tracer is active, ``span()``
+is one global load, one ``None`` check, and a shared no-op object — cheap
+enough to leave compiled into hot paths. Enable with
+:func:`enable_tracing` (the CLI's ``--trace-out`` / ``$REPRO_TRACE`` do
+this), export via :mod:`repro.obs.export`.
+
+Timing uses the process monotonic clock, never the model paths' simulated
+clock: span timestamps are *observations of the pipeline itself* and are
+deliberately exempt from the determinism lint.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, TypeVar, Union, cast
+
+AttrValue = Union[str, int, float, bool, None]
+F = TypeVar("F", bound=Callable[..., Any])
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "span",
+    "traced",
+    "tracing_enabled",
+]
+
+
+def _now_us() -> float:
+    """Monotonic microseconds since an arbitrary process epoch."""
+    return time.perf_counter_ns() / 1e3  # staticcheck: ignore[determinism] — pipeline self-observation, not a model path
+
+
+class Span:
+    """One timed, attributed region of pipeline work.
+
+    Spans form trees: ``children`` are the spans opened (and closed) while
+    this one was the innermost open span on the same thread. ``start_us``
+    is relative to the owning tracer's epoch so a whole trace shares one
+    timebase regardless of which thread opened which span.
+    """
+
+    __slots__ = (
+        "name", "attributes", "start_us", "end_us", "thread_id",
+        "children", "_tracer", "_is_root",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Dict[str, AttrValue],
+        start_us: float,
+        thread_id: int,
+        tracer: "Tracer",
+        is_root: bool,
+    ) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.start_us = start_us
+        self.end_us: Optional[float] = None
+        self.thread_id = thread_id
+        self.children: List["Span"] = []
+        self._tracer = tracer
+        self._is_root = is_root
+
+    @property
+    def duration_us(self) -> float:
+        """Wall-clock width; 0.0 while the span is still open."""
+        if self.end_us is None:
+            return 0.0
+        return self.end_us - self.start_us
+
+    def set_attribute(self, key: str, value: AttrValue) -> None:
+        """Attach/overwrite one attribute on an open (or finished) span."""
+        self.attributes[key] = value
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is not None:
+            self.attributes.setdefault("error", getattr(exc_type, "__name__", str(exc_type)))
+        self._tracer._finish(self)
+
+    def __repr__(self) -> str:
+        state = "open" if self.end_us is None else f"{self.duration_us:.1f}us"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: AttrValue) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects span trees for one traced run.
+
+    Thread-safe by construction: the open-span stack is thread-local, and
+    the shared list of finished root spans is guarded by a lock. A span is
+    published to :meth:`roots` only when it finishes, so export never sees
+    a half-built tree.
+    """
+
+    def __init__(self) -> None:
+        self.epoch_us = _now_us()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+        self._finished_count = 0
+
+    # -- recording ------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attributes: AttrValue) -> Span:
+        """Open a span as a child of this thread's innermost open span."""
+        stack = self._stack()
+        opened = Span(
+            name=name,
+            attributes=dict(attributes),
+            start_us=_now_us() - self.epoch_us,
+            thread_id=threading.get_ident(),
+            tracer=self,
+            is_root=not stack,
+        )
+        if stack:
+            stack[-1].children.append(opened)
+        stack.append(opened)
+        return opened
+
+    def _finish(self, closing: Span) -> None:
+        closing.end_us = _now_us() - self.epoch_us
+        stack = self._stack()
+        # Tolerate out-of-order exits (generators, re-raised exceptions):
+        # pop through to the closing span if it is on this thread's stack.
+        if closing in stack:
+            while stack and stack[-1] is not closing:
+                stack.pop()
+            stack.pop()
+        with self._lock:
+            self._finished_count += 1
+            if closing._is_root:
+                self._roots.append(closing)
+
+    # -- inspection -----------------------------------------------------
+    def roots(self) -> List[Span]:
+        """Finished root spans, in finish order."""
+        with self._lock:
+            return list(self._roots)
+
+    def all_spans(self) -> List[Span]:
+        """Every finished span (roots plus descendants), pre-order."""
+        out: List[Span] = []
+        for root in self.roots():
+            out.extend(root.walk())
+        return out
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans with exactly this name."""
+        return [s for s in self.all_spans() if s.name == name]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._finished_count
+
+
+#: The process-wide active tracer; None means tracing is disabled.
+_active: Optional[Tracer] = None
+_active_lock = threading.Lock()
+
+
+def enable_tracing(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process-wide tracer; spans start recording."""
+    global _active
+    with _active_lock:
+        _active = tracer if tracer is not None else Tracer()
+        return _active
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Stop recording; returns the tracer that was active (for export)."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = None
+        return previous
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The currently installed tracer, or None when tracing is off."""
+    return _active
+
+
+def tracing_enabled() -> bool:
+    return _active is not None
+
+
+def span(name: str, **attributes: AttrValue) -> Union[Span, _NoopSpan]:
+    """Open a span on the active tracer, or a shared no-op when disabled.
+
+    This is the only call sites pay on the off-path: a global load, a
+    ``None`` check, and returning a singleton whose ``__enter__`` /
+    ``__exit__`` do nothing.
+    """
+    tracer = _active
+    if tracer is None:
+        return _NOOP_SPAN
+    return tracer.span(name, **attributes)
+
+
+def traced(name: str) -> Callable[[F], F]:
+    """Decorator form of :func:`span` for whole-function regions.
+
+    Scalar keyword arguments of the call (str/int/float/bool) become span
+    attributes, so ``run_fig2(n_iterations=120)`` traces as
+    ``experiments.fig2 {n_iterations: 120}``. When tracing is disabled the
+    wrapper is a single ``None`` check around the plain call.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            tracer = _active
+            if tracer is None:
+                return fn(*args, **kwargs)
+            attributes = {
+                key: value for key, value in kwargs.items()
+                if isinstance(value, (str, int, float, bool))
+            }
+            with tracer.span(name, **attributes):
+                return fn(*args, **kwargs)
+
+        return cast(F, wrapper)
+
+    return decorate

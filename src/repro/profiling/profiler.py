@@ -12,6 +12,8 @@ from typing import Iterable, Sequence, Union
 from repro.errors import ProfilingError
 from repro.graph.graph import OpGraph
 from repro.models.zoo import build_model
+from repro.obs.metrics import default_registry
+from repro.obs.spans import span
 from repro.profiling.features import features_for
 from repro.profiling.records import ProfileDataset, ProfileRecord
 from repro.sim.executor import run_iterations
@@ -45,14 +47,21 @@ class Profiler:
             if isinstance(model, str)
             else model
         )
-        profile = run_iterations(graph, gpu_key, self.n_iterations, seed_context)
-        op_by_name = {op.name: op for op in graph.operations}
-        records = [
-            ProfileRecord.from_timing(
-                graph.name, timing, features_for(op_by_name[timing.op_name])
-            )
-            for timing in profile.timings
-        ]
+        with span(
+            "profile.run", model=graph.name, gpu=gpu_key,
+            iterations=self.n_iterations,
+        ):
+            profile = run_iterations(graph, gpu_key, self.n_iterations, seed_context)
+            op_by_name = {op.name: op for op in graph.operations}
+            records = [
+                ProfileRecord.from_timing(
+                    graph.name, timing, features_for(op_by_name[timing.op_name])
+                )
+                for timing in profile.timings
+            ]
+        metrics = default_registry()
+        metrics.counter("profiling.runs", gpu=gpu_key).inc()
+        metrics.counter("profiling.records").inc(len(records))
         return ProfileDataset(records)
 
     def profile_many(
@@ -62,11 +71,16 @@ class Profiler:
         seed_context: str = "",
     ) -> ProfileDataset:
         """Profile every (model, GPU) pair and merge the results."""
-        datasets = [
-            self.profile(model, gpu_key, seed_context)
-            for model in models
-            for gpu_key in gpu_keys
-        ]
-        if not datasets:
-            raise ProfilingError("profile_many called with no (model, GPU) pairs")
-        return ProfileDataset.concat(datasets)
+        gpu_list = list(gpu_keys)
+        with span(
+            "profile.sweep", models=len(models), gpus=len(gpu_list),
+            iterations=self.n_iterations,
+        ):
+            datasets = [
+                self.profile(model, gpu_key, seed_context)
+                for model in models
+                for gpu_key in gpu_list
+            ]
+            if not datasets:
+                raise ProfilingError("profile_many called with no (model, GPU) pairs")
+            return ProfileDataset.concat(datasets)

@@ -1,0 +1,16 @@
+"""Observability test isolation: never leak tracer/registry state."""
+
+import pytest
+
+from repro.obs.metrics import set_default_registry
+from repro.obs.spans import disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Guarantee tracing is off and the default registry is fresh after
+    each test, even when a test enables tracing and then fails."""
+    previous = set_default_registry(None)
+    yield
+    disable_tracing()
+    set_default_registry(previous)

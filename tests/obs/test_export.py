@@ -1,0 +1,114 @@
+"""Tests for repro.obs.export: trace-event and metrics JSON schemas."""
+
+import json
+import threading
+
+from repro.obs.export import (
+    METRICS_FORMAT,
+    METRICS_SCHEMA_VERSION,
+    metrics_to_json,
+    trace_to_chrome_json,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+
+def _x_events(doc):
+    return [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+
+class TestChromeTraceSchema:
+    def test_envelope_and_metadata(self):
+        doc = trace_to_chrome_json(Tracer())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["format"] == "chrome-trace-event"
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert metadata and metadata[0]["args"]["name"] == "repro"
+
+    def test_complete_events_carry_required_fields(self):
+        tracer = Tracer()
+        with tracer.span("engine.compile", graph="alexnet", ops=21):
+            pass
+        (event,) = _x_events(trace_to_chrome_json(tracer))
+        assert event["name"] == "engine.compile"
+        assert event["cat"] == "engine"  # first dotted component
+        assert event["ph"] == "X"
+        assert isinstance(event["ts"], float) and event["ts"] >= 0.0
+        assert isinstance(event["dur"], float) and event["dur"] >= 0.0
+        assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+        assert event["args"]["graph"] == "alexnet"
+        assert event["args"]["ops"] == 21
+
+    def test_nesting_exported_with_depth_and_containment(self):
+        tracer = Tracer()
+        with tracer.span("cli.figures"):
+            with tracer.span("fit.ceer"):
+                with tracer.span("fit.compute_models"):
+                    pass
+        events = {e["name"]: e for e in _x_events(trace_to_chrome_json(tracer))}
+        assert events["cli.figures"]["args"]["depth"] == 0
+        assert events["fit.ceer"]["args"]["depth"] == 1
+        assert events["fit.compute_models"]["args"]["depth"] == 2
+        outer, inner = events["cli.figures"], events["fit.compute_models"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_thread_interleaving_gets_distinct_tids(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("background.work"):
+                pass
+
+        with tracer.span("main.work"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        events = {e["name"]: e for e in _x_events(trace_to_chrome_json(tracer))}
+        assert events["main.work"]["tid"] == 0  # main thread aliases to 0
+        assert events["background.work"]["tid"] != 0
+
+    def test_round_trip_through_disk(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", note="hello"):
+            with tracer.span("b"):
+                pass
+        path = write_trace(tmp_path / "trace.json", tracer)
+        loaded = json.loads(path.read_text())
+        assert loaded == trace_to_chrome_json(tracer)
+        assert len(_x_events(loaded)) == 2
+
+    def test_empty_tracer_is_still_loadable(self, tmp_path):
+        path = write_trace(tmp_path / "empty.json", Tracer())
+        loaded = json.loads(path.read_text())
+        assert _x_events(loaded) == []
+
+
+class TestMetricsSchema:
+    def test_envelope(self):
+        doc = metrics_to_json(MetricsRegistry())
+        assert doc["format"] == METRICS_FORMAT
+        assert doc["schema_version"] == METRICS_SCHEMA_VERSION
+        assert doc["metrics"] == []
+
+    def test_merges_multiple_registries_sorted(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("profiling.runs", gpu="V100").inc(2)
+        second.counter("store.misses", kind="profile").inc(1)
+        second.counter("profiling.records").inc(30)
+        doc = metrics_to_json(first, second)
+        names = [r["name"] for r in doc["metrics"]]
+        assert names == ["profiling.records", "profiling.runs", "store.misses"]
+
+    def test_round_trip_through_disk(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("store.bytes_read", kind="figure").inc(4096)
+        registry.histogram("profile.duration_s").observe(1.25)
+        path = write_metrics(tmp_path / "metrics.json", registry)
+        loaded = json.loads(path.read_text())
+        assert loaded == metrics_to_json(registry)
+        by_name = {r["name"]: r for r in loaded["metrics"]}
+        assert by_name["store.bytes_read"]["value"] == 4096
+        assert by_name["profile.duration_s"]["count"] == 1

@@ -1,0 +1,115 @@
+"""Tests for repro.obs.metrics: the registry and its instruments."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestRegistryIdentity:
+    def test_counter_is_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.counter("store.misses", kind="profile")
+        b = registry.counter("store.misses", kind="profile")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        profile = registry.counter("store.misses", kind="profile")
+        figure = registry.counter("store.misses", kind="figure")
+        profile.inc(3)
+        assert figure.value == 0
+        assert len(registry) == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", alpha="1", beta="2")
+        b = registry.counter("x", beta="2", alpha="1")
+        assert a is b
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("dual")
+        with pytest.raises(TypeError, match="already registered as counter"):
+            registry.gauge("dual")
+
+
+class TestInstruments:
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(5)
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+        assert counter.value == 5
+
+    def test_gauge_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("h")
+        for v in (2.0, 4.0, 9.0):
+            histogram.observe(v)
+        assert histogram.count == 3
+        assert histogram.sum == 15.0
+        assert histogram.min == 2.0
+        assert histogram.max == 9.0
+        assert histogram.mean == 5.0
+
+    def test_empty_histogram_snapshot_is_zeros(self):
+        snap = MetricsRegistry().histogram("h").snapshot()
+        assert snap["count"] == 0 and snap["mean"] == 0.0
+
+    def test_counter_is_thread_safe(self):
+        counter = MetricsRegistry().counter("racy")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_stable_schema(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc(1)
+        registry.gauge("a.first", kind="x").set(2)
+        registry.histogram("m.middle").observe(1.5)
+        records = registry.snapshot()
+        assert [r["name"] for r in records] == ["a.first", "m.middle", "z.last"]
+        gauge, histogram, counter = records
+        assert gauge == {"name": "a.first", "type": "gauge",
+                         "labels": {"kind": "x"}, "value": 2}
+        assert counter == {"name": "z.last", "type": "counter",
+                           "labels": {}, "value": 1}
+        assert set(histogram) == {"name", "type", "labels", "count", "sum",
+                                  "min", "max", "mean"}
+
+
+class TestDefaultRegistry:
+    def test_default_is_a_process_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_set_default_registry_swaps_and_restores(self):
+        mine = MetricsRegistry()
+        previous = set_default_registry(mine)
+        try:
+            assert default_registry() is mine
+        finally:
+            set_default_registry(previous)
+        assert default_registry() is not mine

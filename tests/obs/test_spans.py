@@ -1,0 +1,185 @@
+"""Tests for repro.obs.spans: nesting, threading, and the disabled path."""
+
+import threading
+
+from repro.obs.spans import (
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    traced,
+    tracing_enabled,
+)
+from repro.obs.spans import _NOOP_SPAN  # noqa: F401 - identity check below
+
+
+class TestTracerNesting:
+    def test_with_block_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer", model="alexnet"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["outer"]
+        (outer,) = roots
+        assert [c.name for c in outer.children] == ["middle", "sibling"]
+        assert [c.name for c in outer.children[0].children] == ["inner"]
+
+    def test_timing_is_monotonic_and_contained(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (outer,) = tracer.roots()
+        (inner,) = outer.children
+        assert outer.end_us is not None and inner.end_us is not None
+        assert outer.start_us <= inner.start_us
+        assert inner.end_us <= outer.end_us
+        assert inner.duration_us >= 0.0
+        assert outer.duration_us >= inner.duration_us
+
+    def test_sequential_roots_accumulate(self):
+        tracer = Tracer()
+        for name in ("first", "second", "third"):
+            with tracer.span(name):
+                pass
+        assert [r.name for r in tracer.roots()] == ["first", "second", "third"]
+        assert len(tracer) == 3
+
+    def test_attributes_and_set_attribute(self):
+        tracer = Tracer()
+        with tracer.span("work", model="vgg_19", ops=7) as s:
+            s.set_attribute("outcome", "hit")
+        (root,) = tracer.roots()
+        assert root.attributes == {"model": "vgg_19", "ops": 7, "outcome": "hit"}
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (root,) = tracer.roots()
+        assert root.attributes["error"] == "ValueError"
+        assert root.end_us is not None
+
+    def test_find_and_all_spans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert len(tracer.find("b")) == 2
+        assert [s.name for s in tracer.all_spans()] == ["a", "b", "b"]
+
+
+class TestThreadInterleaving:
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(label):
+            with tracer.span(f"root.{label}", thread=label):
+                barrier.wait(timeout=5)
+                with tracer.span(f"child.{label}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(str(i),)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = tracer.roots()
+        # Both threads' spans are roots (no cross-thread nesting), each
+        # with exactly its own child.
+        assert sorted(r.name for r in roots) == ["root.0", "root.1"]
+        for root in roots:
+            label = root.name.split(".")[1]
+            assert [c.name for c in root.children] == [f"child.{label}"]
+            assert root.thread_id == root.children[0].thread_id
+        assert roots[0].thread_id != roots[1].thread_id
+
+    def test_concurrent_spans_are_all_recorded(self):
+        tracer = Tracer()
+
+        def worker():
+            for _ in range(50):
+                with tracer.span("unit"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.find("unit")) == 200
+
+
+class TestDisabledMode:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+        assert active_tracer() is None
+
+    def test_span_returns_shared_noop(self):
+        first = span("anything", key="value")
+        second = span("other")
+        assert first is second  # the shared singleton: no allocation
+        with first as s:
+            s.set_attribute("ignored", 1)  # must not raise
+
+    def test_enable_disable_round_trip(self):
+        tracer = enable_tracing()
+        assert tracing_enabled() and active_tracer() is tracer
+        with span("recorded"):
+            pass
+        returned = disable_tracing()
+        assert returned is tracer
+        assert not tracing_enabled()
+        assert [r.name for r in tracer.roots()] == ["recorded"]
+        # Spans opened after disable are no-ops, not recorded.
+        with span("dropped"):
+            pass
+        assert len(tracer) == 1
+
+    def test_enable_with_explicit_tracer(self):
+        mine = Tracer()
+        assert enable_tracing(mine) is mine
+        with span("x"):
+            pass
+        disable_tracing()
+        assert len(mine) == 1
+
+
+class TestTracedDecorator:
+    def test_traced_records_scalar_kwargs(self):
+        @traced("unit.work")
+        def work(n_iterations, dataset=None):
+            return n_iterations * 2
+
+        tracer = enable_tracing()
+        assert work(n_iterations=21, dataset=[1, 2]) == 42
+        disable_tracing()
+        (root,) = tracer.roots()
+        assert root.name == "unit.work"
+        # Scalars become attributes; non-scalars (the list) are dropped.
+        assert root.attributes == {"n_iterations": 21}
+
+    def test_traced_is_transparent_when_disabled(self):
+        calls = []
+
+        @traced("unit.work")
+        def work(x):
+            calls.append(x)
+            return x + 1
+
+        assert work(1) == 2
+        assert calls == [1]
+        assert work.__name__ == "work"

@@ -1,0 +1,105 @@
+"""Store observability: counters live on the registry, hot paths get spans."""
+
+from repro.artifacts import kinds
+from repro.artifacts.store import ArtifactStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer, disable_tracing, enable_tracing
+
+RAW = kinds.FIGURE
+
+
+def encode(text: str) -> object:
+    return kinds.encode_figure("t", text)
+
+
+def fetch(store: ArtifactStore, spec: dict, value: str = "rendered") -> str:
+    return store.get_or_create(RAW, spec, lambda: value, encode,
+                               kinds.decode_figure)
+
+
+class TestCountersOnRegistry:
+    def test_counters_are_registry_instruments(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        fetch(store, {"figure": "t", "iterations": 1})
+        fetch(store, {"figure": "t", "iterations": 1})
+        # The same numbers are visible through both surfaces: the legacy
+        # attribute view and the metrics registry.
+        counters = store.counters[RAW.name]
+        assert counters.misses == 1
+        assert counters.hits_memory == 1
+        registry_records = {
+            (r["name"], r["labels"]["kind"]): r["value"]
+            for r in store.metrics.snapshot()
+        }
+        assert registry_records[("store.misses", RAW.name)] == 1
+        assert registry_records[("store.hits_memory", RAW.name)] == 1
+        assert registry_records[("store.bytes_written", RAW.name)] > 0
+
+    def test_independent_stores_do_not_share_counters(self, tmp_path):
+        first = ArtifactStore(tmp_path / "a")
+        second = ArtifactStore(tmp_path / "b")
+        fetch(first, {"figure": "t", "iterations": 1})
+        assert first.counters[RAW.name].misses == 1
+        # The second store's registry never saw the first store's traffic.
+        assert second.metrics.counter("store.misses", kind=RAW.name).value == 0
+        assert first.metrics is not second.metrics
+
+    def test_injected_registry_is_used(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ArtifactStore(tmp_path / "store", metrics=registry)
+        assert store.metrics is registry
+        fetch(store, {"figure": "t", "iterations": 1})
+        assert registry.counter("store.misses", kind=RAW.name).value == 1
+
+    def test_to_json_shape_unchanged(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        fetch(store, {"figure": "t", "iterations": 1})
+        snapshot = store.counters_to_json()[RAW.name]
+        assert set(snapshot) >= {"hits_memory", "hits_disk", "misses",
+                                 "bytes_read", "bytes_written"}
+        assert snapshot["misses"] == 1
+
+
+class TestStoreSpans:
+    def test_compute_and_write_spans_on_miss(self, tmp_path):
+        tracer = enable_tracing(Tracer())
+        try:
+            store = ArtifactStore(tmp_path / "store")
+            fetch(store, {"figure": "t", "iterations": 1})
+        finally:
+            disable_tracing()
+        names = {s.name for s in tracer.all_spans()}
+        assert "store.compute" in names
+        assert "store.write" in names
+        (write_span,) = tracer.find("store.write")
+        assert write_span.attributes["kind"] == RAW.name
+        assert write_span.attributes["bytes"] > 0
+
+    def test_disk_read_span_records_outcome(self, tmp_path):
+        spec = {"figure": "t", "iterations": 1}
+        fetch(ArtifactStore(tmp_path / "store"), spec)
+        tracer = enable_tracing(Tracer())
+        try:
+            fetch(ArtifactStore(tmp_path / "store"), spec)
+        finally:
+            disable_tracing()
+        reads = tracer.find("store.disk_read")
+        assert reads and reads[-1].attributes["outcome"] == "hit"
+
+    def test_no_spans_recorded_when_disabled(self, tmp_path):
+        tracer = Tracer()  # never enabled
+        store = ArtifactStore(tmp_path / "store")
+        fetch(store, {"figure": "t", "iterations": 1})
+        assert len(tracer) == 0
+
+
+class TestLazyDirectory:
+    def test_store_does_not_create_directory_until_write(self, tmp_path):
+        target = tmp_path / "not-yet"
+        store = ArtifactStore(target)
+        assert not target.exists()
+        assert store.entries() == []
+        assert store.clear() == 0
+        assert not target.exists()
+        fetch(store, {"figure": "t", "iterations": 1})
+        assert target.exists()

@@ -219,6 +219,31 @@ class TestCacheCommand:
                         "--workspace", str(tmp_path / "ws")])
         assert code == 2
 
+    def test_info_without_key_summarizes_workspace(self, tmp_path):
+        ws = str(tmp_path / "ws")
+        code, _ = _run(["figures", "fig5", "--iterations", "30",
+                        "--workspace", ws])
+        assert code == 0
+        code, summary = _run(["cache", "info", "--workspace", ws])
+        assert code == 0
+        assert "figure" in summary and "profile" in summary
+        assert "artifact(s)" in summary
+
+    def test_info_on_nonexistent_workspace_is_empty_not_error(self, tmp_path):
+        missing = tmp_path / "never-created"
+        code, text = _run(["cache", "info", "--workspace", str(missing)])
+        assert code == 0
+        assert "total: 0 artifact(s), 0 bytes" in text
+        # A read-only inspection command must not create the directory.
+        assert not missing.exists()
+
+    def test_clear_on_nonexistent_workspace_is_empty_not_error(self, tmp_path):
+        missing = tmp_path / "never-created"
+        code, text = _run(["cache", "clear", "--workspace", str(missing)])
+        assert code == 0
+        assert "removed 0" in text
+        assert not missing.exists()
+
     def test_key_is_stable_and_iteration_sensitive(self, tmp_path):
         ws = str(tmp_path / "ws")
         code, a = _run(["cache", "key", "--workspace", ws])
@@ -229,3 +254,75 @@ class TestCacheCommand:
         code, c = _run(["cache", "key", "--iterations", "60",
                         "--workspace", ws])
         assert c != a
+
+
+class TestObservabilityFlags:
+    def _x_names(self, trace_path):
+        import json
+
+        doc = json.loads(trace_path.read_text())
+        return [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+
+    def test_trace_out_after_subcommand(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, text = _run(["models", "--trace-out", str(trace)])
+        assert code == 0
+        assert "trace written" in text
+        assert "cli.models" in self._x_names(trace)
+
+    def test_trace_out_before_subcommand(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, _ = _run(["--trace-out", str(trace), "models"])
+        assert code == 0
+        assert "cli.models" in self._x_names(trace)
+
+    def test_trace_env_var(self, tmp_path, monkeypatch):
+        trace = tmp_path / "trace.json"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        code, _ = _run(["models"])
+        assert code == 0
+        assert trace.exists()
+
+    def test_tracing_disabled_leaves_no_tracer(self, tmp_path):
+        from repro.obs.spans import tracing_enabled
+
+        code, _ = _run(["models"])
+        assert code == 0
+        assert not tracing_enabled()
+
+    def test_figures_trace_records_pipeline_spans(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, _ = _run(["figures", "fig5", "--iterations", "30",
+                        "--workspace", str(tmp_path / "ws"),
+                        "--trace-out", str(trace)])
+        assert code == 0
+        names = self._x_names(trace)
+        assert "cli.figures" in names
+        # A cold figures run profiles and fits, so pipeline spans nest
+        # under the CLI root span.
+        assert "profile.run" in names
+        assert "store.compute" in names
+
+    def test_metrics_out_includes_store_counters(self, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        counters = tmp_path / "counters.json"
+        code, text = _run(["figures", "fig5", "--iterations", "30",
+                           "--workspace", str(tmp_path / "ws"),
+                           "--metrics-out", str(metrics),
+                           "--counters-out", str(counters)])
+        assert code == 0
+        assert "metrics written" in text
+        doc = json.loads(metrics.read_text())
+        assert doc["format"] == "repro-metrics"
+        by_series = {
+            (r["name"], r["labels"].get("kind")): r["value"]
+            for r in doc["metrics"]
+        }
+        # The store's counters surface in the metrics export with the
+        # exact same numbers as the legacy --counters-out JSON.
+        legacy = json.loads(counters.read_text())
+        for kind, fields in legacy.items():
+            for field in ("misses", "hits_disk", "bytes_written"):
+                assert by_series[(f"store.{field}", kind)] == fields[field]

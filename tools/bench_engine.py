@@ -35,6 +35,8 @@ from repro.core.fit import fit_ceer
 from repro.core.recommend import Recommender
 from repro.hardware.gpus import GPU_KEYS
 from repro.models.zoo import build_model, model_names
+from repro.obs.export import write_trace
+from repro.obs.spans import disable_tracing, enable_tracing
 from repro.workloads.dataset import IMAGENET, TrainingJob
 
 
@@ -143,6 +145,21 @@ def run(args: argparse.Namespace) -> dict:
     job = TrainingJob(IMAGENET, batch_size=args.batch_size)
     graph = build_model(args.model, batch_size=args.batch_size)
 
+    if args.trace_out is not None:
+        # Traced demo pass, separate from the timed runs above/below so
+        # instrumentation never skews the reported numbers: one cold and
+        # one warm sweep recorded as spans for the CI trace artifact.
+        estimator = CeerEstimator(compute_models, fitted.estimator.comm_model)
+        tracer = enable_tracing()
+        try:
+            recommender = Recommender(estimator)
+            recommender.sweep(args.model, job)  # cold: build + compile + eval
+            recommender.sweep(args.model, job)  # warm: engine caches hit
+        finally:
+            disable_tracing()
+        write_trace(args.trace_out, tracer)
+        print(f"wrote trace of cold+warm sweep to {args.trace_out}")
+
     report = {
         "benchmark": "predict_engine",
         "config": {
@@ -199,6 +216,9 @@ def main(argv=None) -> int:
                              "independent of this; low keeps CI fast)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="timing repeats (best-of)")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        help="write a Chrome trace-event JSON of one "
+                             "cold+warm sweep (untimed demo pass)")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: fresh bench report vs the committed baseline.
+
+Compares a freshly generated ``tools/bench_engine.py --json`` report
+against the committed ``BENCH_predict_engine.json`` and fails (exit 1) on
+regression. Absolute latencies are machine-dependent — a CI runner is not
+the machine the baseline was recorded on — so the gate checks the
+*machine-independent* quantities:
+
+* ``sweep.speedup_cold`` / ``sweep.speedup_warm`` and
+  ``single_graph.speedup_warm`` — scalar-vs-engine ratios measured on the
+  same machine in the same process, so host speed cancels out. A slowdown
+  injected into the engine (but not the scalar reference) tanks these.
+* ``equivalence.max_rel_diff`` — must stay within 1e-6 (correctness, not
+  timing; no tolerance applies).
+
+Ratios regressing more than ``--tolerance`` (default 15%) below baseline
+fail the gate; improvements beyond the same margin pass with a reminder
+to refresh the committed baseline. Absolute latency deltas are printed
+for information only.
+
+Usage (the CI ``perf`` job)::
+
+    PYTHONPATH=src python tools/bench_engine.py --json fresh.json
+    python tools/perf_gate.py --baseline BENCH_predict_engine.json \
+        --fresh fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: (path into the report, human label) for each gated speedup ratio.
+GATED_RATIOS: Tuple[Tuple[Tuple[str, str], str], ...] = (
+    (("sweep", "speedup_cold"), "16-candidate sweep, cold"),
+    (("sweep", "speedup_warm"), "16-candidate sweep, warm"),
+    (("single_graph", "speedup_warm"), "single-graph eval, warm"),
+)
+
+#: Informational absolute latencies (not gated; machine-dependent).
+INFO_LATENCIES: Tuple[Tuple[Tuple[str, str], str], ...] = (
+    (("sweep", "engine_cold_ms"), "sweep cold ms"),
+    (("sweep", "engine_warm_ms"), "sweep warm ms"),
+    (("single_graph", "engine_warm_us"), "single-graph warm us"),
+)
+
+EQUIVALENCE_BOUND = 1e-6
+
+
+def _lookup(report: dict, path: Tuple[str, str]) -> float:
+    section, field = path
+    try:
+        value = report[section][field]
+    except KeyError as exc:
+        raise SystemExit(f"malformed bench report: missing {section}.{field}"
+                         f" ({exc})")
+    return float(value)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> Tuple[List[str], List[str]]:
+    """Returns (report lines, failure lines)."""
+    lines: List[str] = []
+    failures: List[str] = []
+    for path, label in GATED_RATIOS:
+        base = _lookup(baseline, path)
+        new = _lookup(fresh, path)
+        change = (new - base) / base if base else float("inf")
+        verdict = "ok"
+        if change < -tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{label}: speedup {new:.1f}x is {-change:.0%} below the "
+                f"committed {base:.1f}x (tolerance {tolerance:.0%})"
+            )
+        elif change > tolerance:
+            verdict = "improved — consider refreshing the baseline"
+        lines.append(
+            f"  {label:<28s} baseline {base:10.1f}x   fresh {new:10.1f}x   "
+            f"{change:+7.1%}  [{verdict}]"
+        )
+
+    base_eq = _lookup(baseline, ("equivalence", "max_rel_diff"))
+    new_eq = _lookup(fresh, ("equivalence", "max_rel_diff"))
+    eq_ok = new_eq <= EQUIVALENCE_BOUND
+    lines.append(
+        f"  {'scalar/engine equivalence':<28s} baseline {base_eq:10.2e}    "
+        f"fresh {new_eq:10.2e}   [{'ok' if eq_ok else 'FAIL'}]"
+    )
+    if not eq_ok:
+        failures.append(
+            f"equivalence: max_rel_diff {new_eq:.2e} exceeds "
+            f"{EQUIVALENCE_BOUND:.0e} — engine and scalar paths disagree"
+        )
+
+    lines.append("  -- absolute latencies (informational; machine-dependent) --")
+    for path, label in INFO_LATENCIES:
+        base = _lookup(baseline, path)
+        new = _lookup(fresh, path)
+        change = (new - base) / base if base else float("inf")
+        lines.append(
+            f"  {label:<28s} baseline {base:10.3f}    fresh {new:10.3f}    "
+            f"{change:+7.1%}"
+        )
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("BENCH_predict_engine.json"),
+                        help="committed baseline report")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="freshly generated report to gate")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional drop in speedup ratios "
+                             "(default 0.15 = 15%%)")
+    args = parser.parse_args(argv)
+    if not 0 < args.tolerance < 1:
+        parser.error("--tolerance must be in (0, 1)")
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    lines, failures = compare(baseline, fresh, args.tolerance)
+    print(f"perf gate: {args.fresh} vs {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    print("\n".join(lines))
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
