@@ -89,8 +89,17 @@ class Workspace:
         n_iterations: int,
         batch_size: int = 32,
         seed_context: str = "",
+        jobs: Optional[int] = None,
     ) -> ProfileDataset:
-        """The profile dataset for this configuration, profiling on a miss."""
+        """The profile dataset for this configuration, profiling on a miss.
+
+        ``jobs`` fans the sweep out: one worker process per (model, GPU)
+        cell, each writing its cell through this workspace (the store's
+        per-key locks make racing writers compute once); the combined
+        dataset is then assembled under the unchanged spec, so its key and
+        bytes match a serial sweep exactly. ``jobs=None`` profiles
+        directly in-process with no cell artifacts.
+        """
         spec: Dict[str, object] = {
             "models": sorted(models),
             "gpus": sorted(gpu_keys),
@@ -100,6 +109,11 @@ class Workspace:
         }
 
         def compute() -> ProfileDataset:
+            if jobs is not None and len(models) * len(gpu_keys) > 1:
+                return self._assemble_profiles(
+                    list(models), list(gpu_keys), n_iterations,
+                    batch_size, seed_context, jobs,
+                )
             profiler = Profiler(n_iterations=n_iterations, batch_size=batch_size)
             return profiler.profile_many(list(models), list(gpu_keys), seed_context)
 
@@ -108,18 +122,60 @@ class Workspace:
             kinds.encode_profiles, kinds.decode_profiles,
         )
 
+    def _assemble_profiles(
+        self,
+        models: Sequence[str],
+        gpu_keys: Sequence[str],
+        n_iterations: int,
+        batch_size: int,
+        seed_context: str,
+        jobs: int,
+    ) -> ProfileDataset:
+        """Fan the sweep out per cell, then concatenate in serial order.
+
+        Each worker profiles one (model, GPU) cell into this workspace as
+        its own single-cell artifact; the parent re-reads every cell (disk
+        hits) and concatenates them in ``profile_many``'s model-major
+        order, so the assembled dataset — and therefore the combined
+        artifact's bytes — is identical to a serial sweep's.
+        """
+        from repro.parallel import ProfileCellTask, run_fanout
+
+        cells = [(model, gpu_key) for model in models for gpu_key in gpu_keys]
+        tasks = [
+            ProfileCellTask(
+                model=model, gpu_key=gpu_key, n_iterations=n_iterations,
+                batch_size=batch_size, seed_context=seed_context,
+                workspace_dir=str(self.directory),
+            )
+            for model, gpu_key in cells
+        ]
+        run_fanout(tasks, jobs=jobs)
+        return ProfileDataset.concat([
+            self.profiles(
+                [model], [gpu_key], n_iterations,
+                batch_size=batch_size, seed_context=seed_context,
+            )
+            for model, gpu_key in cells
+        ])
+
     def training_profiles(
-        self, n_iterations: int = CANONICAL_ITERATIONS
+        self,
+        n_iterations: int = CANONICAL_ITERATIONS,
+        jobs: Optional[int] = None,
     ) -> ProfileDataset:
         """Profiles of the 8 training-set CNNs on all four GPU models."""
-        return self.profiles(TRAIN_MODELS, GPU_KEYS, n_iterations)
+        return self.profiles(TRAIN_MODELS, GPU_KEYS, n_iterations, jobs=jobs)
 
     def test_profiles(
-        self, n_iterations: int = CANONICAL_ITERATIONS
+        self,
+        n_iterations: int = CANONICAL_ITERATIONS,
+        jobs: Optional[int] = None,
     ) -> ProfileDataset:
         """Profiles of the 4 held-out test CNNs (for validation experiments)."""
         return self.profiles(
-            TEST_MODELS, GPU_KEYS, n_iterations, seed_context=EVAL_SEED
+            TEST_MODELS, GPU_KEYS, n_iterations, seed_context=EVAL_SEED,
+            jobs=jobs,
         )
 
     # -- fitted estimators ---------------------------------------------
@@ -127,14 +183,18 @@ class Workspace:
         self,
         n_iterations: int = CANONICAL_ITERATIONS,
         placement: str = "single-host",
+        jobs: Optional[int] = None,
     ) -> FittedCeer:
         """The canonical fitted Ceer estimator for this configuration.
 
         The training profiles are resolved (and cached) first as their own
         artifact; the fitted artifact stores only the estimator and
-        diagnostics and re-binds the profile dataset on load.
+        diagnostics and re-binds the profile dataset on load. ``jobs``
+        parallelizes both the profiling sweep and the regression/comm
+        fits; it is deliberately *not* part of the artifact spec — the
+        fitted bytes are identical at any job count.
         """
-        train_profiles = self.training_profiles(n_iterations)
+        train_profiles = self.training_profiles(n_iterations, jobs=jobs)
         spec: Dict[str, object] = {
             "models": sorted(TRAIN_MODELS),
             "gpus": sorted(GPU_KEYS),
@@ -150,6 +210,7 @@ class Workspace:
                 n_iterations=n_iterations,
                 train_profiles=train_profiles,
                 placement=placement,
+                jobs=jobs,
             )
 
         return self.store.get_or_create(

@@ -17,10 +17,11 @@ dropping light/CPU contributions (Section IV-B; 15-25% extra error).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.cloud.catalog import InstanceType
 from repro.cloud.pricing import ON_DEMAND, PricingScheme
+from repro.errors import ModelingError
 from repro.graph.graph import OpGraph
 from repro.units import us_to_hr, usd_per_hr_to_usd
 from repro.workloads.dataset import TrainingJob
@@ -86,7 +87,20 @@ class CeerEstimator:
         self.include_communication = include_communication
         self.heavy_only = heavy_only
         self.use_engine = use_engine
-        self.engine = PredictionEngine(compute_models)
+        self._engine: Optional[PredictionEngine] = None
+        self._graph_cache: Dict[Tuple[str, int], OpGraph] = {}
+
+    @property
+    def engine(self) -> PredictionEngine:
+        """The vectorized engine, created on first use.
+
+        Lazy so that a scalar-path estimator (``use_engine=False``) never
+        carries a dead compile/LRU cache; constructing one estimator per
+        sweep point stays cheap either way.
+        """
+        if self._engine is None:
+            self._engine = PredictionEngine(self.compute_models)
+        return self._engine
 
     # ------------------------------------------------------------------
     def resolve_graph(
@@ -96,8 +110,20 @@ class CeerEstimator:
 
         Callers that evaluate the same model many times (the recommender
         sweep, the figure drivers) resolve once and pass the graph back
-        in, so the engine compiles a single graph for the whole run.
+        in, so the engine compiles a single graph for the whole run. On
+        the scalar path (``use_engine=False``) the zoo builds the graph
+        directly — no engine, and no engine cache, is involved.
         """
+        if isinstance(model, OpGraph):
+            return model
+        if not self.use_engine:
+            from repro.models.zoo import build_model
+
+            cached = self._graph_cache.get((model, batch_size))
+            if cached is None:
+                cached = build_model(model, batch_size=batch_size)
+                self._graph_cache[(model, batch_size)] = cached
+            return cached
         return self.engine.resolve_graph(model, batch_size)
 
     def _compute_us(self, graph: OpGraph, gpu_key: str) -> float:
@@ -148,6 +174,15 @@ class CeerEstimator:
         )
         if instance is None:
             instance = pricing.instance(gpu_key, num_gpus)
+        elif instance.gpu_key != gpu_key or instance.num_gpus != num_gpus:
+            # An explicit instance must be the hardware the prediction was
+            # computed for — otherwise the caller silently prices compute
+            # predicted on a different GPU and mislabels the result.
+            raise ModelingError(
+                f"instance {instance.name!r} is {instance.num_gpus}x "
+                f"{instance.gpu_key}, but the prediction was requested for "
+                f"{num_gpus}x {gpu_key}; pass a matching instance or omit it"
+            )
         return TrainingPrediction(
             model=graph.name,
             gpu_key=instance.gpu_key,

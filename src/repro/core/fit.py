@@ -85,6 +85,7 @@ def fit_ceer(
     strict_unseen: bool = False,
     seed_context: str = "",
     placement: str = "single-host",
+    jobs: Optional[int] = None,
 ) -> FittedCeer:
     """Fit Ceer from scratch (or from pre-collected ``train_profiles``).
 
@@ -104,6 +105,10 @@ def fit_ceer(
             ``"single-host"`` (the paper's setting) or ``"multi-host"``.
             An estimator is placement-specific (Section VI): retrain to
             predict for a different topology.
+        jobs: fan the per-(GPU, op type) regressions, per-(model, GPU)
+            communication measurements, and per-(GPU, k) communication
+            fits out to this many worker processes (None = serial). The
+            fitted estimator is identical either way.
 
     Returns:
         A :class:`FittedCeer` with the estimator, profiles, and diagnostics.
@@ -122,15 +127,16 @@ def fit_ceer(
         )
         with span("fit.compute_models"):
             compute_models = fit_compute_models(
-                train_profiles, classification, strict_unseen=strict_unseen
+                train_profiles, classification, strict_unseen=strict_unseen,
+                jobs=jobs,
             )
         with span("fit.comm_model"):
             observations = collect_comm_observations(
                 list(train_models), list(gpu_keys), gpu_counts,
                 n_iterations=min(n_iterations, 300), batch_size=batch_size,
-                seed_context=seed_context, placement=placement,
+                seed_context=seed_context, placement=placement, jobs=jobs,
             )
-            comm_model = fit_comm_model(observations)
+            comm_model = fit_comm_model(observations, jobs=jobs)
     estimator = CeerEstimator(compute_models, comm_model)
     diagnostics = CeerDiagnostics(
         train_models=tuple(train_models),

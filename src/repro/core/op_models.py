@@ -16,7 +16,7 @@ avoid the unfair impact of possible outliers" — reproduced verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -137,12 +137,34 @@ class ComputeTimeModels:
         return tuple(sorted(self.classification.heavy))
 
 
+def fit_heavy_regression(
+    rows: Sequence[Sequence[float]],
+    targets: Sequence[float],
+    schema: Tuple[str, ...],
+    allow_quadratic: bool = True,
+) -> RegressionModel:
+    """Fit one heavy-op regression from raw feature rows / mean times.
+
+    The single fitting routine behind both the serial loop below and the
+    parallel :class:`~repro.parallel.plan.RegressionFitTask` — one code
+    path, so a fan-out fit is bit-identical to a serial one.
+    """
+    x = np.asarray([list(row) for row in rows], dtype=float)
+    y = np.asarray(targets, dtype=float)
+    if len(rows) >= x.shape[1] + 2:
+        return fit_regression(x, y, schema, allow_quadratic=allow_quadratic)
+    # Rare op types (e.g. LRN: two instances per network) get a
+    # proportional input-size model instead of a full OLS fit.
+    return fit_proportional(x, y, schema)
+
+
 def fit_compute_models(
     train_profiles: ProfileDataset,
     classification: OpClassification,
     allow_quadratic: bool = True,
     strict_unseen: bool = False,
     light_estimator: str = "median",
+    jobs: Optional[int] = None,
 ) -> ComputeTimeModels:
     """Fit every ``t_GPU,op`` model from training-set profiles.
 
@@ -153,6 +175,9 @@ def fit_compute_models(
     ``"median"`` (the paper's choice, robust to outliers) or ``"mean"``
     (the alternative the paper rejects — exposed for the ablation that
     justifies the choice).
+
+    ``jobs`` fans the per-(GPU, op type) regressions out to worker
+    processes (None = serial); results are identical either way.
     """
     if not train_profiles:
         raise ModelingError("cannot fit compute models from an empty profile set")
@@ -164,24 +189,39 @@ def fit_compute_models(
     heavy_models: Dict[Tuple[str, str], HeavyOpModel] = {}
     train_r2: Dict[Tuple[str, str], float] = {}
     gpu_records = train_profiles.gpu_records()
+    cells: List[Tuple[str, str, Tuple[Tuple[float, ...], ...], Tuple[float, ...]]] = []
     for gpu_key in gpu_records.gpu_keys():
         per_gpu = gpu_records.for_gpu(gpu_key)
         for op_type in classification.heavy:
             subset = per_gpu.for_op_type(op_type)
             if not subset:
                 continue  # never seen on this GPU; predict_op raises later
-            x = np.asarray([r.features for r in subset], dtype=float)
-            y = np.asarray([r.mean_us for r in subset], dtype=float)
-            if len(subset) >= x.shape[1] + 2:
-                regression = fit_regression(
-                    x, y, feature_schema(op_type), allow_quadratic=allow_quadratic
-                )
-            else:
-                # Rare op types (e.g. LRN: two instances per network) get a
-                # proportional input-size model instead of a full OLS fit.
-                regression = fit_proportional(x, y, feature_schema(op_type))
-            heavy_models[(gpu_key, op_type)] = HeavyOpModel(gpu_key, op_type, regression)
-            train_r2[(gpu_key, op_type)] = regression.r2
+            cells.append((
+                gpu_key, op_type,
+                tuple(tuple(r.features) for r in subset),
+                tuple(r.mean_us for r in subset),
+            ))
+    if jobs is not None and jobs != 1 and len(cells) > 1:
+        from repro.parallel import RegressionFitTask, run_fanout
+
+        tasks = [
+            RegressionFitTask(
+                gpu_key=gpu_key, op_type=op_type, rows=rows, targets=targets,
+                schema=feature_schema(op_type), allow_quadratic=allow_quadratic,
+            )
+            for gpu_key, op_type, rows, targets in cells
+        ]
+        regressions = [outcome.value for outcome in run_fanout(tasks, jobs=jobs)]
+    else:
+        regressions = [
+            fit_heavy_regression(
+                rows, targets, feature_schema(op_type), allow_quadratic
+            )
+            for _, op_type, rows, targets in cells
+        ]
+    for (gpu_key, op_type, _, _), regression in zip(cells, regressions):
+        heavy_models[(gpu_key, op_type)] = HeavyOpModel(gpu_key, op_type, regression)
+        train_r2[(gpu_key, op_type)] = regression.r2
 
     light_times_us = [
         r.median_us for r in gpu_records if r.op_type in classification.light

@@ -1,0 +1,31 @@
+"""Process-parallel fan-out for profiling sweeps and model fitting.
+
+``run_fanout`` executes independent, picklable work units (defined in
+:mod:`repro.parallel.plan`) on a process pool with deterministic results,
+retry-once failure handling, and merged observability. See
+:mod:`repro.parallel.fanout` for the executor contract and DESIGN.md
+section 5e for the architecture.
+"""
+
+from repro.parallel.fanout import FanoutTask, TaskOutcome, resolve_jobs, run_fanout
+from repro.parallel.plan import (
+    CommFitTask,
+    CommObservationTask,
+    FigureTask,
+    MeasurementTask,
+    ProfileCellTask,
+    RegressionFitTask,
+)
+
+__all__ = [
+    "CommFitTask",
+    "CommObservationTask",
+    "FanoutTask",
+    "FigureTask",
+    "MeasurementTask",
+    "ProfileCellTask",
+    "RegressionFitTask",
+    "TaskOutcome",
+    "resolve_jobs",
+    "run_fanout",
+]

@@ -1,0 +1,328 @@
+"""Process-pool fan-out: run independent work units on N worker processes.
+
+The paper's measurement phase profiles 12 CNNs x 4 GPU models over 1,000
+iterations each (Section III) — every (model, GPU) cell is independent, so
+the sweep is embarrassingly parallel. :func:`run_fanout` executes a list
+of *task specs* (picklable objects exposing ``task_id()`` and ``run()``,
+see :mod:`repro.parallel.plan`) on a process pool and returns their
+results in task order.
+
+Determinism: the executor adds none of its own entropy. Every task is a
+pure function of its spec (profiling tasks derive their RNGs from the
+existing ``seed_context`` scheme in :mod:`repro.hardware.noise`), and
+results are returned in submission order regardless of completion order —
+so ``jobs=8`` and ``jobs=1`` produce identical values, and tasks that
+write through the artifact workspace produce byte-identical artifacts.
+
+Failure policy: a task that raises (or whose worker process dies, e.g.
+SIGKILL -> ``BrokenProcessPool``) is retried once on a fresh pool; a task
+that fails twice surfaces as a structured
+:class:`~repro.errors.FanoutError` naming the failed cells — the pool is
+never left hanging.
+
+Observability: the fan-out emits a ``parallel.fanout`` span; each task
+runs under a ``parallel.task`` span. Worker processes record their own
+span trees (including the store's ``store.lock_wait`` / ``store.compute``
+spans) and ship them back serialized; the parent grafts them into its
+active tracer with worker-local times rebased onto the parent timeline,
+so ``--trace-out`` yields one merged Chrome trace with one row per worker
+process. Task outcomes land on the default metrics registry as
+``parallel.tasks{outcome=ok|retried|failed}`` counters plus a
+``parallel.task_s`` wall-clock accumulator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.errors import FanoutError
+from repro.obs.metrics import default_registry
+from repro.obs.spans import (
+    Span,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+from repro.units import s_to_us
+
+
+class FanoutTask(Protocol):
+    """The structural contract every fan-out work unit satisfies."""
+
+    def task_id(self) -> str:
+        """Stable human-readable identity (``"profile:alexnet:V100"``)."""
+        ...  # pragma: no cover
+
+    def run(self) -> Any:
+        """Execute the work unit; must be a pure function of the spec."""
+        ...  # pragma: no cover
+
+
+SpanDict = Dict[str, Any]
+
+
+@dataclass
+class TaskOutcome:
+    """One completed fan-out task, in task order.
+
+    Attributes:
+        task_id: the task's declared identity.
+        value: whatever ``task.run()`` returned.
+        outcome: ``"ok"`` (first attempt) or ``"retried"`` (succeeded on
+            the retry attempt).
+        attempts: how many attempts the task consumed (1 or 2).
+        duration_s: wall-clock seconds of the successful attempt.
+        worker_pid: PID of the process that ran the successful attempt.
+    """
+
+    task_id: str
+    value: Any
+    outcome: str
+    attempts: int
+    duration_s: float
+    worker_pid: int
+
+
+@dataclass
+class _WorkerPayload:
+    """What a worker ships back: the result plus its observability slice."""
+
+    task_id: str
+    value: Any
+    worker_pid: int
+    duration_s: float
+    epoch_unix_s: float
+    spans: Tuple[SpanDict, ...] = field(default_factory=tuple)
+
+
+def resolve_jobs(jobs: Optional[int], n_tasks: Optional[int] = None) -> int:
+    """Normalise a ``--jobs`` value: None -> CPU count, floor 1, cap tasks."""
+    resolved = jobs if jobs is not None else (os.cpu_count() or 1)
+    resolved = max(1, resolved)
+    if n_tasks is not None:
+        resolved = min(resolved, max(1, n_tasks))
+    return resolved
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap workers, inherited imports); fall back to spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _span_to_dict(node: Span) -> SpanDict:
+    return {
+        "name": node.name,
+        "attributes": dict(node.attributes),
+        "start_us": node.start_us,
+        "end_us": node.end_us,
+        "children": [_span_to_dict(child) for child in node.children],
+    }
+
+
+def _revive_span(
+    data: SpanDict, offset_us: float, thread_id: int, tracer: Tracer
+) -> Span:
+    revived = Span(
+        name=str(data["name"]),
+        attributes=dict(data["attributes"]),
+        start_us=float(data["start_us"]) + offset_us,
+        thread_id=thread_id,
+        tracer=tracer,
+        is_root=False,
+    )
+    end_us = data.get("end_us")
+    revived.end_us = (
+        float(end_us) + offset_us if end_us is not None else revived.start_us
+    )
+    revived.children = [
+        _revive_span(child, offset_us, thread_id, tracer)
+        for child in data["children"]
+    ]
+    return revived
+
+
+def _execute_task(task: FanoutTask, collect_spans: bool) -> _WorkerPayload:
+    """Worker-process entry point: run one task under a fresh tracer.
+
+    Runs in the child. A forked child inherits the parent's active tracer
+    object, which must not be mutated from another process — so the child
+    always installs its own tracer (or none), records the task's span
+    tree, and returns it serialized for the parent to merge.
+    """
+    epoch_unix_s = time.time()  # staticcheck: ignore[determinism] — trace-merge clock alignment, not a model path
+    started_s = time.perf_counter()  # staticcheck: ignore[determinism] — task wall-clock accounting
+    tracer: Optional[Tracer]
+    if collect_spans:
+        tracer = enable_tracing()
+    else:
+        disable_tracing()
+        tracer = None
+    try:
+        with span("parallel.task", task=task.task_id(), pid=os.getpid()):
+            value = task.run()
+    finally:
+        disable_tracing()
+    duration_s = time.perf_counter() - started_s  # staticcheck: ignore[determinism] — task wall-clock accounting
+    spans: Tuple[SpanDict, ...] = ()
+    if tracer is not None:
+        spans = tuple(_span_to_dict(root) for root in tracer.roots())
+    return _WorkerPayload(
+        task_id=task.task_id(),
+        value=value,
+        worker_pid=os.getpid(),
+        duration_s=duration_s,
+        epoch_unix_s=epoch_unix_s,
+        spans=spans,
+    )
+
+
+def _run_inline(task: FanoutTask) -> _WorkerPayload:
+    """Serial (``jobs=1``) execution: same task plan, parent process.
+
+    Spans nest directly into the parent's active tracer (no serialization
+    round trip), which keeps the single-job path byte-identical in results
+    and structurally identical in traces.
+    """
+    started_s = time.perf_counter()  # staticcheck: ignore[determinism] — task wall-clock accounting
+    with span("parallel.task", task=task.task_id(), pid=os.getpid(), mode="inline"):
+        value = task.run()
+    duration_s = time.perf_counter() - started_s  # staticcheck: ignore[determinism] — task wall-clock accounting
+    return _WorkerPayload(
+        task_id=task.task_id(),
+        value=value,
+        worker_pid=os.getpid(),
+        duration_s=duration_s,
+        epoch_unix_s=0.0,
+        spans=(),
+    )
+
+
+def _merge_worker_spans(
+    parent_span: Any, payload: _WorkerPayload, fanout_unix_s: float
+) -> None:
+    """Graft a worker's serialized span tree into the parent trace.
+
+    Worker span times are relative to the worker tracer's epoch; the
+    parent rebases them using the wall-clock offset between the worker's
+    epoch and the fan-out span's start. Wall-clock alignment is
+    approximate (two clock reads), which is fine for a visual timeline.
+    Each worker keeps its own trace row: revived spans carry the worker
+    PID as their thread id, so Chrome-trace export assigns one ``tid``
+    per worker process.
+    """
+    tracer = active_tracer()
+    if tracer is None or not payload.spans or not isinstance(parent_span, Span):
+        return
+    clock_skew_us = s_to_us(payload.epoch_unix_s - fanout_unix_s)
+    offset_us = clock_skew_us + parent_span.start_us
+    for root in payload.spans:
+        parent_span.children.append(
+            _revive_span(root, offset_us, payload.worker_pid, tracer)
+        )
+
+
+def run_fanout(
+    tasks: Sequence[FanoutTask],
+    jobs: Optional[int] = None,
+    retries: int = 1,
+) -> List[TaskOutcome]:
+    """Execute ``tasks`` on up to ``jobs`` worker processes; results in order.
+
+    ``jobs=None`` uses the machine's CPU count; ``jobs<=1`` runs the same
+    task plan serially in-process (no pool), which is the determinism
+    reference the parallel path must match byte-for-byte.
+
+    Raises:
+        FanoutError: one or more tasks failed ``retries + 1`` times; the
+            error names every failed task. Successful siblings' artifacts
+            remain valid (workspace writes are atomic and idempotent).
+    """
+    task_list = list(tasks)
+    if not task_list:
+        return []
+    n_jobs = resolve_jobs(jobs, len(task_list))
+    registry = default_registry()
+    payloads: Dict[int, _WorkerPayload] = {}
+    attempts: Dict[int, int] = {index: 0 for index in range(len(task_list))}
+    failures: Dict[int, BaseException] = {}
+
+    with span("parallel.fanout", tasks=len(task_list), jobs=n_jobs) as fanout_span:
+        fanout_unix_s = time.time()  # staticcheck: ignore[determinism] — trace-merge clock alignment, not a model path
+        if n_jobs <= 1:
+            for index, task in enumerate(task_list):
+                attempt_error: Optional[BaseException] = None
+                for _ in range(retries + 1):
+                    attempts[index] += 1
+                    try:
+                        payloads[index] = _run_inline(task)
+                        attempt_error = None
+                        break
+                    except Exception as exc:  # noqa: BLE001 - retried, then surfaced
+                        attempt_error = exc
+                if attempt_error is not None:
+                    failures[index] = attempt_error
+        else:
+            collect_spans = tracing_enabled()
+            pending = list(enumerate(task_list))
+            for _ in range(retries + 1):
+                if not pending:
+                    break
+                failed: List[Tuple[int, FanoutTask]] = []
+                # A fresh executor per round: a SIGKILLed worker breaks the
+                # whole pool (BrokenProcessPool), so retries need new workers.
+                with ProcessPoolExecutor(
+                    max_workers=min(n_jobs, len(pending)),
+                    mp_context=_mp_context(),
+                ) as pool:
+                    future_to_task = {
+                        pool.submit(_execute_task, task, collect_spans): (index, task)
+                        for index, task in pending
+                    }
+                    for future in as_completed(future_to_task):
+                        index, task = future_to_task[future]
+                        attempts[index] += 1
+                        try:
+                            payload = future.result()
+                        except Exception as exc:  # noqa: BLE001 - retried, then surfaced
+                            failures[index] = exc
+                            failed.append((index, task))
+                            continue
+                        failures.pop(index, None)
+                        payloads[index] = payload
+                        _merge_worker_spans(fanout_span, payload, fanout_unix_s)
+                pending = failed
+
+        for index in sorted(payloads):
+            outcome = "ok" if attempts[index] <= 1 else "retried"
+            registry.counter("parallel.tasks", outcome=outcome).inc()
+            registry.counter("parallel.task_s").inc(payloads[index].duration_s)
+        if failures:
+            registry.counter("parallel.tasks", outcome="failed").inc(len(failures))
+
+    if failures:
+        raise FanoutError(tuple(
+            (task_list[index].task_id(), f"{type(exc).__name__}: {exc}")
+            for index, exc in sorted(failures.items())
+        ))
+    return [
+        TaskOutcome(
+            task_id=payloads[index].task_id,
+            value=payloads[index].value,
+            outcome="ok" if attempts[index] <= 1 else "retried",
+            attempts=attempts[index],
+            duration_s=payloads[index].duration_s,
+            worker_pid=payloads[index].worker_pid,
+        )
+        for index in range(len(task_list))
+    ]

@@ -1,0 +1,234 @@
+"""Picklable work units for the fan-out executor.
+
+Each task class describes one independent slice of the pipeline — one
+(model, GPU) profiling cell, one heavy-op regression, one communication
+fit — as a frozen dataclass of plain values, so it pickles cheaply into a
+worker process and its identity (:meth:`task_id`) names the cell in
+traces, metrics, and :class:`~repro.errors.FanoutError` messages.
+
+Two rules keep this module cycle-free and deterministic:
+
+* **Lazy imports.** ``repro.core.op_models`` / ``comm_model`` /
+  ``artifacts.workspace`` import this package for their ``jobs=`` support,
+  so task bodies import those modules inside :meth:`run`, never at module
+  level.
+* **Pure functions of the spec.** A task owns everything its computation
+  depends on (model name, seed context, iteration count, workspace
+  directory); it reads no ambient state, so the same spec produces the
+  same result in any process, in any order — the foundation of the
+  ``--jobs 8`` == ``--jobs 1`` byte-identity guarantee.
+
+Tasks that write artifacts do so *through the workspace*, which means the
+store's per-key ``O_CREAT|O_EXCL`` locks arbitrate racing workers: one
+computes, the rest block on ``store.lock_wait`` and then load the
+winner's bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "CommFitTask",
+    "CommObservationTask",
+    "FigureTask",
+    "MeasurementTask",
+    "ProfileCellTask",
+    "RegressionFitTask",
+]
+
+
+@dataclass(frozen=True)
+class ProfileCellTask:
+    """Profile one (model, GPU) cell into a workspace.
+
+    The cell's artifact spec is exactly ``Workspace.profiles`` for a
+    single-model, single-GPU dataset, so a later assembly pass (or any
+    other process) re-fetching the cell gets a disk hit, never a
+    recompute. Returns the cell's record count plus this worker's
+    profile-miss count — the miss count is how the concurrency tests
+    assert compute-once across racing processes (misses sum to 1).
+    """
+
+    model: str
+    gpu_key: str
+    n_iterations: int
+    batch_size: int
+    seed_context: str
+    workspace_dir: str
+
+    def task_id(self) -> str:
+        return f"profile:{self.model}:{self.gpu_key}"
+
+    def run(self) -> Dict[str, int]:
+        from repro.artifacts.workspace import Workspace
+
+        workspace = Workspace(self.workspace_dir)
+        dataset = workspace.profiles(
+            [self.model], [self.gpu_key], self.n_iterations,
+            batch_size=self.batch_size, seed_context=self.seed_context,
+        )
+        counters = workspace.store.counters.get("profile")
+        return {
+            "records": len(dataset),
+            "misses": counters.misses if counters is not None else 0,
+        }
+
+
+@dataclass(frozen=True)
+class RegressionFitTask:
+    """Fit one (GPU model, heavy op type) compute-time regression.
+
+    Carries the training rows by value (floats pickle exactly), so the
+    worker's fit sees bit-identical inputs to the serial path's and — the
+    solvers being deterministic — produces bit-identical coefficients.
+    """
+
+    gpu_key: str
+    op_type: str
+    rows: Tuple[Tuple[float, ...], ...]
+    targets: Tuple[float, ...]
+    schema: Tuple[str, ...]
+    allow_quadratic: bool
+
+    def task_id(self) -> str:
+        return f"fit:{self.gpu_key}:{self.op_type}"
+
+    def run(self) -> Any:
+        from repro.core.op_models import fit_heavy_regression
+
+        return fit_heavy_regression(
+            self.rows, self.targets, self.schema, self.allow_quadratic
+        )
+
+
+@dataclass(frozen=True)
+class CommObservationTask:
+    """Measure communication overheads for one (model, GPU) over all k.
+
+    Sampling is a pure function of (graph, gpu_key, seed_context), so each
+    cell's observations are independent of sweep order; the caller
+    concatenates cells in the serial loop's order.
+    """
+
+    model: str
+    gpu_key: str
+    gpu_counts: Tuple[int, ...]
+    n_iterations: int
+    batch_size: int
+    seed_context: str
+    placement: str
+
+    def task_id(self) -> str:
+        return f"comm:{self.model}:{self.gpu_key}"
+
+    def run(self) -> Any:
+        from repro.core.comm_model import collect_comm_cell
+        from repro.models.zoo import build_model
+
+        graph = build_model(self.model, batch_size=self.batch_size)
+        return collect_comm_cell(
+            graph, self.gpu_key, self.gpu_counts,
+            n_iterations=self.n_iterations, seed_context=self.seed_context,
+            placement=self.placement,
+        )
+
+
+@dataclass(frozen=True)
+class CommFitTask:
+    """Fit one (GPU model, GPU count) communication regression."""
+
+    gpu_key: str
+    num_gpus: int
+    parameter_counts: Tuple[int, ...]
+    overheads_us: Tuple[float, ...]
+
+    def task_id(self) -> str:
+        return f"commfit:{self.gpu_key}:k{self.num_gpus}"
+
+    def run(self) -> Any:
+        from repro.core.comm_model import fit_comm_group
+
+        return fit_comm_group(
+            (self.gpu_key, self.num_gpus),
+            self.parameter_counts, self.overheads_us,
+        )
+
+
+@dataclass(frozen=True)
+class FigureTask:
+    """Render one paper figure into a workspace.
+
+    The worker installs its workspace as the process-wide active one (so
+    the figure driver's helpers resolve artifacts from it), renders, and
+    caches the text through ``Workspace.figure``. The parent then re-reads
+    every figure from the workspace — all disk hits — to assemble the
+    report in the user's requested order.
+    """
+
+    name: str
+    n_iterations: int
+    workspace_dir: str
+
+    def task_id(self) -> str:
+        return f"figure:{self.name}"
+
+    def run(self) -> str:
+        from repro import experiments
+        from repro.artifacts.workspace import Workspace, set_active_workspace
+
+        runner = getattr(experiments, f"run_{self.name}")
+        workspace = Workspace(self.workspace_dir)
+        previous = set_active_workspace(workspace)
+        try:
+            return workspace.figure(
+                self.name, self.n_iterations,
+                lambda: runner(n_iterations=self.n_iterations).render(),
+            )
+        finally:
+            set_active_workspace(previous)
+
+
+@dataclass(frozen=True)
+class MeasurementTask:
+    """Run one ground-truth training measurement into a workspace.
+
+    Used by ``tools/calibrate.py`` to warm its (model, GPU, k) measurement
+    grid in parallel. Returns a small summary rather than the full
+    measurement — the calibration loop re-reads cells from the workspace
+    (disk hits) when it needs them.
+    """
+
+    model: str
+    gpu_key: str
+    num_gpus: int
+    num_samples: int
+    batch_size: int
+    epochs: int
+    n_iterations: int
+    seed_context: str
+    placement: str
+    pricing_name: str
+
+    workspace_dir: str
+
+    def task_id(self) -> str:
+        return f"measure:{self.model}:{self.gpu_key}:k{self.num_gpus}"
+
+    def run(self) -> Dict[str, float]:
+        from repro.artifacts.workspace import Workspace
+        from repro.cloud.pricing import MARKET_RATIO, ON_DEMAND
+        from repro.workloads.dataset import DatasetSpec, TrainingJob
+
+        pricing_by_name = {ON_DEMAND.name: ON_DEMAND, MARKET_RATIO.name: MARKET_RATIO}
+        job = TrainingJob(
+            DatasetSpec("calibration", num_samples=self.num_samples),
+            batch_size=self.batch_size, epochs=self.epochs,
+        )
+        measurement = Workspace(self.workspace_dir).observed_training(
+            self.model, self.gpu_key, self.num_gpus, job,
+            n_iterations=self.n_iterations, seed_context=self.seed_context,
+            placement=self.placement, pricing=pricing_by_name[self.pricing_name],
+        )
+        return {"per_iteration_us": measurement.per_iteration_us}

@@ -52,7 +52,21 @@ class Profiler:
             iterations=self.n_iterations,
         ):
             profile = run_iterations(graph, gpu_key, self.n_iterations, seed_context)
-            op_by_name = {op.name: op for op in graph.operations}
+            op_by_name = {}
+            duplicates = set()
+            for op in graph.operations:
+                if op.name in op_by_name:
+                    duplicates.add(op.name)
+                op_by_name[op.name] = op
+            if duplicates:
+                # A name collision would silently attribute every colliding
+                # timing to whichever op won the dict insertion — corrupt
+                # features with no error. Refuse instead.
+                raise ProfilingError(
+                    f"graph {graph.name!r} has duplicate operation names "
+                    f"{sorted(duplicates)}; profile records cannot be "
+                    f"attributed unambiguously"
+                )
             records = [
                 ProfileRecord.from_timing(
                     graph.name, timing, features_for(op_by_name[timing.op_name])

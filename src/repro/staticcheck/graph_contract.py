@@ -126,7 +126,18 @@ def check_zoo(models: Optional[Sequence[str]] = None, batch_size: int = 32) -> L
             ))
             continue
         optimizer_ops = 0
+        seen_names = set()
         for op in graph:
+            if op.name in seen_names:
+                # The profiler keys timing records by op name; a collision
+                # would silently attribute every colliding record to one op.
+                findings.append(_finding(
+                    _ZOO_PATH, RULE_ZOO,
+                    f"{name}: duplicate operation name {op.name!r} — "
+                    f"profile records could not be attributed unambiguously",
+                    symbol=f"{name}.{op.name}",
+                ))
+            seen_names.add(op.name)
             if op.category is OpCategory.OPTIMIZER:
                 optimizer_ops += 1
             for producer in op.input_ops:

@@ -67,6 +67,86 @@ class TestPrediction:
         assert three.total_us == pytest.approx(3 * one.total_us)
 
 
+class TestInstanceValidation:
+    def test_mismatched_gpu_raises(self, ceer_small):
+        """Regression: an explicit instance on different hardware used to
+        silently price compute predicted for another GPU."""
+        from repro.errors import ModelingError
+
+        wrong = ON_DEMAND.instance("K80", 1)
+        with pytest.raises(ModelingError) as excinfo:
+            ceer_small.predict_training(
+                "alexnet", "V100", 1, JOB, instance=wrong
+            )
+        message = str(excinfo.value)
+        assert "K80" in message and "V100" in message
+        assert wrong.name in message
+
+    def test_mismatched_gpu_count_raises(self, ceer_small):
+        from repro.errors import ModelingError
+
+        four_gpu = ON_DEMAND.instance("V100", 4)
+        with pytest.raises(ModelingError):
+            ceer_small.predict_training(
+                "alexnet", "V100", 1, JOB, instance=four_gpu
+            )
+
+    def test_matching_instance_is_accepted(self, ceer_small):
+        matching = ON_DEMAND.instance("V100", 2)
+        explicit = ceer_small.predict_training(
+            "alexnet", "V100", 2, JOB, instance=matching
+        )
+        implicit = ceer_small.predict_training("alexnet", "V100", 2, JOB)
+        assert explicit == implicit
+
+    def test_family_alias_resolves_before_validation(self, ceer_small):
+        """``gpu_key="P3"`` names the same hardware as a V100 instance."""
+        p = ceer_small.predict_training(
+            "alexnet", "P3", 1, JOB, instance=ON_DEMAND.instance("V100", 1)
+        )
+        assert p.gpu_key == "V100"
+
+
+class TestLazyEngine:
+    def _fresh(self, ceer_small, use_engine):
+        from repro.core.estimator import CeerEstimator
+
+        return CeerEstimator(
+            ceer_small.compute_models, ceer_small.comm_model,
+            use_engine=use_engine,
+        )
+
+    def test_scalar_estimator_never_builds_an_engine(self, ceer_small):
+        """Regression: the estimator used to construct a PredictionEngine
+        (compile cache and all) even with ``use_engine=False``."""
+        estimator = self._fresh(ceer_small, use_engine=False)
+        estimator.predict_training("alexnet", "V100", 1, JOB)
+        estimator.resolve_graph("inception_v1")
+        assert estimator._engine is None
+
+    def test_scalar_resolve_graph_memoizes(self, ceer_small):
+        estimator = self._fresh(ceer_small, use_engine=False)
+        first = estimator.resolve_graph("alexnet")
+        assert estimator.resolve_graph("alexnet") is first
+        # A different batch size is a different graph.
+        assert estimator.resolve_graph("alexnet", batch_size=8) is not first
+
+    def test_engine_created_once_on_first_use(self, ceer_small):
+        estimator = self._fresh(ceer_small, use_engine=True)
+        assert estimator._engine is None
+        engine = estimator.engine
+        assert estimator.engine is engine
+        assert estimator._engine is engine
+
+    def test_scalar_and_engine_paths_agree(self, ceer_small):
+        scalar = self._fresh(ceer_small, use_engine=False)
+        engined = self._fresh(ceer_small, use_engine=True)
+        for model in ("alexnet", "inception_v1"):
+            assert engined.predict_iteration_us(
+                model, "V100", 2
+            ) == pytest.approx(scalar.predict_iteration_us(model, "V100", 2))
+
+
 class TestVariants:
     def test_no_comm_variant_smaller(self, ceer_small):
         from repro.core.baselines import no_comm_variant

@@ -1,0 +1,100 @@
+"""Picklable task specs for the fan-out tests.
+
+Worker processes unpickle tasks by qualified name, so anything submitted
+to :func:`repro.parallel.run_fanout` must live in an importable module —
+a class defined inside a test function cannot cross the process
+boundary. These mirror the shape of :mod:`repro.parallel.plan` tasks but
+are built to fail, die, or trace on demand.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+
+from repro.obs.spans import span
+
+
+@dataclass(frozen=True)
+class EchoTask:
+    """Deterministic busywork: returns ``index ** 2``."""
+
+    index: int
+
+    def task_id(self) -> str:
+        return f"echo:{self.index}"
+
+    def run(self) -> int:
+        return self.index * self.index
+
+
+@dataclass(frozen=True)
+class FlakyTask:
+    """Raises on the first attempt, succeeds on the retry.
+
+    Attempt tracking must survive the worker process dying with the
+    attempt, so it lives on disk: the first run drops a marker file and
+    raises; any later run sees the marker and returns.
+    """
+
+    marker_path: str
+
+    def task_id(self) -> str:
+        return "flaky"
+
+    def run(self) -> str:
+        if not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w") as handle:
+                handle.write("attempt 1 failed")
+            raise RuntimeError("transient failure")
+        return "recovered"
+
+
+@dataclass(frozen=True)
+class DoomedTask:
+    """Fails every attempt — exercises the FanoutError path."""
+
+    name: str
+
+    def task_id(self) -> str:
+        return f"doomed:{self.name}"
+
+    def run(self) -> None:
+        raise ValueError(f"bad cell {self.name}")
+
+
+@dataclass(frozen=True)
+class KillOnceTask:
+    """SIGKILLs its own worker on the first attempt, succeeds on retry.
+
+    Only submit this alongside at least one other task with ``jobs >= 2``:
+    a single-task fan-out runs inline, and inline it would kill the test
+    process itself.
+    """
+
+    marker_path: str
+
+    def task_id(self) -> str:
+        return "kill-once"
+
+    def run(self) -> str:
+        if not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w") as handle:
+                handle.write("about to die")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return "survived"
+
+
+@dataclass(frozen=True)
+class SpanProbeTask:
+    """Opens a nested span and reports its PID — for trace-merge tests."""
+
+    name: str
+
+    def task_id(self) -> str:
+        return f"probe:{self.name}"
+
+    def run(self) -> int:
+        with span("probe.work", cell=self.name):
+            return os.getpid()

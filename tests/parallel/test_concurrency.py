@@ -1,0 +1,166 @@
+"""Fan-out vs the artifact store's locks: races, crashes, byte identity.
+
+The profiling fan-out's whole safety story is the store's per-key
+``O_CREAT|O_EXCL`` locks — these tests drive the lock path with *real*
+worker processes racing on real keys, a worker SIGKILLed while holding a
+lock, and full-sweep byte comparisons between job counts.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.artifacts import kinds
+from repro.artifacts.workspace import Workspace
+from repro.hardware.gpus import GPU_KEYS
+from repro.models.zoo import TRAIN_MODELS
+from repro.parallel import ProfileCellTask, run_fanout
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _cell_task(workspace: Path, n_iterations: int = 5) -> ProfileCellTask:
+    return ProfileCellTask(
+        model="inception_v1", gpu_key="V100", n_iterations=n_iterations,
+        batch_size=32, seed_context="", workspace_dir=str(workspace),
+    )
+
+
+def _cell_spec(n_iterations: int = 5) -> dict:
+    """The exact artifact spec ``Workspace.profiles`` uses for the cell."""
+    return {
+        "models": ["inception_v1"], "gpus": ["V100"],
+        "iterations": n_iterations, "batch": 32, "seed": "",
+    }
+
+
+def _tree_bytes(directory: Path) -> dict:
+    return {
+        path.relative_to(directory): path.read_bytes()
+        for path in sorted(directory.rglob("*.json"))
+    }
+
+
+class TestRacingWorkers:
+    def test_n_workers_racing_one_key_compute_exactly_once(self, tmp_path):
+        """Three pool workers given the *same* profiling cell: the store
+        lock elects one computer; the others block, then read its bytes.
+        Each task reports its own worker's miss count, so compute-once is
+        visible as the miss counts summing to 1."""
+        workspace = tmp_path / "race-ws"
+        outcomes = run_fanout([_cell_task(workspace)] * 3, jobs=3)
+        misses = [outcome.value["misses"] for outcome in outcomes]
+        assert sum(misses) == 1, f"expected exactly one compute, got {misses}"
+        records = {outcome.value["records"] for outcome in outcomes}
+        assert len(records) == 1  # losers read the winner's artifact
+        # The race left no lock or temp debris behind.
+        leftovers = [
+            p for p in workspace.rglob("*") if p.suffix in (".lock", ".tmp")
+        ]
+        assert leftovers == []
+
+
+class TestStaleLockBreaking:
+    def test_sigkilled_lock_holder_does_not_wedge_the_cell(self, tmp_path):
+        """A worker SIGKILLed mid-compute leaves its lock file behind; a
+        later fan-out on the same cell must break the stale lock (after
+        the staleness window) and compute, not block forever."""
+        workspace = tmp_path / "crash-ws"
+        holder_script = f"""
+import sys, time
+from repro.artifacts import kinds
+from repro.artifacts.workspace import Workspace
+
+ws = Workspace({str(workspace)!r})
+
+def compute():
+    print("HOLDING", flush=True)
+    time.sleep(600)
+
+ws.store.get_or_create(
+    kinds.PROFILE, {_cell_spec()!r}, compute,
+    kinds.encode_profiles, kinds.decode_profiles,
+)
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        holder = subprocess.Popen(
+            [sys.executable, "-c", holder_script],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            # Wait until the child holds the lock (it prints from inside
+            # the locked compute), then kill it mid-compute.
+            line = holder.stdout.readline()
+            assert line.strip() == "HOLDING", holder.stderr.read()
+            holder.send_signal(signal.SIGKILL)
+            holder.wait(timeout=60)
+        finally:
+            if holder.poll() is None:  # pragma: no cover - cleanup path
+                holder.kill()
+
+        store = Workspace(workspace).store
+        key = store.key_for(kinds.PROFILE, _cell_spec())
+        lock_path = store._lock_path(kinds.PROFILE, key)
+        assert lock_path.exists(), "SIGKILLed holder should leave its lock"
+        # Age the lock past the staleness window (default 300 s) instead
+        # of sleeping through it.
+        stale_mtime = time.time() - (store.lock_stale_s + 100)
+        os.utime(lock_path, (stale_mtime, stale_mtime))
+
+        [outcome] = run_fanout([_cell_task(workspace)], jobs=1)
+        assert outcome.value["misses"] == 1  # broke the lock and computed
+        assert outcome.value["records"] > 0
+        assert not lock_path.exists()
+
+
+class TestJobsByteEquality:
+    def test_jobs_8_vs_jobs_1_across_the_zoo(self, tmp_path):
+        """The headline determinism guarantee: a full training-zoo sweep
+        at --jobs 8 is byte-identical to --jobs 1 — every per-cell
+        artifact and the combined dataset artifact."""
+        models, gpus, iterations = list(TRAIN_MODELS), list(GPU_KEYS), 10
+        serial_dir = tmp_path / "jobs1"
+        parallel_dir = tmp_path / "jobs8"
+        Workspace(serial_dir).profiles(models, gpus, iterations, jobs=1)
+        Workspace(parallel_dir).profiles(models, gpus, iterations, jobs=8)
+        serial_tree = _tree_bytes(serial_dir)
+        assert len(serial_tree) == len(models) * len(gpus) + 1
+        assert _tree_bytes(parallel_dir) == serial_tree
+
+    def test_assembled_sweep_matches_legacy_serial_artifact(self, tmp_path):
+        """jobs=None (the pre-fan-out in-process sweep, no cell artifacts)
+        and a fanned-out sweep store the combined dataset under the same
+        key with the same bytes — the spec deliberately excludes jobs."""
+        models, gpus, iterations = ["alexnet", "inception_v1"], ["V100", "K80"], 10
+        legacy_dir = tmp_path / "legacy"
+        fanned_dir = tmp_path / "fanned"
+        legacy_ws = Workspace(legacy_dir)
+        legacy_ws.profiles(models, gpus, iterations)
+        Workspace(fanned_dir).profiles(models, gpus, iterations, jobs=2)
+        spec = {
+            "models": sorted(models), "gpus": sorted(gpus),
+            "iterations": iterations, "batch": 32, "seed": "",
+        }
+        key = legacy_ws.store.key_for(kinds.PROFILE, spec)
+        legacy_path = legacy_ws.store.path_for(kinds.PROFILE, key)
+        fanned_path = Workspace(fanned_dir).store.path_for(kinds.PROFILE, key)
+        assert legacy_path.exists() and fanned_path.exists()
+        assert fanned_path.read_bytes() == legacy_path.read_bytes()
+
+    def test_fitted_estimator_identical_at_any_job_count(self, tmp_path):
+        """End to end: profile + regressions + comm fits under the fan-out
+        produce a byte-identical fitted-estimator artifact."""
+        serial_ws = Workspace(tmp_path / "fit-serial")
+        fanned_ws = Workspace(tmp_path / "fit-fanned")
+        serial_ws.fitted_ceer(30)
+        fanned_ws.fitted_ceer(30, jobs=4)
+        [serial_info] = serial_ws.store.entries("fitted")
+        [fanned_info] = fanned_ws.store.entries("fitted")
+        assert fanned_info.key == serial_info.key  # jobs is not in the spec
+        assert fanned_info.path.read_bytes() == serial_info.path.read_bytes()

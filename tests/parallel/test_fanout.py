@@ -1,0 +1,169 @@
+"""The fan-out executor: ordering, retries, failures, observability."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import FanoutError
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+from repro.obs.spans import disable_tracing, enable_tracing
+from repro.parallel import TaskOutcome, resolve_jobs, run_fanout
+from tests.parallel.helpers import (
+    DoomedTask,
+    EchoTask,
+    FlakyTask,
+    KillOnceTask,
+    SpanProbeTask,
+)
+
+
+class TestOrderingAndEquivalence:
+    def test_results_in_submission_order(self):
+        outcomes = run_fanout([EchoTask(i) for i in range(6)], jobs=3)
+        assert [o.task_id for o in outcomes] == [f"echo:{i}" for i in range(6)]
+        assert [o.value for o in outcomes] == [i * i for i in range(6)]
+        assert all(o.outcome == "ok" and o.attempts == 1 for o in outcomes)
+
+    def test_inline_and_pool_return_identical_values(self):
+        tasks = [EchoTask(i) for i in range(5)]
+        serial = run_fanout(tasks, jobs=1)
+        pooled = run_fanout(tasks, jobs=3)
+        assert [o.value for o in serial] == [o.value for o in pooled]
+        assert [o.task_id for o in serial] == [o.task_id for o in pooled]
+
+    def test_single_task_runs_inline(self):
+        """resolve_jobs caps at the task count, so one task never pays for
+        a pool — and never deadlocks on a lock its parent already holds."""
+        [outcome] = run_fanout([EchoTask(7)], jobs=8)
+        assert outcome.value == 49
+        assert outcome.worker_pid == os.getpid()
+
+    def test_pool_tasks_run_in_worker_processes(self):
+        outcomes = run_fanout([SpanProbeTask("a"), SpanProbeTask("b")], jobs=2)
+        assert all(o.value != os.getpid() for o in outcomes)
+
+    def test_empty_task_list(self):
+        assert run_fanout([], jobs=4) == []
+
+
+class TestResolveJobs:
+    def test_none_means_cpu_count(self):
+        assert resolve_jobs(None) == max(1, os.cpu_count() or 1)
+
+    def test_capped_by_task_count(self):
+        assert resolve_jobs(8, n_tasks=3) == 3
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(0, n_tasks=5) == 1
+        assert resolve_jobs(-2) == 1
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(4) == 4
+
+
+class TestRetries:
+    def test_transient_failure_retried_in_pool(self, tmp_path):
+        flaky = FlakyTask(str(tmp_path / "flaky.marker"))
+        outcomes = run_fanout([flaky, EchoTask(1)], jobs=2)
+        by_id = {o.task_id: o for o in outcomes}
+        assert by_id["flaky"].value == "recovered"
+        assert by_id["flaky"].outcome == "retried"
+        assert by_id["flaky"].attempts == 2
+        assert by_id["echo:1"].value == 1
+
+    def test_transient_failure_retried_inline(self, tmp_path):
+        [outcome] = run_fanout([FlakyTask(str(tmp_path / "m"))], jobs=1)
+        assert outcome.value == "recovered"
+        assert outcome.outcome == "retried"
+        assert outcome.attempts == 2
+
+    def test_sigkilled_worker_retried_on_a_fresh_pool(self, tmp_path):
+        """A worker dying mid-task breaks the whole pool; the retry round
+        must build a new one rather than hang or crash the parent."""
+        killer = KillOnceTask(str(tmp_path / "killed.marker"))
+        outcomes = run_fanout([killer, EchoTask(2)], jobs=2)
+        by_id = {o.task_id: o for o in outcomes}
+        assert by_id["kill-once"].value == "survived"
+        assert by_id["kill-once"].outcome == "retried"
+        assert by_id["echo:2"].value == 4
+
+    def test_persistent_failure_raises_structured_error(self):
+        tasks = [EchoTask(1), DoomedTask("a"), DoomedTask("b")]
+        with pytest.raises(FanoutError) as excinfo:
+            run_fanout(tasks, jobs=2)
+        failed_ids = [task_id for task_id, _ in excinfo.value.failures]
+        assert failed_ids == ["doomed:a", "doomed:b"]
+        assert "ValueError" in str(excinfo.value)
+        assert "bad cell a" in str(excinfo.value)
+
+    def test_persistent_failure_raises_inline_too(self):
+        with pytest.raises(FanoutError) as excinfo:
+            run_fanout([DoomedTask("solo")], jobs=1)
+        assert excinfo.value.failures[0][0] == "doomed:solo"
+
+
+class TestObservability:
+    def test_outcome_counters_land_on_default_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            run_fanout(
+                [EchoTask(0), EchoTask(1), FlakyTask(str(tmp_path / "m"))],
+                jobs=2,
+            )
+        finally:
+            set_default_registry(previous)
+        assert registry.counter("parallel.tasks", outcome="ok").value == 2
+        assert registry.counter("parallel.tasks", outcome="retried").value == 1
+        assert registry.counter("parallel.task_s").value > 0
+
+    def test_failed_counter_incremented(self):
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            with pytest.raises(FanoutError):
+                run_fanout([DoomedTask("x"), EchoTask(1)], jobs=2)
+        finally:
+            set_default_registry(previous)
+        assert registry.counter("parallel.tasks", outcome="failed").value == 1
+
+    def test_worker_spans_merged_into_parent_trace(self):
+        tracer = enable_tracing()
+        try:
+            outcomes = run_fanout([SpanProbeTask("a"), SpanProbeTask("b")], jobs=2)
+        finally:
+            disable_tracing()
+        [fanout_span] = tracer.find("parallel.fanout")
+        task_spans = [
+            node for node in fanout_span.walk() if node.name == "parallel.task"
+        ]
+        assert len(task_spans) == 2
+        # Each worker's subtree keeps its own trace row: the revived spans
+        # carry the worker PID as their thread id.
+        worker_pids = {o.value for o in outcomes}
+        assert {node.thread_id for node in task_spans} == worker_pids
+        probes = [n for n in fanout_span.walk() if n.name == "probe.work"]
+        assert {p.attributes["cell"] for p in probes} == {"a", "b"}
+        for probe in probes:
+            assert probe.end_us is not None
+            assert probe.end_us >= probe.start_us
+
+    def test_inline_spans_nest_without_serialization(self):
+        tracer = enable_tracing()
+        try:
+            run_fanout([SpanProbeTask("solo")], jobs=1)
+        finally:
+            disable_tracing()
+        [task_span] = tracer.find("parallel.task")
+        assert task_span.attributes["mode"] == "inline"
+        assert [c.name for c in task_span.children] == ["probe.work"]
+
+
+class TestOutcomeShape:
+    def test_task_outcome_fields(self):
+        [outcome] = run_fanout([EchoTask(3)], jobs=1)
+        assert isinstance(outcome, TaskOutcome)
+        assert outcome.duration_s >= 0
+        assert outcome.worker_pid > 0

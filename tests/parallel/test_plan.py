@@ -1,0 +1,111 @@
+"""Plan tasks: each work unit matches its serial counterpart exactly.
+
+The fan-out's byte-identity guarantee rests on every task being a pure
+function of its spec running the *same code* as the serial loop — these
+tests pin that down cell by cell (regressions, comm observations, comm
+fits, profile cells) with strict equality, not tolerances.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.classify import classify_operations
+from repro.core.comm_model import (
+    collect_comm_observations,
+    fit_comm_model,
+)
+from repro.core.op_models import fit_compute_models
+from repro.parallel import ProfileCellTask, run_fanout
+
+MODELS = ["alexnet", "inception_v1"]
+GPUS = ["V100", "K80"]
+ITERATIONS = 20
+
+
+def _cell_task(model: str, gpu_key: str, directory: Path) -> ProfileCellTask:
+    return ProfileCellTask(
+        model=model, gpu_key=gpu_key, n_iterations=ITERATIONS,
+        batch_size=32, seed_context="", workspace_dir=str(directory),
+    )
+
+
+class TestProfileCellTask:
+    def test_computes_once_then_hits_disk(self, tmp_path):
+        task = _cell_task("alexnet", "V100", tmp_path)
+        first = task.run()
+        assert first["records"] > 0
+        assert first["misses"] == 1
+        # A fresh task (fresh Workspace, fresh counters) sees a disk hit.
+        second = _cell_task("alexnet", "V100", tmp_path).run()
+        assert second["records"] == first["records"]
+        assert second["misses"] == 0
+
+    def test_task_id_names_the_cell(self):
+        task = _cell_task("alexnet", "V100", Path("unused"))
+        assert task.task_id() == "profile:alexnet:V100"
+
+    def test_fanout_cells_byte_identical_to_serial_cells(self, tmp_path):
+        """A fanned-out sweep writes the same per-cell artifacts, byte for
+        byte, as serially fetching each cell — same spec, same seeds."""
+        parallel_dir = tmp_path / "parallel"
+        serial_dir = tmp_path / "serial"
+        cells = [(m, g) for m in MODELS for g in GPUS]
+        run_fanout([_cell_task(m, g, parallel_dir) for m, g in cells], jobs=2)
+
+        from repro.artifacts.workspace import Workspace
+
+        serial_ws = Workspace(serial_dir)
+        for model, gpu_key in cells:
+            serial_ws.profiles([model], [gpu_key], ITERATIONS)
+
+        def tree(directory: Path):
+            return {
+                p.relative_to(directory): p.read_bytes()
+                for p in sorted(directory.rglob("*.json"))
+            }
+
+        parallel_tree = tree(parallel_dir)
+        assert parallel_tree, "fan-out produced no artifacts"
+        assert parallel_tree == tree(serial_dir)
+
+
+class TestFitParity:
+    def test_regression_fits_identical_serial_vs_fanout(self, train_profiles_small):
+        classification = classify_operations(train_profiles_small)
+        serial = fit_compute_models(train_profiles_small, classification)
+        fanned = fit_compute_models(train_profiles_small, classification, jobs=2)
+        assert set(serial.heavy_models) == set(fanned.heavy_models)
+        for key, model in serial.heavy_models.items():
+            # RegressionModel is a frozen dataclass of floats: == means
+            # bit-identical coefficients, not merely close ones.
+            assert fanned.heavy_models[key].regression == model.regression
+        assert fanned.light_median_us == serial.light_median_us
+        assert fanned.cpu_median_us == serial.cpu_median_us
+
+    def test_comm_observations_identical_serial_vs_fanout(self):
+        kwargs = dict(
+            gpu_counts=(1, 2), n_iterations=ITERATIONS, seed_context="test",
+        )
+        serial = collect_comm_observations(MODELS, GPUS, **kwargs)
+        fanned = collect_comm_observations(MODELS, GPUS, jobs=2, **kwargs)
+        assert fanned == serial
+
+    def test_comm_fits_identical_serial_vs_fanout(self):
+        # The comm fit needs >= 3 CNNs per (GPU, k) group.
+        observations = collect_comm_observations(
+            MODELS + ["resnet_50"], GPUS, gpu_counts=(1, 2),
+            n_iterations=ITERATIONS,
+        )
+        serial = fit_comm_model(observations)
+        fanned = fit_comm_model(observations, jobs=2)
+        assert fanned.models == serial.models
+        assert fanned.r2 == serial.r2
+
+    def test_prebuilt_graphs_fall_back_to_serial_collection(self, tiny_graph):
+        """Graph objects aren't picklable task specs; jobs is ignored for
+        them rather than failing."""
+        kwargs = dict(gpu_counts=(1, 2), n_iterations=ITERATIONS)
+        serial = collect_comm_observations([tiny_graph], ["V100"], **kwargs)
+        fanned = collect_comm_observations([tiny_graph], ["V100"], jobs=2, **kwargs)
+        assert fanned == serial

@@ -47,3 +47,38 @@ class TestProfiler:
         assert len(train_profiles_small.models()) == 8
         assert len(train_profiles_small.gpu_keys()) == 4
         assert len(train_profiles_small) > 10_000
+
+
+class _CollidingGraph:
+    """A duck-typed graph whose operations tuple repeats a name.
+
+    ``OpGraph.add`` rejects duplicate names at construction, so the
+    profiler's guard exists for graph-like objects assembled outside the
+    builder (hand-rolled stubs, deserialized graphs from other tools).
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, attr):
+        return getattr(self._inner, attr)
+
+    @property
+    def operations(self):
+        ops = self._inner.operations
+        return ops + (ops[0],)
+
+
+class TestDuplicateOpNames:
+    def test_colliding_names_raise_instead_of_misattributing(self, tiny_graph):
+        """Regression: a name collision used to silently attribute every
+        colliding timing to whichever op won the dict insertion."""
+        with pytest.raises(ProfilingError) as excinfo:
+            Profiler(n_iterations=20).profile(_CollidingGraph(tiny_graph), "V100")
+        message = str(excinfo.value)
+        assert "duplicate operation names" in message
+        assert tiny_graph.operations[0].name in message
+
+    def test_clean_graph_unaffected(self, tiny_graph):
+        ds = Profiler(n_iterations=20).profile(tiny_graph, "V100")
+        assert len(ds) == len(tiny_graph)

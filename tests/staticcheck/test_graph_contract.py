@@ -51,6 +51,43 @@ class TestBrokenContractsAreDetected:
         assert [f.rule for f in findings] == [RULE_ZOO]
         assert "no_such_model" in findings[0].message
 
+    def test_duplicate_op_names_are_flagged(self, monkeypatch):
+        """The checker mirrors the profiler's duplicate-name guard: a
+        graph that yields the same op name twice is a contract violation
+        (records could not be attributed unambiguously)."""
+        import repro.models.zoo as zoo
+
+        real_build = zoo.build_model
+
+        class _CollidingGraph:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, attr):
+                return getattr(self._inner, attr)
+
+            def __iter__(self):
+                ops = list(self._inner)
+                yield from ops
+                yield ops[0]  # re-announce the first op's name
+
+            def __contains__(self, name):
+                return name in self._inner
+
+        monkeypatch.setattr(
+            zoo, "build_model",
+            lambda name, batch_size=32: _CollidingGraph(
+                real_build(name, batch_size=batch_size)
+            ),
+        )
+        findings = check_zoo(models=["alexnet"])
+        duplicate = [
+            f for f in findings if "duplicate operation name" in f.message
+        ]
+        assert duplicate, "\n".join(f.render() for f in findings)
+        assert duplicate[0].rule == RULE_ZOO
+        assert duplicate[0].symbol.startswith("alexnet.")
+
 
 class TestFittedModels:
     def test_fitted_models_contract_holds(self, ceer_small):

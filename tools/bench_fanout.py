@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Benchmark the parallel profiling fan-out against the serial sweep.
+
+Times one profiling sweep (the paper's expensive measurement stage —
+Section III profiles every (CNN, GPU) cell independently) twice into two
+fresh workspaces: once with ``jobs=1`` (the serial reference) and once
+with ``jobs=N`` worker processes, then byte-compares the resulting
+artifact trees — the determinism guarantee (``--jobs N`` == ``--jobs 1``,
+byte for byte) is asserted on every benchmark run, not just in tests.
+
+Emits a JSON report (committed as ``BENCH_fanout.json``) recording the
+wall-clocks, the speedup ratio, and — critically — the machine's CPU
+count: a speedup ratio only means something relative to the cores that
+were available, so ``tools/perf_gate.py`` enforces the 2x floor only on
+hosts with >= 4 cores and compares ratios across reports only when their
+core counts match.
+
+Headless usage::
+
+    PYTHONPATH=src python tools/bench_fanout.py --json BENCH_fanout.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.artifacts.workspace import Workspace
+from repro.hardware.gpus import GPU_KEYS
+from repro.models.zoo import TRAIN_MODELS
+
+
+def _tree_bytes(directory: Path) -> dict:
+    return {
+        str(path.relative_to(directory)): path.read_bytes()
+        for path in sorted(directory.rglob("*.json"))
+    }
+
+
+def bench_sweep(models, gpu_keys, iterations: int, jobs: int) -> dict:
+    """Time serial vs parallel sweeps into fresh workspaces; verify bytes."""
+    serial_dir = Path(tempfile.mkdtemp(prefix="bench-fanout-serial-"))
+    parallel_dir = Path(tempfile.mkdtemp(prefix="bench-fanout-parallel-"))
+    try:
+        t0 = time.perf_counter()
+        Workspace(serial_dir).profiles(models, gpu_keys, iterations, jobs=1)
+        serial_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        Workspace(parallel_dir).profiles(models, gpu_keys, iterations, jobs=jobs)
+        parallel_s = time.perf_counter() - t0
+
+        serial_tree = _tree_bytes(serial_dir)
+        parallel_tree = _tree_bytes(parallel_dir)
+        byte_identical = serial_tree == parallel_tree
+    finally:
+        shutil.rmtree(serial_dir, ignore_errors=True)
+        shutil.rmtree(parallel_dir, ignore_errors=True)
+    return {
+        "cells": len(models) * len(gpu_keys),
+        "artifacts": len(serial_tree),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        "byte_identical": byte_identical,
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    models = list(TRAIN_MODELS[: args.models])
+    gpu_keys = list(GPU_KEYS)
+    return {
+        "benchmark": "fanout",
+        "config": {
+            "models": models,
+            "gpus": gpu_keys,
+            "iterations": args.iterations,
+            "jobs": args.jobs,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "sweep": bench_sweep(models, gpu_keys, args.iterations, args.jobs),
+    }
+
+
+def render(report: dict) -> str:
+    config = report["config"]
+    sweep = report["sweep"]
+    return "\n".join([
+        f"fanout benchmark ({len(config['models'])} models x "
+        f"{len(config['gpus'])} GPUs = {sweep['cells']} cells, "
+        f"{config['iterations']} iterations, jobs={config['jobs']}, "
+        f"{config['cpu_count']} cpu core(s))",
+        f"  serial sweep:   {sweep['serial_s']:7.2f} s",
+        f"  parallel sweep: {sweep['parallel_s']:7.2f} s  "
+        f"({sweep['speedup']:.2f}x)",
+        f"  artifact trees: {sweep['artifacts']} files, "
+        f"{'byte-identical' if sweep['byte_identical'] else 'DIVERGED'}",
+    ])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the JSON report to this path")
+    parser.add_argument("--models", type=int, default=4,
+                        help="how many training-zoo CNNs to sweep (default 4)")
+    parser.add_argument("--iterations", type=int, default=40,
+                        help="profiling iterations per cell (speedup is "
+                             "independent of this; low keeps CI fast)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(2, min(4, os.cpu_count() or 1)),
+                        help="worker processes for the parallel sweep "
+                             "(default: min(cpu count, 4), at least 2)")
+    args = parser.parse_args(argv)
+    if args.models < 1 or args.iterations < 2 or args.jobs < 2:
+        parser.error("--models >= 1, --iterations >= 2, --jobs >= 2 required")
+
+    report = run(args)
+    print(render(report))
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if not report["sweep"]["byte_identical"]:
+        print("FAIL: parallel sweep artifacts diverged from serial",
+              file=sys.stderr)
+        return 1
+    # The speedup *floor* is enforced by tools/perf_gate.py, which knows
+    # the baseline's core count; a 1-core container honestly reports ~1x.
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,11 +19,21 @@ fail the gate; improvements beyond the same margin pass with a reminder
 to refresh the committed baseline. Absolute latency deltas are printed
 for information only.
 
+The gate optionally also checks the parallel fan-out benchmark
+(``tools/bench_fanout.py`` / ``BENCH_fanout.json``) when ``--fanout-fresh``
+is given. Fan-out speedup depends on the host's core count, so that check
+is core-aware: the byte-identity flag must always hold, the speedup floor
+(default 2x) is enforced only when the fresh report's machine has >= 4
+cores, and fresh-vs-baseline ratio comparison happens only when the two
+reports were measured on the same core count.
+
 Usage (the CI ``perf`` job)::
 
     PYTHONPATH=src python tools/bench_engine.py --json fresh.json
+    PYTHONPATH=src python tools/bench_fanout.py --json fanout-fresh.json
     python tools/perf_gate.py --baseline BENCH_predict_engine.json \
-        --fresh fresh.json
+        --fresh fresh.json --fanout-baseline BENCH_fanout.json \
+        --fanout-fresh fanout-fresh.json
 """
 
 from __future__ import annotations
@@ -108,6 +118,82 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> Tuple[List[str], L
     return lines, failures
 
 
+#: Core count below which the fan-out speedup floor is not enforced —
+#: a 1- or 2-core host cannot demonstrate a 2x process-parallel speedup.
+FANOUT_MIN_CORES = 4
+
+
+def compare_fanout(
+    baseline: dict, fresh: dict, tolerance: float, min_speedup: float
+) -> Tuple[List[str], List[str]]:
+    """Core-count-aware checks for the fan-out benchmark reports."""
+    lines: List[str] = []
+    failures: List[str] = []
+    fresh_cores = int(fresh["config"].get("cpu_count", 1))
+    speedup = _lookup(fresh, ("sweep", "speedup"))
+
+    identical = bool(fresh["sweep"].get("byte_identical"))
+    lines.append(
+        f"  {'fan-out byte identity':<28s} "
+        f"[{'ok' if identical else 'FAIL'}]"
+    )
+    if not identical:
+        failures.append(
+            "fan-out: parallel sweep artifacts are not byte-identical to "
+            "the serial sweep's — determinism contract broken"
+        )
+
+    if fresh_cores >= FANOUT_MIN_CORES:
+        verdict = "ok" if speedup >= min_speedup else "REGRESSION"
+        if speedup < min_speedup:
+            failures.append(
+                f"fan-out: sweep speedup {speedup:.2f}x is below the "
+                f"{min_speedup:.1f}x floor on a {fresh_cores}-core host"
+            )
+        lines.append(
+            f"  {'fan-out sweep speedup':<28s} fresh {speedup:10.2f}x   "
+            f"floor {min_speedup:.1f}x ({fresh_cores} cores)  [{verdict}]"
+        )
+    else:
+        lines.append(
+            f"  {'fan-out sweep speedup':<28s} fresh {speedup:10.2f}x   "
+            f"(floor waived: only {fresh_cores} core(s))"
+        )
+
+    baseline_cores = int(baseline["config"].get("cpu_count", 1))
+    base_speedup = _lookup(baseline, ("sweep", "speedup"))
+    if baseline_cores == fresh_cores and fresh_cores >= FANOUT_MIN_CORES:
+        # Below FANOUT_MIN_CORES the ratio hovers around 1.0 and its
+        # run-to-run noise exceeds any sensible tolerance, so sub-parallel
+        # hosts get the comparison as information, not as a gate.
+        change = (speedup - base_speedup) / base_speedup if base_speedup else float("inf")
+        verdict = "ok"
+        if change < -tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"fan-out: sweep speedup {speedup:.2f}x is {-change:.0%} "
+                f"below the committed {base_speedup:.2f}x at the same core "
+                f"count (tolerance {tolerance:.0%})"
+            )
+        elif change > tolerance:
+            verdict = "improved — consider refreshing the baseline"
+        lines.append(
+            f"  {'fan-out vs baseline':<28s} baseline {base_speedup:10.2f}x   "
+            f"fresh {speedup:10.2f}x   {change:+7.1%}  [{verdict}]"
+        )
+    elif baseline_cores != fresh_cores:
+        lines.append(
+            f"  {'fan-out vs baseline':<28s} skipped: baseline measured on "
+            f"{baseline_cores} core(s), fresh on {fresh_cores}"
+        )
+    else:
+        lines.append(
+            f"  {'fan-out vs baseline':<28s} baseline {base_speedup:10.2f}x   "
+            f"fresh {speedup:10.2f}x   (informational: {fresh_cores} core(s))"
+        )
+    return lines, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path,
@@ -118,6 +204,15 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional drop in speedup ratios "
                              "(default 0.15 = 15%%)")
+    parser.add_argument("--fanout-baseline", type=Path,
+                        default=Path("BENCH_fanout.json"),
+                        help="committed fan-out benchmark report")
+    parser.add_argument("--fanout-fresh", type=Path, default=None,
+                        help="freshly generated fan-out report; enables the "
+                             "core-aware fan-out checks")
+    parser.add_argument("--fanout-min", type=float, default=2.0,
+                        help="minimum fan-out sweep speedup on hosts with "
+                             ">= 4 cores (default 2.0)")
     args = parser.parse_args(argv)
     if not 0 < args.tolerance < 1:
         parser.error("--tolerance must be in (0, 1)")
@@ -128,6 +223,15 @@ def main(argv=None) -> int:
     print(f"perf gate: {args.fresh} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
     print("\n".join(lines))
+    if args.fanout_fresh is not None:
+        fanout_baseline = json.loads(args.fanout_baseline.read_text())
+        fanout_fresh = json.loads(args.fanout_fresh.read_text())
+        fanout_lines, fanout_failures = compare_fanout(
+            fanout_baseline, fanout_fresh, args.tolerance, args.fanout_min
+        )
+        print(f"fan-out gate: {args.fanout_fresh} vs {args.fanout_baseline}")
+        print("\n".join(fanout_lines))
+        failures.extend(fanout_failures)
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)
         for failure in failures:
