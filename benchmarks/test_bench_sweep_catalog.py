@@ -1,0 +1,79 @@
+"""Benchmark: batched catalog sweep vs the per-candidate reference loop.
+
+Times a full-catalog sweep (every priceable (GPU, count) x 12 batch sizes
+x 3 pricing tiers = 1296 candidates) both ways and asserts the batched
+path's contract: >= 10x faster warm than the per-candidate loop with
+every candidate matching within 1e-9 relative tolerance. Runs at the
+canonical experiment configuration like every other benchmark; the
+assertions make catalog-sweep regressions fail here rather than slowing
+the tier-1 test suite.
+"""
+
+import time
+
+from repro.core.batch import (
+    SweepPlan,
+    evaluate_sweep,
+    sweep_candidates_reference,
+)
+from repro.core.estimator import CeerEstimator
+from repro.experiments.common import IMAGENET_JOB, fitted_ceer
+from repro.units import us_to_hr
+
+MODEL = "inception_v3"
+
+
+def test_bench_sweep_catalog(benchmark, emit):
+    fitted = fitted_ceer()
+    estimator = CeerEstimator(
+        fitted.estimator.compute_models, fitted.estimator.comm_model
+    )
+    plan = SweepPlan.full_catalog()
+
+    # Prime the engine's graph caches so the loop timing measures its
+    # per-candidate dispatch, not one-off graph compilation.
+    reference = sweep_candidates_reference(estimator, MODEL, IMAGENET_JOB, plan)
+    t0 = time.perf_counter()
+    reference = sweep_candidates_reference(estimator, MODEL, IMAGENET_JOB, plan)
+    loop_s = time.perf_counter() - t0
+
+    evaluate_sweep(estimator, MODEL, IMAGENET_JOB, plan)  # warm the caches
+    result = benchmark.pedantic(
+        lambda: evaluate_sweep(estimator, MODEL, IMAGENET_JOB, plan),
+        rounds=5, iterations=1,
+    )
+    warm_s = benchmark.stats.stats.min
+
+    assert result.n_candidates >= 1000
+    speedup = loop_s / warm_s
+    assert speedup >= 10.0, f"catalog speedup {speedup:.1f}x below 10x target"
+
+    # Numerically equivalent across every priceable candidate.
+    cells = list(result.iter_candidates())
+    assert len(cells) == len(reference)
+    worst = 0.0
+    for cell, ref in zip(cells, reference):
+        got = result.prediction(*cell)
+        assert got.instance_name == ref.instance_name
+        worst = max(worst, abs(got.total_us - ref.total_us) / ref.total_us)
+        worst = max(
+            worst, abs(got.cost_dollars - ref.cost_dollars) / ref.cost_dollars
+        )
+    assert worst <= 1e-9
+
+    frontier = result.frontier()
+    lines = [
+        f"candidates: {result.n_candidates} "
+        f"({len(plan.batch_sizes)} batches x {len(plan.pricings)} pricings)",
+        f"loop (warm): {loop_s * 1e3:.2f} ms | "
+        f"batched (warm): {warm_s * 1e3:.3f} ms | {speedup:.0f}x",
+        f"max rel diff: {worst:.2e}",
+        f"frontier ({len(frontier)} points, fastest-first):",
+    ]
+    lines += [
+        f"  {p.instance_name:<24s} {p.num_gpus}x{p.gpu_key:<5s} "
+        f"batch {p.batch_size:<4d} {us_to_hr(p.total_us):.2f} h  "
+        f"${p.cost_dollars:.2f}"
+        for p in frontier
+    ]
+    emit("sweep_catalog", "\n".join(lines))

@@ -6,7 +6,10 @@ Commands mirror the paper's workflow:
 * ``fit`` — run the offline phase (profile + fit) and save the estimator.
 * ``predict`` — training time/cost of one CNN on one instance.
 * ``recommend`` — optimal-instance recommendation under an objective.
-* ``tradeoff`` — the full time-cost Pareto frontier across instances.
+* ``tradeoff`` — the time-cost Pareto frontier across instances; with
+  ``--full-catalog`` (and optionally ``--batches``) the batched sweep
+  prices every configuration the catalog offers in one tensor pass.
+* ``catalog`` — list the priced AWS instance menu (On-Demand and spot).
 * ``figures`` — regenerate paper figures by name (or ``all``).
 * ``cache`` — inspect or clear the artifact workspace backing fit/figures.
 
@@ -44,7 +47,7 @@ from repro.artifacts.workspace import (
     active_workspace,
     set_active_workspace,
 )
-from repro.cloud.pricing import MARKET_RATIO, ON_DEMAND
+from repro.cloud.pricing import MARKET_RATIO, ON_DEMAND, SPOT
 from repro.core.estimator import CeerEstimator
 from repro.core.persistence import load_estimator, save_estimator
 from repro.core.recommend import (
@@ -127,6 +130,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--epochs", type=int, default=1)
         p.add_argument("--market-prices", action="store_true",
                        help="use commodity market-ratio prices (paper Fig. 12)")
+        p.add_argument("--spot", action="store_true",
+                       help="use spot-market prices (per-family discount "
+                            "ratios on the On-Demand rates)")
         _add_obs_args(p, suppress=True)
 
     predict = sub.add_parser("predict", help="predict time/cost on one instance")
@@ -152,6 +158,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     tradeoff.add_argument("--estimator", required=True)
     add_workload_args(tradeoff)
+    tradeoff.add_argument("--full-catalog", action="store_true",
+                          help="sweep every (GPU, count) the catalog offers "
+                               "via the batched engine instead of the "
+                               "paper's 16-candidate grid")
+    tradeoff.add_argument("--batches", metavar="B1,B2,...",
+                          help="comma-separated per-GPU batch sizes to add "
+                               "as a sweep axis (requires --full-catalog)")
+
+    catalog = sub.add_parser(
+        "catalog", help="inspect the priced AWS instance catalog"
+    )
+    catalog_sub = catalog.add_subparsers(dest="catalog_command", required=True)
+    catalog_list = catalog_sub.add_parser(
+        "list", help="list every rentable instance with its price tiers"
+    )
+    catalog_list.add_argument("--gpu",
+                              help="filter by GPU model (V100/K80/T4/M60) "
+                                   "or family (P3/P2/G4/G3)")
+    _add_obs_args(catalog_list, suppress=True)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("names", nargs="+",
@@ -219,6 +244,16 @@ def _resolve_job(args) -> TrainingJob:
     return TrainingJob(dataset, batch_size=args.batch, epochs=args.epochs)
 
 
+def _resolve_pricing(args):
+    if getattr(args, "market_prices", False) and getattr(args, "spot", False):
+        raise ReproError("--market-prices and --spot are mutually exclusive")
+    if getattr(args, "spot", False):
+        return SPOT
+    if getattr(args, "market_prices", False):
+        return MARKET_RATIO
+    return ON_DEMAND
+
+
 def _resolve_objective(args):
     if args.objective == "min-cost":
         return MinimizeCost()
@@ -273,7 +308,7 @@ def _cmd_predict(args, out) -> int:
     estimator = _load(args.estimator)
     model = _resolve_model(args)
     job = _resolve_job(args)
-    pricing = MARKET_RATIO if args.market_prices else ON_DEMAND
+    pricing = _resolve_pricing(args)
     prediction = estimator.predict_training(
         model, args.gpu, args.gpus, job, pricing=pricing
     )
@@ -295,12 +330,22 @@ def _cmd_recommend(args, out) -> int:
     estimator = _load(args.estimator)
     model = _resolve_model(args)
     job = _resolve_job(args)
-    pricing = MARKET_RATIO if args.market_prices else ON_DEMAND
+    pricing = _resolve_pricing(args)
     recommendation = Recommender(estimator, pricing=pricing).recommend(
         model, job, _resolve_objective(args)
     )
     print(recommendation.summary(), file=out)
     return 0
+
+
+def _parse_batches(spec: str):
+    try:
+        batches = tuple(int(b) for b in spec.split(","))
+    except ValueError:
+        raise ReproError(f"--batches must be comma-separated integers, got {spec!r}")
+    if not batches or any(b < 1 for b in batches):
+        raise ReproError("--batches values must be >= 1")
+    return batches
 
 
 def _cmd_tradeoff(args, out) -> int:
@@ -309,7 +354,36 @@ def _cmd_tradeoff(args, out) -> int:
     estimator = _load(args.estimator)
     model = _resolve_model(args)
     job = _resolve_job(args)
-    pricing = MARKET_RATIO if args.market_prices else ON_DEMAND
+    pricing = _resolve_pricing(args)
+    if args.batches and not args.full_catalog:
+        raise ReproError("--batches requires --full-catalog")
+    if args.full_catalog:
+        from repro.analysis.reporting import format_dollars, format_us
+        from repro.core.batch import SweepPlan, evaluate_sweep
+
+        batches = (
+            _parse_batches(args.batches) if args.batches else (args.batch,)
+        )
+        plan = SweepPlan.full_catalog(batch_sizes=batches, pricings=(pricing,))
+        result = evaluate_sweep(estimator, model, job, plan)
+        frontier = result.frontier()
+        rows = [
+            [
+                p.instance_name, f"{p.num_gpus}x{p.gpu_key}", p.batch_size,
+                format_us(p.total_us), format_dollars(p.cost_dollars),
+            ]
+            for p in frontier
+        ]
+        print(
+            format_table(
+                ["instance", "config", "batch", "time", "cost"], rows,
+                title=f"Catalog frontier for {result.model_name!r}: "
+                      f"{len(frontier)} efficient of {result.n_candidates} "
+                      f"candidates ({pricing.name} prices)",
+            ),
+            file=out,
+        )
+        return 0
     analysis = analyze_tradeoff(
         Recommender(estimator, pricing=pricing), model, job
     )
@@ -318,6 +392,51 @@ def _cmd_tradeoff(args, out) -> int:
     print(
         f"knee of the frontier: {knee.instance_name} "
         f"({knee.total_hours:.2f} h, ${knee.cost_dollars:.2f})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_catalog(args, out) -> int:
+    from repro.cloud.catalog import (
+        AWS_INSTANCES,
+        PAPER_INSTANCES,
+        candidate_instances,
+    )
+    from repro.hardware.gpus import gpu_spec
+
+    gpu_filter = gpu_spec(args.gpu).key if args.gpu else None
+    paper_names = {inst.name for inst in PAPER_INSTANCES}
+    rows = []
+    for inst in sorted(AWS_INSTANCES, key=lambda i: (i.gpu_key, i.num_gpus, i.usd_per_hr)):
+        if gpu_filter is not None and inst.gpu_key != gpu_filter:
+            continue
+        spot_inst = SPOT.instance(inst.gpu_key, inst.num_gpus)
+        rows.append(
+            [
+                inst.name, f"{inst.num_gpus}x {inst.gpu_key}", inst.family,
+                f"${inst.usd_per_hr:.3f}",
+                f"${inst.usd_per_hr / inst.num_gpus:.3f}",
+                f"${spot_inst.usd_per_hr:.3f}",
+                "paper" if inst.name in paper_names else "",
+            ]
+        )
+    if not rows:
+        raise ReproError(f"no catalog instance carries GPU {args.gpu!r}")
+    print(
+        format_table(
+            ["instance", "GPUs", "family", "on-demand/hr", "per-GPU/hr",
+             "spot/hr", ""],
+            rows,
+            title="AWS GPU instance catalog",
+        ),
+        file=out,
+    )
+    n_configs = len(candidate_instances())
+    print(
+        f"\n{len(rows)} instance type(s); a full sweep prices {n_configs} "
+        f"(GPU model, count) configurations per pricing tier "
+        f"(spot rate shown for the instance's cheapest exact/proxy host)",
         file=out,
     )
     return 0
@@ -484,6 +603,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "recommend": _cmd_recommend,
     "tradeoff": _cmd_tradeoff,
+    "catalog": _cmd_catalog,
     "figures": _cmd_figures,
     "cache": _cmd_cache,
 }

@@ -2,30 +2,42 @@
 
 from repro.cloud.catalog import (
     AWS_INSTANCES,
+    EXTENDED_INSTANCES,
+    PAPER_INSTANCES,
     InstanceType,
     candidate_instances,
     instance_by_name,
     instance_for,
+    max_gpus_for,
 )
 from repro.cloud.pricing import (
     MARKET_USD_PER_HR_BY_GPU,
     MARKET_RATIO,
     ON_DEMAND,
+    SPOT,
+    SPOT_RATIO_BY_GPU,
     MarketRatioPricing,
     OnDemandPricing,
     PricingScheme,
+    SpotPricing,
 )
 
 __all__ = [
     "InstanceType",
     "AWS_INSTANCES",
+    "PAPER_INSTANCES",
+    "EXTENDED_INSTANCES",
     "instance_by_name",
     "instance_for",
     "candidate_instances",
+    "max_gpus_for",
     "PricingScheme",
     "OnDemandPricing",
     "MarketRatioPricing",
+    "SpotPricing",
     "ON_DEMAND",
     "MARKET_RATIO",
+    "SPOT",
     "MARKET_USD_PER_HR_BY_GPU",
+    "SPOT_RATIO_BY_GPU",
 ]

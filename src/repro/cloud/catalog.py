@@ -1,4 +1,5 @@
-"""AWS GPU instance catalog: the 8 EC2 instances of the paper's evaluation.
+"""AWS GPU instance catalog: the paper's 8 EC2 instances plus the rest of
+the 2020 GPU menu.
 
 Section V of the paper uses four single-GPU instances and four multi-GPU
 instances (>= 4 GPUs each), with On-Demand hourly prices as published in
@@ -6,6 +7,14 @@ instances (>= 4 GPUs each), with On-Demand hourly prices as published in
 instance — and handles them by running k of the GPUs of a larger instance
 and billing k/n of its rental cost. :func:`instance_for` implements exactly
 that proxy rule.
+
+Beyond the paper's grid, the catalog carries the larger sizes of the same
+four instance families (p3.16xlarge, p2.16xlarge, g4dn.metal, the mid-size
+g3/g4dn boxes) so a catalog-scale sweep (:mod:`repro.core.batch`) can price
+every rentable configuration — up to 16 K80s or 8 V100s — in one pass.
+Every addition keeps the per-GPU hourly rate of its family, so the paper's
+proxy arithmetic and scenario outcomes are unchanged: exact-match lookups
+still resolve to the paper's (cheapest) instances.
 """
 
 from __future__ import annotations
@@ -53,7 +62,7 @@ class InstanceType:
 
 
 #: The 8 instances of Section V, with their On-Demand prices.
-AWS_INSTANCES: Tuple[InstanceType, ...] = (
+PAPER_INSTANCES: Tuple[InstanceType, ...] = (
     InstanceType("p3.2xlarge", "V100", 1, 3.06),
     InstanceType("p2.xlarge", "K80", 1, 0.90),
     InstanceType("g4dn.2xlarge", "T4", 1, 0.752),
@@ -63,6 +72,23 @@ AWS_INSTANCES: Tuple[InstanceType, ...] = (
     InstanceType("g4dn.12xlarge", "T4", 4, 3.912),
     InstanceType("g3.16xlarge", "M60", 4, 4.56),
 )
+
+#: The rest of the 2020 AWS GPU menu for the same four families. Prices
+#: keep each family's per-GPU rate, so these sizes extend the candidate
+#: space without perturbing any paper scenario (exact-match lookups still
+#: pick the paper's cheaper instances for the counts both offer).
+EXTENDED_INSTANCES: Tuple[InstanceType, ...] = (
+    InstanceType("p3.16xlarge", "V100", 8, 24.48),
+    InstanceType("p2.16xlarge", "K80", 16, 14.40),
+    InstanceType("g4dn.4xlarge", "T4", 1, 1.204),
+    InstanceType("g4dn.8xlarge", "T4", 1, 2.176),
+    InstanceType("g4dn.metal", "T4", 8, 7.824),
+    InstanceType("g3.4xlarge", "M60", 1, 1.14),
+    InstanceType("g3.8xlarge", "M60", 2, 2.28),
+)
+
+#: The full rentable menu: the paper's 8 instances plus the grown sizes.
+AWS_INSTANCES: Tuple[InstanceType, ...] = PAPER_INSTANCES + EXTENDED_INSTANCES
 
 _BY_NAME: Dict[str, InstanceType] = {inst.name: inst for inst in AWS_INSTANCES}
 
@@ -109,10 +135,26 @@ def instance_for(gpu_key: str, num_gpus: int) -> InstanceType:
     )
 
 
-def candidate_instances(max_gpus: int = 4) -> List[InstanceType]:
-    """All (GPU model, 1..max_gpus) configurations the recommender considers."""
+def max_gpus_for(gpu_key: str) -> int:
+    """Largest GPU count of any catalog instance carrying ``gpu_key``."""
+    key = gpu_spec(gpu_key).key
+    counts = [inst.num_gpus for inst in AWS_INSTANCES if inst.gpu_key == key]
+    if not counts:
+        raise CatalogError(f"no catalog instance carries GPU {key!r}")
+    return max(counts)
+
+
+def candidate_instances(max_gpus: Optional[int] = None) -> List[InstanceType]:
+    """All (GPU model, k) configurations the recommender considers.
+
+    With ``max_gpus=None`` (the default) each GPU model is swept up to the
+    largest count any catalog instance offers for it — 8 V100s, 16 K80s —
+    so the grown catalog is never silently truncated. Pass an explicit
+    ``max_gpus`` to reproduce the paper's bounded grids (e.g. ``4``).
+    """
     out: List[InstanceType] = []
     for key in GPU_SPECS:
-        for k in range(1, max_gpus + 1):
+        top = max_gpus_for(key) if max_gpus is None else max_gpus
+        for k in range(1, top + 1):
             out.append(instance_for(key, k))
     return out

@@ -74,5 +74,42 @@ class MarketRatioPricing(PricingScheme):
         )
 
 
+#: Representative 2020 spot-to-On-Demand price ratios per GPU family.
+#: Spot markets quote a fluctuating discount; these are typical mid-2020
+#: snapshot values (deep discounts on the older K80/M60 fleets, shallower
+#: on the in-demand V100/T4). Dynamic spot-price traces are ROADMAP item 5;
+#: here the ratio is a static scheme so catalog sweeps can rank tiers.
+SPOT_RATIO_BY_GPU: Dict[str, float] = {
+    "V100": 0.31,
+    "K80": 0.29,
+    "T4": 0.34,
+    "M60": 0.25,
+}
+
+
+@dataclass(frozen=True)
+class SpotPricing(PricingScheme):
+    """Spot-market prices: the On-Demand instance at a per-family discount."""
+
+    name: str = "aws-spot"
+    ratio_by_gpu: Dict[str, float] = field(
+        default_factory=lambda: dict(SPOT_RATIO_BY_GPU)
+    )
+
+    def instance(self, gpu_key: str, num_gpus: int) -> InstanceType:
+        key = gpu_spec(gpu_key).key
+        if key not in self.ratio_by_gpu:
+            raise CatalogError(f"no spot ratio for GPU {key!r}")
+        base = instance_for(key, num_gpus)
+        return InstanceType(
+            name=f"spot:{base.name}",
+            gpu_key=key,
+            num_gpus=num_gpus,
+            usd_per_hr=base.usd_per_hr * self.ratio_by_gpu[key],
+            proxy_of=base.proxy_of or base.name,
+        )
+
+
 ON_DEMAND = OnDemandPricing()
 MARKET_RATIO = MarketRatioPricing()
+SPOT = SpotPricing()

@@ -49,7 +49,21 @@ from repro.core.persistence import (
     load_estimator,
     save_estimator,
 )
-from repro.core.pareto import ParetoAnalysis, analyze_tradeoff, pareto_frontier
+from repro.core.pareto import (
+    ParetoAnalysis,
+    analyze_tradeoff,
+    pareto_frontier,
+    pareto_order_and_keep,
+)
+from repro.core.batch import (
+    DEFAULT_SWEEP_BATCH_SIZES,
+    DEFAULT_SWEEP_PRICINGS,
+    StackedOpModels,
+    SweepPlan,
+    SweepResult,
+    evaluate_sweep,
+    sweep_candidates_reference,
+)
 from repro.core.update import extend_ceer, learn_model
 from repro.core.baselines import (
     LayerLevelEstimator,
@@ -108,4 +122,12 @@ __all__ = [
     "ParetoAnalysis",
     "analyze_tradeoff",
     "pareto_frontier",
+    "pareto_order_and_keep",
+    "SweepPlan",
+    "SweepResult",
+    "StackedOpModels",
+    "evaluate_sweep",
+    "sweep_candidates_reference",
+    "DEFAULT_SWEEP_BATCH_SIZES",
+    "DEFAULT_SWEEP_PRICINGS",
 ]

@@ -17,7 +17,10 @@ dropping light/CPU contributions (Section IV-B; 15-25% extra error).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.core.batch import StackedOpModels
 
 from repro.cloud.catalog import InstanceType
 from repro.cloud.pricing import ON_DEMAND, PricingScheme
@@ -42,6 +45,9 @@ class TrainingPrediction:
     compute_us_per_iteration: float
     comm_overhead_us: float
     iterations: float
+    #: Per-GPU batch size the prediction was computed at; None for legacy
+    #: call sites that predate batch-axis sweeps.
+    batch_size: Optional[int] = None
 
     @property
     def per_iteration_us(self) -> float:
@@ -88,7 +94,22 @@ class CeerEstimator:
         self.heavy_only = heavy_only
         self.use_engine = use_engine
         self._engine: Optional[PredictionEngine] = None
+        self._batch_models: Optional["StackedOpModels"] = None
         self._graph_cache: Dict[Tuple[str, int], OpGraph] = {}
+
+    @property
+    def batch_models(self) -> "StackedOpModels":
+        """Stacked per-GPU coefficients for catalog-scale batched sweeps.
+
+        Lazy like :attr:`engine` — a scalar-only estimator never stacks —
+        and shared across sweeps so repeated
+        :func:`~repro.core.batch.evaluate_sweep` calls reuse the arrays.
+        """
+        if self._batch_models is None:
+            from repro.core.batch import StackedOpModels
+
+            self._batch_models = StackedOpModels(self.compute_models)
+        return self._batch_models
 
     @property
     def engine(self) -> PredictionEngine:
@@ -192,4 +213,5 @@ class CeerEstimator:
             compute_us_per_iteration=compute,
             comm_overhead_us=comm,
             iterations=job.iterations(num_gpus),
+            batch_size=job.batch_size,
         )

@@ -16,7 +16,9 @@ the recommender per objective:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.analysis.reporting import format_dollars, format_table, format_us
 from repro.errors import RecommendationError
@@ -24,6 +26,39 @@ from repro.graph.graph import OpGraph
 from repro.workloads.dataset import TrainingJob
 from repro.core.estimator import TrainingPrediction
 from repro.core.recommend import Recommender
+
+
+def pareto_order_and_keep(
+    total_us: np.ndarray, cost_usd: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized dominance scan over parallel (time, cost) arrays.
+
+    Returns ``(order, keep)``: ``order`` sorts the candidates by
+    ``(total_us, cost_usd)`` (stable, so exact ties keep input order) and
+    ``keep[i]`` marks whether ``order[i]`` is on the frontier —
+    equivalently, whether its cost strictly undercuts the running cost
+    minimum of everything at least as fast. ``order[keep]`` is therefore
+    the frontier, fastest-first. This is the same first-occurrence tie
+    rule as the historical sort-and-scan loop, at O(n log n) with no
+    per-candidate Python — :meth:`repro.core.batch.SweepResult.frontier`
+    runs it over thousands of catalog candidates.
+    """
+    if total_us.shape != cost_usd.shape or total_us.ndim != 1:
+        raise RecommendationError(
+            "pareto_order_and_keep needs two parallel 1-d arrays, got shapes "
+            f"{total_us.shape} and {cost_usd.shape}"
+        )
+    if total_us.shape[0] == 0:
+        raise RecommendationError("cannot take the frontier of zero candidates")
+    # lexsort's *last* key is primary: sort by time, tie-break by cost.
+    order = np.lexsort((cost_usd, total_us))
+    sorted_cost_usd = cost_usd[order]
+    keep = np.empty(order.shape[0], dtype=bool)
+    keep[0] = True
+    # Strictly cheaper than every candidate at least as fast == strictly
+    # below the running minimum cost over the sorted prefix.
+    keep[1:] = sorted_cost_usd[1:] < np.minimum.accumulate(sorted_cost_usd)[:-1]
+    return order, keep
 
 
 def pareto_frontier(
@@ -37,14 +72,10 @@ def pareto_frontier(
     """
     if not predictions:
         raise RecommendationError("pareto_frontier needs at least one prediction")
-    by_total_us = sorted(predictions, key=lambda p: (p.total_us, p.cost_dollars))
-    frontier: List[TrainingPrediction] = []
-    best_usd = float("inf")
-    for prediction in by_total_us:
-        if prediction.cost_dollars < best_usd:
-            frontier.append(prediction)
-            best_usd = prediction.cost_dollars
-    return frontier
+    total_us = np.array([p.total_us for p in predictions])
+    cost_usd = np.array([p.cost_dollars for p in predictions])
+    order, keep = pareto_order_and_keep(total_us, cost_usd)
+    return [predictions[i] for i in order[keep]]
 
 
 @dataclass

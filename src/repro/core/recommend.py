@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.cloud.pricing import ON_DEMAND, PricingScheme
-from repro.errors import RecommendationError
+from repro.errors import CatalogError, RecommendationError
 from repro.graph.graph import OpGraph
 from repro.hardware.gpus import GPU_KEYS
 from repro.obs.spans import span, tracing_enabled
@@ -176,16 +176,70 @@ class Recommender:
     ) -> List[TrainingPrediction]:
         """Predict T and C for every candidate (GPU model, k) configuration.
 
-        The graph is resolved *once* and every candidate prediction goes
-        through the estimator's :class:`~repro.core.engine.PredictionEngine`,
-        so the 16-candidate sweep compiles one graph and performs one
-        vectorized compute evaluation per distinct GPU model (the per-k
-        variation is entirely in the communication term).
+        The sweep runs through the batched engine
+        (:func:`~repro.core.batch.evaluate_sweep`): the graph is resolved
+        and compiled *once*, one stacked matmul per heavy op type prices
+        every GPU model simultaneously, and candidates are materialised
+        from the result tensors — no per-candidate prediction calls.
+        :meth:`sweep_reference` keeps the historical per-candidate loop
+        as the equivalence oracle.
 
         With ``check_memory`` enabled, GPU models that cannot hold the
         model's working set are dropped from the sweep entirely (under
         data parallelism every replica needs the full working set, so GPU
         count does not help).
+        """
+        from repro.core.batch import SweepPlan, evaluate_sweep
+
+        graph = self.estimator.resolve_graph(model, job.batch_size)
+        gpu_keys = self._memory_feasible_gpus(graph)
+        if not gpu_keys:
+            raise RecommendationError(
+                f"model {graph.name!r} does not fit in any "
+                f"candidate GPU's memory at batch {job.batch_size}"
+            )
+        # Only inspect the engine when the estimator actually routes
+        # through it: touching the lazy `engine` property on a scalar
+        # estimator would build a PredictionEngine just for accounting.
+        engine = (
+            self.estimator.engine
+            if tracing_enabled() and self.estimator.use_engine
+            else None
+        )
+        stats_before = dict(engine.stats) if engine is not None else {}
+        with span(
+            "recommend.sweep", model=graph.name,
+            candidates=len(gpu_keys) * len(self.gpu_counts),
+        ) as sweep_span:
+            plan = SweepPlan(
+                gpu_keys=gpu_keys,
+                gpu_counts=self.gpu_counts,
+                batch_sizes=(job.batch_size,),
+                pricings=(self.pricing,),
+            )
+            predictions = evaluate_sweep(
+                self.estimator, graph, job, plan
+            ).predictions()
+            if engine is not None:
+                # Per-sweep engine accounting: how much of the candidate
+                # matrix was served from caches vs compiled/evaluated.
+                for stat_name, count in engine.stats.items():
+                    delta = count - stats_before.get(stat_name, 0)
+                    if delta:
+                        sweep_span.set_attribute(stat_name, delta)
+        return predictions
+
+    def sweep_reference(
+        self, model: Union[str, OpGraph], job: TrainingJob
+    ) -> List[TrainingPrediction]:
+        """Per-candidate reference sweep: one ``predict_training`` per cell.
+
+        The pre-batching implementation, kept as the equivalence oracle
+        (tests assert rel diff < 1e-9 against :meth:`sweep`) and as the
+        slow side of ``tools/bench_sweep_catalog.py``. Same candidate
+        order, same memory filtering; (GPU, count) pairs the pricing
+        scheme cannot serve are skipped exactly as the batched path masks
+        them.
         """
         graph = self.estimator.resolve_graph(model, job.batch_size)
         gpu_keys = self._memory_feasible_gpus(graph)
@@ -194,26 +248,17 @@ class Recommender:
                 f"model {graph.name!r} does not fit in any "
                 f"candidate GPU's memory at batch {job.batch_size}"
             )
-        engine = getattr(self.estimator, "engine", None) if tracing_enabled() else None
-        stats_before = dict(engine.stats) if engine is not None else {}
-        with span(
-            "recommend.sweep", model=graph.name,
-            candidates=len(gpu_keys) * len(self.gpu_counts),
-        ) as sweep_span:
-            predictions = [
-                self.estimator.predict_training(
-                    graph, gpu_key, k, job, pricing=self.pricing
-                )
-                for gpu_key in gpu_keys
-                for k in self.gpu_counts
-            ]
-            if engine is not None:
-                # Per-sweep engine accounting: how much of the candidate
-                # matrix was served from caches vs compiled/evaluated.
-                for stat_name, count in engine.stats.items():
-                    delta = count - stats_before.get(stat_name, 0)
-                    if delta:
-                        sweep_span.set_attribute(stat_name, delta)
+        predictions: List[TrainingPrediction] = []
+        for gpu_key in gpu_keys:
+            for k in self.gpu_counts:
+                try:
+                    predictions.append(
+                        self.estimator.predict_training(
+                            graph, gpu_key, k, job, pricing=self.pricing
+                        )
+                    )
+                except CatalogError:
+                    continue
         return predictions
 
     def recommend(

@@ -21,6 +21,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_dollars, format_table, format_us
 from repro.artifacts.workspace import Workspace
+from repro.core.batch import SweepPlan, evaluate_sweep
 from repro.core.estimator import CeerEstimator, TrainingPrediction
 from repro.experiments.common import (
     CANONICAL_ITERATIONS,
@@ -131,14 +132,19 @@ def run_fig10(
         estimator = fitted_ceer(n_iterations, workspace=workspace).estimator
     observed: Dict[Tuple[str, int], TrainingMeasurement] = {}
     predicted: Dict[Tuple[str, int], TrainingPrediction] = {}
-    # One engine compilation serves the whole 16-configuration sweep.
-    graph = estimator.resolve_graph(model, job.batch_size)
-    for gpu_key in GPU_KEYS:
-        for k in gpu_counts:
+    # One batched sweep prices the whole 16-configuration grid; each
+    # cell reads its prediction out of the result tensors.
+    plan = SweepPlan(
+        gpu_keys=GPU_KEYS, gpu_counts=tuple(gpu_counts),
+        batch_sizes=(job.batch_size,),
+    )
+    result = evaluate_sweep(estimator, model, job, plan)
+    for g, gpu_key in enumerate(GPU_KEYS):
+        for ki, k in enumerate(plan.gpu_counts):
             observed[(gpu_key, k)] = observed_training(
                 model, gpu_key, k, job, n_iterations, workspace=workspace
             )
-            predicted[(gpu_key, k)] = estimator.predict_training(graph, gpu_key, k, job)
+            predicted[(gpu_key, k)] = result.prediction(0, g, ki, 0)
     return Fig10Result(
         model=model, budget_usd=budget_usd, observed=observed, predicted=predicted
     )

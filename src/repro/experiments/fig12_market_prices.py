@@ -32,9 +32,10 @@ def run_fig12(
 ) -> Fig11Result:
     """Regenerate Figure 12: the cost sweep under market-ratio prices.
 
-    Delegates to :func:`run_fig11`, so it inherits the compile-once
-    prediction-engine path: re-pricing the sweep reuses the compiled
-    graph and per-GPU compute totals already cached by the estimator.
+    Delegates to :func:`run_fig11`, so it inherits the batched sweep path
+    (:func:`~repro.core.batch.evaluate_sweep`): re-pricing the grid reuses
+    the stacked compute totals and communication grid already cached by
+    the estimator — only the price tensor changes.
     """
     return run_fig11(
         model=model, job=job, estimator=estimator,

@@ -25,6 +25,7 @@ from repro.analysis.reporting import format_table
 from repro.artifacts.workspace import Workspace
 from repro.cloud.catalog import InstanceType
 from repro.cloud.pricing import ON_DEMAND, PricingScheme
+from repro.core.batch import SweepPlan, evaluate_sweep
 from repro.core.estimator import CeerEstimator
 from repro.experiments.common import (
     CANONICAL_ITERATIONS,
@@ -145,16 +146,25 @@ def run_fig9(
         estimator = fitted_ceer(n_iterations, workspace=workspace).estimator
     configs = tuple(affordable_configs(pricing=pricing))
     per_sample: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    # One batched sweep per CNN prices every budget config at once: the
+    # plan spans the configs' (GPU model, count) axes and each config
+    # reads its cell out of the result tensors.
+    gpu_axis = tuple(g for g in GPU_KEYS if any(i.gpu_key == g for i in configs))
+    count_axis = tuple(sorted({inst.num_gpus for inst in configs}))
+    plan = SweepPlan(
+        gpu_keys=gpu_axis, gpu_counts=count_axis,
+        batch_sizes=(job.batch_size,), pricings=(pricing,),
+    )
     for model in models:
-        # One engine compilation per CNN, shared by every budget config.
-        graph = estimator.resolve_graph(model, job.batch_size)
+        result = evaluate_sweep(estimator, model, job, plan)
         for inst in configs:
             obs = observed_training(
                 model, inst.gpu_key, inst.num_gpus, job, n_iterations,
                 workspace=workspace,
             )
-            pred = estimator.predict_training(
-                graph, inst.gpu_key, inst.num_gpus, job, instance=inst
+            pred = result.prediction(
+                0, gpu_axis.index(inst.gpu_key),
+                count_axis.index(inst.num_gpus), 0,
             )
             samples = inst.num_gpus * job.batch_size
             per_sample[(model, inst.name)] = (

@@ -4,9 +4,12 @@ import pytest
 
 from repro.cloud.catalog import (
     AWS_INSTANCES,
+    EXTENDED_INSTANCES,
+    PAPER_INSTANCES,
     candidate_instances,
     instance_by_name,
     instance_for,
+    max_gpus_for,
 )
 from repro.errors import CatalogError
 
@@ -24,10 +27,37 @@ class TestCatalog:
             "g4dn.12xlarge": ("T4", 4, 3.912),
             "g3.16xlarge": ("M60", 4, 4.56),
         }
-        assert len(AWS_INSTANCES) == len(expected)
+        assert len(PAPER_INSTANCES) == len(expected)
+        assert {inst.name for inst in PAPER_INSTANCES} == set(expected)
         for name, (gpu, k, price) in expected.items():
             inst = instance_by_name(name)
             assert (inst.gpu_key, inst.num_gpus, inst.usd_per_hr) == (gpu, k, price)
+
+    def test_extended_catalog_is_a_superset(self):
+        """Growing the catalog must never drop or reprice a paper host."""
+        assert set(PAPER_INSTANCES) <= set(AWS_INSTANCES)
+        assert set(AWS_INSTANCES) == set(PAPER_INSTANCES) | set(EXTENDED_INSTANCES)
+        assert len(AWS_INSTANCES) == len(PAPER_INSTANCES) + len(EXTENDED_INSTANCES)
+
+    def test_extended_sizes_resolve_by_name(self):
+        expected = {
+            "p3.16xlarge": ("V100", 8, 24.48),
+            "p2.16xlarge": ("K80", 16, 14.40),
+            "g4dn.metal": ("T4", 8, 7.824),
+            "g3.8xlarge": ("M60", 2, 2.28),
+        }
+        for name, (gpu, k, price) in expected.items():
+            inst = instance_by_name(name)
+            assert (inst.gpu_key, inst.num_gpus, inst.usd_per_hr) == (gpu, k, price)
+
+    def test_extended_sizes_keep_family_per_gpu_rate(self):
+        """Every added size prices at its family's per-GPU hourly rate, so
+        paper scenarios (which only ever reach k=4) are unaffected."""
+        rate = {"V100": 3.06, "K80": 0.90, "T4": 0.978, "M60": 1.14}
+        for inst in EXTENDED_INSTANCES:
+            if inst.num_gpus == 1:
+                continue  # single-GPU hosts carry their own premium
+            assert inst.usd_per_hr == pytest.approx(rate[inst.gpu_key] * inst.num_gpus)
 
     def test_unknown_name_raises(self):
         with pytest.raises(CatalogError):
@@ -43,6 +73,12 @@ class TestProxyRule:
     def test_exact_match_preferred(self):
         assert instance_for("V100", 1).name == "p3.2xlarge"
         assert instance_for("T4", 4).name == "g4dn.12xlarge"
+
+    def test_exact_match_prefers_cheapest_host(self):
+        """Three 1-GPU T4 hosts exist; the sweep uses the cheapest, which
+        is the paper's g4dn.2xlarge."""
+        assert instance_for("T4", 1).name == "g4dn.2xlarge"
+        assert instance_for("M60", 1).name == "g3s.xlarge"
 
     def test_paper_3gpu_p2_proxy(self):
         """Section V: a 3-GPU P2 uses p2.8xlarge at 3/8 of its price."""
@@ -62,16 +98,38 @@ class TestProxyRule:
         assert inst.proxy_of == "p2.8xlarge"
         assert inst.usd_per_hr == pytest.approx(3.60)
 
+    def test_extended_sizes_exact(self):
+        """Counts beyond the paper's four resolve against the new hosts."""
+        assert instance_for("V100", 8).name == "p3.16xlarge"
+        assert instance_for("K80", 16).name == "p2.16xlarge"
+        assert instance_for("T4", 8).name == "g4dn.metal"
+        assert instance_for("M60", 2).name == "g3.8xlarge"
+
+    def test_proxy_against_extended_host(self):
+        """k between catalog sizes proxies the smallest big-enough host."""
+        inst = instance_for("V100", 6)
+        assert inst.proxy_of == "p3.16xlarge"
+        assert inst.usd_per_hr == pytest.approx(24.48 * 6 / 8)
+
     def test_family_name_accepted(self):
         assert instance_for("P3", 1).gpu_key == "V100"
 
     def test_too_many_gpus_raises(self):
         with pytest.raises(CatalogError):
-            instance_for("V100", 5)
+            instance_for("V100", 9)
+        with pytest.raises(CatalogError):
+            instance_for("K80", 17)
 
     def test_non_positive_gpus_raises(self):
         with pytest.raises(CatalogError):
             instance_for("V100", 0)
+
+    def test_max_gpus_for(self):
+        assert max_gpus_for("V100") == 8
+        assert max_gpus_for("K80") == 16
+        assert max_gpus_for("T4") == 8
+        assert max_gpus_for("M60") == 4
+        assert max_gpus_for("P2") == 16  # family alias
 
     def test_candidate_sweep_covers_all(self):
         candidates = candidate_instances(max_gpus=4)
@@ -79,3 +137,13 @@ class TestProxyRule:
         assert {(c.gpu_key, c.num_gpus) for c in candidates} == {
             (g, k) for g in ("V100", "K80", "T4", "M60") for k in (1, 2, 3, 4)
         }
+
+    def test_candidate_sweep_default_spans_each_catalog_max(self):
+        """With no cap, every GPU sweeps 1..max_gpus_for(gpu)."""
+        candidates = candidate_instances()
+        assert len(candidates) == 8 + 16 + 8 + 4
+        by_gpu = {}
+        for c in candidates:
+            by_gpu.setdefault(c.gpu_key, set()).add(c.num_gpus)
+        for gpu, counts in by_gpu.items():
+            assert counts == set(range(1, max_gpus_for(gpu) + 1))

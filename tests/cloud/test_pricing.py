@@ -1,4 +1,4 @@
-"""Tests for pricing schemes (On-Demand vs market-ratio)."""
+"""Tests for pricing schemes (On-Demand, market-ratio, spot)."""
 
 import pytest
 
@@ -6,7 +6,10 @@ from repro.cloud.pricing import (
     MARKET_USD_PER_HR_BY_GPU,
     MARKET_RATIO,
     ON_DEMAND,
+    SPOT,
+    SPOT_RATIO_BY_GPU,
     MarketRatioPricing,
+    SpotPricing,
 )
 from repro.errors import CatalogError
 
@@ -53,5 +56,44 @@ class TestMarketRatio:
     def test_custom_prices(self):
         custom = MarketRatioPricing(usd_per_hr_by_gpu={"V100": 1.0})
         assert custom.instance("V100", 3).usd_per_hr == 3.0
+        with pytest.raises(CatalogError):
+            custom.instance("T4", 1)
+
+
+class TestSpot:
+    def test_discount_applied_to_on_demand_host(self):
+        for gpu, ratio in SPOT_RATIO_BY_GPU.items():
+            for k in (1, 2, 4):
+                base = ON_DEMAND.instance(gpu, k)
+                spot = SPOT.instance(gpu, k)
+                assert spot.usd_per_hr == pytest.approx(base.usd_per_hr * ratio)
+                assert spot.num_gpus == base.num_gpus
+                assert spot.gpu_key == base.gpu_key
+
+    def test_spot_instance_names_tagged(self):
+        assert SPOT.instance("T4", 2).name.startswith("spot:")
+
+    def test_ratios_are_real_discounts(self):
+        assert all(0 < r < 1 for r in SPOT_RATIO_BY_GPU.values())
+
+    def test_proxy_lineage_preserved(self):
+        """A spot-priced fractional host still names its physical host."""
+        base = ON_DEMAND.instance("K80", 3)
+        spot = SPOT.instance("K80", 3)
+        assert spot.proxy_of == (base.proxy_of or base.name)
+        assert spot.proxy_of == "p2.8xlarge"
+
+    def test_family_alias(self):
+        assert SPOT.instance("G4", 1).gpu_key == "T4"
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(CatalogError):
+            SPOT.instance("T4", 0)
+        with pytest.raises(CatalogError):
+            SPOT.instance("V100", 9)
+
+    def test_custom_ratios(self):
+        custom = SpotPricing(ratio_by_gpu={"V100": 0.5})
+        assert custom.instance("V100", 1).usd_per_hr == pytest.approx(1.53)
         with pytest.raises(CatalogError):
             custom.instance("T4", 1)

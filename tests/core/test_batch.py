@@ -1,0 +1,248 @@
+"""Tests for the batched catalog sweep (repro.core.batch).
+
+The load-bearing contract is numerical equivalence: the tensor path must
+reproduce the per-candidate reference loop to rel diff < 1e-9 (in
+practice it matches to ulp level, because it replays the scalar
+arithmetic operation-for-operation). Everything else — masking,
+candidate ordering, the frontier, the plan's validation — is checked
+against the same reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.pricing import MARKET_RATIO, ON_DEMAND, SPOT
+from repro.core.batch import (
+    DEFAULT_SWEEP_BATCH_SIZES,
+    DEFAULT_SWEEP_PRICINGS,
+    StackedOpModels,
+    SweepPlan,
+    evaluate_sweep,
+    sweep_candidates_reference,
+)
+from repro.core.estimator import CeerEstimator
+from repro.core.pareto import pareto_frontier
+from repro.errors import CatalogError, ModelingError, UnseenOperationError
+from repro.graph.graph import OpGraph
+from repro.models.zoo import model_names
+from repro.workloads.dataset import IMAGENET_6400, TrainingJob
+
+JOB = TrainingJob(IMAGENET_6400, batch_size=32)
+
+#: The acceptance bound; the implementation actually matches to ~1e-15.
+EQUIVALENCE_BOUND = 1e-9
+
+#: A small but fully-representative plan: both axes extend past the
+#: paper's grid (k=6 forces a proxy of the 8-GPU hosts and masks M60),
+#: two batch sizes, and all three pricing tiers.
+SMALL_PLAN_KWARGS = dict(
+    gpu_counts=(1, 2, 6), batch_sizes=(16, 32),
+    pricings=(ON_DEMAND, SPOT, MARKET_RATIO),
+)
+
+
+def _assert_equivalent(result, reference):
+    """Batched result vs reference-loop predictions: same candidates,
+    same numbers (rel diff < 1e-9 on time and cost)."""
+    cells = list(result.iter_candidates())
+    assert len(cells) == len(reference) == result.n_candidates
+    for cell, ref in zip(cells, reference):
+        got = result.prediction(*cell)
+        assert got.instance_name == ref.instance_name
+        assert got.gpu_key == ref.gpu_key
+        assert got.num_gpus == ref.num_gpus
+        assert got.batch_size == ref.batch_size
+        assert got.total_us == pytest.approx(ref.total_us, rel=EQUIVALENCE_BOUND)
+        assert got.cost_dollars == pytest.approx(
+            ref.cost_dollars, rel=EQUIVALENCE_BOUND
+        )
+
+
+class TestEquivalence:
+    def test_zoo_wide_small_plan(self, ceer_small):
+        plan = SweepPlan(**SMALL_PLAN_KWARGS)
+        for name in model_names():
+            result = evaluate_sweep(ceer_small, name, JOB, plan)
+            reference = sweep_candidates_reference(ceer_small, name, JOB, plan)
+            _assert_equivalent(result, reference)
+
+    def test_full_catalog_inception(self, ceer_small):
+        plan = SweepPlan.full_catalog()
+        result = evaluate_sweep(ceer_small, "inception_v3", JOB, plan)
+        reference = sweep_candidates_reference(
+            ceer_small, "inception_v3", JOB, plan
+        )
+        _assert_equivalent(result, reference)
+
+    def test_scalar_estimator_path(self, ceer_small):
+        """use_engine=False compiles directly; numbers are unchanged."""
+        scalar = CeerEstimator(
+            ceer_small.compute_models, ceer_small.comm_model, use_engine=False
+        )
+        plan = SweepPlan(batch_sizes=(32,))
+        result = evaluate_sweep(scalar, "alexnet", JOB, plan)
+        reference = sweep_candidates_reference(scalar, "alexnet", JOB, plan)
+        _assert_equivalent(result, reference)
+        assert scalar._engine is None  # the sweep never built an engine
+
+    @pytest.mark.parametrize(
+        "flags",
+        [{"heavy_only": True}, {"include_communication": False}],
+        ids=["heavy_only", "no_comm"],
+    )
+    def test_ablation_flags(self, ceer_small, flags):
+        ablated = CeerEstimator(
+            ceer_small.compute_models, ceer_small.comm_model, **flags
+        )
+        plan = SweepPlan(**SMALL_PLAN_KWARGS)
+        result = evaluate_sweep(ablated, "resnet_101", JOB, plan)
+        reference = sweep_candidates_reference(ablated, "resnet_101", JOB, plan)
+        _assert_equivalent(result, reference)
+
+    def test_repeated_sweep_served_from_caches_identically(self, ceer_small):
+        plan = SweepPlan(**SMALL_PLAN_KWARGS)
+        first = evaluate_sweep(ceer_small, "vgg_19", JOB, plan)
+        second = evaluate_sweep(ceer_small, "vgg_19", JOB, plan)
+        np.testing.assert_array_equal(first.total_us, second.total_us)
+        np.testing.assert_array_equal(first.cost_usd, second.cost_usd)
+
+    def test_prebuilt_graph(self, ceer_small, tiny_graph):
+        plan = SweepPlan(batch_sizes=(tiny_graph.batch_size,))
+        job = TrainingJob(IMAGENET_6400, batch_size=tiny_graph.batch_size)
+        result = evaluate_sweep(ceer_small, tiny_graph, job, plan)
+        reference = sweep_candidates_reference(ceer_small, tiny_graph, job, plan)
+        _assert_equivalent(result, reference)
+
+
+class TestMasking:
+    def test_unpriceable_cells_masked_not_failed(self, ceer_small):
+        """k=16 exists only for K80; other GPUs mask, none raise."""
+        plan = SweepPlan(gpu_counts=(1, 16), batch_sizes=(32,))
+        result = evaluate_sweep(ceer_small, "alexnet", JOB, plan)
+        k16 = plan.gpu_counts.index(16)
+        for g, gpu_key in enumerate(plan.gpu_keys):
+            assert result.valid(0, g, 0)  # k=1 always priceable
+            assert result.valid(0, g, k16) == (gpu_key == "K80")
+        g_v100 = plan.gpu_keys.index("V100")
+        assert np.isnan(result.usd_per_hr[0, g_v100, k16])
+        assert np.isnan(result.cost_usd[0, g_v100, k16, 0])
+        with pytest.raises(CatalogError):
+            result.prediction(0, g_v100, k16, 0)
+
+    def test_masked_cells_match_reference_skips(self, ceer_small):
+        plan = SweepPlan(gpu_counts=(1, 16), batch_sizes=(32,))
+        result = evaluate_sweep(ceer_small, "alexnet", JOB, plan)
+        reference = sweep_candidates_reference(ceer_small, "alexnet", JOB, plan)
+        _assert_equivalent(result, reference)
+
+    def test_time_tensor_is_never_masked(self, ceer_small):
+        """Eq. (2) time is pricing-free, so it fills even masked cells."""
+        plan = SweepPlan(gpu_counts=(1, 16), batch_sizes=(32,))
+        result = evaluate_sweep(ceer_small, "alexnet", JOB, plan)
+        assert np.isfinite(result.total_us).all()
+
+
+class TestStacking:
+    def test_totals_match_scalar_per_gpu(self, ceer_small, tiny_graph):
+        """The stacked (G,) vector equals G independent scalar evals."""
+        from repro.core.engine import compile_graph
+
+        models = ceer_small.compute_models
+        stacked = StackedOpModels(models)
+        compiled = compile_graph(tiny_graph, models)
+        gpu_keys = ("V100", "K80", "T4", "M60")
+        totals = stacked.totals_us(compiled, gpu_keys)
+        for g, gpu_key in enumerate(gpu_keys):
+            assert totals[g] == pytest.approx(
+                models.predict_graph_us(tiny_graph, gpu_key),
+                rel=EQUIVALENCE_BOUND,
+            )
+
+    def test_unknown_op_type_raises_unseen(self, ceer_small):
+        stacked = StackedOpModels(ceer_small.compute_models)
+        with pytest.raises(UnseenOperationError):
+            stacked.for_type(("V100",), "NoSuchOp", 3)
+
+    def test_stacked_arrays_cached(self, ceer_small):
+        stacked = StackedOpModels(ceer_small.compute_models)
+        gpu_keys = ("V100", "K80")
+        # Derive a real (op type, feature count) from the fitted models.
+        (_, op_type), op_model = next(
+            iter(ceer_small.compute_models.heavy_models.items())
+        )
+        regression = op_model.regression
+        n = len(regression.coef) // 2 if regression.degree == 2 else len(regression.coef)
+        first = stacked.for_type(gpu_keys, op_type, n)
+        assert stacked.for_type(gpu_keys, op_type, n) is first
+
+
+class TestSweepPlan:
+    def test_empty_axis_rejected(self):
+        for kwargs in (
+            {"gpu_keys": ()}, {"gpu_counts": ()},
+            {"batch_sizes": ()}, {"pricings": ()},
+        ):
+            with pytest.raises(ModelingError):
+                SweepPlan(**kwargs)
+
+    def test_non_positive_values_rejected(self):
+        with pytest.raises(ModelingError):
+            SweepPlan(gpu_counts=(1, 0))
+        with pytest.raises(ModelingError):
+            SweepPlan(batch_sizes=(32, -1))
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(ModelingError):
+            SweepPlan(gpu_counts=(1, 2, 2))
+        with pytest.raises(ModelingError):
+            SweepPlan(batch_sizes=(32, 32))
+
+    def test_full_catalog_spans_grown_menu(self):
+        plan = SweepPlan.full_catalog()
+        assert plan.gpu_counts == tuple(range(1, 17))  # K80 goes to 16
+        assert plan.batch_sizes == DEFAULT_SWEEP_BATCH_SIZES
+        assert len(plan.pricings) == len(DEFAULT_SWEEP_PRICINGS)
+
+    def test_full_catalog_prices_1000_plus_candidates(self, ceer_small):
+        result = evaluate_sweep(
+            ceer_small, "alexnet", JOB, SweepPlan.full_catalog()
+        )
+        assert result.n_candidates >= 1000
+        # 36 priceable (GPU, k) combos x 12 batches x 3 tiers.
+        assert result.n_candidates == 36 * 12 * 3
+        assert result.n_candidates < result.plan.n_cells  # masking happened
+
+    def test_graph_with_mismatched_batch_rejected(self, ceer_small, tiny_graph):
+        plan = SweepPlan(batch_sizes=(64,))
+        assert tiny_graph.batch_size != 64
+        with pytest.raises(ModelingError):
+            evaluate_sweep(ceer_small, tiny_graph, JOB, plan)
+
+
+class TestFrontier:
+    def test_matches_list_pareto_over_reference(self, ceer_small):
+        plan = SweepPlan(**SMALL_PLAN_KWARGS)
+        result = evaluate_sweep(ceer_small, "inception_v3", JOB, plan)
+        reference = sweep_candidates_reference(
+            ceer_small, "inception_v3", JOB, plan
+        )
+        via_tensor = result.frontier()
+        via_list = pareto_frontier(reference)
+        assert [
+            (p.instance_name, p.batch_size) for p in via_tensor
+        ] == [(p.instance_name, p.batch_size) for p in via_list]
+        for a, b in zip(via_tensor, via_list):
+            assert a.total_us == pytest.approx(b.total_us, rel=EQUIVALENCE_BOUND)
+            assert a.cost_dollars == pytest.approx(
+                b.cost_dollars, rel=EQUIVALENCE_BOUND
+            )
+
+    def test_frontier_is_nondominated_and_sorted(self, ceer_small):
+        result = evaluate_sweep(
+            ceer_small, "alexnet", JOB, SweepPlan.full_catalog()
+        )
+        frontier = result.frontier()
+        times = [p.total_us for p in frontier]
+        costs = [p.cost_dollars for p in frontier]
+        assert times == sorted(times)
+        assert costs == sorted(costs, reverse=True)

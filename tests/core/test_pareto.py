@@ -1,10 +1,11 @@
 """Tests for the time-cost Pareto analysis."""
 
+import numpy as np
 import pytest
 
 from repro.errors import RecommendationError
 from repro.core.estimator import TrainingPrediction
-from repro.core.pareto import analyze_tradeoff, pareto_frontier
+from repro.core.pareto import analyze_tradeoff, pareto_frontier, pareto_order_and_keep
 from repro.core.recommend import MinimizeCost, MinimizeTime, Recommender
 from repro.workloads.dataset import IMAGENET_6400, TrainingJob
 
@@ -53,6 +54,77 @@ class TestFrontier:
         costs = [p.cost_dollars for p in frontier]
         assert times == sorted(times)
         assert costs == sorted(costs, reverse=True)
+
+    def test_exact_duplicate_keeps_first_occurrence(self):
+        """Two identical (time, cost) points: the earlier one survives."""
+        preds = [
+            _prediction("first", 100.0, 5.0),
+            _prediction("twin", 100.0, 5.0),
+        ]
+        frontier = pareto_frontier(preds)
+        assert [p.instance_name for p in frontier] == ["first"]
+
+    def test_time_tie_keeps_cheaper(self):
+        preds = [
+            _prediction("pricey", 100.0, 9.0),
+            _prediction("cheap", 100.0, 5.0),
+        ]
+        frontier = pareto_frontier(preds)
+        assert [p.instance_name for p in frontier] == ["cheap"]
+
+    def test_cost_tie_keeps_faster(self):
+        preds = [
+            _prediction("slow", 200.0, 5.0),
+            _prediction("fast", 100.0, 5.0),
+        ]
+        frontier = pareto_frontier(preds)
+        assert [p.instance_name for p in frontier] == ["fast"]
+
+    def test_all_dominated_by_one(self):
+        preds = [
+            _prediction("king", 10.0, 1.0),
+            _prediction("d1", 20.0, 2.0),
+            _prediction("d2", 30.0, 1.5),
+            _prediction("d3", 10.0, 1.1),
+            _prediction("d4", 11.0, 1.05),
+        ]
+        frontier = pareto_frontier(preds)
+        assert [p.instance_name for p in frontier] == ["king"]
+
+    def test_no_dominated_points_all_survive(self):
+        preds = [_prediction(f"p{i}", 100.0 * (i + 1), 10.0 - i) for i in range(5)]
+        assert len(pareto_frontier(preds)) == 5
+
+
+class TestOrderAndKeep:
+    """The vectorized dominance kernel shared by list and tensor paths."""
+
+    def test_matches_list_frontier(self):
+        rng = np.random.default_rng(7)
+        t = rng.uniform(1.0, 100.0, size=50)
+        c = rng.uniform(1.0, 100.0, size=50)
+        preds = [_prediction(f"p{i}", t[i], c[i]) for i in range(50)]
+        order, keep = pareto_order_and_keep(
+            np.array([p.total_us for p in preds]),
+            np.array([p.cost_dollars for p in preds]),
+        )
+        via_kernel = [preds[i].instance_name for i in order[keep]]
+        via_list = [p.instance_name for p in pareto_frontier(preds)]
+        assert via_kernel == via_list
+
+    def test_duplicate_block_keeps_first_index(self):
+        t = np.array([5.0, 5.0, 5.0, 1.0])
+        c = np.array([2.0, 2.0, 2.0, 9.0])
+        order, keep = pareto_order_and_keep(t, c)
+        assert list(order[keep]) == [3, 0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(RecommendationError):
+            pareto_order_and_keep(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(RecommendationError):
+            pareto_order_and_keep(np.array([]), np.array([]))
 
 
 class TestAnalysis:

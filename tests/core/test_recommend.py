@@ -4,6 +4,7 @@ import pytest
 
 from repro.cloud.pricing import MARKET_RATIO
 from repro.errors import RecommendationError
+from repro.core.estimator import CeerEstimator
 from repro.core.recommend import (
     HourlyBudget,
     MinimizeCost,
@@ -12,6 +13,7 @@ from repro.core.recommend import (
     TotalBudget,
     WeightedTimeCost,
 )
+from repro.obs.spans import disable_tracing, enable_tracing
 from repro.workloads.dataset import IMAGENET_6400, TrainingJob
 
 JOB = TrainingJob(IMAGENET_6400, batch_size=32)
@@ -29,6 +31,42 @@ class TestSweep:
         assert {(p.gpu_key, p.num_gpus) for p in predictions} == {
             (g, k) for g in ("V100", "K80", "T4", "M60") for k in (1, 2, 3, 4)
         }
+
+    def test_matches_per_candidate_reference(self, recommender):
+        batched = recommender.sweep("inception_v1", JOB)
+        reference = recommender.sweep_reference("inception_v1", JOB)
+        assert len(batched) == len(reference)
+        for got, ref in zip(batched, reference):
+            assert got.instance_name == ref.instance_name
+            assert got.total_us == pytest.approx(ref.total_us, rel=1e-9)
+            assert got.cost_dollars == pytest.approx(ref.cost_dollars, rel=1e-9)
+
+    def test_counts_beyond_catalog_are_skipped_not_fatal(self, ceer_small):
+        """gpu_counts past a GPU's biggest host narrow the sweep (M60
+        stops at 4) instead of raising."""
+        rec = Recommender(ceer_small, gpu_counts=(1, 8))
+        predictions = rec.sweep("alexnet", JOB)
+        by_gpu = {}
+        for p in predictions:
+            by_gpu.setdefault(p.gpu_key, set()).add(p.num_gpus)
+        assert by_gpu["V100"] == {1, 8}
+        assert by_gpu["M60"] == {1}
+
+    def test_tracing_without_engine_does_not_build_engine(self, ceer_small):
+        """Regression: the sweep's tracing block used to read
+        ``estimator.engine`` unconditionally, forcing the lazy engine
+        into existence (and crashing the stats delta) on scalar-path
+        estimators whenever tracing was on."""
+        scalar = CeerEstimator(
+            ceer_small.compute_models, ceer_small.comm_model, use_engine=False
+        )
+        enable_tracing()
+        try:
+            predictions = Recommender(scalar).sweep("alexnet", JOB)
+        finally:
+            disable_tracing()
+        assert len(predictions) == 16
+        assert scalar._engine is None
 
 
 class TestObjectives:

@@ -126,6 +126,100 @@ class TestTradeoff:
         assert code == 0
         assert "market:" in text
 
+    def test_full_catalog_frontier(self, estimator_path):
+        code, text = _run(
+            ["tradeoff", "--estimator", estimator_path, "--model",
+             "inception_v3", "--full-catalog"]
+        )
+        assert code == 0
+        assert "efficient of 36 candidates" in text
+        assert "p3.16xlarge" in text  # the extended 8-GPU host is swept
+
+    def test_full_catalog_with_batches(self, estimator_path):
+        code, text = _run(
+            ["tradeoff", "--estimator", estimator_path, "--model",
+             "inception_v3", "--full-catalog", "--batches", "32,64"]
+        )
+        assert code == 0
+        assert "efficient of 72 candidates" in text
+
+    def test_full_catalog_spot_prices(self, estimator_path):
+        code, text = _run(
+            ["tradeoff", "--estimator", estimator_path, "--model",
+             "inception_v3", "--full-catalog", "--spot"]
+        )
+        assert code == 0
+        assert "spot:" in text and "aws-spot" in text
+
+    def test_batches_requires_full_catalog(self, estimator_path):
+        code, _ = _run(
+            ["tradeoff", "--estimator", estimator_path, "--model",
+             "inception_v3", "--batches", "32,64"]
+        )
+        assert code == 2
+
+    def test_bad_batches_rejected(self, estimator_path):
+        code, _ = _run(
+            ["tradeoff", "--estimator", estimator_path, "--model",
+             "inception_v3", "--full-catalog", "--batches", "32,abc"]
+        )
+        assert code == 2
+
+
+class TestSpotFlag:
+    def test_predict_spot_prices(self, estimator_path):
+        code, text = _run(
+            ["predict", "--estimator", estimator_path, "--model", "alexnet",
+             "--gpu", "T4", "--spot"]
+        )
+        assert code == 0
+        assert "spot:" in text
+
+    def test_spot_conflicts_with_market(self, estimator_path):
+        code, _ = _run(
+            ["predict", "--estimator", estimator_path, "--model", "alexnet",
+             "--gpu", "T4", "--spot", "--market-prices"]
+        )
+        assert code == 2
+
+    def test_recommend_spot_cheaper_than_on_demand(self, estimator_path):
+        code, on_demand = _run(
+            ["recommend", "--estimator", estimator_path, "--model", "alexnet",
+             "--objective", "min-cost"]
+        )
+        assert code == 0
+        code, spot = _run(
+            ["recommend", "--estimator", estimator_path, "--model", "alexnet",
+             "--objective", "min-cost", "--spot"]
+        )
+        assert code == 0
+        assert "spot:" in spot
+
+
+class TestCatalogCommand:
+    def test_lists_paper_and_extended_hosts(self):
+        code, text = _run(["catalog", "list"])
+        assert code == 0
+        for name in ("p3.2xlarge", "p3.16xlarge", "g4dn.metal", "p2.16xlarge"):
+            assert name in text
+        assert "paper" in text
+        assert "36 (GPU model, count) configurations" in text
+
+    def test_gpu_filter(self):
+        code, text = _run(["catalog", "list", "--gpu", "K80"])
+        assert code == 0
+        assert "p2.xlarge" in text and "p2.16xlarge" in text
+        assert "p3.2xlarge" not in text
+
+    def test_gpu_filter_family_alias(self):
+        code, text = _run(["catalog", "list", "--gpu", "P2"])
+        assert code == 0
+        assert "p2.16xlarge" in text
+
+    def test_unknown_gpu_errors(self):
+        code, _ = _run(["catalog", "list", "--gpu", "H100"])
+        assert code == 2
+
 
 class TestFiguresOutput:
     def test_report_file_written(self, tmp_path):

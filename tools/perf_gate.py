@@ -27,13 +27,25 @@ is core-aware: the byte-identity flag must always hold, the speedup floor
 cores, and fresh-vs-baseline ratio comparison happens only when the two
 reports were measured on the same core count.
 
+And it checks the batched catalog-sweep benchmark
+(``tools/bench_sweep_catalog.py`` / ``BENCH_sweep_catalog.json``) when
+``--catalog-fresh`` is given. Those checks are machine-independent too:
+the warm batched/loop speedup ratio (same process, host speed cancels)
+must stay above an absolute floor (default 10x) *and* within tolerance of
+the committed baseline; the sweep must cover at least 1000 candidates;
+and the batched/loop equivalence must hold to 1e-9 (correctness, no
+tolerance).
+
 Usage (the CI ``perf`` job)::
 
     PYTHONPATH=src python tools/bench_engine.py --json fresh.json
     PYTHONPATH=src python tools/bench_fanout.py --json fanout-fresh.json
+    PYTHONPATH=src python tools/bench_sweep_catalog.py --json catalog-fresh.json
     python tools/perf_gate.py --baseline BENCH_predict_engine.json \
         --fresh fresh.json --fanout-baseline BENCH_fanout.json \
-        --fanout-fresh fanout-fresh.json
+        --fanout-fresh fanout-fresh.json \
+        --catalog-baseline BENCH_sweep_catalog.json \
+        --catalog-fresh catalog-fresh.json
 """
 
 from __future__ import annotations
@@ -194,6 +206,102 @@ def compare_fanout(
     return lines, failures
 
 
+#: Batched/loop disagreement above this is a correctness failure.
+CATALOG_EQUIVALENCE_BOUND = 1e-9
+
+#: The tentpole's coverage floor: a full-catalog sweep must price at
+#: least this many candidates.
+CATALOG_MIN_CANDIDATES = 1000
+
+
+def compare_catalog(
+    baseline: dict, fresh: dict, tolerance: float, min_speedup: float
+) -> Tuple[List[str], List[str]]:
+    """Checks for the batched catalog-sweep benchmark reports.
+
+    Everything gated here is machine-independent: candidate counts and
+    equivalence are deterministic, and the warm speedup is a same-process
+    batched-vs-loop ratio. The ratio is still noisier than the engine
+    benchmark's — the batched side finishes in ~0.3 ms, so scheduler
+    jitter on the ~20 ms loop numerator moves the ratio by tens of
+    percent run-to-run — which is why its ``tolerance`` (the
+    ``--catalog-tolerance`` flag) is wider than the engine gate's. The
+    hard ``min_speedup`` floor and the equivalence bound carry the
+    actual contract; the baseline ratio is a drift tripwire.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+
+    candidates = int(_lookup(fresh, ("sweep", "candidates")))
+    count_ok = candidates >= CATALOG_MIN_CANDIDATES
+    lines.append(
+        f"  {'catalog candidates':<28s} fresh {candidates:10d}    "
+        f"floor {CATALOG_MIN_CANDIDATES}  [{'ok' if count_ok else 'FAIL'}]"
+    )
+    if not count_ok:
+        failures.append(
+            f"catalog: sweep covers {candidates} candidates, below the "
+            f"{CATALOG_MIN_CANDIDATES}-candidate floor"
+        )
+
+    speedup = _lookup(fresh, ("sweep", "speedup_warm"))
+    floor_ok = speedup >= min_speedup
+    lines.append(
+        f"  {'catalog sweep speedup, warm':<28s} fresh {speedup:10.1f}x   "
+        f"floor {min_speedup:.1f}x  [{'ok' if floor_ok else 'REGRESSION'}]"
+    )
+    if not floor_ok:
+        failures.append(
+            f"catalog: warm batched speedup {speedup:.1f}x is below the "
+            f"{min_speedup:.1f}x floor"
+        )
+
+    base_speedup = _lookup(baseline, ("sweep", "speedup_warm"))
+    change = (speedup - base_speedup) / base_speedup if base_speedup else float("inf")
+    verdict = "ok"
+    if change < -tolerance:
+        verdict = "REGRESSION"
+        failures.append(
+            f"catalog: warm speedup {speedup:.1f}x is {-change:.0%} below "
+            f"the committed {base_speedup:.1f}x (tolerance {tolerance:.0%})"
+        )
+    elif change > tolerance:
+        verdict = "improved — consider refreshing the baseline"
+    lines.append(
+        f"  {'catalog vs baseline':<28s} baseline {base_speedup:10.1f}x   "
+        f"fresh {speedup:10.1f}x   {change:+7.1%}  [{verdict}]"
+    )
+
+    eq = _lookup(fresh, ("equivalence", "max_rel_diff"))
+    eq_ok = eq <= CATALOG_EQUIVALENCE_BOUND
+    lines.append(
+        f"  {'batched/loop equivalence':<28s} fresh {eq:10.2e}   "
+        f"[{'ok' if eq_ok else 'FAIL'}]"
+    )
+    if not eq_ok:
+        failures.append(
+            f"catalog: max_rel_diff {eq:.2e} exceeds "
+            f"{CATALOG_EQUIVALENCE_BOUND:.0e} — batched and per-candidate "
+            f"paths disagree"
+        )
+
+    lines.append(
+        f"  -- absolute latencies (informational; machine-dependent) --"
+    )
+    for path, label in (
+        (("sweep", "loop_warm_ms"), "loop warm ms"),
+        (("sweep", "batched_warm_ms"), "batched warm ms"),
+    ):
+        base = _lookup(baseline, path)
+        new = _lookup(fresh, path)
+        delta = (new - base) / base if base else float("inf")
+        lines.append(
+            f"  {label:<28s} baseline {base:10.3f}    fresh {new:10.3f}    "
+            f"{delta:+7.1%}"
+        )
+    return lines, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path,
@@ -213,6 +321,20 @@ def main(argv=None) -> int:
     parser.add_argument("--fanout-min", type=float, default=2.0,
                         help="minimum fan-out sweep speedup on hosts with "
                              ">= 4 cores (default 2.0)")
+    parser.add_argument("--catalog-baseline", type=Path,
+                        default=Path("BENCH_sweep_catalog.json"),
+                        help="committed catalog-sweep benchmark report")
+    parser.add_argument("--catalog-fresh", type=Path, default=None,
+                        help="freshly generated catalog-sweep report; "
+                             "enables the batched-sweep checks")
+    parser.add_argument("--catalog-tolerance", type=float, default=0.5,
+                        help="allowed fractional drop in the catalog warm "
+                             "speedup vs its baseline (wider than "
+                             "--tolerance: the ~0.3 ms batched side makes "
+                             "the ratio noisy)")
+    parser.add_argument("--catalog-min", type=float, default=10.0,
+                        help="minimum warm batched-vs-loop catalog sweep "
+                             "speedup (default 10.0)")
     args = parser.parse_args(argv)
     if not 0 < args.tolerance < 1:
         parser.error("--tolerance must be in (0, 1)")
@@ -232,6 +354,16 @@ def main(argv=None) -> int:
         print(f"fan-out gate: {args.fanout_fresh} vs {args.fanout_baseline}")
         print("\n".join(fanout_lines))
         failures.extend(fanout_failures)
+    if args.catalog_fresh is not None:
+        catalog_baseline = json.loads(args.catalog_baseline.read_text())
+        catalog_fresh = json.loads(args.catalog_fresh.read_text())
+        catalog_lines, catalog_failures = compare_catalog(
+            catalog_baseline, catalog_fresh, args.catalog_tolerance,
+            args.catalog_min,
+        )
+        print(f"catalog gate: {args.catalog_fresh} vs {args.catalog_baseline}")
+        print("\n".join(catalog_lines))
+        failures.extend(catalog_failures)
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)
         for failure in failures:
