@@ -212,6 +212,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache_key.add_argument("--iterations", type=int, default=300)
     add_workspace_arg(cache_key)
+
+    check = sub.add_parser(
+        "check", help="static analysis: unit, routing, axis, fork, "
+                      "fingerprint, and obs rule families"
+    )
+    from repro.staticcheck.cli import add_check_arguments
+
+    add_check_arguments(check)
+    _add_obs_args(check, suppress=True)
     return parser
 
 
@@ -579,22 +588,35 @@ def _cmd_cache(args, out) -> int:
         print(f"removed {removed} artifact(s) from {workspace.directory}",
               file=out)
         return 0
-    # "key": the canonical training-profile fingerprint. Folds in the models,
-    # GPUs, iteration count, schema version, and calibration version — i.e.
-    # everything that invalidates profiles — so CI can key its workspace
-    # cache on it.
+    # "key": the canonical training-profile fingerprint, so CI can key its
+    # workspace cache on it.
+    print(store.key_for(kinds.PROFILE, _canonical_profile_spec(args.iterations)),
+          file=out)
+    return 0
+
+
+def _canonical_profile_spec(iterations: int) -> dict:
+    """The canonical training-profile spec: everything that invalidates
+    profiles (models, GPUs, iteration count, batch, seed scheme) and
+    nothing else — kept as a dedicated pure builder so the
+    fingerprint-purity check holds it to the no-clocks/no-env contract.
+    """
     from repro.hardware.gpus import GPU_KEYS
     from repro.models.zoo import TRAIN_MODELS
 
-    spec = {
+    return {
         "models": sorted(TRAIN_MODELS),
         "gpus": sorted(GPU_KEYS),
-        "iterations": args.iterations,
+        "iterations": iterations,
         "batch": 32,
         "seed": "",
     }
-    print(store.key_for(kinds.PROFILE, spec), file=out)
-    return 0
+
+
+def _cmd_check(args, out) -> int:
+    from repro.staticcheck.cli import run_check
+
+    return run_check(args, prog="repro check", out=out)
 
 
 _COMMANDS = {
@@ -606,6 +628,7 @@ _COMMANDS = {
     "catalog": _cmd_catalog,
     "figures": _cmd_figures,
     "cache": _cmd_cache,
+    "check": _cmd_check,
 }
 
 

@@ -79,11 +79,14 @@ class _StackedType:
     is exact in IEEE arithmetic, so the padded evaluation is the linear
     one). ``clip_us`` holds ``+inf`` where a model has no extrapolation
     clip — ``np.minimum(pred, inf)`` is the identity.
+
+    Axis names (checked by ``repro check``'s axes rules): ``G`` = GPU
+    model, ``F2`` = the ``2 * n_features`` always-quadratic design.
     """
 
-    weights: np.ndarray  # (n_gpu, 2 * n_features)
-    intercepts_us: np.ndarray  # (n_gpu,)
-    clip_us: np.ndarray  # (n_gpu,)
+    weights: np.ndarray  # axes: (G, F2)
+    intercepts_us: np.ndarray  # axes: (G)
+    clip_us: np.ndarray  # axes: (G)
 
 
 #: Bounds for the batch-sweep warm caches below. Totals entries are one
@@ -116,6 +119,7 @@ class StackedOpModels:
         self._totals: "OrderedDict[Tuple[int, Tuple[str, ...], bool], Tuple[CompiledGraph, np.ndarray]]" = OrderedDict()
         self._comm: "OrderedDict[Tuple[int, Tuple[str, ...], Tuple[int, ...], int], Tuple[CommunicationModel, np.ndarray]]" = OrderedDict()
 
+    # obs: warm
     def totals_us(
         self,
         compiled: CompiledGraph,
@@ -135,6 +139,7 @@ class StackedOpModels:
             self._totals.popitem(last=False)
         return totals
 
+    # obs: warm
     def comm_grid_us(
         self,
         comm_model: CommunicationModel,
@@ -152,7 +157,7 @@ class StackedOpModels:
         hit = self._comm.get(key)
         if hit is not None:
             return hit[1]
-        grid_us = np.zeros((len(gpu_keys), len(gpu_counts)))
+        grid_us = np.zeros((len(gpu_keys), len(gpu_counts)))  # axes: (G, K)
         for g, gpu_key in enumerate(gpu_keys):
             for k, num_gpus in enumerate(gpu_counts):
                 grid_us[g, k] = comm_model.predict_us(
@@ -163,6 +168,7 @@ class StackedOpModels:
             self._comm.popitem(last=False)
         return grid_us
 
+    # obs: warm
     def for_type(
         self, gpu_keys: Tuple[str, ...], op_type: str, n_features: int
     ) -> _StackedType:
@@ -170,9 +176,9 @@ class StackedOpModels:
         cached = self._stacked.get(key)
         if cached is not None:
             return cached
-        weights = np.zeros((len(gpu_keys), 2 * n_features))
-        intercepts_us = np.zeros(len(gpu_keys))
-        clip_us = np.full(len(gpu_keys), np.inf)
+        weights = np.zeros((len(gpu_keys), 2 * n_features))  # axes: (G, F2)
+        intercepts_us = np.zeros(len(gpu_keys))  # axes: (G)
+        clip_us = np.full(len(gpu_keys), np.inf)  # axes: (G)
         for g, gpu_key in enumerate(gpu_keys):
             op_model = self.models.heavy_models.get((gpu_key, op_type))
             if op_model is None:
@@ -203,6 +209,7 @@ class StackedOpModels:
         return stacked
 
 
+# obs: warm
 def evaluate_compiled_batch_us(
     compiled: CompiledGraph,
     stacked: StackedOpModels,
@@ -221,7 +228,7 @@ def evaluate_compiled_batch_us(
     models = stacked.models
     if compiled.n_unseen and models.strict_unseen:
         raise UnseenOperationError(compiled.unseen_types[0], gpu_keys[0])
-    totals_us = np.zeros(len(gpu_keys))
+    totals_us = np.zeros(len(gpu_keys))  # axes: (G)
     for op_type, x in compiled.heavy_features.items():
         arrays = stacked.for_type(gpu_keys, op_type, x.shape[1])
         phi = np.hstack([x, x**2])  # always-quadratic design; see _StackedType
@@ -304,12 +311,12 @@ class SweepResult:
     plan: SweepPlan
     model_name: str
     num_parameters: int
-    compute_us: np.ndarray  # (G, B)
-    comm_us: np.ndarray  # (G, K)
-    iterations: np.ndarray  # (K, B)
-    total_us: np.ndarray  # (G, K, B)
-    usd_per_hr: np.ndarray  # (P, G, K); NaN where unpriceable
-    cost_usd: np.ndarray  # (P, G, K, B); NaN where unpriceable
+    compute_us: np.ndarray  # axes: (G, B)
+    comm_us: np.ndarray  # axes: (G, K)
+    iterations: np.ndarray  # axes: (K, B)
+    total_us: np.ndarray  # axes: (G, K, B)
+    usd_per_hr: np.ndarray  # axes: (P, G, K) nan
+    cost_usd: np.ndarray  # axes: (P, G, K, B) nan
     instances: Tuple[Tuple[Tuple[Optional[InstanceType], ...], ...], ...]
     epochs: int = 1
     _dataset_name: str = field(default="", repr=False)
@@ -415,7 +422,7 @@ def _pricing_grid(
     if cached is not None:
         return cached
     shape = (len(plan.pricings), len(plan.gpu_keys), len(plan.gpu_counts))
-    usd_per_hr = np.full(shape, np.nan)
+    usd_per_hr = np.full(shape, np.nan)  # axes: (P, G, K) nan
     instances: List[Tuple[Tuple[Optional[InstanceType], ...], ...]] = []
     for p, pricing in enumerate(plan.pricings):
         per_pricing: List[Tuple[Optional[InstanceType], ...]] = []
@@ -486,7 +493,7 @@ def evaluate_sweep(
         # (G, B) compute tensor: one stacked evaluation per batch size,
         # served from the totals cache on repeated sweeps.
         stacked = estimator.batch_models
-        compute_us = np.stack(
+        compute_us = np.stack(  # axes: (G, B)
             [
                 stacked.totals_us(c, gpu_keys, heavy_only=estimator.heavy_only)
                 for c in compiled
@@ -499,14 +506,14 @@ def evaluate_sweep(
         # catalog); cached per (model parameters, axes) thereafter.
         num_parameters = compiled[0].num_parameters
         if estimator.include_communication:
-            comm_us = stacked.comm_grid_us(
+            comm_us = stacked.comm_grid_us(  # axes: (G, K)
                 estimator.comm_model, gpu_keys, plan.gpu_counts, num_parameters
             )
         else:
-            comm_us = np.zeros((len(gpu_keys), len(plan.gpu_counts)))
+            comm_us = np.zeros((len(gpu_keys), len(plan.gpu_counts)))  # axes: (G, K)
 
         # (K, B) iteration counts and the broadcast assembly of Eq. (2).
-        iterations = np.array(
+        iterations = np.array(  # axes: (K, B)
             [
                 [
                     TrainingJob(
@@ -517,16 +524,20 @@ def evaluate_sweep(
                 for num_gpus in plan.gpu_counts
             ]
         )
-        total_us = (
+        total_us = (  # axes: (G, K, B)
             compute_us[:, None, :] + comm_us[:, :, None]
         ) * iterations[None, :, :]
 
-        usd_per_hr, instances = _pricing_grid(plan)
+        # Indexed (not tuple-unpacked) so the axes dataflow keeps tracking
+        # usd_per_hr through the cost assembly below.
+        grid = _pricing_grid(plan)
+        usd_per_hr = grid[0]  # axes: (P, G, K) nan
+        instances = grid[1]
         # The unit helpers are plain ufunc arithmetic, so they broadcast:
         # cost[p,g,k,b] = rate[p,g,k] * hours[g,k,b], elementwise the same
         # two operations TrainingPrediction.cost_dollars performs.
-        total_hr = us_to_hr(total_us)
-        cost_usd = usd_per_hr_to_usd(
+        total_hr = us_to_hr(total_us)  # axes: (G, K, B)
+        cost_usd = usd_per_hr_to_usd(  # axes: (P, G, K, B) nan
             usd_per_hr[:, :, :, None], total_hr[None, :, :, :]
         )
 

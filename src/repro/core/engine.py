@@ -131,6 +131,7 @@ def compile_graph(graph: OpGraph, models: ComputeTimeModels) -> CompiledGraph:
     )
 
 
+# obs: warm
 def evaluate_compiled_us(
     compiled: CompiledGraph,
     models: ComputeTimeModels,

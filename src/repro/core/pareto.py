@@ -28,6 +28,7 @@ from repro.core.estimator import TrainingPrediction
 from repro.core.recommend import Recommender
 
 
+# obs: warm
 def pareto_order_and_keep(
     total_us: np.ndarray, cost_usd: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:

@@ -1,10 +1,13 @@
 """repro.staticcheck: custom static analysis for the Ceer reproduction.
 
-Unit-safety lints (suffix discipline, mixed-unit arithmetic, bare
-conversion literals), an engine-routing lint, a determinism lint, and a
-semantic graph-contract checker — all driven by ``tools/check.py`` and
-enforced in CI. See DESIGN.md's "Static analysis" section for the rule
-catalogue and the baseline workflow.
+Token-level lints (unit suffix discipline, mixed-unit arithmetic, bare
+conversion literals, engine routing, determinism), a semantic
+graph-contract checker, and the :mod:`repro.staticcheck.astcheck`
+AST/dataflow engine (tensor-axis contracts, fork/pickle safety,
+fingerprint purity, observability contracts) — all driven by ``repro
+check`` / ``tools/check.py`` and enforced in CI. See DESIGN.md's "Static
+analysis" and "AST analysis" sections for the rule catalogue, the
+annotation conventions, and the baseline workflow.
 """
 
 from repro.staticcheck.baseline import Baseline, load_baseline, write_baseline
@@ -17,6 +20,9 @@ from repro.staticcheck.graph_contract import (
 )
 from repro.staticcheck.runner import (
     ALL_RULES,
+    RULE_FAMILIES,
+    AnalysisCache,
+    CheckFileTask,
     CheckReport,
     check_source,
     run_checks,
@@ -24,9 +30,12 @@ from repro.staticcheck.runner import (
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisCache",
     "Baseline",
+    "CheckFileTask",
     "CheckReport",
     "Finding",
+    "RULE_FAMILIES",
     "check_contracts",
     "check_fitted_models",
     "check_registry",

@@ -1,0 +1,484 @@
+"""Tensor-axis contracts: named-axis dataflow over annotated arrays.
+
+The batched sweep (PR 6) turned the recommender into tensor algebra over
+``(G, K, B)`` time and ``(P, G, K, B)`` cost arrays. NumPy will happily
+``sum`` over the wrong axis, broadcast two misaligned tensors, or fold
+NaN-masked cells into a ``min`` — all silently, all producing plausible
+wrong numbers. These are exactly the bugs a reproduction cannot afford.
+
+The contract is declared in comments::
+
+    compute_us = np.stack(...)  # axes: (G, B)
+    cost_usd: np.ndarray  # axes: (P, G, K, B) nan
+
+and this pass runs a light forward dataflow per function, propagating
+:class:`~repro.staticcheck.astcheck.analysis.AxisSpec` values through
+assignments, subscripts (``arr[:, None, :]`` inserts a broadcast axis,
+``arr[0]`` drops one), elementwise arithmetic (checked by named-axis
+broadcast alignment), reductions (``axis=`` bounds-checked and dropped),
+transposes, and the ``repro.units`` elementwise converters. Three rules:
+
+* ``axis-drop`` — a reduction's ``axis=`` is out of range for the
+  declared rank, a subscript consumes more axes than the array has, or
+  an annotated assignment disagrees with the axes the expression
+  actually produces (dropped/reordered axes);
+* ``axis-broadcast`` — elementwise arithmetic aligns two *different*
+  named axes (e.g. ``(G, K) + (K, G)``);
+* ``nan-mask`` — a NaN-carrying array (``nan`` marker: the sweep's
+  unpriceable-candidate masking) is reduced with a non-nan-aware op
+  (``.min()``, ``np.sum``, builtin ``min``/``max``) without masking.
+
+Unknown always stays silent: untracked arrays, fancy indexing, and calls
+the pass does not model simply erase the spec instead of guessing — the
+rules only fire on declared knowledge.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.astcheck.analysis import (
+    AxisSpec,
+    ModuleAnalysis,
+    iter_statements,
+)
+from repro.staticcheck.findings import Finding
+
+RULE_AXIS_DROP = "axis-drop"
+RULE_AXIS_BROADCAST = "axis-broadcast"
+RULE_NAN_MASK = "nan-mask"
+
+FAMILY = "axes"
+
+#: Reductions that collapse axes (method or ``np.<name>`` forms).
+_REDUCTIONS = frozenset({
+    "sum", "prod", "min", "max", "mean", "std", "var", "median",
+    "argmin", "argmax", "all", "any", "ptp",
+})
+#: NaN-aware reductions, legal on ``nan``-marked arrays.
+_NAN_AWARE = frozenset({
+    "nansum", "nanprod", "nanmin", "nanmax", "nanmean", "nanstd",
+    "nanvar", "nanmedian", "nanargmin", "nanargmax", "nancumsum",
+    "nancumprod",
+})
+#: Elementwise unary numpy functions that preserve the axis signature.
+_ELEMENTWISE_UNARY = frozenset({
+    "abs", "sqrt", "exp", "log", "log2", "log10", "floor", "ceil",
+    "rint", "sign", "negative", "square", "asarray", "ascontiguousarray",
+    "copy", "clip",
+})
+#: Elementwise binary numpy functions (broadcast-checked like operators).
+_ELEMENTWISE_BINARY = frozenset({
+    "minimum", "maximum", "fmin", "fmax", "hypot", "add", "subtract",
+    "multiply", "divide", "true_divide", "power", "mod",
+})
+#: Builtins that reduce an iterable — a NaN hazard on masked arrays.
+_BUILTIN_REDUCERS = frozenset({"min", "max", "sum", "sorted"})
+
+_BROADCAST_AXIS = "1"
+
+
+def _nan_to_num_spec(spec: AxisSpec) -> AxisSpec:
+    return AxisSpec(axes=spec.axes, nan=False)
+
+
+class _AxisFlow:
+    """One forward dataflow pass over a statement list (one scope)."""
+
+    def __init__(self, analysis: ModuleAnalysis, findings: List[Finding]) -> None:
+        self.analysis = analysis
+        self.findings = findings
+        self.env: Dict[str, AxisSpec] = {}
+
+    # -- findings -------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str, symbol: str,
+              fix_hint: str) -> None:
+        self.findings.append(Finding(
+            path=self.analysis.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule, message=message, symbol=symbol,
+            family=FAMILY, fix_hint=fix_hint,
+        ))
+
+    # -- the pass -------------------------------------------------------
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in iter_statements(body):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            self._visit_statement(stmt)
+
+    def _visit_statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_spec = self.infer(stmt.value)
+            annotated = self.analysis.axis_annotation(stmt)
+            for target in stmt.targets:
+                self._bind(target, value_spec, annotated, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            value_spec = self.infer(stmt.value) if stmt.value is not None else None
+            annotated = self.analysis.axis_annotation(stmt)
+            self._bind(stmt.target, value_spec, annotated, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            value_spec = self.infer(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                existing = self.env.get(stmt.target.id)
+                if existing is not None and value_spec is not None:
+                    merged = self._broadcast(existing, value_spec, stmt)
+                    if merged is not None:
+                        self.env[stmt.target.id] = merged
+            elif isinstance(stmt.target, ast.Subscript):
+                self.infer(stmt.target)
+        elif isinstance(stmt, ast.For):
+            self.infer(stmt.iter)
+            for node in ast.walk(stmt.target):
+                if isinstance(node, ast.Name):
+                    self.env.pop(node.id, None)
+        else:
+            # Expression statements, returns, conditions, with-items, …:
+            # infer every child expression so reductions and broadcasts
+            # anywhere in the statement are checked.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.infer(child)
+                elif isinstance(child, ast.withitem):
+                    self.infer(child.context_expr)
+
+    def _bind(self, target: ast.expr, value_spec: Optional[AxisSpec],
+              annotated: Optional[AxisSpec], stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            if annotated is not None and value_spec is not None \
+                    and annotated.axes != value_spec.axes:
+                self._flag(
+                    stmt, RULE_AXIS_DROP,
+                    f"{target.id} is annotated # axes: {annotated.render()} "
+                    f"but the expression produces axes {value_spec.render()}",
+                    symbol=target.id,
+                    fix_hint="fix the expression or the annotation so the "
+                             "declared and produced axes agree",
+                )
+            spec = annotated or value_spec
+            if spec is not None:
+                self.env[target.id] = spec
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, ast.Subscript):
+            self.infer(target)  # rank-checks the store
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self.env.pop(element.id, None)
+
+    # -- inference ------------------------------------------------------
+    def infer(self, node: Optional[ast.expr]) -> Optional[AxisSpec]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            if node.attr == "T":
+                base = self.infer(node.value)
+                if base is not None:
+                    return AxisSpec(axes=tuple(reversed(base.axes)), nan=base.nan)
+                return None
+            self.infer(node.value)
+            return self.analysis.field_axes.get(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Subscript):
+            return self._infer_subscript(node)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.Compare):
+            specs = [self.infer(node.left)] + [self.infer(c) for c in node.comparators]
+            known = [s for s in specs if s is not None]
+            if len(known) == 2:
+                return self._broadcast(known[0], known[1], node)
+            return known[0] if known else None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                self.infer(generator.iter)
+            self.infer(node.elt)
+            return None
+        if isinstance(node, ast.DictComp):
+            for generator in node.generators:
+                self.infer(generator.iter)
+            self.infer(node.key)
+            self.infer(node.value)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self.infer(element)
+            return None
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                self.infer(value)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            self.infer(node.body)
+            self.infer(node.orelse)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value)
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            for child in ast.walk(node):
+                if isinstance(child, ast.FormattedValue):
+                    self.infer(child.value)
+            return None
+        return None
+
+    def _infer_binop(self, node: ast.BinOp) -> Optional[AxisSpec]:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        if isinstance(node.op, ast.MatMult):
+            return None  # matmul contracts axes; not modeled
+        if left is not None and right is not None:
+            return self._broadcast(left, right, node)
+        if left is not None and self._scalar_operand(node.right):
+            return left
+        if right is not None and self._scalar_operand(node.left):
+            return right
+        return None
+
+    @staticmethod
+    def _scalar_operand(node: ast.expr) -> bool:
+        """Operands that are clearly scalars keep the other side's axes."""
+        return isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float)
+        )
+
+    def _broadcast(
+        self, left: AxisSpec, right: AxisSpec, node: ast.AST
+    ) -> Optional[AxisSpec]:
+        """Right-aligned named-axis broadcast; flags misalignment."""
+        n = max(left.rank, right.rank)
+        l_axes = (_BROADCAST_AXIS,) * (n - left.rank) + left.axes
+        r_axes = (_BROADCAST_AXIS,) * (n - right.rank) + right.axes
+        out: List[str] = []
+        for l_name, r_name in zip(l_axes, r_axes):
+            if l_name == _BROADCAST_AXIS:
+                out.append(r_name)
+            elif r_name == _BROADCAST_AXIS or l_name == r_name:
+                out.append(l_name)
+            else:
+                self._flag(
+                    node, RULE_AXIS_BROADCAST,
+                    f"broadcasting axes {left.render()} against "
+                    f"{right.render()} aligns {l_name!r} with {r_name!r}",
+                    symbol=f"{l_name}x{r_name}",
+                    fix_hint="insert None axes (arr[:, None]) so identical "
+                             "axis names line up position-for-position",
+                )
+                return None
+        return AxisSpec(axes=tuple(out), nan=left.nan or right.nan)
+
+    def _infer_subscript(self, node: ast.Subscript) -> Optional[AxisSpec]:
+        base = self.infer(node.value)
+        index = node.slice
+        elements = list(index.elts) if isinstance(index, ast.Tuple) else [index]
+        if base is None:
+            for element in elements:
+                self.infer(element)
+            return None
+        consumed = sum(
+            1 for e in elements
+            if not (isinstance(e, ast.Constant)
+                    and (e.value is None or e.value is Ellipsis))
+        )
+        if consumed > base.rank and not any(
+            isinstance(e, ast.Constant) and e.value is Ellipsis for e in elements
+        ):
+            self._flag(
+                node, RULE_AXIS_DROP,
+                f"indexing a {base.render()} array with {consumed} "
+                f"subscript(s) — it only has {base.rank} ax(es)",
+                symbol=self._symbol_of(node.value),
+                fix_hint="drop the extra subscript or fix the # axes: "
+                         "annotation",
+            )
+            return None
+        out: List[str] = []
+        remaining = list(base.axes)
+        tracked = True
+        for element in elements:
+            if isinstance(element, ast.Constant) and element.value is None:
+                out.append(_BROADCAST_AXIS)
+            elif isinstance(element, ast.Constant) and element.value is Ellipsis:
+                tracked = False  # ``...`` spans: rank-checked above, untracked
+            elif isinstance(element, ast.Slice):
+                if remaining:
+                    out.append(remaining.pop(0))
+            elif isinstance(element, ast.Constant) and isinstance(
+                element.value, int
+            ):
+                if remaining:
+                    remaining.pop(0)  # scalar index drops the axis
+            else:
+                # Name / fancy / boolean-mask index: result untracked.
+                self.infer(element)
+                tracked = False
+        if not tracked:
+            return None
+        out.extend(remaining)
+        return AxisSpec(axes=tuple(out), nan=base.nan)
+
+    @staticmethod
+    def _symbol_of(node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return ""
+
+    # -- calls ----------------------------------------------------------
+    def _infer_call(self, node: ast.Call) -> Optional[AxisSpec]:
+        func = node.func
+        # builtin min/max/sum/sorted over a NaN-carrying array ---------
+        if isinstance(func, ast.Name) and func.id in _BUILTIN_REDUCERS:
+            for arg in node.args:
+                spec = self.infer(arg)
+                if spec is not None and spec.nan:
+                    self._flag(
+                        node, RULE_NAN_MASK,
+                        f"builtin {func.id}() over a NaN-masked "
+                        f"{spec.render()} array propagates NaN",
+                        symbol=self._symbol_of(arg),
+                        fix_hint="mask the array first or use the np.nan* "
+                                 "reductions",
+                    )
+            for kw in node.keywords:
+                self.infer(kw.value)
+            return None
+        # method-style reduction: arr.sum(axis=...) --------------------
+        if isinstance(func, ast.Attribute) and func.attr in _REDUCTIONS:
+            base = self.infer(func.value)
+            if base is not None:
+                return self._reduce(node, base, func.attr,
+                                    self._symbol_of(func.value),
+                                    axis_arg_index=0)
+        # numpy-function reduction / elementwise -----------------------
+        if isinstance(func, ast.Attribute) and self.analysis.is_numpy(func.value):
+            name = func.attr
+            if name in _REDUCTIONS or name in _NAN_AWARE:
+                base = self.infer(node.args[0]) if node.args else None
+                if base is not None:
+                    return self._reduce(
+                        node, base, name,
+                        self._symbol_of(node.args[0]), axis_arg_index=1,
+                    )
+                for arg in node.args[1:]:
+                    self.infer(arg)
+                return None
+            if name == "nan_to_num" and node.args:
+                base = self.infer(node.args[0])
+                return _nan_to_num_spec(base) if base is not None else None
+            if name == "isnan" and node.args:
+                base = self.infer(node.args[0])
+                return _nan_to_num_spec(base) if base is not None else None
+            if name in _ELEMENTWISE_UNARY and node.args:
+                base = self.infer(node.args[0])
+                for arg in node.args[1:]:
+                    self.infer(arg)
+                return base
+            if name in _ELEMENTWISE_BINARY and len(node.args) >= 2:
+                left = self.infer(node.args[0])
+                right = self.infer(node.args[1])
+                if left is not None and right is not None:
+                    return self._broadcast(left, right, node)
+                return left or right
+        # repro.units converters: elementwise ufunc arithmetic ---------
+        if isinstance(func, ast.Name) and "_to_" in func.id:
+            specs = [self.infer(arg) for arg in node.args]
+            known = [s for s in specs if s is not None]
+            if len(known) == 2:
+                return self._broadcast(known[0], known[1], node)
+            if len(known) == 1 and len(node.args) <= 2:
+                return known[0]
+            return None
+        # anything else: recurse for side-effect checks, result unknown.
+        if isinstance(func, (ast.Attribute, ast.Subscript)):
+            self.infer(func)
+        for arg in node.args:
+            self.infer(arg)
+        for kw in node.keywords:
+            self.infer(kw.value)
+        return None
+
+    def _reduce(
+        self,
+        node: ast.Call,
+        base: AxisSpec,
+        op_name: str,
+        symbol: str,
+        axis_arg_index: int,
+    ) -> Optional[AxisSpec]:
+        """Check one reduction call and compute the surviving axes."""
+        if base.nan and op_name not in _NAN_AWARE:
+            self._flag(
+                node, RULE_NAN_MASK,
+                f"reducing a NaN-masked {base.render()} array with "
+                f"{op_name}() folds masked cells into the result",
+                symbol=symbol or op_name,
+                fix_hint=f"use np.nan{op_name}(...) or mask the NaN cells "
+                         "before reducing",
+            )
+        axis_node: Optional[ast.expr] = None
+        keepdims = False
+        if len(node.args) > axis_arg_index:
+            axis_node = node.args[axis_arg_index]
+        for kw in node.keywords:
+            if kw.arg == "axis":
+                axis_node = kw.value
+            elif kw.arg == "keepdims" and isinstance(kw.value, ast.Constant):
+                keepdims = bool(kw.value.value)
+        if axis_node is None:
+            return AxisSpec(axes=(), nan=False)
+        axis_values: List[int] = []
+        if isinstance(axis_node, ast.Constant) and isinstance(axis_node.value, int):
+            axis_values = [axis_node.value]
+        elif isinstance(axis_node, ast.Tuple) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, int)
+            for e in axis_node.elts
+        ):
+            axis_values = [e.value for e in axis_node.elts]  # type: ignore[union-attr]
+        elif isinstance(axis_node, ast.UnaryOp) and isinstance(
+            axis_node.op, ast.USub
+        ) and isinstance(axis_node.operand, ast.Constant) and isinstance(
+            axis_node.operand.value, int
+        ):
+            axis_values = [-axis_node.operand.value]
+        else:
+            return None  # dynamic axis: untracked
+        normalized = []
+        for axis in axis_values:
+            resolved = axis + base.rank if axis < 0 else axis
+            if resolved < 0 or resolved >= base.rank:
+                self._flag(
+                    node, RULE_AXIS_DROP,
+                    f"{op_name}(axis={axis}) is out of range for a "
+                    f"{base.render()} array of rank {base.rank}",
+                    symbol=symbol or op_name,
+                    fix_hint="pick an axis index inside the annotated rank "
+                             "(or fix the # axes: annotation)",
+                )
+                return None
+            normalized.append(resolved)
+        survivors = [
+            (_BROADCAST_AXIS if keepdims else None) if i in normalized else name
+            for i, name in enumerate(base.axes)
+        ]
+        axes = tuple(name for name in survivors if name is not None)
+        return AxisSpec(axes=axes, nan=False)
+
+
+def check_axes(analysis: ModuleAnalysis) -> List[Finding]:
+    """Run the named-axis dataflow over every scope of one module."""
+    findings: List[Finding] = []
+    _AxisFlow(analysis, findings).run(analysis.tree.body)
+    for info in analysis.functions:
+        _AxisFlow(analysis, findings).run(info.node.body)
+    return findings

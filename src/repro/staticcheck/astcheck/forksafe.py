@@ -1,0 +1,191 @@
+"""Fork/pickle safety for fan-out task specs and import-time state.
+
+``repro.parallel.run_fanout`` ships task specs into forked worker
+processes. That contract breaks in ways the type checker cannot see:
+
+* a task field holding a lambda, an open handle, a lock, or any mutable
+  container pickles late (or not at all), or silently shares state
+  between parent and children;
+* a task class that is not a frozen dataclass invites post-construction
+  mutation, which desynchronises ``task_id()`` from what ``run()``
+  actually does;
+* module-level store construction or lock acquisition runs at *import*
+  time — a forked child inherits that state mid-flight (a held lock
+  deadlocks every worker; an open store handle is shared).
+
+This pass treats any class that defines both ``task_id`` and ``run``
+methods as a :class:`~repro.parallel.fanout.FanoutTask` implementation
+(the protocol is structural, so the check is too) and enforces:
+
+* ``@dataclass(frozen=True)`` decoration;
+* field annotations drawn from a picklable-by-value whitelist
+  (``str``/``int``/``float``/``bool``/``bytes``/``Tuple``/``Optional``/
+  ``Union``/``FrozenSet``/``Literal`` — no ``Callable``, ``Any``,
+  ``List``/``Dict``/``Set``, arrays, locks, or IO types);
+* no ``lambda`` anywhere in the class body (fields, defaults,
+  ``field(default_factory=...)``).
+
+Separately, module-level statements anywhere must not construct stores
+(``ArtifactStore(...)``, ``Workspace(...)``, ``active_workspace()``) or
+acquire locks (``*.acquire()``) — the conservative static form of "no
+store-lock acquisition reachable before the fork".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.staticcheck.astcheck.analysis import ModuleAnalysis, iter_statements
+from repro.staticcheck.findings import Finding
+
+RULE_FORK = "fork-safety"
+
+FAMILY = "fork"
+
+#: Type names a task field may be built from (picklable by value,
+#: immutable, cheap to ship to a worker).
+_ALLOWED_FIELD_TYPES = frozenset({
+    "str", "int", "float", "bool", "bytes", "complex", "None",
+    "Tuple", "tuple", "Optional", "Union", "FrozenSet", "frozenset",
+    "Literal", "Final",
+})
+
+#: Module-level calls that create or acquire cross-process state.
+_MODULE_HAZARD_CALLS = frozenset({
+    "ArtifactStore", "Workspace", "active_workspace",
+})
+
+
+def _flag(findings: List[Finding], path: str, node: ast.AST, message: str,
+          symbol: str, fix_hint: str) -> None:
+    findings.append(Finding(
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=RULE_FORK, message=message, symbol=symbol,
+        family=FAMILY, fix_hint=fix_hint,
+    ))
+
+
+def _is_task_class(node: ast.ClassDef) -> bool:
+    # Protocol/ABC definitions *describe* the contract; only concrete
+    # task classes get pickled into workers.
+    for base in node.bases:
+        name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+        if name in ("Protocol", "ABC"):
+            return False
+    methods = {
+        stmt.name for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return "task_id" in methods and "run" in methods
+
+
+def _frozen_dataclass_decorator(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            func = decorator.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            if name == "dataclass":
+                for kw in decorator.keywords:
+                    if kw.arg == "frozen" and isinstance(kw.value, ast.Constant) \
+                            and kw.value.value is True:
+                        return True
+    return False
+
+
+def _check_field_annotation(
+    findings: List[Finding], path: str, class_name: str, stmt: ast.AnnAssign
+) -> None:
+    field_name = stmt.target.id if isinstance(stmt.target, ast.Name) else "?"
+    for node in ast.walk(stmt.annotation):
+        leaf: Optional[str] = None
+        if isinstance(node, ast.Name):
+            leaf = node.id
+        elif isinstance(node, ast.Attribute):
+            leaf = node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            continue  # string annotations are opaque; not worth guessing
+        if leaf is not None and leaf not in _ALLOWED_FIELD_TYPES:
+            # Attribute bases (the ``typing`` in ``typing.Tuple``) are
+            # allowed; only the rightmost name is the type.
+            if isinstance(node, ast.Name) and any(
+                isinstance(parent, ast.Attribute) and parent.value is node
+                for parent in ast.walk(stmt.annotation)
+            ):
+                continue
+            _flag(
+                findings, path, stmt,
+                f"{class_name}.{field_name} is typed {leaf!r}, which is not "
+                f"fork-safe for a FanoutTask field",
+                symbol=f"{class_name}.{field_name}",
+                fix_hint="carry plain values (str/int/float/bool/Tuple/...) "
+                         "and rebuild heavier objects inside run()",
+            )
+
+
+def check_fork_safety(analysis: ModuleAnalysis) -> List[Finding]:
+    """Flag fork-unsafe task specs and import-time store/lock state."""
+    findings: List[Finding] = []
+    path = analysis.path
+
+    # -- FanoutTask-shaped classes -------------------------------------
+    for node in ast.walk(analysis.tree):
+        if not isinstance(node, ast.ClassDef) or not _is_task_class(node):
+            continue
+        if not _frozen_dataclass_decorator(node):
+            _flag(
+                findings, path, node,
+                f"task class {node.name} must be a @dataclass(frozen=True) "
+                f"so its spec is immutable and pickles by value",
+                symbol=node.name,
+                fix_hint="decorate with @dataclass(frozen=True) and carry "
+                         "only plain-value fields",
+            )
+        # Only class-level statements are spec state that gets pickled;
+        # lambdas created *inside* run() live in the worker and are fine.
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.AnnAssign):
+                _check_field_annotation(findings, path, node.name, stmt)
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Lambda):
+                    _flag(
+                        findings, path, sub,
+                        f"task class {node.name} holds a lambda in its "
+                        f"class body — lambdas do not pickle into worker "
+                        f"processes",
+                        symbol=node.name,
+                        fix_hint="use a module-level function or a plain "
+                                 "value instead of a lambda field/default",
+                    )
+
+    # -- module-level store/lock state ---------------------------------
+    for stmt in iter_statements(analysis.tree.body):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _MODULE_HAZARD_CALLS:
+                _flag(
+                    findings, path, node,
+                    f"module-level {func.id}(...) runs at import time; "
+                    f"forked workers inherit its state",
+                    symbol=func.id,
+                    fix_hint="construct stores/workspaces lazily inside a "
+                             "function (e.g. active_workspace())",
+                )
+            elif isinstance(func, ast.Attribute) and func.attr == "acquire":
+                _flag(
+                    findings, path, node,
+                    "module-level lock acquisition at import time can "
+                    "deadlock forked workers",
+                    symbol="acquire",
+                    fix_hint="acquire locks inside functions, scoped with "
+                             "`with`",
+                )
+    return findings

@@ -1,0 +1,182 @@
+"""Observability contracts: registered instrument names, cold warm paths.
+
+Span and counter names are diffed across runs and asserted on in CI, so
+they behave like an API surface (:mod:`repro.obs.catalog` is the
+registry). Two failure modes need static enforcement:
+
+* **unregistered / malformed names** — a typo'd ``span("engine.comple")``
+  still renders a trace; nothing fails, the data is just unfindable.
+  Every literal name passed to ``span(...)`` / ``@traced(...)`` /
+  ``registry.counter(...)`` must be registered; f-string names must
+  start with a registered dynamic prefix (``f"cli.{cmd}"``,
+  ``f"store.{field}"``). Names built from plain variables are untracked
+  — the registry cannot see through them, so they stay silent.
+* **instrumented warm paths** — per-element helpers
+  (``evaluate_compiled_batch_us``, the stacked-model kernels) run
+  thousands of times per sweep; even a no-op span costs a dict build
+  and a context-manager enter per call. Such functions carry an
+  ``# obs: warm`` marker; this rule flags any span/traced instrumentation
+  inside them, turning the comment from advice into a contract — callers
+  instrument around the hot loop instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.obs.catalog import (
+    DYNAMIC_METRIC_PREFIXES,
+    DYNAMIC_SPAN_PREFIXES,
+    is_registered_metric,
+    is_registered_span,
+    well_formed,
+)
+from repro.staticcheck.astcheck.analysis import (
+    FunctionInfo,
+    ModuleAnalysis,
+    iter_statements,
+)
+from repro.staticcheck.findings import Finding
+
+RULE_OBS_NAME = "obs-name"
+RULE_OBS_WARM = "obs-warm"
+
+FAMILY = "obs"
+
+WARM_MARKER = "warm"
+
+#: Call shapes that open a span: ``span("x")`` / ``tracer.span("x")``.
+_SPAN_FUNCS = frozenset({"span", "traced"})
+#: Instrument-factory methods on a metrics registry.
+_METRIC_FUNCS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _call_kind(node: ast.Call) -> Optional[str]:
+    """"span" or "metric" when this call names an instrument, else None."""
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+    if name in _SPAN_FUNCS:
+        return "span"
+    if name in _METRIC_FUNCS and isinstance(func, ast.Attribute):
+        return "metric"
+    return None
+
+
+def _name_argument(node: ast.Call) -> Optional[ast.expr]:
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "name":
+            return kw.value
+    return None
+
+
+def _literal_prefix(node: ast.JoinedStr) -> str:
+    """The leading constant text of an f-string (empty when dynamic-first)."""
+    if node.values and isinstance(node.values[0], ast.Constant) \
+            and isinstance(node.values[0].value, str):
+        return node.values[0].value
+    return ""
+
+
+def _check_name(
+    analysis: ModuleAnalysis, node: ast.Call, kind: str,
+    findings: List[Finding],
+) -> None:
+    arg = _name_argument(node)
+    registered = is_registered_span if kind == "span" else is_registered_metric
+    prefixes = DYNAMIC_SPAN_PREFIXES if kind == "span" else DYNAMIC_METRIC_PREFIXES
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        name = arg.value
+        if not well_formed(name):
+            findings.append(Finding(
+                path=analysis.path, line=node.lineno, col=node.col_offset,
+                rule=RULE_OBS_NAME,
+                message=f"{kind} name {name!r} is not subsystem.verb shaped",
+                symbol=name, family=FAMILY,
+                fix_hint="use lowercase dot-joined segments, e.g. "
+                         "'engine.compile'",
+            ))
+        elif not registered(name):
+            findings.append(Finding(
+                path=analysis.path, line=node.lineno, col=node.col_offset,
+                rule=RULE_OBS_NAME,
+                message=f"{kind} name {name!r} is not registered in "
+                        f"repro.obs.catalog",
+                symbol=name, family=FAMILY,
+                fix_hint=f"add {name!r} to the "
+                         f"{'SPAN' if kind == 'span' else 'METRIC'}_CATALOG "
+                         f"(or fix the typo)",
+            ))
+    elif isinstance(arg, ast.JoinedStr):
+        prefix = _literal_prefix(arg)
+        if not prefix or not any(prefix.startswith(p) for p in prefixes):
+            shown = prefix or "<dynamic>"
+            findings.append(Finding(
+                path=analysis.path, line=node.lineno, col=node.col_offset,
+                rule=RULE_OBS_NAME,
+                message=f"dynamic {kind} name with prefix {shown!r} has no "
+                        f"registered dynamic prefix in repro.obs.catalog",
+                symbol=shown, family=FAMILY,
+                fix_hint="start the f-string with a registered prefix "
+                         "(DYNAMIC_*_PREFIXES) or use a literal name",
+            ))
+    # Plain variables are untracked: the name was checked where the
+    # literal was written, not where it is threaded through.
+
+
+def _span_calls_in(stmts: List[ast.stmt]) -> List[Tuple[ast.Call, str]]:
+    """(call, kind) pairs for instrument calls in this body, skipping
+    nested function/class scopes (they carry their own markers)."""
+    calls: List[Tuple[ast.Call, str]] = []
+    for stmt in iter_statements(stmts):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                kind = _call_kind(node)
+                if kind is not None:
+                    calls.append((node, kind))
+    return calls
+
+
+def _check_warm_function(
+    analysis: ModuleAnalysis, info: FunctionInfo, findings: List[Finding]
+) -> None:
+    flagged: List[ast.AST] = []
+    node = info.node
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call) and _call_kind(decorator) == "span":
+            flagged.append(decorator)
+    flagged.extend(call for call, kind in _span_calls_in(node.body)
+                   if kind == "span")
+    for hit in flagged:
+        findings.append(Finding(
+            path=analysis.path,
+            line=getattr(hit, "lineno", node.lineno),
+            col=getattr(hit, "col_offset", 0),
+            rule=RULE_OBS_WARM,
+            message=f"{info.qualname} is marked '# obs: warm' but carries "
+                    f"span/traced instrumentation — even a no-op span costs "
+                    f"per-call overhead on a warm path",
+            symbol=info.qualname, family=FAMILY,
+            fix_hint="instrument the cold caller around the hot loop, or "
+                     "drop the warm marker if this path is not hot",
+        ))
+
+
+def check_obs_contracts(analysis: ModuleAnalysis) -> List[Finding]:
+    """Flag unregistered instrument names and instrumented warm paths."""
+    findings: List[Finding] = []
+    # Instrument definitions themselves (repro.obs.*) thread names through
+    # variables and are naturally untracked; no special-casing needed.
+    for node in ast.walk(analysis.tree):
+        if isinstance(node, ast.Call):
+            kind = _call_kind(node)
+            if kind is not None:
+                _check_name(analysis, node, kind, findings)
+    for info in analysis.functions:
+        if WARM_MARKER in info.markers:
+            _check_warm_function(analysis, info, findings)
+    return findings

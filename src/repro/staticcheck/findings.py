@@ -6,9 +6,13 @@ shape ``tools/check.py --json`` documents.
 
 Two suppression mechanisms exist, in precedence order:
 
-* an inline pragma comment on the offending line —
-  ``# staticcheck: ignore`` silences every rule on that line and
-  ``# staticcheck: ignore[unit-suffix,unit-mix]`` silences the named rules;
+* a pragma comment — ``# staticcheck: ignore`` on the offending line
+  silences every rule on that line, ``# staticcheck: ignore[unit-suffix,
+  unit-mix]`` silences the named rules, and the file-level form
+  ``# staticcheck: ignore-file[...]`` (conventionally near the top of the
+  file) silences rules for the whole file — fixture files full of
+  deliberate violations opt out wholesale instead of annotating every
+  line;
 * a baseline file of fingerprints for grandfathered findings (see
   :mod:`repro.staticcheck.baseline`).
 
@@ -27,7 +31,8 @@ from typing import Dict, FrozenSet, List, Optional
 SEVERITIES = ("note", "warning", "error")
 
 _PRAGMA_RE = re.compile(
-    r"#\s*staticcheck:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\- ]*)\])?"
+    r"#\s*staticcheck:\s*ignore(?P<scope>-file)?"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\- ]*)\])?"
 )
 
 
@@ -42,6 +47,8 @@ class Finding:
     message: str
     symbol: str = ""  #: offending identifier, when one exists
     severity: str = "error"
+    family: str = ""  #: rule family (``axes``/``fork``/``fingerprint``/...)
+    fix_hint: str = ""  #: one-line suggested remediation
 
     @property
     def fingerprint(self) -> str:
@@ -61,42 +68,81 @@ class Finding:
             "message": self.message,
             "symbol": self.symbol,
             "severity": self.severity,
+            "family": self.family,
+            "fix_hint": self.fix_hint,
             "fingerprint": self.fingerprint,
         }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_json` output (cache entries).
+
+        ``fingerprint`` is derived, never stored state, so it is ignored
+        on the way back in.
+        """
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            col=int(data["col"]),  # type: ignore[call-overload]
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            symbol=str(data.get("symbol", "")),
+            severity=str(data.get("severity", "error")),
+            family=str(data.get("family", "")),
+            fix_hint=str(data.get("fix_hint", "")),
+        )
 
 
 @dataclass(frozen=True)
 class PragmaIndex:
-    """Per-line suppression pragmas parsed from one source file.
+    """Suppression pragmas parsed from one source file.
 
     ``lines`` maps line number -> frozenset of suppressed rule names; the
     empty frozenset means "suppress everything on this line".
+    ``file_rules`` is the union of ``ignore-file`` pragmas: None when the
+    file carries none, the empty frozenset for a blanket file-wide
+    suppression, a non-empty set for named rules.
     """
 
     lines: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    file_rules: Optional[FrozenSet[str]] = None
 
     def suppresses(self, line: int, rule: str) -> bool:
+        if self.file_rules is not None:
+            if not self.file_rules or rule in self.file_rules:
+                return True
         rules = self.lines.get(line)
         if rules is None:
             return False
         return not rules or rule in rules
 
 
+def _parse_rule_list(raw: Optional[str]) -> FrozenSet[str]:
+    if raw is None:
+        return frozenset()
+    return frozenset(rule.strip() for rule in raw.split(",") if rule.strip())
+
+
 def parse_pragmas(source: str) -> PragmaIndex:
-    """Collect ``# staticcheck: ignore[...]`` pragmas per source line."""
+    """Collect ``# staticcheck: ignore[...]`` / ``ignore-file[...]`` pragmas."""
     lines: Dict[int, FrozenSet[str]] = {}
+    file_rules: Optional[FrozenSet[str]] = None
     for lineno, text in enumerate(source.splitlines(), start=1):
         match = _PRAGMA_RE.search(text)
         if match is None:
             continue
-        raw: Optional[str] = match.group("rules")
-        if raw is None:
-            lines[lineno] = frozenset()
+        rules = _parse_rule_list(match.group("rules"))
+        if match.group("scope"):
+            if file_rules is None:
+                file_rules = rules
+            elif file_rules and rules:
+                file_rules = file_rules | rules
+            else:
+                # either pragma being a blanket ignore makes the union one
+                file_rules = frozenset()
         else:
-            lines[lineno] = frozenset(
-                rule.strip() for rule in raw.split(",") if rule.strip()
-            )
-    return PragmaIndex(lines=lines)
+            lines[lineno] = rules
+    return PragmaIndex(lines=lines, file_rules=file_rules)
 
 
 def apply_pragmas(findings: List[Finding], pragmas: PragmaIndex) -> List[Finding]:

@@ -1,0 +1,155 @@
+"""astcheck axes rules: named-axis dataflow fixtures (TP and FP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.staticcheck import check_source
+from repro.staticcheck.astcheck.analysis import parse_axis_comment
+
+NP = "import numpy as np\n"
+AXES_RULES = ("axis-drop", "axis-broadcast", "nan-mask")
+
+
+def axes(src, rules=AXES_RULES):
+    return check_source(NP + src, "fixture.py", rules=list(rules))
+
+
+# -- true positives -----------------------------------------------------
+
+def test_reduction_axis_out_of_range():
+    findings = axes(
+        "grid = np.zeros((3, 4))  # axes: (G, B)\n"
+        "out = grid.sum(axis=2)\n"
+    )
+    assert [f.rule for f in findings] == ["axis-drop"]
+    assert "out of range" in findings[0].message
+
+
+def test_np_form_reduction_axis_out_of_range():
+    findings = axes(
+        "grid = np.zeros((3, 4))  # axes: (G, B)\n"
+        "out = np.sum(grid, axis=3)\n"
+    )
+    assert [f.rule for f in findings] == ["axis-drop"]
+
+
+def test_misaligned_broadcast():
+    findings = axes(
+        "a = np.zeros((3, 4))  # axes: (G, K)\n"
+        "b = np.zeros((4, 5))  # axes: (K, B)\n"
+        "c = a + b\n"
+    )
+    assert [f.rule for f in findings] == ["axis-broadcast"]
+    assert "'G' with 'K'" in findings[0].message
+
+
+def test_nan_masked_reduction():
+    findings = axes(
+        "rate = np.zeros((3, 4))  # axes: (P, G) nan\n"
+        "low = rate.min()\n"
+    )
+    assert [f.rule for f in findings] == ["nan-mask"]
+    assert "nanmin" in findings[0].fix_hint
+
+
+def test_builtin_min_over_nan_array():
+    findings = axes(
+        "rate = np.zeros((3, 4))  # axes: (P, G) nan\n"
+        "low = min(rate)\n"
+    )
+    assert [f.rule for f in findings] == ["nan-mask"]
+
+
+def test_annotation_disagrees_with_expression():
+    findings = axes(
+        "a = np.zeros((3, 4))  # axes: (G, B)\n"
+        "b = a.sum(axis=0)  # axes: (G, B)\n"
+    )
+    assert [f.rule for f in findings] == ["axis-drop"]
+    assert "annotated" in findings[0].message
+
+
+def test_subscript_consumes_too_many_axes():
+    findings = axes(
+        "a = np.zeros((3, 4))  # axes: (G, B)\n"
+        "v = a[0, 0, 0]\n"
+    )
+    assert [f.rule for f in findings] == ["axis-drop"]
+
+
+# -- false-positive controls (all must stay silent) ---------------------
+
+def test_unannotated_arrays_stay_silent():
+    # unknown specs never speculate — even an absurd axis is not flagged
+    findings = axes(
+        "mystery = make_something()\n"
+        "out = mystery.sum(axis=9)\n"
+    )
+    assert findings == []
+
+
+def test_nan_aware_reduction_is_clean():
+    findings = axes(
+        "rate = np.zeros((3, 4))  # axes: (P, G) nan\n"
+        "low = np.nanmin(rate)\n"
+    )
+    assert findings == []
+
+
+def test_nan_to_num_clears_the_mask():
+    findings = axes(
+        "rate = np.zeros((3, 4))  # axes: (P, G) nan\n"
+        "filled = np.nan_to_num(rate)\n"
+        "low = filled.min()\n"
+    )
+    assert findings == []
+
+
+def test_inserted_axes_broadcast_cleanly():
+    # the sweep's own (G,1,B)+(G,K,1) assembly shape
+    findings = axes(
+        "a = np.zeros((3, 5))  # axes: (G, B)\n"
+        "b = np.zeros((3, 4))  # axes: (G, K)\n"
+        "c = a[:, None, :] + b[:, :, None]  # axes: (G, K, B)\n"
+    )
+    assert findings == []
+
+
+def test_valid_reduction_and_negative_axis():
+    findings = axes(
+        "a = np.zeros((3, 4))  # axes: (G, B)\n"
+        "s0 = a.sum(axis=0)\n"
+        "s1 = a.sum(axis=-1)  # axes: (G)\n"
+        "k = a.sum(axis=1, keepdims=True)  # axes: (G, 1)\n"
+        "norm = a / k\n"
+    )
+    assert findings == []
+
+
+def test_unit_converters_pass_specs_through():
+    findings = axes(
+        "t_us = np.zeros((3, 4))  # axes: (G, B)\n"
+        "t_hr = us_to_hr(t_us)  # axes: (G, B)\n"
+    )
+    assert findings == []
+
+
+# -- annotation parser --------------------------------------------------
+
+@pytest.mark.parametrize("comment,axes_tuple,nan", [
+    ("# axes: (G, K, B)", ("G", "K", "B"), False),
+    ("# axes: (P, G, K) nan", ("P", "G", "K"), True),
+    ("# axes: (G)", ("G",), False),
+    ("#axes:(G,B)", ("G", "B"), False),
+])
+def test_parse_axis_comment(comment, axes_tuple, nan):
+    spec = parse_axis_comment(comment)
+    assert spec is not None
+    assert spec.axes == axes_tuple
+    assert spec.nan is nan
+
+
+def test_parse_axis_comment_rejects_non_annotations():
+    assert parse_axis_comment("# plain comment") is None
+    assert parse_axis_comment("# shapes: (G, B)") is None

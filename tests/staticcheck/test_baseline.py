@@ -49,6 +49,55 @@ def test_stale_entries_are_reported(tmp_path):
     assert baseline.stale_entries([]) == [finding(symbol="paid_down").fingerprint]
 
 
+def test_v1_baseline_still_loads(tmp_path):
+    path = tmp_path / "baseline.json"
+    f = finding()
+    path.write_text(json.dumps({"version": 1, "fingerprints": [f.fingerprint]}))
+    baseline = load_baseline(path)
+    assert f.fingerprint in baseline.fingerprints
+    assert baseline.entries == {}  # v1 carries no metadata
+    new, old = baseline.split([f])
+    assert new == [] and old == [f]
+
+
+def test_write_baseline_emits_v2_entries(tmp_path):
+    path = tmp_path / "baseline.json"
+    f = Finding(path="src/repro/x.py", line=7, col=0, rule="axis-drop",
+                message="sum over bad axis", symbol="total_us", family="axes")
+    write_baseline(path, [f, f])  # duplicates collapse to one entry
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 2
+    assert payload["entries"] == [
+        {"fingerprint": f.fingerprint, "rule": "axis-drop", "family": "axes"}
+    ]
+    baseline = load_baseline(path)
+    assert baseline.entries[f.fingerprint] == {"rule": "axis-drop",
+                                               "family": "axes"}
+
+
+def test_v2_entries_are_sorted_and_line_free(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [finding(symbol="zz", line=90),
+                          finding(symbol="aa", line=5)])
+    payload = json.loads(path.read_text())
+    fps = [e["fingerprint"] for e in payload["entries"]]
+    assert fps == sorted(fps)
+    assert not any(":5" in fp or ":90" in fp for fp in fps)
+
+
+def test_malformed_v2_baseline_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 2, "entries": "oops"}))
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+    path.write_text(json.dumps({"version": 2, "entries": [{"rule": "x"}]}))
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+    path.write_text(json.dumps({"version": 3, "entries": []}))
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
 def test_malformed_baseline_raises(tmp_path):
     path = tmp_path / "baseline.json"
     path.write_text("not json")

@@ -61,17 +61,21 @@ def test_json_output_matches_documented_schema(check, capsys, tmp_path):
     code, out, _ = run(check, capsys, str(target), "--no-contract", "--json")
     assert code == 1
     payload = json.loads(out)
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["tool"] == "repro.staticcheck"
     assert payload["ok"] is False
     assert payload["exit_code"] == 1
     assert payload["files_checked"] == 1
+    assert payload["cache_hits"] == 0
     assert set(payload["suppressed"]) == {"pragma", "baseline"}
     assert isinstance(payload["stale_baseline"], list)
     assert payload["findings"], "dirty fixture must yield findings"
     for f in payload["findings"]:
         assert set(f) == {"path", "line", "col", "rule", "message", "symbol",
-                          "severity", "fingerprint"}
+                          "severity", "family", "fix_hint", "fingerprint"}
+    # the families rollup sums to the finding count
+    assert sum(payload["families"].values()) == len(payload["findings"])
+    assert {f["family"] for f in payload["findings"]} == set(payload["families"])
 
 
 def test_rules_flag_restricts_reporting(check, capsys, tmp_path):
@@ -148,5 +152,53 @@ def test_repo_baseline_file_is_valid_and_loadable(check):
     baseline_path = REPO_ROOT / "tools" / "check_baseline.json"
     assert baseline_path.exists()
     payload = json.loads(baseline_path.read_text())
-    assert payload["version"] == 1
-    assert isinstance(payload["fingerprints"], list)
+    assert payload["version"] == 2
+    assert isinstance(payload["entries"], list)
+    for entry in payload["entries"]:
+        assert set(entry) == {"fingerprint", "rule", "family"}
+        assert entry["fingerprint"].startswith(entry["rule"] + "::")
+
+
+def test_jobs_output_is_byte_identical_to_serial(check, capsys, tmp_path):
+    for i in range(4):
+        (tmp_path / f"mod_{i}.py").write_text(DIRTY)
+    args = [str(tmp_path), "--no-contract", "--json"]
+    code_serial, out_serial, _ = run(check, capsys, *args)
+    code_jobs, out_jobs, _ = run(check, capsys, *args, "--jobs", "8")
+    assert code_serial == code_jobs == 1
+    assert out_jobs == out_serial
+
+
+def test_cache_round_trip_reuses_results(check, capsys, tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    cache = tmp_path / "cache.json"
+    args = [str(target), "--no-contract", "--json", "--cache", str(cache)]
+
+    _, cold, _ = run(check, capsys, *args)
+    assert cache.exists()
+    assert json.loads(cold)["cache_hits"] == 0
+
+    _, warm, _ = run(check, capsys, *args)
+    warm_payload = json.loads(warm)
+    assert warm_payload["cache_hits"] == 1
+    assert warm_payload["findings"] == json.loads(cold)["findings"]
+
+    # content change invalidates the entry
+    target.write_text(DIRTY + "x_us = 1.0\n")
+    _, changed, _ = run(check, capsys, *args)
+    assert json.loads(changed)["cache_hits"] == 0
+
+
+def test_repro_cli_check_subcommand_matches_tools_wrapper(check, capsys, tmp_path):
+    from repro.cli import main as repro_main
+
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+
+    code = repro_main(["check", str(target), "--no-contract", "--json"])
+    sub_out = capsys.readouterr().out
+    wrap_code, wrap_out, _ = run(check, capsys, str(target),
+                                 "--no-contract", "--json")
+    assert code == wrap_code == 1
+    assert json.loads(sub_out)["findings"] == json.loads(wrap_out)["findings"]

@@ -1,0 +1,138 @@
+"""astcheck fork-safety rule: FanoutTask specs and import-time state."""
+
+from __future__ import annotations
+
+from repro.staticcheck import check_source
+
+
+def fork(src):
+    return check_source(src, "fixture.py", rules=["fork-safety"])
+
+
+GOOD_TASK = (
+    "from dataclasses import dataclass\n"
+    "@dataclass(frozen=True)\n"
+    "class FitTask:\n"
+    "    gpu_key: str\n"
+    "    iterations: int\n"
+    "    batch_sizes: Tuple[int, ...]\n"
+    "    note: Optional[str] = None\n"
+    "    def task_id(self):\n"
+    "        return f'fit:{self.gpu_key}'\n"
+    "    def run(self):\n"
+    "        return self.gpu_key\n"
+)
+
+
+# -- true positives -----------------------------------------------------
+
+def test_unfrozen_task_class_is_flagged():
+    findings = fork(
+        "class FitTask:\n"
+        "    gpu_key: str\n"
+        "    def task_id(self):\n"
+        "        return self.gpu_key\n"
+        "    def run(self):\n"
+        "        return 1\n"
+    )
+    assert [f.rule for f in findings] == ["fork-safety"]
+    assert "frozen=True" in findings[0].message
+
+
+def test_lambda_field_default_is_flagged():
+    findings = fork(
+        "from dataclasses import dataclass, field\n"
+        "@dataclass(frozen=True)\n"
+        "class FitTask:\n"
+        "    hook: Callable = field(default_factory=lambda: None)\n"
+        "    def task_id(self):\n"
+        "        return 'x'\n"
+        "    def run(self):\n"
+        "        return 1\n"
+    )
+    rules = sorted(f.rule for f in findings)
+    assert rules == ["fork-safety", "fork-safety"]  # Callable type + lambda
+    assert any("lambda" in f.message for f in findings)
+
+
+def test_mutable_field_types_are_flagged():
+    findings = fork(
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class FitTask:\n"
+        "    rows: List[dict]\n"
+        "    def task_id(self):\n"
+        "        return 'x'\n"
+        "    def run(self):\n"
+        "        return 1\n"
+    )
+    assert len(findings) >= 1
+    assert all(f.rule == "fork-safety" for f in findings)
+    assert any("FitTask.rows" in f.symbol for f in findings)
+
+
+def test_module_level_workspace_construction_is_flagged():
+    findings = fork(
+        "from repro.artifacts import active_workspace\n"
+        "ws = active_workspace()\n"
+    )
+    assert [f.rule for f in findings] == ["fork-safety"]
+    assert "import time" in findings[0].message
+
+
+def test_module_level_lock_acquire_is_flagged():
+    findings = fork(
+        "import threading\n"
+        "_LOCK = threading.Lock()\n"
+        "_LOCK.acquire()\n"
+    )
+    assert [f.rule for f in findings] == ["fork-safety"]
+    assert "deadlock" in findings[0].message
+
+
+# -- false-positive controls --------------------------------------------
+
+def test_well_formed_task_class_is_clean():
+    assert fork(GOOD_TASK) == []
+
+
+def test_protocol_definition_is_exempt():
+    findings = fork(
+        "from typing import Protocol\n"
+        "class FanoutTask(Protocol):\n"
+        "    def task_id(self) -> str: ...\n"
+        "    def run(self): ...\n"
+    )
+    assert findings == []
+
+
+def test_lambda_inside_run_is_fine():
+    findings = fork(
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class FitTask:\n"
+        "    gpu_key: str\n"
+        "    def task_id(self):\n"
+        "        return 'x'\n"
+        "    def run(self):\n"
+        "        return sorted([3, 1], key=lambda v: -v)\n"
+    )
+    assert findings == []
+
+
+def test_non_task_class_is_not_held_to_the_contract():
+    findings = fork(
+        "class Config:\n"
+        "    build: Callable = lambda: None\n"
+    )
+    assert findings == []
+
+
+def test_function_scoped_store_and_lock_are_fine():
+    findings = fork(
+        "def main():\n"
+        "    ws = active_workspace()\n"
+        "    lock.acquire()\n"
+        "    return ws\n"
+    )
+    assert findings == []

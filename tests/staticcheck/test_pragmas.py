@@ -1,0 +1,58 @@
+"""Pragma machinery: multi-rule line pragmas and file-level pragmas."""
+
+from __future__ import annotations
+
+from repro.staticcheck import check_source, parse_pragmas
+
+DIRTY_LINE = "train_time = total_us + b_ms\n"  # unit-suffix + unit-mix
+
+
+def test_multi_rule_line_pragma_suppresses_each_listed_rule():
+    src = "train_time = total_us + b_ms  # staticcheck: ignore[unit-suffix, unit-mix]\n"
+    assert check_source(src, "fixture.py") == []
+
+
+def test_multi_rule_line_pragma_leaves_unlisted_rules():
+    src = "train_time = total_us + b_ms  # staticcheck: ignore[unit-mix]\n"
+    findings = check_source(src, "fixture.py")
+    assert {f.rule for f in findings} == {"unit-suffix"}
+
+
+def test_file_level_pragma_suppresses_rule_everywhere():
+    src = (
+        "# staticcheck: ignore-file[unit-suffix]\n"
+        + DIRTY_LINE
+        + "other_time = 1.0\n"
+    )
+    findings = check_source(src, "fixture.py")
+    assert "unit-suffix" not in {f.rule for f in findings}
+    assert "unit-mix" in {f.rule for f in findings}  # unlisted rules still fire
+
+
+def test_blanket_file_level_pragma_suppresses_everything():
+    src = "# staticcheck: ignore-file\n" + DIRTY_LINE
+    assert check_source(src, "fixture.py") == []
+
+
+def test_multiple_file_pragmas_union():
+    src = (
+        "# staticcheck: ignore-file[unit-suffix]\n"
+        "# staticcheck: ignore-file[unit-mix]\n"
+        + DIRTY_LINE
+    )
+    assert check_source(src, "fixture.py") == []
+
+
+def test_parse_pragmas_index_shape():
+    index = parse_pragmas(
+        "# staticcheck: ignore-file[axis-drop]\n"
+        "x = 1  # staticcheck: ignore[unit-suffix, determinism]\n"
+        "y = 2  # staticcheck: ignore\n"
+    )
+    assert index.file_rules == frozenset({"axis-drop"})
+    assert index.suppresses(3, "axis-drop")  # file-level: any line
+    assert index.suppresses(2, "unit-suffix")
+    assert index.suppresses(2, "determinism")
+    assert not index.suppresses(2, "unit-mix")
+    assert index.suppresses(3, "anything")  # blanket line pragma
+    assert not index.suppresses(1, "unit-suffix")

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""repro.staticcheck driver: lint + contract-check the tree, fail on findings.
+"""repro.staticcheck driver — thin wrapper over ``repro.staticcheck.cli``.
 
 Usage::
 
@@ -9,40 +9,26 @@ Usage::
     --json               emit the machine-readable report on stdout
     --baseline FILE      baseline of grandfathered findings
                          (default: tools/check_baseline.json when present)
-    --write-baseline     freeze current findings into the baseline and exit 0
+    --update-baseline    freeze current findings into the baseline and exit 0
+                         (--write-baseline is an accepted alias)
     --no-contract        skip the semantic registry/zoo contract sweep
     --rules R1,R2        restrict to a comma-separated subset of rules
     --list-rules         print the rule catalogue and exit
+    --jobs N             fan per-file analysis out over N worker processes
+                         (byte-identical output to serial)
+    --cache FILE         content-hash analysis cache (CI restores it so
+                         unchanged files skip analysis)
 
 Exit codes: 0 = clean (modulo baseline), 1 = findings, 2 = usage/internal
-error.
-
-JSON schema (stable; ``version`` bumps on breaking change)::
-
-    {
-      "version": 1,
-      "tool": "repro.staticcheck",
-      "files_checked": <int>,
-      "ok": <bool>,
-      "exit_code": 0 | 1,
-      "findings": [
-        {"path": str, "line": int, "col": int, "rule": str,
-         "message": str, "symbol": str, "severity": str,
-         "fingerprint": str},
-        ...
-      ],
-      "suppressed": {"pragma": <int>, "baseline": <int>},
-      "stale_baseline": [<fingerprint>, ...]
-    }
+error. The same driver backs the ``repro check`` subcommand; the JSON
+schema (version 2) is documented in :mod:`repro.staticcheck.cli`.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -51,126 +37,16 @@ try:
 except ImportError:  # running from a checkout without an installed package
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.staticcheck import (  # noqa: E402
-    ALL_RULES,
-    Baseline,
-    load_baseline,
-    run_checks,
-    write_baseline,
-)
-from repro.staticcheck.baseline import BaselineError  # noqa: E402
+from repro.staticcheck import cli as check_cli  # noqa: E402
 
-DEFAULT_BASELINE = REPO_ROOT / "tools" / "check_baseline.json"
-JSON_VERSION = 1
+DEFAULT_BASELINE = check_cli.DEFAULT_BASELINE
+JSON_VERSION = check_cli.JSON_VERSION
 
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="check.py",
-        description="Run repro.staticcheck over the tree.",
-    )
-    parser.add_argument("paths", nargs="*", default=None,
-                        help="files/directories to check (default: src/repro)")
-    parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit the machine-readable report")
-    parser.add_argument("--baseline", type=Path, default=None,
-                        help="baseline file of grandfathered findings")
-    parser.add_argument("--write-baseline", action="store_true",
-                        help="freeze current findings into the baseline")
-    parser.add_argument("--no-contract", action="store_true",
-                        help="skip the semantic registry/zoo contract sweep")
-    parser.add_argument("--rules", default=None,
-                        help="comma-separated subset of rules to run")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule catalogue and exit")
-    return parser
+build_parser = check_cli.build_parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-
-    if args.list_rules:
-        for rule, description in sorted(ALL_RULES.items()):
-            print(f"{rule:<20s} {description}")
-        return 0
-
-    rules: Optional[List[str]] = None
-    if args.rules:
-        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
-        unknown = [r for r in rules if r not in ALL_RULES]
-        if unknown:
-            print(f"check.py: unknown rules: {', '.join(unknown)}; "
-                  f"try --list-rules", file=sys.stderr)
-            return 2
-
-    paths = [Path(p) for p in args.paths] if args.paths else [REPO_ROOT / "src" / "repro"]
-    missing = [p for p in paths if not p.exists()]
-    if missing:
-        print(f"check.py: no such path: "
-              f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
-        return 2
-
-    baseline_path = args.baseline
-    if baseline_path is None and DEFAULT_BASELINE.exists():
-        baseline_path = DEFAULT_BASELINE
-
-    baseline: Optional[Baseline] = None
-    if baseline_path is not None and not args.write_baseline:
-        try:
-            baseline = load_baseline(baseline_path)
-        except BaselineError as exc:
-            print(f"check.py: {exc}", file=sys.stderr)
-            return 2
-
-    report = run_checks(
-        paths, REPO_ROOT,
-        baseline=baseline,
-        rules=rules,
-        contracts=not args.no_contract,
-    )
-
-    if args.write_baseline:
-        target = baseline_path or DEFAULT_BASELINE
-        write_baseline(target, report.findings + report.grandfathered)
-        print(f"check.py: wrote {len(report.findings) + len(report.grandfathered)} "
-              f"fingerprints to {target}")
-        return 0
-
-    exit_code = 0 if report.ok else 1
-    if args.as_json:
-        payload = {
-            "version": JSON_VERSION,
-            "tool": "repro.staticcheck",
-            "files_checked": report.files_checked,
-            "ok": report.ok,
-            "exit_code": exit_code,
-            "findings": [f.to_json() for f in report.sorted_findings()],
-            "suppressed": {
-                "pragma": report.pragma_suppressed,
-                "baseline": len(report.grandfathered),
-            },
-            "stale_baseline": report.stale_baseline,
-        }
-        print(json.dumps(payload, indent=2))
-        return exit_code
-
-    for finding in report.sorted_findings():
-        print(finding.render())
-    summary = (
-        f"check.py: {report.files_checked} files, "
-        f"{len(report.findings)} finding(s)"
-    )
-    if report.grandfathered:
-        summary += f", {len(report.grandfathered)} grandfathered"
-    if report.pragma_suppressed:
-        summary += f", {report.pragma_suppressed} pragma-suppressed"
-    print(summary)
-    if report.stale_baseline:
-        print(f"check.py: {len(report.stale_baseline)} stale baseline "
-              f"entr(y/ies) — prune them:", file=sys.stderr)
-        for fp in report.stale_baseline:
-            print(f"  {fp}", file=sys.stderr)
-    return exit_code
+    return check_cli.main(argv, prog="check.py")
 
 
 if __name__ == "__main__":
