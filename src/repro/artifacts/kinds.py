@@ -120,6 +120,27 @@ def _diagnostics_to_dict(diagnostics: CeerDiagnostics) -> Dict[str, object]:
             [gpu_key, num_gpus, value]
             for (gpu_key, num_gpus), value in sorted(diagnostics.comm_r2.items())
         ],
+        # Backend-specific keys are emitted only off the per-GPU default:
+        # the version-1 per-GPU payload must stay byte-identical (its
+        # content hash anchors workspace keys and golden snapshots), and
+        # the canonical per-GPU fit *does* have proportional-fallback
+        # cells — emitting them unconditionally would roll every key.
+        **(
+            {
+                "backend": diagnostics.backend,
+                "proportional_fallbacks": [
+                    list(cell) for cell in diagnostics.proportional_fallbacks
+                ],
+                "transfer_std_us": [
+                    [op_type, value]
+                    for op_type, value in sorted(
+                        diagnostics.transfer_std_us.items()
+                    )
+                ],
+            }
+            if diagnostics.backend != "per_gpu"
+            else {}
+        ),
     }
 
 
@@ -139,6 +160,14 @@ def _diagnostics_from_dict(data: Dict[str, Any]) -> CeerDiagnostics:
         comm_r2={
             (gpu_key, int(num_gpus)): value
             for gpu_key, num_gpus, value in data["comm_r2"]
+        },
+        backend=data.get("backend", "per_gpu"),
+        proportional_fallbacks=tuple(
+            (gpu_key, op_type)
+            for gpu_key, op_type in data.get("proportional_fallbacks", [])
+        ),
+        transfer_std_us={
+            op_type: value for op_type, value in data.get("transfer_std_us", [])
         },
     )
 

@@ -20,15 +20,18 @@ default directory honours ``$REPRO_WORKSPACE`` and falls back to
 
 from __future__ import annotations
 
+import json
 import os
+from dataclasses import asdict
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.artifacts import kinds
-from repro.artifacts.store import ArtifactStore
+from repro.artifacts.store import ArtifactStore, atomic_write_bytes
 from repro.cloud.pricing import ON_DEMAND, PricingScheme
 from repro.core.fit import FittedCeer, fit_ceer
-from repro.hardware.gpus import GPU_KEYS
+from repro.errors import ArtifactError
+from repro.hardware.gpus import GPU_KEYS, GpuSpec
 from repro.models.zoo import TEST_MODELS, TRAIN_MODELS
 from repro.obs.metrics import MetricsRegistry
 from repro.profiling.profiler import Profiler
@@ -49,6 +52,10 @@ EVAL_SEED = "evaluation"
 
 #: Environment variable overriding the default workspace directory.
 WORKSPACE_ENV = "REPRO_WORKSPACE"
+
+#: File (inside the workspace directory) recording admitted GPU specs so
+#: spec-only GPUs survive process restarts.
+ADMITTED_GPUS_FILE = "admitted_gpus.json"
 
 
 def default_workspace_dir() -> Path:
@@ -184,6 +191,7 @@ class Workspace:
         n_iterations: int = CANONICAL_ITERATIONS,
         placement: str = "single-host",
         jobs: Optional[int] = None,
+        backend: str = "per_gpu",
     ) -> FittedCeer:
         """The canonical fitted Ceer estimator for this configuration.
 
@@ -192,7 +200,10 @@ class Workspace:
         diagnostics and re-binds the profile dataset on load. ``jobs``
         parallelizes both the profiling sweep and the regression/comm
         fits; it is deliberately *not* part of the artifact spec — the
-        fitted bytes are identical at any job count.
+        fitted bytes are identical at any job count. ``backend`` selects
+        the op-model backend (``"per_gpu"`` or ``"transfer"``); the key
+        is added to the spec only off the default, so every pre-existing
+        per-GPU artifact keeps its address.
         """
         train_profiles = self.training_profiles(n_iterations, jobs=jobs)
         spec: Dict[str, object] = {
@@ -204,6 +215,8 @@ class Workspace:
             "placement": placement,
             "gpu_counts": [1, 2, 3, 4],
         }
+        if backend != "per_gpu":
+            spec["backend"] = backend
 
         def compute() -> FittedCeer:
             return fit_ceer(
@@ -211,6 +224,7 @@ class Workspace:
                 train_profiles=train_profiles,
                 placement=placement,
                 jobs=jobs,
+                backend=backend,
             )
 
         return self.store.get_or_create(
@@ -259,6 +273,78 @@ class Workspace:
             kinds.MEASUREMENT, spec, compute,
             kinds.encode_measurement, kinds.decode_measurement,
         )
+
+    # -- admitted GPUs --------------------------------------------------
+    @property
+    def admitted_gpus_path(self) -> Path:
+        return self.directory / ADMITTED_GPUS_FILE
+
+    def admit_gpu(
+        self, spec: GpuSpec, usd_per_hr: float, max_gpus: int = 8
+    ) -> None:
+        """Admit a spec-only GPU into the catalogue and persist it here.
+
+        Registers the spec with :mod:`repro.cloud.catalog` for this
+        process and records it (atomically) in ``admitted_gpus.json`` so
+        a later process pointed at the same workspace can re-admit it via
+        :meth:`load_admitted_gpus`. Re-admitting an existing key replaces
+        its record.
+        """
+        from repro.cloud.catalog import admit_gpu as catalog_admit
+
+        catalog_admit(spec, usd_per_hr=usd_per_hr, max_gpus=max_gpus)
+        entries = {
+            entry["spec"]["key"]: entry for entry in self._read_admitted()
+        }
+        entries[spec.key] = {
+            "spec": asdict(spec),
+            "usd_per_hr": usd_per_hr,
+            "max_gpus": max_gpus,
+        }
+        doc = {
+            "version": 1,
+            "gpus": [entries[key] for key in sorted(entries)],
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(
+            self.admitted_gpus_path,
+            json.dumps(doc, indent=2, sort_keys=True).encode("utf-8"),
+        )
+
+    def load_admitted_gpus(self) -> Tuple[str, ...]:
+        """Re-admit every GPU recorded in this workspace; returns their keys.
+
+        Missing file means no admitted GPUs (returns ``()``); a corrupt
+        file raises :class:`~repro.errors.ArtifactError` rather than
+        silently dropping catalogue entries.
+        """
+        from repro.cloud.catalog import admit_gpu as catalog_admit
+
+        keys: List[str] = []
+        for entry in self._read_admitted():
+            spec = GpuSpec(**entry["spec"])
+            catalog_admit(
+                spec,
+                usd_per_hr=float(entry["usd_per_hr"]),
+                max_gpus=int(entry["max_gpus"]),
+            )
+            keys.append(spec.key)
+        return tuple(keys)
+
+    def _read_admitted(self) -> List[Dict[str, object]]:
+        path = self.admitted_gpus_path
+        if not path.exists():
+            return []
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            gpus = doc["gpus"]
+            if not isinstance(gpus, list):
+                raise TypeError("'gpus' is not a list")
+            return gpus
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ArtifactError(
+                f"corrupt admitted-GPU record at {path}: {exc}"
+            ) from exc
 
     # -- rendered figures ----------------------------------------------
     def figure(

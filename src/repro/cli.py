@@ -112,6 +112,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--placement", default="single-host",
                      choices=("single-host", "multi-host"),
                      help="GPU topology the comm model is trained for")
+    fit.add_argument("--backend", default="per_gpu",
+                     choices=("per_gpu", "transfer"),
+                     help="op-model backend: per-GPU fits (paper-faithful "
+                          "default) or pooled cross-hardware transfer fits "
+                          "that extrapolate to spec-only GPUs")
     fit.add_argument("--no-warm-test-profiles", action="store_true",
                      help="skip pre-profiling the held-out test CNNs "
                           "(figures needing them will profile later)")
@@ -122,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
     add_workspace_arg(fit)
 
     def add_workload_args(p):
+        p.add_argument("--workspace",
+                       help="artifact workspace directory whose admitted "
+                            "spec-only GPUs join the catalog (default: "
+                            "$REPRO_WORKSPACE or ~/.cache/repro/workspace)")
         p.add_argument("--model", help="zoo model name")
         p.add_argument("--graph", help="path to a serialized op-graph JSON")
         p.add_argument("--samples", type=int, default=1_200_000,
@@ -176,7 +185,22 @@ def _build_parser() -> argparse.ArgumentParser:
     catalog_list.add_argument("--gpu",
                               help="filter by GPU model (V100/K80/T4/M60) "
                                    "or family (P3/P2/G4/G3)")
-    _add_obs_args(catalog_list, suppress=True)
+    add_workspace_arg(catalog_list)
+    catalog_admit = catalog_sub.add_parser(
+        "admit", help="admit a never-profiled GPU into the catalog from "
+                      "a spec JSON (predict with a transfer-backend "
+                      "estimator)"
+    )
+    catalog_admit.add_argument("--spec", required=True, metavar="PATH",
+                               help="JSON file with the GpuSpec fields "
+                                    "(key, family, marketing_name, "
+                                    "cuda_cores, ... comm_us_per_mparam)")
+    catalog_admit.add_argument("--usd-per-hr", type=float, required=True,
+                               help="On-Demand price of the 1-GPU instance")
+    catalog_admit.add_argument("--max-gpus", type=int, default=8,
+                               help="largest instance size to admit "
+                                    "(default: 8)")
+    add_workspace_arg(catalog_admit)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("names", nargs="+",
@@ -239,6 +263,16 @@ def _resolve_workspace(args) -> Workspace:
     return workspace
 
 
+def _load_admitted(args) -> Sequence[str]:
+    """Re-admit the workspace's spec-only GPUs before a workload command.
+
+    Reads the resolved workspace's ``admitted_gpus.json`` (if any) so
+    ``predict --gpu <admitted>`` and catalog sweeps see the same extended
+    catalog as the ``catalog admit`` process that recorded it.
+    """
+    return _resolve_workspace(args).load_admitted_gpus()
+
+
 def _resolve_model(args):
     if args.graph:
         return load_graph(args.graph)
@@ -296,7 +330,8 @@ def _cmd_models(args, out) -> int:
 def _cmd_fit(args, out) -> int:
     workspace = _resolve_workspace(args)
     fitted = workspace.fitted_ceer(
-        args.iterations, placement=args.placement, jobs=args.jobs
+        args.iterations, placement=args.placement, jobs=args.jobs,
+        backend=args.backend,
     )
     if not args.no_warm_test_profiles:
         # Pre-profile the held-out CNNs so a later ``repro figures`` process
@@ -314,6 +349,7 @@ def _load(path: str) -> CeerEstimator:
 
 
 def _cmd_predict(args, out) -> int:
+    _load_admitted(args)
     estimator = _load(args.estimator)
     model = _resolve_model(args)
     job = _resolve_job(args)
@@ -328,14 +364,23 @@ def _cmd_predict(args, out) -> int:
     print(f"  per-iteration: {us_to_ms(prediction.per_iteration_us):.2f} ms "
           f"(compute {us_to_ms(prediction.compute_us_per_iteration):.2f} ms + "
           f"sync {us_to_ms(prediction.comm_overhead_us):.2f} ms)", file=out)
-    print(f"  training time: {prediction.total_hours:.2f} h over "
+    time_band_hr = (
+        f" (± {prediction.total_std_hours:.2f} h)"
+        if prediction.compute_std_us > 0 else ""
+    )
+    cost_band_usd = (
+        f" (± ${prediction.cost_std_dollars:.2f})"
+        if prediction.compute_std_us > 0 else ""
+    )
+    print(f"  training time: {prediction.total_hours:.2f} h{time_band_hr} over "
           f"{prediction.iterations:.0f} iterations", file=out)
-    print(f"  training cost: ${prediction.cost_dollars:.2f} at "
+    print(f"  training cost: ${prediction.cost_dollars:.2f}{cost_band_usd} at "
           f"${prediction.usd_per_hr:.3f}/hr", file=out)
     return 0
 
 
 def _cmd_recommend(args, out) -> int:
+    _load_admitted(args)
     estimator = _load(args.estimator)
     model = _resolve_model(args)
     job = _resolve_job(args)
@@ -360,6 +405,7 @@ def _parse_batches(spec: str):
 def _cmd_tradeoff(args, out) -> int:
     from repro.core.pareto import analyze_tradeoff
 
+    _load_admitted(args)
     estimator = _load(args.estimator)
     model = _resolve_model(args)
     job = _resolve_job(args)
@@ -368,12 +414,24 @@ def _cmd_tradeoff(args, out) -> int:
         raise ReproError("--batches requires --full-catalog")
     if args.full_catalog:
         from repro.analysis.reporting import format_dollars, format_us
+        from repro.cloud.catalog import admitted_gpu_keys
         from repro.core.batch import SweepPlan, evaluate_sweep
+        from repro.hardware.gpus import GPU_KEYS
 
         batches = (
             _parse_batches(args.batches) if args.batches else (args.batch,)
         )
-        plan = SweepPlan.full_catalog(batch_sizes=batches, pricings=(pricing,))
+        # Admitted spec-only GPUs join the sweep when the estimator can
+        # synthesize models for them (transfer backend); a per-GPU
+        # estimator silently sweeps the built-in four as before.
+        extra = [
+            key for key in admitted_gpu_keys()
+            if estimator.compute_models.supports_gpu(key)
+        ]
+        plan = SweepPlan.full_catalog(
+            batch_sizes=batches, pricings=(pricing,),
+            gpu_keys=tuple(GPU_KEYS) + tuple(extra) if extra else None,
+        )
         result = evaluate_sweep(estimator, model, job, plan)
         frontier = result.frontier()
         rows = [
@@ -407,27 +465,37 @@ def _cmd_tradeoff(args, out) -> int:
 
 
 def _cmd_catalog(args, out) -> int:
+    if args.catalog_command == "admit":
+        return _cmd_catalog_admit(args, out)
     from repro.cloud.catalog import (
-        AWS_INSTANCES,
         PAPER_INSTANCES,
+        admitted_gpu_keys,
+        all_instances,
         candidate_instances,
     )
+    from repro.errors import CatalogError
     from repro.hardware.gpus import gpu_spec
 
+    _load_admitted(args)
     gpu_filter = gpu_spec(args.gpu).key if args.gpu else None
     paper_names = {inst.name for inst in PAPER_INSTANCES}
+    admitted = set(admitted_gpu_keys())
     rows = []
-    for inst in sorted(AWS_INSTANCES, key=lambda i: (i.gpu_key, i.num_gpus, i.usd_per_hr)):
+    for inst in sorted(all_instances(), key=lambda i: (i.gpu_key, i.num_gpus, i.usd_per_hr)):
         if gpu_filter is not None and inst.gpu_key != gpu_filter:
             continue
-        spot_inst = SPOT.instance(inst.gpu_key, inst.num_gpus)
+        try:
+            spot_hr = f"${SPOT.instance(inst.gpu_key, inst.num_gpus).usd_per_hr:.3f}"
+        except CatalogError:
+            spot_hr = "-"  # admitted GPUs have no spot-ratio snapshot
         rows.append(
             [
                 inst.name, f"{inst.num_gpus}x {inst.gpu_key}", inst.family,
                 f"${inst.usd_per_hr:.3f}",
                 f"${inst.usd_per_hr / inst.num_gpus:.3f}",
-                f"${spot_inst.usd_per_hr:.3f}",
-                "paper" if inst.name in paper_names else "",
+                spot_hr,
+                "admitted" if inst.gpu_key in admitted
+                else "paper" if inst.name in paper_names else "",
             ]
         )
     if not rows:
@@ -446,6 +514,46 @@ def _cmd_catalog(args, out) -> int:
         f"\n{len(rows)} instance type(s); a full sweep prices {n_configs} "
         f"(GPU model, count) configurations per pricing tier "
         f"(spot rate shown for the instance's cheapest exact/proxy host)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_catalog_admit(args, out) -> int:
+    import json
+    from dataclasses import fields
+    from pathlib import Path
+
+    from repro.hardware.gpus import GpuSpec
+
+    try:
+        data = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ReproError(f"cannot read GPU spec {args.spec!r}: {exc}")
+    except ValueError as exc:
+        raise ReproError(f"GPU spec {args.spec!r} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ReproError(f"GPU spec {args.spec!r} must be a JSON object")
+    expected = {f.name for f in fields(GpuSpec)}
+    missing = sorted(expected - set(data))
+    extra = sorted(set(data) - expected)
+    if missing or extra:
+        raise ReproError(
+            f"GPU spec {args.spec!r} has wrong fields: "
+            f"missing {missing or 'none'}, unexpected {extra or 'none'}"
+        )
+    spec = GpuSpec(**data)
+    workspace = _resolve_workspace(args)
+    workspace.load_admitted_gpus()
+    workspace.admit_gpu(spec, usd_per_hr=args.usd_per_hr, max_gpus=args.max_gpus)
+    print(
+        f"admitted {spec.key} ({spec.marketing_name}) at "
+        f"${args.usd_per_hr:.3f}/hr per GPU, up to {args.max_gpus} GPUs",
+        file=out,
+    )
+    print(
+        f"recorded in {workspace.admitted_gpus_path}; predict with a "
+        f"transfer-backend estimator: repro predict --gpu {spec.key} ...",
         file=out,
     )
     return 0

@@ -23,7 +23,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CatalogError
-from repro.hardware.gpus import GPU_SPECS, gpu_spec
+from repro.hardware.gpus import (
+    GPU_SPECS,
+    GpuSpec,
+    gpu_spec,
+    register_gpu_spec,
+    unregister_gpu_spec,
+)
 from repro.units import usd_per_hr_to_usd_per_us
 
 
@@ -92,15 +98,85 @@ AWS_INSTANCES: Tuple[InstanceType, ...] = PAPER_INSTANCES + EXTENDED_INSTANCES
 
 _BY_NAME: Dict[str, InstanceType] = {inst.name: inst for inst in AWS_INSTANCES}
 
+#: Instances admitted at runtime from a GPU spec sheet (``catalog admit``),
+#: keyed by instance name. Admitted GPUs were never profiled: only a
+#: transfer-backend estimator can price them, and only On-Demand rates
+#: exist (the spot/market tables cover the four paper GPUs).
+_ADMITTED_INSTANCES: Dict[str, InstanceType] = {}
+
+
+def all_instances() -> Tuple[InstanceType, ...]:
+    """The current rentable menu: built-in AWS sizes plus admitted ones."""
+    return AWS_INSTANCES + tuple(_ADMITTED_INSTANCES.values())
+
+
+def admitted_gpu_keys() -> Tuple[str, ...]:
+    """GPU keys currently admitted at runtime, sorted."""
+    return tuple(sorted({inst.gpu_key for inst in _ADMITTED_INSTANCES.values()}))
+
+
+def admit_gpu(
+    spec: GpuSpec, usd_per_hr: float, max_gpus: int = 8
+) -> Tuple[InstanceType, ...]:
+    """Admit a never-profiled GPU to the catalog from its spec sheet.
+
+    Registers the spec with the hardware registry and creates two
+    synthetic instance sizes — ``<key>.admitted`` (1 GPU at
+    ``usd_per_hr``) and, when ``max_gpus > 1``, ``<key>.admitted-<n>x``
+    (``max_gpus`` GPUs at the linear per-GPU rate). Intermediate counts
+    resolve through the paper's proxy proration rule like any other
+    family. Re-admitting a key replaces its instances.
+    """
+    if usd_per_hr <= 0:
+        raise CatalogError(f"usd_per_hr must be positive, got {usd_per_hr}")
+    if max_gpus < 1:
+        raise CatalogError(f"max_gpus must be >= 1, got {max_gpus}")
+    register_gpu_spec(spec)
+    base = InstanceType(
+        name=f"{spec.key.lower()}.admitted",
+        gpu_key=spec.key,
+        num_gpus=1,
+        usd_per_hr=usd_per_hr,
+    )
+    created = [base]
+    if max_gpus > 1:
+        created.append(
+            InstanceType(
+                name=f"{spec.key.lower()}.admitted-{max_gpus}x",
+                gpu_key=spec.key,
+                num_gpus=max_gpus,
+                usd_per_hr=usd_per_hr * max_gpus,
+            )
+        )
+    for name in [n for n, i in _ADMITTED_INSTANCES.items() if i.gpu_key == spec.key]:
+        del _ADMITTED_INSTANCES[name]
+    for inst in created:
+        _ADMITTED_INSTANCES[inst.name] = inst
+    return tuple(created)
+
+
+def clear_admitted(gpu_key: Optional[str] = None) -> None:
+    """Withdraw admitted GPUs (all of them, or one key) and their instances."""
+    keys = admitted_gpu_keys() if gpu_key is None else (gpu_key,)
+    for key in keys:
+        for name in [n for n, i in _ADMITTED_INSTANCES.items() if i.gpu_key == key]:
+            del _ADMITTED_INSTANCES[name]
+        unregister_gpu_spec(key)
+
 
 def instance_by_name(name: str) -> InstanceType:
-    """Look up a real AWS instance by its type name."""
+    """Look up a real (or admitted) instance by its type name."""
     try:
         return _BY_NAME[name]
     except KeyError:
+        pass
+    try:
+        return _ADMITTED_INSTANCES[name]
+    except KeyError:
         raise CatalogError(
-            f"unknown instance type {name!r}; known: {sorted(_BY_NAME)}"
-        )
+            f"unknown instance type {name!r}; known: "
+            f"{sorted(_BY_NAME) + sorted(_ADMITTED_INSTANCES)}"
+        ) from None
 
 
 def instance_for(gpu_key: str, num_gpus: int) -> InstanceType:
@@ -114,7 +190,7 @@ def instance_for(gpu_key: str, num_gpus: int) -> InstanceType:
     key = gpu_spec(gpu_key).key  # normalise family names like "P3"
     if num_gpus < 1:
         raise CatalogError(f"num_gpus must be >= 1, got {num_gpus}")
-    candidates = [inst for inst in AWS_INSTANCES if inst.gpu_key == key]
+    candidates = [inst for inst in all_instances() if inst.gpu_key == key]
     exact = [inst for inst in candidates if inst.num_gpus == num_gpus]
     if exact:
         return min(exact, key=lambda inst: inst.usd_per_hr)
@@ -138,7 +214,7 @@ def instance_for(gpu_key: str, num_gpus: int) -> InstanceType:
 def max_gpus_for(gpu_key: str) -> int:
     """Largest GPU count of any catalog instance carrying ``gpu_key``."""
     key = gpu_spec(gpu_key).key
-    counts = [inst.num_gpus for inst in AWS_INSTANCES if inst.gpu_key == key]
+    counts = [inst.num_gpus for inst in all_instances() if inst.gpu_key == key]
     if not counts:
         raise CatalogError(f"no catalog instance carries GPU {key!r}")
     return max(counts)
@@ -151,9 +227,10 @@ def candidate_instances(max_gpus: Optional[int] = None) -> List[InstanceType]:
     largest count any catalog instance offers for it — 8 V100s, 16 K80s —
     so the grown catalog is never silently truncated. Pass an explicit
     ``max_gpus`` to reproduce the paper's bounded grids (e.g. ``4``).
+    Runtime-admitted GPUs sweep after the built-ins.
     """
     out: List[InstanceType] = []
-    for key in GPU_SPECS:
+    for key in list(GPU_SPECS) + list(admitted_gpu_keys()):
         top = max_gpus_for(key) if max_gpus is None else max_gpus
         for k in range(1, top + 1):
             out.append(instance_for(key, k))

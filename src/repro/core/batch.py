@@ -180,7 +180,7 @@ class StackedOpModels:
         intercepts_us = np.zeros(len(gpu_keys))  # axes: (G)
         clip_us = np.full(len(gpu_keys), np.inf)  # axes: (G)
         for g, gpu_key in enumerate(gpu_keys):
-            op_model = self.models.heavy_models.get((gpu_key, op_type))
+            op_model = self.models.heavy_model(gpu_key, op_type)
             if op_model is None:
                 raise UnseenOperationError(op_type, gpu_key)
             regression = op_model.regression
@@ -274,16 +274,20 @@ class SweepPlan:
         cls,
         batch_sizes: Sequence[int] = DEFAULT_SWEEP_BATCH_SIZES,
         pricings: Sequence[PricingScheme] = DEFAULT_SWEEP_PRICINGS,
+        gpu_keys: Optional[Sequence[str]] = None,
     ) -> "SweepPlan":
         """Every configuration the grown catalog can price.
 
         GPU counts run to the largest any catalog instance offers (16
         K80s); counts a given GPU model cannot reach are masked in the
         result. With the defaults this is 1000+ priceable candidates.
+        ``gpu_keys`` widens (or narrows) the GPU axis — e.g. to include
+        runtime-admitted, spec-only GPUs under the transfer backend.
         """
-        top = max(max_gpus_for(key) for key in GPU_KEYS)
+        keys = GPU_KEYS if gpu_keys is None else tuple(gpu_keys)
+        top = max(max_gpus_for(key) for key in keys)
         return cls(
-            gpu_keys=GPU_KEYS,
+            gpu_keys=keys,
             gpu_counts=tuple(range(1, top + 1)),
             batch_sizes=tuple(batch_sizes),
             pricings=tuple(pricings),
@@ -319,6 +323,10 @@ class SweepResult:
     cost_usd: np.ndarray  # axes: (P, G, K, B) nan
     instances: Tuple[Tuple[Tuple[Optional[InstanceType], ...], ...], ...]
     epochs: int = 1
+    #: Graph-level 1-sigma compute uncertainty per iteration (transfer
+    #: backend; 0 under per-GPU fits). Batch- and device-independent —
+    #: heavy-op *counts* do not vary across the swept axes.
+    compute_std_us: float = 0.0
     _dataset_name: str = field(default="", repr=False)
 
     def valid(self, p: int, g: int, k: int) -> bool:
@@ -361,6 +369,7 @@ class SweepResult:
             comm_overhead_us=float(self.comm_us[g, k]),
             iterations=float(self.iterations[k, b]),
             batch_size=self.plan.batch_sizes[b],
+            compute_std_us=self.compute_std_us,
         )
 
     def predictions(
@@ -553,6 +562,9 @@ def evaluate_sweep(
         cost_usd=cost_usd,
         instances=instances,
         epochs=job.epochs,
+        compute_std_us=estimator.compute_models.compiled_std_us(
+            {t: x.shape[0] for t, x in compiled[0].heavy_features.items()}
+        ),
         _dataset_name=job.dataset.name,
     )
     registry = default_registry()

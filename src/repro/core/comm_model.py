@@ -163,6 +163,23 @@ class CommunicationModel:
             # roughly linearly with GPU count past the fitted range.
             fitted_ks = sorted(k for g, k in self.models if g == gpu_key)
             if not fitted_ks:
+                from repro.hardware.gpus import gpu_spec, is_runtime_gpu
+
+                if is_runtime_gpu(gpu_key):
+                    # Spec prior for runtime-admitted (never-profiled)
+                    # GPUs: the admitted GpuSpec carries its own
+                    # synchronisation coefficients; the count-growth
+                    # factors are the documented single-host topology
+                    # law shared with the simulator. Built-in GPUs keep
+                    # the fitted-or-error semantics unchanged.
+                    from repro.sim.dataparallel import h_factor, k_factor
+
+                    spec = gpu_spec(gpu_key)
+                    return float(
+                        spec.comm_base_us * h_factor(num_gpus)
+                        + spec.comm_us_per_mparam * k_factor(num_gpus)
+                        * (num_parameters / 1e6)
+                    )
                 raise ModelingError(
                     f"no communication model for GPU {gpu_key!r}; "
                     f"fit with observations for this GPU first"

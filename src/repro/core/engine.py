@@ -154,7 +154,7 @@ def evaluate_compiled_us(
         raise UnseenOperationError(compiled.unseen_types[0], gpu_key)
     total = 0.0
     for op_type, x in compiled.heavy_features.items():
-        model = models.heavy_models.get((gpu_key, op_type))
+        model = models.heavy_model(gpu_key, op_type)
         if model is None:
             raise UnseenOperationError(op_type, gpu_key)
         total += float(model.regression.predict_batch(x).sum())

@@ -48,6 +48,10 @@ class TrainingPrediction:
     #: Per-GPU batch size the prediction was computed at; None for legacy
     #: call sites that predate batch-axis sweeps.
     batch_size: Optional[int] = None
+    #: 1-sigma uncertainty of the per-iteration compute term, from the
+    #: transfer backend's per-op residual stds (0 under per-GPU fits,
+    #: which carry no uncertainty estimate).
+    compute_std_us: float = 0.0
 
     @property
     def per_iteration_us(self) -> float:
@@ -64,6 +68,21 @@ class TrainingPrediction:
     @property
     def cost_dollars(self) -> float:
         return usd_per_hr_to_usd(self.usd_per_hr, self.total_hours)
+
+    # -- uncertainty bands (transfer backend) ---------------------------
+    @property
+    def total_std_us(self) -> float:
+        """1-sigma band on total training time (iterations scale sigma)."""
+        return self.compute_std_us * self.iterations
+
+    @property
+    def total_std_hours(self) -> float:
+        return us_to_hr(self.total_std_us)
+
+    @property
+    def cost_std_dollars(self) -> float:
+        """1-sigma band on training cost at the predicted instance rate."""
+        return usd_per_hr_to_usd(self.usd_per_hr, self.total_std_hours)
 
 
 class CeerEstimator:
@@ -156,6 +175,24 @@ class CeerEstimator:
             graph, gpu_key, heavy_only=self.heavy_only
         )
 
+    def compute_std_us(self, graph: OpGraph) -> float:
+        """Graph-level 1-sigma compute uncertainty (0 for per-GPU fits).
+
+        Guarded so the per-GPU backend never pays a graph walk: only the
+        transfer backend populates ``heavy_std_us``.
+        """
+        if not self.compute_models.heavy_std_us:
+            return 0.0
+        if self.use_engine:
+            compiled = self.engine.compile(graph, graph.batch_size)
+        else:
+            from repro.core.engine import compile_graph
+
+            compiled = compile_graph(graph, self.compute_models)
+        return self.compute_models.compiled_std_us(
+            {t: x.shape[0] for t, x in compiled.heavy_features.items()}
+        )
+
     def predict_iteration_us(
         self, model: Union[str, OpGraph], gpu_key: str, num_gpus: int = 1,
         batch_size: int = 32,
@@ -214,4 +251,5 @@ class CeerEstimator:
             comm_overhead_us=comm,
             iterations=job.iterations(num_gpus),
             batch_size=job.batch_size,
+            compute_std_us=self.compute_std_us(graph),
         )

@@ -40,6 +40,14 @@ class CeerDiagnostics:
     cpu_median_us: float
     heavy_r2: Dict[Tuple[str, str], float] = field(default_factory=dict)
     comm_r2: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    #: Which op-model backend produced the heavy fits.
+    backend: str = "per_gpu"
+    #: (gpu, op type) cells that fell back to the proportional model for
+    #: want of samples (gpu = "pooled" under the transfer backend).
+    proportional_fallbacks: Tuple[Tuple[str, str], ...] = ()
+    #: Per-op-type residual std of the pooled transfer fits (empty for
+    #: the per-GPU backend).
+    transfer_std_us: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         r2_values = sorted(self.heavy_r2.values())
@@ -51,10 +59,20 @@ class CeerDiagnostics:
             f"  light median: {self.light_median_us:.1f} us   "
             f"cpu median: {self.cpu_median_us:.1f} us",
         ]
+        if self.backend != "per_gpu":
+            lines.append(f"  op-model backend: {self.backend}")
         if r2_values:
             lines.append(
                 f"  heavy-op regression R^2: min {r2_values[0]:.3f} / "
                 f"median {r2_values[len(r2_values) // 2]:.3f} / max {r2_values[-1]:.3f}"
+            )
+        if self.proportional_fallbacks:
+            cells = ", ".join(
+                f"{gpu}/{op}" for gpu, op in self.proportional_fallbacks
+            )
+            lines.append(
+                f"  proportional fallbacks ({len(self.proportional_fallbacks)} "
+                f"cells with < p+2 samples): {cells}"
             )
         if self.comm_r2:
             comm = sorted(self.comm_r2.values())
@@ -86,6 +104,7 @@ def fit_ceer(
     seed_context: str = "",
     placement: str = "single-host",
     jobs: Optional[int] = None,
+    backend: str = "per_gpu",
 ) -> FittedCeer:
     """Fit Ceer from scratch (or from pre-collected ``train_profiles``).
 
@@ -109,6 +128,10 @@ def fit_ceer(
             communication measurements, and per-(GPU, k) communication
             fits out to this many worker processes (None = serial). The
             fitted estimator is identical either way.
+        backend: how heavy-op models are fitted — ``"per_gpu"`` (the
+            paper's one regression per (GPU, op type)) or ``"transfer"``
+            (one pooled fit per op type on size x device features, able
+            to price spec-only GPUs with uncertainty bands).
 
     Returns:
         A :class:`FittedCeer` with the estimator, profiles, and diagnostics.
@@ -120,7 +143,7 @@ def fit_ceer(
         )
     with span(
         "fit.ceer", models=len(train_models), gpus=len(gpu_keys),
-        iterations=n_iterations, placement=placement,
+        iterations=n_iterations, placement=placement, backend=backend,
     ):
         classification = classify_operations(
             train_profiles, threshold_us=threshold_us, reference_gpu=reference_gpu
@@ -128,7 +151,7 @@ def fit_ceer(
         with span("fit.compute_models"):
             compute_models = fit_compute_models(
                 train_profiles, classification, strict_unseen=strict_unseen,
-                jobs=jobs,
+                jobs=jobs, backend=backend,
             )
         with span("fit.comm_model"):
             observations = collect_comm_observations(
@@ -138,11 +161,15 @@ def fit_ceer(
             )
             comm_model = fit_comm_model(observations, jobs=jobs)
     estimator = CeerEstimator(compute_models, comm_model)
+    if compute_models.heavy_models:
+        fitted_gpu_keys = tuple(sorted({g for g, _ in compute_models.heavy_models}))
+    elif compute_models.transfer is not None:
+        fitted_gpu_keys = tuple(compute_models.transfer.train_gpu_keys)
+    else:
+        fitted_gpu_keys = tuple(gpu_keys)
     diagnostics = CeerDiagnostics(
         train_models=tuple(train_models),
-        gpu_keys=tuple(compute_models.heavy_models and sorted(
-            {g for g, _ in compute_models.heavy_models}
-        ) or gpu_keys),
+        gpu_keys=fitted_gpu_keys,
         n_profile_records=len(train_profiles),
         heavy_op_types=tuple(sorted(classification.heavy)),
         light_op_types=tuple(sorted(classification.light)),
@@ -151,6 +178,9 @@ def fit_ceer(
         cpu_median_us=compute_models.cpu_median_us,
         heavy_r2=dict(compute_models.train_r2),
         comm_r2=dict(comm_model.r2),
+        backend=compute_models.backend,
+        proportional_fallbacks=compute_models.proportional_fallbacks,
+        transfer_std_us=dict(compute_models.heavy_std_us),
     )
     return FittedCeer(
         estimator=estimator,

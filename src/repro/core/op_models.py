@@ -15,18 +15,22 @@ avoid the unfair impact of possible outliers" — reproduced verbatim.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ModelingError, UnseenOperationError
+from repro.errors import HardwareError, ModelingError, UnseenOperationError
 from repro.graph.graph import OpGraph
 from repro.graph.ops import Device, Operation
 from repro.profiling.features import feature_schema, features_for
 from repro.profiling.records import ProfileDataset
 from repro.core.classify import CPU, HEAVY, LIGHT, OpClassification
 from repro.core.regression import RegressionModel, fit_proportional, fit_regression
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.transfer import TransferModelSet
 
 
 @dataclass(frozen=True)
@@ -47,13 +51,25 @@ class ComputeTimeModels:
 
     Attributes:
         classification: the heavy/light/CPU partition.
-        heavy_models: (gpu_key, op_type) -> :class:`HeavyOpModel`.
+        heavy_models: (gpu_key, op_type) -> :class:`HeavyOpModel` — the
+            per-GPU backend's fits; empty under the transfer backend,
+            where per-device models are synthesized on demand (see
+            :meth:`heavy_model`).
         light_median_us: the paper's ``t~_l``.
         cpu_median_us: the paper's ``t~_c``.
         strict_unseen: when True, predicting an unclassified GPU op type
             raises :class:`UnseenOperationError` (the paper's stated
             limitation); when False, unseen types fall back to the light
             median — the paper's policy for unseen *light/CPU* ops.
+        backend: which :class:`OpModelBackend` produced the heavy fits
+            (``"per_gpu"`` or ``"transfer"``).
+        transfer: the pooled cross-GPU fits (transfer backend only).
+        heavy_std_us: per-op-type residual std of the pooled fits —
+            the raw material of prediction uncertainty bands (empty for
+            the per-GPU backend, which offers no uncertainty estimate).
+        proportional_fallbacks: (gpu, op type) cells whose heavy fit fell
+            back to the proportional model for want of samples; under the
+            transfer backend the gpu component is ``"pooled"``.
     """
 
     classification: OpClassification
@@ -62,7 +78,80 @@ class ComputeTimeModels:
     cpu_median_us: float
     strict_unseen: bool = False
     #: Per-(gpu, op type) training R² values (diagnostics; paper: 0.84-0.98).
+    #: The transfer backend keys its pooled fits as ("pooled", op_type).
     train_r2: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    backend: str = "per_gpu"
+    transfer: Optional["TransferModelSet"] = None
+    heavy_std_us: Dict[str, float] = field(default_factory=dict)
+    proportional_fallbacks: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Per-device models synthesized from the transfer fits, cached so
+        # a sweep collapses each (gpu, op type) exactly once.
+        self._synthesized: Dict[Tuple[str, str], HeavyOpModel] = {}
+
+    # ------------------------------------------------------------------
+    def heavy_model(self, gpu_key: str, op_type: str) -> Optional[HeavyOpModel]:
+        """The heavy-op model for one (GPU, op type), whatever the backend.
+
+        Per-GPU fits are returned directly; under the transfer backend a
+        per-device regression is synthesized (and cached) by collapsing
+        the pooled fit onto the GPU's spec features. Returns None when
+        neither backend can price the cell — callers keep the existing
+        unseen-op semantics.
+        """
+        model = self.heavy_models.get((gpu_key, op_type))
+        if model is not None or self.transfer is None:
+            return model
+        cached = self._synthesized.get((gpu_key, op_type))
+        if cached is not None:
+            return cached
+        try:
+            regression = self.transfer.collapse(gpu_key, op_type)
+        except HardwareError:
+            return None
+        if regression is None:
+            return None
+        synthesized = HeavyOpModel(gpu_key, op_type, regression)
+        self._synthesized[(gpu_key, op_type)] = synthesized
+        from repro.obs.metrics import default_registry
+
+        default_registry().counter("transfer.synthesized").inc()
+        return synthesized
+
+    def supports_gpu(self, gpu_key: str) -> bool:
+        """Can this model set price ``gpu_key`` at all?
+
+        Per-GPU fits support exactly the profiled GPUs; the transfer
+        backend supports any GPU with a resolvable spec (including
+        runtime-admitted, never-profiled devices).
+        """
+        if any(g == gpu_key for g, _ in self.heavy_models):
+            return True
+        if self.transfer is None:
+            return False
+        from repro.hardware.gpus import gpu_spec
+
+        try:
+            gpu_spec(gpu_key)
+        except HardwareError:
+            return False
+        return True
+
+    def compiled_std_us(self, heavy_counts: Mapping[str, int]) -> float:
+        """Graph-level 1-sigma compute uncertainty from per-op residuals.
+
+        Independent per-op residuals sum in variance: ``sqrt(sum_t n_t *
+        sigma_t^2)`` over heavy op types. Device- and batch-independent
+        (op *counts* do not change with batch size), zero when the
+        backend carries no uncertainty (per-GPU fits).
+        """
+        if not self.heavy_std_us:
+            return 0.0
+        variance = 0.0
+        for op_type, count in heavy_counts.items():
+            variance += count * self.heavy_std_us.get(op_type, 0.0) ** 2
+        return math.sqrt(variance)
 
     # ------------------------------------------------------------------
     def predict_op_us(self, op: Operation, gpu_key: str) -> float:
@@ -78,7 +167,7 @@ class ComputeTimeModels:
             return self.cpu_median_us
         if kind == LIGHT:
             return self.light_median_us
-        model = self.heavy_models.get((gpu_key, op.op_type))
+        model = self.heavy_model(gpu_key, op.op_type)
         if model is None:
             raise UnseenOperationError(op.op_type, gpu_key)
         return model.predict_us(features_for(op))
@@ -122,7 +211,7 @@ class ComputeTimeModels:
                 continue
             kind = self.classification.kind(op.op_type)
             if kind == HEAVY:
-                model = self.heavy_models.get((gpu_key, op.op_type))
+                model = self.heavy_model(gpu_key, op.op_type)
                 if model is None:
                     raise UnseenOperationError(op.op_type, gpu_key)
                 total += model.predict_us(features_for(op))
@@ -158,6 +247,154 @@ def fit_heavy_regression(
     return fit_proportional(x, y, schema)
 
 
+@dataclass(frozen=True)
+class BackendFit:
+    """What an :class:`OpModelBackend` produces: the heavy-op side of a
+    :class:`ComputeTimeModels` (light/CPU medians are backend-agnostic)."""
+
+    heavy_models: Dict[Tuple[str, str], HeavyOpModel]
+    train_r2: Dict[Tuple[str, str], float]
+    transfer: Optional["TransferModelSet"] = None
+    heavy_std_us: Dict[str, float] = field(default_factory=dict)
+    proportional_fallbacks: Tuple[Tuple[str, str], ...] = ()
+
+
+class OpModelBackend:
+    """How heavy-op compute-time models are fitted.
+
+    Two implementations: :class:`PerGpuBackend` (the paper's one fit per
+    (GPU model, op type) — byte-identical artifacts to the pre-backend
+    code) and :class:`TransferBackend` (one pooled fit per op type on
+    size × device features, able to price GPUs from a spec sheet alone).
+    """
+
+    name: str = "abstract"
+
+    def fit_heavy(
+        self,
+        train_profiles: ProfileDataset,
+        classification: OpClassification,
+        allow_quadratic: bool = True,
+        jobs: Optional[int] = None,
+    ) -> BackendFit:
+        raise NotImplementedError
+
+
+class PerGpuBackend(OpModelBackend):
+    """The paper-faithful backend: one regression per (GPU, heavy op)."""
+
+    name = "per_gpu"
+
+    def fit_heavy(
+        self,
+        train_profiles: ProfileDataset,
+        classification: OpClassification,
+        allow_quadratic: bool = True,
+        jobs: Optional[int] = None,
+    ) -> BackendFit:
+        heavy_models: Dict[Tuple[str, str], HeavyOpModel] = {}
+        train_r2: Dict[Tuple[str, str], float] = {}
+        gpu_records = train_profiles.gpu_records()
+        cells: List[Tuple[str, str, Tuple[Tuple[float, ...], ...], Tuple[float, ...]]] = []
+        for gpu_key in gpu_records.gpu_keys():
+            per_gpu = gpu_records.for_gpu(gpu_key)
+            for op_type in classification.heavy:
+                subset = per_gpu.for_op_type(op_type)
+                if not subset:
+                    continue  # never seen on this GPU; predict_op raises later
+                cells.append((
+                    gpu_key, op_type,
+                    tuple(tuple(r.features) for r in subset),
+                    tuple(r.mean_us for r in subset),
+                ))
+        if jobs is not None and jobs != 1 and len(cells) > 1:
+            from repro.parallel import RegressionFitTask, run_fanout
+
+            tasks = [
+                RegressionFitTask(
+                    gpu_key=gpu_key, op_type=op_type, rows=rows, targets=targets,
+                    schema=feature_schema(op_type), allow_quadratic=allow_quadratic,
+                )
+                for gpu_key, op_type, rows, targets in cells
+            ]
+            regressions = [outcome.value for outcome in run_fanout(tasks, jobs=jobs)]
+        else:
+            regressions = [
+                fit_heavy_regression(
+                    rows, targets, feature_schema(op_type), allow_quadratic
+                )
+                for _, op_type, rows, targets in cells
+            ]
+        for (gpu_key, op_type, _, _), regression in zip(cells, regressions):
+            heavy_models[(gpu_key, op_type)] = HeavyOpModel(gpu_key, op_type, regression)
+            train_r2[(gpu_key, op_type)] = regression.r2
+        fallbacks = tuple(sorted(
+            (gpu_key, op_type)
+            for gpu_key, op_type, rows, _ in cells
+            if len(rows) < len(feature_schema(op_type)) + 2
+        ))
+        return BackendFit(
+            heavy_models=heavy_models,
+            train_r2=train_r2,
+            proportional_fallbacks=fallbacks,
+        )
+
+
+class TransferBackend(OpModelBackend):
+    """The cross-hardware backend: pooled fits on size × device features."""
+
+    name = "transfer"
+
+    def fit_heavy(
+        self,
+        train_profiles: ProfileDataset,
+        classification: OpClassification,
+        allow_quadratic: bool = True,
+        jobs: Optional[int] = None,
+    ) -> BackendFit:
+        from repro.core.transfer import fit_transfer_models
+
+        transfer = fit_transfer_models(
+            train_profiles, classification,
+            allow_quadratic=allow_quadratic, jobs=jobs,
+        )
+        fallbacks = tuple(
+            ("pooled", op_type)
+            for op_type in transfer.op_types()
+            if transfer.models[op_type].proportional
+        )
+        return BackendFit(
+            heavy_models={},
+            train_r2={
+                ("pooled", op_type): transfer.models[op_type].r2
+                for op_type in transfer.op_types()
+            },
+            transfer=transfer,
+            heavy_std_us=transfer.residual_std_us(),
+            proportional_fallbacks=fallbacks,
+        )
+
+
+#: The registered backends, keyed by their CLI/artifact name.
+BACKENDS: Dict[str, OpModelBackend] = {
+    "per_gpu": PerGpuBackend(),
+    "transfer": TransferBackend(),
+}
+
+
+def resolve_backend(backend: Union[str, OpModelBackend]) -> OpModelBackend:
+    """Map a backend name (or pass through an instance) to an implementation."""
+    if isinstance(backend, OpModelBackend):
+        return backend
+    try:
+        return BACKENDS[backend]
+    except KeyError:
+        raise ModelingError(
+            f"unknown op-model backend {backend!r}; "
+            f"expected one of {sorted(BACKENDS)}"
+        ) from None
+
+
 def fit_compute_models(
     train_profiles: ProfileDataset,
     classification: OpClassification,
@@ -165,19 +402,24 @@ def fit_compute_models(
     strict_unseen: bool = False,
     light_estimator: str = "median",
     jobs: Optional[int] = None,
+    backend: Union[str, OpModelBackend] = "per_gpu",
 ) -> ComputeTimeModels:
     """Fit every ``t_GPU,op`` model from training-set profiles.
 
-    One regression per (GPU model, heavy op type) on that op type's size
-    features; a single global estimate each for light and CPU ops.
+    The heavy-op side is delegated to the chosen :class:`OpModelBackend`
+    (``"per_gpu"``: one regression per (GPU model, heavy op type) on that
+    op type's size features — the paper's scheme; ``"transfer"``: one
+    pooled fit per op type that generalizes across devices). A single
+    global estimate each for light and CPU ops, identical under every
+    backend.
 
     ``light_estimator`` selects how the light/CPU estimates are pooled:
     ``"median"`` (the paper's choice, robust to outliers) or ``"mean"``
     (the alternative the paper rejects — exposed for the ablation that
     justifies the choice).
 
-    ``jobs`` fans the per-(GPU, op type) regressions out to worker
-    processes (None = serial); results are identical either way.
+    ``jobs`` fans the per-cell regressions out to worker processes
+    (None = serial); results are identical either way.
     """
     if not train_profiles:
         raise ModelingError("cannot fit compute models from an empty profile set")
@@ -185,44 +427,19 @@ def fit_compute_models(
         raise ModelingError(
             f"light_estimator must be 'median' or 'mean', got {light_estimator!r}"
         )
+    impl = resolve_backend(backend)
+    fit = impl.fit_heavy(
+        train_profiles, classification,
+        allow_quadratic=allow_quadratic, jobs=jobs,
+    )
+    if fit.proportional_fallbacks:
+        from repro.obs.metrics import default_registry
 
-    heavy_models: Dict[Tuple[str, str], HeavyOpModel] = {}
-    train_r2: Dict[Tuple[str, str], float] = {}
+        default_registry().counter("fit.proportional_fallbacks").inc(
+            len(fit.proportional_fallbacks)
+        )
+
     gpu_records = train_profiles.gpu_records()
-    cells: List[Tuple[str, str, Tuple[Tuple[float, ...], ...], Tuple[float, ...]]] = []
-    for gpu_key in gpu_records.gpu_keys():
-        per_gpu = gpu_records.for_gpu(gpu_key)
-        for op_type in classification.heavy:
-            subset = per_gpu.for_op_type(op_type)
-            if not subset:
-                continue  # never seen on this GPU; predict_op raises later
-            cells.append((
-                gpu_key, op_type,
-                tuple(tuple(r.features) for r in subset),
-                tuple(r.mean_us for r in subset),
-            ))
-    if jobs is not None and jobs != 1 and len(cells) > 1:
-        from repro.parallel import RegressionFitTask, run_fanout
-
-        tasks = [
-            RegressionFitTask(
-                gpu_key=gpu_key, op_type=op_type, rows=rows, targets=targets,
-                schema=feature_schema(op_type), allow_quadratic=allow_quadratic,
-            )
-            for gpu_key, op_type, rows, targets in cells
-        ]
-        regressions = [outcome.value for outcome in run_fanout(tasks, jobs=jobs)]
-    else:
-        regressions = [
-            fit_heavy_regression(
-                rows, targets, feature_schema(op_type), allow_quadratic
-            )
-            for _, op_type, rows, targets in cells
-        ]
-    for (gpu_key, op_type, _, _), regression in zip(cells, regressions):
-        heavy_models[(gpu_key, op_type)] = HeavyOpModel(gpu_key, op_type, regression)
-        train_r2[(gpu_key, op_type)] = regression.r2
-
     light_times_us = [
         r.median_us for r in gpu_records if r.op_type in classification.light
     ]
@@ -235,9 +452,13 @@ def fit_compute_models(
 
     return ComputeTimeModels(
         classification=classification,
-        heavy_models=heavy_models,
+        heavy_models=fit.heavy_models,
         light_median_us=float(pool(light_times_us)),
         cpu_median_us=float(pool(cpu_times_us)),
         strict_unseen=strict_unseen,
-        train_r2=train_r2,
+        train_r2=fit.train_r2,
+        backend=impl.name,
+        transfer=fit.transfer,
+        heavy_std_us=dict(fit.heavy_std_us),
+        proportional_fallbacks=fit.proportional_fallbacks,
     )

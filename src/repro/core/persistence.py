@@ -11,13 +11,26 @@ The format captures everything prediction needs: the heavy/light/CPU
 classification, each per-(GPU, op type) regression, the light/CPU medians,
 and the per-(GPU, k) communication regressions. Diagnostics (R² tables)
 are preserved where available.
+
+Two schema versions coexist:
+
+* version 1 — the per-GPU backend. Byte-for-byte stable since PR 1: a
+  per-GPU fit emits *exactly* the same document it always has, so
+  content-addressed workspace keys and golden snapshots never roll.
+* version 2 — the transfer backend. Adds ``backend`` and ``transfer``
+  keys (the pooled per-op-type fits plus their residual stds);
+  ``heavy_models`` is empty because per-device models are synthesized
+  from the transfer fits at predict time.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import TYPE_CHECKING, Dict, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.transfer import TransferOpModel
 
 from repro.errors import ModelingError
 from repro.core.classify import OpClassification
@@ -28,6 +41,10 @@ from repro.core.regression import RegressionModel
 
 FORMAT_NAME = "repro-ceer-estimator"
 FORMAT_VERSION = 1
+#: Version written for transfer-backend estimators (version 1 documents
+#: stay byte-identical to the pre-backend format).
+TRANSFER_FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (FORMAT_VERSION, TRANSFER_FORMAT_VERSION)
 
 
 def _regression_to_json(model: RegressionModel) -> Dict:
@@ -56,13 +73,60 @@ def _regression_from_json(data: Dict) -> RegressionModel:
     )
 
 
-def estimator_to_dict(estimator: CeerEstimator) -> Dict:
-    """Serialise a fitted estimator to a JSON-ready dictionary."""
-    models = estimator.compute_models
-    classification = models.classification
+def _transfer_op_to_json(model: "TransferOpModel") -> Dict:
     return {
+        "op_type": model.op_type,
+        "degree": model.degree,
+        "feature_names": list(model.feature_names),
+        "intercept": model.intercept,
+        "size_coef": list(model.size_coef),
+        "device_coef": list(model.device_coef),
+        "interaction_coef": [list(c) for c in model.interaction_coef],
+        "residual_std_us": model.residual_std_us,
+        "r2": model.r2,
+        "adjusted_r2": model.adjusted_r2,
+        "n_train": model.n_train,
+        "clip_max": model.clip_max,
+        "proportional": model.proportional,
+    }
+
+
+def _transfer_op_from_json(data: Dict) -> "TransferOpModel":
+    from repro.core.transfer import TransferOpModel
+
+    interaction = data["interaction_coef"]
+    return TransferOpModel(
+        op_type=data["op_type"],
+        degree=data["degree"],
+        feature_names=tuple(data["feature_names"]),
+        intercept=data["intercept"],
+        size_coef=tuple(data["size_coef"]),
+        device_coef=(data["device_coef"][0], data["device_coef"][1]),
+        interaction_coef=(tuple(interaction[0]), tuple(interaction[1])),
+        residual_std_us=data["residual_std_us"],
+        r2=data["r2"],
+        adjusted_r2=data["adjusted_r2"],
+        n_train=data["n_train"],
+        clip_max=data.get("clip_max"),
+        proportional=data.get("proportional", False),
+    )
+
+
+def estimator_to_dict(estimator: CeerEstimator) -> Dict:
+    """Serialise a fitted estimator to a JSON-ready dictionary.
+
+    Per-GPU estimators produce the version-1 document unchanged (the new
+    keys would roll every content-addressed workspace fingerprint);
+    transfer estimators produce version 2 with ``backend``/``transfer``
+    appended after the stable key prefix.
+    """
+    models = estimator.compute_models
+    transfer = models.transfer
+    version = FORMAT_VERSION if transfer is None else TRANSFER_FORMAT_VERSION
+    classification = models.classification
+    doc = {
         "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
+        "version": version,
         "classification": {
             "heavy": sorted(classification.heavy),
             "light": sorted(classification.light),
@@ -95,6 +159,17 @@ def estimator_to_dict(estimator: CeerEstimator) -> Dict:
         "include_communication": estimator.include_communication,
         "heavy_only": estimator.heavy_only,
     }
+    if transfer is not None:
+        doc["backend"] = models.backend
+        doc["transfer"] = {
+            "reference_gpu": transfer.reference_gpu,
+            "train_gpu_keys": list(transfer.train_gpu_keys),
+            "models": [
+                _transfer_op_to_json(transfer.models[op_type])
+                for op_type in transfer.op_types()
+            ],
+        }
+    return doc
 
 
 def estimator_from_dict(data: Dict) -> CeerEstimator:
@@ -103,7 +178,7 @@ def estimator_from_dict(data: Dict) -> CeerEstimator:
         raise ModelingError(
             f"not a {FORMAT_NAME} document (format={data.get('format')!r})"
         )
-    if data.get("version") != FORMAT_VERSION:
+    if data.get("version") not in SUPPORTED_VERSIONS:
         raise ModelingError(
             f"unsupported {FORMAT_NAME} version {data.get('version')!r}"
         )
@@ -122,6 +197,24 @@ def estimator_from_dict(data: Dict) -> CeerEstimator:
         regression = _regression_from_json(item["regression"])
         heavy_models[key] = HeavyOpModel(item["gpu_key"], item["op_type"], regression)
         train_r2[key] = regression.r2
+    transfer = None
+    heavy_std_us: Dict[str, float] = {}
+    if "transfer" in data:
+        from repro.core.transfer import TransferModelSet
+
+        transfer_data = data["transfer"]
+        transfer_models = {
+            item["op_type"]: _transfer_op_from_json(item)
+            for item in transfer_data["models"]
+        }
+        transfer = TransferModelSet(
+            models=transfer_models,
+            train_gpu_keys=tuple(transfer_data["train_gpu_keys"]),
+            reference_gpu=transfer_data["reference_gpu"],
+        )
+        heavy_std_us = transfer.residual_std_us()
+        for op_type, model in sorted(transfer_models.items()):
+            train_r2[("pooled", op_type)] = model.r2
     compute_models = ComputeTimeModels(
         classification=classification,
         heavy_models=heavy_models,
@@ -129,6 +222,9 @@ def estimator_from_dict(data: Dict) -> CeerEstimator:
         cpu_median_us=data["cpu_median_us"],
         strict_unseen=data.get("strict_unseen", False),
         train_r2=train_r2,
+        backend=data.get("backend", "per_gpu"),
+        transfer=transfer,
+        heavy_std_us=heavy_std_us,
     )
     comm_models = {}
     comm_r2 = {}

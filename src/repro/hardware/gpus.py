@@ -125,13 +125,58 @@ class CpuSpec:
 HOST_CPU = CpuSpec()
 
 
+#: GPUs registered at runtime from spec sheets (``repro catalog admit``).
+#: These were never profiled — only the transfer backend can price them.
+_RUNTIME_SPECS: Dict[str, GpuSpec] = {}  # staticcheck: ignore[unit-suffix]
+
+
+def register_gpu_spec(spec: GpuSpec) -> GpuSpec:
+    """Register a runtime (spec-only) GPU; re-registering a key replaces it.
+
+    The four built-in paper GPUs cannot be shadowed: their fitted models,
+    calibrations, and golden artifacts all assume the datasheet values.
+    """
+    if spec.key in GPU_SPECS or spec.key in FAMILY_TO_GPU:
+        raise HardwareError(
+            f"cannot register {spec.key!r}: it is a built-in GPU key/family"
+        )
+    _RUNTIME_SPECS[spec.key] = spec  # staticcheck: ignore[unit-suffix]
+    return spec
+
+
+def unregister_gpu_spec(key: str) -> None:
+    """Remove a runtime GPU registration (no-op if absent)."""
+    _RUNTIME_SPECS.pop(key, None)
+
+
+def runtime_gpu_keys() -> Tuple[str, ...]:
+    """Keys of runtime-registered GPUs, sorted."""
+    return tuple(sorted(_RUNTIME_SPECS))
+
+
+def is_runtime_gpu(key: str) -> bool:  # staticcheck: ignore[unit-suffix]
+    """Whether ``key`` names a runtime-registered (spec-only) GPU."""
+    return key in _RUNTIME_SPECS
+
+
 def gpu_spec(key: str) -> GpuSpec:
-    """Look up a GPU by key (``"V100"``) or AWS family name (``"P3"``)."""
+    """Look up a GPU by key (``"V100"``) or AWS family name (``"P3"``).
+
+    Runtime-registered GPUs resolve after the built-ins (by key or
+    family), so admitting a spec-only device makes it addressable
+    everywhere a built-in key is.
+    """
     if key in GPU_SPECS:
         return GPU_SPECS[key]
     if key in FAMILY_TO_GPU:
         return GPU_SPECS[FAMILY_TO_GPU[key]]
+    if key in _RUNTIME_SPECS:
+        return _RUNTIME_SPECS[key]
+    for spec in _RUNTIME_SPECS.values():
+        if spec.family == key:
+            return spec
     raise HardwareError(
         f"unknown GPU {key!r}; known keys: {sorted(GPU_SPECS)}, "
         f"families: {sorted(FAMILY_TO_GPU)}"
+        + (f", runtime: {sorted(_RUNTIME_SPECS)}" if _RUNTIME_SPECS else "")
     )

@@ -51,6 +51,7 @@ SPAN_CATALOG: Mapping[str, str] = {
     "experiments.ext.multihost": "multi-host placement extension",
     "experiments.ext.rnn": "RNN workload extension",
     "experiments.ext.sensitivity": "pricing sensitivity extension",
+    "experiments.ext.transfer_logo": "leave-one-GPU-out transfer extension",
     "experiments.ext.transformer": "transformer workload extension",
     "experiments.fig2": "Fig. 2 driver", "experiments.fig3": "Fig. 3 driver",
     "experiments.fig4": "Fig. 4 driver", "experiments.fig5": "Fig. 5 driver",
@@ -70,6 +71,8 @@ SPAN_CATALOG: Mapping[str, str] = {
     "store.disk_read": "artifact store disk-tier read",
     "store.lock_wait": "artifact store cross-process lock wait",
     "store.write": "artifact store atomic write",
+    "transfer.fit": "pooled cross-GPU transfer-model fit",
+    "transfer.logo": "leave-one-GPU-out transfer evaluation",
 }
 
 #: Span-name prefixes whose suffix is dynamic (f-string call sites).
@@ -83,10 +86,14 @@ METRIC_CATALOG: Mapping[str, str] = {
     "batch.sweeps": "batched sweep evaluations",
     "check.files": "files analysed per staticcheck run {source=analyzed|cache}",
     "check.findings": "findings emitted per staticcheck run",
+    "fit.proportional_fallbacks": "heavy-op cells that fell back to a proportional fit",
     "parallel.task_s": "cumulative fan-out task wall-clock seconds",
     "parallel.tasks": "fan-out task outcomes {outcome=ok|retried|failed}",
     "profiling.records": "profile records produced",
     "profiling.runs": "profiling cells run {gpu=...}",
+    "transfer.fits": "pooled transfer-model fits",
+    "transfer.folds": "leave-one-GPU-out folds evaluated",
+    "transfer.synthesized": "per-device models synthesized from transfer fits",
 }
 
 #: Metric-name prefixes whose suffix is dynamic (f-string call sites).

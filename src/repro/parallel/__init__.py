@@ -15,6 +15,8 @@ from repro.parallel.plan import (
     MeasurementTask,
     ProfileCellTask,
     RegressionFitTask,
+    TransferFitTask,
+    TransferLogoTask,
 )
 
 __all__ = [
@@ -26,6 +28,8 @@ __all__ = [
     "ProfileCellTask",
     "RegressionFitTask",
     "TaskOutcome",
+    "TransferFitTask",
+    "TransferLogoTask",
     "resolve_jobs",
     "run_fanout",
 ]

@@ -36,6 +36,8 @@ __all__ = [
     "MeasurementTask",
     "ProfileCellTask",
     "RegressionFitTask",
+    "TransferFitTask",
+    "TransferLogoTask",
 ]
 
 
@@ -100,6 +102,71 @@ class RegressionFitTask:
 
         return fit_heavy_regression(
             self.rows, self.targets, self.schema, self.allow_quadratic
+        )
+
+
+@dataclass(frozen=True)
+class TransferFitTask:
+    """Fit one pooled cross-GPU transfer model for one heavy op type.
+
+    Like :class:`RegressionFitTask`, inputs travel by value — including
+    each row's device features — so the worker's fit is bit-identical to
+    the serial path's.
+    """
+
+    op_type: str
+    rows: Tuple[Tuple[float, ...], ...]
+    targets: Tuple[float, ...]
+    device_rows: Tuple[Tuple[float, float], ...]
+    schema: Tuple[str, ...]
+    allow_quadratic: bool
+
+    def task_id(self) -> str:
+        return f"transferfit:{self.op_type}"
+
+    def run(self) -> Any:
+        from repro.core.transfer import fit_transfer_op
+
+        return fit_transfer_op(
+            self.op_type, self.rows, self.targets, self.device_rows,
+            self.schema, self.allow_quadratic,
+        )
+
+
+@dataclass(frozen=True)
+class TransferLogoTask:
+    """Score one leave-one-GPU-out fold of the transfer evaluation.
+
+    The fold is a pure function of its cells (training rows from the
+    other GPUs, evaluation rows from the holdout), so a fanned-out LOGO
+    report is byte-identical to a serial one.
+    """
+
+    holdout_gpu: str
+    holdout_device: Tuple[float, float]
+    train_cells: Tuple[
+        Tuple[
+            str,
+            Tuple[Tuple[float, ...], ...],
+            Tuple[float, ...],
+            Tuple[Tuple[float, float], ...],
+        ],
+        ...,
+    ]
+    eval_cells: Tuple[
+        Tuple[str, Tuple[Tuple[float, ...], ...], Tuple[float, ...]], ...
+    ]
+    allow_quadratic: bool
+
+    def task_id(self) -> str:
+        return f"logo:{self.holdout_gpu}"
+
+    def run(self) -> Any:
+        from repro.core.transfer import logo_fold
+
+        return logo_fold(
+            self.holdout_gpu, self.holdout_device,
+            self.train_cells, self.eval_cells, self.allow_quadratic,
         )
 
 

@@ -146,3 +146,62 @@ class TestActiveWorkspace:
             assert other.store.counters["measurement"].misses == 1
         finally:
             set_active_workspace(previous)
+
+
+class TestAdmittedGpus:
+    """Spec-only GPU admissions persist in the workspace and reload."""
+
+    @staticmethod
+    def _spec(key="QGPU"):
+        from repro.hardware.gpus import GpuSpec
+
+        return GpuSpec(
+            key=key, family="GQ", marketing_name="Workspace Test GPU",
+            cuda_cores=2048, tensor_cores=0, memory_gb=8,
+            peak_gflops=7000.0, memory_bandwidth_gbps=350.0,
+            launch_overhead_us=4.0, saturation_elements=5.0e5,
+            comm_base_us=6000.0, comm_us_per_mparam=500.0,
+        )
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        from repro.cloud.catalog import clear_admitted
+
+        yield
+        clear_admitted("QGPU")
+
+    def test_admit_writes_json_and_reload_restores(self, workspace):
+        from repro.cloud.catalog import admitted_gpu_keys, clear_admitted
+        from repro.hardware.gpus import gpu_spec
+
+        workspace.admit_gpu(self._spec(), usd_per_hr=1.5, max_gpus=2)
+        assert workspace.admitted_gpus_path.exists()
+        clear_admitted("QGPU")
+        assert "QGPU" not in admitted_gpu_keys()
+
+        restored = Workspace(workspace.directory).load_admitted_gpus()
+        assert restored == ("QGPU",)
+        assert "QGPU" in admitted_gpu_keys()
+        assert gpu_spec("QGPU").peak_gflops == 7000.0
+
+    def test_load_without_file_is_empty(self, workspace):
+        assert workspace.load_admitted_gpus() == ()
+        assert not workspace.admitted_gpus_path.exists()
+
+    def test_readmission_replaces_entry(self, workspace):
+        import json
+
+        workspace.admit_gpu(self._spec(), usd_per_hr=1.5, max_gpus=2)
+        workspace.admit_gpu(self._spec(), usd_per_hr=2.0, max_gpus=4)
+        doc = json.loads(workspace.admitted_gpus_path.read_text())
+        assert len(doc["gpus"]) == 1
+        assert doc["gpus"][0]["usd_per_hr"] == 2.0
+        assert doc["gpus"][0]["max_gpus"] == 4
+
+    def test_corrupt_file_raises_artifact_error(self, workspace):
+        from repro.errors import ArtifactError
+
+        workspace.admitted_gpus_path.parent.mkdir(parents=True, exist_ok=True)
+        workspace.admitted_gpus_path.write_text("{not json")
+        with pytest.raises(ArtifactError):
+            workspace.load_admitted_gpus()

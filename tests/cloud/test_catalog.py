@@ -147,3 +147,78 @@ class TestProxyRule:
             by_gpu.setdefault(c.gpu_key, set()).add(c.num_gpus)
         for gpu, counts in by_gpu.items():
             assert counts == set(range(1, max_gpus_for(gpu) + 1))
+
+
+class TestAdmission:
+    """Spec-only GPUs admitted from a datasheet join the priced catalog."""
+
+    @staticmethod
+    def _spec(key="YGPU"):
+        from repro.hardware.gpus import GpuSpec
+
+        return GpuSpec(
+            key=key, family="GY", marketing_name="Admitted Test GPU",
+            cuda_cores=4096, tensor_cores=0, memory_gb=16,
+            peak_gflops=9000.0, memory_bandwidth_gbps=450.0,
+            launch_overhead_us=4.0, saturation_elements=5.0e5,
+            comm_base_us=5000.0, comm_us_per_mparam=400.0,
+        )
+
+    @pytest.fixture
+    def admitted(self):
+        from repro.cloud.catalog import admit_gpu, clear_admitted
+
+        created = admit_gpu(self._spec(), usd_per_hr=2.5, max_gpus=4)
+        yield created
+        clear_admitted("YGPU")
+
+    def test_creates_base_and_max_instances(self, admitted):
+        names = [inst.name for inst in admitted]
+        assert names == ["ygpu.admitted", "ygpu.admitted-4x"]
+        assert admitted[0].usd_per_hr == 2.5
+        assert admitted[1].usd_per_hr == 10.0
+        assert admitted[1].num_gpus == 4
+
+    def test_instances_resolve_through_catalog(self, admitted):
+        from repro.cloud.catalog import admitted_gpu_keys, all_instances
+
+        assert "YGPU" in admitted_gpu_keys()
+        assert instance_by_name("ygpu.admitted").gpu_key == "YGPU"
+        assert any(i.gpu_key == "YGPU" for i in all_instances())
+        # Intermediate counts resolve through the paper's proxy rule.
+        proxied = instance_for("YGPU", 2)
+        assert proxied.num_gpus == 2
+        assert proxied.usd_per_hr == pytest.approx(5.0)
+        assert max_gpus_for("YGPU") == 4
+
+    def test_candidates_include_admitted_counts(self, admitted):
+        keys = {(i.gpu_key, i.num_gpus) for i in candidate_instances()}
+        for k in (1, 2, 3, 4):
+            assert ("YGPU", k) in keys
+
+    def test_admission_registers_hardware_spec(self, admitted):
+        from repro.hardware.gpus import gpu_spec, is_runtime_gpu
+
+        assert is_runtime_gpu("YGPU")
+        assert gpu_spec("YGPU").peak_gflops == 9000.0
+
+    def test_clear_admitted_removes_everything(self):
+        from repro.cloud.catalog import admit_gpu, admitted_gpu_keys, clear_admitted
+        from repro.errors import HardwareError
+        from repro.hardware.gpus import is_runtime_gpu
+
+        admit_gpu(self._spec(key="WGPU"), usd_per_hr=1.0, max_gpus=2)
+        clear_admitted("WGPU")
+        assert "WGPU" not in admitted_gpu_keys()
+        assert not is_runtime_gpu("WGPU")
+        # The spec itself is gone, so resolution fails at the hardware layer.
+        with pytest.raises(HardwareError):
+            instance_for("WGPU", 1)
+
+    def test_invalid_admission_rejected(self):
+        from repro.cloud.catalog import admit_gpu
+
+        with pytest.raises(CatalogError):
+            admit_gpu(self._spec(key="BADP"), usd_per_hr=0.0)
+        with pytest.raises(CatalogError):
+            admit_gpu(self._spec(key="BADK"), usd_per_hr=1.0, max_gpus=0)

@@ -246,3 +246,106 @@ class TestFrontier:
         costs = [p.cost_dollars for p in frontier]
         assert times == sorted(times)
         assert costs == sorted(costs, reverse=True)
+
+
+class TestClipBoundaryEquivalence:
+    """The stacked tensor path must honor clip_max and the prediction
+    floor *exactly* at the boundary — including the zero-padded path
+    where degree-1 and degree-2 models share one coefficient matrix."""
+
+    @staticmethod
+    def _hand_built_models():
+        from repro.core.classify import OpClassification
+        from repro.core.op_models import ComputeTimeModels, HeavyOpModel
+        from repro.core.regression import RegressionModel
+
+        # V100: a genuine degree-2 model (coefficients fill both halves).
+        quadratic = RegressionModel(
+            degree=2, intercept=0.0, coef=(1.0, 0.0, 1.0, 0.0),
+            r2=1.0, adjusted_r2=1.0, n_train=10,
+            feature_names=("f0", "f1"), clip_max=6.0,
+        )
+        # K80: a degree-1 model, stacked via the zero-padded squared half.
+        linear = RegressionModel(
+            degree=1, intercept=0.25, coef=(2.0, 0.0),
+            r2=1.0, adjusted_r2=1.0, n_train=10,
+            feature_names=("f0", "f1"), clip_max=21.0,
+        )
+        classification = OpClassification(
+            heavy=frozenset({"Conv2D"}), light=frozenset(), cpu=frozenset()
+        )
+        return ComputeTimeModels(
+            classification=classification,
+            heavy_models={
+                ("V100", "Conv2D"): HeavyOpModel("V100", "Conv2D", quadratic),
+                ("K80", "Conv2D"): HeavyOpModel("K80", "Conv2D", linear),
+            },
+            light_median_us=0.0,
+            cpu_median_us=0.0,
+        )
+
+    @staticmethod
+    def _compiled(x):
+        from repro.core.engine import CompiledGraph
+
+        return CompiledGraph(
+            graph_name="clip-boundary", batch_size=32,
+            num_ops=x.shape[0], num_parameters=1_000_000,
+            heavy_features={"Conv2D": x}, n_light=0, n_cpu=0,
+            n_unseen=0, unseen_types=(),
+        )
+
+    def test_batched_clip_and_floor_exact_at_boundary(self):
+        from repro.core.batch import evaluate_compiled_batch_us
+        from repro.core.regression import PREDICTION_FLOOR_US
+
+        models = self._hand_built_models()
+        # Rows chosen so raw predictions land exactly ON each boundary,
+        # strictly above the clip, and strictly below the floor:
+        #   V100 (x + x^2 on f0): [2, 0] -> 6.0 == clip, [3, 0] -> 12 > clip,
+        #     [0.1, 0] -> 0.11 < floor
+        #   K80 (0.25 + 2 f0):  [2, 0] -> 4.25, [3, 0] -> 6.25,
+        #     [0.1, 0] -> 0.45 < floor; plus [10.375, 5] -> 21.0 == clip
+        #     and [0.375, 5] -> 1.0 == floor on a dedicated row.
+        x = np.asarray([
+            [2.0, 0.0],
+            [3.0, 0.0],
+            [0.1, 0.0],
+            [10.375, 5.0],
+            [0.375, 5.0],
+        ])
+        compiled = self._compiled(x)
+        gpu_keys = ("V100", "K80")
+        totals = evaluate_compiled_batch_us(
+            compiled, StackedOpModels(models), gpu_keys
+        )
+
+        for g, gpu_key in enumerate(gpu_keys):
+            regression = models.heavy_models[(gpu_key, "Conv2D")].regression
+            per_row = regression.predict_batch(x)
+            # Bitwise equality, not approx: the tensor path replays the
+            # scalar clip-then-floor sequence exactly.
+            assert totals[g] == per_row.sum()
+
+        # The scalar reference itself pins the boundary semantics.
+        v100 = models.heavy_models[("V100", "Conv2D")].regression
+        k80 = models.heavy_models[("K80", "Conv2D")].regression
+        assert v100.predict_one([2.0, 0.0]) == 6.0  # raw == clip_max
+        assert v100.predict_one([3.0, 0.0]) == 6.0  # clipped down
+        assert v100.predict_one([0.1, 0.0]) == PREDICTION_FLOOR_US
+        assert k80.predict_one([10.375, 5.0]) == 21.0  # raw == clip_max
+        assert k80.predict_one([0.375, 5.0]) == PREDICTION_FLOOR_US  # raw == floor
+        assert k80.predict_one([0.1, 0.0]) == PREDICTION_FLOOR_US
+
+    def test_padded_degree1_matches_unpadded_evaluation(self):
+        from repro.core.batch import evaluate_compiled_batch_us
+
+        models = self._hand_built_models()
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0.0, 12.0, size=(64, 2))
+        compiled = self._compiled(x)
+        totals = evaluate_compiled_batch_us(
+            compiled, StackedOpModels(models), ("K80",)
+        )
+        linear = models.heavy_models[("K80", "Conv2D")].regression
+        assert totals[0] == linear.predict_batch(x).sum()

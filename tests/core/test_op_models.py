@@ -145,3 +145,69 @@ class TestPredictGraph:
             strict.predict_graph_us(graph, "V100", heavy_only=True)
         with pytest.raises(UnseenOperationError):
             strict.predict_graph_us(graph, "V100", include_light=False)
+
+
+class TestProportionalFallbackSurfacing:
+    """A fit must say — not silently decide — which cells got the
+    proportional fallback (LRN-style op types with too few rows)."""
+
+    @pytest.fixture(scope="class")
+    def sparse_profiles(self):
+        from repro.profiling.profiler import Profiler
+
+        # inception_v1 carries exactly two LRN (and two LRNGrad) ops, so
+        # profiling it alone leaves those cells short of the rows a full
+        # OLS fit needs (len(schema) + 2) on every GPU.
+        return Profiler(n_iterations=20).profile_many(
+            ["inception_v1"], ["V100", "T4"]
+        )
+
+    def test_fallback_cells_listed_in_fit(self, sparse_profiles):
+        classification = classify_operations(sparse_profiles)
+        models = fit_compute_models(sparse_profiles, classification)
+        assert models.proportional_fallbacks == (
+            ("T4", "LRN"), ("T4", "LRNGrad"),
+            ("V100", "LRN"), ("V100", "LRNGrad"),
+        )
+
+    def test_fallback_counter_increments(self, sparse_profiles):
+        from repro.obs.metrics import default_registry
+
+        classification = classify_operations(sparse_profiles)
+        counter = default_registry().counter("fit.proportional_fallbacks")
+        before = counter.value
+        models = fit_compute_models(sparse_profiles, classification)
+        assert counter.value - before == len(models.proportional_fallbacks) == 4
+
+    def test_fallback_cells_reach_diagnostics(self):
+        from repro.core.fit import fit_ceer
+        from repro.profiling.profiler import Profiler
+
+        # Three CNNs (the comm model's minimum), only one of which has
+        # LRN ops — the LRN cells still lack rows for a full OLS fit.
+        models = ("vgg_11", "inception_v1", "resnet_50")
+        profiles = Profiler(n_iterations=20).profile_many(
+            list(models), ["V100", "T4"]
+        )
+        fitted = fit_ceer(
+            train_models=models, gpu_keys=("V100", "T4"),
+            n_iterations=20, gpu_counts=(1,),
+            train_profiles=profiles,
+        )
+        diagnostics = fitted.diagnostics
+        assert diagnostics.proportional_fallbacks == (
+            ("T4", "LRN"), ("T4", "LRNGrad"),
+            ("V100", "LRN"), ("V100", "LRNGrad"),
+        )
+        assert "proportional fallback" in diagnostics.summary()
+
+    def test_full_training_set_has_no_lrn_fallback_shortage(
+        self, train_profiles_small, compute_models
+    ):
+        """With all 8 training CNNs the LRN cells still fall back — the
+        training set simply has too few LRN instances; the point of the
+        surfacing is that this is now visible."""
+        assert all(
+            op_type in ("LRN", "LRNGrad")
+            for _, op_type in compute_models.proportional_fallbacks
+        )

@@ -121,3 +121,93 @@ class TestAtomicWrites:
         json.loads(path.read_text())
         leftovers = [p for p in tmp_path.iterdir() if p != path]
         assert leftovers == []
+
+
+class TestGoldenSnapshot:
+    """The per-GPU backend's serialized bytes are frozen by a golden file.
+
+    The snapshot in ``tests/data/golden_estimator_per_gpu.json`` was
+    produced before the backend refactor; a per-GPU fit with the same
+    arguments must serialize byte-identically — the refactor (and any
+    future change) must not move a single byte of version-1 documents.
+    """
+
+    GOLDEN_ARGS = dict(
+        train_models=("vgg_11", "inception_v1", "resnet_50", "inception_v4"),
+        n_iterations=30,
+        gpu_counts=(1, 2),
+    )
+
+    def test_per_gpu_fit_matches_pre_refactor_bytes(self):
+        from pathlib import Path
+
+        from repro.core.fit import fit_ceer
+
+        golden_path = (
+            Path(__file__).parent.parent / "data"
+            / "golden_estimator_per_gpu.json"
+        )
+        golden = golden_path.read_bytes()
+        fitted = fit_ceer(**self.GOLDEN_ARGS)
+        fresh = json.dumps(estimator_to_dict(fitted.estimator)).encode("utf-8")
+        assert fresh == golden
+
+    def test_golden_document_is_version_1(self):
+        from pathlib import Path
+
+        golden_path = (
+            Path(__file__).parent.parent / "data"
+            / "golden_estimator_per_gpu.json"
+        )
+        doc = json.loads(golden_path.read_text())
+        assert doc["version"] == 1
+        assert "backend" not in doc
+        assert "transfer" not in doc
+
+
+class TestTransferPersistence:
+    """Transfer-backend estimators round-trip through the version-2 format."""
+
+    @pytest.fixture(scope="class")
+    def transfer_estimator(self):
+        from repro.core.fit import fit_ceer
+
+        return fit_ceer(
+            train_models=("vgg_11", "inception_v1", "resnet_50"),
+            n_iterations=20, gpu_counts=(1,), backend="transfer",
+        ).estimator
+
+    def test_document_is_version_2_with_transfer_block(self, transfer_estimator):
+        doc = estimator_to_dict(transfer_estimator)
+        assert doc["version"] == 2
+        assert doc["backend"] == "transfer"
+        assert doc["transfer"]["reference_gpu"] == "V100"
+        assert doc["transfer"]["models"]
+
+    def test_roundtrip_preserves_predictions_and_uncertainty(
+        self, transfer_estimator, tmp_path
+    ):
+        path = tmp_path / "transfer.json"
+        save_estimator(transfer_estimator, path)
+        loaded = load_estimator(path)
+        assert loaded.compute_models.backend == "transfer"
+        assert (
+            loaded.compute_models.heavy_std_us
+            == transfer_estimator.compute_models.heavy_std_us
+        )
+        for gpu in ("V100", "K80", "T4", "M60"):
+            original = transfer_estimator.predict_training("alexnet", gpu, 1, JOB)
+            restored = loaded.predict_training("alexnet", gpu, 1, JOB)
+            assert original.total_us == restored.total_us
+            assert original.compute_std_us == restored.compute_std_us
+
+    def test_serialization_is_deterministic(self, transfer_estimator):
+        a = json.dumps(estimator_to_dict(transfer_estimator)).encode("utf-8")
+        b = json.dumps(estimator_to_dict(transfer_estimator)).encode("utf-8")
+        assert a == b
+
+    def test_unknown_version_rejected(self, transfer_estimator):
+        doc = estimator_to_dict(transfer_estimator)
+        doc["version"] = 99
+        with pytest.raises(ModelingError):
+            estimator_from_dict(doc)

@@ -50,3 +50,68 @@ class TestSpecs:
     def test_host_cpu_defaults(self):
         assert HOST_CPU.overhead_us > 0
         assert HOST_CPU.effective_bandwidth_gbps > 0
+
+
+class TestRuntimeRegistration:
+    """Spec-only GPUs registered at runtime resolve like built-ins."""
+
+    @staticmethod
+    def _spec(key="ZGPU", family="GZ"):
+        from repro.hardware.gpus import GpuSpec
+
+        return GpuSpec(
+            key=key, family=family, marketing_name="Runtime Test GPU",
+            cuda_cores=4096, tensor_cores=0, memory_gb=16,
+            peak_gflops=9000.0, memory_bandwidth_gbps=450.0,
+            launch_overhead_us=4.0, saturation_elements=5.0e5,
+            comm_base_us=5000.0, comm_us_per_mparam=400.0,
+        )
+
+    @pytest.fixture
+    def registered(self):
+        from repro.hardware.gpus import register_gpu_spec, unregister_gpu_spec
+
+        spec = register_gpu_spec(self._spec())
+        yield spec
+        unregister_gpu_spec(spec.key)
+
+    def test_resolves_by_key_and_family(self, registered):
+        from repro.hardware.gpus import is_runtime_gpu, runtime_gpu_keys
+
+        assert gpu_spec("ZGPU") is registered
+        assert gpu_spec("GZ") is registered
+        assert is_runtime_gpu("ZGPU")
+        assert "ZGPU" in runtime_gpu_keys()
+
+    def test_builtin_keys_cannot_be_shadowed(self):
+        from repro.hardware.gpus import register_gpu_spec
+
+        with pytest.raises(HardwareError):
+            register_gpu_spec(self._spec(key="V100"))
+        with pytest.raises(HardwareError):
+            register_gpu_spec(self._spec(key="P3"))
+
+    def test_reregistering_replaces(self, registered):
+        from repro.hardware.gpus import register_gpu_spec, unregister_gpu_spec
+
+        import dataclasses
+
+        faster = dataclasses.replace(registered, peak_gflops=20000.0)
+        register_gpu_spec(faster)
+        try:
+            assert gpu_spec("ZGPU").peak_gflops == 20000.0
+        finally:
+            unregister_gpu_spec("ZGPU")
+
+    def test_unregister_is_idempotent(self):
+        from repro.hardware.gpus import unregister_gpu_spec
+
+        unregister_gpu_spec("never-registered")  # must not raise
+
+    def test_unknown_key_error_lists_runtime_gpus(self, registered):
+        with pytest.raises(HardwareError, match="ZGPU"):
+            gpu_spec("no-such-gpu")
+
+    def test_unregistered_key_unresolvable(self):
+        with pytest.raises(HardwareError):
+            gpu_spec("ZGPU")

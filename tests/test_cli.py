@@ -461,3 +461,168 @@ class TestObservabilityFlags:
         for kind, fields in legacy.items():
             for field in ("misses", "hits_disk", "bytes_written"):
                 assert by_series[(f"store.{field}", kind)] == fields[field]
+
+
+class TestCatalogAdmit:
+    """``catalog admit`` + transfer-backend predictions on spec-only GPUs."""
+
+    SPEC = {
+        "key": "A10G", "family": "G5", "marketing_name": "NVIDIA A10G",
+        "cuda_cores": 9216, "tensor_cores": 288, "memory_gb": 24,
+        "peak_gflops": 31200.0, "memory_bandwidth_gbps": 600.0,
+        "launch_overhead_us": 4.0, "saturation_elements": 1.0e6,
+        "comm_base_us": 4000.0, "comm_us_per_mparam": 300.0,
+    }
+
+    @pytest.fixture(scope="class")
+    def transfer_estimator_path(self, train_profiles_small, tmp_path_factory):
+        from repro.core.fit import fit_ceer
+
+        fitted = fit_ceer(
+            n_iterations=80, gpu_counts=(1, 2),
+            train_profiles=train_profiles_small, backend="transfer",
+        )
+        path = tmp_path_factory.mktemp("cli-transfer") / "ceer.json"
+        save_estimator(fitted.estimator, path)
+        return str(path)
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "a10g.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    @pytest.fixture
+    def clean_admitted(self):
+        from repro.cloud.catalog import clear_admitted
+
+        yield
+        clear_admitted("A10G")
+
+    def test_admit_then_predict_with_uncertainty(
+        self, transfer_estimator_path, spec_file, tmp_path, clean_admitted
+    ):
+        ws = str(tmp_path / "ws")
+        code, text = _run(
+            ["catalog", "admit", "--spec", spec_file,
+             "--usd-per-hr", "1.006", "--max-gpus", "4", "--workspace", ws]
+        )
+        assert code == 0
+        assert "admitted A10G" in text and "admitted_gpus.json" in text
+        code, text = _run(
+            ["predict", "--estimator", transfer_estimator_path,
+             "--model", "resnet_50", "--gpu", "A10G", "--gpus", "2",
+             "--workspace", ws]
+        )
+        assert code == 0
+        assert "2x A10G" in text
+        # Spec-only predictions must surface their uncertainty bands.
+        assert "(±" in text
+
+    def test_admitted_gpu_listed_in_catalog(
+        self, spec_file, tmp_path, clean_admitted
+    ):
+        ws = str(tmp_path / "ws")
+        code, _ = _run(
+            ["catalog", "admit", "--spec", spec_file,
+             "--usd-per-hr", "1.006", "--workspace", ws]
+        )
+        assert code == 0
+        code, text = _run(["catalog", "list", "--gpu", "A10G",
+                           "--workspace", ws])
+        assert code == 0
+        assert "a10g.admitted" in text and "admitted" in text
+        # No market snapshot exists for an admitted GPU: spot shows "-".
+        assert "-" in text
+
+    def test_per_gpu_estimator_rejects_admitted_gpu(
+        self, estimator_path, spec_file, tmp_path, clean_admitted
+    ):
+        ws = str(tmp_path / "ws")
+        code, _ = _run(
+            ["catalog", "admit", "--spec", spec_file,
+             "--usd-per-hr", "1.006", "--workspace", ws]
+        )
+        assert code == 0
+        code, _ = _run(
+            ["predict", "--estimator", estimator_path, "--model", "resnet_50",
+             "--gpu", "A10G", "--workspace", ws]
+        )
+        assert code == 2
+
+    def test_tradeoff_full_catalog_sweeps_admitted(
+        self, transfer_estimator_path, spec_file, tmp_path, clean_admitted
+    ):
+        ws = str(tmp_path / "ws")
+        code, _ = _run(
+            ["catalog", "admit", "--spec", spec_file,
+             "--usd-per-hr", "1.006", "--max-gpus", "4", "--workspace", ws]
+        )
+        assert code == 0
+        code, text = _run(
+            ["tradeoff", "--estimator", transfer_estimator_path,
+             "--model", "resnet_50", "--full-catalog", "--workspace", ws]
+        )
+        assert code == 0
+        assert "a10g.admitted" in text
+
+    def test_missing_spec_field_errors(self, tmp_path):
+        import json
+
+        bad = dict(self.SPEC)
+        del bad["peak_gflops"]
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        code, _ = _run(
+            ["catalog", "admit", "--spec", str(path), "--usd-per-hr", "1.0",
+             "--workspace", str(tmp_path / "ws")]
+        )
+        assert code == 2
+
+    def test_unknown_spec_field_errors(self, tmp_path):
+        import json
+
+        bad = dict(self.SPEC)
+        bad["boost_clock_mhz"] = 1710
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        code, _ = _run(
+            ["catalog", "admit", "--spec", str(path), "--usd-per-hr", "1.0",
+             "--workspace", str(tmp_path / "ws")]
+        )
+        assert code == 2
+
+    def test_unreadable_spec_file_errors(self, tmp_path):
+        code, _ = _run(
+            ["catalog", "admit", "--spec", str(tmp_path / "missing.json"),
+             "--usd-per-hr", "1.0", "--workspace", str(tmp_path / "ws")]
+        )
+        assert code == 2
+
+
+class TestFitBackendFlag:
+    def test_transfer_backend_fit_writes_v2_estimator(self, tmp_path):
+        import json
+
+        out = tmp_path / "ceer.json"
+        code, text = _run(
+            ["fit", "--iterations", "30", "--backend", "transfer",
+             "--output", str(out), "--workspace", str(tmp_path / "ws"),
+             "--no-warm-test-profiles"]
+        )
+        assert code == 0
+        assert out.exists()
+        doc = json.loads(out.read_text())
+        assert doc["version"] == 2
+        assert doc["backend"] == "transfer"
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        # argparse rejects the choice before the command body runs
+        with pytest.raises(SystemExit):
+            _run(
+                ["fit", "--iterations", "30", "--backend", "nope",
+                 "--output", str(tmp_path / "x.json"),
+                 "--workspace", str(tmp_path / "ws")]
+            )

@@ -36,16 +36,28 @@ the committed baseline; the sweep must cover at least 1000 candidates;
 and the batched/loop equivalence must hold to 1e-9 (correctness, no
 tolerance).
 
+Finally, the cross-hardware transfer benchmark
+(``tools/bench_transfer.py`` / ``BENCH_transfer.json``) is checked when
+``--transfer-fresh`` is given: the LOGO report must cover every paper
+GPU with finite MAPEs, the worst fold's transfer MAPE must stay under an
+absolute ceiling and within ``--transfer-tolerance`` of the committed
+baseline, spec-only sweep predictions must be finite with positive
+uncertainty bands, and the spec-only/profiled warm sweep ratio must stay
+within ``--transfer-max-overhead``.
+
 Usage (the CI ``perf`` job)::
 
     PYTHONPATH=src python tools/bench_engine.py --json fresh.json
     PYTHONPATH=src python tools/bench_fanout.py --json fanout-fresh.json
     PYTHONPATH=src python tools/bench_sweep_catalog.py --json catalog-fresh.json
+    PYTHONPATH=src python tools/bench_transfer.py --json transfer-fresh.json
     python tools/perf_gate.py --baseline BENCH_predict_engine.json \
         --fresh fresh.json --fanout-baseline BENCH_fanout.json \
         --fanout-fresh fanout-fresh.json \
         --catalog-baseline BENCH_sweep_catalog.json \
-        --catalog-fresh catalog-fresh.json
+        --catalog-fresh catalog-fresh.json \
+        --transfer-baseline BENCH_transfer.json \
+        --transfer-fresh transfer-fresh.json
 """
 
 from __future__ import annotations
@@ -302,6 +314,104 @@ def compare_catalog(
     return lines, failures
 
 
+#: Absolute ceiling on any LOGO fold's transfer MAPE: extrapolating to a
+#: held-out GPU from device specs alone is lossy (the K80's architecture
+#: gap costs the most), but errors past this mean the pooled fit broke.
+TRANSFER_MAPE_CEILING = 2.0
+
+
+def compare_transfer(
+    baseline: dict, fresh: dict, tolerance: float, max_ratio: float
+) -> Tuple[List[str], List[str]]:
+    """Checks for the cross-hardware transfer benchmark reports.
+
+    Everything gated here is machine-independent: LOGO MAPEs are
+    deterministic functions of the simulated profiles, the boolean
+    sanity flags are exact, and the spec-only sweep overhead is a
+    same-process ratio so host speed cancels out. The MAPE comparison
+    against the committed baseline is the drift tripwire — a change to
+    the pooled design matrix or the collapse arithmetic moves it
+    immediately.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+
+    covers = bool(fresh["logo"].get("covers_all_gpus"))
+    lines.append(
+        f"  {'LOGO covers all paper GPUs':<28s} "
+        f"[{'ok' if covers else 'FAIL'}]"
+    )
+    if not covers:
+        failures.append(
+            "transfer: LOGO report does not cover every profiled GPU"
+        )
+
+    for flag, label, message in (
+        (bool(fresh["logo"].get("all_finite")), "LOGO MAPEs finite",
+         "transfer: non-finite LOGO MAPE"),
+        (bool(fresh["spec_only"].get("all_finite")),
+         "spec-only sweep finite",
+         "transfer: non-finite spec-only sweep prediction"),
+        (bool(fresh["spec_only"].get("uncertainty_positive")),
+         "spec-only uncertainty bands",
+         "transfer: spec-only prediction lacks uncertainty bands"),
+    ):
+        lines.append(f"  {label:<28s} [{'ok' if flag else 'FAIL'}]")
+        if not flag:
+            failures.append(message)
+
+    base_mape = _lookup(baseline, ("logo", "max_transfer_mape"))
+    new_mape = _lookup(fresh, ("logo", "max_transfer_mape"))
+    ceiling_ok = new_mape <= TRANSFER_MAPE_CEILING
+    # MAPE gates invert the speedup convention: higher is worse.
+    change = (new_mape - base_mape) / base_mape if base_mape else float("inf")
+    verdict = "ok"
+    if not ceiling_ok:
+        verdict = "FAIL"
+        failures.append(
+            f"transfer: worst LOGO MAPE {new_mape:.1%} exceeds the "
+            f"{TRANSFER_MAPE_CEILING:.0%} ceiling"
+        )
+    elif change > tolerance:
+        verdict = "REGRESSION"
+        failures.append(
+            f"transfer: worst LOGO MAPE {new_mape:.1%} is {change:.0%} "
+            f"above the committed {base_mape:.1%} (tolerance "
+            f"{tolerance:.0%})"
+        )
+    elif change < -tolerance:
+        verdict = "improved — consider refreshing the baseline"
+    lines.append(
+        f"  {'worst LOGO transfer MAPE':<28s} baseline {base_mape:10.1%}   "
+        f"fresh {new_mape:10.1%}   {change:+7.1%}  [{verdict}]"
+    )
+
+    ratio = _lookup(fresh, ("spec_only", "overhead_ratio"))
+    ratio_ok = ratio <= max_ratio
+    lines.append(
+        f"  {'spec-only sweep overhead':<28s} fresh {ratio:10.2f}x   "
+        f"budget {max_ratio:.1f}x  [{'ok' if ratio_ok else 'REGRESSION'}]"
+    )
+    if not ratio_ok:
+        failures.append(
+            f"transfer: spec-only warm sweep is {ratio:.2f}x the "
+            f"profiled sweep, over the {max_ratio:.1f}x budget"
+        )
+
+    lines.append(
+        "  -- per-fold MAPEs (informational) --"
+    )
+    for gpu in fresh["logo"].get("gpus", []):
+        fold = fresh["logo"]["folds"][gpu]
+        base_fold = baseline["logo"]["folds"].get(gpu, {})
+        base_v = float(base_fold.get("transfer_mape", float("nan")))
+        lines.append(
+            f"  holdout {gpu:<20s} baseline {base_v:10.1%}   "
+            f"fresh {float(fold['transfer_mape']):10.1%}"
+        )
+    return lines, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path,
@@ -335,6 +445,18 @@ def main(argv=None) -> int:
     parser.add_argument("--catalog-min", type=float, default=10.0,
                         help="minimum warm batched-vs-loop catalog sweep "
                              "speedup (default 10.0)")
+    parser.add_argument("--transfer-baseline", type=Path,
+                        default=Path("BENCH_transfer.json"),
+                        help="committed transfer benchmark report")
+    parser.add_argument("--transfer-fresh", type=Path, default=None,
+                        help="freshly generated transfer report; enables "
+                             "the cross-hardware transfer checks")
+    parser.add_argument("--transfer-tolerance", type=float, default=0.25,
+                        help="allowed fractional rise in the worst LOGO "
+                             "transfer MAPE vs its baseline")
+    parser.add_argument("--transfer-max-overhead", type=float, default=3.0,
+                        help="maximum spec-only/profiled warm sweep ratio "
+                             "(default 3.0)")
     args = parser.parse_args(argv)
     if not 0 < args.tolerance < 1:
         parser.error("--tolerance must be in (0, 1)")
@@ -364,6 +486,17 @@ def main(argv=None) -> int:
         print(f"catalog gate: {args.catalog_fresh} vs {args.catalog_baseline}")
         print("\n".join(catalog_lines))
         failures.extend(catalog_failures)
+    if args.transfer_fresh is not None:
+        transfer_baseline = json.loads(args.transfer_baseline.read_text())
+        transfer_fresh = json.loads(args.transfer_fresh.read_text())
+        transfer_lines, transfer_failures = compare_transfer(
+            transfer_baseline, transfer_fresh, args.transfer_tolerance,
+            args.transfer_max_overhead,
+        )
+        print(f"transfer gate: {args.transfer_fresh} vs "
+              f"{args.transfer_baseline}")
+        print("\n".join(transfer_lines))
+        failures.extend(transfer_failures)
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)
         for failure in failures:
