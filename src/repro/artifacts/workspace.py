@@ -280,22 +280,36 @@ class Workspace:
         return self.directory / ADMITTED_GPUS_FILE
 
     def admit_gpu(
-        self, spec: GpuSpec, usd_per_hr: float, max_gpus: int = 8
+        self, spec: GpuSpec, usd_per_hr: float, max_gpus: int = 8,
+        replace: bool = False,
     ) -> None:
         """Admit a spec-only GPU into the catalogue and persist it here.
 
         Registers the spec with :mod:`repro.cloud.catalog` for this
         process and records it (atomically) in ``admitted_gpus.json`` so
         a later process pointed at the same workspace can re-admit it via
-        :meth:`load_admitted_gpus`. Re-admitting an existing key replaces
-        its record.
+        :meth:`load_admitted_gpus`.
+
+        Admitting a key this workspace already persists raises
+        :class:`~repro.errors.CatalogError` unless ``replace=True`` —
+        silently overwriting the record would change the price of every
+        prediction made from this workspace from then on.
         """
         from repro.cloud.catalog import admit_gpu as catalog_admit
+        from repro.errors import CatalogError
 
-        catalog_admit(spec, usd_per_hr=usd_per_hr, max_gpus=max_gpus)
         entries = {
             entry["spec"]["key"]: entry for entry in self._read_admitted()
         }
+        if not replace and spec.key in entries:
+            raise CatalogError(
+                f"GPU {spec.key!r} is already admitted in workspace "
+                f"{self.directory} ({self.admitted_gpus_path.name}); pass "
+                f"replace=True (CLI: --replace) to overwrite its record"
+            )
+        catalog_admit(
+            spec, usd_per_hr=usd_per_hr, max_gpus=max_gpus, replace=replace
+        )
         entries[spec.key] = {
             "spec": asdict(spec),
             "usd_per_hr": usd_per_hr,
@@ -323,10 +337,14 @@ class Workspace:
         keys: List[str] = []
         for entry in self._read_admitted():
             spec = GpuSpec(**entry["spec"])
+            # replace=True: re-loading the same workspace record over a
+            # key this process already admitted is a refresh, not a
+            # conflicting second admission.
             catalog_admit(
                 spec,
                 usd_per_hr=float(entry["usd_per_hr"]),
                 max_gpus=int(entry["max_gpus"]),
+                replace=True,
             )
             keys.append(spec.key)
         return tuple(keys)

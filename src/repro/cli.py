@@ -12,6 +12,8 @@ Commands mirror the paper's workflow:
 * ``catalog`` — list the priced AWS instance menu (On-Demand and spot).
 * ``figures`` — regenerate paper figures by name (or ``all``).
 * ``cache`` — inspect or clear the artifact workspace backing fit/figures.
+* ``serve`` — run the recommendation service: a long-lived HTTP server
+  answering predict/recommend/pareto queries over one warmed estimator.
 
 ``fit`` and ``figures`` share one artifact workspace (``--workspace``, or
 ``$REPRO_WORKSPACE``, or ``~/.cache/repro/workspace``), so running them as
@@ -200,7 +202,34 @@ def _build_parser() -> argparse.ArgumentParser:
     catalog_admit.add_argument("--max-gpus", type=int, default=8,
                                help="largest instance size to admit "
                                     "(default: 8)")
+    catalog_admit.add_argument("--replace", action="store_true",
+                               help="overwrite an existing admission of the "
+                                    "same GPU key (without this, re-admitting "
+                                    "is an error)")
     add_workspace_arg(catalog_admit)
+
+    serve = sub.add_parser(
+        "serve", help="run the recommendation service over a fitted estimator"
+    )
+    serve.add_argument("--estimator", required=True,
+                       help="fitted estimator JSON (from 'repro fit')")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8100,
+                       help="port to bind; 0 picks an ephemeral port "
+                            "(default: 8100)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="bounded response-cache entries (default: 1024)")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip pre-compiling graphs at startup (first "
+                            "query per model pays compilation instead)")
+    serve.add_argument("--models", metavar="M1,M2,...",
+                       help="comma-separated zoo models to pre-warm "
+                            "(default: the whole zoo)")
+    serve.add_argument("--warm-batches", metavar="B1,B2,...",
+                       help="comma-separated batch sizes to pre-warm "
+                            "(default: 32)")
+    add_workspace_arg(serve)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("names", nargs="+",
@@ -545,7 +574,10 @@ def _cmd_catalog_admit(args, out) -> int:
     spec = GpuSpec(**data)
     workspace = _resolve_workspace(args)
     workspace.load_admitted_gpus()
-    workspace.admit_gpu(spec, usd_per_hr=args.usd_per_hr, max_gpus=args.max_gpus)
+    workspace.admit_gpu(
+        spec, usd_per_hr=args.usd_per_hr, max_gpus=args.max_gpus,
+        replace=args.replace,
+    )
     print(
         f"admitted {spec.key} ({spec.marketing_name}) at "
         f"${args.usd_per_hr:.3f}/hr per GPU, up to {args.max_gpus} GPUs",
@@ -721,6 +753,72 @@ def _canonical_profile_spec(iterations: int) -> dict:
     }
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from repro.models.zoo import model_names
+    from repro.serve.app import ServeApp, ServeState
+    from repro.serve.http import serve_forever
+
+    _load_admitted(args)  # admitted spec-only GPUs join the served catalog
+    models = None
+    if args.models:
+        models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+        unknown = sorted(set(models) - set(model_names()))
+        if unknown:
+            raise ReproError(
+                f"unknown model(s) {unknown}; available: "
+                f"{', '.join(sorted(model_names()))}"
+            )
+    batches = (
+        _parse_batches(args.warm_batches) if args.warm_batches else (32,)
+    )
+    if args.cache_size < 1:
+        raise ReproError(f"--cache-size must be >= 1, got {args.cache_size}")
+    state = ServeState(
+        args.estimator,
+        cache_size=args.cache_size,
+        warm=not args.no_warm,
+        models=models,
+        batch_sizes=batches,
+    )
+    snapshot = state.holder.current
+    if snapshot.warm_report is not None:
+        report = snapshot.warm_report
+        print(
+            f"warmed {len(report.models)} model(s) x "
+            f"{len(report.batch_sizes)} batch size(s): "
+            f"{report.candidates} candidates pre-priced",
+            file=out,
+        )
+
+    def ready(server) -> None:
+        print(
+            f"serving {args.estimator} (generation {snapshot.generation}, "
+            f"backend {snapshot.backend}) on "
+            f"http://{args.host}:{server.bound_port}",
+            file=out,
+        )
+        print(
+            "endpoints: GET /healthz /metrics; POST /predict /recommend "
+            "/pareto /admin/reload  (SIGHUP reloads, SIGTERM stops)",
+            file=out,
+        )
+        out.flush()
+
+    try:
+        asyncio.run(
+            serve_forever(ServeApp(state), host=args.host, port=args.port,
+                          ready=ready)
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        state.close()
+    print("server stopped", file=out)
+    return 0
+
+
 def _cmd_check(args, out) -> int:
     from repro.staticcheck.cli import run_check
 
@@ -736,6 +834,7 @@ _COMMANDS = {
     "catalog": _cmd_catalog,
     "figures": _cmd_figures,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "check": _cmd_check,
 }
 

@@ -116,7 +116,8 @@ def admitted_gpu_keys() -> Tuple[str, ...]:
 
 
 def admit_gpu(
-    spec: GpuSpec, usd_per_hr: float, max_gpus: int = 8
+    spec: GpuSpec, usd_per_hr: float, max_gpus: int = 8,
+    replace: bool = False,
 ) -> Tuple[InstanceType, ...]:
     """Admit a never-profiled GPU to the catalog from its spec sheet.
 
@@ -125,12 +126,24 @@ def admit_gpu(
     ``usd_per_hr``) and, when ``max_gpus > 1``, ``<key>.admitted-<n>x``
     (``max_gpus`` GPUs at the linear per-GPU rate). Intermediate counts
     resolve through the paper's proxy proration rule like any other
-    family. Re-admitting a key replaces its instances.
+    family.
+
+    Admitting a key that is already admitted raises
+    :class:`~repro.errors.CatalogError` unless ``replace=True`` — a
+    second admission with a different price or size would otherwise
+    silently change what every later prediction costs.
     """
     if usd_per_hr <= 0:
         raise CatalogError(f"usd_per_hr must be positive, got {usd_per_hr}")
     if max_gpus < 1:
         raise CatalogError(f"max_gpus must be >= 1, got {max_gpus}")
+    if not replace and spec.key in {
+        inst.gpu_key for inst in _ADMITTED_INSTANCES.values()
+    }:
+        raise CatalogError(
+            f"GPU {spec.key!r} is already admitted; pass replace=True "
+            f"(CLI: --replace) to overwrite its price/size"
+        )
     register_gpu_spec(spec)
     base = InstanceType(
         name=f"{spec.key.lower()}.admitted",

@@ -87,3 +87,7 @@ class FanoutError(ReproError):
 
 class RecommendationError(ReproError):
     """No instance satisfies the requested objective/constraints."""
+
+
+class ServeError(ReproError):
+    """The serving layer rejected a request or could not swap a snapshot."""

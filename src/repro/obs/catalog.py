@@ -67,6 +67,10 @@ SPAN_CATALOG: Mapping[str, str] = {
     "profile.run": "one (model, GPU) profiling cell",
     "profile.sweep": "a profiling sweep over (models x GPUs)",
     "recommend.sweep": "recommender candidate sweep",
+    "serve.load": "initial serving-snapshot load + warm at startup",
+    "serve.reload": "zero-downtime snapshot hot swap (admin/reload or SIGHUP)",
+    "serve.request": "one HTTP request through the serving app",
+    "serve.warm": "pre-compiling graphs / pre-touching caches for a snapshot",
     "store.compute": "artifact store miss-path compute",
     "store.disk_read": "artifact store disk-tier read",
     "store.lock_wait": "artifact store cross-process lock wait",
@@ -91,6 +95,14 @@ METRIC_CATALOG: Mapping[str, str] = {
     "parallel.tasks": "fan-out task outcomes {outcome=ok|retried|failed}",
     "profiling.records": "profile records produced",
     "profiling.runs": "profiling cells run {gpu=...}",
+    "serve.cache": "response LRU lookups {outcome=hit|miss}",
+    "serve.cache_dropped": "cached responses dropped by hot swaps",
+    "serve.coalesced": "requests that joined an identical in-flight evaluation",
+    "serve.errors": "requests that hit an unexpected internal error",
+    "serve.evaluations": "estimator evaluations run on the serve lane {endpoint=...}",
+    "serve.reloads": "successful snapshot hot swaps",
+    "serve.request_us": "request wall-clock latency in microseconds {endpoint=...}",
+    "serve.requests": "HTTP requests served {endpoint=...,status=...}",
     "transfer.fits": "pooled transfer-model fits",
     "transfer.folds": "leave-one-GPU-out folds evaluated",
     "transfer.synthesized": "per-device models synthesized from transfer fits",

@@ -1,0 +1,311 @@
+"""A minimal asyncio HTTP/1.1 server for the ASGI serving app.
+
+The repo takes no web-framework dependency; this module speaks just
+enough HTTP/1.1 to serve :class:`repro.serve.app.ServeApp` — request
+line, headers, ``Content-Length`` bodies, and keep-alive — on stdlib
+``asyncio.start_server``. Anything fancier (chunked uploads, TLS,
+HTTP/2) belongs to a real ASGI server, which the app object also runs
+under unchanged.
+
+Signals (Unix): ``SIGHUP`` triggers a zero-downtime snapshot reload,
+``SIGTERM``/``SIGINT`` stop accepting connections, let in-flight
+requests finish, and return from :func:`serve_forever`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.serve.app import ServeApp
+
+__all__ = ["HttpServer", "serve_forever"]
+
+#: Guard rails for untrusted peers; generous for this API's tiny requests.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 32768
+MAX_BODY_BYTES = 1 << 20
+#: Idle keep-alive timeout between requests on one connection.
+KEEPALIVE_TIMEOUT_S = 30.0
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large", 500: "Internal Server Error",
+    505: "HTTP Version Not Supported",
+}
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP framing; carries the status to answer with."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        self.status = status
+        self.detail = detail
+        super().__init__(detail)
+
+
+class HttpServer:
+    """One listening socket bridging HTTP/1.1 connections to the app."""
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1", port: int = 8100) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping: Optional[asyncio.Event] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (resolves ``port=0`` ephemeral binds)."""
+        if self._server is None or not self._server.sockets:
+            return self.port
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+
+    def request_stop(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def run_until_stopped(self) -> None:
+        if self._server is None or self._stopping is None:
+            raise RuntimeError("HttpServer.start() was never awaited")
+        await self._stopping.wait()
+        self._server.close()
+        await self._server.wait_closed()
+
+    # -- one connection --------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        _read_request(reader), timeout=KEEPALIVE_TIMEOUT_S
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if request is None:  # peer closed between requests
+                    break
+                keep_alive = await self._respond(writer, request)
+                if not keep_alive:
+                    break
+        except _BadRequest as exc:
+            await _write_error(writer, exc.status, exc.detail)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, request: "_Request"
+    ) -> bool:
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": request.method,
+            "path": request.path,
+            "raw_path": request.raw_path.encode("ascii", "replace"),
+            "query_string": request.query,
+            "headers": request.headers_raw,
+            "scheme": "http",
+        }
+        body_sent = False
+
+        async def receive() -> Dict[str, Any]:
+            nonlocal body_sent
+            if body_sent:
+                return {"type": "http.disconnect"}
+            body_sent = True
+            return {"type": "http.request", "body": request.body,
+                    "more_body": False}
+
+        messages: List[Dict[str, Any]] = []
+
+        async def send(message: Dict[str, Any]) -> None:
+            messages.append(message)
+
+        await self.app(scope, receive, send)
+        status = 500
+        headers: List[Tuple[bytes, bytes]] = []
+        body = b""
+        for message in messages:
+            if message["type"] == "http.response.start":
+                status = int(message["status"])
+                headers = [
+                    (bytes(k), bytes(v)) for k, v in message.get("headers", [])
+                ]
+            elif message["type"] == "http.response.body":
+                body += message.get("body", b"")
+        keep_alive = request.keep_alive
+        _write_response(writer, status, headers, body, keep_alive)
+        await writer.drain()
+        return keep_alive
+
+
+class _Request:
+    __slots__ = (
+        "method", "path", "raw_path", "query", "headers_raw", "body",
+        "keep_alive",
+    )
+
+    def __init__(self, method: str, path: str, raw_path: str, query: bytes,
+                 headers_raw: List[Tuple[bytes, bytes]], body: bytes,
+                 keep_alive: bool) -> None:
+        self.method = method
+        self.path = path
+        self.raw_path = raw_path
+        self.query = query
+        self.headers_raw = headers_raw
+        self.body = body
+        self.keep_alive = keep_alive
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[_Request]:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between keep-alive requests
+        raise _BadRequest(400, "truncated request line")
+    except asyncio.LimitOverrunError:
+        raise _BadRequest(400, "request line exceeds stream limit")
+    if len(line) > MAX_REQUEST_LINE:
+        raise _BadRequest(400, "request line too long")
+    parts = line.decode("ascii", "replace").strip().split(" ")
+    if len(parts) != 3:
+        raise _BadRequest(400, f"malformed request line {line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise _BadRequest(505, f"unsupported HTTP version {version!r}")
+
+    headers_raw: List[Tuple[bytes, bytes]] = []
+    header_bytes = 0
+    while True:
+        line = await reader.readuntil(b"\r\n")
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise _BadRequest(431, "request headers too large")
+        if line == b"\r\n":
+            break
+        name, sep, value = line.strip().partition(b":")
+        if not sep:
+            raise _BadRequest(400, f"malformed header line {line!r}")
+        headers_raw.append((name.strip().lower(), value.strip()))
+
+    headers = {k: v for k, v in headers_raw}
+    content_length = 0
+    if b"content-length" in headers:
+        try:
+            content_length = int(headers[b"content-length"])
+        except ValueError:
+            raise _BadRequest(400, "malformed Content-Length")
+        if content_length < 0:
+            raise _BadRequest(400, "negative Content-Length")
+        if content_length > MAX_BODY_BYTES:
+            raise _BadRequest(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    if headers.get(b"transfer-encoding", b"").lower() == b"chunked":
+        raise _BadRequest(400, "chunked request bodies are not supported")
+    body = await reader.readexactly(content_length) if content_length else b""
+
+    if version == "HTTP/1.0":
+        keep_alive = headers.get(b"connection", b"").lower() == b"keep-alive"
+    else:
+        keep_alive = headers.get(b"connection", b"").lower() != b"close"
+
+    path, _, query_text = target.partition("?")
+    return _Request(
+        method=method.upper(), path=path, raw_path=target,
+        query=query_text.encode("ascii", "replace"),
+        headers_raw=headers_raw, body=body, keep_alive=keep_alive,
+    )
+
+
+def _write_response(
+    writer: asyncio.StreamWriter, status: int,
+    headers: List[Tuple[bytes, bytes]], body: bytes, keep_alive: bool,
+) -> None:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}\r\n".encode("ascii")]
+    seen = set()
+    for name, value in headers:
+        seen.add(name.lower())
+        lines.append(name + b": " + value + b"\r\n")
+    if b"content-length" not in seen:
+        lines.append(f"content-length: {len(body)}\r\n".encode("ascii"))
+    lines.append(
+        b"connection: keep-alive\r\n" if keep_alive else b"connection: close\r\n"
+    )
+    lines.append(b"\r\n")
+    writer.write(b"".join(lines) + body)
+
+
+async def _write_error(writer: asyncio.StreamWriter, status: int, detail: str) -> None:
+    body = (f'{{"error": "{detail}"}}' + "\n").encode("utf-8")
+    _write_response(
+        writer, status, [(b"content-type", b"application/json")], body,
+        keep_alive=False,
+    )
+    try:
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass
+
+
+async def serve_forever(
+    app: ServeApp,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    ready: Optional[Callable[[HttpServer], None]] = None,
+    install_signals: bool = True,
+) -> None:
+    """Run the server until SIGTERM/SIGINT (or ``request_stop()``).
+
+    ``ready`` fires once the socket is bound (the CLI prints the URL;
+    tests grab the ephemeral port). ``SIGHUP`` hot-swaps the snapshot in
+    place — failures are logged to the span/metrics stream and the old
+    generation stays live.
+    """
+    server = HttpServer(app, host=host, port=port)
+    await server.start()
+    loop = asyncio.get_running_loop()
+
+    def _reload_done(task: "asyncio.Task[Any]") -> None:
+        exc = task.exception()
+        if exc is not None:
+            app.state.registry.counter("serve.errors").inc()
+
+    def _on_hup() -> None:
+        task = loop.create_task(app.state.reload())
+        task.add_done_callback(_reload_done)
+
+    installed = []
+    if install_signals:
+        try:
+            loop.add_signal_handler(signal.SIGHUP, _on_hup)
+            installed.append(signal.SIGHUP)
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(sig, server.request_stop)
+                installed.append(sig)
+        except (NotImplementedError, AttributeError, RuntimeError):
+            installed = []  # non-Unix or nested loop: run without signals
+    if ready is not None:
+        ready(server)
+    try:
+        await server.run_until_stopped()
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)

@@ -188,11 +188,25 @@ class TestAdmittedGpus:
         assert workspace.load_admitted_gpus() == ()
         assert not workspace.admitted_gpus_path.exists()
 
-    def test_readmission_replaces_entry(self, workspace):
+    def test_readmission_without_replace_raises(self, workspace):
+        import json
+
+        from repro.errors import CatalogError
+
+        workspace.admit_gpu(self._spec(), usd_per_hr=1.5, max_gpus=2)
+        with pytest.raises(CatalogError, match="already admitted"):
+            workspace.admit_gpu(self._spec(), usd_per_hr=2.0, max_gpus=4)
+        # the persisted record is untouched by the rejected call
+        doc = json.loads(workspace.admitted_gpus_path.read_text())
+        assert len(doc["gpus"]) == 1
+        assert doc["gpus"][0]["usd_per_hr"] == 1.5
+
+    def test_readmission_with_replace_updates_entry(self, workspace):
         import json
 
         workspace.admit_gpu(self._spec(), usd_per_hr=1.5, max_gpus=2)
-        workspace.admit_gpu(self._spec(), usd_per_hr=2.0, max_gpus=4)
+        workspace.admit_gpu(self._spec(), usd_per_hr=2.0, max_gpus=4,
+                            replace=True)
         doc = json.loads(workspace.admitted_gpus_path.read_text())
         assert len(doc["gpus"]) == 1
         assert doc["gpus"][0]["usd_per_hr"] == 2.0

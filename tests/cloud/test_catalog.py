@@ -222,3 +222,19 @@ class TestAdmission:
             admit_gpu(self._spec(key="BADP"), usd_per_hr=0.0)
         with pytest.raises(CatalogError):
             admit_gpu(self._spec(key="BADK"), usd_per_hr=1.0, max_gpus=0)
+
+    def test_duplicate_admission_rejected_unless_replace(self):
+        from repro.cloud.catalog import admit_gpu, clear_admitted, instance_by_name
+
+        admit_gpu(self._spec(key="DGPU"), usd_per_hr=1.0, max_gpus=2)
+        try:
+            with pytest.raises(CatalogError, match="already admitted"):
+                admit_gpu(self._spec(key="DGPU"), usd_per_hr=9.0, max_gpus=2)
+            # the rejected call must not have clobbered the live price
+            assert instance_by_name("dgpu.admitted").usd_per_hr == 1.0
+            admit_gpu(self._spec(key="DGPU"), usd_per_hr=2.0, max_gpus=4,
+                      replace=True)
+            assert instance_by_name("dgpu.admitted").usd_per_hr == 2.0
+            assert instance_by_name("dgpu.admitted-4x").num_gpus == 4
+        finally:
+            clear_admitted("DGPU")

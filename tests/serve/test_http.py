@@ -1,0 +1,171 @@
+"""The stdlib HTTP/1.1 server: real sockets, keep-alive, framing errors."""
+
+import asyncio
+import json
+
+from repro.serve.http import HttpServer
+
+
+async def _with_server(app, scenario):
+    """Start an ephemeral-port server, run ``scenario(port)``, stop."""
+    server = HttpServer(app, host="127.0.0.1", port=0)
+    await server.start()
+    runner = asyncio.ensure_future(server.run_until_stopped())
+    try:
+        return await scenario(server.bound_port)
+    finally:
+        server.request_stop()
+        await runner
+
+
+async def _raw_roundtrip(port, payload):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(payload)
+        await writer.drain()
+        return await asyncio.wait_for(reader.read(65536), timeout=10)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _get(path):
+    return (f"GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").encode()
+
+
+def _post(path, body):
+    raw = json.dumps(body).encode()
+    return (
+        f"POST {path} HTTP/1.1\r\nhost: t\r\n"
+        f"content-type: application/json\r\n"
+        f"content-length: {len(raw)}\r\n\r\n"
+    ).encode() + raw
+
+
+def _parse(response):
+    head, _, payload = response.partition(b"\r\n\r\n")
+    lines = head.split(b"\r\n")
+    status = int(lines[0].split(b" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(b":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, payload
+
+
+class TestRoundTrip:
+    def test_healthz_over_a_real_socket(self, serve_app):
+        async def scenario(port):
+            return _parse(await _raw_roundtrip(port, _get("/healthz")))
+
+        status, headers, payload = asyncio.run(
+            _with_server(serve_app, scenario)
+        )
+        assert status == 200
+        assert headers[b"content-type"].startswith(b"application/json")
+        assert int(headers[b"content-length"]) == len(payload)
+        assert json.loads(payload)["generation"] == 1
+
+    def test_predict_post_over_a_real_socket(self, serve_app):
+        async def scenario(port):
+            raw = await _raw_roundtrip(
+                port, _post("/predict", {"model": "alexnet", "gpu": "V100"})
+            )
+            return _parse(raw)
+
+        status, _, payload = asyncio.run(_with_server(serve_app, scenario))
+        assert status == 200
+        assert json.loads(payload)["prediction"]["cost_usd"] > 0
+
+    def test_keep_alive_serves_multiple_requests(self, serve_app):
+        async def scenario(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                statuses = []
+                for _ in range(3):
+                    writer.write(_get("/healthz"))
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    status, headers, _ = _parse(head + b"")
+                    length = int(headers[b"content-length"])
+                    await reader.readexactly(length)
+                    statuses.append(status)
+                return statuses
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        assert asyncio.run(_with_server(serve_app, scenario)) == [200] * 3
+
+    def test_connection_close_is_honoured(self, serve_app):
+        async def scenario(port):
+            raw = await _raw_roundtrip(
+                port,
+                b"GET /healthz HTTP/1.1\r\nhost: t\r\n"
+                b"connection: close\r\n\r\n",
+            )
+            return _parse(raw)
+
+        status, headers, _ = asyncio.run(_with_server(serve_app, scenario))
+        assert status == 200
+        assert headers[b"connection"] == b"close"
+
+
+class TestFraming:
+    def test_garbage_request_line_is_400(self, serve_app):
+        async def scenario(port):
+            return _parse(await _raw_roundtrip(port, b"NOT-HTTP\r\n\r\n"))
+
+        status, _, _ = asyncio.run(_with_server(serve_app, scenario))
+        assert status == 400
+
+    def test_http10_defaults_to_connection_close(self, serve_app):
+        async def scenario(port):
+            raw = await _raw_roundtrip(
+                port, b"GET /healthz HTTP/1.0\r\nhost: t\r\n\r\n"
+            )
+            return _parse(raw)
+
+        status, headers, _ = asyncio.run(_with_server(serve_app, scenario))
+        assert status == 200
+        assert headers[b"connection"] == b"close"
+
+    def test_unknown_http_version_is_505(self, serve_app):
+        async def scenario(port):
+            raw = await _raw_roundtrip(
+                port, b"GET /healthz HTTP/2.0\r\nhost: t\r\n\r\n"
+            )
+            return _parse(raw)
+
+        status, _, _ = asyncio.run(_with_server(serve_app, scenario))
+        assert status == 505
+
+    def test_chunked_bodies_are_rejected(self, serve_app):
+        async def scenario(port):
+            raw = await _raw_roundtrip(
+                port,
+                b"POST /predict HTTP/1.1\r\nhost: t\r\n"
+                b"transfer-encoding: chunked\r\n\r\n",
+            )
+            return _parse(raw)
+
+        status, _, _ = asyncio.run(_with_server(serve_app, scenario))
+        assert status in (400, 411, 501)
+
+    def test_oversized_body_is_rejected(self, serve_app):
+        async def scenario(port):
+            raw = await _raw_roundtrip(
+                port,
+                b"POST /predict HTTP/1.1\r\nhost: t\r\n"
+                b"content-length: 99999999\r\n\r\n" + b"x" * 1024,
+            )
+            return _parse(raw)
+
+        status, _, _ = asyncio.run(_with_server(serve_app, scenario))
+        assert status == 413

@@ -1,0 +1,83 @@
+"""Snapshot loading, the read-only view, and the atomic holder."""
+
+import pytest
+
+from repro.errors import ModelingError, ServeError
+from repro.serve.snapshot import SnapshotHolder, load_snapshot
+
+from tests.serve.conftest import WARM_MODELS
+
+
+class TestLoadSnapshot:
+    def test_loads_and_warms(self, serve_estimator_path):
+        snapshot = load_snapshot(
+            serve_estimator_path, generation=1, warm=True, models=WARM_MODELS
+        )
+        assert snapshot.generation == 1
+        assert snapshot.source == serve_estimator_path
+        assert snapshot.backend == "per_gpu"
+        assert snapshot.warm_report is not None
+        assert snapshot.warm_report.models == WARM_MODELS
+        assert snapshot.warm_report.candidates > 0
+        doc = snapshot.to_json()
+        assert doc["generation"] == 1
+        assert doc["warmed"]["models"] == list(WARM_MODELS)
+
+    def test_cold_load_skips_warm(self, serve_estimator_path):
+        snapshot = load_snapshot(serve_estimator_path, generation=1,
+                                 warm=False)
+        assert snapshot.warm_report is None
+        assert "warmed" not in snapshot.to_json()
+
+    def test_missing_file_raises_serve_error(self, tmp_path):
+        with pytest.raises(ServeError, match="cannot load estimator"):
+            load_snapshot(str(tmp_path / "missing.json"), generation=1)
+
+    def test_corrupt_file_raises_serve_error(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(ServeError, match="cannot load estimator"):
+            load_snapshot(str(path), generation=1)
+
+    def test_estimator_view_is_read_only(self, serve_estimator_path):
+        snapshot = load_snapshot(serve_estimator_path, generation=1,
+                                 warm=False)
+        with pytest.raises(ModelingError, match="read-only"):
+            snapshot.estimator.heavy_only = True
+        with pytest.raises(ModelingError, match="read-only"):
+            del snapshot.estimator.heavy_only
+        # reads still delegate to the wrapped estimator
+        assert snapshot.estimator.heavy_only is snapshot.estimator.wrapped.heavy_only
+
+    def test_plan_is_shared_per_shape(self, serve_estimator_path):
+        from repro.cloud.pricing import ON_DEMAND
+
+        snapshot = load_snapshot(serve_estimator_path, generation=1,
+                                 warm=False)
+        a = snapshot.plan_for((32,), "on-demand", ON_DEMAND)
+        b = snapshot.plan_for((32,), "on-demand", ON_DEMAND)
+        c = snapshot.plan_for((16, 32), "on-demand", ON_DEMAND)
+        assert a is b
+        assert c is not a
+
+
+class TestSnapshotHolder:
+    def test_swap_installs_newer_generation(self, serve_estimator_path):
+        first = load_snapshot(serve_estimator_path, generation=1, warm=False)
+        second = load_snapshot(serve_estimator_path, generation=2, warm=False)
+        holder = SnapshotHolder(first)
+        old = holder.swap(second)
+        assert old is first
+        assert holder.current is second
+        assert holder.generation == 2
+
+    def test_stale_swap_rejected(self, serve_estimator_path):
+        first = load_snapshot(serve_estimator_path, generation=1, warm=False)
+        second = load_snapshot(serve_estimator_path, generation=2, warm=False)
+        holder = SnapshotHolder(second)
+        with pytest.raises(ServeError, match="stale snapshot swap"):
+            holder.swap(first)
+        same = load_snapshot(serve_estimator_path, generation=2, warm=False)
+        with pytest.raises(ServeError, match="stale snapshot swap"):
+            holder.swap(same)
+        assert holder.current is second

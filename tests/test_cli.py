@@ -601,6 +601,42 @@ class TestCatalogAdmit:
         )
         assert code == 2
 
+    def test_duplicate_admit_errors_without_replace(
+        self, spec_file, tmp_path, clean_admitted, capsys
+    ):
+        ws = str(tmp_path / "ws")
+        code, _ = _run(
+            ["catalog", "admit", "--spec", spec_file,
+             "--usd-per-hr", "1.0", "--workspace", ws]
+        )
+        assert code == 0
+        code, _ = _run(
+            ["catalog", "admit", "--spec", spec_file,
+             "--usd-per-hr", "2.0", "--workspace", ws]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "already admitted" in err and "--replace" in err
+
+    def test_duplicate_admit_succeeds_with_replace(
+        self, spec_file, tmp_path, clean_admitted
+    ):
+        from repro.cloud.catalog import instance_by_name
+
+        ws = str(tmp_path / "ws")
+        code, _ = _run(
+            ["catalog", "admit", "--spec", spec_file,
+             "--usd-per-hr", "1.0", "--workspace", ws]
+        )
+        assert code == 0
+        code, text = _run(
+            ["catalog", "admit", "--spec", spec_file,
+             "--usd-per-hr", "2.0", "--replace", "--workspace", ws]
+        )
+        assert code == 0
+        assert "admitted A10G" in text
+        assert instance_by_name("a10g.admitted").usd_per_hr == 2.0
+
 
 class TestFitBackendFlag:
     def test_transfer_backend_fit_writes_v2_estimator(self, tmp_path):

@@ -1,0 +1,609 @@
+#!/usr/bin/env python
+"""Load-test harness for the recommendation service (``repro serve``).
+
+Drives the serving app with concurrent client workers over a mixed
+query distribution (predict/recommend/pareto across models, GPUs and
+objectives) and emits a JSON report (``BENCH_serve.json``) with:
+
+* **load** — sustained qps, p50/p99 latency, error count, and the
+  coalescing/cache hit breakdown under the mixed workload;
+* **warm_vs_cold** — first-query latency on an unwarmed snapshot
+  (pays graph build + compile + coefficient stacking) vs an evaluation
+  on a warmed one, as a machine-independent ratio;
+* **coalesce** — wall time of a burst of N *distinct* concurrent
+  queries vs N *identical* ones (which must collapse to a single
+  evaluation), plus the counter-verified evaluation count;
+* **hotswap** — a client fleet hammering the service across repeated
+  ``/admin/reload`` swaps: zero dropped requests, every response from a
+  coherent generation.
+
+Two transports:
+
+* default (in-process) — builds the ASGI app directly and awaits it;
+  deterministic, no sockets, what the perf gate compares;
+* ``--url http://host:port`` — speaks real HTTP/1.1 with keep-alive to
+  an already-running ``repro serve`` (CI's serve job smoke), running the
+  load and per-endpoint sanity sections only.
+
+Headless usage::
+
+    PYTHONPATH=src python tools/bench_serve.py --json BENCH_serve.json
+    PYTHONPATH=src python tools/bench_serve.py --smoke --url http://127.0.0.1:8100
+"""
+
+from __future__ import annotations
+
+# Benchmarks time wall-clock by design.
+# staticcheck: ignore-file[determinism]
+
+import argparse
+import asyncio
+import json
+import platform
+import random
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.units import MS_PER_S
+
+#: The mixed query pool is drawn with this seed: every run replays the
+#: same request sequence, so reports are comparable across commits.
+POOL_SEED = 20200827  # IISWC 2020 paper id, arbitrary but fixed
+
+MODELS = ("alexnet", "resnet_50", "vgg_16", "inception_v3")
+GPUS = ("V100", "K80", "T4", "M60")
+
+
+def build_query_pool(n_unique: int) -> List[Tuple[str, Dict[str, Any]]]:
+    """``n_unique`` distinct (endpoint, body) pairs: ~60% predict,
+    ~30% recommend, ~10% pareto, cycled deterministically."""
+    rng = random.Random(POOL_SEED)
+    pool: List[Tuple[str, Dict[str, Any]]] = []
+    for i in range(n_unique):
+        roll = rng.random()
+        model = MODELS[i % len(MODELS)]
+        if roll < 0.6:
+            pool.append(("/predict", {
+                "model": model,
+                "gpu": GPUS[rng.randrange(len(GPUS))],
+                "gpus": rng.randrange(1, 5),
+                "batch": rng.choice((16, 32, 64)),
+            }))
+        elif roll < 0.9:
+            pool.append(("/recommend", {
+                "model": model,
+                "objective": rng.choice(("min-cost", "min-time")),
+                "batch": rng.choice((16, 32)),
+            }))
+        else:
+            pool.append(("/pareto", {"model": model,
+                                     "batches": [rng.choice((16, 32))]}))
+    return pool
+
+
+# ---------------------------------------------------------------------------
+# Transports: both expose  async request(method, path, body) -> (status, doc)
+# ---------------------------------------------------------------------------
+class AsgiTransport:
+    """Awaits the app object directly — no sockets, no serialization skew."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+
+    async def request(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None) -> Tuple[int, Any]:
+        raw = json.dumps(body).encode() if body is not None else b""
+        status_box: Dict[str, int] = {}
+        chunks: List[bytes] = []
+
+        async def receive() -> Dict[str, Any]:
+            return {"type": "http.request", "body": raw, "more_body": False}
+
+        async def send(message: Dict[str, Any]) -> None:
+            if message["type"] == "http.response.start":
+                status_box["status"] = message["status"]
+            else:
+                chunks.append(message.get("body", b""))
+
+        scope = {"type": "http", "method": method, "path": path,
+                 "query_string": b""}
+        await self.app(scope, receive, send)
+        text = b"".join(chunks).decode("utf-8", "replace")
+        try:
+            return status_box.get("status", 0), json.loads(text)
+        except ValueError:
+            return status_box.get("status", 0), text
+
+    async def close(self) -> None:
+        pass
+
+
+class HttpTransport:
+    """One keep-alive HTTP/1.1 connection per worker to a live server."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def request(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None) -> Tuple[int, Any]:
+        if self._writer is None:
+            await self._connect()
+        assert self._reader is not None and self._writer is not None
+        raw = json.dumps(body).encode() if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"host: {self.host}:{self.port}\r\n"
+            f"content-type: application/json\r\n"
+            f"content-length: {len(raw)}\r\n\r\n"
+        ).encode("ascii")
+        self._writer.write(head + raw)
+        await self._writer.drain()
+        status_line = await self._reader.readuntil(b"\r\n")
+        status = int(status_line.split(b" ")[1])
+        content_length = 0
+        close_after = False
+        while True:
+            line = await self._reader.readuntil(b"\r\n")
+            if line == b"\r\n":
+                break
+            name, _, value = line.strip().partition(b":")
+            if name.strip().lower() == b"content-length":
+                content_length = int(value.strip())
+            if (name.strip().lower() == b"connection"
+                    and value.strip().lower() == b"close"):
+                close_after = True
+        payload = await self._reader.readexactly(content_length)
+        if close_after:
+            await self.close()
+        try:
+            return status, json.loads(payload.decode("utf-8", "replace"))
+        except ValueError:
+            return status, payload.decode("utf-8", "replace")
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = None
+        self._writer = None
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    from urllib.parse import urlparse
+
+    parsed = urlparse(url)
+    if parsed.scheme not in ("http", "") or parsed.hostname is None:
+        raise ValueError(f"--url must be http://host:port, got {url!r}")
+    return parsed.hostname, parsed.port or 80
+
+
+# ---------------------------------------------------------------------------
+# Benchmark sections
+# ---------------------------------------------------------------------------
+async def bench_load(make_transport, workers: int, requests_per_worker: int,
+                     pool, duplication: int) -> Dict[str, Any]:
+    """The mixed sustained-load section.
+
+    Each worker walks a deterministic per-worker schedule over the query
+    pool; ``duplication`` controls how many consecutive requests reuse
+    one pool entry (higher -> more cache/coalesce traffic, like real
+    clients asking popular questions).
+    """
+    latencies_ms: List[float] = []
+    errors: List[Any] = []
+
+    async def worker(wid: int) -> None:
+        transport = make_transport()
+        rng = random.Random(POOL_SEED + wid)
+        try:
+            for i in range(requests_per_worker):
+                path, body = pool[rng.randrange(len(pool) // duplication)
+                                  * duplication % len(pool)]
+                t0 = time.perf_counter()
+                status, doc = await transport.request("POST", path, body)
+                latencies_ms.append((time.perf_counter() - t0) * MS_PER_S)
+                if status != 200:
+                    errors.append((path, status, doc))
+        finally:
+            await transport.close()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*[worker(w) for w in range(workers)])
+    wall_s = time.perf_counter() - t0
+    total = workers * requests_per_worker
+    latencies_ms.sort()
+    return {
+        "workers": workers,
+        "requests": total,
+        "errors": len(errors),
+        "error_sample": errors[:3],
+        "wall_s": wall_s,
+        "qps": total / wall_s,
+        "p50_ms": statistics.median(latencies_ms),
+        "p99_ms": latencies_ms[min(len(latencies_ms) - 1,
+                                   int(len(latencies_ms) * 0.99))],
+        "max_ms": latencies_ms[-1],
+    }
+
+
+async def bench_warm_vs_cold(estimator_path: str) -> Dict[str, Any]:
+    """First-query latency (compile path) vs a warmed evaluation.
+
+    Both sides are LRU misses that run a real evaluation; the cold side
+    additionally pays graph build + compile + coefficient stacking. The
+    ratio is machine-independent: both halves run in this process.
+    """
+    from repro.serve.app import ServeApp, ServeState
+
+    state = ServeState(estimator_path, warm=False)
+    transport = AsgiTransport(ServeApp(state))
+    body = {"model": "resnet_101", "gpu": "V100", "gpus": 2}
+    try:
+        t0 = time.perf_counter()
+        status, _ = await transport.request("POST", "/predict", body)
+        cold_s = time.perf_counter() - t0
+        assert status == 200, status
+        warm_s = float("inf")
+        for i in range(5):
+            # vary a no-op field re-dimension (samples) to force fresh
+            # evaluations through warm caches rather than LRU hits
+            varied = dict(body, samples=1_200_000 + i + 1)
+            t0 = time.perf_counter()
+            status, _ = await transport.request("POST", "/predict", varied)
+            warm_s = min(warm_s, time.perf_counter() - t0)
+            assert status == 200, status
+        t0 = time.perf_counter()
+        status, _ = await transport.request("POST", "/predict", body)
+        hit_s = time.perf_counter() - t0
+        assert status == 200, status
+    finally:
+        state.close()
+    return {
+        "cold_ms": cold_s * MS_PER_S,
+        "warm_eval_ms": warm_s * MS_PER_S,
+        "cache_hit_ms": hit_s * MS_PER_S,
+        "warm_vs_cold_ratio": cold_s / warm_s,
+    }
+
+
+async def bench_coalesce(estimator_path: str, burst: int) -> Dict[str, Any]:
+    """N distinct concurrent queries vs N identical ones.
+
+    The identical burst must collapse to exactly one evaluation
+    (counter-asserted); the wall-clock ratio distinct/identical is the
+    machine-independent payoff of coalescing.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve.app import ServeApp, ServeState
+
+    registry = MetricsRegistry()
+    state = ServeState(estimator_path, warm=True, models=("resnet_50",),
+                       registry=registry)
+    transport = AsgiTransport(ServeApp(state))
+    try:
+        distinct = [
+            {"model": "resnet_50", "gpu": GPUS[i % len(GPUS)],
+             "gpus": 1 + i % 4, "samples": 1_200_000 + i}
+            for i in range(burst)
+        ]
+        t0 = time.perf_counter()
+        results = await asyncio.gather(*[
+            transport.request("POST", "/predict", b) for b in distinct
+        ])
+        distinct_s = time.perf_counter() - t0
+        assert all(s == 200 for s, _ in results), results[0]
+
+        def eval_count() -> int:
+            return sum(
+                r["value"] for r in registry.snapshot()
+                if r["name"] == "serve.evaluations"
+            )
+
+        before = eval_count()
+        same = {"model": "resnet_50", "gpu": "V100", "gpus": 3,
+                "samples": 2_400_000}
+        t0 = time.perf_counter()
+        results = await asyncio.gather(*[
+            transport.request("POST", "/predict", same) for _ in range(burst)
+        ])
+        identical_s = time.perf_counter() - t0
+        assert all(s == 200 for s, _ in results), results[0]
+        evaluations = eval_count() - before
+        coalesced = sum(
+            r["value"] for r in registry.snapshot()
+            if r["name"] == "serve.coalesced"
+        )
+    finally:
+        state.close()
+    return {
+        "burst": burst,
+        "distinct_wall_ms": distinct_s * MS_PER_S,
+        "identical_wall_ms": identical_s * MS_PER_S,
+        "coalesce_ratio": distinct_s / identical_s,
+        "identical_evaluations": evaluations,
+        "coalesced_total": coalesced,
+        "single_evaluation": evaluations == 1,
+    }
+
+
+async def bench_hotswap(estimator_path: str, workers: int,
+                        reloads: int) -> Dict[str, Any]:
+    """Client fleet across live reloads: nothing drops, nothing mixes.
+
+    Clients hammer the service *until every swap has completed* — the
+    fleet is guaranteed to overlap each reload — and every successful
+    response must carry a coherent generation stamp.
+    """
+    from repro.serve.app import ServeApp, ServeState
+
+    state = ServeState(estimator_path, warm=True, models=("alexnet",))
+    transport_app = ServeApp(state)
+    pool = [
+        ("/predict", {"model": "alexnet", "gpu": GPUS[i % len(GPUS)],
+                      "gpus": 1 + i % 4})
+        for i in range(16)
+    ]
+    dropped: List[Any] = []
+    generations: set = set()
+    done = 0
+    stop = asyncio.Event()
+
+    async def client(wid: int) -> None:
+        nonlocal done
+        transport = AsgiTransport(transport_app)
+        rng = random.Random(POOL_SEED + wid)
+        while not stop.is_set():
+            path, body = pool[rng.randrange(len(pool))]
+            status, doc = await transport.request("POST", path, body)
+            if status != 200:
+                dropped.append((path, status, doc))
+            else:
+                generations.add(doc["generation"])
+            done += 1
+            # A cache hit completes without suspending; yield so the
+            # swapper (and other clients) get scheduled between requests.
+            await asyncio.sleep(0)
+
+    async def swapper() -> None:
+        try:
+            for _ in range(reloads):
+                # let some traffic land on the current generation first
+                await asyncio.sleep(0.02)
+                await state.reload()
+            await asyncio.sleep(0.02)  # traffic on the final generation
+        finally:
+            stop.set()
+
+    try:
+        t0 = time.perf_counter()
+        await asyncio.gather(*[client(w) for w in range(workers)], swapper())
+        wall_s = time.perf_counter() - t0
+    finally:
+        state.close()
+    return {
+        "workers": workers,
+        "requests": done,
+        "reloads_requested": reloads,
+        "dropped": len(dropped),
+        "dropped_sample": dropped[:3],
+        "generations_seen": sorted(generations),
+        "final_generation": state.holder.generation,
+        "overlapped_swaps": len(generations) > 1,
+        "wall_s": wall_s,
+    }
+
+
+async def bench_endpoints(make_transport) -> Dict[str, Any]:
+    """One request per endpoint — the CI smoke sanity section."""
+    transport = make_transport()
+    results: Dict[str, Any] = {}
+    try:
+        status, doc = await transport.request("GET", "/healthz")
+        results["healthz"] = {"status": status,
+                              "generation": doc.get("generation")}
+        for path, body in (
+            ("/predict", {"model": "alexnet", "gpu": "V100"}),
+            ("/recommend", {"model": "resnet_50"}),
+            ("/pareto", {"model": "alexnet"}),
+        ):
+            status, doc = await transport.request("POST", path, body)
+            results[path.lstrip("/")] = {"status": status}
+        status, _ = await transport.request("GET", "/metrics")
+        results["metrics"] = {"status": status}
+        results["all_ok"] = all(
+            section["status"] == 200 for section in results.values()
+            if isinstance(section, dict)
+        )
+    finally:
+        await transport.close()
+    return results
+
+
+# ---------------------------------------------------------------------------
+def prepare_estimator(args) -> str:
+    if args.estimator:
+        return args.estimator
+    from repro.core.fit import fit_ceer
+    from repro.core.persistence import save_estimator
+
+    path = Path(tempfile.mkdtemp(prefix="bench-serve-")) / "estimator.json"
+    t0 = time.perf_counter()
+    fitted = fit_ceer(n_iterations=args.iterations)
+    save_estimator(fitted.estimator, path)
+    print(f"fit estimator in {time.perf_counter() - t0:.1f}s -> {path}")
+    return str(path)
+
+
+async def run(args) -> Dict[str, Any]:
+    report: Dict[str, Any] = {
+        "benchmark": "serve",
+        "config": {
+            "mode": "url" if args.url else "in-process",
+            "smoke": args.smoke,
+            "workers": args.workers,
+            "requests_per_worker": args.requests,
+            "pool_size": args.pool,
+            "duplication": args.duplication,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    pool = build_query_pool(args.pool)
+
+    if args.url:
+        host, port = parse_url(args.url)
+
+        def make_transport():
+            return HttpTransport(host, port)
+
+        report["endpoints"] = await bench_endpoints(make_transport)
+        report["load"] = await bench_load(
+            make_transport, args.workers, args.requests, pool,
+            args.duplication,
+        )
+        return report
+
+    estimator_path = prepare_estimator(args)
+    from repro.serve.app import ServeApp, ServeState
+
+    state = ServeState(estimator_path, warm=True, models=MODELS)
+    app = ServeApp(state)
+
+    def make_transport():
+        return AsgiTransport(app)
+
+    try:
+        report["endpoints"] = await bench_endpoints(make_transport)
+        report["load"] = await bench_load(
+            make_transport, args.workers, args.requests, pool,
+            args.duplication,
+        )
+    finally:
+        state.close()
+    report["warm_vs_cold"] = await bench_warm_vs_cold(estimator_path)
+    report["coalesce"] = await bench_coalesce(estimator_path, args.burst)
+    report["hotswap"] = await bench_hotswap(
+        estimator_path, workers=args.workers,
+        reloads=2 if args.smoke else 4,
+    )
+    return report
+
+
+def render(report: Dict[str, Any]) -> str:
+    lines = [f"serve benchmark ({report['config']['mode']})"]
+    endpoints = report.get("endpoints", {})
+    lines.append(
+        f"  endpoints: "
+        f"{'OK' if endpoints.get('all_ok') else 'FAIL ' + json.dumps(endpoints)}"
+    )
+    load = report.get("load", {})
+    if load:
+        lines.append(
+            f"  load: {load['requests']} requests x {load['workers']} workers "
+            f"-> {load['qps']:.0f} qps, p50 {load['p50_ms']:.2f} ms, "
+            f"p99 {load['p99_ms']:.2f} ms, {load['errors']} errors"
+        )
+    if "warm_vs_cold" in report:
+        w = report["warm_vs_cold"]
+        lines.append(
+            f"  warm-vs-cold: cold {w['cold_ms']:.1f} ms, warm eval "
+            f"{w['warm_eval_ms']:.2f} ms, LRU hit {w['cache_hit_ms']:.3f} ms "
+            f"({w['warm_vs_cold_ratio']:.1f}x)"
+        )
+    if "coalesce" in report:
+        c = report["coalesce"]
+        lines.append(
+            f"  coalesce: {c['burst']} distinct {c['distinct_wall_ms']:.1f} ms "
+            f"vs identical {c['identical_wall_ms']:.1f} ms "
+            f"({c['coalesce_ratio']:.1f}x), evaluations for identical burst: "
+            f"{c['identical_evaluations']} "
+            f"{'OK' if c['single_evaluation'] else 'FAIL'}"
+        )
+    if "hotswap" in report:
+        h = report["hotswap"]
+        lines.append(
+            f"  hotswap: {h['requests']} requests across "
+            f"{h['final_generation'] - 1} swaps, dropped {h['dropped']} "
+            f"{'OK' if h['dropped'] == 0 else 'FAIL'}, generations "
+            f"{h['generations_seen']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the JSON report to this path")
+    parser.add_argument("--url", default=None,
+                        help="bench a running server at http://host:port "
+                             "instead of in-process (load + sanity only)")
+    parser.add_argument("--estimator", default=None,
+                        help="fitted estimator JSON (default: fit one)")
+    parser.add_argument("--iterations", type=int, default=60,
+                        help="profiling iterations when fitting (default 60)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="concurrent client workers")
+    parser.add_argument("--requests", type=int, default=400,
+                        help="requests per worker in the load section")
+    parser.add_argument("--pool", type=int, default=64,
+                        help="distinct queries in the mixed pool")
+    parser.add_argument("--duplication", type=int, default=4,
+                        help="consecutive pool entries that collapse to one "
+                             "(higher -> hotter cache)")
+    parser.add_argument("--burst", type=int, default=16,
+                        help="burst size for the coalescing section")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI smoke")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.workers = min(args.workers, 4)
+        args.requests = min(args.requests, 40)
+        args.burst = min(args.burst, 8)
+    for name in ("workers", "requests", "pool", "duplication", "burst"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name} must be >= 1")
+
+    report = asyncio.run(run(args))
+    print(render(report))
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    failures = []
+    if not report.get("endpoints", {}).get("all_ok"):
+        failures.append("an endpoint sanity request failed")
+    if report.get("load", {}).get("errors"):
+        failures.append(f"{report['load']['errors']} load requests failed")
+    if "coalesce" in report and not report["coalesce"]["single_evaluation"]:
+        failures.append(
+            f"identical burst ran {report['coalesce']['identical_evaluations']}"
+            f" evaluations (expected 1)"
+        )
+    if "hotswap" in report and report["hotswap"]["dropped"]:
+        failures.append(
+            f"hot swap dropped {report['hotswap']['dropped']} request(s)"
+        )
+    if "hotswap" in report and not report["hotswap"]["overlapped_swaps"]:
+        failures.append("hot-swap traffic never overlapped a reload")
+    for failure in failures:
+        print(f"WARNING: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,15 @@ baseline, spec-only sweep predictions must be finite with positive
 uncertainty bands, and the spec-only/profiled warm sweep ratio must stay
 within ``--transfer-max-overhead``.
 
+The serving-layer benchmark (``tools/bench_serve.py`` /
+``BENCH_serve.json``) is checked when ``--serve-fresh`` is given: exact
+contracts (an identical concurrent burst collapses to one evaluation,
+hot swaps under live traffic drop zero requests, every endpoint answers)
+plus two same-process ratios — warm-vs-cold first-query latency and
+distinct-vs-identical burst wall time — each with an absolute floor and
+a drift tripwire against the committed baseline. qps and percentile
+latencies are informational.
+
 Usage (the CI ``perf`` job)::
 
     PYTHONPATH=src python tools/bench_engine.py --json fresh.json
@@ -412,6 +421,104 @@ def compare_transfer(
     return lines, failures
 
 
+#: Floors for the serving-layer ratios. Warm-vs-cold is large by
+#: construction (a cold query pays graph build + compile + stacking; a
+#: warm one reads caches), so 5x is a deliberately loose tripwire; the
+#: coalesce floor says a burst of N distinct queries must cost
+#: meaningfully more wall-clock than N identical coalesced ones.
+SERVE_WARM_COLD_FLOOR = 5.0
+SERVE_COALESCE_FLOOR = 1.5
+
+
+def compare_serve(
+    baseline: dict, fresh: dict, tolerance: float
+) -> Tuple[List[str], List[str]]:
+    """Checks for the serving-layer benchmark reports.
+
+    The hard contracts are exact booleans: an identical concurrent burst
+    must collapse to exactly one evaluation, a hot swap under live
+    traffic must drop zero requests while overlapping at least one
+    reload, and every sanity endpoint must answer 200. The two ratios —
+    warm-vs-cold first-query latency and distinct-vs-identical burst
+    wall time — are same-process, so host speed cancels; each has an
+    absolute floor plus a baseline drift tripwire. qps and percentile
+    latencies are machine-dependent and informational only.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+
+    for flag, label, message in (
+        (bool(fresh.get("endpoints", {}).get("all_ok")),
+         "endpoint sanity", "serve: an endpoint sanity request failed"),
+        (int(fresh.get("load", {}).get("errors", 1)) == 0,
+         "load errors == 0",
+         f"serve: {fresh.get('load', {}).get('errors')} load requests "
+         f"failed"),
+        (bool(fresh.get("coalesce", {}).get("single_evaluation")),
+         "identical burst -> 1 eval",
+         f"serve: identical burst ran "
+         f"{fresh.get('coalesce', {}).get('identical_evaluations')} "
+         f"evaluations (expected 1)"),
+        (int(fresh.get("hotswap", {}).get("dropped", 1)) == 0,
+         "hot swap drops == 0",
+         f"serve: hot swap dropped "
+         f"{fresh.get('hotswap', {}).get('dropped')} request(s)"),
+        (bool(fresh.get("hotswap", {}).get("overlapped_swaps")),
+         "traffic overlapped a swap",
+         "serve: hot-swap traffic never overlapped a reload"),
+    ):
+        lines.append(f"  {label:<28s} [{'ok' if flag else 'FAIL'}]")
+        if not flag:
+            failures.append(message)
+
+    for path, label, floor in (
+        (("warm_vs_cold", "warm_vs_cold_ratio"), "warm-vs-cold ratio",
+         SERVE_WARM_COLD_FLOOR),
+        (("coalesce", "coalesce_ratio"), "coalesce ratio",
+         SERVE_COALESCE_FLOOR),
+    ):
+        base = _lookup(baseline, path)
+        new = _lookup(fresh, path)
+        floor_ok = new >= floor
+        change = (new - base) / base if base else float("inf")
+        verdict = "ok"
+        if not floor_ok:
+            verdict = "REGRESSION"
+            failures.append(
+                f"serve: {label} {new:.1f}x is below the {floor:.1f}x floor"
+            )
+        elif change < -tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"serve: {label} {new:.1f}x is {-change:.0%} below the "
+                f"committed {base:.1f}x (tolerance {tolerance:.0%})"
+            )
+        elif change > tolerance:
+            verdict = "improved — consider refreshing the baseline"
+        lines.append(
+            f"  {label:<28s} baseline {base:10.1f}x   fresh {new:10.1f}x   "
+            f"{change:+7.1%}  floor {floor:.1f}x  [{verdict}]"
+        )
+
+    lines.append(
+        "  -- throughput/latency (informational; machine-dependent) --"
+    )
+    for path, label in (
+        (("load", "qps"), "sustained qps"),
+        (("load", "p50_ms"), "p50 ms"),
+        (("load", "p99_ms"), "p99 ms"),
+        (("warm_vs_cold", "cache_hit_ms"), "LRU hit ms"),
+    ):
+        base = _lookup(baseline, path)
+        new = _lookup(fresh, path)
+        delta = (new - base) / base if base else float("inf")
+        lines.append(
+            f"  {label:<28s} baseline {base:10.3f}    fresh {new:10.3f}    "
+            f"{delta:+7.1%}"
+        )
+    return lines, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path,
@@ -457,6 +564,16 @@ def main(argv=None) -> int:
     parser.add_argument("--transfer-max-overhead", type=float, default=3.0,
                         help="maximum spec-only/profiled warm sweep ratio "
                              "(default 3.0)")
+    parser.add_argument("--serve-baseline", type=Path,
+                        default=Path("BENCH_serve.json"),
+                        help="committed serving-layer benchmark report")
+    parser.add_argument("--serve-fresh", type=Path, default=None,
+                        help="freshly generated serve report; enables the "
+                             "serving-layer checks")
+    parser.add_argument("--serve-tolerance", type=float, default=0.5,
+                        help="allowed fractional drop in the serve ratios vs "
+                             "their baseline (wide: millisecond-scale burst "
+                             "walls make the ratios noisy)")
     args = parser.parse_args(argv)
     if not 0 < args.tolerance < 1:
         parser.error("--tolerance must be in (0, 1)")
@@ -497,6 +614,15 @@ def main(argv=None) -> int:
               f"{args.transfer_baseline}")
         print("\n".join(transfer_lines))
         failures.extend(transfer_failures)
+    if args.serve_fresh is not None:
+        serve_baseline = json.loads(args.serve_baseline.read_text())
+        serve_fresh = json.loads(args.serve_fresh.read_text())
+        serve_lines, serve_failures = compare_serve(
+            serve_baseline, serve_fresh, args.serve_tolerance
+        )
+        print(f"serve gate: {args.serve_fresh} vs {args.serve_baseline}")
+        print("\n".join(serve_lines))
+        failures.extend(serve_failures)
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)
         for failure in failures:
