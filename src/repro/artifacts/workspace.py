@@ -281,7 +281,7 @@ class Workspace:
 
     def admit_gpu(
         self, spec: GpuSpec, usd_per_hr: float, max_gpus: int = 8,
-        replace: bool = False,
+        replace: bool = False, spot_ratio: Optional[float] = None,
     ) -> None:
         """Admit a spec-only GPU into the catalogue and persist it here.
 
@@ -308,13 +308,16 @@ class Workspace:
                 f"replace=True (CLI: --replace) to overwrite its record"
             )
         catalog_admit(
-            spec, usd_per_hr=usd_per_hr, max_gpus=max_gpus, replace=replace
+            spec, usd_per_hr=usd_per_hr, max_gpus=max_gpus, replace=replace,
+            spot_ratio=spot_ratio,
         )
         entries[spec.key] = {
             "spec": asdict(spec),
             "usd_per_hr": usd_per_hr,
             "max_gpus": max_gpus,
         }
+        if spot_ratio is not None:
+            entries[spec.key]["spot_ratio"] = spot_ratio
         doc = {
             "version": 1,
             "gpus": [entries[key] for key in sorted(entries)],
@@ -340,11 +343,13 @@ class Workspace:
             # replace=True: re-loading the same workspace record over a
             # key this process already admitted is a refresh, not a
             # conflicting second admission.
+            spot_ratio = entry.get("spot_ratio")
             catalog_admit(
                 spec,
                 usd_per_hr=float(entry["usd_per_hr"]),
                 max_gpus=int(entry["max_gpus"]),
                 replace=True,
+                spot_ratio=None if spot_ratio is None else float(spot_ratio),
             )
             keys.append(spec.key)
         return tuple(keys)

@@ -140,10 +140,12 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--batch", type=int, default=32, help="batch per GPU")
         p.add_argument("--epochs", type=int, default=1)
         p.add_argument("--market-prices", action="store_true",
-                       help="use commodity market-ratio prices (paper Fig. 12)")
+                       help="use commodity market-ratio prices (paper "
+                            "Fig. 12); mutually exclusive with --spot")
         p.add_argument("--spot", action="store_true",
                        help="use spot-market prices (per-family discount "
-                            "ratios on the On-Demand rates)")
+                            "ratios on the On-Demand rates); mutually "
+                            "exclusive with --market-prices")
         _add_obs_args(p, suppress=True)
 
     predict = sub.add_parser("predict", help="predict time/cost on one instance")
@@ -156,13 +158,33 @@ def _build_parser() -> argparse.ArgumentParser:
     rec = sub.add_parser("recommend", help="recommend the optimal instance")
     rec.add_argument("--estimator", required=True)
     add_workload_args(rec)
-    rec.add_argument("--objective", default="min-cost",
+    rec.add_argument("--objective", default=None,
                      choices=("min-cost", "min-time", "hourly-budget",
-                              "total-budget"))
+                              "total-budget"),
+                     help="static-scenario objective (default: min-cost); "
+                          "conflicts with --scenario spot, which always "
+                          "ranks by the spot-risk objective")
     rec.add_argument("--budget", type=float,
                      help="$/hr for hourly-budget, $ total for total-budget")
     rec.add_argument("--slack", type=float, default=0.0,
                      help="hourly-budget slack in dollars (paper uses 0.42)")
+    rec.add_argument("--scenario", default="static",
+                     choices=("static", "spot"),
+                     help="'static' ranks fixed price tiers; 'spot' streams "
+                          "a seeded synthetic spot-price trace and ranks by "
+                          "preemption-aware expected cost (default: static)")
+    rec.add_argument("--seed", type=int, default=None,
+                     help="spot trace seed (requires --scenario spot; "
+                          "default: 2020)")
+    rec.add_argument("--ticks", type=int, default=None,
+                     help="advance the spot market this many price ticks "
+                          "and rank at the last one (requires --scenario "
+                          "spot; default: 1)")
+    rec.add_argument("--risk-aversion", type=float, default=None,
+                     metavar="LAMBDA",
+                     help="spot-risk trade-off in $ per expected hour: "
+                          "score = expected cost + LAMBDA * expected "
+                          "makespan (requires --scenario spot; default: 0)")
 
     tradeoff = sub.add_parser(
         "tradeoff", help="show the full time-cost Pareto frontier"
@@ -202,6 +224,12 @@ def _build_parser() -> argparse.ArgumentParser:
     catalog_admit.add_argument("--max-gpus", type=int, default=8,
                                help="largest instance size to admit "
                                     "(default: 8)")
+    catalog_admit.add_argument("--spot-ratio", type=float, default=None,
+                               metavar="RATIO",
+                               help="spot-to-On-Demand price ratio in "
+                                    "(0, 1] for this GPU; without it the "
+                                    "admitted GPU prices On-Demand only "
+                                    "and spot pricing raises")
     catalog_admit.add_argument("--replace", action="store_true",
                                help="overwrite an existing admission of the "
                                     "same GPU key (without this, re-admitting "
@@ -229,11 +257,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--warm-batches", metavar="B1,B2,...",
                        help="comma-separated batch sizes to pre-warm "
                             "(default: 32)")
+    serve.add_argument("--spot-seed", type=int, default=2020,
+                       help="seed for the service's synthetic spot-price "
+                            "trace (POST /spot/tick advances it; "
+                            "default: 2020)")
     add_workspace_arg(serve)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("names", nargs="+",
-                         help="figure names (fig2..fig12, ablations) or 'all'")
+                         help="figure names (fig2..fig12, ablations, "
+                              "spot_dynamics) or 'all'")
     figures.add_argument("--iterations", type=int, default=300)
     figures.add_argument("--output",
                          help="also write the rendered figures to this file")
@@ -327,7 +360,7 @@ def _resolve_pricing(args):
 
 
 def _resolve_objective(args):
-    if args.objective == "min-cost":
+    if args.objective in (None, "min-cost"):
         return MinimizeCost()
     if args.objective == "min-time":
         return MinimizeTime()
@@ -410,6 +443,30 @@ def _cmd_predict(args, out) -> int:
 
 def _cmd_recommend(args, out) -> int:
     _load_admitted(args)
+    if args.scenario == "spot":
+        conflicts = [
+            flag for flag, hit in (
+                ("--spot", args.spot),
+                ("--market-prices", args.market_prices),
+                ("--objective", args.objective is not None),
+                ("--budget", args.budget is not None),
+                ("--slack", args.slack != 0.0),
+            ) if hit
+        ]
+        if conflicts:
+            raise ReproError(
+                f"{', '.join(conflicts)} conflict(s) with --scenario spot "
+                f"— spot recommendations price against the live trace "
+                f"under the 'spot-risk' objective"
+            )
+        return _recommend_spot(args, out)
+    for flag, hit in (
+        ("--seed", args.seed is not None),
+        ("--ticks", args.ticks is not None),
+        ("--risk-aversion", args.risk_aversion is not None),
+    ):
+        if hit:
+            raise ReproError(f"{flag} requires --scenario spot")
     estimator = _load(args.estimator)
     model = _resolve_model(args)
     job = _resolve_job(args)
@@ -418,6 +475,80 @@ def _cmd_recommend(args, out) -> int:
         model, job, _resolve_objective(args)
     )
     print(recommendation.summary(), file=out)
+    return 0
+
+
+def _recommend_spot(args, out) -> int:
+    from repro.cloud.spotsim import SpotMarket
+    from repro.core.preempt import DEFAULT_PREEMPTION
+    from repro.core.rerank import SpotRerankSession
+
+    estimator = _load(args.estimator)
+    model = _resolve_model(args)
+    job = _resolve_job(args)
+    seed = 2020 if args.seed is None else args.seed
+    ticks = 1 if args.ticks is None else args.ticks
+    if ticks < 1:
+        raise ReproError(f"--ticks must be >= 1, got {ticks}")
+    risk_aversion = (
+        0.0 if args.risk_aversion is None else args.risk_aversion
+    )
+    if risk_aversion < 0:
+        raise ReproError(
+            f"--risk-aversion must be >= 0, got {risk_aversion}"
+        )
+    market = SpotMarket(seed=seed)
+    session = SpotRerankSession.from_estimator(
+        estimator, model, job, batch_sizes=(job.batch_size,)
+    )
+    for _ in range(ticks - 1):
+        market.tick()
+    ranking = session.rerank(
+        market.ratios(),
+        market.hazards_per_hr(),
+        risk_aversion_usd_per_hr=risk_aversion,
+        preempt=DEFAULT_PREEMPTION,
+    )
+    best = ranking.best()
+    print(
+        f"spot scenario (seed {seed}, tick {market.tick_index}, "
+        f"{ranking.n_candidates} priceable candidates, "
+        f"risk aversion ${risk_aversion:.2f}/h):",
+        file=out,
+    )
+    ratios = market.ratios()
+    print(
+        "  ratios: " + ", ".join(
+            f"{key}={ratios[key]:.3f}" for key in sorted(ratios)
+        ),
+        file=out,
+    )
+    print(
+        f"best: {best.model} on {best.instance_name} "
+        f"({best.num_gpus}x {best.gpu_key}, batch {best.batch_size})",
+        file=out,
+    )
+    print(
+        f"  expected makespan: {best.expected_makespan_hours:.2f} h "
+        f"(deterministic {best.total_hours:.2f} h, hazard "
+        f"{best.hazard_per_hr:.3f}/h)",
+        file=out,
+    )
+    print(
+        f"  expected cost: ${best.expected_cost_usd:.2f} at "
+        f"${best.usd_per_hr:.3f}/hr",
+        file=out,
+    )
+    runners_up = ranking.predictions(top=4)[1:]
+    if runners_up:
+        print("runners-up:", file=out)
+        for p in runners_up:
+            print(
+                f"  {p.instance_name} ({p.num_gpus}x {p.gpu_key}): "
+                f"${p.expected_cost_usd:.2f}, "
+                f"{p.expected_makespan_hours:.2f} h",
+                file=out,
+            )
     return 0
 
 
@@ -576,11 +707,16 @@ def _cmd_catalog_admit(args, out) -> int:
     workspace.load_admitted_gpus()
     workspace.admit_gpu(
         spec, usd_per_hr=args.usd_per_hr, max_gpus=args.max_gpus,
-        replace=args.replace,
+        replace=args.replace, spot_ratio=args.spot_ratio,
+    )
+    spot_note = (
+        f", spot at {args.spot_ratio:.2f}x On-Demand"
+        if args.spot_ratio is not None else ""
     )
     print(
         f"admitted {spec.key} ({spec.marketing_name}) at "
-        f"${args.usd_per_hr:.3f}/hr per GPU, up to {args.max_gpus} GPUs",
+        f"${args.usd_per_hr:.3f}/hr per GPU, up to {args.max_gpus} GPUs"
+        f"{spot_note}",
         file=out,
     )
     print(
@@ -601,6 +737,7 @@ def _cmd_figures(args, out) -> int:
         "fig8": experiments.run_fig8, "fig9": experiments.run_fig9,
         "fig10": experiments.run_fig10, "fig11": experiments.run_fig11,
         "fig12": experiments.run_fig12, "ablations": experiments.run_ablations,
+        "spot_dynamics": experiments.run_spot_dynamics,
     }
     names = list(available) if "all" in args.names else args.names
     unknown = [n for n in names if n not in available]
@@ -781,6 +918,7 @@ def _cmd_serve(args, out) -> int:
         warm=not args.no_warm,
         models=models,
         batch_sizes=batches,
+        spot_seed=args.spot_seed,
     )
     snapshot = state.holder.current
     if snapshot.warm_report is not None:
@@ -801,7 +939,8 @@ def _cmd_serve(args, out) -> int:
         )
         print(
             "endpoints: GET /healthz /metrics; POST /predict /recommend "
-            "/pareto /admin/reload  (SIGHUP reloads, SIGTERM stops)",
+            "/pareto /spot/tick /admin/reload  (SIGHUP reloads, "
+            "SIGTERM stops)",
             file=out,
         )
         out.flush()

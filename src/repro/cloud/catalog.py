@@ -104,6 +104,11 @@ _BY_NAME: Dict[str, InstanceType] = {inst.name: inst for inst in AWS_INSTANCES}
 #: exist (the spot/market tables cover the four paper GPUs).
 _ADMITTED_INSTANCES: Dict[str, InstanceType] = {}
 
+#: Spot-to-On-Demand ratios declared at admission time (``catalog admit
+#: --spot-ratio``). Admitted GPUs have no entry in the built-in spot
+#: table, so without a declared ratio the spot/market schemes mask them.
+_ADMITTED_SPOT_RATIOS: Dict[str, float] = {}
+
 
 def all_instances() -> Tuple[InstanceType, ...]:
     """The current rentable menu: built-in AWS sizes plus admitted ones."""
@@ -115,9 +120,14 @@ def admitted_gpu_keys() -> Tuple[str, ...]:
     return tuple(sorted({inst.gpu_key for inst in _ADMITTED_INSTANCES.values()}))
 
 
+def admitted_spot_ratios() -> Dict[str, float]:
+    """Spot-to-On-Demand ratios of currently admitted GPUs (a copy)."""
+    return dict(_ADMITTED_SPOT_RATIOS)
+
+
 def admit_gpu(
     spec: GpuSpec, usd_per_hr: float, max_gpus: int = 8,
-    replace: bool = False,
+    replace: bool = False, spot_ratio: Optional[float] = None,
 ) -> Tuple[InstanceType, ...]:
     """Admit a never-profiled GPU to the catalog from its spec sheet.
 
@@ -132,11 +142,20 @@ def admit_gpu(
     :class:`~repro.errors.CatalogError` unless ``replace=True`` — a
     second admission with a different price or size would otherwise
     silently change what every later prediction costs.
+
+    ``spot_ratio`` optionally declares the GPU's spot-to-On-Demand
+    discount so :class:`~repro.cloud.pricing.SpotPricing` (and spot
+    sweeps) can price it; without one, spot pricing masks the GPU.
     """
     if usd_per_hr <= 0:
         raise CatalogError(f"usd_per_hr must be positive, got {usd_per_hr}")
     if max_gpus < 1:
         raise CatalogError(f"max_gpus must be >= 1, got {max_gpus}")
+    if spot_ratio is not None and not 0.0 < spot_ratio <= 1.0:
+        raise CatalogError(
+            f"spot_ratio must be in (0, 1], got {spot_ratio}; it is the "
+            f"spot-to-On-Demand price ratio, not an hourly rate"
+        )
     if not replace and spec.key in {
         inst.gpu_key for inst in _ADMITTED_INSTANCES.values()
     }:
@@ -165,6 +184,11 @@ def admit_gpu(
         del _ADMITTED_INSTANCES[name]
     for inst in created:
         _ADMITTED_INSTANCES[inst.name] = inst
+    # Re-admission without a ratio withdraws any previously declared one:
+    # the admission call is the single source of truth for the GPU.
+    _ADMITTED_SPOT_RATIOS.pop(spec.key, None)
+    if spot_ratio is not None:
+        _ADMITTED_SPOT_RATIOS[spec.key] = spot_ratio
     return tuple(created)
 
 
@@ -174,6 +198,7 @@ def clear_admitted(gpu_key: Optional[str] = None) -> None:
     for key in keys:
         for name in [n for n, i in _ADMITTED_INSTANCES.items() if i.gpu_key == key]:
             del _ADMITTED_INSTANCES[name]
+        _ADMITTED_SPOT_RATIOS.pop(key, None)
         unregister_gpu_spec(key)
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.cloud.catalog import InstanceType, instance_for
+from repro.cloud.catalog import InstanceType, admitted_spot_ratios, instance_for
 from repro.errors import CatalogError
 from repro.hardware.gpus import gpu_spec
 
@@ -61,7 +61,12 @@ class MarketRatioPricing(PricingScheme):
     def instance(self, gpu_key: str, num_gpus: int) -> InstanceType:
         key = gpu_spec(gpu_key).key
         if key not in self.usd_per_hr_by_gpu:
-            raise CatalogError(f"no market price for GPU {key!r}")
+            raise CatalogError(
+                f"no market price for GPU {key!r}; the market-ratio table "
+                f"covers the paper's four GPUs only — price admitted GPUs "
+                f"On-Demand, or on spot after `repro catalog admit "
+                f"--spot-ratio`"
+            )
         if num_gpus < 1:
             raise CatalogError(f"num_gpus must be >= 1, got {num_gpus}")
         base = instance_for(key, num_gpus)
@@ -77,8 +82,9 @@ class MarketRatioPricing(PricingScheme):
 #: Representative 2020 spot-to-On-Demand price ratios per GPU family.
 #: Spot markets quote a fluctuating discount; these are typical mid-2020
 #: snapshot values (deep discounts on the older K80/M60 fleets, shallower
-#: on the in-demand V100/T4). Dynamic spot-price traces are ROADMAP item 5;
-#: here the ratio is a static scheme so catalog sweeps can rank tiers.
+#: on the in-demand V100/T4). These static ratios anchor catalog sweeps;
+#: :mod:`repro.cloud.spotsim` fluctuates them into seeded price traces
+#: for the streaming spot scenario.
 SPOT_RATIO_BY_GPU: Dict[str, float] = {
     "V100": 0.31,
     "K80": 0.29,
@@ -89,23 +95,47 @@ SPOT_RATIO_BY_GPU: Dict[str, float] = {
 
 @dataclass(frozen=True)
 class SpotPricing(PricingScheme):
-    """Spot-market prices: the On-Demand instance at a per-family discount."""
+    """Spot-market prices: the On-Demand instance at a per-family discount.
+
+    ``ratio_by_gpu`` holds the discount table. With ``include_admitted``
+    (the default for the static :data:`SPOT` singleton), GPUs absent from
+    the table fall back to the ratio declared at admission time
+    (``catalog admit --spot-ratio``), so runtime-admitted GPUs price on
+    spot like any built-in. Trace-driven schemes built by
+    :mod:`repro.cloud.spotsim` pass ``include_admitted=False`` — their
+    ratio table is a market snapshot, and silently mixing in a static
+    admission ratio would alias two price regimes.
+    """
 
     name: str = "aws-spot"
     ratio_by_gpu: Dict[str, float] = field(
         default_factory=lambda: dict(SPOT_RATIO_BY_GPU)
     )
+    include_admitted: bool = True
+
+    def ratio_for(self, gpu_key: str) -> float:
+        """The spot-to-On-Demand ratio for one (normalised) GPU key."""
+        key = gpu_spec(gpu_key).key
+        if key in self.ratio_by_gpu:
+            return self.ratio_by_gpu[key]
+        if self.include_admitted:
+            admitted = admitted_spot_ratios()
+            if key in admitted:
+                return admitted[key]
+        raise CatalogError(
+            f"no spot ratio for GPU {key!r}; declare one when admitting "
+            f"the GPU: `repro catalog admit --spot-ratio <0..1> ...`"
+        )
 
     def instance(self, gpu_key: str, num_gpus: int) -> InstanceType:
         key = gpu_spec(gpu_key).key
-        if key not in self.ratio_by_gpu:
-            raise CatalogError(f"no spot ratio for GPU {key!r}")
+        ratio = self.ratio_for(key)
         base = instance_for(key, num_gpus)
         return InstanceType(
             name=f"spot:{base.name}",
             gpu_key=key,
             num_gpus=num_gpus,
-            usd_per_hr=base.usd_per_hr * self.ratio_by_gpu[key],
+            usd_per_hr=base.usd_per_hr * ratio,
             proxy_of=base.proxy_of or base.name,
         )
 

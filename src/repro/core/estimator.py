@@ -52,6 +52,12 @@ class TrainingPrediction:
     #: transfer backend's per-op residual stds (0 under per-GPU fits,
     #: which carry no uncertainty estimate).
     compute_std_us: float = 0.0
+    #: Expected preemptions per hour on this instance (spot markets).
+    #: 0 for deterministic (On-Demand) predictions.
+    hazard_per_hr: float = 0.0
+    #: Iterations replayed per preemption (lost progress since the last
+    #: checkpoint plus restore cost); see :mod:`repro.core.preempt`.
+    preempt_overhead_iterations: float = 0.0  # staticcheck: ignore[unit-suffix] (an iteration count, not a duration)
 
     @property
     def per_iteration_us(self) -> float:
@@ -83,6 +89,31 @@ class TrainingPrediction:
     def cost_std_dollars(self) -> float:
         """1-sigma band on training cost at the predicted instance rate."""
         return usd_per_hr_to_usd(self.usd_per_hr, self.total_std_hours)
+
+    # -- preemption-aware expectations (spot markets) -------------------
+    @property
+    def expected_makespan_us(self) -> float:
+        """Expected wall-clock including preemption replay.
+
+        Over ``total_hours`` of work at ``hazard_per_hr`` the instance is
+        preempted ``hazard_per_hr * total_hours`` times in expectation,
+        and each preemption replays ``preempt_overhead_iterations``
+        iterations. At hazard 0 the added term is exactly ``+0.0``, so
+        the expectation collapses to the deterministic ``total_us``
+        bit-for-bit.
+        """
+        return self.total_us + (self.hazard_per_hr * self.total_hours) * (
+            self.preempt_overhead_iterations * self.per_iteration_us
+        )
+
+    @property
+    def expected_makespan_hours(self) -> float:
+        return us_to_hr(self.expected_makespan_us)
+
+    @property
+    def expected_cost_usd(self) -> float:
+        """Expected cost: the instance rate over the expected makespan."""
+        return usd_per_hr_to_usd(self.usd_per_hr, self.expected_makespan_hours)
 
 
 class CeerEstimator:

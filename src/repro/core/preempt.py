@@ -1,0 +1,62 @@
+"""Preemption model: what one spot reclaim costs, in iterations.
+
+Spot instances are reclaimed mid-run; a preempted training job loses the
+iterations since its last checkpoint and pays a restore cost (reload
+weights, rebuild the input pipeline, re-warm the device) before it makes
+progress again. Both are naturally denominated in *iterations* — the
+per-iteration wall-clock already varies per (GPU, k, batch), so keeping
+the overhead in iteration units lets one model span every candidate:
+the expected per-preemption cost in microseconds is just
+``overhead_iterations * per_iteration_us``.
+
+:class:`~repro.core.estimator.TrainingPrediction` combines this with a
+per-family hazard rate (preemptions/hr, derived from the spot-price
+trace in :mod:`repro.cloud.spotsim`) into ``expected_makespan_hours``
+and ``expected_cost_usd``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelingError
+
+
+@dataclass(frozen=True)
+class PreemptionModel:
+    """Checkpoint/restore economics of one preemption.
+
+    Attributes:
+        checkpoint_interval_iterations: iterations between checkpoints;
+            a uniformly timed preemption loses half an interval of
+            progress in expectation.
+        restore_overhead_iterations: fixed restart cost (reload, warmup)
+            expressed in equivalent training iterations.
+    """
+
+    checkpoint_interval_iterations: float = 100.0
+    restore_overhead_iterations: float = 50.0  # staticcheck: ignore[unit-suffix] (an iteration count, not a duration)
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval_iterations < 0:
+            raise ModelingError(
+                f"checkpoint_interval_iterations must be >= 0, got "
+                f"{self.checkpoint_interval_iterations}"
+            )
+        if self.restore_overhead_iterations < 0:
+            raise ModelingError(
+                f"restore_overhead_iterations must be >= 0, got "
+                f"{self.restore_overhead_iterations}"
+            )
+
+    @property
+    def overhead_iterations(self) -> float:  # staticcheck: ignore[unit-suffix] (an iteration count, not a duration)
+        """Expected iterations replayed per preemption."""
+        return (
+            self.checkpoint_interval_iterations / 2.0
+            + self.restore_overhead_iterations
+        )
+
+
+#: The default checkpoint policy used by spot recommendations.
+DEFAULT_PREEMPTION = PreemptionModel()

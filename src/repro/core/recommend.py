@@ -100,6 +100,29 @@ class TotalBudget(Objective):
 
 
 @dataclass(frozen=True)
+class SpotRiskObjective(Objective):
+    """Expected cost plus a risk-aversion penalty on expected makespan.
+
+    The spot scenario's objective: candidates are scored on their
+    preemption-aware expectations (``expected_cost_usd``,
+    ``expected_makespan_hours``) rather than the deterministic T and C.
+    ``risk_aversion_usd_per_hr`` (the CLI's λ) prices each expected
+    wall-clock hour — λ = 0 is pure expected-cost minimisation, large λ
+    prefers expensive-but-stable instances over cheap-but-preemptible
+    ones.
+    """
+
+    risk_aversion_usd_per_hr: float = 0.0
+    name: str = "spot-risk"
+
+    def score(self, prediction: TrainingPrediction) -> float:
+        return (
+            prediction.expected_cost_usd
+            + self.risk_aversion_usd_per_hr * prediction.expected_makespan_hours
+        )
+
+
+@dataclass(frozen=True)
 class WeightedTimeCost(Objective):
     """A generic Obj(T, C) = w_t * T_hours + w_c * C_dollars tradeoff."""
 

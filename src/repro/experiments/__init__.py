@@ -26,6 +26,10 @@ from repro.experiments.fig9_hourly_budget import Fig9Result, run_fig9
 from repro.experiments.fig10_total_budget import Fig10Result, run_fig10
 from repro.experiments.fig11_cost_min import Fig11Result, run_fig11
 from repro.experiments.fig12_market_prices import run_fig12
+from repro.experiments.ext_spot_dynamics import (
+    SpotDynamicsResult,
+    run_spot_dynamics,
+)
 from repro.experiments.ext_transfer_logo import (
     TransferLogoResult,
     run_transfer_logo,
@@ -58,6 +62,8 @@ __all__ = [
     "BatchSizeStudyResult",
     "run_rnn_study",
     "RnnStudyResult",
+    "run_spot_dynamics",
+    "SpotDynamicsResult",
     "run_transfer_logo",
     "TransferLogoResult",
     "MultiHostResult",

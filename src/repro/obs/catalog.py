@@ -51,6 +51,7 @@ SPAN_CATALOG: Mapping[str, str] = {
     "experiments.ext.multihost": "multi-host placement extension",
     "experiments.ext.rnn": "RNN workload extension",
     "experiments.ext.sensitivity": "pricing sensitivity extension",
+    "experiments.ext.spot_dynamics": "spot-market dynamics extension",
     "experiments.ext.transfer_logo": "leave-one-GPU-out transfer extension",
     "experiments.ext.transformer": "transformer workload extension",
     "experiments.fig2": "Fig. 2 driver", "experiments.fig3": "Fig. 3 driver",
@@ -71,6 +72,7 @@ SPAN_CATALOG: Mapping[str, str] = {
     "serve.reload": "zero-downtime snapshot hot swap (admin/reload or SIGHUP)",
     "serve.request": "one HTTP request through the serving app",
     "serve.warm": "pre-compiling graphs / pre-touching caches for a snapshot",
+    "spot.tick": "one spot-market price tick (generation advance)",
     "store.compute": "artifact store miss-path compute",
     "store.disk_read": "artifact store disk-tier read",
     "store.lock_wait": "artifact store cross-process lock wait",
@@ -103,6 +105,8 @@ METRIC_CATALOG: Mapping[str, str] = {
     "serve.reloads": "successful snapshot hot swaps",
     "serve.request_us": "request wall-clock latency in microseconds {endpoint=...}",
     "serve.requests": "HTTP requests served {endpoint=...,status=...}",
+    "spot.reranks": "incremental spot re-rankings over a cached base sweep",
+    "spot.ticks": "spot-market price ticks",
     "transfer.fits": "pooled transfer-model fits",
     "transfer.folds": "leave-one-GPU-out folds evaluated",
     "transfer.synthesized": "per-device models synthesized from transfer fits",

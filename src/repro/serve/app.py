@@ -13,8 +13,15 @@ scopes. Endpoints:
 ``POST /predict``         time/cost of one (model, GPU, count, batch) config
 ``POST /recommend``       objective-optimal instance for a model
 ``POST /pareto``          full-catalog time/cost frontier
+``POST /spot/tick``       advance the streaming spot market one price tick
 ``POST /admin/reload``    zero-downtime estimator hot swap
 ========================  =====================================================
+
+The ``/recommend`` endpoint additionally accepts ``scenario: "spot"``:
+the request is re-ranked against the server's seeded spot-price trace at
+its current generation (see :mod:`repro.cloud.spotsim`), with preemption
+hazards and a ``risk_aversion`` λ folded into the score. Ticks only
+re-rank cached sweep tensors — no graph is recompiled.
 
 Concurrency model: the event loop owns parsing, routing, coalescing, and
 response writing; estimator evaluations run on a **single-worker
@@ -43,8 +50,11 @@ from functools import partial
 from typing import Any, Awaitable, Callable, Dict, Optional, Sequence, Tuple, cast
 from urllib.parse import parse_qs
 
+from repro.cloud.spotsim import SpotMarket
 from repro.core.estimator import CeerEstimator
+from repro.core.preempt import DEFAULT_PREEMPTION
 from repro.core.recommend import Recommender
+from repro.core.rerank import SpotRerankSession
 from repro.errors import ReproError
 from repro.obs.export import metrics_to_json
 from repro.obs.metrics import MetricsRegistry, default_registry
@@ -84,6 +94,7 @@ class ServeState:
         models: Optional[Sequence[str]] = None,
         batch_sizes: Sequence[int] = (32,),
         registry: Optional[MetricsRegistry] = None,
+        spot_seed: int = 2020,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.default_path = estimator_path
@@ -103,6 +114,11 @@ class ServeState:
         )
         self.started_monotonic_s = time.monotonic()  # staticcheck: ignore[determinism] — serving uptime, not a model path
         self._reload_lock: Optional[asyncio.Lock] = None
+        #: The streaming spot market. Ticked and read only on the event
+        #: loop, so (generation, ratios, hazards) observations are
+        #: atomic; survives snapshot hot swaps — prices are market
+        #: state, not estimator state.
+        self.spot = SpotMarket(seed=spot_seed)
 
     @property
     def reload_lock(self) -> asyncio.Lock:
@@ -170,6 +186,44 @@ def _recommend_thunk(
     return doc
 
 
+def _spot_recommend_thunk(
+    snapshot: ServingSnapshot,
+    req: RecommendRequest,
+    spot_generation: int,
+    ratios: Dict[str, float],
+    hazards: Dict[str, float],
+) -> Dict[str, object]:
+    """Spot-scenario recommendation: incremental re-rank, no re-sweep.
+
+    The (generation, ratios, hazards) triple was captured atomically on
+    the event loop; this thunk never touches the live market, so a tick
+    racing the evaluation cannot produce a ranking that mixes two
+    generations' prices.
+    """
+    session = cast(
+        SpotRerankSession,
+        snapshot.spot_session_for(req.model, req.batch, req.samples,
+                                  req.epochs),
+    )
+    ranking = session.rerank(
+        ratios, hazards,
+        risk_aversion_usd_per_hr=req.risk_aversion,
+        preempt=DEFAULT_PREEMPTION,
+    )
+    top = ranking.predictions(top=4)
+    return {
+        "generation": snapshot.generation,
+        "scenario": "spot",
+        "spot_generation": spot_generation,
+        "objective": "spot-risk",
+        "risk_aversion": req.risk_aversion,
+        "ratios": dict(sorted(ratios.items())),
+        "n_candidates": ranking.n_candidates,
+        "best": prediction_to_json(ranking.best()),
+        "runners_up": [prediction_to_json(p) for p in top[1:]],
+    }
+
+
 def _pareto_thunk(snapshot: ServingSnapshot, req: ParetoRequest) -> Dict[str, object]:
     from repro.core.batch import SweepPlan, evaluate_sweep
 
@@ -199,6 +253,7 @@ class ServeApp:
             ("POST", "/predict"): self._predict,
             ("POST", "/recommend"): self._recommend,
             ("POST", "/pareto"): self._pareto,
+            ("POST", "/spot/tick"): self._spot_tick,
             ("POST", "/admin/reload"): self._reload,
         }
 
@@ -301,6 +356,7 @@ class ServeApp:
         doc: Dict[str, object] = {"status": "ok", "uptime_s": self.state.uptime_s()}
         doc.update(snapshot.to_json())
         doc["cache"] = self.state.cache.stats()
+        doc["spot_generation"] = self.state.spot.generation
         return 200, doc
 
     async def _metrics(self, query: bytes, receive: Any) -> Tuple[int, Dict[str, object]]:
@@ -339,6 +395,21 @@ class ServeApp:
     async def _recommend(self, query: bytes, receive: Any) -> Tuple[int, Dict[str, object]]:
         req = parse_recommend(await self._json_body(receive))
         snapshot = self.state.holder.current
+        if req.scenario == "spot":
+            # Capture the market observation here, on the event loop —
+            # atomically with the generation stamp. The cache key carries
+            # the spot generation, so a ranking computed at tick N can
+            # never be served for a request that arrived at tick N+1.
+            market = self.state.spot
+            spot_generation = market.generation
+            ratios = market.ratios()
+            hazards = market.hazards_per_hr()
+            return await self._evaluate(
+                "recommend",
+                f"spot{spot_generation}:{req.fingerprint()}",
+                partial(_spot_recommend_thunk, snapshot, req,
+                        spot_generation, ratios, hazards),
+            )
         return await self._evaluate(
             "recommend", req.fingerprint(),
             partial(_recommend_thunk, snapshot, req),
@@ -350,6 +421,32 @@ class ServeApp:
         return await self._evaluate(
             "pareto", req.fingerprint(), partial(_pareto_thunk, snapshot, req)
         )
+
+    async def _spot_tick(self, query: bytes, receive: Any) -> Tuple[int, Dict[str, object]]:
+        """Advance the spot market one tick (the streaming price feed).
+
+        Runs entirely on the event loop: the generation bump and the new
+        quotes are one atomic step relative to request capture, and no
+        estimator state is touched — compiled graphs, sweep caches, and
+        the response LRU all survive (stale spot entries are unreachable
+        because cache keys embed the generation).
+        """
+        body = await self._json_body(receive)
+        if not isinstance(body, dict):
+            raise ProtocolError("spot/tick: body must be a JSON object")
+        if body:
+            raise ProtocolError(
+                f"spot/tick: unexpected field(s) {sorted(body)}; the tick "
+                f"endpoint takes an empty body"
+            )
+        market = self.state.spot
+        generation = market.tick()
+        return 200, {
+            "status": "ticked",
+            "spot_generation": generation,
+            "tick_index": market.tick_index,
+            "ratios": dict(sorted(market.ratios().items())),
+        }
 
     async def _reload(self, query: bytes, receive: Any) -> Tuple[int, Dict[str, object]]:
         body = await self._json_body(receive)

@@ -50,7 +50,8 @@ __all__ = [
 
 #: Schema version folded into every request fingerprint: bump when a
 #: request's meaning changes so cached responses self-invalidate.
-REQUEST_SCHEMA_VERSION = 1
+#: v2: ``/recommend`` grew ``scenario``/``risk_aversion``.
+REQUEST_SCHEMA_VERSION = 2
 
 #: Wire names for the pricing tiers.
 PRICINGS: Mapping[str, PricingScheme] = {
@@ -63,6 +64,17 @@ PRICINGS: Mapping[str, PricingScheme] = {
 OBJECTIVES: Tuple[str, ...] = (
     "min-cost", "min-time", "hourly-budget", "total-budget",
 )
+
+#: Wire names for the recommendation scenarios. ``static`` is the
+#: classic fixed-price recommendation; ``spot`` re-ranks against the
+#: server's streaming spot-price trace (see ``POST /spot/tick``).
+SCENARIOS: Tuple[str, ...] = ("static", "spot")
+
+#: Fields that conflict with ``scenario: "spot"``: the spot scenario
+#: fixes the pricing to the live trace and the objective to spot-risk,
+#: so an explicit value for any of these is a contradiction the server
+#: must reject up front (400), not a late 422.
+_SPOT_CONFLICTS: Tuple[str, ...] = ("pricing", "objective", "budget", "slack")
 
 #: Default training workload: one ImageNet epoch (matches the CLI).
 DEFAULT_SAMPLES = 1_200_000
@@ -190,6 +202,8 @@ class RecommendRequest:
     samples: int = DEFAULT_SAMPLES
     epochs: int = 1
     pricing: str = "on-demand"
+    scenario: str = "static"
+    risk_aversion: float = 0.0  # staticcheck: ignore[unit-suffix] (USD per expected hour; wire name)
 
     ENDPOINT = "recommend"
 
@@ -204,6 +218,8 @@ class RecommendRequest:
             "samples": self.samples,
             "epochs": self.epochs,
             "pricing": self.pricing,
+            "scenario": self.scenario,
+            "risk_aversion": self.risk_aversion,
         }
 
     def fingerprint(self) -> str:
@@ -293,11 +309,37 @@ def parse_recommend(body: Any) -> RecommendRequest:
     _reject_unknown(
         obj,
         ("model", "objective", "budget", "slack", "batch", "samples",
-         "epochs", "pricing"),
+         "epochs", "pricing", "scenario", "risk_aversion"),
         endpoint,
     )
     model = _str_field(obj, "model", endpoint, required=True)
     assert model is not None
+    scenario = _str_field(obj, "scenario", endpoint, default="static")
+    assert scenario is not None
+    if scenario not in SCENARIOS:
+        raise ProtocolError(
+            f"{endpoint}: unknown scenario {scenario!r}; one of "
+            f"{sorted(SCENARIOS)}"
+        )
+    if scenario == "spot":
+        conflicts = sorted(set(obj) & set(_SPOT_CONFLICTS))
+        if conflicts:
+            raise ProtocolError(
+                f"{endpoint}: field(s) {conflicts} conflict with scenario "
+                f"'spot' — spot recommendations price against the live "
+                f"trace under the 'spot-risk' objective"
+            )
+    elif "risk_aversion" in obj:
+        raise ProtocolError(
+            f"{endpoint}: field 'risk_aversion' requires scenario 'spot'"
+        )
+    risk_aversion = _float_field(obj, "risk_aversion", endpoint, default=0.0)  # staticcheck: ignore[unit-suffix] (wire name)
+    assert risk_aversion is not None
+    if risk_aversion < 0:
+        raise ProtocolError(
+            f"{endpoint}: field 'risk_aversion' must be >= 0, "
+            f"got {risk_aversion}"
+        )
     objective = _str_field(obj, "objective", endpoint, default="min-cost")
     assert objective is not None
     if objective not in OBJECTIVES:
@@ -321,6 +363,8 @@ def parse_recommend(body: Any) -> RecommendRequest:
         samples=_int_field(obj, "samples", endpoint, default=DEFAULT_SAMPLES),
         epochs=_int_field(obj, "epochs", endpoint, default=1),
         pricing=_pricing_field(obj, endpoint),
+        scenario=scenario,
+        risk_aversion=risk_aversion,
     )
 
 
@@ -372,6 +416,12 @@ def prediction_to_json(p: TrainingPrediction) -> Dict[str, object]:
     if p.compute_std_us > 0:
         doc["total_hours_std"] = p.total_std_hours
         doc["cost_usd_std"] = p.cost_std_dollars
+    if p.hazard_per_hr > 0 or p.preempt_overhead_iterations > 0:
+        # Preemption-aware expectations: only spot-scenario predictions
+        # carry them, so static responses stay byte-identical to v1.
+        doc["hazard_per_hr"] = p.hazard_per_hr
+        doc["expected_makespan_hours"] = p.expected_makespan_hours
+        doc["expected_cost_usd"] = p.expected_cost_usd
     return doc
 
 

@@ -35,7 +35,7 @@ class ServingSnapshot:
 
     __slots__ = (
         "generation", "source", "backend", "estimator", "warm_report",
-        "loaded_at_s", "_plans",
+        "loaded_at_s", "_plans", "_spot_sessions",
     )
 
     def __init__(
@@ -57,6 +57,11 @@ class ServingSnapshot:
         #: (batches, pricing name) -> SweepPlan; reusing a plan reuses its
         #: memoized (P, G, K) price grid across pareto queries.
         self._plans: Dict[Tuple[Tuple[int, ...], str], object] = {}
+        #: (model, batch, samples, epochs) -> SpotRerankSession; the
+        #: expensive base sweep runs once per workload, then every price
+        #: tick re-ranks it in O(candidates). Only ever touched from the
+        #: single evaluation lane, like ``_plans``.
+        self._spot_sessions: Dict[Tuple[str, int, int, int], object] = {}
 
     def plan_for(self, batches: Tuple[int, ...], pricing_name: str,
                  pricing: object) -> object:
@@ -71,6 +76,31 @@ class ServingSnapshot:
             )
             self._plans[key] = plan
         return plan
+
+    def spot_session_for(self, model: str, batch: int, samples: int,
+                         epochs: int) -> object:
+        """A shared spot re-rank session for one workload shape.
+
+        The base On-Demand sweep (graph compile + stacked matmuls +
+        catalog resolution) is the tick-independent part; caching it on
+        the snapshot makes every subsequent tick a pure tensor re-scale.
+        A hot swap naturally drops the memo with the snapshot.
+        """
+        key = (model, batch, samples, epochs)
+        session = self._spot_sessions.get(key)
+        if session is None:
+            from repro.core.rerank import SpotRerankSession
+            from repro.workloads.dataset import DatasetSpec, TrainingJob
+
+            job = TrainingJob(
+                DatasetSpec("serve-dataset", num_samples=samples),
+                batch_size=batch, epochs=epochs,
+            )
+            session = SpotRerankSession.from_estimator(
+                self.estimator, model, job, batch_sizes=(batch,)
+            )
+            self._spot_sessions[key] = session
+        return session
 
     def to_json(self) -> Dict[str, object]:
         doc: Dict[str, object] = {

@@ -219,3 +219,61 @@ class TestAdmittedGpus:
         workspace.admitted_gpus_path.write_text("{not json")
         with pytest.raises(ArtifactError):
             workspace.load_admitted_gpus()
+
+
+class TestAdmittedSpotRatio:
+    """``--spot-ratio`` admissions persist and reload with the record."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        from repro.cloud.catalog import clear_admitted
+
+        yield
+        clear_admitted("QGPU")
+
+    def test_spot_ratio_persisted_and_restored(self, workspace):
+        import json
+
+        from repro.cloud.catalog import admitted_spot_ratios, clear_admitted
+
+        workspace.admit_gpu(
+            TestAdmittedGpus._spec(), usd_per_hr=1.5, max_gpus=2,
+            spot_ratio=0.4,
+        )
+        doc = json.loads(workspace.admitted_gpus_path.read_text())
+        assert doc["gpus"][0]["spot_ratio"] == 0.4
+        clear_admitted("QGPU")
+        assert "QGPU" not in admitted_spot_ratios()
+
+        Workspace(workspace.directory).load_admitted_gpus()
+        assert admitted_spot_ratios()["QGPU"] == 0.4
+
+    def test_without_ratio_record_omits_key(self, workspace):
+        import json
+
+        from repro.cloud.catalog import admitted_spot_ratios, clear_admitted
+
+        workspace.admit_gpu(TestAdmittedGpus._spec(), usd_per_hr=1.5)
+        doc = json.loads(workspace.admitted_gpus_path.read_text())
+        assert "spot_ratio" not in doc["gpus"][0]
+        clear_admitted("QGPU")
+        Workspace(workspace.directory).load_admitted_gpus()
+        assert "QGPU" not in admitted_spot_ratios()
+
+    def test_replace_can_add_or_drop_the_ratio(self, workspace):
+        import json
+
+        from repro.cloud.catalog import admitted_spot_ratios
+
+        workspace.admit_gpu(TestAdmittedGpus._spec(), usd_per_hr=1.5)
+        workspace.admit_gpu(
+            TestAdmittedGpus._spec(), usd_per_hr=1.5, spot_ratio=0.33,
+            replace=True,
+        )
+        assert admitted_spot_ratios()["QGPU"] == 0.33
+        workspace.admit_gpu(
+            TestAdmittedGpus._spec(), usd_per_hr=1.5, replace=True
+        )
+        doc = json.loads(workspace.admitted_gpus_path.read_text())
+        assert "spot_ratio" not in doc["gpus"][0]
+        assert "QGPU" not in admitted_spot_ratios()

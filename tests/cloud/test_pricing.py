@@ -97,3 +97,67 @@ class TestSpot:
         assert custom.instance("V100", 1).usd_per_hr == pytest.approx(1.53)
         with pytest.raises(CatalogError):
             custom.instance("T4", 1)
+
+
+class TestAdmittedSpotRatios:
+    """Spot pricing of runtime-admitted GPUs via their declared ratio."""
+
+    @pytest.fixture
+    def admitted(self):
+        from repro.cloud.catalog import admit_gpu, clear_admitted
+        from repro.hardware.gpus import GpuSpec
+
+        spec = GpuSpec(
+            key="PRCX", family="GP", marketing_name="Pricing Test GPU",
+            cuda_cores=2048, tensor_cores=0, memory_gb=8,
+            peak_gflops=7000.0, memory_bandwidth_gbps=350.0,
+            launch_overhead_us=4.0, saturation_elements=5.0e5,
+            comm_base_us=6000.0, comm_us_per_mparam=500.0,
+        )
+        yield spec
+        clear_admitted("PRCX")
+
+    def test_no_ratio_raises_with_remedy(self, admitted):
+        from repro.cloud.catalog import admit_gpu
+
+        admit_gpu(admitted, usd_per_hr=2.0, replace=True)
+        with pytest.raises(CatalogError, match="--spot-ratio"):
+            SPOT.instance("PRCX", 1)
+
+    def test_declared_ratio_prices_admitted_gpu(self, admitted):
+        from repro.cloud.catalog import admit_gpu
+        from repro.cloud.pricing import ON_DEMAND
+
+        admit_gpu(admitted, usd_per_hr=2.0, replace=True, spot_ratio=0.4)
+        spot = SPOT.instance("PRCX", 1)
+        base = ON_DEMAND.instance("PRCX", 1)
+        assert spot.usd_per_hr == base.usd_per_hr * 0.4
+        assert spot.name.startswith("spot:")
+
+    def test_include_admitted_false_ignores_admission_table(self, admitted):
+        from repro.cloud.catalog import admit_gpu
+
+        admit_gpu(admitted, usd_per_hr=2.0, replace=True, spot_ratio=0.4)
+        snapshot = SpotPricing(
+            name="trace-snapshot", ratio_by_gpu={"V100": 0.3},
+            include_admitted=False,
+        )
+        with pytest.raises(CatalogError, match="no spot ratio"):
+            snapshot.instance("PRCX", 1)
+        # ... and the static singleton keeps pricing it.
+        assert SPOT.instance("PRCX", 1).usd_per_hr == pytest.approx(0.8)
+
+    def test_bad_ratio_rejected_at_admission(self, admitted):
+        from repro.cloud.catalog import admit_gpu
+
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(CatalogError, match="spot_ratio"):
+                admit_gpu(admitted, usd_per_hr=2.0, replace=True,
+                          spot_ratio=bad)
+
+    def test_market_ratio_error_names_spot_remedy(self, admitted):
+        from repro.cloud.catalog import admit_gpu
+
+        admit_gpu(admitted, usd_per_hr=2.0, replace=True)
+        with pytest.raises(CatalogError, match="catalog admit"):
+            MARKET_RATIO.instance("PRCX", 1)

@@ -1,0 +1,203 @@
+"""Seeded spot-price traces: determinism, clamps, hazards, streaming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import admit_gpu, clear_admitted
+from repro.cloud.pricing import SPOT_RATIO_BY_GPU
+from repro.cloud.spotsim import (
+    SpotMarket,
+    SpotMarketConfig,
+    SpotPriceTrace,
+    generate_trace,
+    observe,
+)
+from repro.errors import CatalogError
+from repro.hardware.gpus import GpuSpec
+
+
+def _config(**overrides):
+    defaults = dict(
+        seed=7,
+        base_ratios=(("K80", 0.29), ("T4", 0.34), ("V100", 0.31)),
+    )
+    defaults.update(overrides)
+    return SpotMarketConfig(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        a = generate_trace(_config())
+        b = generate_trace(_config())
+        assert a.ratios.tobytes() == b.ratios.tobytes()
+        assert a.hazards_per_hr.tobytes() == b.hazards_per_hr.tobytes()
+
+    def test_different_seed_differs(self):
+        a = generate_trace(_config(seed=7))
+        b = generate_trace(_config(seed=8))
+        assert a.ratios.tobytes() != b.ratios.tobytes()
+
+    def test_independent_of_global_rng_state(self):
+        """The trace derives from the explicit seed, never np.random."""
+        np.random.seed(123)  # staticcheck: ignore[determinism] — the test pollutes global state on purpose
+        a = generate_trace(_config())
+        np.random.seed(99)  # staticcheck: ignore[determinism] — see above
+        np.random.random(1000)
+        b = generate_trace(_config())
+        assert a.ratios.tobytes() == b.ratios.tobytes()
+
+
+class TestTraceShape:
+    def test_ratios_stay_clamped(self):
+        # High volatility + frequent spikes stress both clamp edges.
+        trace = generate_trace(_config(
+            n_ticks=256, volatility=0.5, spike_probability=0.3,
+        ))
+        assert float(trace.ratios.min()) >= trace.config.min_ratio
+        assert float(trace.ratios.max()) <= trace.config.max_ratio
+
+    def test_hazard_bounds_and_monotonicity(self):
+        trace = generate_trace(_config(n_ticks=128))
+        hazards = trace.hazards_per_hr
+        assert float(hazards.min()) >= 0.0
+        assert float(hazards.max()) <= trace.config.max_hazard_per_hr
+        # Hazard is linear in the ratio: a pricier tick is riskier.
+        flat_r = trace.ratios.ravel()
+        flat_h = hazards.ravel()
+        order = np.argsort(flat_r)
+        assert np.all(np.diff(flat_h[order]) >= 0)
+
+    def test_rows_match_gpu_keys(self):
+        trace = generate_trace(_config())
+        row = trace.ratios_at(0)
+        assert set(row) == {"K80", "T4", "V100"}
+        assert trace.ratios_at(0) == trace.ratios_at(0)
+
+    def test_tick_out_of_range_raises(self):
+        trace = generate_trace(_config(n_ticks=4))
+        with pytest.raises(CatalogError, match="outside trace"):
+            trace.ratios_at(4)
+        with pytest.raises(CatalogError, match="outside trace"):
+            trace.hazards_at(-1)
+
+    def test_pricing_at_prices_by_tick_ratio(self):
+        from repro.cloud.pricing import ON_DEMAND
+
+        trace = generate_trace(_config())
+        pricing = trace.pricing_at(2)
+        base = ON_DEMAND.instance("V100", 1)
+        spot = pricing.instance("V100", 1)
+        assert spot.usd_per_hr == base.usd_per_hr * trace.ratios_at(2)["V100"]
+        assert spot.name.startswith("spot:")
+
+
+class TestConfigValidation:
+    def test_empty_base_ratios_rejected(self):
+        with pytest.raises(CatalogError, match="at least one GPU"):
+            SpotMarketConfig(seed=1, base_ratios=())
+
+    def test_duplicate_gpu_keys_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate"):
+            SpotMarketConfig(
+                seed=1, base_ratios=(("T4", 0.3), ("T4", 0.4))
+            )
+
+    def test_bad_tick_count_rejected(self):
+        with pytest.raises(CatalogError, match="n_ticks"):
+            _config(n_ticks=0)
+
+    def test_bad_clamp_range_rejected(self):
+        with pytest.raises(CatalogError, match="min_ratio"):
+            _config(min_ratio=0.9, max_ratio=0.5)
+
+    def test_anchor_outside_clamp_rejected(self):
+        with pytest.raises(CatalogError, match="outside the"):
+            SpotMarketConfig(
+                seed=1, base_ratios=(("T4", 0.99),), max_ratio=0.95
+            )
+
+    def test_probability_fields_bounded(self):
+        with pytest.raises(CatalogError, match="reversion"):
+            _config(reversion=1.5)
+        with pytest.raises(CatalogError, match="volatility"):
+            _config(volatility=-0.1)
+
+
+class TestForCatalog:
+    def test_covers_builtin_anchors(self):
+        config = SpotMarketConfig.for_catalog(seed=3)
+        assert dict(config.base_ratios) == dict(SPOT_RATIO_BY_GPU)
+
+    def test_admitted_gpu_with_ratio_joins(self):
+        spec = GpuSpec(
+            key="SIMX", family="GS", marketing_name="Spotsim Test GPU",
+            cuda_cores=2048, tensor_cores=0, memory_gb=8,
+            peak_gflops=7000.0, memory_bandwidth_gbps=350.0,
+            launch_overhead_us=4.0, saturation_elements=5.0e5,
+            comm_base_us=6000.0, comm_us_per_mparam=500.0,
+        )
+        admit_gpu(spec, usd_per_hr=1.0, spot_ratio=0.4, replace=True)
+        try:
+            config = SpotMarketConfig.for_catalog(seed=3)
+            assert dict(config.base_ratios)["SIMX"] == 0.4
+        finally:
+            clear_admitted("SIMX")
+        # Without a declared ratio the GPU has no anchor to fluctuate.
+        admit_gpu(spec, usd_per_hr=1.0, replace=True)
+        try:
+            config = SpotMarketConfig.for_catalog(seed=3)
+            assert "SIMX" not in dict(config.base_ratios)
+        finally:
+            clear_admitted("SIMX")
+
+
+class TestSpotMarket:
+    def test_generation_starts_at_zero_and_ticks(self):
+        market = SpotMarket(seed=5)
+        assert market.generation == 0
+        assert market.tick() == 1
+        assert market.tick() == 2
+        assert market.generation == 2
+
+    def test_tick_index_wraps_around_the_trace(self):
+        market = SpotMarket(config=_config(n_ticks=3))
+        ratios0 = market.ratios()
+        for _ in range(3):
+            market.tick()
+        assert market.tick_index == 0
+        assert market.ratios() == ratios0
+
+    def test_ratios_track_active_tick(self):
+        market = SpotMarket(seed=5)
+        before = market.ratios()
+        market.tick()
+        assert market.ratios() == market.trace.ratios_at(1)
+        assert market.ratios() != before
+
+    def test_observe_reads_absolute_generation(self):
+        market = SpotMarket(config=_config(n_ticks=4))
+        ratios, hazards = observe(market, 6)
+        assert ratios == market.trace.ratios_at(2)
+        assert hazards == market.trace.hazards_at(2)
+        # A bare trace observes the same way.
+        ratios2, _ = observe(market.trace, 6)
+        assert ratios2 == ratios
+
+    def test_pricing_excludes_static_admission_ratios(self):
+        """A trace pricing is the market snapshot, not the admission table."""
+        spec = GpuSpec(
+            key="SIMY", family="GS", marketing_name="Spotsim Test GPU 2",
+            cuda_cores=2048, tensor_cores=0, memory_gb=8,
+            peak_gflops=7000.0, memory_bandwidth_gbps=350.0,
+            launch_overhead_us=4.0, saturation_elements=5.0e5,
+            comm_base_us=6000.0, comm_us_per_mparam=500.0,
+        )
+        admit_gpu(spec, usd_per_hr=1.0, spot_ratio=0.4, replace=True)
+        try:
+            market = SpotMarket(config=_config())
+            with pytest.raises(CatalogError, match="no spot ratio"):
+                market.pricing().instance("SIMY", 1)
+        finally:
+            clear_admitted("SIMY")

@@ -349,3 +349,104 @@ class TestClipBoundaryEquivalence:
         )
         linear = models.heavy_models[("K80", "Conv2D")].regression
         assert totals[0] == linear.predict_batch(x).sum()
+
+
+class TestSpotAdmittedRegression:
+    """Spot/admitted sweeps mask unquoted GPUs instead of raising.
+
+    Regression guard for the pricing path: a spec-only GPU admitted
+    *without* ``--spot-ratio`` has no spot (or market) quote, and a full
+    catalog sweep that includes it must NaN-mask those cells while still
+    pricing it On-Demand — under every pricing tier at once.
+    """
+
+    SPEC_KWARGS = dict(
+        key="ADMX", family="GA", marketing_name="Batch Test GPU",
+        cuda_cores=4608, tensor_cores=576, memory_gb=24.0,
+        peak_gflops=16300.0, memory_bandwidth_gbps=672.0,
+        launch_overhead_us=3.4, saturation_elements=2.0e7,
+        comm_base_us=190.0, comm_us_per_mparam=4.1,
+    )
+
+    @pytest.fixture(scope="class")
+    def transfer_estimator(self, train_profiles_small):
+        from repro.core.fit import fit_ceer
+
+        return fit_ceer(
+            n_iterations=80, gpu_counts=(1, 2),
+            train_profiles=train_profiles_small, backend="transfer",
+        ).estimator
+
+    @pytest.fixture
+    def admitted_gpu(self):
+        from repro.cloud.catalog import admit_gpu, clear_admitted
+        from repro.hardware.gpus import GpuSpec
+
+        admit_gpu(GpuSpec(**self.SPEC_KWARGS), usd_per_hr=2.0, replace=True)
+        yield "ADMX"
+        clear_admitted("ADMX")
+
+    def test_full_catalog_all_tiers_masks_admitted(
+        self, transfer_estimator, admitted_gpu
+    ):
+        from repro.hardware.gpus import GPU_KEYS
+
+        plan = SweepPlan.full_catalog(
+            batch_sizes=(16, 32),
+            pricings=(ON_DEMAND, SPOT, MARKET_RATIO),
+            gpu_keys=tuple(GPU_KEYS) + (admitted_gpu,),
+        )
+        result = evaluate_sweep(transfer_estimator, "alexnet", JOB, plan)
+        g = plan.gpu_keys.index(admitted_gpu)
+        # On-Demand prices the admitted GPU; spot and market have no
+        # quote for it, so its cells mask rather than raise.
+        assert np.isfinite(result.cost_usd[0, g]).any()
+        assert not np.isfinite(result.cost_usd[1, g]).any()
+        assert not np.isfinite(result.cost_usd[2, g]).any()
+        # The time tensors are pricing-independent and never masked.
+        assert np.isfinite(result.total_us[g]).all()
+        # Built-in GPUs still price under every tier.
+        v = plan.gpu_keys.index("V100")
+        for p in range(3):
+            assert np.isfinite(result.cost_usd[p, v]).any()
+
+    def test_admitted_with_ratio_prices_on_spot(
+        self, transfer_estimator, admitted_gpu
+    ):
+        from repro.cloud.catalog import admit_gpu
+        from repro.hardware.gpus import GPU_KEYS, GpuSpec
+
+        admit_gpu(
+            GpuSpec(**self.SPEC_KWARGS), usd_per_hr=2.0, replace=True,
+            spot_ratio=0.4,
+        )
+        plan = SweepPlan.full_catalog(
+            batch_sizes=(32,), pricings=(ON_DEMAND, SPOT),
+            gpu_keys=tuple(GPU_KEYS) + (admitted_gpu,),
+        )
+        result = evaluate_sweep(transfer_estimator, "alexnet", JOB, plan)
+        g = plan.gpu_keys.index(admitted_gpu)
+        od = result.usd_per_hr[0, g]
+        spot = result.usd_per_hr[1, g]
+        priced = np.isfinite(od)
+        assert priced.any()
+        assert np.array_equal(spot[priced], od[priced] * 0.4)
+
+    def test_recommender_sweep_spot_masks_not_raises(
+        self, transfer_estimator, admitted_gpu
+    ):
+        from repro.core.recommend import Recommender
+        from repro.hardware.gpus import GPU_KEYS
+
+        recommender = Recommender(
+            transfer_estimator, pricing=SPOT,
+            gpu_keys=tuple(GPU_KEYS) + (admitted_gpu,),
+        )
+        predictions = recommender.sweep("alexnet", JOB)
+        assert predictions  # built-in GPUs still priced
+        assert all(p.gpu_key != admitted_gpu for p in predictions)
+        on_demand = Recommender(
+            transfer_estimator, pricing=ON_DEMAND,
+            gpu_keys=tuple(GPU_KEYS) + (admitted_gpu,),
+        ).sweep("alexnet", JOB)
+        assert any(p.gpu_key == admitted_gpu for p in on_demand)

@@ -1,0 +1,81 @@
+"""Preemption model + expected-makespan/cost prediction properties."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.preempt import DEFAULT_PREEMPTION, PreemptionModel
+from repro.errors import ModelingError
+from repro.units import us_to_hr, usd_per_hr_to_usd
+from repro.workloads.dataset import IMAGENET, TrainingJob
+
+JOB = TrainingJob(IMAGENET, batch_size=32)
+
+
+class TestPreemptionModel:
+    def test_default_overhead_is_half_interval_plus_restore(self):
+        assert DEFAULT_PREEMPTION.overhead_iterations == 100.0
+        model = PreemptionModel(
+            checkpoint_interval_iterations=40.0,
+            restore_overhead_iterations=10.0,
+        )
+        assert model.overhead_iterations == 30.0
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ModelingError):
+            PreemptionModel(checkpoint_interval_iterations=-1.0)
+        with pytest.raises(ModelingError):
+            PreemptionModel(restore_overhead_iterations=-1.0)
+
+
+class TestExpectedProperties:
+    @pytest.fixture(scope="class")
+    def base_prediction(self, ceer_small):
+        return ceer_small.predict_training("alexnet", "V100", 1, JOB)
+
+    def test_zero_hazard_collapses_bitwise(self, base_prediction):
+        """Hazard 0 means the expected path IS the deterministic path."""
+        p = base_prediction
+        assert p.hazard_per_hr == 0.0
+        assert p.expected_makespan_us == p.total_us
+        assert p.expected_makespan_hours == p.total_hours
+        assert p.expected_cost_usd == p.cost_dollars
+
+    def test_expected_makespan_formula(self, base_prediction):
+        p = replace(
+            base_prediction, hazard_per_hr=0.1,
+            preempt_overhead_iterations=100.0,
+        )
+        expected_us = p.total_us + (0.1 * p.total_hours) * (
+            100.0 * p.per_iteration_us
+        )
+        assert p.expected_makespan_us == expected_us
+        assert p.expected_makespan_hours == us_to_hr(expected_us)
+        assert p.expected_cost_usd == usd_per_hr_to_usd(
+            p.usd_per_hr, us_to_hr(expected_us)
+        )
+
+    def test_expected_cost_monotone_in_hazard(self, base_prediction):
+        """More preemption risk can only cost more (same rate, more hours)."""
+        costs = [
+            replace(
+                base_prediction, hazard_per_hr=h,
+                preempt_overhead_iterations=100.0,
+            ).expected_cost_usd
+            for h in (0.0, 0.05, 0.1, 0.25, 1.0)
+        ]
+        assert costs == sorted(costs)
+        assert costs[0] < costs[-1]
+
+    def test_expected_makespan_monotone_in_overhead(self, base_prediction):
+        makespans = [
+            replace(
+                base_prediction, hazard_per_hr=0.1,
+                preempt_overhead_iterations=o,
+            ).expected_makespan_hours
+            for o in (0.0, 50.0, 100.0, 500.0)
+        ]
+        assert makespans == sorted(makespans)
+        assert makespans[0] < makespans[-1]

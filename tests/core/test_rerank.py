@@ -1,0 +1,169 @@
+"""Incremental spot re-ranking: bitwise oracle equivalence + masking."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cloud.pricing import MARKET_RATIO, ON_DEMAND
+from repro.cloud.spotsim import SpotMarket, SpotMarketConfig
+from repro.core.batch import SweepPlan, evaluate_sweep
+from repro.core.preempt import DEFAULT_PREEMPTION
+from repro.core.recommend import SpotRiskObjective
+from repro.core.rerank import SpotRerankSession
+from repro.errors import ModelingError, RecommendationError
+from repro.workloads.dataset import IMAGENET, TrainingJob
+
+JOB = TrainingJob(IMAGENET, batch_size=32)
+BATCHES = (16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def session(ceer_small):
+    return SpotRerankSession.from_estimator(
+        ceer_small, "alexnet", JOB, batch_sizes=BATCHES
+    )
+
+
+def oracle_ranking(estimator, market, risk_aversion):
+    """Full re-sweep at the tick's pricing, scored via SpotRiskObjective."""
+    plan = SweepPlan.full_catalog(
+        batch_sizes=BATCHES, pricings=(market.pricing(),)
+    )
+    result = evaluate_sweep(estimator, "alexnet", JOB, plan)
+    hazards = market.hazards_per_hr()
+    preds = [
+        replace(
+            result.prediction(p, g, k, b),
+            hazard_per_hr=hazards[plan.gpu_keys[g]],
+            preempt_overhead_iterations=DEFAULT_PREEMPTION.overhead_iterations,
+        )
+        for (p, g, k, b) in result.iter_candidates()
+    ]
+    objective = SpotRiskObjective(risk_aversion_usd_per_hr=risk_aversion)
+    return sorted(preds, key=objective.score), objective
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("risk_aversion", [0.0, 0.5, 4.0])
+    def test_ranking_is_bitwise_identical_to_full_resweep(
+        self, ceer_small, session, risk_aversion
+    ):
+        market = SpotMarket(seed=11)
+        for tick in range(3):
+            if tick > 0:
+                market.tick()
+            ranking = session.rerank(
+                market.ratios(), market.hazards_per_hr(),
+                risk_aversion_usd_per_hr=risk_aversion,
+            )
+            oracle, objective = oracle_ranking(
+                ceer_small, market, risk_aversion
+            )
+            assert ranking.n_candidates == len(oracle)
+            fast = ranking.predictions()
+            for got, ref in zip(fast, oracle):
+                assert (got.instance_name, got.num_gpus, got.batch_size) == (
+                    ref.instance_name, ref.num_gpus, ref.batch_size
+                )
+            assert np.array_equal(
+                ranking.scores,
+                np.array([objective.score(p) for p in oracle]),
+            )
+
+    def test_materialized_fields_match_oracle_exactly(
+        self, ceer_small, session
+    ):
+        market = SpotMarket(seed=11)
+        market.tick()
+        best = session.rerank(
+            market.ratios(), market.hazards_per_hr()
+        ).best()
+        oracle, _ = oracle_ranking(ceer_small, market, 0.0)
+        ref = oracle[0]
+        assert best.usd_per_hr == ref.usd_per_hr
+        assert best.expected_cost_usd == ref.expected_cost_usd
+        assert best.expected_makespan_hours == ref.expected_makespan_hours
+        assert best.hazard_per_hr == ref.hazard_per_hr
+
+
+class TestMasking:
+    def test_missing_ratio_masks_not_raises(self, session):
+        """A tick with no quote for a GPU drops its candidates only."""
+        market = SpotMarket(seed=11)
+        ratios = market.ratios()
+        full = session.rerank(ratios)
+        del ratios["V100"]
+        partial = session.rerank(ratios)
+        assert partial.n_candidates < full.n_candidates
+        assert all(
+            p.gpu_key != "V100" for p in partial.predictions()
+        )
+
+    def test_all_masked_yields_empty_ranking(self, session):
+        ranking = session.rerank({})
+        assert ranking.n_candidates == 0
+        with pytest.raises(RecommendationError, match="no spot-priceable"):
+            ranking.best()
+
+    def test_rank_out_of_range_raises(self, session):
+        market = SpotMarket(seed=11)
+        ranking = session.rerank(market.ratios())
+        with pytest.raises(RecommendationError, match="outside"):
+            ranking.prediction(ranking.n_candidates)
+
+
+class TestSessionContract:
+    def test_multi_pricing_base_rejected(self, ceer_small):
+        plan = SweepPlan.full_catalog(
+            batch_sizes=(32,), pricings=(ON_DEMAND, MARKET_RATIO)
+        )
+        base = evaluate_sweep(ceer_small, "alexnet", JOB, plan)
+        with pytest.raises(ModelingError, match="single-pricing"):
+            SpotRerankSession(base)
+
+    def test_non_on_demand_base_rejected(self, ceer_small):
+        plan = SweepPlan.full_catalog(
+            batch_sizes=(32,), pricings=(MARKET_RATIO,)
+        )
+        base = evaluate_sweep(ceer_small, "alexnet", JOB, plan)
+        with pytest.raises(ModelingError, match="On-Demand"):
+            SpotRerankSession(base)
+
+    def test_negative_risk_aversion_rejected(self, session):
+        with pytest.raises(ModelingError, match="risk_aversion"):
+            session.rerank({"V100": 0.3}, risk_aversion_usd_per_hr=-1.0)
+
+    def test_default_hazard_is_zero(self, session):
+        """hazard_by_gpu=None collapses to the deterministic spot cost."""
+        market = SpotMarket(seed=11)
+        best = session.rerank(market.ratios()).best()
+        assert best.hazard_per_hr == 0.0
+        assert best.expected_makespan_us == best.total_us
+        assert best.expected_cost_usd == best.cost_dollars
+
+    def test_spot_instance_rebuilt_by_pricing_rule(self, session):
+        """Materialised instances follow SpotPricing's naming and rate."""
+        market = SpotMarket(seed=11)
+        ratios = market.ratios()
+        best = session.rerank(ratios).best()
+        assert best.instance_name.startswith("spot:")
+        base = ON_DEMAND.instance(best.gpu_key, best.num_gpus)
+        assert best.usd_per_hr == base.usd_per_hr * ratios[best.gpu_key]
+
+    def test_stable_tie_break_matches_candidate_order(self, session):
+        """Equal scores keep the sweep's g-major candidate order (stable
+        argsort == stable sorted), so rankings never flap on ties."""
+        # Same ratio + zero hazard for every GPU maximises tie pressure
+        # between proxy instances that share an hourly rate.
+        ranking = session.rerank(
+            {key: 0.5 for key in session.plan.gpu_keys}
+        )
+        scores = ranking.scores
+        assert np.all(np.diff(scores) >= 0)
+        # Ties, if any, must appear in ascending flat-index order.
+        for i in range(len(scores) - 1):
+            if scores[i] == scores[i + 1]:
+                assert ranking.order[i] < ranking.order[i + 1]

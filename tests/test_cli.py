@@ -662,3 +662,134 @@ class TestFitBackendFlag:
                  "--output", str(tmp_path / "x.json"),
                  "--workspace", str(tmp_path / "ws")]
             )
+
+
+class TestSpotScenario:
+    """``recommend --scenario spot``: trace-driven preemption-aware ranking."""
+
+    def test_spot_recommendation_renders(self, estimator_path):
+        code, text = _run(
+            ["recommend", "--estimator", estimator_path, "--model",
+             "alexnet", "--scenario", "spot", "--seed", "7",
+             "--risk-aversion", "0.5"]
+        )
+        assert code == 0
+        assert "spot scenario (seed 7" in text
+        assert "expected makespan" in text and "expected cost" in text
+        assert "spot:" in text
+
+    def test_ticks_advance_the_market(self, estimator_path):
+        code1, text1 = _run(
+            ["recommend", "--estimator", estimator_path, "--model",
+             "alexnet", "--scenario", "spot", "--seed", "7"]
+        )
+        code2, text2 = _run(
+            ["recommend", "--estimator", estimator_path, "--model",
+             "alexnet", "--scenario", "spot", "--seed", "7",
+             "--ticks", "3"]
+        )
+        assert code1 == code2 == 0
+        assert "tick 0" in text1 and "tick 2" in text2
+        assert text1 != text2
+
+    def test_deterministic_for_a_seed(self, estimator_path):
+        args = ["recommend", "--estimator", estimator_path, "--model",
+                "alexnet", "--scenario", "spot", "--seed", "11",
+                "--ticks", "2"]
+        assert _run(args) == _run(args)
+
+    @pytest.mark.parametrize("extra", [
+        ["--spot"],
+        ["--market-prices"],
+        ["--objective", "min-time"],
+        ["--budget", "3"],
+        ["--slack", "0.1"],
+    ])
+    def test_conflicting_flags_rejected(self, estimator_path, extra,
+                                        capsys):
+        code, _ = _run(
+            ["recommend", "--estimator", estimator_path, "--model",
+             "alexnet", "--scenario", "spot"] + extra
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "conflict" in err and "spot-risk" in err
+
+    @pytest.mark.parametrize("extra", [
+        ["--seed", "7"],
+        ["--ticks", "2"],
+        ["--risk-aversion", "0.5"],
+    ])
+    def test_spot_flags_require_spot_scenario(self, estimator_path, extra,
+                                              capsys):
+        code, _ = _run(
+            ["recommend", "--estimator", estimator_path, "--model",
+             "alexnet"] + extra
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "requires --scenario spot" in err
+
+    def test_negative_risk_aversion_rejected(self, estimator_path, capsys):
+        code, _ = _run(
+            ["recommend", "--estimator", estimator_path, "--model",
+             "alexnet", "--scenario", "spot", "--risk-aversion", "-1"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "risk-aversion" in err
+
+
+class TestAdmitSpotRatio:
+    """``catalog admit --spot-ratio`` persists and surfaces in predictions."""
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        import json
+
+        spec = dict(TestCatalogAdmit.SPEC)
+        path = tmp_path / "a10g.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    @pytest.fixture
+    def clean_admitted(self):
+        from repro.cloud.catalog import clear_admitted
+
+        yield
+        clear_admitted("A10G")
+
+    def test_ratio_recorded_and_reloaded(
+        self, spec_file, tmp_path, clean_admitted
+    ):
+        import json
+
+        from repro.cloud.catalog import admitted_spot_ratios, clear_admitted
+
+        ws = str(tmp_path / "ws")
+        code, text = _run(
+            ["catalog", "admit", "--spec", spec_file, "--usd-per-hr",
+             "1.006", "--spot-ratio", "0.35", "--workspace", ws]
+        )
+        assert code == 0
+        assert "spot at 0.35x On-Demand" in text
+        doc = json.loads(
+            (tmp_path / "ws" / "admitted_gpus.json").read_text()
+        )
+        assert doc["gpus"][0]["spot_ratio"] == 0.35
+        clear_admitted("A10G")
+        # A fresh command pointed at the workspace re-admits with ratio.
+        code, _ = _run(["catalog", "list", "--workspace", ws])
+        assert code == 0
+        assert admitted_spot_ratios()["A10G"] == 0.35
+
+    def test_bad_ratio_rejected(self, spec_file, tmp_path, clean_admitted,
+                                capsys):
+        code, _ = _run(
+            ["catalog", "admit", "--spec", spec_file, "--usd-per-hr",
+             "1.006", "--spot-ratio", "1.5",
+             "--workspace", str(tmp_path / "ws")]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "spot_ratio" in err

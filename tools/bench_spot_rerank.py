@@ -1,0 +1,308 @@
+#!/usr/bin/env python
+"""Microbenchmark for the incremental spot re-rank layer.
+
+Times a warmed full-catalog re-sweep at a tick's spot prices (build a
+:class:`~repro.core.batch.SweepPlan` around the tick's pricing, run
+:func:`~repro.core.batch.evaluate_sweep` with hot engine caches — what
+every price tick would cost without the re-rank layer) against
+:meth:`~repro.core.rerank.SpotRerankSession.rerank` (a tensor re-scale
+over the session's cached grids), and verifies across several ticks that
+the two paths produce *bit-identical* rankings: same candidate order,
+same scores, where the oracle is the full re-sweep's predictions scored
+through :class:`~repro.core.recommend.SpotRiskObjective` under a stable
+sort. It also exercises the mask-not-raise contract: a spec-only GPU
+admitted *without* a spot ratio joins the sweep, and spot pricing masks
+its cells instead of raising.
+
+Headless usage::
+
+    PYTHONPATH=src python tools/bench_spot_rerank.py --json BENCH_spot_rerank.json
+
+The batch grid is wider than the default sweep's (32 sizes) so the spot
+candidate set clears the 1000-candidate floor the perf gate enforces.
+"""
+
+from __future__ import annotations
+
+# staticcheck: ignore-file[determinism] — a wall-clock benchmark times by definition
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.catalog import admit_gpu, clear_admitted
+from repro.cloud.pricing import MARKET_RATIO, ON_DEMAND, SPOT
+from repro.cloud.spotsim import SpotMarket
+from repro.core.batch import SweepPlan, evaluate_sweep
+from repro.core.estimator import CeerEstimator
+from repro.core.fit import fit_ceer
+from repro.core.preempt import DEFAULT_PREEMPTION
+from repro.core.recommend import SpotRiskObjective
+from repro.core.rerank import SpotRerankSession
+from repro.hardware.gpus import GPU_KEYS, GpuSpec
+from repro.units import MS_PER_S
+from repro.workloads.dataset import IMAGENET, TrainingJob
+
+#: 32 batch sizes x the priceable (GPU, count) grid -> 1000+ candidates.
+BENCH_BATCH_SIZES = tuple(range(8, 264, 8))
+
+
+def best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _fresh_estimator(fitted) -> CeerEstimator:
+    return CeerEstimator(
+        fitted.estimator.compute_models, fitted.estimator.comm_model
+    )
+
+
+def oracle_ranking(estimator, model, job, market, risk_aversion):
+    """The full re-sweep ranking a tick would compute without the layer."""
+    plan = SweepPlan.full_catalog(
+        batch_sizes=BENCH_BATCH_SIZES, pricings=(market.pricing(),)
+    )
+    result = evaluate_sweep(estimator, model, job, plan)
+    hazards = market.hazards_per_hr()
+    preds = []
+    for (p, g, k, b) in result.iter_candidates():
+        pred = result.prediction(p, g, k, b)
+        preds.append(replace(
+            pred,
+            hazard_per_hr=hazards[plan.gpu_keys[g]],
+            preempt_overhead_iterations=DEFAULT_PREEMPTION.overhead_iterations,
+        ))
+    objective = SpotRiskObjective(risk_aversion_usd_per_hr=risk_aversion)
+    return sorted(preds, key=objective.score), objective
+
+
+def check_equivalence(fitted, model, job, seed, n_ticks, risk_aversion):
+    """Bit-exact ranking agreement between re-rank and full re-sweep."""
+    estimator = _fresh_estimator(fitted)
+    session = SpotRerankSession.from_estimator(
+        estimator, model, job, batch_sizes=BENCH_BATCH_SIZES
+    )
+    market = SpotMarket(seed=seed)
+    mismatches = 0
+    scores_equal = True
+    checked = 0
+    for tick in range(n_ticks):
+        if tick > 0:
+            market.tick()
+        ranking = session.rerank(
+            market.ratios(), market.hazards_per_hr(),
+            risk_aversion_usd_per_hr=risk_aversion,
+        )
+        oracle, objective = oracle_ranking(
+            estimator, model, job, market, risk_aversion
+        )
+        if len(oracle) != ranking.n_candidates:
+            raise SystemExit(
+                f"candidate sets disagree at tick {tick}: rerank has "
+                f"{ranking.n_candidates}, full re-sweep has {len(oracle)}"
+            )
+        fast = ranking.predictions()
+        for got, ref in zip(fast, oracle):
+            checked += 1
+            if (got.instance_name, got.batch_size) != (
+                    ref.instance_name, ref.batch_size):
+                mismatches += 1
+        if not np.array_equal(
+                ranking.scores,
+                np.array([objective.score(p) for p in oracle])):
+            scores_equal = False
+    return {
+        "ticks_checked": n_ticks,
+        "candidates": checked // n_ticks,
+        "ranking_mismatches": mismatches,
+        "rankings_identical": mismatches == 0,
+        "scores_bitwise_equal": scores_equal,
+    }
+
+
+def bench_rerank(fitted, model, job, seed, repeats):
+    """Warmed full re-sweep vs incremental re-rank at one tick."""
+    estimator = _fresh_estimator(fitted)
+    session = SpotRerankSession.from_estimator(
+        estimator, model, job, batch_sizes=BENCH_BATCH_SIZES
+    )
+    market = SpotMarket(seed=seed)
+    market.tick()
+    pricing = market.pricing()
+    ratios = market.ratios()
+    hazards = market.hazards_per_hr()
+
+    def full_resweep():
+        # A new plan per tick (the pricing changed), engine caches hot —
+        # the honest per-tick cost of not having the re-rank layer.
+        plan = SweepPlan.full_catalog(
+            batch_sizes=BENCH_BATCH_SIZES, pricings=(pricing,)
+        )
+        evaluate_sweep(estimator, model, job, plan)
+
+    full_resweep()  # prime compute/comm caches
+    resweep_s = best_of(full_resweep, repeats)
+    rerank_s = best_of(
+        lambda: session.rerank(ratios, hazards), repeats
+    )
+    ranking = session.rerank(ratios, hazards)
+    return {
+        "candidates": ranking.n_candidates,
+        "resweep_warm_ms": resweep_s * MS_PER_S,
+        "rerank_ms": rerank_s * MS_PER_S,
+        "speedup": resweep_s / rerank_s,
+    }
+
+
+def check_admitted_masking(fitted, model, job):
+    """Spot sweep over catalog + ratio-less admitted GPU masks, not raises.
+
+    Requires a transfer-backend estimator (the admitted GPU needs a
+    synthesized compute model); the check asserts that all three pricing
+    tiers sweep without raising and that the spot/market tiers mask the
+    admitted GPU's cells (no quote -> NaN cost) while On-Demand prices
+    them.
+    """
+    spec = GpuSpec(
+        key="BENCHX", family="PX", marketing_name="Bench X",
+        cuda_cores=4608, tensor_cores=576, memory_gb=24.0,
+        peak_gflops=16300.0, memory_bandwidth_gbps=672.0,
+        launch_overhead_us=3.4, saturation_elements=2.0e7,
+        comm_base_us=190.0, comm_us_per_mparam=4.1,
+    )
+    admit_gpu(spec, usd_per_hr=2.0, replace=True)  # no spot_ratio
+    try:
+        estimator = _fresh_estimator(fitted)
+        plan = SweepPlan.full_catalog(
+            batch_sizes=(32,), pricings=(ON_DEMAND, SPOT, MARKET_RATIO),
+            gpu_keys=tuple(GPU_KEYS) + (spec.key,),
+        )
+        result = evaluate_sweep(estimator, model, job, plan)
+        g = plan.gpu_keys.index(spec.key)
+        od_priced = bool(np.isfinite(result.cost_usd[0, g]).any())
+        spot_masked = not bool(np.isfinite(result.cost_usd[1, g]).any())
+        market_masked = not bool(np.isfinite(result.cost_usd[2, g]).any())
+        return {
+            "swept_without_raising": True,
+            "admitted_on_demand_priced": od_priced,
+            "admitted_spot_masked": spot_masked,
+            "admitted_market_masked": market_masked,
+            "spot_admitted_sweep_ok": od_priced and spot_masked
+            and market_masked,
+        }
+    finally:
+        clear_admitted()
+
+
+def run(args: argparse.Namespace) -> dict:
+    t0 = time.perf_counter()
+    fitted = fit_ceer(n_iterations=args.iterations)
+    transfer_fitted = fit_ceer(
+        n_iterations=args.iterations, backend="transfer"
+    )
+    fit_s = time.perf_counter() - t0
+    job = TrainingJob(IMAGENET, batch_size=args.batch_size)
+    return {
+        "benchmark": "spot_rerank",
+        "config": {
+            "model": args.model,
+            "batch_size": args.batch_size,
+            "fit_iterations": args.iterations,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "ticks": args.ticks,
+            "risk_aversion_usd_per_hr": args.risk_aversion,
+            "batch_sizes": list(BENCH_BATCH_SIZES),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "fit_seconds": fit_s,
+        "rerank": bench_rerank(fitted, args.model, job, args.seed,
+                               args.repeats),
+        "equivalence": check_equivalence(
+            fitted, args.model, job, args.seed, args.ticks,
+            args.risk_aversion,
+        ),
+        "admitted": check_admitted_masking(transfer_fitted, args.model, job),
+    }
+
+
+def render(report: dict) -> str:
+    r = report["rerank"]
+    e = report["equivalence"]
+    a = report["admitted"]
+    return "\n".join([
+        f"spot-rerank benchmark ({report['config']['model']}, "
+        f"{r['candidates']} spot candidates)",
+        f"  full re-sweep (warm): {r['resweep_warm_ms']:9.3f} ms | "
+        f"re-rank {r['rerank_ms']:7.3f} ms ({r['speedup']:.1f}x)",
+        f"  equivalence: {e['ranking_mismatches']} ranking mismatches over "
+        f"{e['ticks_checked']} ticks, scores bitwise "
+        f"{'equal' if e['scores_bitwise_equal'] else 'UNEQUAL'}",
+        f"  admitted-GPU spot sweep: "
+        f"{'masks, not raises (OK)' if a['spot_admitted_sweep_ok'] else 'FAIL'}",
+    ])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the JSON report to this path")
+    parser.add_argument("--model", default="inception_v3",
+                        help="zoo model for the benchmark")
+    parser.add_argument("--batch-size", type=int, default=32,
+                        help="training-job batch size")
+    parser.add_argument("--iterations", type=int, default=60,
+                        help="profiling iterations for the fit (latency is "
+                             "independent of this; low keeps CI fast)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--seed", type=int, default=2020,
+                        help="spot trace seed")
+    parser.add_argument("--ticks", type=int, default=4,
+                        help="ticks to verify rerank/re-sweep equivalence on")
+    parser.add_argument("--risk-aversion", type=float, default=0.5,
+                        help="spot-risk lambda for the equivalence check")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    report = run(args)
+    print(render(report))
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if not (report["equivalence"]["rankings_identical"]
+            and report["equivalence"]["scores_bitwise_equal"]):
+        print("WARNING: re-rank and full re-sweep rankings disagree",
+              file=sys.stderr)
+        return 1
+    if report["rerank"]["candidates"] < 1000:
+        print("WARNING: spot sweep covers fewer than 1000 candidates",
+              file=sys.stderr)
+        return 1
+    if report["rerank"]["speedup"] < 10.0:
+        print("WARNING: re-rank speedup below the 10x target",
+              file=sys.stderr)
+        return 1
+    if not report["admitted"]["spot_admitted_sweep_ok"]:
+        print("WARNING: admitted-GPU spot sweep contract broken",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,15 @@ baseline, spec-only sweep predictions must be finite with positive
 uncertainty bands, and the spec-only/profiled warm sweep ratio must stay
 within ``--transfer-max-overhead``.
 
+The spot re-rank benchmark (``tools/bench_spot_rerank.py`` /
+``BENCH_spot_rerank.json``) is checked when ``--spot-fresh`` is given:
+the re-rank and full re-sweep rankings must be bit-identical across
+ticks (exact booleans, no tolerance), the spot sweep must cover at
+least 1000 candidates, the admitted-GPU masking contract must hold,
+and the same-process re-rank/re-sweep speedup must clear an absolute
+floor (default 10x) plus a drift tripwire against the committed
+baseline.
+
 The serving-layer benchmark (``tools/bench_serve.py`` /
 ``BENCH_serve.json``) is checked when ``--serve-fresh`` is given: exact
 contracts (an identical concurrent burst collapses to one evaluation,
@@ -421,6 +430,101 @@ def compare_transfer(
     return lines, failures
 
 
+#: The spot re-rank layer's coverage floor, mirroring the catalog gate.
+SPOT_MIN_CANDIDATES = 1000
+
+
+def compare_spot(
+    baseline: dict, fresh: dict, tolerance: float, min_speedup: float
+) -> Tuple[List[str], List[str]]:
+    """Checks for the spot re-rank benchmark reports.
+
+    The contracts are exact: re-rank and full re-sweep rankings must
+    agree candidate-for-candidate with bitwise-equal scores, and a
+    ratio-less admitted GPU must mask (not raise) under spot pricing.
+    The re-rank/re-sweep speedup is a same-process ratio (host speed
+    cancels) with an absolute floor; the baseline comparison is a drift
+    tripwire with a wide tolerance — the re-rank side finishes in tens
+    of microseconds, so scheduler jitter moves the ratio run-to-run.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+
+    for flag, label, message in (
+        (bool(fresh["equivalence"].get("rankings_identical")),
+         "rerank/re-sweep rankings",
+         f"spot: {fresh['equivalence'].get('ranking_mismatches')} ranking "
+         f"mismatch(es) between re-rank and full re-sweep"),
+        (bool(fresh["equivalence"].get("scores_bitwise_equal")),
+         "scores bitwise equal",
+         "spot: re-rank scores are not bitwise equal to the full "
+         "re-sweep's"),
+        (bool(fresh["admitted"].get("spot_admitted_sweep_ok")),
+         "admitted-GPU spot masking",
+         "spot: sweep over a ratio-less admitted GPU broke the "
+         "mask-not-raise contract"),
+    ):
+        lines.append(f"  {label:<28s} [{'ok' if flag else 'FAIL'}]")
+        if not flag:
+            failures.append(message)
+
+    candidates = int(_lookup(fresh, ("rerank", "candidates")))
+    count_ok = candidates >= SPOT_MIN_CANDIDATES
+    lines.append(
+        f"  {'spot candidates':<28s} fresh {candidates:10d}    "
+        f"floor {SPOT_MIN_CANDIDATES}  [{'ok' if count_ok else 'FAIL'}]"
+    )
+    if not count_ok:
+        failures.append(
+            f"spot: re-rank covers {candidates} candidates, below the "
+            f"{SPOT_MIN_CANDIDATES}-candidate floor"
+        )
+
+    speedup = _lookup(fresh, ("rerank", "speedup"))
+    floor_ok = speedup >= min_speedup
+    lines.append(
+        f"  {'rerank vs re-sweep speedup':<28s} fresh {speedup:10.1f}x   "
+        f"floor {min_speedup:.1f}x  [{'ok' if floor_ok else 'REGRESSION'}]"
+    )
+    if not floor_ok:
+        failures.append(
+            f"spot: re-rank speedup {speedup:.1f}x is below the "
+            f"{min_speedup:.1f}x floor"
+        )
+
+    base_speedup = _lookup(baseline, ("rerank", "speedup"))
+    change = (speedup - base_speedup) / base_speedup if base_speedup else float("inf")
+    verdict = "ok"
+    if change < -tolerance:
+        verdict = "REGRESSION"
+        failures.append(
+            f"spot: re-rank speedup {speedup:.1f}x is {-change:.0%} below "
+            f"the committed {base_speedup:.1f}x (tolerance {tolerance:.0%})"
+        )
+    elif change > tolerance:
+        verdict = "improved — consider refreshing the baseline"
+    lines.append(
+        f"  {'spot vs baseline':<28s} baseline {base_speedup:10.1f}x   "
+        f"fresh {speedup:10.1f}x   {change:+7.1%}  [{verdict}]"
+    )
+
+    lines.append(
+        "  -- absolute latencies (informational; machine-dependent) --"
+    )
+    for path, label in (
+        (("rerank", "resweep_warm_ms"), "full re-sweep warm ms"),
+        (("rerank", "rerank_ms"), "re-rank ms"),
+    ):
+        base = _lookup(baseline, path)
+        new = _lookup(fresh, path)
+        delta = (new - base) / base if base else float("inf")
+        lines.append(
+            f"  {label:<28s} baseline {base:10.3f}    fresh {new:10.3f}    "
+            f"{delta:+7.1%}"
+        )
+    return lines, failures
+
+
 #: Floors for the serving-layer ratios. Warm-vs-cold is large by
 #: construction (a cold query pays graph build + compile + stacking; a
 #: warm one reads caches), so 5x is a deliberately loose tripwire; the
@@ -564,6 +668,19 @@ def main(argv=None) -> int:
     parser.add_argument("--transfer-max-overhead", type=float, default=3.0,
                         help="maximum spec-only/profiled warm sweep ratio "
                              "(default 3.0)")
+    parser.add_argument("--spot-baseline", type=Path,
+                        default=Path("BENCH_spot_rerank.json"),
+                        help="committed spot re-rank benchmark report")
+    parser.add_argument("--spot-fresh", type=Path, default=None,
+                        help="freshly generated spot re-rank report; "
+                             "enables the spot-dynamics checks")
+    parser.add_argument("--spot-tolerance", type=float, default=0.5,
+                        help="allowed fractional drop in the re-rank "
+                             "speedup vs its baseline (wide: the re-rank "
+                             "side is tens of microseconds)")
+    parser.add_argument("--spot-min", type=float, default=10.0,
+                        help="minimum re-rank vs warmed full re-sweep "
+                             "speedup (default 10.0)")
     parser.add_argument("--serve-baseline", type=Path,
                         default=Path("BENCH_serve.json"),
                         help="committed serving-layer benchmark report")
@@ -614,6 +731,15 @@ def main(argv=None) -> int:
               f"{args.transfer_baseline}")
         print("\n".join(transfer_lines))
         failures.extend(transfer_failures)
+    if args.spot_fresh is not None:
+        spot_baseline = json.loads(args.spot_baseline.read_text())
+        spot_fresh = json.loads(args.spot_fresh.read_text())
+        spot_lines, spot_failures = compare_spot(
+            spot_baseline, spot_fresh, args.spot_tolerance, args.spot_min
+        )
+        print(f"spot gate: {args.spot_fresh} vs {args.spot_baseline}")
+        print("\n".join(spot_lines))
+        failures.extend(spot_failures)
     if args.serve_fresh is not None:
         serve_baseline = json.loads(args.serve_baseline.read_text())
         serve_fresh = json.loads(args.serve_fresh.read_text())
